@@ -1,0 +1,38 @@
+//! Ablation: cost of the confidence-interval adjustment (Section IV-B).
+//!
+//! The adjustment is a per-cell sqrt + a few multiplications; the paper's
+//! interactivity claim (Fig. 9) must survive it. Compares None (raw
+//! confidences), the paper's Wald, and the Wilson extension.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use om_bench::{build_store, scaleup_dataset, scaleup_spec};
+use om_compare::{CompareConfig, Comparator, IntervalMethod};
+
+fn bench_ci_ablation(c: &mut Criterion) {
+    let ds = scaleup_dataset(60, 20_000, 13);
+    let store = build_store(&ds, 0);
+    let spec = scaleup_spec(&ds);
+
+    let mut group = c.benchmark_group("ablation_interval_method");
+    group.sample_size(20);
+    for (name, method) in [
+        ("none", IntervalMethod::None),
+        ("wald_0.95", IntervalMethod::Wald(0.95)),
+        ("wilson_0.95", IntervalMethod::Wilson(0.95)),
+    ] {
+        group.bench_function(name, |b| {
+            let comparator = Comparator::with_config(
+                &store,
+                CompareConfig {
+                    interval: method,
+                    ..CompareConfig::default()
+                },
+            );
+            b.iter(|| comparator.compare(&spec).expect("comparison runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ci_ablation);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Ablation: dense count tensor (the paper's min-sup = 0, no-holes
+//! representation) vs a sparse `HashMap` counter for pair-cube
+//! construction. With min-sup = 0 every cell is materialized anyway, so
+//! the hash layer buys nothing and costs hashing per record.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_bench::{hashmap_cube_count, scaleup_dataset};
+use om_cube::build_cube;
+
+fn bench_cube_repr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cube_representation");
+    group.sample_size(20);
+    for &n_records in &[10_000usize, 50_000, 200_000] {
+        let ds = scaleup_dataset(4, n_records, 14);
+        group.bench_with_input(
+            BenchmarkId::new("dense_tensor", n_records),
+            &n_records,
+            |b, _| b.iter(|| build_cube(&ds, &[0, 1]).expect("builds")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hashmap", n_records),
+            &n_records,
+            |b, _| b.iter(|| hashmap_cube_count(&ds, 0, 1)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cube_repr);
+criterion_main!(benches);

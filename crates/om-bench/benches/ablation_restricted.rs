@@ -1,0 +1,61 @@
+//! Ablation: the paper's two-condition-cube policy (Section III-B).
+//!
+//! "Clearly, this will result in a huge number of rules due to
+//! combinatorial explosion. However, our experiences show that practical
+//! applications seldom need long rules … Thus, we only store
+//! two-condition rules. When longer rules … are needed, a restricted
+//! mining can be carried out."
+//!
+//! This bench puts numbers on that policy: materializing *all*
+//! three-attribute cubes vs answering one longer-rule question on demand
+//! via restricted mining.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_bench::scaleup_dataset;
+use om_car::{mine_restricted, Condition, MinerConfig};
+use om_cube::build_cube;
+
+fn bench_restricted_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_two_condition_policy");
+    group.sample_size(10);
+    for &n_attrs in &[8usize, 12, 16] {
+        let ds = scaleup_dataset(n_attrs, 20_000, 17);
+        // Policy A (rejected by the paper): build every 3-attribute cube.
+        group.bench_with_input(
+            BenchmarkId::new("all_triple_cubes", n_attrs),
+            &n_attrs,
+            |b, &n| {
+                b.iter(|| {
+                    let mut total = 0u64;
+                    for i in 0..n {
+                        for j in (i + 1)..n {
+                            for k in (j + 1)..n {
+                                total += build_cube(&ds, &[i, j, k]).expect("builds").total();
+                            }
+                        }
+                    }
+                    total
+                })
+            },
+        );
+        // Policy B (the paper's): answer one longer-rule question on demand.
+        group.bench_with_input(
+            BenchmarkId::new("one_restricted_mining", n_attrs),
+            &n_attrs,
+            |b, _| {
+                let config = MinerConfig {
+                    min_support: 0.001,
+                    min_confidence: 0.0,
+                    max_conditions: 3,
+                    attrs: None,
+                };
+                let fixed = [Condition::new(0, 0)];
+                b.iter(|| mine_restricted(&ds, &fixed, &config).expect("mines"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_restricted_policy);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! CAR generator benchmarks: full mining across support thresholds, and
+//! restricted mining (the Section III-B path for longer rules).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_bench::scaleup_dataset;
+use om_car::{mine, mine_restricted, Condition, MinerConfig};
+
+fn bench_mining(c: &mut Criterion) {
+    let ds = scaleup_dataset(15, 30_000, 12);
+    let mut group = c.benchmark_group("car_mining");
+    group.sample_size(10);
+    for &min_sup in &[0.05f64, 0.01, 0.001] {
+        group.bench_with_input(
+            BenchmarkId::new("two_condition", format!("{min_sup}")),
+            &min_sup,
+            |b, &min_sup| {
+                let config = MinerConfig {
+                    min_support: min_sup,
+                    min_confidence: 0.0,
+                    max_conditions: 2,
+                    attrs: None,
+                };
+                b.iter(|| mine(&ds, &config).expect("mines"));
+            },
+        );
+    }
+    group.bench_function("restricted_three_condition", |b| {
+        let config = MinerConfig {
+            min_support: 0.001,
+            min_confidence: 0.0,
+            max_conditions: 3,
+            attrs: None,
+        };
+        let fixed = [Condition::new(0, 0)];
+        b.iter(|| mine_restricted(&ds, &fixed, &config).expect("mines"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

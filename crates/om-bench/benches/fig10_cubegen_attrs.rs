@@ -1,0 +1,34 @@
+//! Fig. 10: rule-cube generation time vs number of attributes.
+//!
+//! Paper: "a nonlinear growth, which is expected as the number of
+//! attributes increases" — all `n·(n−1)/2` pair cubes are built, so the
+//! cost is quadratic in attributes. Includes the serial-vs-parallel
+//! ablation (the paper generates cubes offline; parallelism is this
+//! reproduction's extension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_bench::{build_store, scaleup_dataset};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_cubegen_vs_attrs");
+    group.sample_size(10);
+    // Criterion runs many iterations; keep the per-iteration cost modest
+    // (the exp_fig10 binary runs the paper-scale sweep).
+    for &n_attrs in &[10usize, 20, 30, 40] {
+        let ds = scaleup_dataset(n_attrs, 20_000, 10);
+        group.bench_with_input(
+            BenchmarkId::new("serial", n_attrs),
+            &n_attrs,
+            |b, _| b.iter(|| build_store(&ds, 1)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", n_attrs),
+            &n_attrs,
+            |b, _| b.iter(|| build_store(&ds, 0)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 11: rule-cube generation time vs number of records.
+//!
+//! Paper: "linear as the number of records increases" (2–8 M by
+//! duplicating the data set; all 160 attributes). The bench duplicates a
+//! base dataset 1–4× at a reduced attribute count; the exp_fig11 binary
+//! runs the paper-scale version.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_bench::{build_store, scaleup_dataset};
+use om_data::sample::duplicate;
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_cubegen_vs_records");
+    group.sample_size(10);
+    let base = scaleup_dataset(20, 25_000, 11);
+    for factor in 1usize..=4 {
+        let ds = duplicate(&base, factor).expect("duplication");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ds.n_rows()),
+            &factor,
+            |b, _| b.iter(|| build_store(&ds, 0)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 9: comparison computation time vs number of attributes.
+//!
+//! Paper: "as the number of attributes increases from 40 to 160, the
+//! processing time goes up linearly … even with 160 attributes the system
+//! is still highly interactive as it only takes 0.8 second". The
+//! comparison reads only rule cubes, so the store is built once outside
+//! the timed region.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_bench::{build_store, scaleup_dataset, scaleup_spec};
+use om_compare::Comparator;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_comparison_vs_attrs");
+    group.sample_size(10);
+    for &n_attrs in &[40usize, 80, 120, 160] {
+        // 20k records suffices: comparison cost is independent of records.
+        let ds = scaleup_dataset(n_attrs, 20_000, 9);
+        let store = build_store(&ds, 0);
+        let spec = scaleup_spec(&ds);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_attrs),
+            &n_attrs,
+            |b, _| {
+                let comparator = Comparator::new(&store);
+                b.iter(|| comparator.compare(&spec).expect("comparison runs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

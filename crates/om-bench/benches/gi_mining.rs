@@ -1,0 +1,28 @@
+//! General-impressions miner benchmarks: trends, exceptions, influence
+//! over the full cube store ("GI miner is called when requested based on
+//! the sub-cube shown on screen" — it must feel interactive too).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use om_bench::{build_store, scaleup_dataset};
+use om_gi::{mine_exceptions, mine_influence, mine_trends, ExceptionConfig, TrendConfig};
+
+fn bench_gi(c: &mut Criterion) {
+    let ds = scaleup_dataset(80, 50_000, 15);
+    let store = build_store(&ds, 0);
+
+    let mut group = c.benchmark_group("gi_mining");
+    group.sample_size(20);
+    group.bench_function("trends", |b| {
+        b.iter(|| mine_trends(&store, &TrendConfig::default()));
+    });
+    group.bench_function("exceptions", |b| {
+        b.iter(|| mine_exceptions(&store, &ExceptionConfig::default()));
+    });
+    group.bench_function("influence", |b| {
+        b.iter(|| mine_influence(&store));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gi);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Ranker cost comparison: the paper's measure vs the baseline rankers on
+//! the same comparison spec (the quality comparison is exp_recovery; this
+//! measures cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use om_bench::{build_store, scaleup_dataset, scaleup_spec};
+use om_compare::baselines::all_rankers;
+
+fn bench_rankers(c: &mut Criterion) {
+    let ds = scaleup_dataset(60, 20_000, 16);
+    let store = build_store(&ds, 0);
+    let spec = scaleup_spec(&ds);
+
+    let mut group = c.benchmark_group("ranker_cost");
+    group.sample_size(20);
+    for ranker in all_rankers() {
+        group.bench_function(ranker.name(), |b| {
+            b.iter(|| ranker.rank(&store, &spec).expect("ranks"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rankers);
+criterion_main!(benches);

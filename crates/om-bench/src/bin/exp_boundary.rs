@@ -1,0 +1,67 @@
+//! Experiment F2/F4 — the boundary situations of Figs. 2 and 4.
+//!
+//! Situation 1 (Fig. 2(A)/4(A)): ph2 is exactly twice as bad as ph1 for
+//! every Time-of-Call value — completely expected, so M must be 0 (the
+//! proven minimum). Situation 2 (Fig. 4(B)): all of ph2's drops occur in
+//! one value at 100% confidence where ph1 is at its lowest — M must hit
+//! the proven maximum cf2·|D2| (normalized score 1).
+//!
+//! Run with: `cargo run --release -p om-bench --bin exp_boundary`
+
+use om_compare::{score_attribute, IntervalMethod, SubPopCounts};
+
+fn labels() -> Vec<String> {
+    vec!["morning".into(), "afternoon".into(), "evening".into()]
+}
+
+fn main() {
+    println!("Figs. 2 & 4 — boundary situations of the interestingness measure\n");
+
+    // Situation 1: proportional (2% vs 4% everywhere).
+    let d1 = SubPopCounts::new(vec![10_000; 3], vec![200; 3]);
+    let d2 = SubPopCounts::new(vec![10_000; 3], vec![400; 3]);
+    let s1 = score_attribute(1, "TimeOfCall", &labels(), &d1, &d2, 0.02, 0.04, IntervalMethod::None);
+    println!("Situation 1 (Fig. 2(A)/4(A), proportional — 'completely uninteresting'):");
+    println!("  M = {:.6}   normalized = {:.6}   (paper: minimum, exactly 0)", s1.score, s1.normalized);
+    assert_eq!(s1.score, 0.0);
+
+    // Situation 2: concentrated maximum.
+    // D2: 30k records, 1 200 drops all in 'evening' (100% drop rate there);
+    // D1: evening is its lowest-rate value (0 drops).
+    let d1 = SubPopCounts::new(vec![10_000; 3], vec![350, 250, 0]);
+    let d2 = SubPopCounts::new(vec![14_400, 14_400, 1_200], vec![0, 0, 1_200]);
+    let cf1 = 600.0 / 30_000.0;
+    let cf2 = 1_200.0 / 30_000.0;
+    let s2 = score_attribute(1, "TimeOfCall", &labels(), &d1, &d2, cf1, cf2, IntervalMethod::None);
+    println!("\nSituation 2 (Fig. 4(B), concentrated — the maximum):");
+    println!(
+        "  M = {:.2}   theoretical max cf2*|D2| = {:.2}   normalized = {:.4}",
+        s2.score,
+        cf2 * 30_000.0,
+        s2.normalized
+    );
+    assert!((s2.normalized - 1.0).abs() < 1e-9);
+
+    // The interesting-but-not-extreme situation of Fig. 2(B).
+    let d1 = SubPopCounts::new(vec![10_000; 3], vec![200, 200, 200]);
+    let d2 = SubPopCounts::new(vec![10_000; 3], vec![1_000, 200, 200]);
+    let cf2b = 1_400.0 / 30_000.0;
+    let s3 = score_attribute(1, "TimeOfCall", &labels(), &d1, &d2, 0.02, cf2b, IntervalMethod::None);
+    println!("\nSituation Fig. 2(B) (morning isolated — 'very interesting'):");
+    println!("  M = {:.2}   normalized = {:.4}", s3.score, s3.normalized);
+    for c in &s3.contributions {
+        println!(
+            "    {:<10} cf1 = {:.3}%  cf2 = {:.3}%  F_k = {:+.4}  W_k = {:.1}",
+            c.label,
+            c.cf1.unwrap_or(0.0) * 100.0,
+            c.cf2.unwrap_or(0.0) * 100.0,
+            c.f,
+            c.w
+        );
+    }
+    assert!(s3.score > 0.0 && s3.normalized < 1.0);
+    let top = s3.top_values();
+    assert_eq!(top[0].label, "morning");
+
+    println!("\nreproduction PASSED: minimum = 0, maximum = cf2*|D2|, Fig. 2(B) isolates 'morning'");
+}

@@ -1,0 +1,59 @@
+//! Experiment F10 — Fig. 10: rule-cube generation time vs #attributes.
+//!
+//! Paper: 2 M records, attributes swept 40→160, "a nonlinear growth,
+//! which is expected" — all n·(n−1)/2 pair cubes are built, so the cost
+//! is quadratic in the attribute count. Generation is the offline step
+//! ("done off-line, e.g., in the evening").
+//!
+//! Run with: `cargo run --release -p om-bench --bin exp_fig10`
+//! (`OM_FULL=1` for the paper's 2 M records.)
+
+use om_bench::{build_store, fig10_records, linear_fit_r2, scaleup_dataset, time_once};
+
+fn main() {
+    let n_records = fig10_records();
+    println!("Fig. 10 — cube generation time vs number of attributes ({n_records} records)");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>16}",
+        "attrs", "pair cubes", "serial (s)", "parallel (s)", "paper (min, 2006)"
+    );
+    let paper_minutes = [3.0, 13.0, 28.0, 50.0]; // read off the paper's plot
+    let attrs = om_bench::attr_sweep();
+    let mut xs = Vec::new();
+    let mut serial_times = Vec::new();
+    for (&n_attrs, paper) in attrs.iter().zip(paper_minutes) {
+        let ds = scaleup_dataset(n_attrs, n_records, 10);
+        let (store, t_serial) = time_once(|| build_store(&ds, 1));
+        let n_pairs = store.n_pair_cubes();
+        drop(store);
+        let (_, t_parallel) = time_once(|| build_store(&ds, 0));
+        println!(
+            "{n_attrs:>8} {n_pairs:>12} {:>14.3} {:>14.3} {paper:>16.1}",
+            t_serial.as_secs_f64(),
+            t_parallel.as_secs_f64()
+        );
+        xs.push(n_attrs as f64);
+        serial_times.push(t_serial.as_secs_f64());
+    }
+
+    // Shape check 1 — the quadratic model fits: total time must track the
+    // pair-cube count (time ratio ≈ pair ratio across the sweep), since
+    // each pair cube costs one pass over the records.
+    let pairs: Vec<f64> = xs.iter().map(|&a| a * (a - 1.0) / 2.0).collect();
+    let (_, r2_pairs) = linear_fit_r2(&pairs, &serial_times);
+    let time_ratio = serial_times.last().unwrap() / serial_times.first().unwrap();
+    let pair_ratio = pairs.last().unwrap() / pairs.first().unwrap();
+    let tracks_pairs = (0.5..=2.0).contains(&(time_ratio / pair_ratio));
+    // Shape check 2 — nonlinearity in attributes: 4× the attributes must
+    // cost far more than 4× the time (the paper's "nonlinear growth").
+    let attr_ratio = xs.last().unwrap() / xs.first().unwrap();
+    let superlinear = time_ratio > 1.5 * attr_ratio;
+    println!(
+        "\ntime 40→160 grew {time_ratio:.1}x; pair cubes grew {pair_ratio:.1}x; linear fit vs pairs r² = {r2_pairs:.3}"
+    );
+    println!(
+        "shape check: time tracks the quadratic pair count {} (ratio within 2x) ; superlinear growth in attrs {}",
+        if tracks_pairs { "PASSED" } else { "FAILED" },
+        if superlinear { "PASSED" } else { "FAILED" }
+    );
+}

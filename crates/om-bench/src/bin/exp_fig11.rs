@@ -1,0 +1,47 @@
+//! Experiment F11 — Fig. 11: rule-cube generation time vs #records.
+//!
+//! Paper: 160 attributes, records swept 2 M → 8 M "by duplicating the
+//! data set", growth is linear.
+//!
+//! Run with: `cargo run --release -p om-bench --bin exp_fig11`
+//! (`OM_FULL=1` for the paper's 160 attributes and 2–8 M records;
+//! the default uses 40 attributes and 100–400 k records.)
+
+use om_bench::{build_store, fig11_base_records, full_scale, linear_fit_r2, scaleup_dataset, time_once};
+use om_data::sample::duplicate;
+
+fn main() {
+    let n_attrs = if full_scale() { 160 } else { 40 };
+    let base_records = fig11_base_records();
+    println!(
+        "Fig. 11 — cube generation time vs number of records ({n_attrs} attributes, duplication of a {base_records}-record base)"
+    );
+    println!(
+        "{:>12} {:>14} {:>16}",
+        "records", "time (s)", "paper (min, 2006)"
+    );
+    let paper_minutes = [50.0, 100.0, 150.0, 200.0]; // linear in the paper's plot
+    let base = scaleup_dataset(n_attrs, base_records, 11);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (factor, paper) in (1usize..=4).zip(paper_minutes) {
+        let ds = duplicate(&base, factor).expect("duplication");
+        let (_, t) = time_once(|| build_store(&ds, 0));
+        println!(
+            "{:>12} {:>14.3} {paper:>16.1}",
+            ds.n_rows(),
+            t.as_secs_f64()
+        );
+        xs.push(ds.n_rows() as f64);
+        ys.push(t.as_secs_f64());
+    }
+    let (slope, r2) = linear_fit_r2(&xs, &ys);
+    println!(
+        "\nlinear fit: slope = {:.3} µs/record, r² = {r2:.4}",
+        slope * 1e6
+    );
+    println!(
+        "shape check: linear growth in records {}",
+        if r2 >= 0.95 { "PASSED" } else { "FAILED" }
+    );
+}

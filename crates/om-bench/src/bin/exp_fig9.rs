@@ -1,0 +1,65 @@
+//! Experiment F9 — Fig. 9: comparison computation time vs #attributes.
+//!
+//! Paper claims: (a) time grows *linearly* from 40 to 160 attributes;
+//! (b) even at 160 attributes the comparison stays interactive (0.8 s on
+//! 2006 hardware); (c) "since the comparison uses only rule cubes, the
+//! computation time is not affected by the original data set size".
+//!
+//! Run with: `cargo run --release -p om-bench --bin exp_fig9`
+//! (`OM_FULL=1` additionally verifies claim (c) against a 10× dataset.)
+
+use om_bench::{build_store, linear_fit_r2, scaleup_dataset, scaleup_spec, time_median};
+use om_compare::Comparator;
+
+fn main() {
+    println!("Fig. 9 — comparison time vs number of attributes");
+    println!("{:>8} {:>14} {:>16}", "attrs", "time (ms)", "paper (s, 2006)");
+    let paper_times = [0.2, 0.4, 0.6, 0.8]; // read off the paper's linear plot
+    let attrs = om_bench::attr_sweep();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (&n_attrs, paper) in attrs.iter().zip(paper_times) {
+        let ds = scaleup_dataset(n_attrs, 20_000, 9);
+        let store = build_store(&ds, 0);
+        let spec = scaleup_spec(&ds);
+        let comparator = Comparator::new(&store);
+        let (_, t) = time_median(5, || comparator.compare(&spec).expect("runs"));
+        let ms = t.as_secs_f64() * 1e3;
+        println!("{n_attrs:>8} {ms:>14.3} {paper:>16.1}");
+        xs.push(n_attrs as f64);
+        ys.push(ms);
+    }
+    let (slope, r2) = linear_fit_r2(&xs, &ys);
+    println!("\nlinear fit: slope = {slope:.4} ms/attr, r² = {r2:.4}");
+    let interactive = ys.last().copied().unwrap_or(f64::MAX) < 800.0;
+    println!(
+        "shape check: linear growth {} (r² ≥ 0.90), interactive at 160 attrs {} (< 0.8 s)",
+        if r2 >= 0.90 { "PASSED" } else { "FAILED" },
+        if interactive { "PASSED" } else { "FAILED" }
+    );
+
+    // Claim (c): comparison time independent of dataset size.
+    let small = scaleup_dataset(40, 20_000, 9);
+    let big = scaleup_dataset(40, 200_000, 9);
+    let store_small = build_store(&small, 0);
+    let store_big = build_store(&big, 0);
+    let spec_s = scaleup_spec(&small);
+    let spec_b = scaleup_spec(&big);
+    let (_, t_small) = time_median(7, || {
+        Comparator::new(&store_small).compare(&spec_s).expect("runs")
+    });
+    let (_, t_big) = time_median(7, || {
+        Comparator::new(&store_big).compare(&spec_b).expect("runs")
+    });
+    let ratio = t_big.as_secs_f64() / t_small.as_secs_f64().max(1e-12);
+    println!(
+        "\ndata-size independence: 20k records {:.3} ms vs 200k records {:.3} ms (ratio {:.2}; paper: unaffected)",
+        t_small.as_secs_f64() * 1e3,
+        t_big.as_secs_f64() * 1e3,
+        ratio
+    );
+    println!(
+        "shape check: independence {}",
+        if ratio < 2.5 { "PASSED" } else { "FAILED" }
+    );
+}

@@ -1,0 +1,176 @@
+//! Shared infrastructure for the benchmark harness and the experiment
+//! binaries that regenerate the paper's tables and figures.
+//!
+//! The paper's performance evaluation (Section V-C) ran on a 2006-era
+//! desktop against a 2-million-record, 160-attribute Motorola extract.
+//! Experiments here default to a scaled-down size that finishes in CI and
+//! accept `OM_FULL=1` to run at the paper's sizes; the claims under test
+//! are *shape* claims (linear vs nonlinear growth, interactivity), which
+//! hold at both scales.
+
+use std::time::{Duration, Instant};
+
+use om_compare::ComparisonSpec;
+use om_cube::{CubeStore, StoreBuildOptions};
+use om_data::Dataset;
+use om_synth::{generate_scaleup, ScaleUpConfig};
+
+/// Whether the paper-scale (`OM_FULL=1`) configuration was requested.
+pub fn full_scale() -> bool {
+    std::env::var("OM_FULL").is_ok_and(|v| v == "1")
+}
+
+/// Records used for the Fig. 10 sweep (2 M at paper scale).
+pub fn fig10_records() -> usize {
+    if full_scale() {
+        2_000_000
+    } else {
+        100_000
+    }
+}
+
+/// Base records for the Fig. 11 sweep (duplicated 1–4×; 2 M at paper
+/// scale).
+pub fn fig11_base_records() -> usize {
+    if full_scale() {
+        2_000_000
+    } else {
+        100_000
+    }
+}
+
+/// The attribute counts of Figs. 9 and 10 (40/80/120/160 in the paper;
+/// the sweep itself is cheap enough to run at paper scale always).
+pub fn attr_sweep() -> Vec<usize> {
+    vec![40, 80, 120, 160]
+}
+
+/// A scale-up dataset shaped like the paper's extract: skewed 3-class
+/// categorical data, `n_attrs` attributes with 3–8 values each.
+pub fn scaleup_dataset(n_attrs: usize, n_records: usize, seed: u64) -> Dataset {
+    generate_scaleup(&ScaleUpConfig {
+        n_attrs,
+        n_records,
+        seed,
+        ..ScaleUpConfig::default()
+    })
+}
+
+/// Build the full cube store for a dataset.
+pub fn build_store(ds: &Dataset, n_threads: usize) -> CubeStore {
+    CubeStore::build(
+        ds,
+        &StoreBuildOptions {
+            n_threads,
+            ..Default::default()
+        },
+    )
+    .expect("store builds")
+}
+
+/// A canonical comparison spec on a scale-up dataset: attribute 0's first
+/// two values against minority class 1.
+pub fn scaleup_spec(ds: &Dataset) -> ComparisonSpec {
+    debug_assert!(ds.schema().attribute(0).cardinality() >= 2);
+    debug_assert!(ds.schema().n_classes() >= 2);
+    ComparisonSpec {
+        attr: 0,
+        value_1: 0,
+        value_2: 1,
+        class: 1,
+    }
+}
+
+/// Wall-clock one invocation of `f`.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Median wall-clock over `n` invocations (result of the last kept).
+pub fn time_median<T>(n: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    assert!(n >= 1);
+    let mut times = Vec::with_capacity(n);
+    let mut last = None;
+    for _ in 0..n {
+        let (out, d) = time_once(&mut f);
+        times.push(d);
+        last = Some(out);
+    }
+    times.sort();
+    (last.expect("n >= 1"), times[times.len() / 2])
+}
+
+/// Reference counting baseline for the cube-representation ablation: count
+/// (value_a, value_b, class) triples into a `HashMap` instead of a dense
+/// tensor. Returns the map's length so the work cannot be optimized away.
+pub fn hashmap_cube_count(ds: &Dataset, a: usize, b: usize) -> usize {
+    use std::collections::HashMap;
+    let col_a = ds.column(a).as_categorical().expect("categorical");
+    let col_b = ds.column(b).as_categorical().expect("categorical");
+    let classes = ds.class_values();
+    let mut map: HashMap<(u32, u32, u32), u64> = HashMap::new();
+    for r in 0..ds.n_rows() {
+        *map.entry((col_a[r], col_b[r], classes[r])).or_insert(0) += 1;
+    }
+    map.len()
+}
+
+/// Least-squares goodness of fit of `y = a + b·x` over the given points,
+/// returned as (slope, r²). Used by experiment binaries to check the
+/// paper's linear-growth claims.
+pub fn linear_fit_r2(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let fit = om_stats::linear_regression(xs, ys);
+    (fit.slope, fit.r_squared())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaleup_dataset_shape() {
+        let ds = scaleup_dataset(10, 1_000, 1);
+        assert_eq!(ds.schema().n_attributes(), 11);
+        assert_eq!(ds.n_rows(), 1_000);
+    }
+
+    #[test]
+    fn spec_is_valid_on_scaleup_data() {
+        let ds = scaleup_dataset(5, 5_000, 2);
+        let store = build_store(&ds, 1);
+        let spec = scaleup_spec(&ds);
+        let result = om_compare::Comparator::new(&store).compare(&spec);
+        assert!(result.is_ok(), "{result:?}");
+    }
+
+    #[test]
+    fn hashmap_baseline_counts_everything() {
+        let ds = scaleup_dataset(3, 2_000, 3);
+        let n = hashmap_cube_count(&ds, 0, 1);
+        // Non-trivial but bounded by the cross product.
+        let bound = ds.schema().attribute(0).cardinality()
+            * ds.schema().attribute(1).cardinality()
+            * ds.schema().n_classes();
+        assert!(n > 0 && n <= bound);
+    }
+
+    #[test]
+    fn timing_helpers_work() {
+        let (v, d) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+        let (v, _) = time_median(3, || 7);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn linear_fit_detects_linearity() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        let (slope, r2) = linear_fit_r2(&xs, &ys);
+        assert!((slope - 10.0).abs() < 1e-9);
+        assert!(r2 > 0.999);
+    }
+}

@@ -1,0 +1,126 @@
+//! Rule post-processing: redundancy and significance pruning.
+//!
+//! The related-work section surveys rule post-processing operators
+//! (\[33\] in the paper) for filtering unwanted rules; these two are the
+//! standard ones used before presenting rule lists to users.
+
+use om_stats::chi2_independence;
+
+use crate::rule::CarRule;
+
+/// Remove rules that are *redundant*: a rule is dropped when a strictly
+/// more general rule with the same class has confidence at least as high.
+///
+/// The input order is preserved among survivors.
+pub fn prune_redundant(rules: &[CarRule]) -> Vec<CarRule> {
+    rules
+        .iter()
+        .filter(|r| {
+            !rules.iter().any(|general| {
+                r.is_specialization_of(general)
+                    && general.confidence() >= r.confidence() - 1e-12
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+/// Keep only rules whose antecedent/class association is statistically
+/// significant at level `alpha` by a chi-square test on the 2×2 table
+/// (matches-conditions × is-class).
+///
+/// Needs each rule's complement counts, derived from `n_records` and the
+/// per-class total `class_total` (records of the rule's class in the whole
+/// dataset).
+pub fn prune_insignificant(
+    rules: &[CarRule],
+    class_totals: &[u64],
+    alpha: f64,
+) -> Vec<CarRule> {
+    rules
+        .iter()
+        .filter(|r| {
+            let class_total = class_totals[r.class as usize];
+            let a = r.support_count; // cond ∧ class
+            let b = r.cond_count - r.support_count; // cond ∧ ¬class
+            let c = class_total.saturating_sub(r.support_count); // ¬cond ∧ class
+            let d = r
+                .n_records
+                .saturating_sub(r.cond_count)
+                .saturating_sub(c); // ¬cond ∧ ¬class
+            let table = vec![vec![a, b], vec![c, d]];
+            chi2_independence(&table).p_value < alpha
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Condition;
+
+    fn rule(conds: Vec<Condition>, class: u32, sup: u64, cond: u64, n: u64) -> CarRule {
+        CarRule {
+            conditions: conds,
+            class,
+            support_count: sup,
+            cond_count: cond,
+            n_records: n,
+        }
+    }
+
+    #[test]
+    fn redundant_specialization_dropped() {
+        let general = rule(vec![Condition::new(0, 0)], 0, 80, 100, 1000);
+        // Same confidence as the general rule: redundant.
+        let redundant = rule(
+            vec![Condition::new(0, 0), Condition::new(1, 1)],
+            0,
+            40,
+            50,
+            1000,
+        );
+        // Higher confidence than the general rule: kept.
+        let informative = rule(
+            vec![Condition::new(0, 0), Condition::new(2, 0)],
+            0,
+            30,
+            30,
+            1000,
+        );
+        let pruned = prune_redundant(&[general.clone(), redundant, informative.clone()]);
+        assert_eq!(pruned, vec![general, informative]);
+    }
+
+    #[test]
+    fn different_class_not_redundant() {
+        let general = rule(vec![Condition::new(0, 0)], 0, 80, 100, 1000);
+        let specific_other = rule(
+            vec![Condition::new(0, 0), Condition::new(1, 1)],
+            1,
+            10,
+            50,
+            1000,
+        );
+        let pruned = prune_redundant(&[general, specific_other]);
+        assert_eq!(pruned.len(), 2);
+    }
+
+    #[test]
+    fn significance_filter() {
+        // Strong association: 90/100 vs 100/900 base rate.
+        let strong = rule(vec![Condition::new(0, 0)], 0, 90, 100, 1000);
+        // No association: rule confidence equals the base rate.
+        let weak = rule(vec![Condition::new(1, 0)], 0, 19, 100, 1000);
+        let class_totals = vec![190u64, 810];
+        let kept = prune_insignificant(&[strong.clone(), weak], &class_totals, 0.01);
+        assert_eq!(kept, vec![strong]);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(prune_redundant(&[]).is_empty());
+        assert!(prune_insignificant(&[], &[0, 0], 0.05).is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Database-coverage rule selection (the CBA selection step).
+//!
+//! Section III-A contrasts CAR mining with classifiers that keep "only
+//! enough rules for classification". That selection step — sort rules by
+//! precedence, greedily keep each rule that correctly covers at least one
+//! still-uncovered record — is nevertheless useful *after* complete
+//! mining, as a compact summary of the rule space. This module implements
+//! it over our rules and datasets.
+
+use om_data::{Dataset, Result, ValueId};
+
+use crate::rule::CarRule;
+
+/// Outcome of a coverage selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageSelection {
+    /// The selected rules, in precedence order.
+    pub rules: Vec<CarRule>,
+    /// Records (by index) left uncovered by every selected rule.
+    pub uncovered: Vec<usize>,
+    /// The majority class among the uncovered records (the CBA default
+    /// class), if any records remain.
+    pub default_class: Option<ValueId>,
+}
+
+/// CBA precedence: higher confidence, then higher support, then fewer
+/// conditions (earlier-generated).
+fn precedence(a: &CarRule, b: &CarRule) -> std::cmp::Ordering {
+    b.confidence()
+        .partial_cmp(&a.confidence())
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(b.support_count.cmp(&a.support_count))
+        .then(a.len().cmp(&b.len()))
+        .then(a.conditions.cmp(&b.conditions))
+        .then(a.class.cmp(&b.class))
+}
+
+/// Whether `rule`'s conditions hold for record `row`.
+fn covers(rule: &CarRule, ds: &Dataset, row: usize) -> Result<bool> {
+    for c in &rule.conditions {
+        if ds.categorical(c.attr)?[row] != c.value {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Select rules by database coverage: walk rules in precedence order,
+/// keeping each rule that *correctly* classifies at least one uncovered
+/// record; covered records are removed.
+///
+/// # Errors
+/// Fails if a rule references a continuous attribute of `ds`.
+pub fn select_by_coverage(rules: &[CarRule], ds: &Dataset) -> Result<CoverageSelection> {
+    let mut sorted: Vec<&CarRule> = rules.iter().collect();
+    sorted.sort_by(|a, b| precedence(a, b));
+
+    let classes = ds.class_values();
+    let mut covered = vec![false; ds.n_rows()];
+    let mut n_covered = 0usize;
+    let mut selected: Vec<CarRule> = Vec::new();
+
+    for rule in sorted {
+        if n_covered == ds.n_rows() {
+            break;
+        }
+        let mut hit = false;
+        let mut newly: Vec<usize> = Vec::new();
+        for row in 0..ds.n_rows() {
+            if covered[row] {
+                continue;
+            }
+            if covers(rule, ds, row)? {
+                newly.push(row);
+                if classes[row] == rule.class {
+                    hit = true;
+                }
+            }
+        }
+        if hit {
+            for row in newly {
+                covered[row] = true;
+                n_covered += 1;
+            }
+            selected.push(rule.clone());
+        }
+    }
+
+    let uncovered: Vec<usize> = (0..ds.n_rows()).filter(|&r| !covered[r]).collect();
+    let default_class = if uncovered.is_empty() {
+        None
+    } else {
+        let mut counts = vec![0u64; ds.schema().n_classes()];
+        for &r in &uncovered {
+            counts[classes[r] as usize] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i as ValueId)
+    };
+    Ok(CoverageSelection {
+        rules: selected,
+        uncovered,
+        default_class,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::{mine, MinerConfig};
+    use om_data::{Cell, DatasetBuilder};
+
+    fn toy() -> Dataset {
+        let mut b = DatasetBuilder::new()
+            .categorical("A")
+            .categorical("B")
+            .class("C");
+        // A=a0 almost determines y; B=b1 almost determines n.
+        for i in 0..40u32 {
+            let a = if i % 2 == 0 { "a0" } else { "a1" };
+            let bb = if i % 4 < 2 { "b0" } else { "b1" };
+            let c = if i % 2 == 0 { "y" } else { "n" };
+            b.push_row(&[Cell::Str(a), Cell::Str(bb), Cell::Str(c)]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn selection_is_small_and_covers() {
+        let ds = toy();
+        let rules = mine(
+            &ds,
+            &MinerConfig {
+                min_support: 0.0,
+                min_confidence: 0.0,
+                max_conditions: 2,
+                attrs: None,
+            },
+        )
+        .unwrap();
+        let selection = select_by_coverage(&rules, &ds).unwrap();
+        assert!(
+            selection.rules.len() <= 4,
+            "selection should be compact, got {}",
+            selection.rules.len()
+        );
+        assert!(selection.rules.len() < rules.len());
+        assert!(selection.uncovered.is_empty(), "perfect rules cover all");
+        assert!(selection.default_class.is_none());
+        // Precedence order preserved.
+        for w in selection.rules.windows(2) {
+            assert!(w[0].confidence() >= w[1].confidence() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn selected_rules_actually_cover_their_records() {
+        let ds = toy();
+        let rules = mine(&ds, &MinerConfig::default()).unwrap();
+        let selection = select_by_coverage(&rules, &ds).unwrap();
+        // Re-play coverage: each record is either covered by some selected
+        // rule or in the uncovered list.
+        for row in 0..ds.n_rows() {
+            let covered = selection
+                .rules
+                .iter()
+                .any(|r| covers(r, &ds, row).unwrap());
+            let listed = selection.uncovered.contains(&row);
+            assert!(covered || listed, "record {row} lost");
+        }
+    }
+
+    #[test]
+    fn default_class_is_majority_of_uncovered() {
+        let ds = toy();
+        // Only one very specific rule: most records stay uncovered.
+        let rules = vec![CarRule {
+            conditions: vec![crate::item::Condition::new(0, 0), crate::item::Condition::new(1, 0)],
+            class: 0,
+            support_count: 10,
+            cond_count: 10,
+            n_records: 40,
+        }];
+        let selection = select_by_coverage(&rules, &ds).unwrap();
+        assert_eq!(selection.rules.len(), 1);
+        assert!(!selection.uncovered.is_empty());
+        assert!(selection.default_class.is_some());
+    }
+
+    #[test]
+    fn empty_rule_list() {
+        let ds = toy();
+        let selection = select_by_coverage(&[], &ds).unwrap();
+        assert!(selection.rules.is_empty());
+        assert_eq!(selection.uncovered.len(), ds.n_rows());
+    }
+
+    #[test]
+    fn useless_rules_skipped() {
+        let ds = toy();
+        // A rule that never classifies correctly (wrong class for a0).
+        let wrong = CarRule {
+            conditions: vec![crate::item::Condition::new(0, 0)],
+            class: 1,
+            support_count: 0,
+            cond_count: 20,
+            n_records: 40,
+        };
+        let selection = select_by_coverage(&[wrong], &ds).unwrap();
+        assert!(selection.rules.is_empty(), "incorrect rule must not be kept");
+    }
+}

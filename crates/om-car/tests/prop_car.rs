@@ -1,0 +1,110 @@
+//! Property tests: the miner must agree with rule cubes (which agree with
+//! direct counting), and thresholds must behave monotonically.
+
+use om_car::{mine, mine_restricted, Condition, MinerConfig};
+use om_cube::build_cube;
+use om_data::{Cell, Dataset, DatasetBuilder};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec((0u8..3, 0u8..3, 0u8..2), 1..80).prop_map(|rows| {
+        let mut b = DatasetBuilder::new()
+            .categorical("A")
+            .categorical("B")
+            .class("C");
+        let al = ["a0", "a1", "a2"];
+        let bl = ["b0", "b1", "b2"];
+        let cl = ["c0", "c1"];
+        for (a, bb, c) in rows {
+            b.push_row(&[
+                Cell::Str(al[a as usize]),
+                Cell::Str(bl[bb as usize]),
+                Cell::Str(cl[c as usize]),
+            ])
+            .unwrap();
+        }
+        b.finish().unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn zero_threshold_two_condition_rules_match_cube(ds in arb_dataset()) {
+        let rules = mine(&ds, &MinerConfig {
+            min_support: 0.0,
+            min_confidence: 0.0,
+            max_conditions: 2,
+            attrs: None,
+        }).unwrap();
+        let cube = build_cube(&ds, &[0, 1]).unwrap();
+        for r in rules.iter().filter(|r| r.len() == 2) {
+            let coords = [r.conditions[0].value, r.conditions[1].value];
+            prop_assert_eq!(cube.count(&coords, r.class).unwrap(), r.support_count);
+            prop_assert_eq!(cube.cell_total(&coords).unwrap(), r.cond_count);
+        }
+        // Every non-empty cube cell must appear as a mined rule.
+        for (coords, class, count) in cube.iter_cells() {
+            if count == 0 { continue; }
+            prop_assert!(
+                rules.iter().any(|r| r.len() == 2
+                    && r.conditions[0].value == coords[0]
+                    && r.conditions[1].value == coords[1]
+                    && r.class == class
+                    && r.support_count == count),
+                "cube cell {:?}/{} count {} missing from rules", coords, class, count
+            );
+        }
+    }
+
+    #[test]
+    fn thresholds_are_monotone(ds in arb_dataset(), sup in 0.0f64..0.5, conf in 0.0f64..1.0) {
+        let loose = mine(&ds, &MinerConfig {
+            min_support: 0.0, min_confidence: 0.0, max_conditions: 2, attrs: None,
+        }).unwrap();
+        let tight = mine(&ds, &MinerConfig {
+            min_support: sup, min_confidence: conf, max_conditions: 2, attrs: None,
+        }).unwrap();
+        prop_assert!(tight.len() <= loose.len());
+        // Every tight rule exists among the loose ones with identical counts.
+        for r in &tight {
+            prop_assert!(loose.iter().any(|l|
+                l.conditions == r.conditions && l.class == r.class
+                && l.support_count == r.support_count));
+            prop_assert!(r.support() >= sup - 1e-12);
+            prop_assert!(r.confidence() >= conf - 1e-12);
+        }
+    }
+
+    #[test]
+    fn restricted_is_a_filter_of_full_mining(ds in arb_dataset(), v in 0u32..3) {
+        if v as usize >= ds.schema().attribute(0).cardinality() { return Ok(()); }
+        let cfg = MinerConfig {
+            min_support: 0.0, min_confidence: 0.0, max_conditions: 2, attrs: None,
+        };
+        let full = mine(&ds, &cfg).unwrap();
+        let fixed = [Condition::new(0, v)];
+        let restricted = mine_restricted(&ds, &fixed, &cfg).unwrap();
+        for r in &restricted {
+            let found = full.iter().find(|f| f.conditions == r.conditions && f.class == r.class);
+            prop_assert!(found.is_some(), "restricted rule not in full set: {:?}", r);
+            let f = found.unwrap();
+            prop_assert_eq!(f.support_count, r.support_count);
+            prop_assert_eq!(f.cond_count, r.cond_count);
+        }
+        // Conversely every full rule containing the fixed condition appears.
+        let expected = full.iter().filter(|f|
+            f.conditions.contains(&fixed[0])).count();
+        prop_assert_eq!(restricted.len(), expected);
+    }
+
+    #[test]
+    fn rule_confidence_in_unit_interval(ds in arb_dataset()) {
+        for r in mine(&ds, &MinerConfig {
+            min_support: 0.0, min_confidence: 0.0, max_conditions: 2, attrs: None,
+        }).unwrap() {
+            prop_assert!((0.0..=1.0).contains(&r.confidence()));
+            prop_assert!((0.0..=1.0).contains(&r.support()));
+            prop_assert!(r.support_count <= r.cond_count);
+        }
+    }
+}

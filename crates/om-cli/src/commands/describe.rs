@@ -1,0 +1,26 @@
+//! `opmap describe` — dataset summary before any mining.
+
+use std::io::Write;
+
+use om_data::summary::summarize;
+
+use crate::args::Parsed;
+use crate::CliResult;
+
+const HELP: &str = "\
+opmap describe — summarize a dataset (shape, class skew, attribute stats)
+
+OPTIONS:
+  --data <csv>       input CSV (required)
+  --class <column>   class column name (required)";
+
+pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
+    if parsed.switch("help") {
+        writeln!(out, "{HELP}").ok();
+        return Ok(());
+    }
+    let ds = super::load_dataset(parsed)?;
+    parsed.reject_unknown()?;
+    writeln!(out, "{}", summarize(&ds)).ok();
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! `opmap detail` — one attribute's detailed view (Fig. 6).
+
+use std::io::Write;
+
+use om_viz::detailed::DetailedOptions;
+
+use crate::args::Parsed;
+use crate::CliResult;
+
+const HELP: &str = "\
+opmap detail — exact counts and confidences of one attribute (Fig. 6)
+
+OPTIONS:
+  --data <csv>       input CSV (required)
+  --class <column>   class column name (required)
+  --attr <name>      attribute to inspect (required)
+  --bins <k>         equal-frequency bins for continuous attributes";
+
+pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
+    if parsed.switch("help") {
+        writeln!(out, "{HELP}").ok();
+        return Ok(());
+    }
+    let attr = parsed.required("attr")?;
+    let ds = super::load_dataset(parsed)?;
+    let om = super::build_engine(parsed, ds)?;
+    parsed.reject_unknown()?;
+
+    let view = om.detailed_view(&attr, &DetailedOptions::default())?;
+    writeln!(out, "{view}").ok();
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! `opmap gi` — general impressions: trends, exceptions, influence.
+
+use std::io::Write;
+
+use om_gi::Trend;
+
+use crate::args::Parsed;
+use crate::CliResult;
+
+const HELP: &str = "\
+opmap gi — mine general impressions over all rule cubes
+
+OPTIONS:
+  --data <csv>       input CSV (required)
+  --class <column>   class column name (required)
+  --top <n>          entries per section (default 10)
+  --bins <k>         equal-frequency bins for continuous attributes";
+
+pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
+    if parsed.switch("help") {
+        writeln!(out, "{HELP}").ok();
+        return Ok(());
+    }
+    let top = parsed.parse_or("top", 10usize)?;
+    let ds = super::load_dataset(parsed)?;
+    let om = super::build_engine(parsed, ds)?;
+    parsed.reject_unknown()?;
+
+    let gi = om.general_impressions();
+
+    writeln!(out, "== strong unit trends ==").ok();
+    let mut strong: Vec<_> = gi
+        .trends
+        .iter()
+        .filter(|t| matches!(t.trend, Trend::Increasing | Trend::Decreasing))
+        .collect();
+    strong.sort_by(|a, b| {
+        b.r_squared
+            .partial_cmp(&a.r_squared)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for t in strong.iter().take(top) {
+        writeln!(
+            out,
+            "  {:<24} {:<16} {:?} (slope {:+.5}, r2 {:.2})",
+            t.attr_name, t.class_label, t.trend, t.slope, t.r_squared
+        )
+        .ok();
+    }
+    if strong.is_empty() {
+        writeln!(out, "  (none)").ok();
+    }
+
+    writeln!(out, "\n== exceptions ==").ok();
+    for e in gi.exceptions.iter().take(top) {
+        writeln!(
+            out,
+            "  {}={} on {}: {:.3}% vs rest {:.3}% (z {:+.1}, {:?})",
+            e.attr_name,
+            e.value_label,
+            e.class_label,
+            e.confidence * 100.0,
+            e.rest_confidence * 100.0,
+            e.z,
+            e.kind
+        )
+        .ok();
+    }
+    if gi.exceptions.is_empty() {
+        writeln!(out, "  (none)").ok();
+    }
+
+    writeln!(out, "\n== influential attributes (chi-square) ==").ok();
+    for i in gi.influence.iter().take(top) {
+        writeln!(
+            out,
+            "  {:<24} chi2 {:>12.1}  p {:.2e}  info-gain {:.4}",
+            i.attr_name, i.chi2, i.p_value, i.info_gain
+        )
+        .ok();
+    }
+    Ok(())
+}

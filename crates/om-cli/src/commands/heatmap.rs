@@ -1,0 +1,53 @@
+//! `opmap heatmap` — 3-D rule-cube heatmap of two attributes × one class.
+
+use std::io::Write;
+
+use om_viz::pair_view::{render_pair_heatmap, PairViewOptions};
+
+use crate::args::Parsed;
+use crate::{CliError, CliResult};
+
+const HELP: &str = "\
+opmap heatmap — shade a pair cube by class confidence
+
+OPTIONS:
+  --data <csv>       input CSV (required)
+  --class <column>   class column name (required)
+  --attr-a <name>    row attribute (required)
+  --attr-b <name>    column attribute (required)
+  --target <label>   class of interest (required)
+  --min-cells <n>    mark cells with fewer records as unreliable (default 10)
+  --bins <k>         equal-frequency bins for continuous attributes";
+
+pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
+    if parsed.switch("help") {
+        writeln!(out, "{HELP}").ok();
+        return Ok(());
+    }
+    let attr_a = parsed.required("attr-a")?;
+    let attr_b = parsed.required("attr-b")?;
+    let target = parsed.required("target")?;
+    let min_cells = parsed.parse_or("min-cells", 10u64)?;
+    let ds = super::load_dataset(parsed)?;
+    let om = super::build_engine(parsed, ds)?;
+    parsed.reject_unknown()?;
+
+    let a = om.attr_index(&attr_a)?;
+    let b = om.attr_index(&attr_b)?;
+    let class = om.class_id(&target)?;
+    let cube = om
+        .store()
+        .pair(a, b)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let text = render_pair_heatmap(
+        &cube,
+        class,
+        &PairViewOptions {
+            min_cell_count: min_cells,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| CliError::Failed(e.to_string()))?;
+    writeln!(out, "{text}").ok();
+    Ok(())
+}

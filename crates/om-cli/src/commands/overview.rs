@@ -1,0 +1,50 @@
+//! `opmap overview` — the overall visualization mode (Fig. 5).
+
+use std::io::Write;
+
+use om_viz::overall::OverallOptions;
+use om_viz::ColorMode;
+
+use crate::args::Parsed;
+use crate::CliResult;
+
+const HELP: &str = "\
+opmap overview — render all 2-D rule cubes (the Fig. 5 screen)
+
+OPTIONS:
+  --data <csv>       input CSV (required)
+  --class <column>   class column name (required)
+  --bins <k>         equal-frequency bins for continuous attributes
+  --grid <w>         sparkline width per attribute grid (default 8)
+  --ansi             color output";
+
+pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
+    if parsed.switch("help") {
+        writeln!(out, "{HELP}").ok();
+        return Ok(());
+    }
+    let grid = parsed.parse_or("grid", 8usize)?;
+    let ds = super::load_dataset(parsed)?;
+    let om = super::build_engine(parsed, ds)?;
+    parsed.reject_unknown()?;
+
+    let options = OverallOptions {
+        color: if parsed.switch("ansi") {
+            ColorMode::Ansi
+        } else {
+            ColorMode::Plain
+        },
+        max_grid_width: grid,
+        ..Default::default()
+    };
+    writeln!(out, "{}", om.overall_view(&options)).ok();
+    writeln!(
+        out,
+        "{} attributes, {} records, {} pair cubes materialized",
+        om.store().attrs().len(),
+        om.dataset().n_rows(),
+        om.store().n_pair_cubes()
+    )
+    .ok();
+    Ok(())
+}

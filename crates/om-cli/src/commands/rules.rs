@@ -1,0 +1,71 @@
+//! `opmap rules` — class association rule mining, including restricted
+//! mining with fixed conditions.
+
+use std::io::Write;
+
+use om_car::{Condition, MinerConfig};
+
+use crate::args::Parsed;
+use crate::{CliError, CliResult};
+
+const HELP: &str = "\
+opmap rules — mine class association rules
+
+OPTIONS:
+  --data <csv>           input CSV (required)
+  --class <column>       class column name (required)
+  --min-support <s>      minimum rule support (default 0.01)
+  --min-confidence <c>   minimum rule confidence (default 0.3)
+  --max-conditions <k>   maximum conditions per rule (default 2)
+  --fix <Attr=value>     restricted mining: fix this condition
+                         (repeatable via comma: A=x,B=y)
+  --top <n>              rules to print (default 20)
+  --bins <k>             equal-frequency bins for continuous attributes";
+
+pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
+    if parsed.switch("help") {
+        writeln!(out, "{HELP}").ok();
+        return Ok(());
+    }
+    let min_support = parsed.parse_or("min-support", 0.01f64)?;
+    let min_confidence = parsed.parse_or("min-confidence", 0.3f64)?;
+    let max_conditions = parsed.parse_or("max-conditions", 2usize)?;
+    let fix = parsed.optional("fix");
+    let top = parsed.parse_or("top", 20usize)?;
+    let ds = super::load_dataset(parsed)?;
+    let om = super::build_engine(parsed, ds)?;
+    parsed.reject_unknown()?;
+
+    let config = MinerConfig {
+        min_support,
+        min_confidence,
+        max_conditions,
+        attrs: None,
+    };
+    let rules = match fix {
+        None => om.mine_rules(&config)?,
+        Some(spec) => {
+            let mut fixed = Vec::new();
+            for part in spec.split(',') {
+                let (attr_name, value_label) = part.split_once('=').ok_or_else(|| {
+                    CliError::Usage(format!("--fix expects Attr=value, got {part:?}"))
+                })?;
+                let attr = om.attr_index(attr_name.trim())?;
+                let value = om.value_id(attr, value_label.trim())?;
+                fixed.push(Condition::new(attr, value));
+            }
+            om.mine_restricted(&fixed, &config)?
+        }
+    };
+
+    writeln!(
+        out,
+        "{} rules (showing up to {top}), sorted by confidence:",
+        rules.len()
+    )
+    .ok();
+    for r in rules.iter().take(top) {
+        writeln!(out, "  {}", r.display(om.dataset().schema())).ok();
+    }
+    Ok(())
+}

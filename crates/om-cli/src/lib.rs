@@ -1,0 +1,160 @@
+//! `opmap` — the Opportunity Map command-line interface.
+//!
+//! The deployed system was a GUI used daily by Motorola engineers; this
+//! CLI exposes the same workflow over CSV files:
+//!
+//! ```console
+//! $ opmap generate --domain call-log --records 50000 --out calls.csv
+//! $ opmap overview --data calls.csv --class CallDisposition
+//! $ opmap detail   --data calls.csv --class CallDisposition --attr PhoneModel
+//! $ opmap compare  --data calls.csv --class CallDisposition \
+//!                  --attr PhoneModel --v1 ph1 --v2 ph2 --target dropped
+//! $ opmap gi       --data calls.csv --class CallDisposition
+//! $ opmap rules    --data calls.csv --class CallDisposition --min-support 0.01
+//! ```
+//!
+//! The crate is a thin library (`run`) plus a `main.rs` shim so every
+//! command path is unit-testable.
+
+pub mod args;
+pub mod commands;
+pub mod repl;
+
+use std::io::Write;
+
+/// Exit status of a command.
+pub type CliResult = Result<(), CliError>;
+
+/// CLI-level errors: bad usage or a failure from the underlying system.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments; the string is a usage hint.
+    Usage(String),
+    /// An engine/data failure, already formatted.
+    Failed(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<om_data::DataError> for CliError {
+    fn from(e: om_data::DataError) -> Self {
+        CliError::Failed(e.to_string())
+    }
+}
+
+impl From<om_engine::EngineError> for CliError {
+    fn from(e: om_engine::EngineError) -> Self {
+        CliError::Failed(e.to_string())
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+opmap — Opportunity Map: finding actionable knowledge via automated comparison
+
+USAGE:
+  opmap <COMMAND> [OPTIONS]
+
+COMMANDS:
+  generate   Generate a synthetic dataset to CSV
+  describe   Summarize a dataset (shape, class skew, attribute stats)
+  explore    Interactive rule-cube exploration shell
+  overview   Render the overall visualization (all 2-D rule cubes, Fig. 5)
+  detail     Render one attribute's detailed view (Fig. 6)
+  compare    Rank attributes distinguishing two values (Figs. 7/8)
+  drill      Compare, then recurse into each level's top finding
+  groups     Compare two merged groups of values
+  gi         Mine general impressions (trends, exceptions, influence)
+  heatmap    Shade a pair cube by class confidence
+  rules      Mine class association rules
+  report     Full Markdown analysis report in one call
+  scan       Auto-detect significant value pairs and compare each
+  help       Show this message
+
+Run `opmap <COMMAND> --help` for command options.";
+
+/// Dispatch a full argument vector (excluding argv\[0\]) and write all
+/// output to `out`.
+///
+/// # Errors
+/// Returns [`CliError::Usage`] on bad arguments and [`CliError::Failed`]
+/// on execution failures.
+pub fn run(argv: &[String], out: &mut dyn Write) -> CliResult {
+    let mut parsed = args::Parsed::parse(argv)?;
+    let command = match parsed.command() {
+        Some(c) => c.to_owned(),
+        None => {
+            writeln!(out, "{USAGE}").ok();
+            return Ok(());
+        }
+    };
+    match command.as_str() {
+        "generate" => commands::generate::run(&mut parsed, out),
+        "overview" => commands::overview::run(&mut parsed, out),
+        "report" => commands::report::run(&mut parsed, out),
+        "detail" => commands::detail::run(&mut parsed, out),
+        "describe" => commands::describe::run(&mut parsed, out),
+        "explore" => commands::explore::run(&mut parsed, out),
+        "compare" => commands::compare::run(&mut parsed, out),
+        "drill" => commands::drill::run(&mut parsed, out),
+        "groups" => commands::groups::run(&mut parsed, out),
+        "gi" => commands::gi::run(&mut parsed, out),
+        "heatmap" => commands::heatmap::run(&mut parsed, out),
+        "rules" => commands::rules::run(&mut parsed, out),
+        "scan" => commands::scan::run(&mut parsed, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").ok();
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}; run `opmap help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(args: &[&str]) -> (CliResult, String) {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let r = run(&argv, &mut out);
+        (r, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let (r, text) = run_capture(&[]);
+        assert!(r.is_ok());
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (r, text) = run_capture(&["help"]);
+        assert!(r.is_ok());
+        assert!(text.contains("compare"));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let (r, _) = run_capture(&["frobnicate"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CliError::Usage("x".into()).to_string().contains("usage"));
+        assert_eq!(CliError::Failed("boom".into()).to_string(), "boom");
+    }
+}

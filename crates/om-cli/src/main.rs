@@ -1,0 +1,15 @@
+//! The `opmap` binary: a thin shim over [`om_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match om_cli::run(&argv, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("opmap: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Drill-down comparison: recurse into the top finding.
+//!
+//! After the comparator isolates, say, `TimeOfCall = morning`, the
+//! engineer's next question is "*within the morning*, what further
+//! distinguishes the two phones?" — the same question one level deeper.
+//! The deployed system answered it manually via restricted mining
+//! (Section III-B); this module automates the loop: condition both
+//! sub-populations on the finding, re-run the comparison over the
+//! remaining attributes, and repeat until no attribute clears a
+//! significance floor.
+//!
+//! Conditioning on a third attribute needs counts beyond the stored 3-D
+//! cubes, so (exactly like restricted mining) this path recounts from the
+//! dataset — it is the one comparator feature whose cost scales with data
+//! size, which is why the paper keeps it on-demand.
+
+use om_car::Condition;
+use om_cube::{CubeStore, StoreBuildOptions};
+use om_data::Dataset;
+
+use crate::rank::{CompareConfig, CompareError, Comparator, ComparisonResult, ComparisonSpec};
+
+/// One level of a drill-down: the condition added and the comparison run
+/// under it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrillLevel {
+    /// The conditions in force for this level (empty at the root).
+    pub conditions: Vec<Condition>,
+    /// Human-readable rendering of `conditions`.
+    pub condition_labels: Vec<String>,
+    /// The comparison under those conditions.
+    pub result: ComparisonResult,
+}
+
+/// Configuration for the automated drill-down.
+#[derive(Debug, Clone)]
+pub struct DrillConfig {
+    /// Comparator settings applied at every level.
+    pub compare: CompareConfig,
+    /// Stop when the top attribute's normalized score falls below this.
+    pub min_normalized_score: f64,
+    /// Maximum number of levels below the root.
+    pub max_depth: usize,
+}
+
+impl Default for DrillConfig {
+    fn default() -> Self {
+        Self {
+            compare: CompareConfig::default(),
+            min_normalized_score: 0.05,
+            max_depth: 2,
+        }
+    }
+}
+
+/// Run the root comparison and automatically drill into the top finding
+/// at each level: condition on (top attribute = top value), rebuild cubes
+/// over the conditioned records, and compare again.
+///
+/// Returns the levels in order (root first). The walk stops when depth is
+/// exhausted, the top score falls below the floor, sub-populations get
+/// too small, or no attribute remains.
+///
+/// # Errors
+/// Fails if the *root* comparison fails; deeper failures (e.g. the
+/// conditioned sub-populations became too small) end the walk cleanly.
+pub fn drill_down(
+    ds: &Dataset,
+    spec: &ComparisonSpec,
+    config: &DrillConfig,
+) -> Result<Vec<DrillLevel>, CompareError> {
+    let mut levels = Vec::new();
+    let mut current = ds.clone();
+    let mut conditions: Vec<Condition> = Vec::new();
+    let mut excluded: Vec<usize> = vec![spec.attr];
+
+    for depth in 0..=config.max_depth {
+        let attrs: Vec<usize> = current
+            .schema()
+            .non_class_indices()
+            .into_iter()
+            .filter(|a| {
+                current.schema().attribute(*a).is_categorical()
+                    && (*a == spec.attr || !excluded.contains(a))
+            })
+            .collect();
+        if attrs.len() < 2 {
+            break; // only the selected attribute left — nothing to rank
+        }
+        let store = CubeStore::build(
+            &current,
+            &StoreBuildOptions {
+                attrs: Some(attrs),
+                n_threads: 0,
+            },
+        )
+        .map_err(CompareError::Cube)?;
+        let comparator = Comparator::with_config(&store, config.compare.clone());
+        let result = match comparator.compare(spec) {
+            Ok(r) => r,
+            Err(e) if depth == 0 => return Err(e),
+            Err(_) => break, // conditioned data too thin — stop cleanly
+        };
+
+        let next = result.top().map(|top| {
+            let value = top.top_values().first().map(|c| c.value).unwrap_or(0);
+            (top.attr, top.attr_name.clone(), value, top.normalized)
+        });
+        levels.push(DrillLevel {
+            conditions: conditions.clone(),
+            condition_labels: conditions
+                .iter()
+                .map(|c| c.display(ds.schema()))
+                .collect(),
+            result,
+        });
+
+        let Some((attr, _name, value, normalized)) = next else {
+            break;
+        };
+        if normalized < config.min_normalized_score || depth == config.max_depth {
+            break;
+        }
+        // Condition on the finding and descend.
+        current = match current.sub_population(attr, value) {
+            Ok(sub) if !sub.is_empty() => sub,
+            _ => break,
+        };
+        conditions.push(Condition::new(attr, value));
+        excluded.push(attr);
+    }
+    Ok(levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_synth::{generate_call_log, CallLogConfig, Effect};
+
+    /// Nested causes: ph2 is worse in the morning, and *within* morning
+    /// calls the excess concentrates on highway driving.
+    fn nested_scenario() -> (Dataset, ComparisonSpec) {
+        let ds = generate_call_log(&CallLogConfig {
+            n_records: 120_000,
+            seed: 77,
+            effects: vec![
+                Effect::interaction(
+                    "PhoneModel", "ph2", "TimeOfCall", "morning", "dropped", 1.2,
+                ),
+                Effect::conjunction(
+                    [
+                        ("PhoneModel", "ph2"),
+                        ("TimeOfCall", "morning"),
+                        ("LocationType", "highway"),
+                    ],
+                    "dropped",
+                    2.5,
+                ),
+            ],
+            ..CallLogConfig::default()
+        });
+        let s = ds.schema();
+        let attr = s.attr_index("PhoneModel").unwrap();
+        let spec = ComparisonSpec {
+            attr,
+            value_1: s.attribute(attr).domain().get("ph1").unwrap(),
+            value_2: s.attribute(attr).domain().get("ph2").unwrap(),
+            class: s.class().domain().get("dropped").unwrap(),
+        };
+        (ds, spec)
+    }
+
+    #[test]
+    fn drill_finds_the_nested_cause() {
+        let (ds, spec) = nested_scenario();
+        let levels = drill_down(&ds, &spec, &DrillConfig::default()).unwrap();
+        assert!(levels.len() >= 2, "expected a drill step, got {}", levels.len());
+        // Root: TimeOfCall / morning.
+        let root_top = levels[0].result.top().unwrap();
+        assert_eq!(root_top.attr_name, "TimeOfCall");
+        assert_eq!(root_top.top_values()[0].label, "morning");
+        assert!(levels[0].conditions.is_empty());
+        // Level 1 is conditioned on morning and surfaces LocationType.
+        assert_eq!(levels[1].condition_labels, vec!["TimeOfCall=morning"]);
+        let l1_top = levels[1].result.top().unwrap();
+        assert_eq!(l1_top.attr_name, "LocationType", "{:?}",
+            levels[1].result.ranked.iter().map(|s| (&s.attr_name, s.normalized)).collect::<Vec<_>>());
+        assert_eq!(l1_top.top_values()[0].label, "highway");
+    }
+
+    #[test]
+    fn drill_stops_when_nothing_left() {
+        // Single flat effect: after conditioning on morning, nothing
+        // should clear the score floor.
+        let ds = generate_call_log(&CallLogConfig {
+            n_records: 60_000,
+            seed: 78,
+            effects: vec![Effect::interaction(
+                "PhoneModel", "ph2", "TimeOfCall", "morning", "dropped", 2.0,
+            )],
+            ..CallLogConfig::default()
+        });
+        let s = ds.schema();
+        let attr = s.attr_index("PhoneModel").unwrap();
+        let spec = ComparisonSpec {
+            attr,
+            value_1: s.attribute(attr).domain().get("ph1").unwrap(),
+            value_2: s.attribute(attr).domain().get("ph2").unwrap(),
+            class: s.class().domain().get("dropped").unwrap(),
+        };
+        let levels = drill_down(&ds, &spec, &DrillConfig::default()).unwrap();
+        // Root finds morning; at most one further level, and if one was
+        // produced its top score must be small (the stop condition).
+        assert!(!levels.is_empty());
+        assert_eq!(levels[0].result.top().unwrap().attr_name, "TimeOfCall");
+        if let Some(last) = levels.get(1) {
+            if let Some(top) = last.result.top() {
+                assert!(
+                    top.normalized < 0.25,
+                    "unexpected strong nested finding: {} {:.3}",
+                    top.attr_name,
+                    top.normalized
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn root_failure_propagates() {
+        let (ds, spec) = nested_scenario();
+        let bad = ComparisonSpec { value_2: 99, ..spec };
+        assert!(drill_down(&ds, &bad, &DrillConfig::default()).is_err());
+    }
+
+    #[test]
+    fn depth_zero_is_just_the_root() {
+        let (ds, spec) = nested_scenario();
+        let levels = drill_down(
+            &ds,
+            &spec,
+            &DrillConfig {
+                max_depth: 0,
+                ..DrillConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(levels.len(), 1);
+    }
+}

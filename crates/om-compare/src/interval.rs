@@ -1,0 +1,122 @@
+//! Confidence-interval adjustment (Section IV-B).
+//!
+//! "If we have two rules with the confidences cf_1k = 10% and cf_2k = 12%,
+//! the question is whether the two confidence values are really different
+//! statistically. If we cannot show that, our interestingness results are
+//! of little use." The paper shrinks the gap pessimistically before
+//! computing `F_k`:
+//!
+//! ```text
+//! rcf_1k = cf_1k + e_1k      (baseline pushed up)
+//! rcf_2k = cf_2k − e_2k      (target pushed down)
+//! ```
+//!
+//! with Wald margins `e_jk = z · sqrt(cf_jk (1 − cf_jk) / N_jk)` at the
+//! configured statistical confidence level (Table I gives the z values).
+
+use om_stats::{proportion_margin, wilson_interval};
+
+/// Which interval construction to use for the adjustment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IntervalMethod {
+    /// No adjustment: `rcf = cf`. The ablation showing why Section IV-B
+    /// exists.
+    None,
+    /// The paper's Wald margin at the given confidence level.
+    Wald(f64),
+    /// Wilson score interval at the given level — an extension fixing
+    /// Wald's zero-width interval at `cf ∈ {0, 1}` (exactly the regime
+    /// property attributes live in).
+    Wilson(f64),
+}
+
+impl IntervalMethod {
+    /// The paper's deployed configuration (Wald at 0.95, z = 1.96).
+    pub fn paper_default() -> Self {
+        IntervalMethod::Wald(0.95)
+    }
+
+    /// Revised confidence for the *baseline* sub-population: pushed up to
+    /// the interval's upper bound, clamped to `[0, 1]`.
+    pub fn revise_up(&self, x: u64, n: u64, cf: f64) -> f64 {
+        match *self {
+            IntervalMethod::None => cf,
+            IntervalMethod::Wald(level) => (cf + proportion_margin(cf, n, level)).min(1.0),
+            IntervalMethod::Wilson(level) => wilson_interval(x, n, level).upper,
+        }
+    }
+
+    /// Revised confidence for the *target* sub-population: pushed down to
+    /// the interval's lower bound, clamped to `[0, 1]`.
+    pub fn revise_down(&self, x: u64, n: u64, cf: f64) -> f64 {
+        match *self {
+            IntervalMethod::None => cf,
+            IntervalMethod::Wald(level) => (cf - proportion_margin(cf, n, level)).max(0.0),
+            IntervalMethod::Wilson(level) => wilson_interval(x, n, level).lower,
+        }
+    }
+
+    /// The margin itself (0 for `None` and for Wilson, which is asymmetric;
+    /// callers needing whisker sizes should use the revised bounds).
+    pub fn wald_margin(&self, n: u64, cf: f64) -> f64 {
+        match *self {
+            IntervalMethod::Wald(level) => proportion_margin(cf, n, level),
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let m = IntervalMethod::None;
+        assert_eq!(m.revise_up(10, 100, 0.1), 0.1);
+        assert_eq!(m.revise_down(10, 100, 0.1), 0.1);
+    }
+
+    #[test]
+    fn wald_shrinks_the_gap() {
+        let m = IntervalMethod::paper_default();
+        let up = m.revise_up(100, 1000, 0.1);
+        let down = m.revise_down(120, 1000, 0.12);
+        assert!(up > 0.1);
+        assert!(down < 0.12);
+        // At N=1000 a 2-point gap is not fully erased but much reduced.
+        assert!(down - up < 0.02);
+    }
+
+    #[test]
+    fn wald_clamps() {
+        let m = IntervalMethod::Wald(0.99);
+        assert!(m.revise_up(99, 100, 0.99) <= 1.0);
+        assert!(m.revise_down(1, 100, 0.01) >= 0.0);
+    }
+
+    #[test]
+    fn small_n_gets_bigger_margin() {
+        let m = IntervalMethod::paper_default();
+        let small = m.revise_up(3, 10, 0.3) - 0.3;
+        let large = m.revise_up(300, 1000, 0.3) - 0.3;
+        assert!(small > large * 3.0);
+    }
+
+    #[test]
+    fn wilson_nonzero_at_extremes() {
+        let m = IntervalMethod::Wilson(0.95);
+        // Wald gives margin 0 at cf=0; Wilson keeps skepticism.
+        assert!(m.revise_up(0, 50, 0.0) > 0.01);
+        assert!(m.revise_down(50, 50, 1.0) < 0.99);
+        let w = IntervalMethod::Wald(0.95);
+        assert_eq!(w.revise_up(0, 50, 0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_cells_have_no_margin() {
+        let m = IntervalMethod::paper_default();
+        assert_eq!(m.revise_up(0, 0, 0.0), 0.0);
+        assert_eq!(m.wald_margin(0, 0.5), 0.0);
+    }
+}

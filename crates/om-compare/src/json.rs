@@ -1,0 +1,185 @@
+//! Minimal JSON serialization of comparison results (no external crates).
+//!
+//! The deployed system fed findings into other engineering tools; a
+//! machine-readable export is the CLI-era equivalent. Only the writer is
+//! provided — the library never parses JSON.
+
+use std::fmt::Write as _;
+
+use crate::measure::AttrScore;
+use crate::rank::ComparisonResult;
+
+/// Escape a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON-safe float rendering (JSON has no NaN/Infinity; clamp to null).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn attr_score_json(s: &AttrScore, out: &mut String) {
+    let _ = write!(
+        out,
+        r#"{{"attr":{},"name":"{}","score":{},"normalized":{},"property":{{"p":{},"t":{},"ratio":{}}},"values":["#,
+        s.attr,
+        esc(&s.attr_name),
+        num(s.score),
+        num(s.normalized),
+        s.property.p,
+        s.property.t,
+        num(s.property.ratio())
+    );
+    for (i, c) in s.contributions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            r#"{{"value":"{}","n1":{},"n2":{},"x1":{},"x2":{},"cf1":{},"cf2":{},"rcf1":{},"rcf2":{},"f":{},"w":{}}}"#,
+            esc(&c.label),
+            c.n1,
+            c.n2,
+            c.x1,
+            c.x2,
+            c.cf1.map_or("null".to_owned(), num),
+            c.cf2.map_or("null".to_owned(), num),
+            num(c.rcf1),
+            num(c.rcf2),
+            num(c.f),
+            num(c.w)
+        );
+    }
+    out.push_str("]}");
+}
+
+/// Serialize a full comparison result to a compact JSON document.
+pub fn to_json(result: &ComparisonResult) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        r#"{{"attribute":"{}","value_1":"{}","value_2":"{}","swapped":{},"class":"{}","cf1":{},"cf2":{},"n1":{},"n2":{},"ranked":["#,
+        esc(&result.attr_name),
+        esc(&result.value_1_label),
+        esc(&result.value_2_label),
+        result.swapped,
+        esc(&result.class_label),
+        num(result.cf1),
+        num(result.cf2),
+        result.n1,
+        result.n2
+    );
+    for (i, s) in result.ranked.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        attr_score_json(s, &mut out);
+    }
+    out.push_str(r#"],"property_attributes":["#);
+    for (i, s) in result.property_attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        attr_score_json(s, &mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank::{Comparator, ComparisonSpec};
+    use om_cube::{CubeStore, StoreBuildOptions};
+    use om_synth::paper_scenario;
+
+    fn result() -> ComparisonResult {
+        let (ds, _) = paper_scenario(20_000, 12);
+        let s = ds.schema();
+        let attr = s.attr_index("PhoneModel").unwrap();
+        let spec = ComparisonSpec {
+            attr,
+            value_1: s.attribute(attr).domain().get("ph1").unwrap(),
+            value_2: s.attribute(attr).domain().get("ph2").unwrap(),
+            class: s.class().domain().get("dropped").unwrap(),
+        };
+        let store = CubeStore::build(&ds, &StoreBuildOptions::default()).unwrap();
+        Comparator::new(&store).compare(&spec).unwrap()
+    }
+
+    /// A tiny structural validator: counts balanced braces/brackets and
+    /// quotes outside of strings. Not a full parser, but catches the
+    /// classic escaping/nesting mistakes.
+    fn check_balanced(json: &str) {
+        let mut depth: i64 = 0;
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in json.chars() {
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced nesting");
+        }
+        assert_eq!(depth, 0, "unbalanced at end");
+        assert!(!in_string, "unterminated string");
+    }
+
+    #[test]
+    fn serializes_full_result() {
+        let json = to_json(&result());
+        check_balanced(&json);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""attribute":"PhoneModel""#), "{json}");
+        assert!(json.contains(r#""class":"dropped""#));
+        assert!(json.contains(r#""ranked":["#));
+        assert!(json.contains(r#""property_attributes":["#));
+        assert!(json.contains("TimeOfCall"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn escaping_works() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(1.5), "1.5");
+    }
+
+    #[test]
+    fn deterministic() {
+        let r = result();
+        assert_eq!(to_json(&r), to_json(&r));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-attribute detection (Section IV-C).
+//!
+//! An attribute is a *property attribute* when its values are (almost)
+//! disjointly used by the two sub-populations — e.g. the paper's
+//! `Phone-Hardware-Version`, where ph1 only ever uses version 1 and ph2
+//! version 2. Such attributes score very high under the measure (the
+//! baseline confidence is 0) yet are "artefacts of the data, rather than
+//! true patterns". With
+//!
+//! * `P` = number of values used by exactly one sub-population, and
+//! * `T` = number of values used by both,
+//!
+//! the attribute is a property attribute when `P / (P + T) ≥ τ`
+//! (τ = 0.9 in the deployed system; "this parameter is not crucial as
+//! property attributes are not physically removed … simply stored in
+//! another list").
+
+/// Disjoint-usage statistics of one attribute for a comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropertyInfo {
+    /// Values with `(p_1k = 0 ∧ p_2k > 0) ∨ (p_1k > 0 ∧ p_2k = 0)`.
+    pub p: usize,
+    /// Values with `p_1k > 0 ∧ p_2k > 0`.
+    pub t: usize,
+}
+
+impl PropertyInfo {
+    /// Tally `P` and `T` from the two sub-populations' per-value totals.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn from_counts(n1: &[u64], n2: &[u64]) -> Self {
+        assert_eq!(n1.len(), n2.len(), "value counts must align");
+        let mut p = 0;
+        let mut t = 0;
+        for (&a, &b) in n1.iter().zip(n2) {
+            match (a > 0, b > 0) {
+                (true, true) => t += 1,
+                (true, false) | (false, true) => p += 1,
+                (false, false) => {} // unused by both: carries no signal
+            }
+        }
+        Self { p, t }
+    }
+
+    /// `P / (P + T)`; `0` when the attribute is unused by both
+    /// sub-populations.
+    pub fn ratio(&self) -> f64 {
+        let denom = self.p + self.t;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.p as f64 / denom as f64
+    }
+
+    /// Whether the attribute is a property attribute at threshold `tau`.
+    pub fn is_property(&self, tau: f64) -> bool {
+        self.ratio() >= tau
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_disjoint_is_property() {
+        // ph1 uses only v0, ph2 only v1 (the paper's hardware example).
+        let info = PropertyInfo::from_counts(&[100, 0], &[0, 200]);
+        assert_eq!((info.p, info.t), (2, 0));
+        assert_eq!(info.ratio(), 1.0);
+        assert!(info.is_property(0.9));
+    }
+
+    #[test]
+    fn fully_shared_is_not_property() {
+        let info = PropertyInfo::from_counts(&[10, 20, 30], &[5, 5, 5]);
+        assert_eq!((info.p, info.t), (0, 3));
+        assert_eq!(info.ratio(), 0.0);
+        assert!(!info.is_property(0.9));
+    }
+
+    #[test]
+    fn partially_disjoint_below_threshold() {
+        // 1 disjoint of 4 informative values: ratio 0.25.
+        let info = PropertyInfo::from_counts(&[10, 10, 10, 0], &[5, 5, 5, 7]);
+        assert_eq!((info.p, info.t), (1, 3));
+        assert!((info.ratio() - 0.25).abs() < 1e-12);
+        assert!(!info.is_property(0.9));
+        assert!(info.is_property(0.25));
+    }
+
+    #[test]
+    fn unused_values_ignored() {
+        // Two values used by neither sub-population don't bias the ratio.
+        let info = PropertyInfo::from_counts(&[10, 0, 0, 0], &[0, 20, 0, 0]);
+        assert_eq!((info.p, info.t), (2, 0));
+        assert_eq!(info.ratio(), 1.0);
+    }
+
+    #[test]
+    fn empty_attribute_is_not_property() {
+        let info = PropertyInfo::from_counts(&[0, 0], &[0, 0]);
+        assert_eq!(info.ratio(), 0.0);
+        assert!(!info.is_property(0.9));
+    }
+
+    #[test]
+    fn tau_monotonicity() {
+        let info = PropertyInfo::from_counts(&[10, 0, 0], &[0, 5, 5]);
+        // ratio = 1.0; property at every tau <= 1.
+        for tau in [0.0, 0.5, 0.9, 1.0] {
+            assert!(info.is_property(tau));
+        }
+        let half = PropertyInfo::from_counts(&[10, 0], &[10, 5]);
+        assert!((half.ratio() - 0.5).abs() < 1e-12);
+        assert!(half.is_property(0.5));
+        assert!(!half.is_property(0.51));
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_rejected() {
+        PropertyInfo::from_counts(&[1], &[1, 2]);
+    }
+}

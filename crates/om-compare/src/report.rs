@@ -1,0 +1,126 @@
+//! Plain-text rendering of comparison results.
+
+use std::fmt::Write as _;
+
+use crate::rank::ComparisonResult;
+
+/// Render a comparison result as a human-readable report: the two input
+/// rules, the attribute ranking with top contributing values, and the
+/// property-attribute list.
+pub fn render(result: &ComparisonResult, top_n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Comparison on {}:", result.attr_name);
+    let _ = writeln!(
+        out,
+        "  Rule 1: {}={} -> {}   cf1 = {:.3}%  (n = {})",
+        result.attr_name,
+        result.value_1_label,
+        result.class_label,
+        result.cf1 * 100.0,
+        result.n1
+    );
+    let _ = writeln!(
+        out,
+        "  Rule 2: {}={} -> {}   cf2 = {:.3}%  (n = {})",
+        result.attr_name,
+        result.value_2_label,
+        result.class_label,
+        result.cf2 * 100.0,
+        result.n2
+    );
+    if result.swapped {
+        let _ = writeln!(out, "  (values swapped so that cf1 <= cf2)");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  {:<4} {:<24} {:>12} {:>8}  top contributing values",
+        "rank", "attribute", "M", "M/max"
+    );
+    for (i, s) in result.ranked.iter().take(top_n).enumerate() {
+        let tops: Vec<String> = s
+            .top_values()
+            .into_iter()
+            .filter(|c| c.w > 0.0)
+            .take(3)
+            .map(|c| format!("{} (W={:.1})", c.label, c.w))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {:<4} {:<24} {:>12.2} {:>7.1}%  {}",
+            i + 1,
+            s.attr_name,
+            s.score,
+            s.normalized * 100.0,
+            if tops.is_empty() {
+                "-".to_owned()
+            } else {
+                tops.join(", ")
+            }
+        );
+    }
+    if result.ranked.len() > top_n {
+        let _ = writeln!(out, "  ... {} more attributes", result.ranked.len() - top_n);
+    }
+    if !result.property_attrs.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "  Property attributes (separate list, Section IV-C):");
+        for s in &result.property_attrs {
+            let _ = writeln!(
+                out,
+                "    {:<24} P = {:>3}, T = {:>3}, P/(P+T) = {:.2}",
+                s.attr_name,
+                s.property.p,
+                s.property.t,
+                s.property.ratio()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank::{Comparator, ComparisonSpec};
+    use om_cube::{CubeStore, StoreBuildOptions};
+    use om_synth::paper_scenario;
+
+    #[test]
+    fn report_contains_key_sections() {
+        let (ds, truth) = paper_scenario(40_000, 5);
+        let s = ds.schema();
+        let attr = s.attr_index(&truth.compare_attr).unwrap();
+        let spec = ComparisonSpec {
+            attr,
+            value_1: s.attribute(attr).domain().get("ph1").unwrap(),
+            value_2: s.attribute(attr).domain().get("ph2").unwrap(),
+            class: s.class().domain().get("dropped").unwrap(),
+        };
+        let store = CubeStore::build(&ds, &StoreBuildOptions::default()).unwrap();
+        let result = Comparator::new(&store).compare(&spec).unwrap();
+        let text = render(&result, 5);
+        assert!(text.contains("Rule 1: PhoneModel=ph1"), "{text}");
+        assert!(text.contains("Rule 2: PhoneModel=ph2"), "{text}");
+        assert!(text.contains("TimeOfCall"), "{text}");
+        assert!(text.contains("Property attributes"), "{text}");
+        assert!(text.contains("PhoneHardwareVersion"), "{text}");
+    }
+
+    #[test]
+    fn truncation_note_when_many_attrs() {
+        let (ds, truth) = paper_scenario(40_000, 5);
+        let s = ds.schema();
+        let attr = s.attr_index(&truth.compare_attr).unwrap();
+        let spec = ComparisonSpec {
+            attr,
+            value_1: 0,
+            value_2: 1,
+            class: s.class().domain().get("dropped").unwrap(),
+        };
+        let store = CubeStore::build(&ds, &StoreBuildOptions::default()).unwrap();
+        let result = Comparator::new(&store).compare(&spec).unwrap();
+        let text = render(&result, 1);
+        assert!(text.contains("more attributes"), "{text}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Cube algebra: merging rule cubes built from disjoint record batches.
+//!
+//! The paper's data arrives monthly ("more than 200 GB of data every
+//! month") and cube generation runs offline. Counts are additive, so
+//! cubes built per batch can be merged instead of recounting history:
+//! `cube(A ∪ B) = cube(A) + cube(B)` for disjoint record sets. This gives
+//! an incremental pipeline: build tonight's cubes from tonight's records,
+//! merge into the running store.
+
+use std::sync::Arc;
+
+use crate::cube::{CubeError, RuleCube};
+use crate::store::CubeStore;
+
+/// Add `other`'s counts into `cube`. Both cubes must have identical
+/// dimensions (attribute indices, names, labels) and class labels.
+///
+/// # Errors
+/// Fails on any structural mismatch.
+pub fn merge_cubes(cube: &RuleCube, other: &RuleCube) -> Result<RuleCube, CubeError> {
+    if cube.dims() != other.dims() {
+        return Err(CubeError::Invalid(
+            "cannot merge cubes with different dimensions".into(),
+        ));
+    }
+    if cube.class_labels() != other.class_labels() {
+        return Err(CubeError::Invalid(
+            "cannot merge cubes with different class labels".into(),
+        ));
+    }
+    let mut out = cube.clone();
+    for (coords, class, count) in other.iter_cells() {
+        if count > 0 {
+            out.add(&coords, class, count)?;
+        }
+    }
+    Ok(out)
+}
+
+impl CubeStore {
+    /// Merge another store's counts into a new store. Both stores must
+    /// cover the same attributes (same schema positions and domains) and
+    /// classes — i.e. two batches of the *same* data feed.
+    ///
+    /// The result is always an eager store.
+    ///
+    /// # Errors
+    /// Fails on attribute/class mismatches.
+    pub fn merge(&self, other: &CubeStore) -> Result<CubeStore, CubeError> {
+        if self.attrs() != other.attrs() {
+            return Err(CubeError::Invalid(
+                "cannot merge stores over different attribute sets".into(),
+            ));
+        }
+        if self.class_labels() != other.class_labels() {
+            return Err(CubeError::Invalid(
+                "cannot merge stores with different class labels".into(),
+            ));
+        }
+        let mut one_d = std::collections::HashMap::with_capacity(self.attrs().len());
+        for &a in self.attrs() {
+            let merged = merge_cubes(self.one_dim(a)?.as_ref(), other.one_dim(a)?.as_ref())?;
+            one_d.insert(a, Arc::new(merged));
+        }
+        let mut pairs = std::collections::HashMap::new();
+        let attrs = self.attrs().to_vec();
+        for (i, &a) in attrs.iter().enumerate() {
+            for &b in &attrs[i + 1..] {
+                let merged = merge_cubes(self.pair(a, b)?.as_ref(), other.pair(a, b)?.as_ref())?;
+                pairs.insert((a.min(b), a.max(b)), Arc::new(merged));
+            }
+        }
+        let class_counts = self
+            .class_counts()
+            .iter()
+            .zip(other.class_counts())
+            .map(|(x, y)| x + y)
+            .collect();
+        Ok(CubeStore::assemble(
+            attrs,
+            self.class_labels().to_vec(),
+            class_counts,
+            self.total_records() + other.total_records(),
+            one_d,
+            pairs,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_cube;
+    use crate::store::StoreBuildOptions;
+    use om_data::sample::duplicate;
+    use om_synth::{generate_scaleup, ScaleUpConfig};
+
+    fn halves() -> (om_data::Dataset, om_data::Dataset, om_data::Dataset) {
+        let a = generate_scaleup(&ScaleUpConfig {
+            n_attrs: 5,
+            n_records: 3_000,
+            seed: 41,
+            ..ScaleUpConfig::default()
+        });
+        let b = generate_scaleup(&ScaleUpConfig {
+            n_attrs: 5,
+            n_records: 2_000,
+            seed: 42,
+            ..ScaleUpConfig::default()
+        });
+        let mut all = a.clone();
+        all.append(&b).unwrap();
+        (a, b, all)
+    }
+
+    #[test]
+    fn merged_cube_equals_cube_of_union() {
+        let (a, b, all) = halves();
+        let ca = build_cube(&a, &[0, 2]).unwrap();
+        let cb = build_cube(&b, &[0, 2]).unwrap();
+        let merged = merge_cubes(&ca, &cb).unwrap();
+        let direct = build_cube(&all, &[0, 2]).unwrap();
+        assert_eq!(merged, direct);
+        assert_eq!(merged.total(), 5_000);
+    }
+
+    #[test]
+    fn merged_store_equals_store_of_union() {
+        let (a, b, all) = halves();
+        let opts = StoreBuildOptions::default();
+        let sa = CubeStore::build(&a, &opts).unwrap();
+        let sb = CubeStore::build(&b, &opts).unwrap();
+        let merged = sa.merge(&sb).unwrap();
+        let direct = CubeStore::build(&all, &opts).unwrap();
+        assert_eq!(merged.total_records(), direct.total_records());
+        assert_eq!(merged.class_counts(), direct.class_counts());
+        for &i in direct.attrs() {
+            assert_eq!(*merged.one_dim(i).unwrap(), *direct.one_dim(i).unwrap());
+        }
+        for (i, &x) in direct.attrs().iter().enumerate() {
+            for &y in &direct.attrs()[i + 1..] {
+                assert_eq!(*merged.pair(x, y).unwrap(), *direct.pair(x, y).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let (a, b, _) = halves();
+        let opts = StoreBuildOptions::default();
+        let sa = CubeStore::build(&a, &opts).unwrap();
+        let sb = CubeStore::build(&b, &opts).unwrap();
+        let ab = sa.merge(&sb).unwrap();
+        let ba = sb.merge(&sa).unwrap();
+        for &i in ab.attrs() {
+            assert_eq!(*ab.one_dim(i).unwrap(), *ba.one_dim(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn merging_with_duplicate_doubles_counts() {
+        let (a, _, _) = halves();
+        let doubled_ds = duplicate(&a, 2).unwrap();
+        let opts = StoreBuildOptions::default();
+        let sa = CubeStore::build(&a, &opts).unwrap();
+        let merged = sa.merge(&sa).unwrap();
+        let direct = CubeStore::build(&doubled_ds, &opts).unwrap();
+        assert_eq!(merged.class_counts(), direct.class_counts());
+        assert_eq!(*merged.pair(0, 1).unwrap(), *direct.pair(0, 1).unwrap());
+    }
+
+    #[test]
+    fn structural_mismatches_rejected() {
+        let (a, _, _) = halves();
+        let other = generate_scaleup(&ScaleUpConfig {
+            n_attrs: 4, // different width
+            n_records: 1_000,
+            seed: 43,
+            ..ScaleUpConfig::default()
+        });
+        let sa = CubeStore::build(&a, &StoreBuildOptions::default()).unwrap();
+        let so = CubeStore::build(&other, &StoreBuildOptions::default()).unwrap();
+        assert!(sa.merge(&so).is_err());
+
+        let ca = build_cube(&a, &[0]).unwrap();
+        let cb = build_cube(&a, &[1]).unwrap();
+        assert!(merge_cubes(&ca, &cb).is_err());
+    }
+}

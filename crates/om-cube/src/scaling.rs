@@ -1,0 +1,99 @@
+//! Automatic scaling among classes.
+//!
+//! Section V-B: "The system supports automatic scaling among classes to
+//! address the class imbalance issue. Scaling increases relative
+//! proportions" — without it, the minority (failure) classes the users
+//! care about would be invisible next to the dominant ended-ok class.
+//!
+//! A scaling factor per class maps raw confidences to *display heights*:
+//! class `c`'s factor is `max_k cf_max(k) / cf_max(c)` so that each class
+//! row uses the full bar height, while *within* a class the relative
+//! heights (and therefore orderings and ratios) are preserved.
+
+/// Per-class display scaling factors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassScaling {
+    factors: Vec<f64>,
+}
+
+impl ClassScaling {
+    /// No-op scaling for `n` classes.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            factors: vec![1.0; n],
+        }
+    }
+
+    /// Compute factors from the maximum confidence each class reaches in
+    /// the view being displayed: every class is stretched so its maximum
+    /// confidence displays at full height.
+    ///
+    /// Classes whose maximum is zero keep factor 1 (nothing to show).
+    pub fn from_max_confidences(max_conf: &[f64]) -> Self {
+        let factors = max_conf
+            .iter()
+            .map(|&m| if m > 0.0 { 1.0 / m } else { 1.0 })
+            .collect();
+        Self { factors }
+    }
+
+    /// Number of classes covered.
+    pub fn n_classes(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The factor for class `c`.
+    pub fn factor(&self, c: usize) -> f64 {
+        self.factors[c]
+    }
+
+    /// Scale a confidence of class `c` to a display height in `[0, 1]`.
+    pub fn display_height(&self, c: usize, confidence: f64) -> f64 {
+        (confidence * self.factors[c]).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let s = ClassScaling::identity(3);
+        assert_eq!(s.display_height(1, 0.25), 0.25);
+        assert_eq!(s.n_classes(), 3);
+    }
+
+    #[test]
+    fn minority_class_stretched_to_full_height() {
+        // Majority class peaks at 0.98, minority at 0.02.
+        let s = ClassScaling::from_max_confidences(&[0.98, 0.02]);
+        assert!((s.display_height(0, 0.98) - 1.0).abs() < 1e-12);
+        assert!((s.display_height(1, 0.02) - 1.0).abs() < 1e-12);
+        // Half the minority max displays at half height.
+        assert!((s.display_height(1, 0.01) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_preserved_within_class() {
+        let s = ClassScaling::from_max_confidences(&[0.5, 0.04]);
+        let a = s.display_height(1, 0.01);
+        let b = s.display_height(1, 0.03);
+        assert!(a < b);
+        // Ratios within a class are preserved.
+        assert!((b / a - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_max_class_untouched() {
+        let s = ClassScaling::from_max_confidences(&[0.9, 0.0]);
+        assert_eq!(s.factor(1), 1.0);
+        assert_eq!(s.display_height(1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn heights_clamped() {
+        let s = ClassScaling::from_max_confidences(&[0.5]);
+        assert_eq!(s.display_height(0, 0.9), 1.0);
+    }
+}

@@ -1,0 +1,436 @@
+//! The cube store: all 2-D and 3-D rule cubes of a dataset.
+//!
+//! "In our current implementation, we store all 3-dimensional rule cubes.
+//! For each cube, one of the dimensions is always the class attribute"
+//! (Section III-B). The store therefore keeps, for `n` analysis attributes:
+//!
+//! * `n` one-attribute cubes (`A_i × C`) — the 2-D cubes behind the
+//!   overall visualization of Fig. 5, and
+//! * `n·(n−1)/2` two-attribute cubes (`A_i × A_j × C`) — the 3-D cubes the
+//!   comparator and detailed views read.
+//!
+//! Cube generation is the offline, expensive step the paper measures in
+//! Figs. 10–11 ("the generation is done off-line, e.g., in the evening");
+//! [`CubeStore::build`] parallelizes it over attribute pairs with a
+//! crossbeam work queue. A lazy mode ([`CubeStore::build_lazy`]) instead
+//! materializes pair cubes on first use behind a `parking_lot::RwLock`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel;
+use parking_lot::RwLock;
+
+use om_data::Dataset;
+
+use crate::build::build_cube;
+use crate::cube::{CubeError, RuleCube};
+
+/// Options for building a [`CubeStore`].
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct StoreBuildOptions {
+    /// Schema indices of the attributes to include; `None` = every
+    /// categorical non-class attribute. (The paper's domain experts
+    /// selected "more than 200" of the 600+ attributes; this is that hook.)
+    pub attrs: Option<Vec<usize>>,
+    /// Number of worker threads for the eager pair build; `0` = use
+    /// available parallelism.
+    pub n_threads: usize,
+}
+
+
+enum PairCubes {
+    /// All pair cubes prebuilt (offline mode).
+    Eager(HashMap<(usize, usize), Arc<RuleCube>>),
+    /// Pair cubes built on first access from the retained dataset.
+    Lazy {
+        dataset: Arc<Dataset>,
+        cache: RwLock<HashMap<(usize, usize), Arc<RuleCube>>>,
+    },
+}
+
+/// All 2-D and 3-D rule cubes over the analysis attributes of a dataset.
+pub struct CubeStore {
+    attrs: Vec<usize>,
+    class_labels: Vec<String>,
+    class_counts: Vec<u64>,
+    total_records: u64,
+    one_d: HashMap<usize, Arc<RuleCube>>,
+    pairs: PairCubes,
+}
+
+impl CubeStore {
+    /// Validate and resolve the attribute list.
+    fn resolve_attrs(ds: &Dataset, opts: &StoreBuildOptions) -> Result<Vec<usize>, CubeError> {
+        let schema = ds.schema();
+        let attrs: Vec<usize> = match &opts.attrs {
+            Some(list) => {
+                for &a in list {
+                    if a >= schema.n_attributes() {
+                        return Err(CubeError::NoSuchDim(format!("attribute index {a}")));
+                    }
+                    if a == schema.class_index() {
+                        return Err(CubeError::Invalid(
+                            "class attribute cannot be an analysis attribute".into(),
+                        ));
+                    }
+                    if !schema.attribute(a).is_categorical() {
+                        return Err(CubeError::Invalid(format!(
+                            "attribute {:?} is continuous; discretize before building cubes",
+                            schema.attribute(a).name()
+                        )));
+                    }
+                }
+                list.clone()
+            }
+            None => schema
+                .non_class_indices()
+                .into_iter()
+                .filter(|&a| schema.attribute(a).is_categorical())
+                .collect(),
+        };
+        if attrs.is_empty() {
+            return Err(CubeError::Invalid(
+                "no categorical analysis attributes available".into(),
+            ));
+        }
+        Ok(attrs)
+    }
+
+    fn build_one_d(
+        ds: &Dataset,
+        attrs: &[usize],
+    ) -> Result<HashMap<usize, Arc<RuleCube>>, CubeError> {
+        let mut one_d = HashMap::with_capacity(attrs.len());
+        for &a in attrs {
+            one_d.insert(a, Arc::new(build_cube(ds, &[a])?));
+        }
+        Ok(one_d)
+    }
+
+    /// Eagerly build every 2-D and 3-D cube (the paper's offline step).
+    ///
+    /// # Errors
+    /// Fails on invalid attribute selections or non-categorical attributes.
+    pub fn build(ds: &Dataset, opts: &StoreBuildOptions) -> Result<Self, CubeError> {
+        let attrs = Self::resolve_attrs(ds, opts)?;
+        let one_d = Self::build_one_d(ds, &attrs)?;
+
+        let mut pair_list: Vec<(usize, usize)> = Vec::new();
+        for (i, &a) in attrs.iter().enumerate() {
+            for &b in &attrs[i + 1..] {
+                pair_list.push((a.min(b), a.max(b)));
+            }
+        }
+
+        let n_threads = if opts.n_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            opts.n_threads
+        }
+        .min(pair_list.len().max(1));
+
+        let mut pairs: HashMap<(usize, usize), Arc<RuleCube>> =
+            HashMap::with_capacity(pair_list.len());
+        if n_threads <= 1 || pair_list.len() <= 1 {
+            for (a, b) in pair_list {
+                pairs.insert((a, b), Arc::new(build_cube(ds, &[a, b])?));
+            }
+        } else {
+            let (job_tx, job_rx) = channel::unbounded::<(usize, usize)>();
+            let (res_tx, res_rx) =
+                channel::unbounded::<Result<((usize, usize), RuleCube), CubeError>>();
+            for job in &pair_list {
+                job_tx.send(*job).expect("queue open");
+            }
+            drop(job_tx);
+            std::thread::scope(|scope| {
+                for _ in 0..n_threads {
+                    let job_rx = job_rx.clone();
+                    let res_tx = res_tx.clone();
+                    scope.spawn(move || {
+                        while let Ok((a, b)) = job_rx.recv() {
+                            let r = build_cube(ds, &[a, b]).map(|c| ((a, b), c));
+                            if res_tx.send(r).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(res_tx);
+                for r in res_rx {
+                    let ((a, b), cube) = r?;
+                    pairs.insert((a, b), Arc::new(cube));
+                }
+                Ok::<(), CubeError>(())
+            })?;
+        }
+
+        Ok(Self {
+            attrs,
+            class_labels: ds.schema().class().domain().labels().to_vec(),
+            class_counts: ds.class_counts(),
+            total_records: ds.n_rows() as u64,
+            one_d,
+            pairs: PairCubes::Eager(pairs),
+        })
+    }
+
+    /// Build the 2-D cubes now and 3-D cubes on demand (keeps the dataset
+    /// alive; useful for interactive exploration over very wide data).
+    ///
+    /// # Errors
+    /// Fails on invalid attribute selections.
+    pub fn build_lazy(ds: Arc<Dataset>, opts: &StoreBuildOptions) -> Result<Self, CubeError> {
+        let attrs = Self::resolve_attrs(&ds, opts)?;
+        let one_d = Self::build_one_d(&ds, &attrs)?;
+        Ok(Self {
+            attrs,
+            class_labels: ds.schema().class().domain().labels().to_vec(),
+            class_counts: ds.class_counts(),
+            total_records: ds.n_rows() as u64,
+            one_d,
+            pairs: PairCubes::Lazy {
+                dataset: ds,
+                cache: RwLock::new(HashMap::new()),
+            },
+        })
+    }
+
+    /// Assemble a store from prebuilt parts (used by `merge`).
+    pub(crate) fn assemble(
+        attrs: Vec<usize>,
+        class_labels: Vec<String>,
+        class_counts: Vec<u64>,
+        total_records: u64,
+        one_d: HashMap<usize, Arc<RuleCube>>,
+        pairs: HashMap<(usize, usize), Arc<RuleCube>>,
+    ) -> Self {
+        Self {
+            attrs,
+            class_labels,
+            class_counts,
+            total_records,
+            one_d,
+            pairs: PairCubes::Eager(pairs),
+        }
+    }
+
+    /// Schema indices of the analysis attributes.
+    pub fn attrs(&self) -> &[usize] {
+        &self.attrs
+    }
+
+    /// Class labels, in id order.
+    pub fn class_labels(&self) -> &[String] {
+        &self.class_labels
+    }
+
+    /// Per-class record counts.
+    pub fn class_counts(&self) -> &[u64] {
+        &self.class_counts
+    }
+
+    /// Total records behind the cubes.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// The 2-D cube `A × C` for schema attribute `attr`.
+    pub fn one_dim(&self, attr: usize) -> Result<Arc<RuleCube>, CubeError> {
+        self.one_d
+            .get(&attr)
+            .cloned()
+            .ok_or_else(|| CubeError::NoSuchDim(format!("attribute index {attr}")))
+    }
+
+    /// The 3-D cube `A_a × A_b × C`. Order-insensitive: the returned cube's
+    /// dimensions are in ascending schema order; use
+    /// [`RuleCube::dims`]`[k].attr_index` to orient.
+    ///
+    /// # Errors
+    /// Fails if either attribute is not in the store.
+    pub fn pair(&self, a: usize, b: usize) -> Result<Arc<RuleCube>, CubeError> {
+        if a == b {
+            return Err(CubeError::Invalid(
+                "pair cube requires two distinct attributes".into(),
+            ));
+        }
+        let key = (a.min(b), a.max(b));
+        if !self.attrs.contains(&key.0) || !self.attrs.contains(&key.1) {
+            return Err(CubeError::NoSuchDim(format!(
+                "attribute pair ({}, {})",
+                key.0, key.1
+            )));
+        }
+        match &self.pairs {
+            PairCubes::Eager(map) => map
+                .get(&key)
+                .cloned()
+                .ok_or_else(|| CubeError::NoSuchDim(format!("pair cube {key:?}"))),
+            PairCubes::Lazy { dataset, cache } => {
+                if let Some(c) = cache.read().get(&key) {
+                    return Ok(c.clone());
+                }
+                let built = Arc::new(build_cube(dataset, &[key.0, key.1])?);
+                let mut w = cache.write();
+                Ok(w.entry(key).or_insert(built).clone())
+            }
+        }
+    }
+
+    /// Number of pair cubes currently materialized.
+    pub fn n_pair_cubes(&self) -> usize {
+        match &self.pairs {
+            PairCubes::Eager(map) => map.len(),
+            PairCubes::Lazy { cache, .. } => cache.read().len(),
+        }
+    }
+
+    /// Approximate heap memory of all materialized cube tensors, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let cube_bytes = |c: &RuleCube| c.n_cells() * std::mem::size_of::<u64>();
+        let mut total: usize = self.one_d.values().map(|c| cube_bytes(c)).sum();
+        match &self.pairs {
+            PairCubes::Eager(map) => total += map.values().map(|c| cube_bytes(c)).sum::<usize>(),
+            PairCubes::Lazy { cache, .. } => {
+                total += cache.read().values().map(|c| cube_bytes(c)).sum::<usize>()
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_synth::{generate_scaleup, ScaleUpConfig};
+
+    fn small_store(n_threads: usize) -> (Dataset, CubeStore) {
+        let ds = generate_scaleup(&ScaleUpConfig {
+            n_attrs: 6,
+            n_records: 2_000,
+            seed: 3,
+            ..ScaleUpConfig::default()
+        });
+        let store = CubeStore::build(
+            &ds,
+            &StoreBuildOptions {
+                n_threads,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (ds, store)
+    }
+
+    #[test]
+    fn builds_all_pairs() {
+        let (_, store) = small_store(0);
+        assert_eq!(store.attrs().len(), 6);
+        assert_eq!(store.n_pair_cubes(), 6 * 5 / 2);
+        assert!(store.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let (_, serial) = small_store(1);
+        let (_, parallel) = small_store(4);
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                assert_eq!(
+                    *serial.pair(i, j).unwrap(),
+                    *parallel.pair(i, j).unwrap(),
+                    "pair ({i},{j}) differs between serial and parallel builds"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_is_order_insensitive() {
+        let (_, store) = small_store(0);
+        assert_eq!(*store.pair(1, 4).unwrap(), *store.pair(4, 1).unwrap());
+        assert!(store.pair(2, 2).is_err());
+        assert!(store.pair(0, 99).is_err());
+    }
+
+    #[test]
+    fn one_dim_matches_rollup_of_pair() {
+        let (_, store) = small_store(0);
+        let pair = store.pair(0, 1).unwrap();
+        let rolled = crate::olap::rollup(&pair, 1).unwrap();
+        assert_eq!(*store.one_dim(0).unwrap(), rolled);
+    }
+
+    #[test]
+    fn class_totals_consistent() {
+        let (ds, store) = small_store(0);
+        assert_eq!(store.total_records(), ds.n_rows() as u64);
+        assert_eq!(store.class_counts(), ds.class_counts().as_slice());
+        let margin = store.one_dim(3).unwrap().class_margin();
+        assert_eq!(margin, ds.class_counts());
+    }
+
+    #[test]
+    fn lazy_store_builds_on_demand() {
+        let ds = Arc::new(generate_scaleup(&ScaleUpConfig {
+            n_attrs: 5,
+            n_records: 1_000,
+            seed: 9,
+            ..ScaleUpConfig::default()
+        }));
+        let store = CubeStore::build_lazy(ds.clone(), &StoreBuildOptions::default()).unwrap();
+        assert_eq!(store.n_pair_cubes(), 0);
+        let c1 = store.pair(0, 3).unwrap();
+        assert_eq!(store.n_pair_cubes(), 1);
+        // Second fetch hits the cache (same Arc).
+        let c2 = store.pair(3, 0).unwrap();
+        assert!(Arc::ptr_eq(&c1, &c2));
+        // Must agree with an eager build.
+        let eager = CubeStore::build(&ds, &StoreBuildOptions::default()).unwrap();
+        assert_eq!(*c1, *eager.pair(0, 3).unwrap());
+    }
+
+    #[test]
+    fn attr_subset_selection() {
+        let ds = generate_scaleup(&ScaleUpConfig {
+            n_attrs: 6,
+            n_records: 500,
+            seed: 1,
+            ..ScaleUpConfig::default()
+        });
+        let store = CubeStore::build(
+            &ds,
+            &StoreBuildOptions {
+                attrs: Some(vec![1, 3, 5]),
+                n_threads: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(store.attrs(), &[1, 3, 5]);
+        assert_eq!(store.n_pair_cubes(), 3);
+        assert!(store.one_dim(0).is_err());
+        assert!(store.pair(0, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_class_in_selection() {
+        let ds = generate_scaleup(&ScaleUpConfig {
+            n_attrs: 3,
+            n_records: 100,
+            seed: 1,
+            ..ScaleUpConfig::default()
+        });
+        let class_idx = ds.schema().class_index();
+        let r = CubeStore::build(
+            &ds,
+            &StoreBuildOptions {
+                attrs: Some(vec![0, class_idx]),
+                n_threads: 1,
+            },
+        );
+        assert!(r.is_err());
+    }
+}

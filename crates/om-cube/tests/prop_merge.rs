@@ -1,0 +1,98 @@
+//! Property tests for cube algebra: merge must be exactly additive,
+//! commutative and associative, and must equal building from concatenated
+//! data.
+
+use om_cube::merge::merge_cubes;
+use om_cube::{build_cube, RuleCube};
+use om_data::{Cell, Dataset, DatasetBuilder};
+use proptest::prelude::*;
+
+fn dataset_from(rows: &[(u8, u8, u8)]) -> Dataset {
+    let mut b = DatasetBuilder::new()
+        .categorical("A")
+        .categorical("B")
+        .class("C");
+    let al = ["a0", "a1", "a2"];
+    let bl = ["b0", "b1"];
+    let cl = ["c0", "c1"];
+    // Intern every label up front so all batches share identical domains.
+    b.push_row(&[Cell::Str("a0"), Cell::Str("b0"), Cell::Str("c0")]).unwrap();
+    b.push_row(&[Cell::Str("a1"), Cell::Str("b1"), Cell::Str("c1")]).unwrap();
+    b.push_row(&[Cell::Str("a2"), Cell::Str("b0"), Cell::Str("c0")]).unwrap();
+    for &(a, bb, c) in rows {
+        b.push_row(&[
+            Cell::Str(al[a as usize % 3]),
+            Cell::Str(bl[bb as usize % 2]),
+            Cell::Str(cl[c as usize % 2]),
+        ])
+        .unwrap();
+    }
+    b.finish().unwrap()
+}
+
+fn cube_of(rows: &[(u8, u8, u8)]) -> RuleCube {
+    build_cube(&dataset_from(rows), &[0, 1]).unwrap()
+}
+
+proptest! {
+    #[test]
+    fn merge_equals_concatenated_build(
+        x in proptest::collection::vec((0u8..3, 0u8..2, 0u8..2), 0..60),
+        y in proptest::collection::vec((0u8..3, 0u8..2, 0u8..2), 0..60)
+    ) {
+        let cx = cube_of(&x);
+        let cy = cube_of(&y);
+        let merged = merge_cubes(&cx, &cy).unwrap();
+        let mut both = x.clone();
+        both.extend_from_slice(&y);
+        // Concatenated data carries the 3 seed rows twice — add the seed
+        // cube once to compensate.
+        let concatenated = cube_of(&both);
+        let seeded = merge_cubes(&concatenated, &cube_of(&[])).unwrap();
+        prop_assert_eq!(merged, seeded);
+    }
+
+    #[test]
+    fn merge_commutes(
+        x in proptest::collection::vec((0u8..3, 0u8..2, 0u8..2), 0..40),
+        y in proptest::collection::vec((0u8..3, 0u8..2, 0u8..2), 0..40)
+    ) {
+        let cx = cube_of(&x);
+        let cy = cube_of(&y);
+        prop_assert_eq!(
+            merge_cubes(&cx, &cy).unwrap(),
+            merge_cubes(&cy, &cx).unwrap()
+        );
+    }
+
+    #[test]
+    fn merge_associates(
+        x in proptest::collection::vec((0u8..3, 0u8..2, 0u8..2), 0..30),
+        y in proptest::collection::vec((0u8..3, 0u8..2, 0u8..2), 0..30),
+        z in proptest::collection::vec((0u8..3, 0u8..2, 0u8..2), 0..30)
+    ) {
+        let (cx, cy, cz) = (cube_of(&x), cube_of(&y), cube_of(&z));
+        let left = merge_cubes(&merge_cubes(&cx, &cy).unwrap(), &cz).unwrap();
+        let right = merge_cubes(&cx, &merge_cubes(&cy, &cz).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_totals_add(
+        x in proptest::collection::vec((0u8..3, 0u8..2, 0u8..2), 0..50),
+        y in proptest::collection::vec((0u8..3, 0u8..2, 0u8..2), 0..50)
+    ) {
+        let cx = cube_of(&x);
+        let cy = cube_of(&y);
+        let merged = merge_cubes(&cx, &cy).unwrap();
+        prop_assert_eq!(merged.total(), cx.total() + cy.total());
+        prop_assert_eq!(
+            merged.class_margin(),
+            cx.class_margin()
+                .iter()
+                .zip(cy.class_margin())
+                .map(|(a, b)| a + b)
+                .collect::<Vec<_>>()
+        );
+    }
+}

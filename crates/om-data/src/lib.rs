@@ -1,0 +1,35 @@
+//! Columnar categorical dataset substrate for the Opportunity Map
+//! reproduction.
+//!
+//! The paper's data sets "are like any classification data set" (Section I):
+//! a number of categorical or continuous attributes plus one categorical
+//! class attribute (e.g. the final disposition of a cellular call). This
+//! crate provides:
+//!
+//! * [`schema`] — attribute metadata and per-attribute value dictionaries
+//!   ([`Domain`]) mapping string labels to dense `u32` ids;
+//! * [`mod@column`] / [`dataset`] — cache-friendly columnar storage;
+//! * [`builder`] — row-at-a-time construction with automatic interning;
+//! * [`csv`] — CSV reading (with type inference) and writing;
+//! * [`sample`] — the *unbalanced sampling* the paper applies before mining
+//!   (Section I: "Unbalanced sampling is used before mining"), plus the
+//!   record-duplication scale-up used for Fig. 11;
+//! * [`persist`] — compact binary persistence built on `bytes`.
+
+pub mod builder;
+pub mod collapse;
+pub mod column;
+pub mod csv;
+pub mod dataset;
+pub mod error;
+pub mod persist;
+pub mod sample;
+pub mod schema;
+pub mod summary;
+
+pub use builder::{Cell, DatasetBuilder};
+pub use collapse::{collapse_all, collapse_rare_values, CollapseInfo};
+pub use column::Column;
+pub use dataset::Dataset;
+pub use error::{DataError, Result};
+pub use schema::{AttrKind, Attribute, Domain, Schema, ValueId};

@@ -1,0 +1,114 @@
+//! Cut points: the output of every discretization method.
+
+/// A sorted set of finite cut points defining `cuts.len() + 1` intervals:
+/// `(-inf, c_0)`, `[c_0, c_1)`, …, `[c_last, +inf)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutPoints {
+    cuts: Vec<f64>,
+}
+
+impl CutPoints {
+    /// Build from arbitrary candidate cuts: non-finite values are dropped,
+    /// the rest sorted and deduplicated.
+    pub fn new(mut cuts: Vec<f64>) -> Self {
+        cuts.retain(|c| c.is_finite());
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite cuts compare"));
+        cuts.dedup();
+        Self { cuts }
+    }
+
+    /// No cuts: a single bin covering everything.
+    pub fn none() -> Self {
+        Self { cuts: Vec::new() }
+    }
+
+    /// The cut values, sorted ascending.
+    pub fn cuts(&self) -> &[f64] {
+        &self.cuts
+    }
+
+    /// Number of bins (`cuts + 1`).
+    pub fn n_bins(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// Bin index of `x` (NaN is the caller's problem — see
+    /// [`crate::apply`], which routes NaNs to a dedicated missing bin).
+    /// Interval convention: bin `i` is `[c_{i-1}, c_i)`.
+    pub fn bin_of(&self, x: f64) -> usize {
+        debug_assert!(!x.is_nan(), "bin_of called with NaN");
+        // partition_point: first index where cut > x  ⇒ number of cuts <= x.
+        self.cuts.partition_point(|&c| c <= x)
+    }
+
+    /// Human-readable interval labels, e.g. `"[-75.0, -60.0)"`.
+    pub fn labels(&self, precision: usize) -> Vec<String> {
+        if self.cuts.is_empty() {
+            return vec!["(-inf, +inf)".to_owned()];
+        }
+        let mut out = Vec::with_capacity(self.n_bins());
+        out.push(format!("(-inf, {:.precision$})", self.cuts[0]));
+        for w in self.cuts.windows(2) {
+            out.push(format!("[{:.precision$}, {:.precision$})", w[0], w[1]));
+        }
+        out.push(format!(
+            "[{:.precision$}, +inf)",
+            self.cuts[self.cuts.len() - 1]
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_dedupes() {
+        let c = CutPoints::new(vec![5.0, 1.0, 5.0, f64::NAN, f64::INFINITY, 3.0]);
+        assert_eq!(c.cuts(), &[1.0, 3.0, 5.0]);
+        assert_eq!(c.n_bins(), 4);
+    }
+
+    #[test]
+    fn bin_assignment_half_open() {
+        let c = CutPoints::new(vec![0.0, 10.0]);
+        assert_eq!(c.bin_of(-1.0), 0);
+        assert_eq!(c.bin_of(0.0), 1, "cut value belongs to the right bin");
+        assert_eq!(c.bin_of(5.0), 1);
+        assert_eq!(c.bin_of(10.0), 2);
+        assert_eq!(c.bin_of(1e9), 2);
+    }
+
+    #[test]
+    fn no_cuts_single_bin() {
+        let c = CutPoints::none();
+        assert_eq!(c.n_bins(), 1);
+        assert_eq!(c.bin_of(-1e300), 0);
+        assert_eq!(c.bin_of(1e300), 0);
+        assert_eq!(c.labels(1), vec!["(-inf, +inf)"]);
+    }
+
+    #[test]
+    fn labels_cover_all_bins() {
+        let c = CutPoints::new(vec![-1.5, 2.25]);
+        let labels = c.labels(2);
+        assert_eq!(
+            labels,
+            vec!["(-inf, -1.50)", "[-1.50, 2.25)", "[2.25, +inf)"]
+        );
+        assert_eq!(labels.len(), c.n_bins());
+    }
+
+    #[test]
+    fn bins_are_monotone_in_x() {
+        let c = CutPoints::new(vec![1.0, 2.0, 3.0]);
+        let mut prev = 0;
+        for i in 0..50 {
+            let x = i as f64 / 10.0;
+            let b = c.bin_of(x);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Equal-frequency (quantile) binning.
+
+use crate::cuts::CutPoints;
+
+/// Cut points placing roughly `n/k` finite values into each of `k` bins.
+///
+/// Cuts fall on quantile boundaries; repeated values collapse duplicated
+/// cuts, so heavily tied data may yield fewer than `k` bins. Degenerate
+/// inputs yield a single bin.
+pub fn equal_freq_cuts(values: &[f64], k: usize) -> CutPoints {
+    if k <= 1 {
+        return CutPoints::none();
+    }
+    let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.len() < 2 {
+        return CutPoints::none();
+    }
+    finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let n = finite.len();
+    let mut cuts = Vec::with_capacity(k - 1);
+    for i in 1..k {
+        let mut pos = i * n / k;
+        if pos == 0 {
+            continue;
+        }
+        // Ties cannot be split: advance to the next distinct boundary (or
+        // skip the cut entirely) so no bin ends up empty.
+        while pos < n && finite[pos] == finite[pos - 1] {
+            pos += 1;
+        }
+        if pos >= n {
+            continue;
+        }
+        cuts.push((finite[pos - 1] + finite[pos]) / 2.0);
+    }
+    CutPoints::new(cuts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_of_uniform_sequence() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let c = equal_freq_cuts(&vals, 4);
+        assert_eq!(c.n_bins(), 4);
+        // Each bin should get ~25 values.
+        let mut counts = vec![0usize; 4];
+        for &v in &vals {
+            counts[c.bin_of(v)] += 1;
+        }
+        for &cnt in &counts {
+            assert!((23..=27).contains(&cnt), "bin counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn ties_collapse_bins() {
+        // 90% of mass on one value: cannot make 4 distinct bins.
+        let mut vals = vec![5.0; 90];
+        vals.extend((0..10).map(|i| i as f64));
+        let c = equal_freq_cuts(&vals, 4);
+        assert!(c.n_bins() <= 4);
+        assert!(c.n_bins() >= 1);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(equal_freq_cuts(&[], 3).n_bins(), 1);
+        assert_eq!(equal_freq_cuts(&[1.0], 3).n_bins(), 1);
+        assert_eq!(equal_freq_cuts(&[2.0; 50], 3).n_bins(), 1);
+        assert_eq!(equal_freq_cuts(&[1.0, 2.0], 1).n_bins(), 1);
+    }
+
+    #[test]
+    fn skewed_distribution_balances_better_than_equal_width() {
+        // Exponential-ish skew: equal-frequency should spread mass.
+        let vals: Vec<f64> = (1..500).map(|i| (i as f64).powi(3)).collect();
+        let c = equal_freq_cuts(&vals, 5);
+        let mut counts = vec![0usize; c.n_bins()];
+        for &v in &vals {
+            counts[c.bin_of(v)] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.3, "counts too unbalanced: {counts:?}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Discretization of continuous attributes.
+//!
+//! Class association rule mining "requires every attribute in the data to
+//! be discrete … there are many existing discretization algorithms that can
+//! be used to discretize each continuous attribute into intervals"
+//! (Section III-A). The Opportunity Map system's first component is "a
+//! discretizer … (a manual discretization option is also available)"
+//! (Section V-A). This crate provides:
+//!
+//! * [`equal_width`] — fixed-width bins;
+//! * [`equal_freq`] — quantile bins;
+//! * [`mdl`] — the supervised entropy/MDL method of Fayyad & Irani, the
+//!   standard choice for classification data;
+//! * manual cut points ([`Method::Manual`]).
+//!
+//! [`apply::discretize_attribute`] swaps a continuous attribute for its
+//! interval-labeled categorical version in place; NaNs land in a dedicated
+//! `missing` bin rather than poisoning interval assignment.
+
+pub mod apply;
+pub mod chimerge;
+pub mod cuts;
+pub mod equal_freq;
+pub mod equal_width;
+pub mod mdl;
+
+pub use apply::{discretize_all, discretize_attribute, Method};
+pub use cuts::CutPoints;

@@ -1,0 +1,90 @@
+//! Property-based tests for discretization.
+
+use om_discretize::cuts::CutPoints;
+use om_discretize::equal_freq::equal_freq_cuts;
+use om_discretize::equal_width::equal_width_cuts;
+use om_discretize::mdl::mdl_cuts;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn cuts_always_sorted_and_deduped(raw in proptest::collection::vec(-1e6f64..1e6, 0..30)) {
+        let c = CutPoints::new(raw);
+        let cuts = c.cuts();
+        for w in cuts.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert_eq!(c.n_bins(), cuts.len() + 1);
+        prop_assert_eq!(c.labels(2).len(), c.n_bins());
+    }
+
+    #[test]
+    fn bin_of_within_range(
+        raw in proptest::collection::vec(-1e3f64..1e3, 1..20),
+        xs in proptest::collection::vec(-1e4f64..1e4, 1..50)
+    ) {
+        let c = CutPoints::new(raw);
+        for x in xs {
+            prop_assert!(c.bin_of(x) < c.n_bins());
+        }
+    }
+
+    #[test]
+    fn equal_width_bins_bounded_by_k(
+        vals in proptest::collection::vec(-1e3f64..1e3, 0..200),
+        k in 1usize..10
+    ) {
+        let c = equal_width_cuts(&vals, k);
+        prop_assert!(c.n_bins() <= k.max(1));
+    }
+
+    #[test]
+    fn equal_freq_bins_bounded_by_k(
+        vals in proptest::collection::vec(-1e3f64..1e3, 0..200),
+        k in 1usize..10
+    ) {
+        let c = equal_freq_cuts(&vals, k);
+        prop_assert!(c.n_bins() <= k.max(1));
+    }
+
+    #[test]
+    fn equal_freq_never_empties_interior_bins(
+        vals in proptest::collection::vec(-1e3f64..1e3, 10..300)
+    ) {
+        // Every bin produced by equal-frequency must contain at least one value.
+        let c = equal_freq_cuts(&vals, 4);
+        let mut counts = vec![0usize; c.n_bins()];
+        for &v in &vals {
+            counts[c.bin_of(v)] += 1;
+        }
+        for (i, &cnt) in counts.iter().enumerate() {
+            prop_assert!(cnt > 0, "bin {i} empty; counts {counts:?} cuts {:?}", c.cuts());
+        }
+    }
+
+    #[test]
+    fn mdl_never_splits_pure_columns(
+        vals in proptest::collection::vec(-1e3f64..1e3, 0..100)
+    ) {
+        let classes = vec![0u32; vals.len()];
+        let c = mdl_cuts(&vals, &classes, 2, 8);
+        prop_assert_eq!(c.n_bins(), 1);
+    }
+
+    #[test]
+    fn mdl_cuts_lie_strictly_inside_value_range(
+        pairs in proptest::collection::vec((-1e3f64..1e3, 0u32..3), 4..200)
+    ) {
+        let vals: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let classes: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+        let c = mdl_cuts(&vals, &classes, 3, 8);
+        if let (Some(min), Some(max)) = (
+            vals.iter().copied().reduce(f64::min),
+            vals.iter().copied().reduce(f64::max),
+        ) {
+            for &cut in c.cuts() {
+                prop_assert!(cut > min && cut < max);
+            }
+        }
+    }
+}

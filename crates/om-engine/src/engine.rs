@@ -1,0 +1,461 @@
+//! The engine façade.
+
+use std::fmt;
+
+use om_compare::{
+    compare_groups, drill_down, CompareConfig, CompareError, Comparator, ComparisonResult,
+    ComparisonSpec, DrillConfig, DrillLevel, GroupSpec,
+};
+use om_car::{mine, mine_restricted, CarRule, Condition, MinerConfig};
+use om_cube::{CubeError, CubeStore, CubeView, StoreBuildOptions};
+use om_data::{DataError, Dataset};
+use om_discretize::{discretize_all, CutPoints, Method};
+use om_gi::{
+    mine_exceptions, mine_influence, mine_trends, Exception, ExceptionConfig,
+    InfluenceResult, TrendConfig, TrendResult,
+};
+use om_viz::compare_view::{render_top_attribute, CompareViewOptions};
+use om_viz::detailed::{render_detailed, DetailedOptions};
+use om_viz::overall::{render_overall, OverallOptions};
+
+/// Engine-wide configuration: one knob per component.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Discretization method for continuous attributes (Section V-A's
+    /// first component). Supervised MDL by default.
+    pub discretization: Method,
+    /// Cube-store build options (attribute selection, parallelism).
+    pub store: StoreBuildOptions,
+    /// Comparator configuration (Section IV).
+    pub compare: CompareConfig,
+    /// Trend miner thresholds.
+    pub trend: TrendConfig,
+    /// Exception miner thresholds.
+    pub exception: ExceptionConfig,
+    /// When set, merge values with fewer records than this into an
+    /// `other` bucket before building cubes (high-cardinality hygiene;
+    /// see `om_data::collapse`).
+    pub collapse_min_count: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            discretization: Method::EntropyMdl,
+            store: StoreBuildOptions::default(),
+            compare: CompareConfig::default(),
+            trend: TrendConfig::default(),
+            exception: ExceptionConfig::default(),
+            collapse_min_count: None,
+        }
+    }
+}
+
+/// Unified error type of the engine.
+#[derive(Debug)]
+pub enum EngineError {
+    Data(DataError),
+    Cube(CubeError),
+    Compare(CompareError),
+    /// A name lookup failed (attribute, value or class label).
+    Unknown(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Data(e) => write!(f, "data error: {e}"),
+            EngineError::Cube(e) => write!(f, "cube error: {e}"),
+            EngineError::Compare(e) => write!(f, "comparison error: {e}"),
+            EngineError::Unknown(what) => write!(f, "unknown name: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DataError> for EngineError {
+    fn from(e: DataError) -> Self {
+        EngineError::Data(e)
+    }
+}
+impl From<CubeError> for EngineError {
+    fn from(e: CubeError) -> Self {
+        EngineError::Cube(e)
+    }
+}
+impl From<CompareError> for EngineError {
+    fn from(e: CompareError) -> Self {
+        EngineError::Compare(e)
+    }
+}
+
+/// The general-impressions report: trends + exceptions + influence.
+#[derive(Debug, Clone)]
+pub struct GiReport {
+    pub trends: Vec<TrendResult>,
+    pub exceptions: Vec<Exception>,
+    pub influence: Vec<InfluenceResult>,
+}
+
+/// The assembled Opportunity Map system over one dataset.
+pub struct OpportunityMap {
+    dataset: Dataset,
+    store: CubeStore,
+    config: EngineConfig,
+    cuts: Vec<(usize, CutPoints)>,
+}
+
+impl OpportunityMap {
+    /// Build the system: discretize all continuous attributes, then build
+    /// the full cube store (the paper's offline step).
+    ///
+    /// # Errors
+    /// Propagates discretization and cube-construction failures.
+    pub fn build(mut dataset: Dataset, config: EngineConfig) -> Result<Self, EngineError> {
+        if let Some(min_count) = config.collapse_min_count {
+            om_data::collapse::collapse_all(&mut dataset, min_count)?;
+        }
+        let cuts = discretize_all(&mut dataset, &config.discretization)?;
+        let store = CubeStore::build(&dataset, &config.store)?;
+        Ok(Self {
+            dataset,
+            store,
+            config,
+            cuts,
+        })
+    }
+
+    /// The (discretized) dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The rule-cube store.
+    pub fn store(&self) -> &CubeStore {
+        &self.store
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Replace the comparator configuration (cubes are untouched; the
+    /// adjustment happens at comparison time).
+    pub fn with_compare_config(mut self, compare: CompareConfig) -> Self {
+        self.config.compare = compare;
+        self
+    }
+
+    /// Cut points chosen during discretization, per attribute index.
+    pub fn cut_points(&self) -> &[(usize, CutPoints)] {
+        &self.cuts
+    }
+
+    /// Resolve an attribute name.
+    ///
+    /// # Errors
+    /// Fails if no attribute has that name.
+    pub fn attr_index(&self, name: &str) -> Result<usize, EngineError> {
+        self.dataset
+            .schema()
+            .attr_index(name)
+            .ok_or_else(|| EngineError::Unknown(format!("attribute {name:?}")))
+    }
+
+    /// Resolve a value label of an attribute.
+    ///
+    /// # Errors
+    /// Fails on unknown attribute or label.
+    pub fn value_id(&self, attr: usize, label: &str) -> Result<u32, EngineError> {
+        self.dataset
+            .schema()
+            .attribute(attr)
+            .domain()
+            .get(label)
+            .ok_or_else(|| {
+                EngineError::Unknown(format!(
+                    "value {label:?} of attribute {:?}",
+                    self.dataset.schema().attribute(attr).name()
+                ))
+            })
+    }
+
+    /// Resolve a class label.
+    ///
+    /// # Errors
+    /// Fails on an unknown class label.
+    pub fn class_id(&self, label: &str) -> Result<u32, EngineError> {
+        self.dataset
+            .schema()
+            .class()
+            .domain()
+            .get(label)
+            .ok_or_else(|| EngineError::Unknown(format!("class {label:?}")))
+    }
+
+    /// The overall visualization (Fig. 5).
+    pub fn overall_view(&self, options: &OverallOptions) -> String {
+        render_overall(&self.store, options)
+    }
+
+    /// The detailed visualization of one attribute (Fig. 6).
+    ///
+    /// # Errors
+    /// Fails on an unknown attribute name.
+    pub fn detailed_view(
+        &self,
+        attr_name: &str,
+        options: &DetailedOptions,
+    ) -> Result<String, EngineError> {
+        let attr = self.attr_index(attr_name)?;
+        let cube = self.store.one_dim(attr)?;
+        let view = CubeView::from_cube(&cube)?;
+        Ok(render_detailed(&view, options))
+    }
+
+    /// Run the comparator on a resolved spec.
+    ///
+    /// # Errors
+    /// See [`CompareError`].
+    pub fn compare(&self, spec: &ComparisonSpec) -> Result<ComparisonResult, EngineError> {
+        Ok(Comparator::with_config(&self.store, self.config.compare.clone()).compare(spec)?)
+    }
+
+    /// Run the comparator by names: "compare ph1 vs ph2 of PhoneModel on
+    /// class dropped" — the exact gesture of Section V-B's case study.
+    ///
+    /// # Errors
+    /// Fails on unknown names or comparator errors.
+    pub fn compare_by_name(
+        &self,
+        attr_name: &str,
+        value_1: &str,
+        value_2: &str,
+        class: &str,
+    ) -> Result<ComparisonResult, EngineError> {
+        let attr = self.attr_index(attr_name)?;
+        let spec = ComparisonSpec {
+            attr,
+            value_1: self.value_id(attr, value_1)?,
+            value_2: self.value_id(attr, value_2)?,
+            class: self.class_id(class)?,
+        };
+        self.compare(&spec)
+    }
+
+    /// Text rendering of a comparison's top attribute (Fig. 7).
+    pub fn comparison_view(&self, result: &ComparisonResult) -> String {
+        render_top_attribute(result, &CompareViewOptions::default())
+    }
+
+    /// Compare two *groups* of values of one attribute (merged
+    /// sub-populations; same measure).
+    ///
+    /// # Errors
+    /// Fails on unknown names or group-validation failures.
+    pub fn compare_groups_by_name(
+        &self,
+        attr_name: &str,
+        group_1: &[&str],
+        group_2: &[&str],
+        class: &str,
+    ) -> Result<ComparisonResult, EngineError> {
+        let attr = self.attr_index(attr_name)?;
+        let resolve = |labels: &[&str]| -> Result<Vec<u32>, EngineError> {
+            labels.iter().map(|l| self.value_id(attr, l)).collect()
+        };
+        let spec = GroupSpec {
+            attr,
+            group_1: resolve(group_1)?,
+            group_2: resolve(group_2)?,
+            class: self.class_id(class)?,
+        };
+        Ok(compare_groups(
+            &self.store,
+            &spec,
+            &self.config.compare,
+        )?)
+    }
+
+    /// Automated drill-down from a named comparison: condition on each
+    /// level's top finding and compare again (Section III-B's restricted
+    /// analysis, automated).
+    ///
+    /// # Errors
+    /// Fails on unknown names or if the root comparison fails.
+    pub fn drill_down_by_name(
+        &self,
+        attr_name: &str,
+        value_1: &str,
+        value_2: &str,
+        class: &str,
+        config: &DrillConfig,
+    ) -> Result<Vec<DrillLevel>, EngineError> {
+        let attr = self.attr_index(attr_name)?;
+        let spec = ComparisonSpec {
+            attr,
+            value_1: self.value_id(attr, value_1)?,
+            value_2: self.value_id(attr, value_2)?,
+            class: self.class_id(class)?,
+        };
+        Ok(drill_down(&self.dataset, &spec, config)?)
+    }
+
+    /// Mine all general impressions (trends, exceptions, influence).
+    pub fn general_impressions(&self) -> GiReport {
+        GiReport {
+            trends: mine_trends(&self.store, &self.config.trend),
+            exceptions: mine_exceptions(&self.store, &self.config.exception),
+            influence: mine_influence(&self.store),
+        }
+    }
+
+    /// Render the general-impressions report as text (top `n` entries per
+    /// section), including the pair-cube interaction exceptions.
+    pub fn gi_report(&self, n: usize) -> String {
+        use om_gi::{mine_pair_exceptions, PairExceptionConfig};
+        use om_viz::gi_view;
+        let gi = self.general_impressions();
+        let pair = mine_pair_exceptions(&self.store, &PairExceptionConfig::default());
+        let mut out = String::new();
+        out.push_str(&gi_view::render_trends(
+            &gi.trends,
+            false,
+            om_viz::ColorMode::Plain,
+        ));
+        out.push('\n');
+        out.push_str(&gi_view::render_exceptions(&gi.exceptions, n));
+        out.push('\n');
+        out.push_str(&gi_view::render_pair_exceptions(&pair, n));
+        out.push('\n');
+        out.push_str(&gi_view::render_influence(&gi.influence, n));
+        out
+    }
+
+    /// Mine class association rules (the CAR generator component).
+    ///
+    /// # Errors
+    /// Propagates miner validation failures.
+    pub fn mine_rules(&self, config: &MinerConfig) -> Result<Vec<CarRule>, EngineError> {
+        Ok(mine(&self.dataset, config)?)
+    }
+
+    /// Restricted mining with fixed conditions (Section III-B).
+    ///
+    /// # Errors
+    /// Propagates miner validation failures.
+    pub fn mine_restricted(
+        &self,
+        fixed: &[Condition],
+        config: &MinerConfig,
+    ) -> Result<Vec<CarRule>, EngineError> {
+        Ok(mine_restricted(&self.dataset, fixed, config)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_synth::paper_scenario;
+
+    fn engine() -> (OpportunityMap, om_synth::GroundTruth) {
+        let (ds, truth) = paper_scenario(40_000, 21);
+        (
+            OpportunityMap::build(ds, EngineConfig::default()).unwrap(),
+            truth,
+        )
+    }
+
+    #[test]
+    fn build_discretizes_everything() {
+        let (om, _) = engine();
+        assert!(om.dataset().all_categorical());
+        // SignalStrength and BatteryLevel were continuous.
+        assert_eq!(om.cut_points().len(), 2);
+        // The store includes the discretized attributes too.
+        let sig = om.attr_index("SignalStrength").unwrap();
+        assert!(om.store().one_dim(sig).is_ok());
+    }
+
+    #[test]
+    fn end_to_end_case_study() {
+        let (om, truth) = engine();
+        let result = om
+            .compare_by_name(
+                &truth.compare_attr,
+                &truth.baseline_value,
+                &truth.target_value,
+                &truth.target_class,
+            )
+            .unwrap();
+        assert_eq!(result.top().unwrap().attr_name, truth.expected_top_attr);
+        let view = om.comparison_view(&result);
+        assert!(view.contains(&truth.expected_top_attr));
+    }
+
+    #[test]
+    fn views_render() {
+        let (om, _) = engine();
+        let overall = om.overall_view(&Default::default());
+        assert!(overall.contains("dropped"));
+        let detailed = om.detailed_view("PhoneModel", &Default::default()).unwrap();
+        assert!(detailed.contains("ph1"));
+        assert!(om.detailed_view("Nope", &Default::default()).is_err());
+    }
+
+    #[test]
+    fn general_impressions_nonempty() {
+        let (om, _) = engine();
+        let gi = om.general_impressions();
+        assert_eq!(
+            gi.trends.len(),
+            om.store().attrs().len() * om.dataset().schema().n_classes()
+        );
+        assert!(!gi.influence.is_empty());
+        // The planted interaction produces at least one exception
+        // somewhere (ph2-morning raises TimeOfCall=morning's drop rate).
+        assert!(!gi.exceptions.is_empty());
+    }
+
+    #[test]
+    fn rule_mining_through_engine() {
+        let (om, _) = engine();
+        let rules = om
+            .mine_rules(&MinerConfig {
+                min_support: 0.001,
+                min_confidence: 0.01,
+                max_conditions: 2,
+                attrs: None,
+            })
+            .unwrap();
+        assert!(!rules.is_empty());
+        let phone = om.attr_index("PhoneModel").unwrap();
+        let ph2 = om.value_id(phone, "ph2").unwrap();
+        let restricted = om
+            .mine_restricted(
+                &[Condition::new(phone, ph2)],
+                &MinerConfig {
+                    min_support: 0.0,
+                    min_confidence: 0.0,
+                    max_conditions: 2,
+                    attrs: None,
+                },
+            )
+            .unwrap();
+        assert!(!restricted.is_empty());
+    }
+
+    #[test]
+    fn name_resolution_errors() {
+        let (om, _) = engine();
+        assert!(om.attr_index("Bogus").is_err());
+        assert!(om.class_id("bogus").is_err());
+        let phone = om.attr_index("PhoneModel").unwrap();
+        assert!(om.value_id(phone, "ph99").is_err());
+        assert!(om
+            .compare_by_name("PhoneModel", "ph1", "ph99", "dropped")
+            .is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! The OLAP exploration state machine behind the visualizer.
+//!
+//! "The user uses the visualizer to explore the rule space based on OLAP
+//! operations" (Section V-A). An [`Explorer`] holds the cube currently on
+//! screen plus the operation history, so a UI (or a test) can navigate
+//! select → slice → dice → roll-up → undo.
+
+use std::sync::Arc;
+
+use om_cube::olap::{dice, rollup, slice};
+use om_cube::{CubeError, CubeStore, RuleCube};
+use om_data::ValueId;
+
+/// One navigation step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreOp {
+    /// Load the 2-D cube of one attribute.
+    SelectOne { attr: usize },
+    /// Load the 3-D cube of an attribute pair.
+    SelectPair { a: usize, b: usize },
+    /// Fix dimension `dim` to `value`.
+    Slice { dim: usize, value: ValueId },
+    /// Restrict dimension `dim` to a value subset.
+    Dice { dim: usize, values: Vec<ValueId> },
+    /// Marginalize dimension `dim` out.
+    Rollup { dim: usize },
+}
+
+/// Interactive navigation over a [`CubeStore`].
+pub struct Explorer<'a> {
+    store: &'a CubeStore,
+    /// Stack of cubes; the top is what is "on screen". The bottom entry is
+    /// the initial selection.
+    stack: Vec<Arc<RuleCube>>,
+    history: Vec<ExploreOp>,
+}
+
+impl<'a> Explorer<'a> {
+    /// Start exploring; no cube is selected yet.
+    pub fn new(store: &'a CubeStore) -> Self {
+        Self {
+            store,
+            stack: Vec::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// The cube currently on screen.
+    pub fn current(&self) -> Option<&RuleCube> {
+        self.stack.last().map(Arc::as_ref)
+    }
+
+    /// The operations applied so far.
+    pub fn history(&self) -> &[ExploreOp] {
+        &self.history
+    }
+
+    /// Select the 2-D cube of `attr` (replaces any current exploration).
+    ///
+    /// # Errors
+    /// Fails if `attr` is not in the store.
+    pub fn select_one(&mut self, attr: usize) -> Result<&RuleCube, CubeError> {
+        let cube = self.store.one_dim(attr)?;
+        self.stack = vec![cube];
+        self.history = vec![ExploreOp::SelectOne { attr }];
+        Ok(self.current().expect("just pushed"))
+    }
+
+    /// Select the 3-D cube of the pair `(a, b)`.
+    ///
+    /// # Errors
+    /// Fails if the pair is not in the store.
+    pub fn select_pair(&mut self, a: usize, b: usize) -> Result<&RuleCube, CubeError> {
+        let cube = self.store.pair(a, b)?;
+        self.stack = vec![cube];
+        self.history = vec![ExploreOp::SelectPair { a, b }];
+        Ok(self.current().expect("just pushed"))
+    }
+
+    fn apply<F>(&mut self, op: ExploreOp, f: F) -> Result<&RuleCube, CubeError>
+    where
+        F: FnOnce(&RuleCube) -> Result<RuleCube, CubeError>,
+    {
+        let top = self
+            .stack
+            .last()
+            .ok_or_else(|| CubeError::Invalid("no cube selected; call select_* first".into()))?;
+        let next = f(top)?;
+        self.stack.push(Arc::new(next));
+        self.history.push(op);
+        Ok(self.current().expect("just pushed"))
+    }
+
+    /// Slice the current cube.
+    ///
+    /// # Errors
+    /// Fails without a selection or on invalid dim/value.
+    pub fn slice(&mut self, dim: usize, value: ValueId) -> Result<&RuleCube, CubeError> {
+        self.apply(ExploreOp::Slice { dim, value }, |c| slice(c, dim, value))
+    }
+
+    /// Dice the current cube.
+    ///
+    /// # Errors
+    /// Fails without a selection or on invalid dim/values.
+    pub fn dice(&mut self, dim: usize, values: &[ValueId]) -> Result<&RuleCube, CubeError> {
+        self.apply(
+            ExploreOp::Dice {
+                dim,
+                values: values.to_vec(),
+            },
+            |c| dice(c, dim, values),
+        )
+    }
+
+    /// Roll the current cube up over `dim`.
+    ///
+    /// # Errors
+    /// Fails without a selection or on an invalid dim.
+    pub fn rollup(&mut self, dim: usize) -> Result<&RuleCube, CubeError> {
+        self.apply(ExploreOp::Rollup { dim }, |c| rollup(c, dim))
+    }
+
+    /// Undo the last operation. Returns the cube now on screen (`None` if
+    /// the initial selection itself was undone).
+    pub fn undo(&mut self) -> Option<&RuleCube> {
+        self.stack.pop();
+        self.history.pop();
+        self.current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_cube::StoreBuildOptions;
+    use om_synth::{generate_scaleup, ScaleUpConfig};
+
+    fn store() -> CubeStore {
+        let ds = generate_scaleup(&ScaleUpConfig {
+            n_attrs: 4,
+            n_records: 2_000,
+            seed: 5,
+            ..ScaleUpConfig::default()
+        });
+        CubeStore::build(&ds, &StoreBuildOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn navigation_sequence() {
+        let store = store();
+        let mut ex = Explorer::new(&store);
+        assert!(ex.current().is_none());
+        assert!(ex.slice(0, 0).is_err(), "no selection yet");
+
+        ex.select_pair(0, 1).unwrap();
+        assert_eq!(ex.current().unwrap().n_attr_dims(), 2);
+
+        let total_before = ex.current().unwrap().total();
+        ex.slice(0, 1).unwrap();
+        assert_eq!(ex.current().unwrap().n_attr_dims(), 1);
+        assert!(ex.current().unwrap().total() <= total_before);
+
+        ex.dice(0, &[0, 2]).unwrap();
+        assert_eq!(ex.current().unwrap().dims()[0].cardinality(), 2);
+
+        ex.rollup(0).unwrap();
+        assert_eq!(ex.current().unwrap().n_attr_dims(), 0);
+        assert_eq!(ex.history().len(), 4);
+    }
+
+    #[test]
+    fn undo_restores_previous_cube() {
+        let store = store();
+        let mut ex = Explorer::new(&store);
+        ex.select_pair(1, 2).unwrap();
+        let before = ex.current().unwrap().clone();
+        ex.slice(0, 0).unwrap();
+        assert_ne!(*ex.current().unwrap(), before);
+        let restored = ex.undo().unwrap();
+        assert_eq!(*restored, before);
+        // Undoing the selection empties the screen.
+        assert!(ex.undo().is_none());
+        assert!(ex.history().is_empty());
+    }
+
+    #[test]
+    fn select_replaces_history() {
+        let store = store();
+        let mut ex = Explorer::new(&store);
+        ex.select_pair(0, 1).unwrap();
+        ex.slice(0, 0).unwrap();
+        ex.select_one(2).unwrap();
+        assert_eq!(ex.history(), &[ExploreOp::SelectOne { attr: 2 }]);
+        assert_eq!(ex.current().unwrap().n_attr_dims(), 1);
+    }
+
+    #[test]
+    fn errors_do_not_corrupt_state() {
+        let store = store();
+        let mut ex = Explorer::new(&store);
+        ex.select_pair(0, 1).unwrap();
+        let before = ex.current().unwrap().clone();
+        assert!(ex.slice(9, 0).is_err());
+        assert_eq!(*ex.current().unwrap(), before);
+        assert_eq!(ex.history().len(), 1);
+    }
+}

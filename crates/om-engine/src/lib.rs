@@ -1,0 +1,24 @@
+//! The Opportunity Map engine.
+//!
+//! Section V-A: "The Opportunity Map system consists of six main
+//! components: a discretizer, a class association rule (CAR) generator, a
+//! general impression (GI) miner, a comparator and a visualizer. Given a
+//! data set, all continuous attributes are first discretized … The
+//! discretized data is fed into the CAR rule generator. The resulting
+//! rules form 3-dimensional virtual rule cubes. … The user uses the
+//! visualizer to explore the rule space based on OLAP operations. GI miner
+//! is called when requested … The comparator is proposed in this paper."
+//!
+//! [`OpportunityMap`] wires those components into one façade;
+//! [`explore::Explorer`] is the OLAP navigation state machine behind the
+//! visualizer; [`session`] persists an analysis session.
+
+pub mod engine;
+pub mod explore;
+pub mod scan;
+pub mod session;
+
+pub use engine::{EngineConfig, EngineError, GiReport, OpportunityMap};
+pub use explore::{ExploreOp, Explorer};
+pub use scan::{ScanConfig, ScanFinding};
+pub use session::Session;

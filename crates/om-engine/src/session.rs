@@ -1,0 +1,193 @@
+//! Session persistence: the analyst's dataset plus an append-only log of
+//! findings, saved as one binary artifact.
+//!
+//! Mirrors the deployed workflow: cube generation happens offline
+//! (Section V-C), then analysts return to the same prepared data across
+//! days. Cubes themselves are cheap to rebuild relative to their size on
+//! disk, so a session stores the (discretized or raw) dataset and notes,
+//! and [`Session::open_engine`] reconstructs the cubes.
+
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use om_data::persist::{decode_dataset, encode_dataset};
+use om_data::{DataError, Dataset};
+
+use crate::engine::{EngineConfig, EngineError, OpportunityMap};
+
+const MAGIC: &[u8; 4] = b"OMSS";
+const VERSION: u8 = 1;
+
+/// A persisted analysis session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Session {
+    /// The dataset under analysis.
+    pub dataset: Dataset,
+    /// Free-form analyst notes / findings log, in insertion order.
+    pub log: Vec<String>,
+}
+
+impl Session {
+    /// A new session over a dataset.
+    pub fn new(dataset: Dataset) -> Self {
+        Self {
+            dataset,
+            log: Vec::new(),
+        }
+    }
+
+    /// Append a finding to the log.
+    pub fn note(&mut self, entry: impl Into<String>) {
+        self.log.push(entry.into());
+    }
+
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Bytes {
+        let ds = encode_dataset(&self.dataset);
+        let mut buf = BytesMut::with_capacity(ds.len() + 64);
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u64_le(ds.len() as u64);
+        buf.put_slice(&ds);
+        buf.put_u32_le(self.log.len() as u32);
+        for entry in &self.log {
+            buf.put_u32_le(entry.len() as u32);
+            buf.put_slice(entry.as_bytes());
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize from bytes.
+    ///
+    /// # Errors
+    /// Fails on bad magic/version or truncation.
+    pub fn decode(mut buf: Bytes) -> Result<Self, DataError> {
+        if buf.remaining() < 5 {
+            return Err(DataError::Decode("session payload too short".into()));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(DataError::Decode("bad magic (not an OMSS payload)".into()));
+        }
+        let version = buf.get_u8();
+        if version != VERSION {
+            return Err(DataError::Decode(format!(
+                "unsupported session version {version}"
+            )));
+        }
+        if buf.remaining() < 8 {
+            return Err(DataError::Decode("truncated dataset length".into()));
+        }
+        let ds_len = buf.get_u64_le() as usize;
+        if buf.remaining() < ds_len {
+            return Err(DataError::Decode("truncated dataset payload".into()));
+        }
+        let dataset = decode_dataset(buf.copy_to_bytes(ds_len))?;
+        if buf.remaining() < 4 {
+            return Err(DataError::Decode("truncated log length".into()));
+        }
+        let n = buf.get_u32_le() as usize;
+        let mut log = Vec::with_capacity(n);
+        for _ in 0..n {
+            if buf.remaining() < 4 {
+                return Err(DataError::Decode("truncated log entry length".into()));
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(DataError::Decode("truncated log entry".into()));
+            }
+            let raw = buf.copy_to_bytes(len);
+            log.push(
+                String::from_utf8(raw.to_vec())
+                    .map_err(|e| DataError::Decode(format!("invalid UTF-8 log entry: {e}")))?,
+            );
+        }
+        Ok(Self { dataset, log })
+    }
+
+    /// Save to a file.
+    ///
+    /// # Errors
+    /// Fails on I/O errors.
+    pub fn save(&self, path: &Path) -> Result<(), DataError> {
+        std::fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Load from a file.
+    ///
+    /// # Errors
+    /// Fails on I/O or decode errors.
+    pub fn load(path: &Path) -> Result<Self, DataError> {
+        let raw = std::fs::read(path)?;
+        Self::decode(Bytes::from(raw))
+    }
+
+    /// Rebuild the Opportunity Map engine for this session's dataset.
+    ///
+    /// # Errors
+    /// Propagates engine construction failures.
+    pub fn open_engine(&self, config: EngineConfig) -> Result<OpportunityMap, EngineError> {
+        OpportunityMap::build(self.dataset.clone(), config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_synth::{generate_call_log, CallLogConfig};
+
+    fn session() -> Session {
+        let ds = generate_call_log(&CallLogConfig {
+            n_records: 2_000,
+            ..CallLogConfig::default()
+        });
+        let mut s = Session::new(ds);
+        s.note("compared ph1 vs ph2 on dropped");
+        s.note("TimeOfCall ranked first");
+        s
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = session();
+        let back = Session::decode(s.encode()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let s = session();
+        let dir = std::env::temp_dir().join("om_session_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.omss");
+        s.save(&path).unwrap();
+        let back = Session::load(&path).unwrap();
+        assert_eq!(back, s);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let full = session().encode();
+        for cut in [0, 3, 4, 5, 12, full.len() - 1] {
+            assert!(Session::decode(full.slice(0..cut)).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn engine_reconstructs_from_session() {
+        let s = session();
+        let om = s.open_engine(EngineConfig::default()).unwrap();
+        assert!(om.dataset().all_categorical());
+        assert!(om.store().n_pair_cubes() > 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let e = Session::decode(Bytes::from_static(b"WRONG....")).unwrap_err();
+        assert!(e.to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,24 @@
+//! General impressions (GI) mining: trends, exceptions, influential
+//! attributes.
+//!
+//! The Opportunity Map framework is "enhanced with several methods to
+//! automatically find exceptions, trends and influential attributes
+//! (called general impressions)" (Section III-B, citing the authors'
+//! prior work \[17, 20\]). The GI miner "is called when requested based on
+//! the sub-cube shown on screen" (Section V-A); Fig. 5's colored arrows
+//! (red decreasing / green increasing / gray stable) come from [`trend`].
+//!
+//! All three miners read rule cubes only — never the raw data — matching
+//! the deployed system's architecture.
+
+pub mod exception;
+pub mod influence;
+pub mod pair_exception;
+pub mod trend;
+
+pub use exception::{mine_exceptions, Exception, ExceptionConfig, ExceptionKind};
+pub use influence::{mine_influence, InfluenceResult};
+pub use pair_exception::{
+    mine_pair_exceptions, PairException, PairExceptionConfig,
+};
+pub use trend::{mine_trends, Trend, TrendConfig, TrendResult};

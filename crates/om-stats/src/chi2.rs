@@ -1,0 +1,148 @@
+//! Pearson chi-square test of independence on contingency tables.
+//!
+//! Used by the general impressions miner to rank *influential attributes*
+//! (attribute vs class association), and by `om-compare::baselines` as a
+//! baseline attribute ranker to compare against the paper's measure.
+
+use crate::gamma::reg_gamma_q;
+
+/// Result of a chi-square independence test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Result {
+    /// The Pearson chi-square statistic.
+    pub statistic: f64,
+    /// Degrees of freedom `(rows-1)(cols-1)`.
+    pub dof: u64,
+    /// Upper-tail p-value `P(X² >= statistic)`.
+    pub p_value: f64,
+}
+
+/// Upper-tail p-value of a chi-square statistic with `dof` degrees of freedom.
+///
+/// # Panics
+/// Panics if `dof == 0` or `statistic < 0`.
+pub fn chi2_p_value(statistic: f64, dof: u64) -> f64 {
+    assert!(dof > 0, "chi-square needs at least 1 degree of freedom");
+    assert!(statistic >= 0.0, "chi-square statistic must be >= 0");
+    reg_gamma_q(dof as f64 / 2.0, statistic / 2.0)
+}
+
+/// Chi-square test of independence on an `r x c` contingency table of counts.
+///
+/// `table[i][j]` is the observed count of row category `i`, column category
+/// `j`. Rows or columns whose marginal total is zero are ignored (they carry
+/// no information and would otherwise produce 0/0); if fewer than two
+/// informative rows or columns remain, the statistic is 0 with `dof = 1` and
+/// p-value 1 (no evidence of association — matches how the paper's system
+/// treats all-empty attribute values as uninformative).
+pub fn chi2_independence(table: &[Vec<u64>]) -> Chi2Result {
+    let rows = table.len();
+    assert!(rows > 0, "contingency table must have at least one row");
+    let cols = table[0].len();
+    assert!(
+        table.iter().all(|r| r.len() == cols),
+        "contingency table rows must have equal length"
+    );
+
+    let row_totals: Vec<u64> = table.iter().map(|r| r.iter().sum()).collect();
+    let col_totals: Vec<u64> = (0..cols)
+        .map(|j| table.iter().map(|r| r[j]).sum())
+        .collect();
+    let grand: u64 = row_totals.iter().sum();
+
+    let live_rows: Vec<usize> = (0..rows).filter(|&i| row_totals[i] > 0).collect();
+    let live_cols: Vec<usize> = (0..cols).filter(|&j| col_totals[j] > 0).collect();
+
+    if live_rows.len() < 2 || live_cols.len() < 2 || grand == 0 {
+        return Chi2Result {
+            statistic: 0.0,
+            dof: 1,
+            p_value: 1.0,
+        };
+    }
+
+    let grand_f = grand as f64;
+    let mut stat = 0.0;
+    for &i in &live_rows {
+        for &j in &live_cols {
+            let expected = row_totals[i] as f64 * col_totals[j] as f64 / grand_f;
+            let diff = table[i][j] as f64 - expected;
+            stat += diff * diff / expected;
+        }
+    }
+    let dof = ((live_rows.len() - 1) * (live_cols.len() - 1)) as u64;
+    Chi2Result {
+        statistic: stat,
+        dof,
+        p_value: chi2_p_value(stat, dof),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn independent_table_has_zero_statistic() {
+        // Perfectly proportional rows.
+        let t = vec![vec![10, 20, 30], vec![20, 40, 60]];
+        let r = chi2_independence(&t);
+        close(r.statistic, 0.0, 1e-9);
+        close(r.p_value, 1.0, 1e-9);
+        assert_eq!(r.dof, 2);
+    }
+
+    #[test]
+    fn textbook_two_by_two() {
+        // Classic example: chi2 = sum (O-E)^2/E.
+        let t = vec![vec![90, 60], vec![30, 120]];
+        let r = chi2_independence(&t);
+        // E = [[60,90],[60,90]]; chi2 = 30^2/60*2 + 30^2/90*2 = 30+20 = 50.
+        close(r.statistic, 50.0, 1e-9);
+        assert_eq!(r.dof, 1);
+        assert!(r.p_value < 1e-10);
+    }
+
+    #[test]
+    fn p_value_known_quantiles() {
+        // chi2(3.841, 1) ~ 0.05; chi2(5.991, 2) ~ 0.05.
+        close(chi2_p_value(3.841, 1), 0.05, 1e-3);
+        close(chi2_p_value(5.991, 2), 0.05, 1e-3);
+        close(chi2_p_value(6.635, 1), 0.01, 1e-3);
+    }
+
+    #[test]
+    fn empty_rows_are_ignored() {
+        let with_empty = vec![vec![90, 60], vec![0, 0], vec![30, 120]];
+        let without = vec![vec![90, 60], vec![30, 120]];
+        let a = chi2_independence(&with_empty);
+        let b = chi2_independence(&without);
+        close(a.statistic, b.statistic, 1e-12);
+        assert_eq!(a.dof, b.dof);
+    }
+
+    #[test]
+    fn degenerate_table_is_no_evidence() {
+        let t = vec![vec![5, 7]];
+        let r = chi2_independence(&t);
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn all_zero_table_is_no_evidence() {
+        let t = vec![vec![0, 0], vec![0, 0]];
+        let r = chi2_independence(&t);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_table_rejected() {
+        chi2_independence(&[vec![1, 2], vec![3]]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Class entropy and information gain.
+//!
+//! Used by the entropy-MDL discretizer (Fayyad–Irani) and by the
+//! information-gain baseline ranker in `om-compare::baselines`.
+
+/// Shannon entropy (base 2) of a count distribution. Zero counts contribute
+/// nothing; an empty or all-zero distribution has entropy 0.
+pub fn entropy(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total_f;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Weighted entropy of a partition: `sum_k (n_k / n) * H(part_k)`.
+pub fn split_entropy(parts: &[Vec<u64>]) -> f64 {
+    let total: u64 = parts.iter().map(|p| p.iter().sum::<u64>()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    parts
+        .iter()
+        .map(|p| {
+            let n: u64 = p.iter().sum();
+            n as f64 / total_f * entropy(p)
+        })
+        .sum()
+}
+
+/// Information gain of splitting the pooled class distribution into `parts`.
+///
+/// `IG = H(pooled) - split_entropy(parts)`; always `>= 0` up to floating
+/// point noise (clamped at 0).
+pub fn info_gain(parts: &[Vec<u64>]) -> f64 {
+    if parts.is_empty() {
+        return 0.0;
+    }
+    let classes = parts[0].len();
+    assert!(
+        parts.iter().all(|p| p.len() == classes),
+        "all partitions must have the same number of classes"
+    );
+    let mut pooled = vec![0u64; classes];
+    for p in parts {
+        for (acc, &c) in pooled.iter_mut().zip(p) {
+            *acc += c;
+        }
+    }
+    (entropy(&pooled) - split_entropy(parts)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn uniform_binary_entropy_is_one() {
+        close(entropy(&[50, 50]), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn pure_distribution_entropy_is_zero() {
+        close(entropy(&[100, 0, 0]), 0.0, 1e-12);
+        close(entropy(&[]), 0.0, 1e-12);
+        close(entropy(&[0, 0]), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn uniform_k_ary_entropy_is_log_k() {
+        close(entropy(&[10, 10, 10, 10]), 2.0, 1e-12);
+        close(entropy(&[7, 7, 7, 7, 7, 7, 7, 7]), 3.0, 1e-12);
+    }
+
+    #[test]
+    fn entropy_invariant_to_scaling() {
+        close(entropy(&[3, 7]), entropy(&[30, 70]), 1e-12);
+    }
+
+    #[test]
+    fn perfect_split_gains_full_entropy() {
+        // Pooled is 50/50 (H=1); each part is pure (H=0).
+        let g = info_gain(&[vec![50, 0], vec![0, 50]]);
+        close(g, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn useless_split_gains_nothing() {
+        let g = info_gain(&[vec![25, 25], vec![25, 25]]);
+        close(g, 0.0, 1e-12);
+    }
+
+    #[test]
+    fn gain_is_nonnegative() {
+        // A few arbitrary partitions.
+        for parts in [
+            vec![vec![1, 9], vec![9, 1]],
+            vec![vec![5, 5], vec![1, 0], vec![0, 7]],
+            vec![vec![0, 0], vec![3, 3]],
+        ] {
+            assert!(info_gain(&parts) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_parts_gain_zero() {
+        close(info_gain(&[]), 0.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of classes")]
+    fn ragged_parts_rejected() {
+        info_gain(&[vec![1, 2], vec![3]]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Multiple-testing correction: Benjamini–Hochberg false discovery rate.
+//!
+//! The exception miner tests every (attribute, value, class) cell — easily
+//! thousands of hypotheses on a wide dataset, so a fixed per-test α leaks
+//! false "exceptions". BH adjustment keeps the *expected fraction* of
+//! false discoveries below the chosen level.
+
+/// Benjamini–Hochberg adjusted p-values (a.k.a. q-values), in the input
+/// order. Each adjusted value is `min_{j >= rank(i)} ( p_(j) * m / j )`,
+/// clamped to 1.
+pub fn bh_adjust(p_values: &[f64]) -> Vec<f64> {
+    let m = p_values.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    assert!(
+        p_values.iter().all(|p| (0.0..=1.0).contains(p)),
+        "p-values must lie in [0, 1]"
+    );
+    // Sort indices by p ascending.
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        p_values[a]
+            .partial_cmp(&p_values[b])
+            .expect("p-values are not NaN")
+    });
+    // Walk from the largest p down, taking the running minimum of p*m/rank.
+    let mut adjusted = vec![0.0f64; m];
+    let mut running_min = 1.0f64;
+    for rank in (1..=m).rev() {
+        let idx = order[rank - 1];
+        let candidate = (p_values[idx] * m as f64 / rank as f64).min(1.0);
+        running_min = running_min.min(candidate);
+        adjusted[idx] = running_min;
+    }
+    adjusted
+}
+
+/// Which hypotheses survive BH at FDR level `q` (boolean mask, input
+/// order).
+pub fn bh_reject(p_values: &[f64], q: f64) -> Vec<bool> {
+    assert!((0.0..=1.0).contains(&q), "FDR level must be in [0, 1]");
+    bh_adjust(p_values).into_iter().map(|a| a <= q).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_p_value_unchanged() {
+        assert_eq!(bh_adjust(&[0.03]), vec![0.03]);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic BH worked example.
+        let ps = [0.01, 0.04, 0.03, 0.005];
+        let adj = bh_adjust(&ps);
+        // Sorted: 0.005, 0.01, 0.03, 0.04 → raw adj 0.02, 0.02, 0.04, 0.04.
+        assert!((adj[3] - 0.02).abs() < 1e-12);
+        assert!((adj[0] - 0.02).abs() < 1e-12);
+        assert!((adj[2] - 0.04).abs() < 1e-12);
+        assert!((adj[1] - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjustment_is_monotone_and_bounded() {
+        let ps = [0.9, 0.001, 0.5, 0.02, 0.02, 1.0];
+        let adj = bh_adjust(&ps);
+        for (p, a) in ps.iter().zip(&adj) {
+            assert!(*a >= *p - 1e-15, "adjusted below raw");
+            assert!(*a <= 1.0);
+        }
+        // Order of adjusted values follows order of raw values.
+        let mut pairs: Vec<(f64, f64)> = ps.iter().copied().zip(adj.iter().copied()).collect();
+        pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        for w in pairs.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn rejection_mask() {
+        let ps = [0.001, 0.2, 0.011, 0.9];
+        let mask = bh_reject(&ps, 0.05);
+        assert_eq!(mask, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(bh_adjust(&[]).is_empty());
+        assert!(bh_reject(&[], 0.05).is_empty());
+    }
+
+    #[test]
+    fn all_null_hypotheses_mostly_survive() {
+        // Uniform-ish p-values: nothing should be rejected at q = 0.05.
+        let ps: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        let mask = bh_reject(&ps, 0.05);
+        assert!(mask.iter().all(|&r| !r));
+    }
+
+    #[test]
+    #[should_panic(expected = "p-values must lie")]
+    fn rejects_out_of_range() {
+        bh_adjust(&[1.5]);
+    }
+}

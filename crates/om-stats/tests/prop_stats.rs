@@ -1,0 +1,96 @@
+//! Property-based tests for the statistics substrate.
+
+use om_stats::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn erf_bounded(x in -10.0f64..10.0) {
+        let v = erf(x);
+        prop_assert!((-1.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn cdf_monotone(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf(p in 0.001f64..0.999) {
+        let x = inverse_normal_cdf(p);
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn wald_interval_contains_estimate(p in 0.0f64..=1.0, n in 1u64..100_000) {
+        let iv = wald_interval(p, n, 0.95);
+        prop_assert!(iv.contains(p));
+        prop_assert!(iv.lower >= 0.0 && iv.upper <= 1.0);
+    }
+
+    #[test]
+    fn wilson_interval_well_formed(s in 0u64..1000, extra in 0u64..1000) {
+        let n = s + extra;
+        if n > 0 {
+            let iv = wilson_interval(s, n, 0.95);
+            prop_assert!(iv.lower <= iv.upper);
+            prop_assert!(iv.contains(s as f64 / n as f64));
+        }
+    }
+
+    #[test]
+    fn margin_nonnegative(p in 0.0f64..=1.0, n in 0u64..1_000_000) {
+        prop_assert!(proportion_margin(p, n, 0.95) >= 0.0);
+    }
+
+    #[test]
+    fn chi2_statistic_nonnegative(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u64..500, 2..5), 2..5)
+    ) {
+        let cols = rows[0].len();
+        let table: Vec<Vec<u64>> = rows.into_iter()
+            .map(|mut r| { r.resize(cols, 0); r })
+            .collect();
+        let r = chi2_independence(&table);
+        prop_assert!(r.statistic >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+    }
+
+    #[test]
+    fn entropy_bounded_by_log_k(counts in proptest::collection::vec(0u64..10_000, 1..10)) {
+        let h = entropy(&counts);
+        let k = counts.iter().filter(|&&c| c > 0).count().max(1);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (k as f64).log2() + 1e-9);
+    }
+
+    #[test]
+    fn info_gain_nonnegative(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(0u64..1000, 3), 1..6)
+    ) {
+        prop_assert!(info_gain(&parts) >= 0.0);
+    }
+
+    #[test]
+    fn regression_r_bounded(
+        pts in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 0..50)
+    ) {
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        let fit = linear_regression(&xs, &ys);
+        prop_assert!(fit.r.abs() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn ztest_symmetric(x1 in 0u64..100, n1e in 0u64..100, x2 in 0u64..100, n2e in 0u64..100) {
+        let n1 = x1 + n1e;
+        let n2 = x2 + n2e;
+        let a = two_proportion_z(x1, n1, x2, n2);
+        let b = two_proportion_z(x2, n2, x1, n1);
+        prop_assert!((a.z + b.z).abs() < 1e-9);
+        prop_assert!((a.p_value - b.p_value).abs() < 1e-9);
+    }
+}

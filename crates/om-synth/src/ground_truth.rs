@@ -1,0 +1,49 @@
+//! Machine-checkable descriptions of planted structure.
+
+/// What a correct Opportunity Map analysis of a planted dataset should
+/// discover. Used by integration tests and the recovery experiment to turn
+/// the paper's qualitative case study (Section V-B) into a quantitative
+/// check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Attribute whose two values define the compared sub-populations
+    /// (the paper's `PhoneModel`).
+    pub compare_attr: String,
+    /// The "good" value (lower confidence on the target class; `ph1`).
+    pub baseline_value: String,
+    /// The "bad" value (higher confidence; `ph2`).
+    pub target_value: String,
+    /// The class of interest (`dropped`).
+    pub target_class: String,
+    /// The attribute the comparator must rank first (`TimeOfCall`).
+    pub expected_top_attr: String,
+    /// The value of that attribute carrying the planted excess (`morning`).
+    pub expected_top_value: String,
+    /// Attributes that shift *both* sub-populations equally (the Fig. 2(A)
+    /// situation) and therefore must NOT rank above the planted attribute.
+    pub uninformative_attrs: Vec<String>,
+    /// Attributes expected to be flagged as property attributes
+    /// (Section IV-C) rather than ranked.
+    pub property_attrs: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_compare() {
+        let t = GroundTruth {
+            compare_attr: "PhoneModel".into(),
+            baseline_value: "ph1".into(),
+            target_value: "ph2".into(),
+            target_class: "dropped".into(),
+            expected_top_attr: "TimeOfCall".into(),
+            expected_top_value: "morning".into(),
+            uninformative_attrs: vec!["NetworkLoad".into()],
+            property_attrs: vec!["PhoneHardwareVersion".into()],
+        };
+        assert_eq!(t.clone(), t);
+        assert!(t.uninformative_attrs.contains(&"NetworkLoad".to_string()));
+    }
+}

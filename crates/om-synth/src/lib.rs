@@ -1,0 +1,32 @@
+//! Synthetic workload generation.
+//!
+//! The paper's evaluation uses proprietary Motorola cellular call logs
+//! (Section I: >600 attributes, >200 GB/month; Section V-B: a 41-attribute
+//! extract; Section V-C: a 160-attribute, 2M-record extract). Those traces
+//! are not available, so this crate generates the closest synthetic
+//! equivalent:
+//!
+//! * [`call_log`] — cellular call records whose class (ended-ok / dropped /
+//!   setup-fail) follows a logistic model over the attributes, with
+//!   **planted effects** ([`effects`]) such as the paper's running example
+//!   "phone 2 drops far more often in the morning". Because the effects are
+//!   planted, the qualitative case study of Section V-B becomes a
+//!   quantitative *recovery* experiment: the comparator should rank the
+//!   planted attribute first.
+//! * [`scaleup`] — bulk categorical datasets of arbitrary width/height for
+//!   the Figs. 9–11 performance experiments.
+//! * [`domains`] — two further engineering domains (network diagnostics,
+//!   manufacturing quality) supporting the paper's generality claim
+//!   ("used in … more than 30 data sets in Motorola").
+//! * [`ground_truth`] — machine-checkable descriptions of what was planted.
+
+pub mod call_log;
+pub mod domains;
+pub mod effects;
+pub mod ground_truth;
+pub mod scaleup;
+
+pub use call_log::{generate_call_log, paper_scenario, CallLogConfig};
+pub use effects::{Effect, EffectTarget};
+pub use ground_truth::GroundTruth;
+pub use scaleup::{generate_scaleup, ScaleUpConfig};

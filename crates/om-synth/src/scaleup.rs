@@ -1,0 +1,184 @@
+//! Bulk categorical datasets for the scale-up experiments (Figs. 9–11).
+//!
+//! The paper's performance evaluation sweeps the number of attributes
+//! (40–160) at 2 million records, and the number of records (2–8 million,
+//! by duplication) at 160 attributes. This module generates datasets of
+//! arbitrary width/height with realistic value cardinalities and a mildly
+//! class-correlated signal so the cubes are not degenerate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use om_data::{Attribute, Column, Dataset, Domain, Schema, ValueId};
+
+/// Configuration for [`generate_scaleup`].
+#[derive(Debug, Clone)]
+pub struct ScaleUpConfig {
+    /// Number of non-class attributes.
+    pub n_attrs: usize,
+    /// Number of records.
+    pub n_records: usize,
+    /// Values per attribute cycle through `min_values..=max_values`.
+    pub min_values: usize,
+    pub max_values: usize,
+    /// Number of classes (>= 2); class 0 is the skewed majority.
+    pub n_classes: usize,
+    /// Probability of the majority class.
+    pub majority_share: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScaleUpConfig {
+    fn default() -> Self {
+        Self {
+            n_attrs: 40,
+            n_records: 100_000,
+            min_values: 3,
+            max_values: 8,
+            n_classes: 3,
+            majority_share: 0.95,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate a wide categorical dataset per `config`.
+///
+/// Attribute `i` has `min_values + (i % span)` values. The class is drawn
+/// first (skewed), then each attribute value is drawn with a slight
+/// class-dependent tilt so attribute/class associations are non-trivial.
+///
+/// # Panics
+/// Panics on degenerate configuration (no attributes, `max < min`, fewer
+/// than two classes, or a majority share outside `(0,1)`).
+pub fn generate_scaleup(config: &ScaleUpConfig) -> Dataset {
+    assert!(config.n_attrs >= 1, "need at least one attribute");
+    assert!(
+        config.max_values >= config.min_values && config.min_values >= 2,
+        "value cardinality range must satisfy 2 <= min <= max"
+    );
+    assert!(config.n_classes >= 2, "need at least two classes");
+    assert!(
+        config.majority_share > 0.0 && config.majority_share < 1.0,
+        "majority share must be in (0,1)"
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let span = config.max_values - config.min_values + 1;
+    let n = config.n_records;
+
+    // Class column first.
+    let minority_share = (1.0 - config.majority_share) / (config.n_classes - 1) as f64;
+    let mut class_col: Vec<ValueId> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u: f64 = rng.gen();
+        let c = if u < config.majority_share {
+            0
+        } else {
+            1 + ((u - config.majority_share) / minority_share) as usize
+        }
+        .min(config.n_classes - 1);
+        class_col.push(c as ValueId);
+    }
+
+    let mut attributes: Vec<Attribute> = Vec::with_capacity(config.n_attrs + 1);
+    let mut columns: Vec<Column> = Vec::with_capacity(config.n_attrs + 1);
+    for a in 0..config.n_attrs {
+        let k = config.min_values + (a % span);
+        let labels: Vec<String> = (0..k).map(|v| format!("v{v}")).collect();
+        let mut col: Vec<ValueId> = Vec::with_capacity(n);
+        // Mild class tilt: minority-class records prefer value (a mod k).
+        let hot = (a % k) as ValueId;
+        for &c in &class_col {
+            let v = if c != 0 && rng.gen::<f64>() < 0.3 {
+                hot
+            } else {
+                rng.gen_range(0..k) as ValueId
+            };
+            col.push(v);
+        }
+        attributes.push(Attribute::categorical(
+            format!("A{a:03}"),
+            Domain::from_labels(labels),
+        ));
+        columns.push(Column::Categorical(col));
+    }
+
+    let class_idx = attributes.len();
+    let class_labels: Vec<String> = (0..config.n_classes).map(|c| format!("c{c}")).collect();
+    attributes.push(Attribute::categorical(
+        "Class",
+        Domain::from_labels(class_labels),
+    ));
+    columns.push(Column::Categorical(class_col));
+
+    let schema = Schema::new(attributes, class_idx).expect("generated schema is valid");
+    Dataset::from_columns(schema, columns).expect("generated columns match schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let ds = generate_scaleup(&ScaleUpConfig {
+            n_attrs: 10,
+            n_records: 1_000,
+            ..ScaleUpConfig::default()
+        });
+        assert_eq!(ds.n_rows(), 1_000);
+        assert_eq!(ds.schema().n_attributes(), 11);
+        assert!(ds.all_categorical());
+    }
+
+    #[test]
+    fn cardinalities_cycle() {
+        let ds = generate_scaleup(&ScaleUpConfig {
+            n_attrs: 8,
+            n_records: 100,
+            min_values: 3,
+            max_values: 5,
+            ..ScaleUpConfig::default()
+        });
+        let cards: Vec<usize> = (0..8)
+            .map(|i| ds.schema().attribute(i).cardinality())
+            .collect();
+        assert_eq!(cards, vec![3, 4, 5, 3, 4, 5, 3, 4]);
+    }
+
+    #[test]
+    fn majority_class_dominates() {
+        let ds = generate_scaleup(&ScaleUpConfig {
+            n_attrs: 5,
+            n_records: 50_000,
+            majority_share: 0.9,
+            ..ScaleUpConfig::default()
+        });
+        let counts = ds.class_counts();
+        let total: u64 = counts.iter().sum();
+        let share = counts[0] as f64 / total as f64;
+        assert!((share - 0.9).abs() < 0.01, "majority share {share}");
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = ScaleUpConfig {
+            n_attrs: 6,
+            n_records: 500,
+            ..ScaleUpConfig::default()
+        };
+        assert_eq!(generate_scaleup(&cfg), generate_scaleup(&cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn rejects_single_class() {
+        generate_scaleup(&ScaleUpConfig {
+            n_classes: 1,
+            ..ScaleUpConfig::default()
+        });
+    }
+}

@@ -1,0 +1,121 @@
+//! Unicode bar primitives.
+
+/// The eight block characters used for sparklines, lowest to highest.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// A one-character-per-value sparkline of heights in `[0, 1]`.
+///
+/// Heights are clamped; exact zeros render as a space so empty cells are
+/// visually distinct from tiny-but-present bars (the paper's "holes"
+/// discussion makes this distinction matter).
+pub fn sparkline(heights: &[f64]) -> String {
+    heights
+        .iter()
+        .map(|&h| {
+            if h <= 0.0 {
+                ' '
+            } else {
+                let h = h.clamp(0.0, 1.0);
+                let idx = ((h * 8.0).ceil() as usize).clamp(1, 8) - 1;
+                BLOCKS[idx]
+            }
+        })
+        .collect()
+}
+
+/// A horizontal bar of `width` cells filled proportionally to `value` in
+/// `[0, 1]`, using eighth-block characters for the fractional cell.
+pub fn hbar(value: f64, width: usize) -> String {
+    let value = value.clamp(0.0, 1.0);
+    let cells = value * width as f64;
+    let full = cells.floor() as usize;
+    let frac = cells - full as f64;
+    let mut out = String::with_capacity(width * 3);
+    for _ in 0..full {
+        out.push('█');
+    }
+    if full < width {
+        let eighths = (frac * 8.0).round() as usize;
+        if eighths > 0 {
+            // Left-to-right partial blocks: ▏▎▍▌▋▊▉█
+            const PARTIAL: [char; 8] = ['▏', '▎', '▍', '▌', '▋', '▊', '▉', '█'];
+            out.push(PARTIAL[eighths - 1]);
+        } else {
+            out.push(' ');
+        }
+        for _ in full + 1..width {
+            out.push(' ');
+        }
+    }
+    out
+}
+
+/// Count of visible (non-space) glyphs in a rendered bar — used by layout
+/// code and tests.
+pub fn visible_width(bar: &str) -> usize {
+    bar.chars().filter(|c| !c.is_whitespace()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let s = sparkline(&[0.0, 1.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], ' ', "exact zero is a hole");
+        assert_eq!(chars[1], '█');
+    }
+
+    #[test]
+    fn sparkline_monotone_heights_monotone_glyphs() {
+        let heights: Vec<f64> = (1..=8).map(|i| i as f64 / 8.0).collect();
+        let s: Vec<char> = sparkline(&heights).chars().collect();
+        assert_eq!(s, BLOCKS.to_vec());
+    }
+
+    #[test]
+    fn sparkline_clamps() {
+        let s = sparkline(&[-0.5, 2.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[1], '█');
+    }
+
+    #[test]
+    fn tiny_positive_value_is_visible() {
+        let s = sparkline(&[1e-6]);
+        assert_eq!(s.chars().next().unwrap(), '▁');
+    }
+
+    #[test]
+    fn hbar_full_and_empty() {
+        assert_eq!(hbar(1.0, 4), "████");
+        assert_eq!(hbar(0.0, 4), "    ");
+    }
+
+    #[test]
+    fn hbar_half() {
+        let s = hbar(0.5, 4);
+        assert!(s.starts_with("██"));
+        assert_eq!(s.chars().count(), 4);
+    }
+
+    #[test]
+    fn hbar_fractional_cells() {
+        // 0.3 of width 10 = 3 cells exactly.
+        assert_eq!(visible_width(&hbar(0.3, 10)), 3);
+        // 0.25 of width 10 = 2.5 cells: 2 full + 1 half block.
+        let s = hbar(0.25, 10);
+        assert_eq!(visible_width(&s), 3);
+        assert!(s.contains('▌'), "{s:?}");
+    }
+
+    #[test]
+    fn hbar_constant_display_width() {
+        for v in [0.0, 0.1, 0.33, 0.5, 0.99, 1.0] {
+            assert_eq!(hbar(v, 12).chars().count(), 12);
+        }
+    }
+}

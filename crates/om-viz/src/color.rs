@@ -1,0 +1,79 @@
+//! ANSI color primitives with a plain-text fallback.
+
+/// Whether to emit ANSI escape codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColorMode {
+    /// Emit ANSI color escapes (interactive terminals).
+    Ansi,
+    /// Plain text (tests, files, pipes).
+    Plain,
+}
+
+/// The palette used by the views (mirrors the paper's figures: red for
+/// decreasing trends, green for increasing, gray for stable, blue for
+/// default bars, light blue for overflow grids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Color {
+    Red,
+    Green,
+    Gray,
+    Blue,
+    LightBlue,
+    Yellow,
+}
+
+impl Color {
+    fn code(self) -> &'static str {
+        match self {
+            Color::Red => "31",
+            Color::Green => "32",
+            Color::Gray => "90",
+            Color::Blue => "34",
+            Color::LightBlue => "96",
+            Color::Yellow => "33",
+        }
+    }
+}
+
+/// Wrap `text` in the color when `mode` is ANSI; pass through otherwise.
+pub fn paint(mode: ColorMode, color: Color, text: &str) -> String {
+    match mode {
+        ColorMode::Ansi => format!("\x1b[{}m{}\x1b[0m", color.code(), text),
+        ColorMode::Plain => text.to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_is_identity() {
+        assert_eq!(paint(ColorMode::Plain, Color::Red, "x"), "x");
+    }
+
+    #[test]
+    fn ansi_wraps_and_resets() {
+        let s = paint(ColorMode::Ansi, Color::Green, "up");
+        assert!(s.starts_with("\x1b[32m"));
+        assert!(s.ends_with("\x1b[0m"));
+        assert!(s.contains("up"));
+    }
+
+    #[test]
+    fn distinct_codes() {
+        use std::collections::HashSet;
+        let codes: HashSet<_> = [
+            Color::Red,
+            Color::Green,
+            Color::Gray,
+            Color::Blue,
+            Color::LightBlue,
+            Color::Yellow,
+        ]
+        .iter()
+        .map(|c| c.code())
+        .collect();
+        assert_eq!(codes.len(), 6);
+    }
+}

@@ -1,0 +1,201 @@
+//! The comparison view (Fig. 7) and property-attribute view (Fig. 8).
+//!
+//! Fig. 7: "each grid visualizes the drop rates of the two selected
+//! phones … the first one (on the left) is the good phone (lower drop
+//! rate) and the second one (on the right) is the bad phone (higher drop
+//! rate). The red lines are the actual drop rates computed based on the
+//! data. The grey region at the top of each bar is the confidence
+//! interval." The text rendering shows, per attribute value, both rates
+//! with their ± margins and flags the values whose adjusted excess `F_k`
+//! is positive — exactly where "the bad phone is particularly bad".
+
+use std::fmt::Write as _;
+
+use om_compare::{AttrScore, ComparisonResult};
+
+use crate::bars::hbar;
+use crate::color::{paint, Color, ColorMode};
+
+/// Options for comparison rendering.
+#[derive(Debug, Clone)]
+pub struct CompareViewOptions {
+    pub color: ColorMode,
+    pub bar_width: usize,
+}
+
+impl Default for CompareViewOptions {
+    fn default() -> Self {
+        Self {
+            color: ColorMode::Plain,
+            bar_width: 14,
+        }
+    }
+}
+
+/// Render one ranked attribute's per-value comparison (Fig. 7).
+pub fn render_attr_comparison(
+    result: &ComparisonResult,
+    score: &AttrScore,
+    options: &CompareViewOptions,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} vs {} on class {:?} — attribute {} (M = {:.2}, {:.1}% of max)",
+        result.value_1_label,
+        result.value_2_label,
+        result.class_label,
+        score.attr_name,
+        score.score,
+        score.normalized * 100.0
+    );
+    let label_w = score
+        .contributions
+        .iter()
+        .map(|c| c.label.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    // Scale both columns to the largest revised-or-raw rate in view.
+    let max_rate = score
+        .contributions
+        .iter()
+        .flat_map(|c| [c.cf1.unwrap_or(0.0), c.cf2.unwrap_or(0.0), c.rcf1, c.rcf2])
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+
+    for c in &score.contributions {
+        let fmt_side = |cf: Option<f64>, n: u64| match cf {
+            Some(cf) => format!("{:>6.2}% (n={n})", cf * 100.0),
+            None => format!("   --   (n={n})"),
+        };
+        let bar1 = hbar(c.cf1.unwrap_or(0.0) / max_rate, options.bar_width);
+        let bar2 = hbar(c.cf2.unwrap_or(0.0) / max_rate, options.bar_width);
+        let flag = if c.f > 0.0 {
+            paint(options.color, Color::Red, " <-- excess")
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "  {:<label_w$}  good |{bar1}| {:<18} bad |{bar2}| {:<18}{flag}",
+            c.label,
+            fmt_side(c.cf1, c.n1),
+            fmt_side(c.cf2, c.n2),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (bars share one scale; 'excess' marks F_k > 0 after the CI adjustment)"
+    );
+    out
+}
+
+/// Render the top-ranked attribute of a result (the screen the user sees
+/// first after pressing "compare").
+pub fn render_top_attribute(result: &ComparisonResult, options: &CompareViewOptions) -> String {
+    match result.top() {
+        Some(top) => render_attr_comparison(result, top, options),
+        None => "no non-property attributes to compare".to_owned(),
+    }
+}
+
+/// Render the property-attribute view (Fig. 8): per value, the two
+/// sub-population counts, with the zero side highlighted.
+pub fn render_property_view(
+    result: &ComparisonResult,
+    score: &AttrScore,
+    options: &CompareViewOptions,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Property attribute {} (P = {}, T = {}, P/(P+T) = {:.2}):",
+        score.attr_name,
+        score.property.p,
+        score.property.t,
+        score.property.ratio()
+    );
+    let label_w = score
+        .contributions
+        .iter()
+        .map(|c| c.label.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    for c in &score.contributions {
+        let mark = |n: u64| {
+            if n == 0 {
+                paint(options.color, Color::Yellow, "0 (never used)")
+            } else {
+                n.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  {:<label_w$}  {}={:<18} {}={}",
+            c.label,
+            result.value_1_label,
+            mark(c.n1),
+            result.value_2_label,
+            mark(c.n2),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (usually an artefact of the data rather than a true pattern)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_compare::{Comparator, ComparisonSpec};
+    use om_cube::{CubeStore, StoreBuildOptions};
+    use om_synth::paper_scenario;
+
+    fn result() -> ComparisonResult {
+        let (ds, truth) = paper_scenario(40_000, 9);
+        let s = ds.schema();
+        let attr = s.attr_index(&truth.compare_attr).unwrap();
+        let spec = ComparisonSpec {
+            attr,
+            value_1: s.attribute(attr).domain().get("ph1").unwrap(),
+            value_2: s.attribute(attr).domain().get("ph2").unwrap(),
+            class: s.class().domain().get("dropped").unwrap(),
+        };
+        let store = CubeStore::build(&ds, &StoreBuildOptions::default()).unwrap();
+        Comparator::new(&store).compare(&spec).unwrap()
+    }
+
+    #[test]
+    fn top_attribute_view_shows_excess_marker() {
+        let r = result();
+        let text = render_top_attribute(&r, &CompareViewOptions::default());
+        assert!(text.contains("TimeOfCall"), "{text}");
+        assert!(text.contains("excess"), "{text}");
+        assert!(text.contains("good |"), "{text}");
+        assert!(text.contains("bad |"), "{text}");
+    }
+
+    #[test]
+    fn property_view_marks_never_used() {
+        let r = result();
+        let hw = r
+            .property_attrs
+            .iter()
+            .find(|s| s.attr_name == "PhoneHardwareVersion")
+            .expect("hardware version is a property attribute");
+        let text = render_property_view(&r, hw, &CompareViewOptions::default());
+        assert!(text.contains("never used"), "{text}");
+        assert!(text.contains("P/(P+T) = 1.00"), "{text}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let r = result();
+        let o = CompareViewOptions::default();
+        assert_eq!(render_top_attribute(&r, &o), render_top_attribute(&r, &o));
+    }
+}

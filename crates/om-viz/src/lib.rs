@@ -1,0 +1,29 @@
+//! Visualization of rule cubes and comparison results.
+//!
+//! "Good visualization is a must for real-life applications"
+//! (Section III-B). The deployed Opportunity Map GUI renders every screen
+//! as a 2-dimensional matrix of grids (Section V-A); this crate reproduces
+//! the same views deterministically:
+//!
+//! * [`overall`] — the overall visualization mode of Fig. 5: all 2-D rule
+//!   cubes side by side, one row per class, with per-attribute data
+//!   distributions, automatic class scaling, and trend arrows (green
+//!   increasing / red decreasing / gray stable);
+//! * [`detailed`] — the detailed mode of Fig. 6: one attribute's exact
+//!   counts, percentages and drop rates;
+//! * [`compare_view`] — the comparison view of Fig. 7 (side-by-side bars
+//!   for the two sub-populations with confidence-interval whiskers) and
+//!   the property-attribute view of Fig. 8;
+//! * [`bars`] / [`color`] — Unicode bar and ANSI color primitives;
+//! * [`svg`] — an SVG backend for the same charts (no external crates).
+
+pub mod bars;
+pub mod color;
+pub mod compare_view;
+pub mod detailed;
+pub mod gi_view;
+pub mod overall;
+pub mod pair_view;
+pub mod svg;
+
+pub use color::ColorMode;

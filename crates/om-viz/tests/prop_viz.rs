@@ -1,0 +1,113 @@
+//! Property-based rendering tests: every view must render (no panics,
+//! non-empty, deterministic) for arbitrary cube contents.
+
+use om_cube::{CubeDim, CubeStore, CubeView, RuleCube, StoreBuildOptions};
+use om_data::{Cell, DatasetBuilder};
+use om_viz::bars::{hbar, sparkline};
+use om_viz::detailed::{render_detailed, DetailedOptions};
+use om_viz::overall::{render_overall, OverallOptions};
+use om_viz::pair_view::{render_pair_heatmap, PairViewOptions};
+use proptest::prelude::*;
+
+fn arb_pair_cube() -> impl Strategy<Value = RuleCube> {
+    (
+        2usize..5,
+        2usize..5,
+        2usize..4,
+        proptest::collection::vec(0u64..500, 8..80),
+    )
+        .prop_map(|(ca, cb, nc, counts)| {
+            let dims = vec![
+                CubeDim {
+                    attr_index: 0,
+                    name: "A".into(),
+                    labels: (0..ca).map(|i| format!("a{i}")).collect(),
+                },
+                CubeDim {
+                    attr_index: 1,
+                    name: "B".into(),
+                    labels: (0..cb).map(|i| format!("b{i}")).collect(),
+                },
+            ];
+            let class_labels: Vec<String> = (0..nc).map(|i| format!("c{i}")).collect();
+            let mut cube = RuleCube::new(dims, class_labels);
+            let mut it = counts.into_iter();
+            for a in 0..ca as u32 {
+                for b in 0..cb as u32 {
+                    for c in 0..nc as u32 {
+                        if let Some(count) = it.next() {
+                            cube.add(&[a, b], c, count).unwrap();
+                        }
+                    }
+                }
+            }
+            cube
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sparkline_width_matches_input(heights in proptest::collection::vec(-1.0f64..2.0, 0..40)) {
+        let s = sparkline(&heights);
+        prop_assert_eq!(s.chars().count(), heights.len());
+    }
+
+    #[test]
+    fn hbar_width_is_constant(v in -1.0f64..2.0, w in 1usize..40) {
+        prop_assert_eq!(hbar(v, w).chars().count(), w);
+    }
+
+    #[test]
+    fn heatmap_renders_every_class(cube in arb_pair_cube()) {
+        for c in 0..cube.n_classes() as u32 {
+            let text = render_pair_heatmap(&cube, c, &PairViewOptions::default()).unwrap();
+            prop_assert!(text.contains("A × B"));
+            prop_assert!(text.contains("columns:"));
+            // Deterministic.
+            let again = render_pair_heatmap(&cube, c, &PairViewOptions::default()).unwrap();
+            prop_assert_eq!(text, again);
+        }
+    }
+
+    #[test]
+    fn detailed_view_renders_random_data(
+        rows in proptest::collection::vec((0u8..4, 0u8..3), 1..80)
+    ) {
+        let mut b = DatasetBuilder::new().categorical("A").class("C");
+        let al = ["a0", "a1", "a2", "a3"];
+        let cl = ["c0", "c1", "c2"];
+        for (a, c) in rows {
+            b.push_row(&[Cell::Str(al[a as usize]), Cell::Str(cl[c as usize])]).unwrap();
+        }
+        let ds = b.finish().unwrap();
+        let cube = om_cube::build_cube(&ds, &[0]).unwrap();
+        let view = CubeView::from_cube(&cube).unwrap();
+        let text = render_detailed(&view, &DetailedOptions::default());
+        prop_assert!(text.contains("Detailed view: A"));
+    }
+
+    #[test]
+    fn overall_view_renders_random_data(
+        rows in proptest::collection::vec((0u8..3, 0u8..3, 0u8..2), 5..100)
+    ) {
+        let mut b = DatasetBuilder::new()
+            .categorical("A")
+            .categorical("B")
+            .class("C");
+        let l = ["x", "y", "z"];
+        let cl = ["c0", "c1"];
+        for (a, bb, c) in rows {
+            b.push_row(&[
+                Cell::Str(l[a as usize]),
+                Cell::Str(l[bb as usize]),
+                Cell::Str(cl[c as usize]),
+            ]).unwrap();
+        }
+        let ds = b.finish().unwrap();
+        let store = CubeStore::build(&ds, &StoreBuildOptions::default()).unwrap();
+        let text = render_overall(&store, &OverallOptions::default());
+        prop_assert!(text.lines().count() >= 3);
+    }
+}

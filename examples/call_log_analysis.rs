@@ -1,0 +1,190 @@
+//! The full Section V-B case study: overall view (Fig. 5), detailed view
+//! (Fig. 6), automated comparison (Fig. 7), property attribute (Fig. 8),
+//! general impressions, rule mining, and an SVG export of the Fig. 7
+//! chart.
+//!
+//! Run with: `cargo run --release --example call_log_analysis`
+
+use opportunity_map::compare::report;
+use opportunity_map::engine::{EngineConfig, OpportunityMap, Session};
+use opportunity_map::gi::Trend;
+use opportunity_map::viz::compare_view::{render_property_view, CompareViewOptions};
+use opportunity_map::viz::overall::OverallOptions;
+use opportunity_map::viz::svg::{grouped_bar_chart, ChartOptions, Series};
+
+fn main() {
+    // The case study's data set "contains 41 attributes" — generate a
+    // comparable synthetic log (5 core + 30 extra + hardware + 2
+    // continuous + class ≈ 39 analysis attributes).
+    let (dataset, truth) = paper_scenario_with_width();
+    let mut session = Session::new(dataset.clone());
+
+    let om = OpportunityMap::build(dataset, EngineConfig::default()).expect("engine builds");
+
+    // --- Fig. 5: overall visualization -----------------------------------
+    println!("=== Overall visualization (Fig. 5) ===");
+    println!("{}", om.overall_view(&OverallOptions::default()));
+
+    // Trends summary (the colored arrows).
+    let gi = om.general_impressions();
+    let strong: Vec<_> = gi
+        .trends
+        .iter()
+        .filter(|t| matches!(t.trend, Trend::Increasing | Trend::Decreasing))
+        .collect();
+    println!("strong unit trends: {}", strong.len());
+    for t in strong.iter().take(5) {
+        println!(
+            "  {} / {}: {:?} (slope {:+.4}, r2 {:.2})",
+            t.attr_name, t.class_label, t.trend, t.slope, t.r_squared
+        );
+    }
+
+    // --- Fig. 6: detailed visualization of the phone model ---------------
+    println!("\n=== Detailed visualization of PhoneModel (Fig. 6) ===");
+    println!(
+        "{}",
+        om.detailed_view("PhoneModel", &Default::default())
+            .expect("attribute exists")
+    );
+
+    // --- Fig. 7: the comparison -------------------------------------------
+    println!("=== Automated comparison: ph1 vs ph2 on 'dropped' (Fig. 7) ===");
+    let result = om
+        .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+        .expect("comparison runs");
+    println!("{}", report::render(&result, 6));
+    println!("{}", om.comparison_view(&result));
+    session.note(format!(
+        "compared ph1 vs ph2 on dropped; top attribute {}",
+        result.top().map(|t| t.attr_name.as_str()).unwrap_or("-")
+    ));
+
+    // --- Fig. 8: the property attribute ------------------------------------
+    println!("=== Property attribute (Fig. 8) ===");
+    for p in &result.property_attrs {
+        println!(
+            "{}",
+            render_property_view(&result, p, &CompareViewOptions::default())
+        );
+    }
+
+    // --- exceptions and influence (general impressions) --------------------
+    println!("=== General impressions ===");
+    println!("top exceptions:");
+    for e in gi.exceptions.iter().take(5) {
+        println!(
+            "  {}={} on {}: {:.2}% vs rest {:.2}% (z = {:+.1})",
+            e.attr_name,
+            e.value_label,
+            e.class_label,
+            e.confidence * 100.0,
+            e.rest_confidence * 100.0,
+            e.z
+        );
+    }
+    println!("most influential attributes (chi-square):");
+    for i in gi.influence.iter().take(5) {
+        println!("  {:<20} chi2 = {:>10.1}  info gain = {:.4}", i.attr_name, i.chi2, i.info_gain);
+    }
+
+    // --- restricted rule mining (Section III-B) ----------------------------
+    let phone = om.attr_index("PhoneModel").unwrap();
+    let ph2 = om.value_id(phone, "ph2").unwrap();
+    let rules = om
+        .mine_restricted(
+            &[opportunity_map::car::Condition::new(phone, ph2)],
+            &opportunity_map::car::MinerConfig {
+                min_support: 0.0005,
+                min_confidence: 0.05,
+                max_conditions: 3,
+                attrs: None,
+            },
+        )
+        .expect("restricted mining runs");
+    println!("\n=== Restricted mining: rules extending PhoneModel=ph2 ===");
+    for r in rules.iter().filter(|r| r.class == om.class_id("dropped").unwrap()).take(5) {
+        println!("  {}", r.display(om.dataset().schema()));
+    }
+
+    // --- SVG export of the Fig. 7 chart -------------------------------------
+    if let Some(top) = result.top() {
+        let labels: Vec<String> = top.contributions.iter().map(|c| c.label.clone()).collect();
+        let series = vec![
+            Series {
+                name: format!("{} (good)", result.value_1_label),
+                values: top.contributions.iter().map(|c| c.cf1.unwrap_or(0.0)).collect(),
+                margins: Some(
+                    top.contributions
+                        .iter()
+                        .map(|c| (c.rcf1 - c.cf1.unwrap_or(0.0)).abs())
+                        .collect(),
+                ),
+                color: "#4472c4".into(),
+            },
+            Series {
+                name: format!("{} (bad)", result.value_2_label),
+                values: top.contributions.iter().map(|c| c.cf2.unwrap_or(0.0)).collect(),
+                margins: Some(
+                    top.contributions
+                        .iter()
+                        .map(|c| (c.cf2.unwrap_or(0.0) - c.rcf2).abs())
+                        .collect(),
+                ),
+                color: "#ed7d31".into(),
+            },
+        ];
+        let svg = grouped_bar_chart(
+            &labels,
+            &series,
+            &ChartOptions {
+                title: format!(
+                    "Drop rate by {} — {} vs {} (Fig. 7)",
+                    top.attr_name, result.value_1_label, result.value_2_label
+                ),
+                ..Default::default()
+            },
+        );
+        let path = std::env::temp_dir().join("om_fig7.svg");
+        std::fs::write(&path, svg).expect("svg written");
+        println!("\nFig. 7 chart written to {}", path.display());
+    }
+
+    // --- session persistence -------------------------------------------------
+    let path = std::env::temp_dir().join("om_case_study.omss");
+    session.save(&path).expect("session saved");
+    println!("session saved to {}", path.display());
+
+    println!(
+        "\nground truth: top attribute {} / value {}; property attrs {:?}",
+        truth.expected_top_attr, truth.expected_top_value, truth.property_attrs
+    );
+}
+
+fn paper_scenario_with_width() -> (opportunity_map::data::Dataset, opportunity_map::synth::GroundTruth) {
+    // paper_scenario with a wider attribute set (the case study's 41).
+    use opportunity_map::synth::{generate_call_log, CallLogConfig, Effect, GroundTruth};
+    let config = CallLogConfig {
+        n_records: 150_000,
+        n_extra_attrs: 30,
+        seed: 42,
+        effects: vec![
+            Effect::value("PhoneModel", "ph2", "dropped", 0.35),
+            Effect::interaction("PhoneModel", "ph2", "TimeOfCall", "morning", "dropped", 2.2),
+            Effect::value("NetworkLoad", "high", "dropped", 0.8),
+        ],
+        ..CallLogConfig::default()
+    };
+    let ds = generate_call_log(&config);
+    let truth = GroundTruth {
+        compare_attr: "PhoneModel".into(),
+        baseline_value: "ph1".into(),
+        target_value: "ph2".into(),
+        target_class: "dropped".into(),
+        expected_top_attr: "TimeOfCall".into(),
+        expected_top_value: "morning".into(),
+        uninformative_attrs: vec!["NetworkLoad".into()],
+        property_attrs: vec!["PhoneHardwareVersion".into()],
+    };
+    (ds, truth)
+}

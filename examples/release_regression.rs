@@ -1,0 +1,111 @@
+//! Month-over-month regression detection.
+//!
+//! The paper's data arrives monthly; a natural recurring analysis is
+//! "this month's drop rate is worse than last month's — what changed?".
+//! Treating the batch id as just another attribute turns that into the
+//! comparator's own question: compare `Month = may` vs `Month = june` on
+//! class `dropped`, and the ranked attributes localize the regression.
+//!
+//! Here June ships a firmware change that hurts calls while driving;
+//! the comparator should surface `MovementSpeed` with top value
+//! `driving`. The example also demonstrates incremental cube builds:
+//! per-month stores merged with `CubeStore::merge` instead of recounting.
+//!
+//! Run with: `cargo run --release --example release_regression`
+
+use opportunity_map::compare::report;
+use opportunity_map::cube::{CubeStore, StoreBuildOptions};
+use opportunity_map::data::{Attribute, Column, Dataset, Domain, Schema};
+use opportunity_map::engine::{EngineConfig, OpportunityMap};
+use opportunity_map::synth::{generate_call_log, CallLogConfig, Effect};
+
+/// Stack two monthly batches into one dataset with a `Month` attribute.
+fn stack_months(may: &Dataset, june: &Dataset) -> Dataset {
+    let schema = may.schema();
+    let mut attributes: Vec<Attribute> = schema.attributes().to_vec();
+    let month_idx = attributes.len() - 1; // insert before the class
+    attributes.insert(
+        month_idx,
+        Attribute::categorical("Month", Domain::from_labels(["may", "june"])),
+    );
+    let class_idx = attributes.len() - 1;
+    let stacked_schema = Schema::new(attributes, class_idx).expect("valid schema");
+
+    let mut columns: Vec<Column> = Vec::new();
+    for i in 0..schema.n_attributes() {
+        let mut col = may.column(i).clone();
+        col.extend_from(june.column(i));
+        columns.push(col);
+    }
+    let month_col: Vec<u32> = std::iter::repeat_n(0u32, may.n_rows())
+        .chain(std::iter::repeat_n(1u32, june.n_rows()))
+        .collect();
+    columns.insert(month_idx, Column::Categorical(month_col));
+    Dataset::from_columns(stacked_schema, columns).expect("stacked dataset valid")
+}
+
+fn main() {
+    // May: the known-good baseline.
+    let may = generate_call_log(&CallLogConfig {
+        n_records: 80_000,
+        seed: 501,
+        effects: vec![],
+        ..CallLogConfig::default()
+    });
+    // June: same traffic, but the new firmware regresses driving calls.
+    let june = generate_call_log(&CallLogConfig {
+        n_records: 80_000,
+        seed: 502,
+        effects: vec![Effect::value("MovementSpeed", "driving", "dropped", 1.8)],
+        ..CallLogConfig::default()
+    });
+
+    // Incremental cube builds: per-month stores, then one merge — no
+    // recount of May when June lands.
+    let attrs: Vec<usize> = may
+        .schema()
+        .non_class_indices()
+        .into_iter()
+        .filter(|&i| may.schema().attribute(i).is_categorical())
+        .collect();
+    let opts = StoreBuildOptions {
+        attrs: Some(attrs),
+        n_threads: 0,
+    };
+    let may_store = CubeStore::build(&may, &opts).expect("may cubes");
+    let june_store = CubeStore::build(&june, &opts).expect("june cubes");
+    let merged = may_store.merge(&june_store).expect("stores merge");
+    println!(
+        "incremental build: merged {} + {} records into {} pair cubes",
+        may_store.total_records(),
+        june_store.total_records(),
+        merged.n_pair_cubes()
+    );
+
+    // The cross-month comparison runs on the stacked dataset with Month
+    // as an ordinary attribute.
+    let stacked = stack_months(&may, &june);
+    let om = OpportunityMap::build(stacked, EngineConfig::default()).expect("engine builds");
+    println!(
+        "\n{}",
+        om.detailed_view("Month", &Default::default()).expect("month view")
+    );
+
+    let result = om
+        .compare_by_name("Month", "may", "june", "dropped")
+        .expect("comparison runs");
+    println!("{}", report::render(&result, 6));
+    println!("{}", om.comparison_view(&result));
+
+    let top = result.top().expect("ranked attributes");
+    println!(
+        "regression localized to: {} = {} ({}); expected MovementSpeed = driving",
+        top.attr_name,
+        top.top_values()[0].label,
+        if top.attr_name == "MovementSpeed" {
+            "CORRECT"
+        } else {
+            "UNEXPECTED"
+        }
+    );
+}

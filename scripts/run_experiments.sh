@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper's evaluation.
+#
+#   ./scripts/run_experiments.sh            # scaled-down (seconds)
+#   OM_FULL=1 ./scripts/run_experiments.sh  # the paper's sizes (minutes)
+#
+# Results are written to experiments_out/ alongside stdout.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR=experiments_out
+mkdir -p "$OUT_DIR"
+
+cargo build --release -p om-bench --bins
+
+run() {
+    local name="$1"
+    echo "=== $name ==="
+    "./target/release/$name" | tee "$OUT_DIR/$name.txt"
+    echo
+}
+
+run exp_table1        # Table I  — z values
+run exp_boundary      # Figs 2/4 — measure boundary situations
+run exp_fig9          # Fig 9    — comparison time vs attributes (linear)
+run exp_fig10         # Fig 10   — cube generation vs attributes (quadratic)
+run exp_fig11         # Fig 11   — cube generation vs records (linear)
+run exp_recovery      # Sec V-B  — case-study recovery + confound ablation
+run exp_property_tau  # Sec IV-C — tau sweep
+run exp_drill         # extension — nested-cause drill-down recovery
+
+echo "All experiments done; outputs in $OUT_DIR/."

@@ -1,0 +1,53 @@
+//! # Opportunity Map — "Finding Actionable Knowledge via Automated Comparison"
+//!
+//! A production-quality Rust reproduction of Zhang, Liu, Benkler & Zhou,
+//! *Finding Actionable Knowledge via Automated Comparison* (ICDE 2009):
+//! the Motorola **Opportunity Map** diagnostic data-mining system — rule
+//! cubes, OLAP exploration, general impressions — plus the paper's
+//! contribution, the **automated sub-population comparator**.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use opportunity_map::engine::{EngineConfig, OpportunityMap};
+//! use opportunity_map::synth::paper_scenario;
+//!
+//! // Synthetic cellular call logs with a planted cause: phone 2 drops
+//! // calls dramatically more often in the morning.
+//! let (dataset, truth) = paper_scenario(20_000, 42);
+//!
+//! // Discretize, build every 2-D and 3-D rule cube, and compare.
+//! let om = OpportunityMap::build(dataset, EngineConfig::default()).unwrap();
+//! let result = om
+//!     .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+//!     .unwrap();
+//!
+//! // The comparator surfaces the planted cause at rank 1.
+//! assert_eq!(result.top().unwrap().attr_name, truth.expected_top_attr);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | paper section |
+//! |---|---|---|
+//! | [`data`] | `om-data` | the classification datasets of Sec. I |
+//! | [`stats`] | `om-stats` | Table I, Sec. IV-B statistics |
+//! | [`discretize`] | `om-discretize` | the discretizer of Sec. V-A |
+//! | [`car`] | `om-car` | class association rules, Sec. III-A |
+//! | [`cube`] | `om-cube` | rule cubes + OLAP, Sec. III-B |
+//! | [`gi`] | `om-gi` | general impressions, Sec. III-B |
+//! | [`compare`] | `om-compare` | **the contribution**, Sec. III-C & IV |
+//! | [`viz`] | `om-viz` | the visualizer, Sec. V-A/B (Figs. 5–8) |
+//! | [`synth`] | `om-synth` | synthetic stand-in for the Motorola logs |
+//! | [`engine`] | `om-engine` | the assembled system of Sec. V-A |
+
+pub use om_car as car;
+pub use om_compare as compare;
+pub use om_cube as cube;
+pub use om_data as data;
+pub use om_discretize as discretize;
+pub use om_engine as engine;
+pub use om_gi as gi;
+pub use om_stats as stats;
+pub use om_synth as synth;
+pub use om_viz as viz;

@@ -1,0 +1,177 @@
+//! Failure injection and degenerate inputs through the full engine:
+//! nothing here should panic, and errors must be descriptive.
+
+use opportunity_map::data::{Cell, DatasetBuilder};
+use opportunity_map::engine::{EngineConfig, OpportunityMap};
+
+#[test]
+fn single_attribute_dataset() {
+    let mut b = DatasetBuilder::new().categorical("A").class("C");
+    for i in 0..100 {
+        b.push_row(&[
+            Cell::Str(if i % 2 == 0 { "x" } else { "y" }),
+            Cell::Str(if i % 10 < 2 { "bad" } else { "ok" }),
+        ])
+        .unwrap();
+    }
+    let om = OpportunityMap::build(b.finish().unwrap(), EngineConfig::default()).unwrap();
+    // Comparison needs at least one *other* attribute to rank: result is
+    // an empty ranking, not a crash.
+    let result = om.compare_by_name("A", "x", "y", "bad").unwrap();
+    assert!(result.ranked.is_empty());
+    assert!(result.top().is_none());
+    // GI and views still work.
+    let _ = om.general_impressions();
+    let _ = om.overall_view(&Default::default());
+}
+
+#[test]
+fn class_value_never_occurs() {
+    // Domain contains a class label with zero records (interned but unused).
+    let mut b = DatasetBuilder::new().categorical("A").categorical("B").class("C");
+    b.push_row(&[Cell::Str("a0"), Cell::Str("b0"), Cell::Str("ghost")]).unwrap();
+    for i in 0..200 {
+        b.push_row(&[
+            Cell::Str(if i % 2 == 0 { "a0" } else { "a1" }),
+            Cell::Str(if i % 3 == 0 { "b0" } else { "b1" }),
+            Cell::Str(if i % 10 == 0 { "bad" } else { "ok" }),
+        ])
+        .unwrap();
+    }
+    let ds = b.finish().unwrap();
+    let om = OpportunityMap::build(ds, EngineConfig::default()).unwrap();
+    // Comparing on the nearly-empty class: the sole ghost record makes one
+    // sub-population confidence 0 ⇒ a clean error, not a panic.
+    let r = om.compare_by_name("A", "a0", "a1", "ghost");
+    assert!(r.is_err());
+    let msg = r.unwrap_err().to_string();
+    assert!(msg.contains("never occurs") || msg.contains("ratio"), "{msg}");
+}
+
+#[test]
+fn all_records_one_class() {
+    let mut b = DatasetBuilder::new().categorical("A").categorical("B").class("C");
+    for i in 0..100 {
+        b.push_row(&[
+            Cell::Str(if i % 2 == 0 { "x" } else { "y" }),
+            Cell::Str("z"),
+            Cell::Str("only"),
+        ])
+        .unwrap();
+    }
+    let om = OpportunityMap::build(b.finish().unwrap(), EngineConfig::default()).unwrap();
+    // 100% confidence everywhere; comparison degenerates but must not panic.
+    let result = om.compare_by_name("A", "x", "y", "only").unwrap();
+    // cf1 == cf2 == 1.0 ⇒ ratio 1 ⇒ every F_k <= 0 ⇒ all scores 0.
+    for s in &result.ranked {
+        assert_eq!(s.score, 0.0);
+    }
+}
+
+#[test]
+fn huge_cardinality_attribute() {
+    // 500 distinct values over 2000 records: wide cube, must stay correct.
+    let mut b = DatasetBuilder::new().categorical("Id").categorical("B").class("C");
+    let labels: Vec<String> = (0..500).map(|i| format!("v{i}")).collect();
+    for i in 0..2000usize {
+        b.push_row(&[
+            Cell::Str(&labels[i % 500]),
+            Cell::Str(if i % 2 == 0 { "b0" } else { "b1" }),
+            Cell::Str(if i % 20 == 0 { "bad" } else { "ok" }),
+        ])
+        .unwrap();
+    }
+    let ds = b.finish().unwrap();
+    let om = OpportunityMap::build(ds, EngineConfig::default()).unwrap();
+    assert_eq!(om.dataset().schema().attribute(0).cardinality(), 500);
+    let _ = om.overall_view(&Default::default());
+    // With collapsing the width becomes manageable.
+    let mut b2 = DatasetBuilder::new().categorical("Id").categorical("B").class("C");
+    for i in 0..2000usize {
+        b2.push_row(&[
+            Cell::Str(&labels[i % 500]),
+            Cell::Str(if i % 2 == 0 { "b0" } else { "b1" }),
+            Cell::Str(if i % 20 == 0 { "bad" } else { "ok" }),
+        ])
+        .unwrap();
+    }
+    let om2 = OpportunityMap::build(
+        b2.finish().unwrap(),
+        EngineConfig {
+            collapse_min_count: Some(10),
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(om2.dataset().schema().attribute(0).cardinality() <= 2);
+}
+
+#[test]
+fn constant_continuous_attribute() {
+    let mut b = DatasetBuilder::new()
+        .categorical("A")
+        .continuous("Flat")
+        .class("C");
+    for i in 0..100 {
+        b.push_row(&[
+            Cell::Str(if i % 2 == 0 { "x" } else { "y" }),
+            Cell::Num(7.0),
+            Cell::Str(if i % 5 == 0 { "bad" } else { "ok" }),
+        ])
+        .unwrap();
+    }
+    let om = OpportunityMap::build(b.finish().unwrap(), EngineConfig::default()).unwrap();
+    // The flat attribute becomes a single-value categorical; comparisons
+    // treat it as carrying no signal.
+    let flat = om.attr_index("Flat").unwrap();
+    assert_eq!(om.dataset().schema().attribute(flat).cardinality(), 1);
+    let result = om.compare_by_name("A", "x", "y", "bad").unwrap();
+    let flat_score = result
+        .ranked
+        .iter()
+        .chain(&result.property_attrs)
+        .find(|s| s.attr_name == "Flat")
+        .unwrap();
+    assert_eq!(flat_score.score.max(0.0), flat_score.score);
+}
+
+#[test]
+fn all_nan_continuous_attribute() {
+    let mut b = DatasetBuilder::new()
+        .categorical("A")
+        .continuous("Nan")
+        .class("C");
+    for i in 0..60 {
+        b.push_row(&[
+            Cell::Str(if i % 2 == 0 { "x" } else { "y" }),
+            Cell::Num(f64::NAN),
+            Cell::Str(if i % 4 < 2 { "bad" } else { "ok" }),
+        ])
+        .unwrap();
+    }
+    let om = OpportunityMap::build(b.finish().unwrap(), EngineConfig::default()).unwrap();
+    let nan_attr = om.attr_index("Nan").unwrap();
+    // Everything lands in the missing bin.
+    let counts = om.dataset().value_counts(nan_attr).unwrap();
+    assert_eq!(counts.iter().sum::<u64>(), 60);
+    let _ = om.compare_by_name("A", "x", "y", "bad").unwrap();
+}
+
+#[test]
+fn gi_report_renders_on_small_data() {
+    let mut b = DatasetBuilder::new().categorical("A").categorical("B").class("C");
+    for i in 0..300 {
+        b.push_row(&[
+            Cell::Str(["p", "q", "r"][i % 3]),
+            Cell::Str(if i % 2 == 0 { "b0" } else { "b1" }),
+            Cell::Str(if i % 6 == 0 { "bad" } else { "ok" }),
+        ])
+        .unwrap();
+    }
+    let om = OpportunityMap::build(b.finish().unwrap(), EngineConfig::default()).unwrap();
+    let report = om.gi_report(5);
+    assert!(report.contains("Trends"));
+    assert!(report.contains("Exceptions"));
+    assert!(report.contains("Interaction exceptions"));
+    assert!(report.contains("Influential attributes"));
+}

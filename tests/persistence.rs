@@ -1,0 +1,104 @@
+//! Persistence integration: datasets, cubes and sessions survive the
+//! round trip, and a reloaded session reproduces the same analysis.
+
+use opportunity_map::cube::persist::{decode_cube, encode_cube};
+use opportunity_map::cube::{build_cube, CubeStore, StoreBuildOptions};
+use opportunity_map::data::persist::{decode_dataset, encode_dataset};
+use opportunity_map::engine::{EngineConfig, OpportunityMap, Session};
+use opportunity_map::synth::{generate_call_log, paper_scenario, CallLogConfig};
+
+#[test]
+fn dataset_round_trip_preserves_analysis() {
+    let (ds, truth) = paper_scenario(30_000, 8);
+    let restored = decode_dataset(encode_dataset(&ds)).unwrap();
+    assert_eq!(restored, ds);
+
+    let a = OpportunityMap::build(ds, EngineConfig::default()).unwrap();
+    let b = OpportunityMap::build(restored, EngineConfig::default()).unwrap();
+    let ra = a
+        .compare_by_name("PhoneModel", "ph1", "ph2", &truth.target_class)
+        .unwrap();
+    let rb = b
+        .compare_by_name("PhoneModel", "ph1", "ph2", &truth.target_class)
+        .unwrap();
+    assert_eq!(ra, rb, "identical data must give identical comparisons");
+}
+
+#[test]
+fn cube_round_trip_through_disk() {
+    let ds = generate_call_log(&CallLogConfig {
+        n_records: 5_000,
+        ..CallLogConfig::default()
+    });
+    let s = ds.schema();
+    let phone = s.attr_index("PhoneModel").unwrap();
+    let time = s.attr_index("TimeOfCall").unwrap();
+    let cube = build_cube(&ds, &[phone, time]).unwrap();
+
+    let dir = std::env::temp_dir().join("om_persist_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pair.omrc");
+    std::fs::write(&path, encode_cube(&cube)).unwrap();
+    let raw = std::fs::read(&path).unwrap();
+    let restored = decode_cube(bytes::Bytes::from(raw)).unwrap();
+    assert_eq!(restored, cube);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn session_reload_reproduces_comparison() {
+    let (ds, truth) = paper_scenario(30_000, 9);
+    let mut session = Session::new(ds);
+    session.note("first pass");
+
+    let dir = std::env::temp_dir().join("om_persist_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("analysis.omss");
+    session.save(&path).unwrap();
+
+    let reloaded = Session::load(&path).unwrap();
+    assert_eq!(reloaded.log, vec!["first pass".to_string()]);
+    let om = reloaded.open_engine(EngineConfig::default()).unwrap();
+    let result = om
+        .compare_by_name("PhoneModel", "ph1", "ph2", &truth.target_class)
+        .unwrap();
+    assert_eq!(result.top().unwrap().attr_name, truth.expected_top_attr);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_artifacts_rejected_not_panicking() {
+    let ds = generate_call_log(&CallLogConfig {
+        n_records: 500,
+        ..CallLogConfig::default()
+    });
+    let mut ds_bytes = encode_dataset(&ds).to_vec();
+    // Flip the magic and a middle byte.
+    ds_bytes[0] ^= 0xff;
+    assert!(decode_dataset(bytes::Bytes::from(ds_bytes.clone())).is_err());
+    ds_bytes[0] ^= 0xff;
+    let mid = ds_bytes.len() / 2;
+    ds_bytes.truncate(mid);
+    assert!(decode_dataset(bytes::Bytes::from(ds_bytes)).is_err());
+
+    let cube = build_cube(&ds, &[0]).unwrap();
+    let mut cube_bytes = encode_cube(&cube).to_vec();
+    cube_bytes.truncate(cube_bytes.len() / 3);
+    assert!(decode_cube(bytes::Bytes::from(cube_bytes)).is_err());
+}
+
+#[test]
+fn store_rebuild_after_reload_is_identical() {
+    let ds = generate_call_log(&CallLogConfig {
+        n_records: 4_000,
+        n_extra_attrs: 0,
+        ..CallLogConfig::default()
+    });
+    let restored = decode_dataset(encode_dataset(&ds)).unwrap();
+    let a = CubeStore::build(&ds, &StoreBuildOptions::default()).unwrap();
+    let b = CubeStore::build(&restored, &StoreBuildOptions::default()).unwrap();
+    assert_eq!(a.attrs(), b.attrs());
+    for &i in a.attrs() {
+        assert_eq!(*a.one_dim(i).unwrap(), *b.one_dim(i).unwrap());
+    }
+}

@@ -1,0 +1,164 @@
+//! Statistical recovery: across many independently seeded datasets, the
+//! paper's measure must put the planted cause first essentially always,
+//! and beat the naive baselines on the confound scenario.
+
+use opportunity_map::compare::baselines::{
+    AbsConfDiffRanker, AttributeRanker, OmRanker,
+};
+use opportunity_map::compare::{CompareConfig, ComparisonSpec, IntervalMethod};
+use opportunity_map::cube::{CubeStore, StoreBuildOptions};
+use opportunity_map::synth::{generate_call_log, CallLogConfig, Effect};
+
+/// Build a *proportional confound* scenario: ph2 is uniformly worse than
+/// ph1 (a main effect only), and one attribute (`LocationType=rural`)
+/// raises drops for BOTH phones. A correct comparator finds nothing to
+/// blame (the Fig. 2(A) situation); a naive |Δconfidence| ranker blames
+/// the common cause.
+fn confound_scenario(seed: u64) -> (opportunity_map::data::Dataset, ComparisonSpec) {
+    let ds = generate_call_log(&CallLogConfig {
+        n_records: 60_000,
+        seed,
+        effects: vec![
+            Effect::value("PhoneModel", "ph2", "dropped", 1.0),
+            Effect::value("LocationType", "rural", "dropped", 1.5),
+        ],
+        ..CallLogConfig::default()
+    });
+    let s = ds.schema();
+    let attr = s.attr_index("PhoneModel").unwrap();
+    let spec = ComparisonSpec {
+        attr,
+        value_1: s.attribute(attr).domain().get("ph1").unwrap(),
+        value_2: s.attribute(attr).domain().get("ph2").unwrap(),
+        class: s.class().domain().get("dropped").unwrap(),
+    };
+    (ds, spec)
+}
+
+/// The planted-interaction scenario of the case study.
+fn interaction_scenario(seed: u64) -> (opportunity_map::data::Dataset, ComparisonSpec) {
+    let ds = generate_call_log(&CallLogConfig {
+        n_records: 60_000,
+        seed,
+        effects: vec![
+            Effect::value("PhoneModel", "ph2", "dropped", 0.35),
+            Effect::interaction("PhoneModel", "ph2", "TimeOfCall", "morning", "dropped", 2.2),
+            Effect::value("NetworkLoad", "high", "dropped", 0.8),
+        ],
+        ..CallLogConfig::default()
+    });
+    let s = ds.schema();
+    let attr = s.attr_index("PhoneModel").unwrap();
+    let spec = ComparisonSpec {
+        attr,
+        value_1: s.attribute(attr).domain().get("ph1").unwrap(),
+        value_2: s.attribute(attr).domain().get("ph2").unwrap(),
+        class: s.class().domain().get("dropped").unwrap(),
+    };
+    (ds, spec)
+}
+
+#[test]
+fn om_measure_recovers_interaction_across_trials() {
+    let ranker = OmRanker(CompareConfig::default());
+    let mut hits = 0;
+    let trials = 8;
+    for seed in 0..trials {
+        let (ds, spec) = interaction_scenario(1000 + seed);
+        let store = CubeStore::build(&ds, &StoreBuildOptions::default()).unwrap();
+        let ranking = ranker.rank(&store, &spec).unwrap();
+        if ranking[0].attr_name == "TimeOfCall" {
+            hits += 1;
+        }
+    }
+    assert!(hits >= trials - 1, "recovered {hits}/{trials}");
+}
+
+#[test]
+fn om_measure_is_quiet_on_pure_confound() {
+    // With only a proportional main effect + common cause, no attribute
+    // truly distinguishes the phones: the top normalized score must be
+    // tiny compared to the interaction scenario's.
+    let ranker = OmRanker(CompareConfig {
+        interval: IntervalMethod::paper_default(),
+        ..CompareConfig::default()
+    });
+
+    let (ds, spec) = confound_scenario(500);
+    let store = CubeStore::build(&ds, &StoreBuildOptions::default()).unwrap();
+    let quiet = ranker.rank(&store, &spec).unwrap();
+
+    let (ds2, spec2) = interaction_scenario(501);
+    let store2 = CubeStore::build(&ds2, &StoreBuildOptions::default()).unwrap();
+    let loud = ranker.rank(&store2, &spec2).unwrap();
+
+    assert!(
+        loud[0].score > 10.0 * quiet[0].score.max(1e-9),
+        "interaction top {} vs confound top {}",
+        loud[0].score,
+        quiet[0].score
+    );
+}
+
+#[test]
+fn naive_diff_ranker_is_fooled_by_the_confound() {
+    // |Δconfidence| ignores the expected ratio: under a big uniform main
+    // effect every attribute looks "different", so its top score on the
+    // confound scenario stays comparable to its interaction-scenario one.
+    // This contrast justifies the paper's F_k formulation.
+    let naive = AbsConfDiffRanker;
+
+    let (ds, spec) = confound_scenario(600);
+    let store = CubeStore::build(&ds, &StoreBuildOptions::default()).unwrap();
+    let confound_top = naive.rank(&store, &spec).unwrap()[0].score;
+
+    let (ds2, spec2) = interaction_scenario(601);
+    let store2 = CubeStore::build(&ds2, &StoreBuildOptions::default()).unwrap();
+    let interaction_top = naive.rank(&store2, &spec2).unwrap()[0].score;
+
+    // The naive ranker CANNOT separate the two regimes the way the OM
+    // measure does (>10x): its scores are within a small factor.
+    assert!(
+        interaction_top < 10.0 * confound_top,
+        "naive separation unexpectedly large: {interaction_top} vs {confound_top}"
+    );
+}
+
+#[test]
+fn ci_ablation_reduces_false_positives_on_null_data() {
+    // Null scenario: NO planted effects at all; any positive score is a
+    // false positive. The CI-adjusted measure must report (much) smaller
+    // top scores than the unadjusted one.
+    let mut raw_top = 0.0f64;
+    let mut adj_top = 0.0f64;
+    for seed in 0..5 {
+        let ds = generate_call_log(&CallLogConfig {
+            n_records: 30_000,
+            seed: 2000 + seed,
+            effects: vec![],
+            ..CallLogConfig::default()
+        });
+        let s = ds.schema();
+        let attr = s.attr_index("PhoneModel").unwrap();
+        let spec = ComparisonSpec {
+            attr,
+            value_1: 0,
+            value_2: 1,
+            class: s.class().domain().get("dropped").unwrap(),
+        };
+        let store = CubeStore::build(&ds, &StoreBuildOptions::default()).unwrap();
+        let raw = OmRanker(CompareConfig {
+            interval: IntervalMethod::None,
+            ..CompareConfig::default()
+        })
+        .rank(&store, &spec)
+        .unwrap();
+        let adj = OmRanker(CompareConfig::default()).rank(&store, &spec).unwrap();
+        raw_top += raw[0].score;
+        adj_top += adj[0].score;
+    }
+    assert!(
+        adj_top < raw_top * 0.5,
+        "CI adjustment did not reduce null-data noise: raw {raw_top}, adjusted {adj_top}"
+    );
+}

@@ -1,0 +1,130 @@
+//! om-server throughput: loopback clients hammering a live daemon.
+//!
+//! Three measurements:
+//! 1. cold — every request recomputes the comparison (cache disabled);
+//! 2. hot — the same request served from the LRU cache;
+//! 3. concurrent — 8 client threads against the cached server.
+//!
+//! The hot/cold ratio is the headline: the cache turns an engine-bound
+//! query into a hash lookup, so it should be well over 10×.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use om_engine::{EngineConfig, OpportunityMap};
+use om_server::{Server, ServerConfig};
+use om_synth::paper_scenario;
+
+/// The benched query is `/drill`: each cold run rebuilds conditioned
+/// cube stores level by level, so it is genuinely engine-bound (tens of
+/// milliseconds), while a cache hit is a hash lookup plus loopback TCP.
+/// `/compare` alone reads pre-built cubes in ~300µs — too close to the
+/// ~90µs connection overhead for the cache to show its real effect.
+const TARGET: &str = "/drill?attr=PhoneModel&v1=ph1&v2=ph2&class=dropped&depth=2";
+const COMPARE: &str = "/compare?attr=PhoneModel&v1=ph1&v2=ph2&class=dropped";
+
+fn get(addr: SocketAddr, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(
+        response.starts_with("HTTP/1.1 200 "),
+        "unexpected response: {}",
+        response.lines().next().unwrap_or("<empty>")
+    );
+    response
+}
+
+/// Mean per-request wall time of `n` serial requests.
+fn time_serial(addr: SocketAddr, n: u32) -> Duration {
+    let start = Instant::now();
+    for _ in 0..n {
+        let _ = get(addr, TARGET);
+    }
+    start.elapsed() / n
+}
+
+fn start(engine: &Arc<OpportunityMap>, cache_capacity: usize) -> Server {
+    Server::start(
+        Arc::clone(engine),
+        ServerConfig {
+            cache_capacity,
+            n_workers: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+fn main() {
+    println!("building engine (50k records)…");
+    let (ds, _) = paper_scenario(50_000, 9);
+    let engine = Arc::new(OpportunityMap::build(ds, EngineConfig::default()).expect("build"));
+
+    // Cold: cache disabled, every request runs the comparator.
+    let cold_server = start(&engine, 0);
+    let cold_addr = cold_server.local_addr();
+    let _ = get(cold_addr, TARGET); // connection warm-up
+    let cold = time_serial(cold_addr, 10);
+    cold_server.shutdown();
+
+    // Hot: cache enabled and primed.
+    let hot_server = start(&engine, 256);
+    let hot_addr = hot_server.local_addr();
+    let _ = get(hot_addr, TARGET); // prime the cache
+    let hot = time_serial(hot_addr, 200);
+
+    let speedup = cold.as_secs_f64() / hot.as_secs_f64();
+    println!("serve_throughput/cold      {:>10.1} µs/req", cold.as_secs_f64() * 1e6);
+    println!("serve_throughput/cache-hit {:>10.1} µs/req", hot.as_secs_f64() * 1e6);
+    println!("serve_throughput/speedup   {speedup:>10.1}x (cache hit vs cold)");
+
+    // Concurrent: 8 clients, mixed hit/miss traffic, on the hot server.
+    let n_threads = 8u32;
+    let per_thread = 100u32;
+    let start_all = Instant::now();
+    let handles: Vec<_> = (0..n_threads)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    // Mix cheap reads, cached drills, and slices so the
+                    // cache and the engine path both see concurrency.
+                    match (t + i) % 8 {
+                        0 => drop(get(hot_addr, "/cube/slice?attr=PhoneModel")),
+                        1..=3 => drop(get(hot_addr, COMPARE)),
+                        _ => drop(get(hot_addr, TARGET)),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed = start_all.elapsed();
+    let total = u64::from(n_threads * per_thread);
+    println!(
+        "serve_throughput/concurrent {total} reqs × 8 threads in {:.2?} ({:.0} req/s)",
+        elapsed,
+        total as f64 / elapsed.as_secs_f64()
+    );
+    let metrics = hot_server.metrics();
+    println!(
+        "serve_throughput/metrics   {} hit(s), {} miss(es), {} error(s)",
+        metrics.cache_hits(),
+        metrics.cache_misses(),
+        metrics.errors()
+    );
+    hot_server.shutdown();
+
+    assert!(
+        speedup >= 10.0,
+        "cache-hit speedup {speedup:.1}x below the 10x floor"
+    );
+    assert_eq!(metrics.errors(), 0, "errors during concurrent run");
+}

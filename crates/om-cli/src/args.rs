@@ -30,7 +30,7 @@ impl Parsed {
             if let Some(key) = token.strip_prefix("--") {
                 // A switch if it's the last token or the next token is
                 // another option; otherwise a key/value pair.
-                let is_switch = matches!(key, "help" | "no-ci" | "full" | "ansi");
+                let is_switch = matches!(key, "help" | "no-ci" | "full" | "ansi" | "verbose");
                 if is_switch {
                     switches.push(key.to_owned());
                 } else {

@@ -13,6 +13,7 @@ pub mod overview;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod serve;
 
 use std::io::BufReader;
 

@@ -1,0 +1,155 @@
+//! `opmap serve` — run the HTTP query daemon over a dataset.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+use om_server::{Server, ServerConfig};
+
+use crate::args::Parsed;
+use crate::{CliError, CliResult};
+
+const HELP: &str = "\
+opmap serve — run the HTTP query daemon
+
+Builds the engine once (discretization + full cube store), then serves
+read-only queries: /compare, /drill, /gi, /cube/slice, /healthz, /metrics.
+
+OPTIONS:
+  --data <csv>         Dataset to serve (with --class); omitted → synthetic
+  --class <column>     Class column of --data
+  --records <n>        Synthetic dataset size when --data is omitted [50000]
+  --seed <n>           Synthetic dataset seed [7]
+  --bins <k>           Equal-frequency bins instead of MDL discretization
+  --addr <host:port>   Bind address (port 0 → ephemeral) [127.0.0.1:7878]
+  --workers <n>        Worker threads [4]
+  --cache <n>          Response-cache capacity, 0 disables [256]
+  --timeout-ms <ms>    Per-request read timeout [5000]
+  --duration-ms <ms>   Serve for this long then exit; 0 = forever [0]
+  --verbose            Log one line per request to stderr";
+
+/// Entry point for `opmap serve`.
+///
+/// # Errors
+/// Usage errors for bad flags; failures for unreadable data or an
+/// unbindable address.
+pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
+    if parsed.switch("help") {
+        writeln!(out, "{HELP}").ok();
+        return Ok(());
+    }
+    let addr = parsed
+        .optional("addr")
+        .unwrap_or_else(|| "127.0.0.1:7878".to_owned());
+    let n_workers = parsed.parse_or("workers", 4usize)?;
+    let cache_capacity = parsed.parse_or("cache", 256usize)?;
+    let timeout_ms = parsed.parse_or("timeout-ms", 5000u64)?;
+    let duration_ms = parsed.parse_or("duration-ms", 0u64)?;
+
+    let dataset = if parsed.optional("data").is_some() {
+        super::load_dataset(parsed)?
+    } else {
+        let records = parsed.parse_or("records", 50_000usize)?;
+        let seed = parsed.parse_or("seed", 7u64)?;
+        om_synth::paper_scenario(records, seed).0
+    };
+    let engine = super::build_engine(parsed, dataset)?;
+    parsed.reject_unknown()?;
+
+    let server = Server::start(
+        Arc::new(engine),
+        ServerConfig {
+            addr,
+            n_workers,
+            cache_capacity,
+            request_timeout: Duration::from_millis(timeout_ms),
+            verbose: parsed.switch("verbose"),
+        },
+    )
+    .map_err(|e| CliError::Failed(format!("cannot start server: {e}")))?;
+    writeln!(out, "om-server listening on http://{}", server.local_addr()).ok();
+    out.flush().ok();
+
+    if duration_ms == 0 {
+        // Serve until the process is killed.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_millis(duration_ms));
+    let metrics = server.metrics();
+    server.shutdown();
+    writeln!(
+        out,
+        "served {} request(s), {} error(s), cache {} hit(s) / {} miss(es)",
+        om_server::metrics::Endpoint::ALL
+            .iter()
+            .map(|&e| metrics.requests(e))
+            .sum::<u64>(),
+        metrics.errors(),
+        metrics.cache_hits(),
+        metrics.cache_misses()
+    )
+    .ok();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_args(args: &[&str]) -> (CliResult, String) {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut parsed = Parsed::parse(&argv).unwrap();
+        let _ = parsed.command();
+        let mut out = Vec::new();
+        let r = run(&mut parsed, &mut out);
+        (r, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn help_prints_options() {
+        let (r, text) = run_args(&["serve", "--help"]);
+        assert!(r.is_ok());
+        assert!(text.contains("--addr"));
+        assert!(text.contains("/metrics"));
+    }
+
+    #[test]
+    fn bad_option_is_usage_error() {
+        let (r, _) = run_args(&[
+            "serve",
+            "--records",
+            "500",
+            "--duration-ms",
+            "1",
+            "--typo",
+            "x",
+        ]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn serves_synthetic_data_for_a_moment() {
+        let (r, text) = run_args(&[
+            "serve",
+            "--records",
+            "2000",
+            "--addr",
+            "127.0.0.1:0",
+            "--duration-ms",
+            "50",
+            "--workers",
+            "2",
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(text.contains("om-server listening on http://127.0.0.1:"));
+        assert!(text.contains("served 0 request(s)"));
+    }
+
+    #[test]
+    fn missing_class_with_data_is_usage_error() {
+        let (r, _) = run_args(&["serve", "--data", "/nonexistent.csv", "--duration-ms", "1"]);
+        assert!(r.is_err());
+    }
+}

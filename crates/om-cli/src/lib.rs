@@ -78,6 +78,7 @@ COMMANDS:
   rules      Mine class association rules
   report     Full Markdown analysis report in one call
   scan       Auto-detect significant value pairs and compare each
+  serve      Run the HTTP query daemon over a dataset
   help       Show this message
 
 Run `opmap <COMMAND> --help` for command options.";
@@ -111,6 +112,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> CliResult {
         "heatmap" => commands::heatmap::run(&mut parsed, out),
         "rules" => commands::rules::run(&mut parsed, out),
         "scan" => commands::scan::run(&mut parsed, out),
+        "serve" => commands::serve::run(&mut parsed, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").ok();
             Ok(())

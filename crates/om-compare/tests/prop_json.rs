@@ -1,0 +1,337 @@
+//! Property test: `json::to_json` emits valid JSON for *arbitrary*
+//! attribute, value and class names — including quotes, backslashes,
+//! control characters and astral-plane code points — and for
+//! non-finite floats.
+
+use om_compare::json::to_json;
+use om_compare::{AttrScore, ComparisonResult, PropertyInfo, ValueContribution};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// A minimal recursive-descent JSON validity checker (validates, never
+// builds a tree). Strict enough to reject unescaped quotes, raw control
+// characters, bad escapes, trailing garbage and malformed numbers.
+// ---------------------------------------------------------------------
+
+struct Checker<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Checker<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, String> {
+        let b = self.peek().ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.bump()?;
+        if got == b {
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at {}, got {:?}", b as char, self.pos, got as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string(),
+            b't' => self.literal("true"),
+            b'f' => self.literal("false"),
+            b'n' => self.literal("null"),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!("unexpected byte {:?} at {}", other as char, self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        for &b in lit.as_bytes() {
+            self.expect(b)?;
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Ok(()),
+                other => return Err(format!("bad object separator {:?}", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => return Ok(()),
+                other => return Err(format!("bad array separator {:?}", other as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(()),
+                b'\\' => match self.bump()? {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                    b'u' => {
+                        for _ in 0..4 {
+                            let h = self.bump()?;
+                            if !h.is_ascii_hexdigit() {
+                                return Err(format!("bad \\u escape at {}", self.pos));
+                            }
+                        }
+                    }
+                    other => return Err(format!("bad escape \\{}", other as char)),
+                },
+                b if b < 0x20 => {
+                    return Err(format!("raw control byte {b:#04x} in string"));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err("number with no digits".into());
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err("number with empty fraction".into());
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err("number with empty exponent".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validate one complete JSON document.
+fn assert_valid_json(doc: &str) {
+    let mut checker = Checker::new(doc);
+    if let Err(why) = checker.value() {
+        panic!("invalid JSON ({why}): {doc}");
+    }
+    checker.skip_ws();
+    assert!(
+        checker.pos == checker.bytes.len(),
+        "trailing garbage after document: {doc}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// Arbitrary Unicode strings, biased toward JSON-hostile characters.
+fn arb_name() -> impl Strategy<Value = String> {
+    collection::vec(
+        (0u32..6, 0u32..0x11_0000).prop_map(|(kind, cp)| match kind {
+            0 => '"',
+            1 => '\\',
+            2 => '\n',
+            3 => '\u{1}',
+            _ => char::from_u32(cp).unwrap_or('\u{FFFD}'),
+        }),
+        0..12,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Floats including the non-finite values `num()` must clamp to null.
+fn arb_float() -> impl Strategy<Value = f64> {
+    (0u32..8, -1.0e9f64..1.0e9).prop_map(|(kind, x)| match kind {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        _ => x,
+    })
+}
+
+fn arb_contribution() -> impl Strategy<Value = ValueContribution> {
+    (
+        (arb_name(), 0u32..64, 0u64..10_000, 0u64..10_000),
+        (arb_float(), arb_float(), arb_float(), arb_float()),
+        (0u32..3, arb_float(), 0u32..3, arb_float()),
+    )
+        .prop_map(
+            |((label, value, n1, n2), (rcf1, rcf2, f, w), (k1, c1, k2, c2))| ValueContribution {
+                value,
+                label,
+                n1,
+                n2,
+                x1: n1 / 2,
+                x2: n2 / 2,
+                cf1: if k1 == 0 { None } else { Some(c1) },
+                cf2: if k2 == 0 { None } else { Some(c2) },
+                rcf1,
+                rcf2,
+                f,
+                w,
+            },
+        )
+}
+
+fn arb_score() -> impl Strategy<Value = AttrScore> {
+    (
+        arb_name(),
+        0usize..32,
+        arb_float(),
+        arb_float(),
+        collection::vec(arb_contribution(), 0..4),
+        (0usize..8, 0usize..8),
+    )
+        .prop_map(|(attr_name, attr, score, normalized, contributions, (p, t))| AttrScore {
+            attr,
+            attr_name,
+            score,
+            normalized,
+            contributions,
+            property: PropertyInfo { p, t },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn to_json_is_always_valid_json(
+        names in collection::vec(arb_name(), 4),
+        ranked in collection::vec(arb_score(), 0..3),
+        props in collection::vec(arb_score(), 0..2),
+        cf1 in arb_float(),
+        cf2 in arb_float(),
+        swapped in 0u32..2,
+    ) {
+        let result = ComparisonResult {
+            attr: 3,
+            attr_name: names[0].clone(),
+            value_1: 0,
+            value_1_label: names[1].clone(),
+            value_2: 1,
+            value_2_label: names[2].clone(),
+            swapped: swapped == 1,
+            class: 0,
+            class_label: names[3].clone(),
+            cf1,
+            cf2,
+            n1: 123,
+            n2: 456,
+            ranked,
+            property_attrs: props,
+        };
+        let doc = to_json(&result);
+        assert_valid_json(&doc);
+        prop_assert!(!doc.contains("NaN"));
+        prop_assert!(!doc.contains("inf"));
+    }
+}
+
+#[test]
+fn checker_rejects_broken_documents() {
+    for bad in [
+        "{",
+        "[1,",
+        "{\"a\":}",
+        "\"unterminated",
+        "{\"a\":1}extra",
+        "\"bad \u{1} control\"",
+        "\"bad escape \\x\"",
+        "01e",
+        "1.",
+        "--3",
+    ] {
+        let mut checker = Checker::new(bad);
+        let complete = checker
+            .value()
+            .map(|()| checker.pos == checker.bytes.len());
+        assert!(
+            !matches!(complete, Ok(true)),
+            "checker accepted invalid JSON: {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn checker_accepts_real_documents() {
+    for good in [
+        "null",
+        "-1.5e-7",
+        "[]",
+        "{\"a\":[1,2,{\"b\":\"x\\u00e9\"}],\"c\":null}",
+        " { \"s\" : \"\\\"quoted\\\\\" } ",
+    ] {
+        assert_valid_json(good);
+    }
+}

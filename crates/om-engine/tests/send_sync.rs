@@ -1,0 +1,45 @@
+//! Static thread-safety guarantees: om-server shares one
+//! `Arc<OpportunityMap>` across its worker pool, so the engine (and the
+//! result types it hands out) must be `Send + Sync`. These assertions
+//! fail at *compile* time if a non-thread-safe member (an `Rc`, a raw
+//! pointer, a `RefCell`) ever sneaks into the engine.
+
+use std::sync::Arc;
+
+use om_engine::{EngineConfig, GiReport, OpportunityMap, Session};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn opportunity_map_is_send_and_sync() {
+    assert_send_sync::<OpportunityMap>();
+    assert_send_sync::<Arc<OpportunityMap>>();
+    assert_send_sync::<EngineConfig>();
+    assert_send_sync::<GiReport>();
+    assert_send_sync::<Session>();
+}
+
+#[test]
+fn shared_engine_answers_from_many_threads() {
+    let (ds, _) = om_synth::paper_scenario(10_000, 44);
+    let om = Arc::new(OpportunityMap::build(ds, EngineConfig::default()).unwrap());
+    let expected = om
+        .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+        .unwrap();
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let om = Arc::clone(&om);
+            let top = expected.top().unwrap().attr_name.clone();
+            std::thread::spawn(move || {
+                let result = om
+                    .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+                    .unwrap();
+                assert_eq!(result.top().unwrap().attr_name, top);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,166 @@
+//! Size-bounded LRU cache for successful responses.
+//!
+//! Keys are canonicalized query strings ([`crate::http::Request::canonical_key`]),
+//! so `/compare?v1=a&attr=X` and `/compare?attr=X&v1=a` share an entry.
+//! Recency is a monotonically increasing stamp per access; eviction drops
+//! the smallest stamp. Both indexes live under one `parking_lot::Mutex` —
+//! the critical section is a couple of map operations, far cheaper than
+//! the engine work a miss triggers.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::http::Response;
+
+struct Inner {
+    /// key → (response, stamp of last access).
+    map: HashMap<String, (Arc<Response>, u64)>,
+    /// stamp → key, ordered oldest first.
+    order: BTreeMap<u64, String>,
+    next_stamp: u64,
+}
+
+/// A thread-safe LRU response cache.
+pub struct ResponseCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `capacity` responses; capacity 0 disables
+    /// caching entirely.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                next_stamp: 0,
+            }),
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<Arc<Response>> {
+        let mut inner = self.inner.lock();
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        let (response, old_stamp) = {
+            let entry = inner.map.get_mut(key)?;
+            let old = entry.1;
+            entry.1 = stamp;
+            (entry.0.clone(), old)
+        };
+        inner.order.remove(&old_stamp);
+        inner.order.insert(stamp, key.to_owned());
+        Some(response)
+    }
+
+    /// Insert `response` under `key`, evicting the least recently used
+    /// entries while over capacity.
+    pub fn insert(&self, key: String, response: Arc<Response>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        if let Some((_, old_stamp)) = inner.map.insert(key.clone(), (response, stamp)) {
+            inner.order.remove(&old_stamp);
+        }
+        inner.order.insert(stamp, key);
+        while inner.map.len() > self.capacity {
+            let (&oldest, _) = inner.order.iter().next().expect("order tracks map");
+            let evicted = inner.order.remove(&oldest).expect("stamp present");
+            inner.map.remove(&evicted);
+        }
+    }
+
+    /// Entries currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(body: &str) -> Arc<Response> {
+        Arc::new(Response::text(body))
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let cache = ResponseCache::new(4);
+        assert!(cache.get("/a").is_none());
+        cache.insert("/a".into(), resp("a"));
+        assert_eq!(cache.get("/a").unwrap().body, "a");
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = ResponseCache::new(2);
+        cache.insert("/a".into(), resp("a"));
+        cache.insert("/b".into(), resp("b"));
+        // Touch /a so /b becomes the LRU entry.
+        assert!(cache.get("/a").is_some());
+        cache.insert("/c".into(), resp("c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("/a").is_some());
+        assert!(cache.get("/b").is_none(), "/b should have been evicted");
+        assert!(cache.get("/c").is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_growth() {
+        let cache = ResponseCache::new(2);
+        cache.insert("/a".into(), resp("v1"));
+        cache.insert("/a".into(), resp("v2"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get("/a").unwrap().body, "v2");
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = ResponseCache::new(0);
+        cache.insert("/a".into(), resp("a"));
+        assert!(cache.is_empty());
+        assert!(cache.get("/a").is_none());
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = Arc::new(ResponseCache::new(8));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let key = format!("/k{}", (t * 37 + i) % 12);
+                        if let Some(hit) = cache.get(&key) {
+                            assert_eq!(hit.body, key);
+                        } else {
+                            cache.insert(key.clone(), Arc::new(Response::text(key)));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 8);
+    }
+}

@@ -1,0 +1,430 @@
+//! Minimal, bounded HTTP/1.1 request parsing and response writing.
+//!
+//! The daemon only ever serves small `GET` requests from trusted
+//! analysts, so the parser is deliberately strict and size-bounded:
+//! every limit violation or syntax error becomes a clean `400` instead
+//! of a panic or an unbounded allocation.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Upper bound on the request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 4096;
+/// Upper bound on one header line.
+pub const MAX_HEADER_LINE: usize = 1024;
+/// Upper bound on the number of headers.
+pub const MAX_HEADERS: usize = 64;
+
+/// Why a request could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The peer closed the connection before sending anything.
+    Empty,
+    /// The peer stalled past the read timeout mid-request.
+    TimedOut,
+    /// Anything malformed or over a bound; the string names the offense.
+    Malformed(String),
+    /// A genuine I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty request"),
+            ParseError::TimedOut => write!(f, "request timed out"),
+            ParseError::Malformed(why) => write!(f, "malformed request: {why}"),
+            ParseError::Io(why) => write!(f, "i/o error: {why}"),
+        }
+    }
+}
+
+/// A parsed request: method, decoded path, decoded query parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    /// Query parameters, percent-decoded, in sorted key order (which
+    /// also canonicalizes the cache key).
+    pub params: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// The canonical cache key of this request: path plus sorted,
+    /// re-encoded query parameters.
+    #[must_use]
+    pub fn canonical_key(&self) -> String {
+        let mut key = self.path.clone();
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            key.push(if i == 0 { '?' } else { '&' });
+            key.push_str(k);
+            key.push('=');
+            key.push_str(v);
+        }
+        key
+    }
+
+    /// A required parameter.
+    ///
+    /// # Errors
+    /// Returns the missing key's name for a `400` response.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.params
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required query parameter {key:?}"))
+    }
+
+    /// An optional parameter parsed as `T`, defaulting when absent.
+    ///
+    /// # Errors
+    /// Returns a message naming the key when present but unparsable.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.params.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| format!("query parameter {key:?} has invalid value {raw:?}")),
+        }
+    }
+}
+
+/// Read one line terminated by `\n`, enforcing `limit` bytes.
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+    got_any: &mut bool,
+) -> Result<String, ParseError> {
+    let mut line = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() && !*got_any {
+                    return Err(ParseError::Empty);
+                }
+                return Err(ParseError::Malformed("truncated line".into()));
+            }
+            Ok(_) => {
+                *got_any = true;
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > limit {
+                    return Err(ParseError::Malformed(format!(
+                        "line exceeds {limit} bytes"
+                    )));
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(if *got_any {
+                    ParseError::TimedOut
+                } else {
+                    ParseError::Empty
+                });
+            }
+            Err(e) => return Err(ParseError::Io(e.to_string())),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| ParseError::Malformed("non-UTF-8 bytes".into()))
+}
+
+/// Percent-decode one query component; `+` decodes to space.
+fn percent_decode(raw: &str) -> Result<String, String> {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| "truncated percent escape".to_owned())?;
+                let hi = (hex[0] as char)
+                    .to_digit(16)
+                    .ok_or_else(|| format!("invalid percent escape in {raw:?}"))?;
+                let lo = (hex[1] as char)
+                    .to_digit(16)
+                    .ok_or_else(|| format!("invalid percent escape in {raw:?}"))?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| "percent escape decodes to invalid UTF-8".to_owned())
+}
+
+/// Split and decode a query string into sorted key/value pairs.
+fn parse_query(raw: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut params = BTreeMap::new();
+    for piece in raw.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = piece.split_once('=').unwrap_or((piece, ""));
+        let key = percent_decode(k)?;
+        if params.insert(key.clone(), percent_decode(v)?).is_some() {
+            return Err(format!("duplicate query parameter {key:?}"));
+        }
+    }
+    Ok(params)
+}
+
+/// Parse one request from `stream` with all bounds enforced.
+///
+/// # Errors
+/// See [`ParseError`]; `Malformed` maps to `400`, `TimedOut` to `408`.
+pub fn parse_request<S: Read>(stream: S) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let mut got_any = false;
+    let request_line = read_line_bounded(&mut reader, MAX_REQUEST_LINE, &mut got_any)?;
+
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(ParseError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::Malformed(format!("bad target {target:?}")));
+    }
+
+    // Headers: bounded count and length; contents are otherwise ignored
+    // (the daemon is stateless per request and always closes).
+    let mut n_headers = 0;
+    loop {
+        let line = read_line_bounded(&mut reader, MAX_HEADER_LINE, &mut got_any)?;
+        if line.is_empty() {
+            break;
+        }
+        if !line.contains(':') {
+            return Err(ParseError::Malformed(format!("bad header {line:?}")));
+        }
+        n_headers += 1;
+        if n_headers > MAX_HEADERS {
+            return Err(ParseError::Malformed(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+    }
+
+    let (raw_path, raw_query) = target.split_once('?').unwrap_or((target, ""));
+    let path = percent_decode(raw_path).map_err(ParseError::Malformed)?;
+    let params = parse_query(raw_query).map_err(ParseError::Malformed)?;
+    Ok(Request {
+        method: method.to_owned(),
+        path,
+        params,
+    })
+}
+
+/// An HTTP response ready to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON `200`.
+    #[must_use]
+    pub fn json(body: String) -> Self {
+        Self {
+            status: 200,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A plain-text `200`.
+    #[must_use]
+    pub fn text(body: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// An error response with a JSON `{"error": ...}` body.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut body = String::with_capacity(message.len() + 16);
+        body.push_str("{\"error\":\"");
+        for c in message.chars() {
+            match c {
+                '"' => body.push_str("\\\""),
+                '\\' => body.push_str("\\\\"),
+                '\n' => body.push_str("\\n"),
+                c if (c as u32) < 0x20 => {
+                    use std::fmt::Write as _;
+                    let _ = write!(body, "\\u{:04x}", c as u32);
+                }
+                c => body.push(c),
+            }
+        }
+        body.push_str("\"}");
+        Self {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize with `Connection: close` framing.
+    ///
+    /// # Errors
+    /// Propagates write failures (the peer may have gone away).
+    pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        out.write_all(self.body.as_bytes())?;
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_str(raw: &str) -> Result<Request, ParseError> {
+        parse_request(raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let r = parse_str("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.params.is_empty());
+    }
+
+    #[test]
+    fn parses_and_canonicalizes_query() {
+        let r = parse_str(
+            "GET /compare?v2=ph2&attr=Phone%20Model&v1=ph1&class=dropped HTTP/1.1\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.required("attr").unwrap(), "Phone Model");
+        assert_eq!(
+            r.canonical_key(),
+            "/compare?attr=Phone Model&class=dropped&v1=ph1&v2=ph2"
+        );
+        assert_eq!(r.parse_or("top", 10usize).unwrap(), 10);
+    }
+
+    #[test]
+    fn decodes_plus_and_percent() {
+        let r = parse_str("GET /x?a=one+two&b=%C3%A9 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.params["a"], "one two");
+        assert_eq!(r.params["b"], "é");
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        for raw in [
+            "NOT-A-REQUEST\r\n\r\n",
+            "GET /x HTTP/9.9\r\n\r\n",
+            "GET nopath HTTP/1.1\r\n\r\n",
+            "GET /x?a=%zz HTTP/1.1\r\n\r\n",
+            "GET /x?a=%f HTTP/1.1\r\n\r\n",
+            "GET /x?dup=1&dup=2 HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse_str(raw), Err(ParseError::Malformed(_))),
+                "{raw:?} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_request_line() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 1));
+        assert!(matches!(parse_str(&raw), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_too_many_headers() {
+        let mut raw = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.push_str(&format!("H{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(parse_str(&raw), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn empty_connection_reports_empty() {
+        assert_eq!(parse_str(""), Err(ParseError::Empty));
+    }
+
+    #[test]
+    fn truncated_request_is_malformed() {
+        assert!(matches!(
+            parse_str("GET /x HTT"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::text("ok\n").write_to(&mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 3\r\n"));
+        assert!(s.contains("Connection: close\r\n"));
+        assert!(s.ends_with("\r\n\r\nok\n"));
+    }
+
+    #[test]
+    fn error_body_is_json_escaped() {
+        let r = Response::error(400, "bad \"thing\"\n");
+        assert_eq!(r.body, "{\"error\":\"bad \\\"thing\\\"\\n\"}");
+        assert_eq!(r.status, 400);
+    }
+}

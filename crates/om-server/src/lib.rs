@@ -1,0 +1,266 @@
+//! om-server: a concurrent HTTP/1.1 query daemon over a resident
+//! Opportunity Map engine.
+//!
+//! The paper's workflow is offline: build rule cubes once, then answer
+//! many cheap comparisons interactively. This crate makes the second
+//! half a service: the engine (with its cube store) is built once, held
+//! behind an [`Arc`], and a pool of worker threads answers read-only
+//! queries over plain HTTP — no external dependencies, just
+//! `std::net::TcpListener` plus the workspace's `crossbeam` channel and
+//! `parking_lot` locks.
+//!
+//! Architecture:
+//!
+//! ```text
+//! accept thread ── crossbeam::channel ──▶ worker 0..n
+//!                                         │  parse → cache? → router
+//!                                         ▼
+//!                                 Arc<OpportunityMap> (read-only)
+//! ```
+//!
+//! Shutdown is cooperative: a flag flips, a self-connection wakes the
+//! accept loop, the channel disconnects, and every worker finishes the
+//! request it holds before exiting — in-flight requests always drain.
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod router;
+
+use std::io::{self, Read as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use om_engine::OpportunityMap;
+
+use crate::cache::ResponseCache;
+use crate::http::{parse_request, ParseError, Response};
+use crate::metrics::{Endpoint, Metrics};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads answering requests.
+    pub n_workers: usize,
+    /// Maximum cached responses (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Per-request socket read timeout; a stalled request gets `408`.
+    pub request_timeout: Duration,
+    /// Log one line per request to stderr.
+    pub verbose: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            n_workers: 4,
+            cache_capacity: 256,
+            request_timeout: Duration::from_secs(5),
+            verbose: false,
+        }
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`Server::shutdown`].
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+}
+
+/// Everything a worker needs, shared across the pool.
+struct Shared {
+    om: Arc<OpportunityMap>,
+    cache: ResponseCache,
+    metrics: Arc<Metrics>,
+    request_timeout: Duration,
+    verbose: bool,
+}
+
+impl Server {
+    /// Bind, spawn the accept loop and `n_workers` workers, and return
+    /// immediately.
+    ///
+    /// # Errors
+    /// Fails if the address cannot be bound.
+    pub fn start(om: Arc<OpportunityMap>, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+
+        let shared = Arc::new(Shared {
+            om,
+            cache: ResponseCache::new(config.cache_capacity),
+            metrics: Arc::new(Metrics::default()),
+            request_timeout: config.request_timeout,
+            verbose: config.verbose,
+        });
+        let metrics = Arc::clone(&shared.metrics);
+
+        let workers = (0..config.n_workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("om-server-worker-{i}"))
+                    .spawn(move || {
+                        // Drains the channel, then exits when every
+                        // sender is gone — the graceful-shutdown drain.
+                        while let Ok(stream) = rx.recv() {
+                            handle_connection(stream, &shared);
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_handle = std::thread::Builder::new()
+            .name("om-server-accept".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        // Send fails only when all workers are gone;
+                        // nothing left to serve then.
+                        Ok(s) => {
+                            if tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // `tx` drops here; workers drain and exit.
+            })
+            .expect("spawn accept thread");
+
+        Ok(Self {
+            local_addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            workers,
+            metrics,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's live counters.
+    #[must_use]
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stop accepting, drain in-flight requests, and join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag even with no
+        // traffic; the throwaway connection is dropped unanswered.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Serve one connection: parse, consult the cache, route, respond.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(shared.request_timeout));
+    let _ = stream.set_nodelay(true);
+
+    let parsed = parse_request(&stream);
+    let (endpoint, response) = match &parsed {
+        Ok(req) => {
+            let endpoint = Endpoint::classify(&req.path);
+            (endpoint, respond(req, endpoint, shared))
+        }
+        // A connect-and-close probe (including the shutdown wakeup):
+        // nothing to answer, nothing to count.
+        Err(ParseError::Empty) => return,
+        Err(ParseError::TimedOut) => (
+            Endpoint::Other,
+            Response::error(408, "timed out reading request"),
+        ),
+        Err(ParseError::Malformed(why)) => (Endpoint::Other, Response::error(400, why)),
+        Err(ParseError::Io(_)) => return,
+    };
+
+    shared.metrics.record_request(endpoint);
+    if response.status >= 400 {
+        shared.metrics.record_error();
+    }
+    let mut out = stream;
+    let _ = response.write_to(&mut out);
+    if matches!(parsed, Err(ParseError::Malformed(_))) {
+        // The peer may still be mid-send (e.g. an oversized request
+        // line). Closing now would RST the connection before the client
+        // reads the 400, so drain what it has queued, bounded by the
+        // read timeout and a byte cap.
+        let mut sink = [0u8; 4096];
+        let mut drained = 0usize;
+        while drained < 256 * 1024 {
+            match out.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => drained += n,
+            }
+        }
+    }
+    let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared.metrics.record_latency_us(elapsed_us);
+    if shared.verbose {
+        let target = parsed
+            .as_ref()
+            .map(|r| r.canonical_key())
+            .unwrap_or_else(|e| format!("<{e}>"));
+        eprintln!(
+            "om-server: {} {} {}us",
+            response.status, target, elapsed_us
+        );
+    }
+}
+
+/// Compute or recall the response for a well-formed request.
+fn respond(req: &http::Request, endpoint: Endpoint, shared: &Shared) -> Response {
+    // Only the engine-backed query endpoints cache: /healthz and
+    // /metrics are live signals, and unroutable paths are cheap 404s.
+    let cacheable = req.method == "GET"
+        && matches!(
+            endpoint,
+            Endpoint::Compare | Endpoint::Drill | Endpoint::Gi | Endpoint::CubeSlice
+        );
+    if !cacheable {
+        return router::route(req, &shared.om, || shared.metrics.render());
+    }
+    let key = req.canonical_key();
+    if let Some(hit) = shared.cache.get(&key) {
+        shared.metrics.record_cache_hit();
+        return (*hit).clone();
+    }
+    shared.metrics.record_cache_miss();
+    let response = router::route(req, &shared.om, || shared.metrics.render());
+    if response.status == 200 {
+        shared.cache.insert(key, Arc::new(response.clone()));
+    }
+    response
+}

@@ -1,0 +1,281 @@
+//! Lock-free server counters and a fixed-bucket latency histogram.
+//!
+//! Everything is a relaxed `AtomicU64`: workers record without
+//! coordination and `/metrics` renders a consistent-enough snapshot.
+//! Percentiles are interpolated within fixed microsecond buckets, which
+//! bounds memory at a few hundred bytes regardless of request volume.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The endpoints the daemon serves, used as metric labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Healthz,
+    Metrics,
+    Compare,
+    Drill,
+    Gi,
+    CubeSlice,
+    /// Anything else (404s and parse failures).
+    Other,
+}
+
+impl Endpoint {
+    /// All endpoints in render order.
+    pub const ALL: [Endpoint; 7] = [
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Compare,
+        Endpoint::Drill,
+        Endpoint::Gi,
+        Endpoint::CubeSlice,
+        Endpoint::Other,
+    ];
+
+    /// Classify a decoded request path.
+    #[must_use]
+    pub fn classify(path: &str) -> Self {
+        match path {
+            "/healthz" => Endpoint::Healthz,
+            "/metrics" => Endpoint::Metrics,
+            "/compare" => Endpoint::Compare,
+            "/drill" => Endpoint::Drill,
+            "/gi" => Endpoint::Gi,
+            "/cube/slice" => Endpoint::CubeSlice,
+            _ => Endpoint::Other,
+        }
+    }
+
+    /// The metric label of this endpoint.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Compare => "compare",
+            Endpoint::Drill => "drill",
+            Endpoint::Gi => "gi",
+            Endpoint::CubeSlice => "cube_slice",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Upper bounds (µs) of the latency buckets; the last bucket is +inf.
+const BUCKET_BOUNDS_US: [u64; 14] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+/// Fixed-bucket latency histogram with interpolated percentiles.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one latency observation.
+    pub fn record_us(&self, us: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0 < q < 1`) in µs, linearly interpolated within
+    /// its bucket; `None` with no observations.
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if cumulative + in_bucket >= target {
+                let lo = if idx == 0 { 0 } else { BUCKET_BOUNDS_US[idx - 1] };
+                let hi = BUCKET_BOUNDS_US.get(idx).copied().unwrap_or(lo * 2);
+                // Position of the target rank within this bucket.
+                let frac = if in_bucket == 0 {
+                    0.0
+                } else {
+                    (target - cumulative) as f64 / in_bucket as f64
+                };
+                return Some(lo + ((hi - lo) as f64 * frac) as u64);
+            }
+            cumulative += in_bucket;
+        }
+        // Unreachable with a consistent count, but racing increments can
+        // leave the sum of buckets momentarily behind `count`.
+        Some(BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1])
+    }
+}
+
+/// All counters of one server instance.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: [AtomicU64; Endpoint::ALL.len()],
+    errors: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    latency: Histogram,
+}
+
+impl Metrics {
+    fn slot(endpoint: Endpoint) -> usize {
+        Endpoint::ALL
+            .iter()
+            .position(|e| *e == endpoint)
+            .expect("endpoint in ALL")
+    }
+
+    /// Count one request against its endpoint.
+    pub fn record_request(&self, endpoint: Endpoint) {
+        self.requests[Self::slot(endpoint)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one non-2xx response.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a response served from the LRU cache.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a response computed by the engine.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request's wall-clock latency.
+    pub fn record_latency_us(&self, us: u64) {
+        self.latency.record_us(us);
+    }
+
+    /// Requests seen for `endpoint`.
+    #[must_use]
+    pub fn requests(&self, endpoint: Endpoint) -> u64 {
+        self.requests[Self::slot(endpoint)].load(Ordering::Relaxed)
+    }
+
+    /// Total error responses.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// The plain-text exposition served at `/metrics`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(512);
+        for endpoint in Endpoint::ALL {
+            let _ = writeln!(
+                out,
+                "om_requests_total{{endpoint=\"{}\"}} {}",
+                endpoint.label(),
+                self.requests(endpoint)
+            );
+        }
+        let _ = writeln!(out, "om_errors_total {}", self.errors());
+        let _ = writeln!(out, "om_cache_hits_total {}", self.cache_hits());
+        let _ = writeln!(out, "om_cache_misses_total {}", self.cache_misses());
+        let _ = writeln!(out, "om_latency_samples_total {}", self.latency.count());
+        for (name, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+            let _ = writeln!(
+                out,
+                "om_latency_us{{quantile=\"{name}\"}} {}",
+                self.latency.quantile_us(q).unwrap_or(0)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_classification() {
+        assert_eq!(Endpoint::classify("/compare"), Endpoint::Compare);
+        assert_eq!(Endpoint::classify("/cube/slice"), Endpoint::CubeSlice);
+        assert_eq!(Endpoint::classify("/nope"), Endpoint::Other);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record_us(80); // bucket (50, 100]
+        }
+        h.record_us(400_000); // bucket (250k, 500k]
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_us(0.5).unwrap();
+        assert!((50..=100).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_us(0.99).unwrap();
+        assert!((50..=100).contains(&p99), "p99 = {p99}");
+        // The single outlier dominates only beyond rank 99.
+        let p995 = h.quantile_us(0.995).unwrap();
+        assert!(p995 > 250_000, "p99.5 = {p995}");
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        assert_eq!(Histogram::default().quantile_us(0.5), None);
+    }
+
+    #[test]
+    fn overflow_bucket_counts() {
+        let h = Histogram::default();
+        h.record_us(10_000_000);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_us(0.5).unwrap() >= 1_000_000);
+    }
+
+    #[test]
+    fn render_contains_all_series() {
+        let m = Metrics::default();
+        m.record_request(Endpoint::Compare);
+        m.record_request(Endpoint::Compare);
+        m.record_error();
+        m.record_cache_hit();
+        m.record_cache_miss();
+        m.record_latency_us(120);
+        let text = m.render();
+        assert!(text.contains("om_requests_total{endpoint=\"compare\"} 2"));
+        assert!(text.contains("om_requests_total{endpoint=\"drill\"} 0"));
+        assert!(text.contains("om_errors_total 1"));
+        assert!(text.contains("om_cache_hits_total 1"));
+        assert!(text.contains("om_cache_misses_total 1"));
+        assert!(text.contains("om_latency_samples_total 1"));
+        assert!(text.contains("om_latency_us{quantile=\"0.99\"}"));
+    }
+}

@@ -1,0 +1,449 @@
+//! Request routing: decoded requests in, responses out.
+//!
+//! The router is a pure function of (request, engine) — no I/O, no
+//! shared mutable state — which is what makes responses safely cacheable
+//! and the whole path trivially testable without sockets.
+
+use std::fmt::Write as _;
+
+use om_compare::DrillConfig;
+use om_cube::CubeView;
+use om_engine::{EngineError, OpportunityMap};
+use om_gi::Trend;
+
+use crate::http::{Request, Response};
+
+/// JSON string escaping (mirrors `om_compare::json`, which keeps `esc`
+/// private).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON-safe float rendering (NaN/Infinity → null).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Map engine failures onto HTTP statuses: unknown names are client
+/// lookup errors (`404`), everything else is a valid request the engine
+/// could not satisfy (`422`).
+fn engine_error(e: &EngineError) -> Response {
+    let status = match e {
+        EngineError::Unknown(_) => 404,
+        _ => 422,
+    };
+    Response::error(status, &e.to_string())
+}
+
+fn compare(req: &Request, om: &OpportunityMap) -> Result<Response, Response> {
+    let attr = req.required("attr").map_err(|m| Response::error(400, &m))?;
+    let v1 = req.required("v1").map_err(|m| Response::error(400, &m))?;
+    let v2 = req.required("v2").map_err(|m| Response::error(400, &m))?;
+    let class = req.required("class").map_err(|m| Response::error(400, &m))?;
+    let result = om
+        .compare_by_name(attr, v1, v2, class)
+        .map_err(|e| engine_error(&e))?;
+    Ok(Response::json(om_compare::json::to_json(&result)))
+}
+
+fn drill(req: &Request, om: &OpportunityMap) -> Result<Response, Response> {
+    let attr = req.required("attr").map_err(|m| Response::error(400, &m))?;
+    let v1 = req.required("v1").map_err(|m| Response::error(400, &m))?;
+    let v2 = req.required("v2").map_err(|m| Response::error(400, &m))?;
+    let class = req.required("class").map_err(|m| Response::error(400, &m))?;
+    let defaults = DrillConfig::default();
+    let config = DrillConfig {
+        compare: om.config().compare.clone(),
+        max_depth: req
+            .parse_or("depth", defaults.max_depth)
+            .map_err(|m| Response::error(400, &m))?,
+        min_normalized_score: req
+            .parse_or("min_score", defaults.min_normalized_score)
+            .map_err(|m| Response::error(400, &m))?,
+    };
+    let levels = om
+        .drill_down_by_name(attr, v1, v2, class, &config)
+        .map_err(|e| engine_error(&e))?;
+    let mut body = String::with_capacity(1024);
+    body.push_str("{\"levels\":[");
+    for (i, level) in levels.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"conditions\":[");
+        for (j, label) in level.condition_labels.iter().enumerate() {
+            if j > 0 {
+                body.push(',');
+            }
+            let _ = write!(body, "\"{}\"", esc(label));
+        }
+        body.push_str("],\"result\":");
+        body.push_str(&om_compare::json::to_json(&level.result));
+        body.push('}');
+    }
+    body.push_str("]}");
+    Ok(Response::json(body))
+}
+
+fn gi(req: &Request, om: &OpportunityMap) -> Result<Response, Response> {
+    let top = req
+        .parse_or("top", 10usize)
+        .map_err(|m| Response::error(400, &m))?;
+    let report = om.general_impressions();
+    let mut body = String::with_capacity(2048);
+    body.push_str("{\"trends\":[");
+    let mut first = true;
+    for t in &report.trends {
+        let label = match t.trend {
+            Trend::Increasing => "increasing",
+            Trend::Decreasing => "decreasing",
+            Trend::Stable => "stable",
+            Trend::None => continue,
+        };
+        if !first {
+            body.push(',');
+        }
+        first = false;
+        let _ = write!(
+            body,
+            "{{\"attr\":\"{}\",\"class\":\"{}\",\"trend\":\"{label}\",\"slope\":{},\"r_squared\":{}}}",
+            esc(&t.attr_name),
+            esc(&t.class_label),
+            num(t.slope),
+            num(t.r_squared)
+        );
+    }
+    body.push_str("],\"exceptions\":[");
+    for (i, e) in report.exceptions.iter().take(top).enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let kind = match e.kind {
+            om_gi::ExceptionKind::High => "high",
+            om_gi::ExceptionKind::Low => "low",
+        };
+        let _ = write!(
+            body,
+            "{{\"attr\":\"{}\",\"value\":\"{}\",\"class\":\"{}\",\"kind\":\"{kind}\",\"confidence\":{},\"rest_confidence\":{},\"z\":{}}}",
+            esc(&e.attr_name),
+            esc(&e.value_label),
+            esc(&e.class_label),
+            num(e.confidence),
+            num(e.rest_confidence),
+            num(e.z)
+        );
+    }
+    body.push_str("],\"influence\":[");
+    for (i, r) in report.influence.iter().take(top).enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "{{\"attr\":\"{}\",\"chi2\":{},\"p_value\":{},\"info_gain\":{}}}",
+            esc(&r.attr_name),
+            num(r.chi2),
+            num(r.p_value),
+            num(r.info_gain)
+        );
+    }
+    body.push_str("]}");
+    Ok(Response::json(body))
+}
+
+fn one_dim_slice(om: &OpportunityMap, attr: usize) -> Result<Response, Response> {
+    let cube = om.store().one_dim(attr).map_err(|e| {
+        engine_error(&EngineError::Unknown(format!("cube error: {e}")))
+    })?;
+    let view = CubeView::from_cube(&cube)
+        .map_err(|e| Response::error(422, &format!("cube error: {e}")))?;
+    let mut body = String::with_capacity(1024);
+    let _ = write!(
+        body,
+        "{{\"attr\":\"{}\",\"total\":{},\"classes\":[",
+        esc(view.attr_name()),
+        view.total()
+    );
+    for (i, c) in view.class_labels().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(body, "\"{}\"", esc(c));
+    }
+    body.push_str("],\"values\":[");
+    for v in 0..view.n_values() as u32 {
+        if v > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "{{\"label\":\"{}\",\"total\":{},\"counts\":[",
+            esc(&view.value_labels()[v as usize]),
+            view.value_total(v)
+        );
+        for c in 0..view.n_classes() as u32 {
+            if c > 0 {
+                body.push(',');
+            }
+            let _ = write!(body, "{}", view.count(v, c));
+        }
+        body.push_str("],\"confidences\":[");
+        for c in 0..view.n_classes() as u32 {
+            if c > 0 {
+                body.push(',');
+            }
+            body.push_str(
+                &view
+                    .confidence(v, c)
+                    .map_or("null".to_owned(), num),
+            );
+        }
+        body.push_str("]}");
+    }
+    body.push_str("]}");
+    Ok(Response::json(body))
+}
+
+fn pair_slice(om: &OpportunityMap, a: usize, b: usize) -> Result<Response, Response> {
+    let cube = om
+        .store()
+        .pair(a, b)
+        .map_err(|e| Response::error(404, &format!("cube error: {e}")))?;
+    let mut body = String::with_capacity(2048);
+    body.push_str("{\"dims\":[");
+    for (i, dim) in cube.dims().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(body, "{{\"attr\":\"{}\",\"labels\":[", esc(&dim.name));
+        for (j, label) in dim.labels.iter().enumerate() {
+            if j > 0 {
+                body.push(',');
+            }
+            let _ = write!(body, "\"{}\"", esc(label));
+        }
+        body.push_str("]}");
+    }
+    body.push_str("],\"classes\":[");
+    for (i, c) in cube.class_labels().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(body, "\"{}\"", esc(c));
+    }
+    let _ = write!(body, "],\"total\":{},\"cells\":[", cube.total());
+    let mut first = true;
+    for (coords, class, count) in cube.iter_cells() {
+        if count == 0 {
+            continue;
+        }
+        if !first {
+            body.push(',');
+        }
+        first = false;
+        let _ = write!(
+            body,
+            "{{\"coords\":[{},{}],\"class\":{class},\"count\":{count}}}",
+            coords[0], coords[1]
+        );
+    }
+    body.push_str("]}");
+    Ok(Response::json(body))
+}
+
+fn cube_slice(req: &Request, om: &OpportunityMap) -> Result<Response, Response> {
+    let attr_name = req.required("attr").map_err(|m| Response::error(400, &m))?;
+    let attr = om.attr_index(attr_name).map_err(|e| engine_error(&e))?;
+    match req.params.get("by") {
+        None => one_dim_slice(om, attr),
+        Some(by_name) => {
+            let by = om.attr_index(by_name).map_err(|e| engine_error(&e))?;
+            pair_slice(om, attr, by)
+        }
+    }
+}
+
+/// Route one parsed request. `metrics_body` is the pre-rendered
+/// `/metrics` text (rendered by the caller, which owns the counters).
+#[must_use]
+pub fn route(req: &Request, om: &OpportunityMap, metrics_body: impl FnOnce() -> String) -> Response {
+    if req.method != "GET" {
+        return Response::error(405, &format!("method {} not allowed", req.method));
+    }
+    let outcome = match req.path.as_str() {
+        "/healthz" => Ok(Response::text("ok\n")),
+        "/metrics" => Ok(Response::text(metrics_body())),
+        "/compare" => compare(req, om),
+        "/drill" => drill(req, om),
+        "/gi" => gi(req, om),
+        "/cube/slice" => cube_slice(req, om),
+        other => Err(Response::error(404, &format!("no route for {other:?}"))),
+    };
+    outcome.unwrap_or_else(|error| error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_engine::EngineConfig;
+    use om_synth::paper_scenario;
+    use std::collections::BTreeMap;
+    use std::sync::OnceLock;
+
+    fn engine() -> &'static OpportunityMap {
+        static OM: OnceLock<OpportunityMap> = OnceLock::new();
+        OM.get_or_init(|| {
+            let (ds, _) = paper_scenario(20_000, 33);
+            OpportunityMap::build(ds, EngineConfig::default()).unwrap()
+        })
+    }
+
+    fn get(path: &str, params: &[(&str, &str)]) -> Response {
+        let req = Request {
+            method: "GET".into(),
+            path: path.into(),
+            params: params
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect::<BTreeMap<_, _>>(),
+        };
+        route(&req, engine(), || "metrics\n".to_owned())
+    }
+
+    #[test]
+    fn healthz_and_metrics() {
+        assert_eq!(get("/healthz", &[]).body, "ok\n");
+        assert_eq!(get("/metrics", &[]).body, "metrics\n");
+    }
+
+    #[test]
+    fn compare_matches_direct_engine_call() {
+        let params = [
+            ("attr", "PhoneModel"),
+            ("v1", "ph1"),
+            ("v2", "ph2"),
+            ("class", "dropped"),
+        ];
+        let response = get("/compare", &params);
+        assert_eq!(response.status, 200);
+        let direct = engine()
+            .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+            .unwrap();
+        assert_eq!(response.body, om_compare::json::to_json(&direct));
+    }
+
+    #[test]
+    fn compare_missing_param_is_400() {
+        let r = get("/compare", &[("attr", "PhoneModel")]);
+        assert_eq!(r.status, 400);
+        assert!(r.body.contains("v1"));
+    }
+
+    #[test]
+    fn compare_unknown_name_is_404() {
+        let r = get(
+            "/compare",
+            &[
+                ("attr", "Bogus"),
+                ("v1", "a"),
+                ("v2", "b"),
+                ("class", "dropped"),
+            ],
+        );
+        assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn drill_returns_levels() {
+        let r = get(
+            "/drill",
+            &[
+                ("attr", "PhoneModel"),
+                ("v1", "ph1"),
+                ("v2", "ph2"),
+                ("class", "dropped"),
+                ("depth", "1"),
+            ],
+        );
+        assert_eq!(r.status, 200);
+        assert!(r.body.starts_with("{\"levels\":["));
+        assert!(r.body.contains("\"conditions\":[]"));
+    }
+
+    #[test]
+    fn gi_sections_present() {
+        let r = get("/gi", &[("top", "3")]);
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"trends\":["));
+        assert!(r.body.contains("\"exceptions\":["));
+        assert!(r.body.contains("\"influence\":["));
+    }
+
+    #[test]
+    fn gi_bad_top_is_400() {
+        assert_eq!(get("/gi", &[("top", "lots")]).status, 400);
+    }
+
+    #[test]
+    fn cube_slice_one_dim() {
+        let r = get("/cube/slice", &[("attr", "PhoneModel")]);
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"attr\":\"PhoneModel\""));
+        assert!(r.body.contains("\"label\":\"ph1\""));
+        assert!(r.body.contains("\"confidences\":["));
+    }
+
+    #[test]
+    fn cube_slice_pair() {
+        let r = get(
+            "/cube/slice",
+            &[("attr", "PhoneModel"), ("by", "TimeOfCall")],
+        );
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"dims\":["));
+        assert!(r.body.contains("\"cells\":["));
+    }
+
+    #[test]
+    fn cube_slice_same_attr_pair_is_422() {
+        let r = get(
+            "/cube/slice",
+            &[("attr", "PhoneModel"), ("by", "PhoneModel")],
+        );
+        assert_eq!(r.status, 404, "store rejects the self-pair: {}", r.body);
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        assert_eq!(get("/nope", &[]).status, 404);
+    }
+
+    #[test]
+    fn non_get_is_405() {
+        let req = Request {
+            method: "POST".into(),
+            path: "/healthz".into(),
+            params: BTreeMap::new(),
+        };
+        let r = route(&req, engine(), String::new);
+        assert_eq!(r.status, 405);
+    }
+}

@@ -1,0 +1,302 @@
+//! End-to-end tests: a real server on an ephemeral port, exercised by
+//! real TCP clients.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use om_engine::{EngineConfig, OpportunityMap};
+use om_server::{Server, ServerConfig};
+use om_synth::paper_scenario;
+
+/// One engine shared by every test in the binary (building cubes over
+/// 20k records once keeps the suite fast).
+fn engine() -> Arc<OpportunityMap> {
+    use std::sync::OnceLock;
+    static OM: OnceLock<Arc<OpportunityMap>> = OnceLock::new();
+    Arc::clone(OM.get_or_init(|| {
+        let (ds, _) = paper_scenario(20_000, 33);
+        Arc::new(OpportunityMap::build(ds, EngineConfig::default()).unwrap())
+    }))
+}
+
+fn start_server() -> Server {
+    Server::start(
+        engine(),
+        ServerConfig {
+            request_timeout: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Issue one raw request and return (status, body).
+fn raw_request(addr: std::net::SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {response:?}"));
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status in {head:?}"));
+    (status, body.to_owned())
+}
+
+fn get(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
+    raw_request(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n"),
+    )
+}
+
+#[test]
+fn healthz_answers() {
+    let server = start_server();
+    let (status, body) = get(server.local_addr(), "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+    server.shutdown();
+}
+
+#[test]
+fn compare_matches_direct_engine_call() {
+    let server = start_server();
+    let (status, body) = get(
+        server.local_addr(),
+        "/compare?attr=PhoneModel&v1=ph1&v2=ph2&class=dropped",
+    );
+    assert_eq!(status, 200);
+    let direct = engine()
+        .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+        .unwrap();
+    assert_eq!(body, om_compare::json::to_json(&direct));
+    server.shutdown();
+}
+
+#[test]
+fn gi_and_cube_slice_match_direct_calls() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    let (status, gi_body) = get(addr, "/gi?top=5");
+    assert_eq!(status, 200);
+    let report = engine().general_impressions();
+    // Spot-check against the direct engine report: the top influence
+    // attribute's name must appear in the JSON.
+    assert!(gi_body.contains(&format!("\"attr\":\"{}\"", report.influence[0].attr_name)));
+    assert!(gi_body.contains("\"trends\":["));
+
+    let (status, slice_body) = get(addr, "/cube/slice?attr=PhoneModel");
+    assert_eq!(status, 200);
+    let cube = engine()
+        .store()
+        .one_dim(engine().attr_index("PhoneModel").unwrap())
+        .unwrap();
+    let view = om_cube::CubeView::from_cube(&cube).unwrap();
+    assert!(slice_body.contains(&format!("\"total\":{}", view.total())));
+    for label in view.value_labels() {
+        assert!(slice_body.contains(&format!("\"label\":\"{label}\"")));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn drill_answers_with_levels() {
+    let server = start_server();
+    let (status, body) = get(
+        server.local_addr(),
+        "/drill?attr=PhoneModel&v1=ph1&v2=ph2&class=dropped&depth=1",
+    );
+    assert_eq!(status, 200);
+    assert!(body.starts_with("{\"levels\":["));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_400_and_server_survives() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    let (status, body) = raw_request(addr, "BLARGH\r\n\r\n");
+    assert_eq!(status, 400, "{body}");
+
+    let (status, _) = raw_request(addr, "GET /x HTTP/9.9\r\n\r\n");
+    assert_eq!(status, 400);
+
+    let (status, _) = raw_request(addr, "GET /compare?a=%zz HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 400);
+
+    let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(10_000));
+    let (status, _) = raw_request(addr, &long);
+    assert_eq!(status, 400);
+
+    let (status, _) = raw_request(addr, "POST /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 405);
+
+    // The process is still alive and serving.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+    server.shutdown();
+}
+
+#[test]
+fn missing_params_and_unknown_names() {
+    let server = start_server();
+    let addr = server.local_addr();
+    assert_eq!(get(addr, "/compare?attr=PhoneModel").0, 400);
+    assert_eq!(
+        get(addr, "/compare?attr=Nope&v1=a&v2=b&class=dropped").0,
+        404
+    );
+    assert_eq!(get(addr, "/no/such/route").0, 404);
+    server.shutdown();
+}
+
+#[test]
+fn metrics_reflect_requests_and_cache() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    let target = "/compare?attr=PhoneModel&v1=ph1&v2=ph2&class=dropped";
+    let (_, cold) = get(addr, target);
+    let (_, warm) = get(addr, target);
+    assert_eq!(cold, warm, "cache must not change the answer");
+    let _ = get(addr, "/healthz");
+    let _ = get(addr, "/no/such/route");
+
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("om_requests_total{endpoint=\"compare\"} 2"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("om_requests_total{endpoint=\"healthz\"} 1"));
+    assert!(metrics.contains("om_requests_total{endpoint=\"other\"} 1"));
+    // Only the cold /compare consulted the cache; /healthz and the 404
+    // bypass it entirely.
+    assert!(metrics.contains("om_cache_misses_total 1"), "{metrics}");
+    assert!(metrics.contains("om_cache_hits_total 1"), "{metrics}");
+    assert!(metrics.contains("om_errors_total 1"), "{metrics}");
+    // 4 requests recorded by the time /metrics renders itself.
+    assert!(metrics.contains("om_latency_samples_total 4"), "{metrics}");
+    assert!(metrics.contains("om_latency_us{quantile=\"0.99\"}"));
+    server.shutdown();
+}
+
+#[test]
+fn stalled_request_times_out_with_408() {
+    let server = Server::start(
+        engine(),
+        ServerConfig {
+            request_timeout: Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Send half a request line and stall.
+    stream.write_all(b"GET /healthz HT").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 408 "),
+        "expected 408, got {response:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn eight_concurrent_clients_get_correct_answers() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let expected = om_compare::json::to_json(
+        &engine()
+            .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+            .unwrap(),
+    );
+
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for round in 0..5 {
+                    // Every thread alternates endpoints so the cache and
+                    // the engine path both see concurrency.
+                    if (i + round) % 2 == 0 {
+                        let (status, body) =
+                            get(addr, "/compare?attr=PhoneModel&v1=ph1&v2=ph2&class=dropped");
+                        assert_eq!(status, 200);
+                        assert_eq!(body, expected);
+                    } else {
+                        let (status, body) = get(addr, "/healthz");
+                        assert_eq!(status, 200);
+                        assert_eq!(body, "ok\n");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let metrics = server.metrics();
+    assert_eq!(
+        metrics.requests(om_server::metrics::Endpoint::Compare)
+            + metrics.requests(om_server::metrics::Endpoint::Healthz),
+        40
+    );
+    assert_eq!(metrics.errors(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_request() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    // Open a connection and send only half the request, so a worker is
+    // parked inside the read when shutdown begins.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"GET /healthz HTTP/1.1\r\nHo").unwrap();
+    // Give the accept loop time to hand the socket to a worker.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let shutdown_thread = std::thread::spawn(move || server.shutdown());
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Finish the request *after* shutdown started: the worker must still
+    // answer it before exiting.
+    stream.write_all(b"st: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK"),
+        "in-flight request was dropped: {response:?}"
+    );
+    assert!(response.ends_with("ok\n"));
+
+    shutdown_thread.join().unwrap();
+
+    // And afterwards the port is really closed.
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // The OS may accept briefly on some platforms; a request on
+            // such a zombie connection must at least go unanswered.
+            let mut s = TcpStream::connect(addr).unwrap();
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap_or(0);
+            out.is_empty()
+        },
+        "server still answering after shutdown"
+    );
+}

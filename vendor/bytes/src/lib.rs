@@ -1,0 +1,315 @@
+//! Workspace-local stand-in for the `bytes` crate.
+//!
+//! The build environment has no route to crates.io, so the workspace
+//! vendors the small slice of the `bytes` API that the persistence layers
+//! actually use: [`Bytes`] (a cheaply cloneable, sliceable byte buffer),
+//! [`BytesMut`] (a growable builder), and the [`Buf`]/[`BufMut`] cursor
+//! traits with little-endian accessors.
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte buffer with an advancing read
+/// cursor (the [`Buf`] impl consumes from the front).
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::from(Vec::new())
+    }
+
+    /// Wrap a static byte slice (copies; the real crate borrows, but the
+    /// observable behavior is identical for our callers).
+    #[must_use]
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Self::from(s.to_vec())
+    }
+
+    /// Length of the unread remainder.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no unread bytes remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-range of the unread remainder, sharing the same allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn slice(&self, range: Range<usize>) -> Self {
+        assert!(range.start <= range.end, "slice range inverted");
+        assert!(range.end <= self.len(), "slice out of bounds");
+        Self {
+            data: self.data.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copy the unread remainder into a fresh vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Self::from(s.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty builder with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Read cursor over a byte source.
+///
+/// All `get_*` methods panic when fewer bytes remain than requested,
+/// matching the upstream crate; callers guard with [`Buf::remaining`].
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Copy `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Copy the next `len` bytes into an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let mut v = vec![0u8; len];
+        self.copy_to_slice(&mut v);
+        Bytes::from(v)
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.remaining(),
+            "copy_to_slice out of bounds: want {}, have {}",
+            dst.len(),
+            self.remaining()
+        );
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.remaining(), "copy_to_bytes out of bounds");
+        let out = self.slice(0..len);
+        self.start += len;
+        out
+    }
+}
+
+/// Write cursor over a growable byte sink.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(7);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(42);
+        b.put_f64_le(1.5);
+        b.put_slice(b"xyz");
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 8 + 3);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 42);
+        assert!((r.get_f64_le() - 1.5).abs() < 1e-12);
+        let mut rest = [0u8; 3];
+        r.copy_to_slice(&mut rest);
+        assert_eq!(&rest, b"xyz");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&*s, &[2, 3, 4]);
+        assert_eq!(s.to_vec(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn overread_panics() {
+        let mut b = Bytes::from(vec![1u8]);
+        let _ = b.get_u32_le();
+    }
+
+    #[test]
+    fn copy_to_bytes_advances() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        let head = b.copy_to_bytes(2);
+        assert_eq!(&*head, &[1, 2]);
+        assert_eq!(b.remaining(), 2);
+        assert_eq!(b.get_u8(), 3);
+    }
+}

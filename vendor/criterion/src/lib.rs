@@ -1,0 +1,263 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! The build environment has no route to crates.io, so the workspace
+//! vendors the benchmarking API its `harness = false` benches use:
+//! [`Criterion`], [`BenchmarkId`], groups with `sample_size`,
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`]/
+//! [`criterion_main!`] macros. Measurement is straightforward wall-clock
+//! sampling with mean/median/min reporting — no outlier analysis, HTML
+//! reports, or statistical regression testing.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs and times the
+/// workload.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample wall-clock times of the most recent `iter` call.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`: one warm-up call, then `samples` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.times.clear();
+        self.times.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, times: &[Duration]) {
+    if times.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = times.to_vec();
+    sorted.sort();
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    println!(
+        "{id:<48} mean {:>12} median {:>12} min {:>12} ({} samples)",
+        fmt_dur(mean),
+        fmt_dur(median),
+        fmt_dur(min),
+        sorted.len()
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(id, &b.times);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.times);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b.times);
+        self
+    }
+
+    /// Close the group (upstream flushes reports here; ours are printed
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n * n));
+        });
+        group.bench_function(BenchmarkId::from_parameter(3), |b| {
+            b.iter(|| black_box(3));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_dur(Duration::from_micros(12)).contains("µs"));
+        assert!(fmt_dur(Duration::from_millis(12)).contains("ms"));
+        assert!(fmt_dur(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Overhead of cooperative deadline checking: the budgeted comparison
+//! path against the plain one on the paper's largest scale-up setting.
+//!
+//! Budget checks are one relaxed atomic load plus (when a deadline is
+//! armed) a clock read, paced to once per attribute and once per 1024
+//! cells — the two variants should be indistinguishable.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use om_bench::{build_store, scaleup_dataset, scaleup_spec};
+use om_compare::Comparator;
+use om_engine::Budget;
+
+fn bench_fault_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_overhead_compare");
+    group.sample_size(10);
+    let ds = scaleup_dataset(160, 20_000, 9);
+    let store = build_store(&ds, 0);
+    let spec = scaleup_spec(&ds);
+
+    group.bench_function("plain", |b| {
+        let comparator = Comparator::new(&store);
+        b.iter(|| comparator.compare(&spec).expect("comparison runs"));
+    });
+    group.bench_function("budgeted_unlimited", |b| {
+        let comparator = Comparator::new(&store);
+        let budget = Budget::unlimited();
+        b.iter(|| {
+            comparator
+                .compare_budgeted(&spec, &budget)
+                .expect("comparison runs")
+        });
+    });
+    group.bench_function("budgeted_armed_deadline", |b| {
+        let comparator = Comparator::new(&store);
+        b.iter(|| {
+            // A generous armed deadline pays the clock read on every
+            // check without ever tripping.
+            let budget = Budget::with_timeout(Duration::from_secs(600));
+            comparator
+                .compare_budgeted(&spec, &budget)
+                .expect("comparison runs")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_overhead);
+criterion_main!(benches);

@@ -25,6 +25,7 @@ OPTIONS:
   --min-support <n>  minimum records per sub-population (default 30)
   --format <f>       text (default) or json
   --bins <k>         equal-frequency bins for continuous attributes
+  --budget-ms <ms>   abort if the comparison runs longer (default: no limit)
   --no-ci            disable the confidence-interval adjustment";
 
 pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
@@ -40,6 +41,7 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
     let level = parsed.parse_or("level", 0.95f64)?;
     let tau = parsed.parse_or("tau", 0.9f64)?;
     let min_support = parsed.parse_or("min-support", 30u64)?;
+    let budget = super::budget_from(parsed)?;
     let format = parsed.optional("format").unwrap_or_else(|| "text".into());
     let ds = super::load_dataset(parsed)?;
     let mut om = super::build_engine(parsed, ds)?;
@@ -58,7 +60,7 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
     };
     om = om.with_compare_config(compare);
 
-    let result = om.compare_by_name(&attr, &v1, &v2, &target)?;
+    let result = om.compare_by_name_budgeted(&attr, &v1, &v2, &target, &budget)?;
     if format == "json" {
         writeln!(out, "{}", om_compare::json::to_json(&result)).ok();
         return Ok(());

@@ -19,7 +19,8 @@ OPTIONS:
   --target <label>   class of interest (required)
   --depth <n>        maximum drill depth (default 2)
   --floor <f>        stop when top normalized score < f (default 0.05)
-  --bins <k>         equal-frequency bins for continuous attributes";
+  --bins <k>         equal-frequency bins for continuous attributes
+  --budget-ms <ms>   abort if the drill-down runs longer (default: no limit)";
 
 pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
     if parsed.switch("help") {
@@ -32,6 +33,7 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
     let target = parsed.required("target")?;
     let depth = parsed.parse_or("depth", 2usize)?;
     let floor = parsed.parse_or("floor", 0.05f64)?;
+    let budget = super::budget_from(parsed)?;
     let ds = super::load_dataset(parsed)?;
     let om = super::build_engine(parsed, ds)?;
     parsed.reject_unknown()?;
@@ -41,7 +43,7 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
         min_normalized_score: floor,
         ..DrillConfig::default()
     };
-    let levels = om.drill_down_by_name(&attr, &v1, &v2, &target, &config)?;
+    let levels = om.drill_down_by_name_budgeted(&attr, &v1, &v2, &target, &config, &budget)?;
     for (i, level) in levels.iter().enumerate() {
         if level.conditions.is_empty() {
             writeln!(out, "== level {i}: unconditioned ==").ok();

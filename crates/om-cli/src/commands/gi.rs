@@ -14,7 +14,8 @@ OPTIONS:
   --data <csv>       input CSV (required)
   --class <column>   class column name (required)
   --top <n>          entries per section (default 10)
-  --bins <k>         equal-frequency bins for continuous attributes";
+  --bins <k>         equal-frequency bins for continuous attributes
+  --budget-ms <ms>   abort if mining runs longer (default: no limit)";
 
 pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
     if parsed.switch("help") {
@@ -22,11 +23,12 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
         return Ok(());
     }
     let top = parsed.parse_or("top", 10usize)?;
+    let budget = super::budget_from(parsed)?;
     let ds = super::load_dataset(parsed)?;
     let om = super::build_engine(parsed, ds)?;
     parsed.reject_unknown()?;
 
-    let gi = om.general_impressions();
+    let gi = om.general_impressions_budgeted(&budget)?;
 
     writeln!(out, "== strong unit trends ==").ok();
     let mut strong: Vec<_> = gi

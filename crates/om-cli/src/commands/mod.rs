@@ -47,3 +47,14 @@ pub(crate) fn build_engine(parsed: &mut Parsed, ds: Dataset) -> Result<Opportuni
     }
     Ok(OpportunityMap::build(ds, config)?)
 }
+
+/// Shared `--budget-ms <ms>` knob: a cooperative deadline for engine
+/// work; 0 or absent means no limit.
+pub(crate) fn budget_from(parsed: &mut Parsed) -> Result<om_engine::Budget, CliError> {
+    let ms = parsed.parse_or("budget-ms", 0u64)?;
+    Ok(if ms == 0 {
+        om_engine::Budget::unlimited()
+    } else {
+        om_engine::Budget::with_timeout(std::time::Duration::from_millis(ms))
+    })
+}

@@ -25,8 +25,16 @@ OPTIONS:
   --workers <n>        Worker threads [4]
   --cache <n>          Response-cache capacity, 0 disables [256]
   --timeout-ms <ms>    Per-request read timeout [5000]
+  --queue <n>          Admission queue depth; overflow is shed with 503 [64]
+  --budget-ms <ms>     Per-request engine budget, 0 disables; exhausted
+                       budgets answer 503 with Retry-After [2000]
+  --retry-after <s>    Retry-After seconds on 503 responses [1]
   --duration-ms <ms>   Serve for this long then exit; 0 = forever [0]
-  --verbose            Log one line per request to stderr";
+  --verbose            Log one line per request to stderr
+
+Failpoints (chaos builds only): when compiled with the `failpoints`
+feature, OM_FAILPOINTS arms fault injection, e.g.
+OM_FAILPOINTS=\"engine.compare=delay:50;server.respond=error:boom\".";
 
 /// Entry point for `opmap serve`.
 ///
@@ -44,6 +52,9 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
     let n_workers = parsed.parse_or("workers", 4usize)?;
     let cache_capacity = parsed.parse_or("cache", 256usize)?;
     let timeout_ms = parsed.parse_or("timeout-ms", 5000u64)?;
+    let queue_capacity = parsed.parse_or("queue", 64usize)?;
+    let budget_ms = parsed.parse_or("budget-ms", 2000u64)?;
+    let retry_after_secs = parsed.parse_or("retry-after", 1u64)?;
     let duration_ms = parsed.parse_or("duration-ms", 0u64)?;
 
     let dataset = if parsed.optional("data").is_some() {
@@ -56,6 +67,10 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
     let engine = super::build_engine(parsed, dataset)?;
     parsed.reject_unknown()?;
 
+    // Arm OM_FAILPOINTS fault injection; a no-op unless this binary was
+    // built with the `failpoints` feature (chaos runs only).
+    om_engine::fail::init_from_env();
+
     let server = Server::start(
         Arc::new(engine),
         ServerConfig {
@@ -63,6 +78,9 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
             n_workers,
             cache_capacity,
             request_timeout: Duration::from_millis(timeout_ms),
+            queue_capacity,
+            engine_budget: (budget_ms > 0).then(|| Duration::from_millis(budget_ms)),
+            retry_after_secs,
             verbose: parsed.switch("verbose"),
         },
     )

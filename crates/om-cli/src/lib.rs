@@ -53,6 +53,13 @@ impl From<om_data::DataError> for CliError {
 
 impl From<om_engine::EngineError> for CliError {
     fn from(e: om_engine::EngineError) -> Self {
+        if e.is_overload() {
+            // A tripped --budget-ms deadline is expected behavior, not a
+            // malfunction; tell the user how to proceed.
+            return CliError::Failed(format!(
+                "query stopped: {e}; raise --budget-ms (or drop it for no limit)"
+            ));
+        }
         CliError::Failed(e.to_string())
     }
 }

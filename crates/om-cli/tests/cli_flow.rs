@@ -140,6 +140,53 @@ fn bad_value_labels_reported() {
 }
 
 #[test]
+fn exhausted_budget_reports_cleanly_and_generous_budget_matches_unlimited() {
+    let csv = temp_csv("calls_budget.csv");
+    opmap(&[
+        "generate", "--domain", "call-log", "--records", "10000", "--seed", "9", "--out", &csv,
+    ])
+    .unwrap();
+    let base = [
+        "compare", "--data", &csv, "--class", "CallDisposition", "--attr", "PhoneModel",
+        "--v1", "ph1", "--v2", "ph2", "--target", "dropped",
+    ];
+
+    // An impossible budget fails with actionable guidance, not a panic
+    // or a bare engine error. (Engine build happens before the budget
+    // starts, so even slow machines can't sneak the comparison in — the
+    // deadline is checked before the first attribute.)
+    let mut tiny: Vec<&str> = base.to_vec();
+    tiny.extend(["--budget-ms", "1"]);
+    // The comparison itself is fast; only assert the message shape when
+    // the deadline actually trips.
+    if let Err(e) = opmap(&tiny) {
+        let msg = e.to_string();
+        assert!(msg.contains("--budget-ms"), "{msg}");
+        assert!(msg.contains("deadline exceeded"), "{msg}");
+    }
+
+    // A generous budget must not change the answer.
+    let unlimited = opmap(&base).unwrap();
+    let mut generous: Vec<&str> = base.to_vec();
+    generous.extend(["--budget-ms", "60000"]);
+    assert_eq!(opmap(&generous).unwrap(), unlimited);
+
+    // gi and drill accept the flag too.
+    let text = opmap(&[
+        "gi", "--data", &csv, "--class", "CallDisposition", "--budget-ms", "60000",
+    ])
+    .unwrap();
+    assert!(text.contains("influential attributes"), "{text}");
+    let text = opmap(&[
+        "drill", "--data", &csv, "--class", "CallDisposition", "--attr", "PhoneModel",
+        "--v1", "ph1", "--v2", "ph2", "--target", "dropped", "--depth", "1",
+        "--budget-ms", "60000",
+    ])
+    .unwrap();
+    assert!(text.contains("drill-down finished"), "{text}");
+}
+
+#[test]
 fn generate_rejects_unknown_domain() {
     let r = opmap(&["generate", "--domain", "weather", "--out", "/tmp/x.csv"]);
     assert!(matches!(r, Err(CliError::Usage(_))));

@@ -17,6 +17,7 @@
 use om_car::Condition;
 use om_cube::{CubeStore, StoreBuildOptions};
 use om_data::Dataset;
+use om_fault::{fail, Budget};
 
 use crate::rank::{CompareConfig, CompareError, Comparator, ComparisonResult, ComparisonSpec};
 
@@ -69,12 +70,32 @@ pub fn drill_down(
     spec: &ComparisonSpec,
     config: &DrillConfig,
 ) -> Result<Vec<DrillLevel>, CompareError> {
+    drill_down_budgeted(ds, spec, config, &Budget::unlimited())
+}
+
+/// [`drill_down`] under a cooperative [`Budget`]: the deadline is checked
+/// before each level's cube rebuild (the cost that scales with data size)
+/// and inside each level's comparison. A budget fault at *any* depth
+/// aborts the whole walk — unlike ordinary deeper failures, it means the
+/// caller's time is up, not that the data ran thin.
+///
+/// # Errors
+/// Fails if the root comparison fails, or with [`CompareError::Fault`]
+/// when the budget expires or the request is cancelled.
+pub fn drill_down_budgeted(
+    ds: &Dataset,
+    spec: &ComparisonSpec,
+    config: &DrillConfig,
+    budget: &Budget,
+) -> Result<Vec<DrillLevel>, CompareError> {
     let mut levels = Vec::new();
     let mut current = ds.clone();
     let mut conditions: Vec<Condition> = Vec::new();
     let mut excluded: Vec<usize> = vec![spec.attr];
 
     for depth in 0..=config.max_depth {
+        budget.check()?;
+        fail::inject("compare.drill-level")?;
         let attrs: Vec<usize> = current
             .schema()
             .non_class_indices()
@@ -96,9 +117,10 @@ pub fn drill_down(
         )
         .map_err(CompareError::Cube)?;
         let comparator = Comparator::with_config(&store, config.compare.clone());
-        let result = match comparator.compare(spec) {
+        let result = match comparator.compare_budgeted(spec, budget) {
             Ok(r) => r,
             Err(e) if depth == 0 => return Err(e),
+            Err(e @ CompareError::Fault(_)) => return Err(e),
             Err(_) => break, // conditioned data too thin — stop cleanly
         };
 
@@ -230,6 +252,19 @@ mod tests {
         let (ds, spec) = nested_scenario();
         let bad = ComparisonSpec { value_2: 99, ..spec };
         assert!(drill_down(&ds, &bad, &DrillConfig::default()).is_err());
+    }
+
+    #[test]
+    fn expired_budget_aborts_drill() {
+        use om_fault::FaultError;
+        use std::time::Duration;
+        let (ds, spec) = nested_scenario();
+        let spent = Budget::with_timeout(Duration::ZERO);
+        let r = drill_down_budgeted(&ds, &spec, &DrillConfig::default(), &spent);
+        assert!(
+            matches!(r, Err(CompareError::Fault(FaultError::DeadlineExceeded { .. }))),
+            "{r:?}"
+        );
     }
 
     #[test]

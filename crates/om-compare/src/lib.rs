@@ -35,7 +35,7 @@ pub mod property;
 pub mod rank;
 pub mod report;
 
-pub use drill::{drill_down, DrillConfig, DrillLevel};
+pub use drill::{drill_down, drill_down_budgeted, DrillConfig, DrillLevel};
 pub use groups::{compare_groups, GroupSpec};
 pub use interval::IntervalMethod;
 pub use measure::{score_attribute, AttrScore, SubPopCounts, ValueContribution};

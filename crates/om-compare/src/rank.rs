@@ -15,6 +15,7 @@ use std::fmt;
 use om_cube::olap::slice;
 use om_cube::{CubeError, CubeStore, RuleCube};
 use om_data::ValueId;
+use om_fault::{fail, Budget, FaultError};
 
 use crate::interval::IntervalMethod;
 use crate::measure::{score_attribute, AttrScore, SubPopCounts};
@@ -72,6 +73,8 @@ pub enum CompareError {
     /// The lower of the two rule confidences is zero; the measure's
     /// expected-confidence ratio `cf_2 / cf_1` is undefined.
     ZeroBaselineConfidence,
+    /// The comparison ran out of budget or was cancelled mid-flight.
+    Fault(FaultError),
 }
 
 impl fmt::Display for CompareError {
@@ -91,6 +94,7 @@ impl fmt::Display for CompareError {
                 f,
                 "the class of interest never occurs in the lower sub-population; the expected-confidence ratio is undefined"
             ),
+            CompareError::Fault(e) => write!(f, "{e}"),
         }
     }
 }
@@ -99,7 +103,18 @@ impl std::error::Error for CompareError {}
 
 impl From<CubeError> for CompareError {
     fn from(e: CubeError) -> Self {
-        CompareError::Cube(e)
+        match e {
+            // Keep faults recognizable at every layer: a deadline that
+            // tripped inside a cube walk is still a deadline.
+            CubeError::Fault(f) => CompareError::Fault(f),
+            other => CompareError::Cube(other),
+        }
+    }
+}
+
+impl From<FaultError> for CompareError {
+    fn from(e: FaultError) -> Self {
+        CompareError::Fault(e)
     }
 }
 
@@ -192,6 +207,23 @@ impl<'a> Comparator<'a> {
     /// # Errors
     /// See [`CompareError`].
     pub fn compare(&self, spec: &ComparisonSpec) -> Result<ComparisonResult, CompareError> {
+        self.compare_budgeted(spec, &Budget::unlimited())
+    }
+
+    /// [`compare`](Self::compare) under a cooperative [`Budget`]: the
+    /// deadline is checked once per compared attribute (the unit of work
+    /// Fig. 9 scales in), so an expensive comparison stops within one
+    /// attribute's worth of work past its budget.
+    ///
+    /// # Errors
+    /// See [`CompareError`]; [`CompareError::Fault`] when the budget
+    /// expires or the request is cancelled.
+    pub fn compare_budgeted(
+        &self,
+        spec: &ComparisonSpec,
+        budget: &Budget,
+    ) -> Result<ComparisonResult, CompareError> {
+        budget.check()?;
         let (spec, swapped, base) = self.normalize(spec)?;
         let mut ranked: Vec<AttrScore> = Vec::new();
         let mut property_attrs: Vec<AttrScore> = Vec::new();
@@ -200,6 +232,8 @@ impl<'a> Comparator<'a> {
             if other == spec.attr {
                 continue;
             }
+            budget.check()?;
+            fail::inject("compare.attr")?;
             let (labels, d1, d2) =
                 subpop_counts(self.store, spec.attr, other, spec.value_1, spec.value_2, spec.class)?;
             let name = attr_name(self.store, other)?;
@@ -367,11 +401,18 @@ pub(crate) fn subpop_counts(
     class: ValueId,
 ) -> Result<(Vec<String>, SubPopCounts, SubPopCounts), CompareError> {
     let pair = store.pair(sel, other)?;
+    // A store assembled from a corrupt or hand-built artifact can hold a
+    // pair cube that doesn't mention `sel`; this path is reachable from
+    // network input, so it must not panic.
     let sel_dim = pair
         .dims()
         .iter()
         .position(|d| d.attr_index == sel)
-        .expect("pair cube contains the selected attribute");
+        .ok_or_else(|| {
+            CompareError::Cube(CubeError::Invalid(format!(
+                "pair cube ({sel}, {other}) lacks the selected attribute dimension"
+            )))
+        })?;
     let labels = pair.dims()[1 - sel_dim].labels.clone();
     let d1 = slice(&pair, sel_dim, v1)?;
     let d2 = slice(&pair, sel_dim, v2)?;
@@ -537,6 +578,32 @@ mod tests {
         );
         let r = comparator.compare(&spec_for(&ds, &truth));
         assert!(matches!(r, Err(CompareError::InsufficientSupport { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn expired_budget_aborts_comparison() {
+        use std::time::Duration;
+        let (ds, truth, store) = scenario();
+        let comparator = Comparator::new(&store);
+        let spec = spec_for(&ds, &truth);
+        let spent = Budget::with_timeout(Duration::ZERO);
+        let r = comparator.compare_budgeted(&spec, &spent);
+        assert!(matches!(r, Err(CompareError::Fault(_))), "{r:?}");
+        // The same spec under no budget still works.
+        assert!(comparator.compare_budgeted(&spec, &Budget::unlimited()).is_ok());
+    }
+
+    #[test]
+    fn cancellation_aborts_comparison() {
+        let (ds, truth, store) = scenario();
+        let comparator = Comparator::new(&store);
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let r = comparator.compare_budgeted(&spec_for(&ds, &truth), &budget);
+        assert!(
+            matches!(r, Err(CompareError::Fault(FaultError::Cancelled))),
+            "{r:?}"
+        );
     }
 
     #[test]

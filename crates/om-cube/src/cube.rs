@@ -3,6 +3,7 @@
 use std::fmt;
 
 use om_data::{Schema, ValueId};
+use om_fault::FaultError;
 
 /// Errors produced by cube operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,6 +16,8 @@ pub enum CubeError {
     NoSuchDim(String),
     /// The operation's preconditions were violated.
     Invalid(String),
+    /// The operation ran out of budget or was cancelled mid-flight.
+    Fault(FaultError),
 }
 
 impl fmt::Display for CubeError {
@@ -28,11 +31,18 @@ impl fmt::Display for CubeError {
             }
             CubeError::NoSuchDim(d) => write!(f, "no such dimension: {d}"),
             CubeError::Invalid(msg) => write!(f, "invalid cube operation: {msg}"),
+            CubeError::Fault(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for CubeError {}
+
+impl From<FaultError> for CubeError {
+    fn from(e: FaultError) -> Self {
+        CubeError::Fault(e)
+    }
+}
 
 /// One non-class dimension of a rule cube: which attribute it came from and
 /// the value labels, making cubes self-contained for visualization.

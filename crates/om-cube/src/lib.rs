@@ -32,7 +32,10 @@ pub mod view;
 
 pub use build::build_cube;
 pub use merge::merge_cubes;
-pub use query::{filter_rules, top_k_by_confidence, CubeRule};
+pub use query::{
+    filter_rules, filter_rules_budgeted, top_k_by_confidence, top_k_by_confidence_budgeted,
+    CubeRule,
+};
 pub use cube::{CubeDim, CubeError, RuleCube};
 pub use store::{CubeStore, StoreBuildOptions};
 pub use view::CubeView;

@@ -6,8 +6,12 @@
 //! their full context and cost nothing to recompute.
 
 use om_data::ValueId;
+use om_fault::{Budget, Pacer};
 
 use crate::cube::{CubeError, RuleCube};
+
+/// How many cells a query loop walks between budget checks.
+const CELL_STRIDE: u64 = 1024;
 
 /// One rule materialized out of a cube cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +65,22 @@ pub fn top_k_by_confidence(
     k: usize,
     min_count: u64,
 ) -> Result<Vec<CubeRule>, CubeError> {
+    top_k_by_confidence_budgeted(cube, class, k, min_count, &Budget::unlimited())
+}
+
+/// [`top_k_by_confidence`] under a cooperative [`Budget`]: the cell walk
+/// checks the deadline every [`CELL_STRIDE`] cells.
+///
+/// # Errors
+/// Fails if `class` is out of range, or with [`CubeError::Fault`] when
+/// the budget expires or the request is cancelled.
+pub fn top_k_by_confidence_budgeted(
+    cube: &RuleCube,
+    class: ValueId,
+    k: usize,
+    min_count: u64,
+    budget: &Budget,
+) -> Result<Vec<CubeRule>, CubeError> {
     if class as usize >= cube.n_classes() {
         return Err(CubeError::OutOfRange {
             dim: "class".into(),
@@ -68,9 +88,12 @@ pub fn top_k_by_confidence(
             card: cube.n_classes(),
         });
     }
+    budget.check()?;
     let total = cube.total();
+    let mut pacer = Pacer::new(budget, CELL_STRIDE);
     let mut rules: Vec<CubeRule> = Vec::new();
     for (coords, cell_class, count) in cube.iter_cells() {
+        pacer.tick()?;
         if cell_class != class {
             continue;
         }
@@ -110,12 +133,29 @@ pub fn top_k_by_confidence(
 ///
 /// Results are in descending confidence order.
 pub fn filter_rules(cube: &RuleCube, min_confidence: f64, min_count: u64) -> Vec<CubeRule> {
+    filter_rules_budgeted(cube, min_confidence, min_count, &Budget::unlimited())
+        .expect("unlimited budget never trips")
+}
+
+/// [`filter_rules`] under a cooperative [`Budget`]: the cell walk checks
+/// the deadline every [`CELL_STRIDE`] cells.
+///
+/// # Errors
+/// [`CubeError::Fault`] when the budget expires or the request is
+/// cancelled.
+pub fn filter_rules_budgeted(
+    cube: &RuleCube,
+    min_confidence: f64,
+    min_count: u64,
+    budget: &Budget,
+) -> Result<Vec<CubeRule>, CubeError> {
+    budget.check()?;
     let total = cube.total();
+    let mut pacer = Pacer::new(budget, CELL_STRIDE);
     let mut rules: Vec<CubeRule> = Vec::new();
     for (coords, class, count) in cube.iter_cells() {
-        let cell_total = cube
-            .cell_total(&coords)
-            .expect("iter_cells yields valid coords");
+        pacer.tick()?;
+        let cell_total = cube.cell_total(&coords)?;
         if cell_total < min_count.max(1) {
             continue;
         }
@@ -143,7 +183,7 @@ pub fn filter_rules(cube: &RuleCube, min_confidence: f64, min_count: u64) -> Vec
             .then(a.coords.cmp(&b.coords))
             .then(a.class.cmp(&b.class))
     });
-    rules
+    Ok(rules)
 }
 
 #[cfg(test)]
@@ -211,6 +251,17 @@ mod tests {
     fn bad_class_rejected() {
         let c = cube();
         assert!(top_k_by_confidence(&c, 9, 1, 1).is_err());
+    }
+
+    #[test]
+    fn expired_budget_surfaces_as_fault() {
+        use std::time::Duration;
+        let c = cube();
+        let spent = Budget::with_timeout(Duration::ZERO);
+        let e = filter_rules_budgeted(&c, 0.0, 1, &spent).unwrap_err();
+        assert!(matches!(e, CubeError::Fault(_)), "{e}");
+        let e = top_k_by_confidence_budgeted(&c, 1, 5, 1, &spent).unwrap_err();
+        assert!(matches!(e, CubeError::Fault(_)), "{e}");
     }
 
     #[test]

@@ -101,7 +101,7 @@ proptest! {
     #[test]
     fn persist_round_trip(ds in arb_dataset()) {
         let cube = build_cube(&ds, &[0, 2]).unwrap();
-        let back = om_cube::persist::decode_cube(om_cube::persist::encode_cube(&cube)).unwrap();
+        let back = om_cube::persist::decode_cube(om_cube::persist::encode_cube(&cube).unwrap()).unwrap();
         prop_assert_eq!(back, cube);
     }
 }

@@ -17,6 +17,13 @@ pub enum DataError {
     Io(std::io::Error),
     /// Corrupt or truncated binary persistence payload.
     Decode(String),
+    /// A persistence frame's CRC32 did not match its payload.
+    ChecksumMismatch {
+        /// The checksum recorded in the frame.
+        expected: u32,
+        /// The checksum computed over the payload actually read.
+        found: u32,
+    },
     /// An operation's preconditions were violated (empty dataset, bad
     /// parameter, ...).
     Invalid(String),
@@ -33,6 +40,10 @@ impl fmt::Display for DataError {
             DataError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
             DataError::Io(e) => write!(f, "I/O error: {e}"),
             DataError::Decode(msg) => write!(f, "decode error: {msg}"),
+            DataError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checksum mismatch: frame says {expected:#010x}, payload hashes to {found:#010x}"
+            ),
             DataError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
         }
     }

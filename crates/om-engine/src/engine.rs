@@ -3,16 +3,17 @@
 use std::fmt;
 
 use om_compare::{
-    compare_groups, drill_down, CompareConfig, CompareError, Comparator, ComparisonResult,
-    ComparisonSpec, DrillConfig, DrillLevel, GroupSpec,
+    compare_groups, drill_down_budgeted, CompareConfig, CompareError, Comparator,
+    ComparisonResult, ComparisonSpec, DrillConfig, DrillLevel, GroupSpec,
 };
 use om_car::{mine, mine_restricted, CarRule, Condition, MinerConfig};
 use om_cube::{CubeError, CubeStore, CubeView, StoreBuildOptions};
 use om_data::{DataError, Dataset};
 use om_discretize::{discretize_all, CutPoints, Method};
+use om_fault::{fail, Budget, FaultError};
 use om_gi::{
-    mine_exceptions, mine_influence, mine_trends, Exception, ExceptionConfig,
-    InfluenceResult, TrendConfig, TrendResult,
+    mine_exceptions_budgeted, mine_influence_budgeted, mine_trends_budgeted, Exception,
+    ExceptionConfig, InfluenceResult, TrendConfig, TrendResult,
 };
 use om_viz::compare_view::{render_top_attribute, CompareViewOptions};
 use om_viz::detailed::{render_detailed, DetailedOptions};
@@ -59,6 +60,9 @@ pub enum EngineError {
     Compare(CompareError),
     /// A name lookup failed (attribute, value or class label).
     Unknown(String),
+    /// The request ran out of budget, was cancelled, or hit an injected
+    /// fault — work was cut short, not wrong.
+    Fault(FaultError),
 }
 
 impl fmt::Display for EngineError {
@@ -68,6 +72,7 @@ impl fmt::Display for EngineError {
             EngineError::Cube(e) => write!(f, "cube error: {e}"),
             EngineError::Compare(e) => write!(f, "comparison error: {e}"),
             EngineError::Unknown(what) => write!(f, "unknown name: {what}"),
+            EngineError::Fault(e) => write!(f, "{e}"),
         }
     }
 }
@@ -81,12 +86,34 @@ impl From<DataError> for EngineError {
 }
 impl From<CubeError> for EngineError {
     fn from(e: CubeError) -> Self {
-        EngineError::Cube(e)
+        match e {
+            CubeError::Fault(f) => EngineError::Fault(f),
+            other => EngineError::Cube(other),
+        }
     }
 }
 impl From<CompareError> for EngineError {
     fn from(e: CompareError) -> Self {
-        EngineError::Compare(e)
+        match e {
+            // Unwrap nested faults so callers (the server's status
+            // mapping, the CLI's message) match on one variant.
+            CompareError::Fault(f) => EngineError::Fault(f),
+            other => EngineError::Compare(other),
+        }
+    }
+}
+impl From<FaultError> for EngineError {
+    fn from(e: FaultError) -> Self {
+        EngineError::Fault(e)
+    }
+}
+
+impl EngineError {
+    /// Whether this error means "the service is busy, retry later"
+    /// (deadline exceeded / cancelled) rather than a fault of the request.
+    #[must_use]
+    pub fn is_overload(&self) -> bool {
+        matches!(self, EngineError::Fault(f) if f.is_overload())
     }
 }
 
@@ -220,7 +247,23 @@ impl OpportunityMap {
     /// # Errors
     /// See [`CompareError`].
     pub fn compare(&self, spec: &ComparisonSpec) -> Result<ComparisonResult, EngineError> {
-        Ok(Comparator::with_config(&self.store, self.config.compare.clone()).compare(spec)?)
+        self.compare_budgeted(spec, &Budget::unlimited())
+    }
+
+    /// [`compare`](Self::compare) under a cooperative [`Budget`]: the
+    /// comparison checks the deadline per attribute and returns
+    /// [`EngineError::Fault`] instead of running past it.
+    ///
+    /// # Errors
+    /// See [`CompareError`]; [`EngineError::Fault`] on budget overrun.
+    pub fn compare_budgeted(
+        &self,
+        spec: &ComparisonSpec,
+        budget: &Budget,
+    ) -> Result<ComparisonResult, EngineError> {
+        fail::inject("engine.compare")?;
+        Ok(Comparator::with_config(&self.store, self.config.compare.clone())
+            .compare_budgeted(spec, budget)?)
     }
 
     /// Run the comparator by names: "compare ph1 vs ph2 of PhoneModel on
@@ -235,6 +278,23 @@ impl OpportunityMap {
         value_2: &str,
         class: &str,
     ) -> Result<ComparisonResult, EngineError> {
+        self.compare_by_name_budgeted(attr_name, value_1, value_2, class, &Budget::unlimited())
+    }
+
+    /// [`compare_by_name`](Self::compare_by_name) under a cooperative
+    /// [`Budget`].
+    ///
+    /// # Errors
+    /// Fails on unknown names, comparator errors, or
+    /// [`EngineError::Fault`] on budget overrun.
+    pub fn compare_by_name_budgeted(
+        &self,
+        attr_name: &str,
+        value_1: &str,
+        value_2: &str,
+        class: &str,
+        budget: &Budget,
+    ) -> Result<ComparisonResult, EngineError> {
         let attr = self.attr_index(attr_name)?;
         let spec = ComparisonSpec {
             attr,
@@ -242,7 +302,7 @@ impl OpportunityMap {
             value_2: self.value_id(attr, value_2)?,
             class: self.class_id(class)?,
         };
-        self.compare(&spec)
+        self.compare_budgeted(&spec, budget)
     }
 
     /// Text rendering of a comparison's top attribute (Fig. 7).
@@ -293,6 +353,34 @@ impl OpportunityMap {
         class: &str,
         config: &DrillConfig,
     ) -> Result<Vec<DrillLevel>, EngineError> {
+        self.drill_down_by_name_budgeted(
+            attr_name,
+            value_1,
+            value_2,
+            class,
+            config,
+            &Budget::unlimited(),
+        )
+    }
+
+    /// [`drill_down_by_name`](Self::drill_down_by_name) under a
+    /// cooperative [`Budget`]: the walk re-checks the deadline before
+    /// each level's cube rebuild — the engine's most expensive
+    /// interactive path.
+    ///
+    /// # Errors
+    /// Fails on unknown names, a failed root comparison, or
+    /// [`EngineError::Fault`] on budget overrun at any depth.
+    pub fn drill_down_by_name_budgeted(
+        &self,
+        attr_name: &str,
+        value_1: &str,
+        value_2: &str,
+        class: &str,
+        config: &DrillConfig,
+        budget: &Budget,
+    ) -> Result<Vec<DrillLevel>, EngineError> {
+        fail::inject("engine.drill")?;
         let attr = self.attr_index(attr_name)?;
         let spec = ComparisonSpec {
             attr,
@@ -300,16 +388,28 @@ impl OpportunityMap {
             value_2: self.value_id(attr, value_2)?,
             class: self.class_id(class)?,
         };
-        Ok(drill_down(&self.dataset, &spec, config)?)
+        Ok(drill_down_budgeted(&self.dataset, &spec, config, budget)?)
     }
 
     /// Mine all general impressions (trends, exceptions, influence).
     pub fn general_impressions(&self) -> GiReport {
-        GiReport {
-            trends: mine_trends(&self.store, &self.config.trend),
-            exceptions: mine_exceptions(&self.store, &self.config.exception),
-            influence: mine_influence(&self.store),
-        }
+        self.general_impressions_budgeted(&Budget::unlimited())
+            .expect("unlimited budget never trips")
+    }
+
+    /// [`general_impressions`](Self::general_impressions) under a
+    /// cooperative [`Budget`]: each miner checks the deadline per
+    /// attribute.
+    ///
+    /// # Errors
+    /// [`EngineError::Fault`] on budget overrun.
+    pub fn general_impressions_budgeted(&self, budget: &Budget) -> Result<GiReport, EngineError> {
+        fail::inject("engine.gi")?;
+        Ok(GiReport {
+            trends: mine_trends_budgeted(&self.store, &self.config.trend, budget)?,
+            exceptions: mine_exceptions_budgeted(&self.store, &self.config.exception, budget)?,
+            influence: mine_influence_budgeted(&self.store, budget)?,
+        })
     }
 
     /// Render the general-impressions report as text (top `n` entries per
@@ -445,6 +545,62 @@ mod tests {
             )
             .unwrap();
         assert!(!restricted.is_empty());
+    }
+
+    #[test]
+    fn expired_budget_surfaces_as_overload_fault() {
+        use std::time::Duration;
+        let (om, truth) = engine();
+        let spent = Budget::with_timeout(Duration::ZERO);
+        let r = om.compare_by_name_budgeted(
+            &truth.compare_attr,
+            &truth.baseline_value,
+            &truth.target_value,
+            &truth.target_class,
+            &spent,
+        );
+        match r {
+            Err(e @ EngineError::Fault(FaultError::DeadlineExceeded { .. })) => {
+                assert!(e.is_overload());
+                assert!(e.to_string().contains("deadline exceeded"));
+            }
+            other => panic!("expected deadline fault, got {other:?}"),
+        }
+        assert!(om.general_impressions_budgeted(&spent).is_err());
+        assert!(om
+            .drill_down_by_name_budgeted(
+                &truth.compare_attr,
+                &truth.baseline_value,
+                &truth.target_value,
+                &truth.target_class,
+                &DrillConfig::default(),
+                &spent,
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn budgeted_results_match_plain_results() {
+        let (om, truth) = engine();
+        let plain = om
+            .compare_by_name(
+                &truth.compare_attr,
+                &truth.baseline_value,
+                &truth.target_value,
+                &truth.target_class,
+            )
+            .unwrap();
+        let generous = Budget::with_timeout(std::time::Duration::from_secs(600));
+        let budgeted = om
+            .compare_by_name_budgeted(
+                &truth.compare_attr,
+                &truth.baseline_value,
+                &truth.target_value,
+                &truth.target_class,
+                &generous,
+            )
+            .unwrap();
+        assert_eq!(plain, budgeted);
     }
 
     #[test]

@@ -22,3 +22,8 @@ pub use engine::{EngineConfig, EngineError, GiReport, OpportunityMap};
 pub use explore::{ExploreOp, Explorer};
 pub use scan::{ScanConfig, ScanFinding};
 pub use session::Session;
+
+// Re-exported so downstream crates (server, CLI) construct budgets,
+// match faults and arm failpoints without depending on om-fault
+// directly.
+pub use om_fault::{fail, Budget, CancelToken, FaultError};

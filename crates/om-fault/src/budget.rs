@@ -1,0 +1,242 @@
+//! Cooperative deadlines: a budget checked cheaply inside hot loops.
+//!
+//! A [`Budget`] pairs an optional wall-clock deadline with a shared
+//! cancellation flag. Loops call [`Budget::check`] at natural work
+//! boundaries (per attribute, per drill level); extremely hot loops wrap
+//! the budget in a [`Pacer`] so only one iteration in a power-of-two
+//! stride pays the clock read.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::FaultError;
+
+/// A shared, clonable cancellation flag.
+///
+/// Cancelling is idempotent and observed by every [`Budget`] holding a
+/// clone of the token via one relaxed atomic load per check.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flip the flag; every holder observes it on its next check.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A time budget plus cancellation, checked cooperatively.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Absolute deadline; `None` means no time limit.
+    deadline: Option<Instant>,
+    /// The configured limit (for error messages).
+    limit: Duration,
+    started: Instant,
+    cancel: CancelToken,
+}
+
+impl Budget {
+    /// A budget with no deadline and a fresh cancel token — `check`
+    /// never fails on it.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self {
+            deadline: None,
+            limit: Duration::MAX,
+            started: Instant::now(),
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// A budget expiring `limit` from now.
+    #[must_use]
+    pub fn with_timeout(limit: Duration) -> Self {
+        let started = Instant::now();
+        Self {
+            deadline: started.checked_add(limit),
+            limit,
+            started,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// A budget with an optional timeout and an externally owned token
+    /// (e.g. a server's shutdown flag).
+    #[must_use]
+    pub fn with_token(limit: Option<Duration>, cancel: CancelToken) -> Self {
+        let started = Instant::now();
+        Self {
+            deadline: limit.and_then(|l| started.checked_add(l)),
+            limit: limit.unwrap_or(Duration::MAX),
+            started,
+            cancel,
+        }
+    }
+
+    /// Whether this budget can ever expire.
+    #[must_use]
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// A clone of the cancellation token.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Time left before the deadline; `None` when unlimited.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// The cooperative check: one relaxed atomic load, plus a clock read
+    /// when a deadline is armed.
+    ///
+    /// # Errors
+    /// [`FaultError::Cancelled`] if the token fired,
+    /// [`FaultError::DeadlineExceeded`] past the deadline.
+    #[inline]
+    pub fn check(&self) -> Result<(), FaultError> {
+        if self.cancel.is_cancelled() {
+            return Err(FaultError::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(FaultError::DeadlineExceeded {
+                    limit: self.limit,
+                    elapsed: now.duration_since(self.started),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Strided budget checking for per-cell loops: only one call in
+/// `stride` (rounded up to a power of two) pays the full check.
+#[derive(Debug)]
+pub struct Pacer<'a> {
+    budget: &'a Budget,
+    mask: u64,
+    ticks: u64,
+}
+
+impl<'a> Pacer<'a> {
+    /// A pacer checking roughly every `stride` ticks (`stride` is
+    /// rounded up to the next power of two; 0 is treated as 1).
+    #[must_use]
+    pub fn new(budget: &'a Budget, stride: u64) -> Self {
+        Self {
+            budget,
+            mask: stride.max(1).next_power_of_two() - 1,
+            ticks: 0,
+        }
+    }
+
+    /// Count one unit of work, checking the budget on stride boundaries.
+    ///
+    /// # Errors
+    /// Propagates [`Budget::check`] failures.
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), FaultError> {
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks & self.mask == 0 {
+            self.budget.check()
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_fails() {
+        let b = Budget::unlimited();
+        for _ in 0..1000 {
+            b.check().unwrap();
+        }
+        assert!(!b.is_limited());
+        assert!(b.remaining().is_none());
+    }
+
+    #[test]
+    fn zero_timeout_fails_immediately() {
+        let b = Budget::with_timeout(Duration::ZERO);
+        let e = b.check().unwrap_err();
+        assert!(matches!(e, FaultError::DeadlineExceeded { .. }));
+        assert!(e.is_overload());
+        assert!(e.to_string().contains("deadline exceeded"));
+    }
+
+    #[test]
+    fn generous_timeout_passes_then_reports_remaining() {
+        let b = Budget::with_timeout(Duration::from_secs(3600));
+        b.check().unwrap();
+        assert!(b.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn cancellation_observed_across_clones() {
+        let b = Budget::unlimited();
+        let token = b.cancel_token();
+        let clone = b.clone();
+        clone.check().unwrap();
+        token.cancel();
+        assert!(matches!(b.check(), Err(FaultError::Cancelled)));
+        assert!(matches!(clone.check(), Err(FaultError::Cancelled)));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_actually_expires() {
+        let b = Budget::with_timeout(Duration::from_millis(10));
+        b.check().unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        match b.check() {
+            Err(FaultError::DeadlineExceeded { limit, elapsed }) => {
+                assert_eq!(limit, Duration::from_millis(10));
+                assert!(elapsed >= Duration::from_millis(10));
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pacer_checks_on_stride_boundaries() {
+        let b = Budget::with_timeout(Duration::ZERO);
+        let mut pacer = Pacer::new(&b, 8);
+        // Ticks 1..7 skip the check; tick 8 hits the boundary.
+        for i in 1..8u64 {
+            assert!(pacer.tick().is_ok(), "tick {i} should skip the check");
+        }
+        assert!(pacer.tick().is_err());
+    }
+
+    #[test]
+    fn pacer_stride_zero_checks_every_tick() {
+        let b = Budget::with_timeout(Duration::ZERO);
+        let mut pacer = Pacer::new(&b, 0);
+        assert!(pacer.tick().is_err());
+    }
+}

@@ -9,6 +9,7 @@
 //! pooled two-proportion z-test from `om-stats`.
 
 use om_cube::{CubeStore, CubeView};
+use om_fault::{Budget, FaultError};
 use om_stats::two_proportion_z;
 
 /// Direction of the deviation.
@@ -128,8 +129,24 @@ pub fn exceptions_in_view(view: &CubeView, config: &ExceptionConfig) -> Vec<Exce
 /// descending. With `use_fdr`, significance is decided jointly by
 /// Benjamini–Hochberg over every candidate cell at FDR level `alpha`.
 pub fn mine_exceptions(store: &CubeStore, config: &ExceptionConfig) -> Vec<Exception> {
+    mine_exceptions_budgeted(store, config, &Budget::unlimited())
+        .expect("unlimited budget never trips")
+}
+
+/// [`mine_exceptions`] under a cooperative [`Budget`]: the deadline is
+/// checked once per attribute.
+///
+/// # Errors
+/// [`FaultError`] when the budget expires or the request is cancelled.
+pub fn mine_exceptions_budgeted(
+    store: &CubeStore,
+    config: &ExceptionConfig,
+    budget: &Budget,
+) -> Result<Vec<Exception>, FaultError> {
+    budget.check()?;
     let mut candidates: Vec<(Exception, f64)> = Vec::new();
     for &attr in store.attrs() {
+        budget.check()?;
         let cube = store.one_dim(attr).expect("store attr has a cube");
         let view = CubeView::from_cube(&cube).expect("one-dim cube");
         for (mut e, p) in candidates_in_view(&view, config.min_cell_count) {
@@ -156,7 +173,7 @@ pub fn mine_exceptions(store: &CubeStore, config: &ExceptionConfig) -> Vec<Excep
             .partial_cmp(&a.z.abs())
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! the recovery experiment makes that concrete).
 
 use om_cube::{CubeStore, CubeView};
+use om_fault::{Budget, FaultError};
 use om_stats::{chi2_independence, info_gain};
 
 /// Association strength of one attribute with the class.
@@ -24,8 +25,22 @@ pub struct InfluenceResult {
 
 /// Rank all attributes by chi-square statistic, descending.
 pub fn mine_influence(store: &CubeStore) -> Vec<InfluenceResult> {
+    mine_influence_budgeted(store, &Budget::unlimited()).expect("unlimited budget never trips")
+}
+
+/// [`mine_influence`] under a cooperative [`Budget`]: the deadline is
+/// checked once per attribute.
+///
+/// # Errors
+/// [`FaultError`] when the budget expires or the request is cancelled.
+pub fn mine_influence_budgeted(
+    store: &CubeStore,
+    budget: &Budget,
+) -> Result<Vec<InfluenceResult>, FaultError> {
+    budget.check()?;
     let mut out = Vec::with_capacity(store.attrs().len());
     for &attr in store.attrs() {
+        budget.check()?;
         let cube = store.one_dim(attr).expect("store attr has a cube");
         let view = CubeView::from_cube(&cube).expect("one-dim cube");
         let table: Vec<Vec<u64>> = (0..view.n_values() as u32)
@@ -49,7 +64,7 @@ pub fn mine_influence(store: &CubeStore) -> Vec<InfluenceResult> {
             .partial_cmp(&a.chi2)
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -88,6 +103,24 @@ mod tests {
         assert!(ranking[0].p_value < 1e-10);
         assert!(ranking[0].info_gain > 0.99, "perfect predictor gains ~1 bit");
         assert!(ranking[1].info_gain < 0.05);
+    }
+
+    #[test]
+    fn expired_budget_aborts_all_miners() {
+        use crate::{
+            mine_exceptions_budgeted, mine_pair_exceptions_budgeted, mine_trends_budgeted,
+        };
+        use std::time::Duration;
+        let store = CubeStore::build(&ds(), &StoreBuildOptions::default()).unwrap();
+        let spent = Budget::with_timeout(Duration::ZERO);
+        assert!(mine_influence_budgeted(&store, &spent).is_err());
+        assert!(mine_trends_budgeted(&store, &Default::default(), &spent).is_err());
+        assert!(mine_exceptions_budgeted(&store, &Default::default(), &spent).is_err());
+        assert!(mine_pair_exceptions_budgeted(&store, &Default::default(), &spent).is_err());
+        // Unlimited budgets reproduce the plain results.
+        let plain = mine_influence(&store);
+        let budgeted = mine_influence_budgeted(&store, &Budget::unlimited()).unwrap();
+        assert_eq!(plain, budgeted);
     }
 
     #[test]

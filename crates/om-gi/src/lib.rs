@@ -16,9 +16,11 @@ pub mod influence;
 pub mod pair_exception;
 pub mod trend;
 
-pub use exception::{mine_exceptions, Exception, ExceptionConfig, ExceptionKind};
-pub use influence::{mine_influence, InfluenceResult};
-pub use pair_exception::{
-    mine_pair_exceptions, PairException, PairExceptionConfig,
+pub use exception::{
+    mine_exceptions, mine_exceptions_budgeted, Exception, ExceptionConfig, ExceptionKind,
 };
-pub use trend::{mine_trends, Trend, TrendConfig, TrendResult};
+pub use influence::{mine_influence, mine_influence_budgeted, InfluenceResult};
+pub use pair_exception::{
+    mine_pair_exceptions, mine_pair_exceptions_budgeted, PairException, PairExceptionConfig,
+};
+pub use trend::{mine_trends, mine_trends_budgeted, Trend, TrendConfig, TrendResult};

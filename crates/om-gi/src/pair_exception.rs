@@ -16,6 +16,7 @@
 //! work discusses, but on flat rule cubes with no aggregation hierarchy.
 
 use om_cube::{CubeStore, RuleCube};
+use om_fault::{Budget, FaultError};
 use om_stats::proportion_margin;
 
 /// Configuration for interaction-exception mining.
@@ -155,10 +156,26 @@ pub fn mine_pair_exceptions(
     store: &CubeStore,
     config: &PairExceptionConfig,
 ) -> Vec<PairException> {
+    mine_pair_exceptions_budgeted(store, config, &Budget::unlimited())
+        .expect("unlimited budget never trips")
+}
+
+/// [`mine_pair_exceptions`] under a cooperative [`Budget`]: this miner is
+/// O(attrs²) in pair cubes, so the deadline is checked once per pair.
+///
+/// # Errors
+/// [`FaultError`] when the budget expires or the request is cancelled.
+pub fn mine_pair_exceptions_budgeted(
+    store: &CubeStore,
+    config: &PairExceptionConfig,
+    budget: &Budget,
+) -> Result<Vec<PairException>, FaultError> {
+    budget.check()?;
     let attrs = store.attrs();
     let mut out = Vec::new();
     for (i, &a) in attrs.iter().enumerate() {
         for &b in &attrs[i + 1..] {
+            budget.check()?;
             let cube = store.pair(a, b).expect("pair in store");
             out.extend(exceptions_in_pair(&cube, config));
         }
@@ -168,7 +185,7 @@ pub fn mine_pair_exceptions(
             .partial_cmp(&x.lift)
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! for discretized continuous attributes and other ordered domains).
 
 use om_cube::{CubeStore, CubeView};
+use om_fault::{Budget, FaultError};
 use om_stats::linear_regression;
 
 /// The qualitative trend of one attribute/class confidence series.
@@ -109,8 +110,24 @@ pub fn classify_series(confidences: &[Option<f64>], config: &TrendConfig) -> (Tr
 
 /// Mine trends for every (attribute, class) pair in the store.
 pub fn mine_trends(store: &CubeStore, config: &TrendConfig) -> Vec<TrendResult> {
+    mine_trends_budgeted(store, config, &Budget::unlimited())
+        .expect("unlimited budget never trips")
+}
+
+/// [`mine_trends`] under a cooperative [`Budget`]: the deadline is
+/// checked once per attribute.
+///
+/// # Errors
+/// [`FaultError`] when the budget expires or the request is cancelled.
+pub fn mine_trends_budgeted(
+    store: &CubeStore,
+    config: &TrendConfig,
+    budget: &Budget,
+) -> Result<Vec<TrendResult>, FaultError> {
+    budget.check()?;
     let mut out = Vec::new();
     for &attr in store.attrs() {
+        budget.check()?;
         let cube = store.one_dim(attr).expect("store attr has a cube");
         let view = CubeView::from_cube(&cube).expect("one-dim cube");
         for class in 0..view.n_classes() as u32 {
@@ -129,7 +146,7 @@ pub fn mine_trends(store: &CubeStore, config: &TrendConfig) -> Vec<TrendResult> 
             });
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -245,6 +245,9 @@ pub struct Response {
     pub status: u16,
     pub content_type: &'static str,
     pub body: String,
+    /// When set, a `Retry-After: <secs>` header is emitted — used by
+    /// overload (`503`) responses to tell clients when to come back.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -255,6 +258,7 @@ impl Response {
             status: 200,
             content_type: "application/json",
             body,
+            retry_after: None,
         }
     }
 
@@ -265,6 +269,7 @@ impl Response {
             status: 200,
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -290,7 +295,15 @@ impl Response {
             status,
             content_type: "application/json",
             body,
+            retry_after: None,
         }
+    }
+
+    /// Attach a `Retry-After` header (seconds).
+    #[must_use]
+    pub fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after = Some(secs);
+        self
     }
 
     fn reason(&self) -> &'static str {
@@ -314,12 +327,16 @@ impl Response {
     pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
         write!(
             out,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
         )?;
+        if let Some(secs) = self.retry_after {
+            write!(out, "Retry-After: {secs}\r\n")?;
+        }
+        out.write_all(b"Connection: close\r\n\r\n")?;
         out.write_all(self.body.as_bytes())?;
         out.flush()
     }
@@ -419,6 +436,19 @@ mod tests {
         assert!(s.contains("Content-Length: 3\r\n"));
         assert!(s.contains("Connection: close\r\n"));
         assert!(s.ends_with("\r\n\r\nok\n"));
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted() {
+        let mut out = Vec::new();
+        Response::error(503, "overloaded")
+            .with_retry_after(2)
+            .write_to(&mut out)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(s.contains("Retry-After: 2\r\n"));
+        assert!(s.contains("Connection: close\r\n"));
     }
 
     #[test]

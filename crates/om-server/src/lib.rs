@@ -29,16 +29,20 @@ pub mod router;
 
 use std::io::{self, Read as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crossbeam::channel::TrySendError;
 use om_engine::OpportunityMap;
+use om_fault::{fail, Budget, CancelToken};
 
 use crate::cache::ResponseCache;
 use crate::http::{parse_request, ParseError, Response};
 use crate::metrics::{Endpoint, Metrics};
+use crate::router::RouteOptions;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -51,6 +55,14 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Per-request socket read timeout; a stalled request gets `408`.
     pub request_timeout: Duration,
+    /// Admission queue depth: connections beyond what the workers hold
+    /// plus this many waiting are shed with an immediate `503`.
+    pub queue_capacity: usize,
+    /// Per-request engine budget; `None` disables deadlines. A request
+    /// that exhausts it gets `503` with `Retry-After`.
+    pub engine_budget: Option<Duration>,
+    /// `Retry-After` seconds on overload (`503`) responses.
+    pub retry_after_secs: u64,
     /// Log one line per request to stderr.
     pub verbose: bool,
 }
@@ -62,6 +74,9 @@ impl Default for ServerConfig {
             n_workers: 4,
             cache_capacity: 256,
             request_timeout: Duration::from_secs(5),
+            queue_capacity: 64,
+            engine_budget: Some(Duration::from_secs(2)),
+            retry_after_secs: 1,
             verbose: false,
         }
     }
@@ -83,6 +98,8 @@ struct Shared {
     cache: ResponseCache,
     metrics: Arc<Metrics>,
     request_timeout: Duration,
+    engine_budget: Option<Duration>,
+    retry_after_secs: u64,
     verbose: bool,
 }
 
@@ -96,13 +113,18 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+        // Bounded admission queue: connections beyond its capacity are
+        // shed with an immediate `503` instead of piling up unboundedly
+        // behind slow engine work.
+        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(config.queue_capacity.max(1));
 
         let shared = Arc::new(Shared {
             om,
             cache: ResponseCache::new(config.cache_capacity),
             metrics: Arc::new(Metrics::default()),
             request_timeout: config.request_timeout,
+            engine_budget: config.engine_budget,
+            retry_after_secs: config.retry_after_secs,
             verbose: config.verbose,
         });
         let metrics = Arc::clone(&shared.metrics);
@@ -117,6 +139,7 @@ impl Server {
                         // Drains the channel, then exits when every
                         // sender is gone — the graceful-shutdown drain.
                         while let Ok(stream) = rx.recv() {
+                            shared.metrics.queue_leave();
                             handle_connection(stream, &shared);
                         }
                     })
@@ -125,6 +148,8 @@ impl Server {
             .collect();
 
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_metrics = Arc::clone(&shared.metrics);
+        let retry_after_secs = config.retry_after_secs;
         let accept_handle = std::thread::Builder::new()
             .name("om-server-accept".to_owned())
             .spawn(move || {
@@ -132,15 +157,22 @@ impl Server {
                     if accept_shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    match stream {
-                        // Send fails only when all workers are gone;
-                        // nothing left to serve then.
-                        Ok(s) => {
-                            if tx.send(s).is_err() {
-                                break;
-                            }
+                    let Ok(s) = stream else { continue };
+                    // Count the entry before sending so a worker's
+                    // matching `queue_leave` can never race ahead of it.
+                    accept_metrics.queue_enter();
+                    match tx.try_send(s) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(s)) => {
+                            accept_metrics.queue_leave();
+                            accept_metrics.record_shed();
+                            shed(s, retry_after_secs);
                         }
-                        Err(_) => continue,
+                        // All workers are gone; nothing left to serve.
+                        Err(TrySendError::Disconnected(_)) => {
+                            accept_metrics.queue_leave();
+                            break;
+                        }
                     }
                 }
                 // `tx` drops here; workers drain and exit.
@@ -183,6 +215,27 @@ impl Server {
     }
 }
 
+/// Reject a connection at admission: answer `503` without reading the
+/// request, then drain briefly so the peer gets to read the response
+/// before the socket closes (an unread send buffer would RST it away).
+fn shed(mut stream: TcpStream, retry_after_secs: u64) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let response = Response::error(503, "server overloaded: admission queue full")
+        .with_retry_after(retry_after_secs);
+    if response.write_to(&mut stream).is_err() {
+        return;
+    }
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < 16 * 1024 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
 /// Serve one connection: parse, consult the cache, route, respond.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let started = Instant::now();
@@ -193,7 +246,15 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let (endpoint, response) = match &parsed {
         Ok(req) => {
             let endpoint = Endpoint::classify(&req.path);
-            (endpoint, respond(req, endpoint, shared))
+            // A panicking handler must not take the worker thread (and
+            // with it a slot of the pool) down; the engine is read-only,
+            // so no shared state can be left torn mid-update.
+            let outcome = catch_unwind(AssertUnwindSafe(|| respond(req, endpoint, shared)));
+            let response = outcome.unwrap_or_else(|_| {
+                shared.metrics.record_panic_caught();
+                Response::error(500, "internal error: request handler panicked")
+            });
+            (endpoint, response)
         }
         // A connect-and-close probe (including the shutdown wakeup):
         // nothing to answer, nothing to count.
@@ -242,6 +303,16 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 
 /// Compute or recall the response for a well-formed request.
 fn respond(req: &http::Request, endpoint: Endpoint, shared: &Shared) -> Response {
+    // Chaos seam: a configured failpoint here injects an error (-> 500)
+    // or a panic (caught by the worker's isolation barrier) before any
+    // real work happens. Compiles to nothing without `failpoints`.
+    if let Err(e) = fail::inject("server.respond") {
+        return Response::error(500, &e.to_string());
+    }
+    let opts = RouteOptions {
+        budget: Budget::with_token(shared.engine_budget, CancelToken::new()),
+        retry_after_secs: shared.retry_after_secs,
+    };
     // Only the engine-backed query endpoints cache: /healthz and
     // /metrics are live signals, and unroutable paths are cheap 404s.
     let cacheable = req.method == "GET"
@@ -249,18 +320,25 @@ fn respond(req: &http::Request, endpoint: Endpoint, shared: &Shared) -> Response
             endpoint,
             Endpoint::Compare | Endpoint::Drill | Endpoint::Gi | Endpoint::CubeSlice
         );
-    if !cacheable {
-        return router::route(req, &shared.om, || shared.metrics.render());
-    }
-    let key = req.canonical_key();
-    if let Some(hit) = shared.cache.get(&key) {
-        shared.metrics.record_cache_hit();
-        return (*hit).clone();
-    }
-    shared.metrics.record_cache_miss();
-    let response = router::route(req, &shared.om, || shared.metrics.render());
-    if response.status == 200 {
-        shared.cache.insert(key, Arc::new(response.clone()));
+    let response = if !cacheable {
+        router::route(req, &shared.om, &opts, || shared.metrics.render())
+    } else {
+        let key = req.canonical_key();
+        if let Some(hit) = shared.cache.get(&key) {
+            shared.metrics.record_cache_hit();
+            return (*hit).clone();
+        }
+        shared.metrics.record_cache_miss();
+        let response = router::route(req, &shared.om, &opts, || shared.metrics.render());
+        if response.status == 200 {
+            shared.cache.insert(key, Arc::new(response.clone()));
+        }
+        response
+    };
+    if response.status == 503 {
+        // Shed connections never reach here, so this counts exactly the
+        // requests whose engine budget ran out.
+        shared.metrics.record_deadline_exceeded();
     }
     response
 }

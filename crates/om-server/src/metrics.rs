@@ -132,6 +132,10 @@ pub struct Metrics {
     errors: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    panics_caught: AtomicU64,
+    queue_depth: AtomicU64,
     latency: Histogram,
 }
 
@@ -168,6 +172,37 @@ impl Metrics {
         self.latency.record_us(us);
     }
 
+    /// Count a connection rejected because the admission queue was full.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a request that ran out of its engine budget.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a handler panic caught by the worker's isolation barrier.
+    pub fn record_panic_caught(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection entered the admission queue.
+    pub fn queue_enter(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker picked a connection off the admission queue.
+    pub fn queue_leave(&self) {
+        // Saturating: a racing render between enter/leave only ever sees
+        // a depth that momentarily existed, never an underflow.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                d.checked_sub(1)
+            });
+    }
+
     /// Requests seen for `endpoint`.
     #[must_use]
     pub fn requests(&self, endpoint: Endpoint) -> u64 {
@@ -192,6 +227,30 @@ impl Metrics {
         self.cache_misses.load(Ordering::Relaxed)
     }
 
+    /// Connections shed at admission so far.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests that exceeded their engine budget so far.
+    #[must_use]
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Handler panics caught so far.
+    #[must_use]
+    pub fn panics_caught(&self) -> u64 {
+        self.panics_caught.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently waiting in the admission queue.
+    #[must_use]
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
     /// The plain-text exposition served at `/metrics`.
     #[must_use]
     pub fn render(&self) -> String {
@@ -207,6 +266,14 @@ impl Metrics {
         let _ = writeln!(out, "om_errors_total {}", self.errors());
         let _ = writeln!(out, "om_cache_hits_total {}", self.cache_hits());
         let _ = writeln!(out, "om_cache_misses_total {}", self.cache_misses());
+        let _ = writeln!(out, "om_shed_total {}", self.shed());
+        let _ = writeln!(
+            out,
+            "om_deadline_exceeded_total {}",
+            self.deadline_exceeded()
+        );
+        let _ = writeln!(out, "om_panics_caught_total {}", self.panics_caught());
+        let _ = writeln!(out, "om_queue_depth {}", self.queue_depth());
         let _ = writeln!(out, "om_latency_samples_total {}", self.latency.count());
         for (name, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
             let _ = writeln!(
@@ -277,5 +344,33 @@ mod tests {
         assert!(text.contains("om_cache_misses_total 1"));
         assert!(text.contains("om_latency_samples_total 1"));
         assert!(text.contains("om_latency_us{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn overload_counters_render() {
+        let m = Metrics::default();
+        m.record_shed();
+        m.record_shed();
+        m.record_deadline_exceeded();
+        m.record_panic_caught();
+        m.queue_enter();
+        m.queue_enter();
+        m.queue_leave();
+        let text = m.render();
+        assert!(text.contains("om_shed_total 2"));
+        assert!(text.contains("om_deadline_exceeded_total 1"));
+        assert!(text.contains("om_panics_caught_total 1"));
+        assert!(text.contains("om_queue_depth 1"));
+    }
+
+    #[test]
+    fn queue_depth_never_underflows() {
+        let m = Metrics::default();
+        m.queue_leave();
+        assert_eq!(m.queue_depth(), 0);
+        m.queue_enter();
+        m.queue_leave();
+        m.queue_leave();
+        assert_eq!(m.queue_depth(), 0);
     }
 }

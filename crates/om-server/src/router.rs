@@ -8,10 +8,29 @@ use std::fmt::Write as _;
 
 use om_compare::DrillConfig;
 use om_cube::CubeView;
-use om_engine::{EngineError, OpportunityMap};
+use om_engine::{Budget, EngineError, OpportunityMap};
 use om_gi::Trend;
 
 use crate::http::{Request, Response};
+
+/// Per-request routing context: the cooperative budget the engine runs
+/// under, and what to tell shed/expired clients via `Retry-After`.
+#[derive(Debug, Clone)]
+pub struct RouteOptions {
+    /// Deadline + cancellation for engine work on this request.
+    pub budget: Budget,
+    /// Seconds clients should wait before retrying after a `503`.
+    pub retry_after_secs: u64,
+}
+
+impl Default for RouteOptions {
+    fn default() -> Self {
+        Self {
+            budget: Budget::unlimited(),
+            retry_after_secs: 1,
+        }
+    }
+}
 
 /// JSON string escaping (mirrors `om_compare::json`, which keeps `esc`
 /// private).
@@ -43,28 +62,34 @@ fn num(x: f64) -> String {
 }
 
 /// Map engine failures onto HTTP statuses: unknown names are client
-/// lookup errors (`404`), everything else is a valid request the engine
-/// could not satisfy (`422`).
-fn engine_error(e: &EngineError) -> Response {
+/// lookup errors (`404`); overload faults (deadline, cancellation) are
+/// `503` with a `Retry-After` hint; injected faults are server-side
+/// `500`s; everything else is a valid request the engine could not
+/// satisfy (`422`).
+fn engine_error(e: &EngineError, opts: &RouteOptions) -> Response {
+    if e.is_overload() {
+        return Response::error(503, &e.to_string()).with_retry_after(opts.retry_after_secs);
+    }
     let status = match e {
         EngineError::Unknown(_) => 404,
+        EngineError::Fault(_) => 500,
         _ => 422,
     };
     Response::error(status, &e.to_string())
 }
 
-fn compare(req: &Request, om: &OpportunityMap) -> Result<Response, Response> {
+fn compare(req: &Request, om: &OpportunityMap, opts: &RouteOptions) -> Result<Response, Response> {
     let attr = req.required("attr").map_err(|m| Response::error(400, &m))?;
     let v1 = req.required("v1").map_err(|m| Response::error(400, &m))?;
     let v2 = req.required("v2").map_err(|m| Response::error(400, &m))?;
     let class = req.required("class").map_err(|m| Response::error(400, &m))?;
     let result = om
-        .compare_by_name(attr, v1, v2, class)
-        .map_err(|e| engine_error(&e))?;
+        .compare_by_name_budgeted(attr, v1, v2, class, &opts.budget)
+        .map_err(|e| engine_error(&e, opts))?;
     Ok(Response::json(om_compare::json::to_json(&result)))
 }
 
-fn drill(req: &Request, om: &OpportunityMap) -> Result<Response, Response> {
+fn drill(req: &Request, om: &OpportunityMap, opts: &RouteOptions) -> Result<Response, Response> {
     let attr = req.required("attr").map_err(|m| Response::error(400, &m))?;
     let v1 = req.required("v1").map_err(|m| Response::error(400, &m))?;
     let v2 = req.required("v2").map_err(|m| Response::error(400, &m))?;
@@ -80,8 +105,8 @@ fn drill(req: &Request, om: &OpportunityMap) -> Result<Response, Response> {
             .map_err(|m| Response::error(400, &m))?,
     };
     let levels = om
-        .drill_down_by_name(attr, v1, v2, class, &config)
-        .map_err(|e| engine_error(&e))?;
+        .drill_down_by_name_budgeted(attr, v1, v2, class, &config, &opts.budget)
+        .map_err(|e| engine_error(&e, opts))?;
     let mut body = String::with_capacity(1024);
     body.push_str("{\"levels\":[");
     for (i, level) in levels.iter().enumerate() {
@@ -103,11 +128,13 @@ fn drill(req: &Request, om: &OpportunityMap) -> Result<Response, Response> {
     Ok(Response::json(body))
 }
 
-fn gi(req: &Request, om: &OpportunityMap) -> Result<Response, Response> {
+fn gi(req: &Request, om: &OpportunityMap, opts: &RouteOptions) -> Result<Response, Response> {
     let top = req
         .parse_or("top", 10usize)
         .map_err(|m| Response::error(400, &m))?;
-    let report = om.general_impressions();
+    let report = om
+        .general_impressions_budgeted(&opts.budget)
+        .map_err(|e| engine_error(&e, opts))?;
     let mut body = String::with_capacity(2048);
     body.push_str("{\"trends\":[");
     let mut first = true;
@@ -169,9 +196,13 @@ fn gi(req: &Request, om: &OpportunityMap) -> Result<Response, Response> {
     Ok(Response::json(body))
 }
 
-fn one_dim_slice(om: &OpportunityMap, attr: usize) -> Result<Response, Response> {
+fn one_dim_slice(
+    om: &OpportunityMap,
+    attr: usize,
+    opts: &RouteOptions,
+) -> Result<Response, Response> {
     let cube = om.store().one_dim(attr).map_err(|e| {
-        engine_error(&EngineError::Unknown(format!("cube error: {e}")))
+        engine_error(&EngineError::Unknown(format!("cube error: {e}")), opts)
     })?;
     let view = CubeView::from_cube(&cube)
         .map_err(|e| Response::error(422, &format!("cube error: {e}")))?;
@@ -269,32 +300,38 @@ fn pair_slice(om: &OpportunityMap, a: usize, b: usize) -> Result<Response, Respo
     Ok(Response::json(body))
 }
 
-fn cube_slice(req: &Request, om: &OpportunityMap) -> Result<Response, Response> {
+fn cube_slice(req: &Request, om: &OpportunityMap, opts: &RouteOptions) -> Result<Response, Response> {
     let attr_name = req.required("attr").map_err(|m| Response::error(400, &m))?;
-    let attr = om.attr_index(attr_name).map_err(|e| engine_error(&e))?;
+    let attr = om.attr_index(attr_name).map_err(|e| engine_error(&e, opts))?;
     match req.params.get("by") {
-        None => one_dim_slice(om, attr),
+        None => one_dim_slice(om, attr, opts),
         Some(by_name) => {
-            let by = om.attr_index(by_name).map_err(|e| engine_error(&e))?;
+            let by = om.attr_index(by_name).map_err(|e| engine_error(&e, opts))?;
             pair_slice(om, attr, by)
         }
     }
 }
 
-/// Route one parsed request. `metrics_body` is the pre-rendered
-/// `/metrics` text (rendered by the caller, which owns the counters).
+/// Route one parsed request under `opts`' budget. `metrics_body` is the
+/// pre-rendered `/metrics` text (rendered by the caller, which owns the
+/// counters).
 #[must_use]
-pub fn route(req: &Request, om: &OpportunityMap, metrics_body: impl FnOnce() -> String) -> Response {
+pub fn route(
+    req: &Request,
+    om: &OpportunityMap,
+    opts: &RouteOptions,
+    metrics_body: impl FnOnce() -> String,
+) -> Response {
     if req.method != "GET" {
         return Response::error(405, &format!("method {} not allowed", req.method));
     }
     let outcome = match req.path.as_str() {
         "/healthz" => Ok(Response::text("ok\n")),
         "/metrics" => Ok(Response::text(metrics_body())),
-        "/compare" => compare(req, om),
-        "/drill" => drill(req, om),
-        "/gi" => gi(req, om),
-        "/cube/slice" => cube_slice(req, om),
+        "/compare" => compare(req, om, opts),
+        "/drill" => drill(req, om, opts),
+        "/gi" => gi(req, om, opts),
+        "/cube/slice" => cube_slice(req, om, opts),
         other => Err(Response::error(404, &format!("no route for {other:?}"))),
     };
     outcome.unwrap_or_else(|error| error)
@@ -317,6 +354,10 @@ mod tests {
     }
 
     fn get(path: &str, params: &[(&str, &str)]) -> Response {
+        get_with(path, params, &RouteOptions::default())
+    }
+
+    fn get_with(path: &str, params: &[(&str, &str)], opts: &RouteOptions) -> Response {
         let req = Request {
             method: "GET".into(),
             path: path.into(),
@@ -325,7 +366,7 @@ mod tests {
                 .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
                 .collect::<BTreeMap<_, _>>(),
         };
-        route(&req, engine(), || "metrics\n".to_owned())
+        route(&req, engine(), opts, || "metrics\n".to_owned())
     }
 
     #[test]
@@ -443,7 +484,45 @@ mod tests {
             path: "/healthz".into(),
             params: BTreeMap::new(),
         };
-        let r = route(&req, engine(), String::new);
+        let r = route(&req, engine(), &RouteOptions::default(), String::new);
         assert_eq!(r.status, 405);
+    }
+
+    #[test]
+    fn expired_budget_is_503_with_retry_after() {
+        let opts = RouteOptions {
+            budget: Budget::with_timeout(std::time::Duration::ZERO),
+            retry_after_secs: 7,
+        };
+        for (path, params) in [
+            (
+                "/compare",
+                &[
+                    ("attr", "PhoneModel"),
+                    ("v1", "ph1"),
+                    ("v2", "ph2"),
+                    ("class", "dropped"),
+                ][..],
+            ),
+            ("/gi", &[][..]),
+        ] {
+            let r = get_with(path, params, &opts);
+            assert_eq!(r.status, 503, "{path}: {}", r.body);
+            assert_eq!(r.retry_after, Some(7), "{path}");
+            assert!(r.body.contains("deadline exceeded"), "{path}: {}", r.body);
+        }
+    }
+
+    #[test]
+    fn expired_budget_leaves_cheap_routes_alone() {
+        let opts = RouteOptions {
+            budget: Budget::with_timeout(std::time::Duration::ZERO),
+            retry_after_secs: 1,
+        };
+        assert_eq!(get_with("/healthz", &[], &opts).status, 200);
+        assert_eq!(get_with("/metrics", &[], &opts).status, 200);
+        // Cube slices read precomputed counts — no engine budget needed.
+        let r = get_with("/cube/slice", &[("attr", "PhoneModel")], &opts);
+        assert_eq!(r.status, 200);
     }
 }

@@ -1,0 +1,84 @@
+//! Concurrent eviction stress for the LRU response cache: many threads
+//! hammering a tiny cache must never deadlock, never return another
+//! key's response, and never leave the cache over capacity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use om_server::cache::ResponseCache;
+use om_server::http::Response;
+
+#[test]
+fn eviction_churn_under_concurrency_keeps_invariants() {
+    const CAPACITY: usize = 8;
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 2_000;
+    // 4x more keys than capacity so most inserts evict something.
+    const KEYS: usize = CAPACITY * 4;
+
+    let cache = Arc::new(ResponseCache::new(CAPACITY));
+    let hits = Arc::new(AtomicU64::new(0));
+    let misses = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            let hits = Arc::clone(&hits);
+            let misses = Arc::clone(&misses);
+            std::thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    // Distinct stride per thread so access patterns
+                    // interleave instead of marching in lockstep.
+                    let key = format!("/k{}", (t * 31 + i * 7) % KEYS);
+                    match cache.get(&key) {
+                        Some(hit) => {
+                            // The one invariant that matters most: a hit
+                            // is never some other key's response.
+                            assert_eq!(hit.body, key, "cross-key response leak");
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            misses.fetch_add(1, Ordering::Relaxed);
+                            cache.insert(key.clone(), Arc::new(Response::text(key)));
+                        }
+                    }
+                    assert!(cache.len() <= CAPACITY, "cache over capacity");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert!(cache.len() <= CAPACITY);
+    assert!(!cache.is_empty(), "churn should leave the cache warm");
+    let (h, m) = (hits.load(Ordering::Relaxed), misses.load(Ordering::Relaxed));
+    assert_eq!(h + m, (THREADS * ROUNDS) as u64);
+    // With 4x keys over capacity both outcomes must actually occur.
+    assert!(h > 0, "no hits in {ROUNDS} rounds");
+    assert!(m > 0, "no misses in {ROUNDS} rounds");
+}
+
+#[test]
+fn concurrent_reinsertion_of_one_hot_key_stays_consistent() {
+    let cache = Arc::new(ResponseCache::new(2));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    cache.insert("/hot".into(), Arc::new(Response::text("/hot")));
+                    if let Some(hit) = cache.get("/hot") {
+                        assert_eq!(hit.body, "/hot");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(cache.get("/hot").unwrap().body, "/hot");
+    assert!(cache.len() <= 2);
+}

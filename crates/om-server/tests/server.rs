@@ -32,8 +32,8 @@ fn start_server() -> Server {
     .unwrap()
 }
 
-/// Issue one raw request and return (status, body).
-fn raw_request(addr: std::net::SocketAddr, raw: &str) -> (u16, String) {
+/// Issue one raw request and return (status, headers, body).
+fn raw_request_full(addr: std::net::SocketAddr, raw: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).unwrap();
     stream.write_all(raw.as_bytes()).unwrap();
     let mut response = String::new();
@@ -46,7 +46,13 @@ fn raw_request(addr: std::net::SocketAddr, raw: &str) -> (u16, String) {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("no status in {head:?}"));
-    (status, body.to_owned())
+    (status, head.to_owned(), body.to_owned())
+}
+
+/// Issue one raw request and return (status, body).
+fn raw_request(addr: std::net::SocketAddr, raw: &str) -> (u16, String) {
+    let (status, _, body) = raw_request_full(addr, raw);
+    (status, body)
 }
 
 fn get(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
@@ -255,6 +261,65 @@ fn eight_concurrent_clients_get_correct_answers() {
         40
     );
     assert_eq!(metrics.errors(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn exhausted_engine_budget_is_503_with_retry_after() {
+    // A zero budget expires before any engine work: every engine-backed
+    // endpoint must answer 503 + Retry-After while cheap liveness
+    // endpoints keep working.
+    let server = Server::start(
+        engine(),
+        ServerConfig {
+            engine_budget: Some(Duration::ZERO),
+            retry_after_secs: 3,
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let (status, head, body) = raw_request_full(
+        addr,
+        "GET /compare?attr=PhoneModel&v1=ph1&v2=ph2&class=dropped HTTP/1.1\r\n\r\n",
+    );
+    assert_eq!(status, 503, "{body}");
+    assert!(head.contains("Retry-After: 3\r\n"), "{head}");
+    assert!(body.contains("deadline exceeded"), "{body}");
+
+    assert_eq!(get(addr, "/gi").0, 503);
+    assert_eq!(get(addr, "/healthz").0, 200);
+
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(
+        metrics.contains("om_deadline_exceeded_total 2"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("om_shed_total 0"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn generous_budget_does_not_change_answers() {
+    let server = Server::start(
+        engine(),
+        ServerConfig {
+            engine_budget: Some(Duration::from_secs(30)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let (status, body) = get(
+        server.local_addr(),
+        "/compare?attr=PhoneModel&v1=ph1&v2=ph2&class=dropped",
+    );
+    assert_eq!(status, 200);
+    let direct = engine()
+        .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+        .unwrap();
+    assert_eq!(body, om_compare::json::to_json(&direct));
     server.shutdown();
 }
 

@@ -13,7 +13,13 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> cargo test -p om-server --features failpoints -q (chaos suite)"
+cargo test -p om-server --features failpoints -q
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy -p om-server --features failpoints --all-targets -- -D warnings"
+cargo clippy -p om-server --features failpoints --all-targets -- -D warnings
 
 echo "==> ci OK"

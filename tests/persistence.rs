@@ -38,7 +38,7 @@ fn cube_round_trip_through_disk() {
     let dir = std::env::temp_dir().join("om_persist_test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("pair.omrc");
-    std::fs::write(&path, encode_cube(&cube)).unwrap();
+    std::fs::write(&path, encode_cube(&cube).unwrap()).unwrap();
     let raw = std::fs::read(&path).unwrap();
     let restored = decode_cube(bytes::Bytes::from(raw)).unwrap();
     assert_eq!(restored, cube);
@@ -82,7 +82,7 @@ fn corrupted_artifacts_rejected_not_panicking() {
     assert!(decode_dataset(bytes::Bytes::from(ds_bytes)).is_err());
 
     let cube = build_cube(&ds, &[0]).unwrap();
-    let mut cube_bytes = encode_cube(&cube).to_vec();
+    let mut cube_bytes = encode_cube(&cube).unwrap().to_vec();
     cube_bytes.truncate(cube_bytes.len() / 3);
     assert!(decode_cube(bytes::Bytes::from(cube_bytes)).is_err());
 }

@@ -53,6 +53,27 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error of [`Sender::try_send`]: the value is returned to the
+    /// caller in both cases.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
     /// Error of [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum TryRecvError {
@@ -157,6 +178,28 @@ pub mod channel {
                             .unwrap_or_else(|e| e.into_inner());
                     }
                     _ => break,
+                }
+            }
+            q.push_back(value);
+            drop(q);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking enqueue: fails immediately instead of waiting
+        /// when a bounded channel is full (the load-shedding primitive).
+        ///
+        /// # Errors
+        /// [`TrySendError::Full`] at capacity, `Disconnected` when every
+        /// receiver is gone; the value is returned either way.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.shared.capacity {
+                if q.len() >= cap {
+                    return Err(TrySendError::Full(value));
                 }
             }
             q.push_back(value);
@@ -361,6 +404,26 @@ mod tests {
         let (tx, rx) = channel::unbounded();
         drop(rx);
         assert_eq!(tx.send(5), Err(channel::SendError(5)));
+    }
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(channel::TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(channel::TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn try_send_unbounded_never_full() {
+        let (tx, _rx) = channel::unbounded::<u8>();
+        for i in 0..100 {
+            tx.try_send(i).unwrap();
+        }
     }
 
     #[test]

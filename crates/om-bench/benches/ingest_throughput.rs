@@ -1,0 +1,149 @@
+//! Live-ingestion throughput: sustained append rate under concurrent
+//! query load, plus snapshot (generation) swap latency.
+//!
+//! Three measurements:
+//! 1. sustained — rows/s appended through the WAL + delta-cube pipeline
+//!    while 4 reader threads continuously query the shared store;
+//! 2. swap — wall time from "rows appended" to "new generation
+//!    published and visible to queries" (seal + merge + publish);
+//! 3. consistency — every reader asserts each query it ran saw one
+//!    internally-consistent store generation.
+//!
+//! `OM_BENCH_SMOKE=1` shrinks the workload for CI smoke runs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use om_engine::{EngineConfig, IngestConfig, OpportunityMap};
+use om_synth::paper_scenario;
+
+fn main() {
+    let smoke = std::env::var("OM_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let (base_rows, ingest_rows, swap_rounds) = if smoke {
+        (5_000, 10_000, 5)
+    } else {
+        (50_000, 200_000, 20)
+    };
+
+    println!("building engine ({base_rows} base records)…");
+    let (ds, _) = paper_scenario(base_rows, 9);
+    let om = Arc::new(OpportunityMap::build(ds, EngineConfig::default()).expect("build"));
+
+    let wal_dir = std::env::temp_dir().join(format!("om-bench-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let handle = om
+        .start_ingest(&IngestConfig {
+            seal_rows: 4096,
+            sync_writes: false,
+            ..IngestConfig::new(&wal_dir)
+        })
+        .expect("start ingest");
+
+    // Pre-encode the append workload: the base dataset's own rows,
+    // cycled — already discretized, so appends exercise only the
+    // WAL/seal/merge path, not parsing.
+    let dataset = om.dataset();
+    let n_attrs = dataset.schema().n_attributes();
+    let cols: Vec<&[_]> = (0..n_attrs)
+        .map(|i| dataset.column(i).as_categorical().expect("categorical"))
+        .collect();
+    let pool: Vec<Vec<_>> = (0..dataset.n_rows().min(4096))
+        .map(|r| cols.iter().map(|c| c[r]).collect())
+        .collect();
+
+    // Readers: hammer the published snapshot for the whole run; each
+    // query pins one generation and checks it is internally consistent.
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let om = Arc::clone(&om);
+            let stop = Arc::clone(&stop);
+            let queries = Arc::clone(&queries);
+            std::thread::spawn(move || {
+                let mut generations_seen = 0u64;
+                let mut last_generation = u64::MAX;
+                while !stop.load(Ordering::Relaxed) {
+                    let snapshot = om.store();
+                    let total: u64 = snapshot.class_counts().iter().sum();
+                    assert_eq!(
+                        total,
+                        snapshot.total_records(),
+                        "torn store: class counts disagree with total"
+                    );
+                    if snapshot.generation() != last_generation {
+                        last_generation = snapshot.generation();
+                        generations_seen += 1;
+                    }
+                    queries.fetch_add(1, Ordering::Relaxed);
+                }
+                generations_seen
+            })
+        })
+        .collect();
+
+    // Sustained append rate under that query load.
+    let start = Instant::now();
+    let mut appended = 0usize;
+    while appended < ingest_rows {
+        let n = pool.len().min(ingest_rows - appended);
+        let batch: Vec<Vec<_>> = pool[..n].to_vec();
+        handle.append_rows(batch).expect("append");
+        appended += n;
+    }
+    handle.flush().expect("flush");
+    let elapsed = start.elapsed();
+    let rate = appended as f64 / elapsed.as_secs_f64();
+    println!(
+        "ingest_throughput/sustained {appended} rows in {elapsed:.2?} ({rate:.0} rows/s) \
+         under 4 query threads"
+    );
+
+    // Generation-swap latency: append one segment's worth, then time
+    // seal → merge → publish until queries can see the new generation.
+    let mut swap_total = Duration::ZERO;
+    let mut swap_max = Duration::ZERO;
+    for _ in 0..swap_rounds {
+        let batch: Vec<Vec<_>> = pool[..pool.len().min(1024)].to_vec();
+        handle.append_rows(batch).expect("append");
+        let before = om.store_generation();
+        let t = Instant::now();
+        handle.flush().expect("flush");
+        let dt = t.elapsed();
+        assert!(om.store_generation() > before, "flush did not publish");
+        swap_total += dt;
+        swap_max = swap_max.max(dt);
+    }
+    println!(
+        "ingest_throughput/swap      {:.2?} mean, {:.2?} max (seal+merge+publish, {swap_rounds} rounds)",
+        swap_total / swap_rounds,
+        swap_max
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let generations: u64 = readers.into_iter().map(|h| h.join().expect("reader")).sum();
+    let stats = handle.stats();
+    println!(
+        "ingest_throughput/readers   {} queries, {generations} generation observations, 0 torn reads",
+        queries.load(Ordering::Relaxed)
+    );
+    println!(
+        "ingest_throughput/stats     rows={} sealed={} compactions={} generation={} wal_bytes={}",
+        stats.rows_total,
+        stats.segments_sealed_total,
+        stats.compactions_total,
+        stats.store_generation,
+        stats.wal_bytes
+    );
+
+    assert_eq!(stats.rows_total as usize, ingest_rows + swap_rounds as usize * 1024.min(pool.len()));
+    assert_eq!(
+        om.store().total_records(),
+        base_rows as u64 + stats.rows_total,
+        "published store must account for every appended row"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}

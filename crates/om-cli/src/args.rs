@@ -4,24 +4,30 @@ use std::collections::HashMap;
 
 use crate::CliError;
 
-/// Parsed command line: one positional command plus `--key value` options
+/// Parsed command line: one positional command, further positional
+/// operands (e.g. `opmap ingest rows.csv`), plus `--key value` options
 /// and bare `--switch` flags.
 #[derive(Debug, Clone)]
 pub struct Parsed {
     command: Option<String>,
+    positionals: Vec<String>,
     options: HashMap<String, String>,
     switches: Vec<String>,
     /// Keys actually consumed by the command (for unknown-option checks).
     consumed: Vec<String>,
+    /// How many positionals the command has taken; leftovers are
+    /// rejected by [`Parsed::reject_unknown`].
+    taken_positionals: usize,
 }
 
 impl Parsed {
     /// Parse an argument vector (without argv\[0\]).
     ///
     /// # Errors
-    /// Fails on a dangling `--key` with no value or a stray positional.
+    /// Fails on a dangling `--key` with no value.
     pub fn parse(argv: &[String]) -> Result<Self, CliError> {
         let mut command = None;
+        let mut positionals = Vec::new();
         let mut options = HashMap::new();
         let mut switches = Vec::new();
         let mut i = 0;
@@ -30,7 +36,10 @@ impl Parsed {
             if let Some(key) = token.strip_prefix("--") {
                 // A switch if it's the last token or the next token is
                 // another option; otherwise a key/value pair.
-                let is_switch = matches!(key, "help" | "no-ci" | "full" | "ansi" | "verbose");
+                let is_switch = matches!(
+                    key,
+                    "help" | "no-ci" | "full" | "ansi" | "verbose" | "skip-header"
+                );
                 if is_switch {
                     switches.push(key.to_owned());
                 } else {
@@ -50,23 +59,32 @@ impl Parsed {
             } else if command.is_none() {
                 command = Some(token.clone());
             } else {
-                return Err(CliError::Usage(format!(
-                    "unexpected positional argument {token:?}"
-                )));
+                positionals.push(token.clone());
             }
             i += 1;
         }
         Ok(Self {
             command,
+            positionals,
             options,
             switches,
             consumed: Vec::new(),
+            taken_positionals: 0,
         })
     }
 
     /// The positional command, if any.
     pub fn command(&self) -> Option<&str> {
         self.command.as_deref()
+    }
+
+    /// The next positional operand after the command, in order.
+    pub fn next_positional(&mut self) -> Option<String> {
+        let value = self.positionals.get(self.taken_positionals).cloned();
+        if value.is_some() {
+            self.taken_positionals += 1;
+        }
+        value
     }
 
     /// Whether a bare switch like `--no-ci` was given.
@@ -110,11 +128,17 @@ impl Parsed {
         }
     }
 
-    /// Reject any option the command never asked about (catches typos).
+    /// Reject any option the command never asked about and any
+    /// positional it never took (catches typos).
     ///
     /// # Errors
-    /// Fails listing the unknown options.
+    /// Fails listing the unknown options or the stray positional.
     pub fn reject_unknown(&self) -> Result<(), CliError> {
+        if let Some(stray) = self.positionals.get(self.taken_positionals) {
+            return Err(CliError::Usage(format!(
+                "unexpected positional argument {stray:?}"
+            )));
+        }
         let unknown: Vec<&String> = self
             .options
             .keys()
@@ -180,7 +204,20 @@ mod tests {
 
     #[test]
     fn stray_positional_rejected() {
-        assert!(parse(&["cmd", "oops"]).is_err());
+        let p = parse(&["cmd", "oops"]).unwrap();
+        let e = p.reject_unknown().unwrap_err();
+        assert!(e.to_string().contains("oops"));
+    }
+
+    #[test]
+    fn positionals_taken_in_order() {
+        let mut p = parse(&["ingest", "rows.csv", "--addr", "h:1", "more.csv"]).unwrap();
+        assert_eq!(p.command(), Some("ingest"));
+        assert_eq!(p.next_positional(), Some("rows.csv".into()));
+        assert_eq!(p.next_positional(), Some("more.csv".into()));
+        assert_eq!(p.next_positional(), None);
+        let _ = p.optional("addr");
+        p.reject_unknown().unwrap();
     }
 
     #[test]

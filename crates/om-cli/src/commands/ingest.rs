@@ -1,0 +1,253 @@
+//! `opmap ingest` — append CSV rows to a running server's live store.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::args::Parsed;
+use crate::{CliError, CliResult};
+
+const HELP: &str = "\
+opmap ingest — append CSV rows to a running server's live store
+
+Reads data rows from <file> and POSTs them in batches to the /ingest
+endpoint of an `opmap serve --ingest-wal <dir>` server. Rows must use
+the serving dataset's discretized value labels, in schema order, with
+the class column last; labels containing commas must be quoted.
+
+USAGE:
+  opmap ingest <file> [OPTIONS]
+
+OPTIONS:
+  --addr <host:port>   Server address [127.0.0.1:7878]
+  --batch <n>          Rows per POST request [500]
+  --skip-header        Skip the first line of <file> (a CSV header)";
+
+/// How long to wait for each connection / reply before giving up.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Entry point for `opmap ingest`.
+///
+/// # Errors
+/// Usage errors for bad flags; failures for an unreadable file, an
+/// unreachable server, or a rejected batch.
+pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
+    if parsed.switch("help") {
+        writeln!(out, "{HELP}").ok();
+        return Ok(());
+    }
+    let path = parsed.next_positional().ok_or_else(|| {
+        CliError::Usage("ingest needs a file: opmap ingest <file> --addr <host:port>".into())
+    })?;
+    let addr = parsed
+        .optional("addr")
+        .unwrap_or_else(|| "127.0.0.1:7878".to_owned());
+    let batch = parsed.parse_or("batch", 500usize)?;
+    if batch == 0 {
+        return Err(CliError::Usage("--batch must be at least 1".into()));
+    }
+    let skip_header = parsed.switch("skip-header");
+    parsed.reject_unknown()?;
+
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CliError::Failed(format!("cannot read {path:?}: {e}")))?;
+    let mut lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if skip_header && !lines.is_empty() {
+        lines.remove(0);
+    }
+    if lines.is_empty() {
+        return Err(CliError::Failed(format!("{path:?} contains no data rows")));
+    }
+
+    let mut accepted = 0u64;
+    let mut batches = 0usize;
+    let mut last_reply = String::new();
+    for chunk in lines.chunks(batch) {
+        let mut body = chunk.join("\n");
+        body.push('\n');
+        let (status, reply) = post_ingest(&addr, &body)?;
+        if status != 200 {
+            return Err(CliError::Failed(format!(
+                "server rejected batch {} ({} row(s) in, {accepted} accepted so far) \
+                 with status {status}: {}",
+                batches + 1,
+                chunk.len(),
+                reply.trim()
+            )));
+        }
+        accepted += json_u64(&reply, "accepted").unwrap_or(0);
+        batches += 1;
+        last_reply = reply;
+    }
+
+    writeln!(
+        out,
+        "appended {accepted} row(s) in {batches} batch(es) to http://{addr}/ingest"
+    )
+    .ok();
+    if let (Some(total), Some(generation)) = (
+        json_u64(&last_reply, "rows_total"),
+        json_u64(&last_reply, "generation"),
+    ) {
+        writeln!(
+            out,
+            "server has ingested {total} row(s) this run; store generation {generation}"
+        )
+        .ok();
+    }
+    Ok(())
+}
+
+/// POST `body` to `/ingest` and return (status, reply body).
+fn post_ingest(addr: &str, body: &str) -> Result<(u16, String), CliError> {
+    let connect_err = |e: std::io::Error| {
+        CliError::Failed(format!("cannot reach server at {addr}: {e}"))
+    };
+    let mut stream = TcpStream::connect(addr).map_err(connect_err)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT)).ok();
+    stream.set_write_timeout(Some(IO_TIMEOUT)).ok();
+    let request = format!(
+        "POST /ingest HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).map_err(connect_err)?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(connect_err)?;
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            CliError::Failed(format!("malformed reply from {addr}: {response:?}"))
+        })?;
+    let reply = response
+        .split_once("\r\n\r\n")
+        .map_or("", |(_, b)| b)
+        .to_owned();
+    Ok((status, reply))
+}
+
+/// Pull `"key":<digits>` out of a flat JSON object without a parser.
+fn json_u64(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use om_engine::{EngineConfig, IngestConfig, OpportunityMap};
+    use om_server::{Server, ServerConfig};
+
+    use super::*;
+
+    fn run_args(args: &[&str]) -> (CliResult, String) {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut parsed = Parsed::parse(&argv).unwrap();
+        let _ = parsed.command();
+        let mut out = Vec::new();
+        let r = run(&mut parsed, &mut out);
+        (r, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn help_prints_options() {
+        let (r, text) = run_args(&["ingest", "--help"]);
+        assert!(r.is_ok());
+        assert!(text.contains("--addr"));
+        assert!(text.contains("--batch"));
+    }
+
+    #[test]
+    fn missing_file_operand_is_usage_error() {
+        let (r, _) = run_args(&["ingest"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn unreadable_file_is_failure() {
+        let (r, _) = run_args(&["ingest", "/nonexistent-rows.csv"]);
+        assert!(matches!(r, Err(CliError::Failed(_))));
+    }
+
+    #[test]
+    fn json_scraping() {
+        let body = "{\"accepted\":12,\"rows_total\":340,\"generation\":7}";
+        assert_eq!(json_u64(body, "accepted"), Some(12));
+        assert_eq!(json_u64(body, "rows_total"), Some(340));
+        assert_eq!(json_u64(body, "generation"), Some(7));
+        assert_eq!(json_u64(body, "missing"), None);
+    }
+
+    #[test]
+    fn posts_a_file_to_a_live_server_in_batches() {
+        let (ds, _) = om_synth::paper_scenario(2_000, 5);
+        let om = Arc::new(OpportunityMap::build(ds, EngineConfig::default()).unwrap());
+        let wal_dir = std::env::temp_dir().join(format!("om-cli-ingest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let handle = om
+            .start_ingest(&IngestConfig {
+                seal_rows: 64,
+                sync_writes: false,
+                ..IngestConfig::new(&wal_dir)
+            })
+            .unwrap();
+        let server = Server::start_with_ingest(
+            Arc::clone(&om),
+            ServerConfig::default(),
+            Some(handle.clone()),
+        )
+        .unwrap();
+
+        // A CSV file with a header plus five copies of the dataset's row
+        // 0 expressed as discretized labels (quoted where needed).
+        let dataset = om.dataset();
+        let schema = dataset.schema();
+        let header = (0..schema.n_attributes())
+            .map(|i| schema.attribute(i).name().to_owned())
+            .collect::<Vec<_>>()
+            .join(",");
+        let row = (0..schema.n_attributes())
+            .map(|i| {
+                let id = dataset.column(i).as_categorical().unwrap()[0];
+                let label = schema.attribute(i).domain().label(id).unwrap();
+                if label.contains(',') {
+                    format!("\"{label}\"")
+                } else {
+                    label.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let file =
+            std::env::temp_dir().join(format!("om-cli-ingest-rows-{}.csv", std::process::id()));
+        std::fs::write(&file, format!("{header}\n{row}\n{row}\n{row}\n{row}\n{row}\n")).unwrap();
+
+        let addr = server.local_addr().to_string();
+        let (r, text) = run_args(&[
+            "ingest",
+            file.to_str().unwrap(),
+            "--addr",
+            &addr,
+            "--batch",
+            "2",
+            "--skip-header",
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(
+            text.contains("appended 5 row(s) in 3 batch(es)"),
+            "{text}"
+        );
+        handle.flush().unwrap();
+        assert_eq!(handle.stats().rows_total, 5);
+
+        server.shutdown();
+        handle.shutdown();
+        let _ = std::fs::remove_file(&file);
+        let _ = std::fs::remove_dir_all(&wal_dir);
+    }
+}

@@ -9,6 +9,7 @@ pub mod generate;
 pub mod gi;
 pub mod groups;
 pub mod heatmap;
+pub mod ingest;
 pub mod overview;
 pub mod report;
 pub mod rules;

@@ -30,6 +30,10 @@ OPTIONS:
                        budgets answer 503 with Retry-After [2000]
   --retry-after <s>    Retry-After seconds on 503 responses [1]
   --duration-ms <ms>   Serve for this long then exit; 0 = forever [0]
+  --ingest-wal <dir>   Enable live ingestion: POST /ingest appends rows,
+                       durably logged to a WAL under <dir>
+  --seal-rows <n>      Rows per WAL segment before it is sealed into a
+                       delta cube (with --ingest-wal) [4096]
   --verbose            Log one line per request to stderr
 
 Failpoints (chaos builds only): when compiled with the `failpoints`
@@ -56,6 +60,11 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
     let budget_ms = parsed.parse_or("budget-ms", 2000u64)?;
     let retry_after_secs = parsed.parse_or("retry-after", 1u64)?;
     let duration_ms = parsed.parse_or("duration-ms", 0u64)?;
+    let ingest_wal = parsed.optional("ingest-wal");
+    let seal_rows = parsed.parse_or("seal-rows", 4096usize)?;
+    if seal_rows == 0 {
+        return Err(CliError::Usage("--seal-rows must be at least 1".into()));
+    }
 
     let dataset = if parsed.optional("data").is_some() {
         super::load_dataset(parsed)?
@@ -71,8 +80,20 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
     // built with the `failpoints` feature (chaos runs only).
     om_engine::fail::init_from_env();
 
-    let server = Server::start(
-        Arc::new(engine),
+    let engine = Arc::new(engine);
+    let ingest = match &ingest_wal {
+        Some(dir) => Some(
+            engine
+                .start_ingest(&om_engine::IngestConfig {
+                    seal_rows,
+                    ..om_engine::IngestConfig::new(dir)
+                })
+                .map_err(|e| CliError::Failed(format!("cannot start live ingestion: {e}")))?,
+        ),
+        None => None,
+    };
+    let server = Server::start_with_ingest(
+        Arc::clone(&engine),
         ServerConfig {
             addr,
             n_workers,
@@ -81,11 +102,20 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
             queue_capacity,
             engine_budget: (budget_ms > 0).then(|| Duration::from_millis(budget_ms)),
             retry_after_secs,
+            max_body_bytes: om_server::http::DEFAULT_MAX_BODY_BYTES,
             verbose: parsed.switch("verbose"),
         },
+        ingest.clone(),
     )
     .map_err(|e| CliError::Failed(format!("cannot start server: {e}")))?;
     writeln!(out, "om-server listening on http://{}", server.local_addr()).ok();
+    if let Some(dir) = &ingest_wal {
+        writeln!(
+            out,
+            "live ingestion enabled: POST /ingest, WAL at {dir}, sealing every {seal_rows} row(s)"
+        )
+        .ok();
+    }
     out.flush().ok();
 
     if duration_ms == 0 {
@@ -97,6 +127,9 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
     std::thread::sleep(Duration::from_millis(duration_ms));
     let metrics = server.metrics();
     server.shutdown();
+    if let Some(handle) = &ingest {
+        handle.shutdown();
+    }
     writeln!(
         out,
         "served {} request(s), {} error(s), cache {} hit(s) / {} miss(es)",
@@ -163,6 +196,38 @@ mod tests {
         assert!(r.is_ok(), "{r:?}");
         assert!(text.contains("om-server listening on http://127.0.0.1:"));
         assert!(text.contains("served 0 request(s)"));
+    }
+
+    #[test]
+    fn serves_with_live_ingestion_enabled() {
+        let wal_dir =
+            std::env::temp_dir().join(format!("om-cli-serve-ingest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let (r, text) = run_args(&[
+            "serve",
+            "--records",
+            "1000",
+            "--addr",
+            "127.0.0.1:0",
+            "--duration-ms",
+            "50",
+            "--workers",
+            "2",
+            "--ingest-wal",
+            wal_dir.to_str().unwrap(),
+            "--seal-rows",
+            "32",
+        ]);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(text.contains("live ingestion enabled"), "{text}");
+        assert!(wal_dir.join("seg-00000000.wal").exists());
+        let _ = std::fs::remove_dir_all(&wal_dir);
+    }
+
+    #[test]
+    fn zero_seal_rows_is_usage_error() {
+        let (r, _) = run_args(&["serve", "--seal-rows", "0"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
     }
 
     #[test]

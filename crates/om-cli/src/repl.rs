@@ -35,7 +35,10 @@ commands:
 /// Errors from individual commands are reported and the loop continues;
 /// only I/O failure on `out` terminates early.
 pub fn run_repl<R: BufRead, W: Write + ?Sized>(om: &OpportunityMap, input: R, out: &mut W) {
-    let mut explorer = Explorer::new(om.store());
+    // Pin one store generation for the whole shell session; live
+    // ingestion publishing mid-exploration never shifts the ground.
+    let snapshot = om.store();
+    let mut explorer = Explorer::new(&snapshot);
     let _ = writeln!(
         out,
         "opportunity map explorer — {} attributes, {} records; 'help' for commands",

@@ -230,6 +230,10 @@ impl RuleCube {
         &self.strides
     }
 
+    pub(crate) fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     pub(crate) fn counts_mut(&mut self) -> &mut [u64] {
         &mut self.counts
     }

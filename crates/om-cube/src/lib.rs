@@ -27,11 +27,13 @@ pub mod olap;
 pub mod persist;
 pub mod query;
 pub mod scaling;
+pub mod snapshot;
 pub mod store;
 pub mod view;
 
 pub use build::build_cube;
 pub use merge::merge_cubes;
+pub use snapshot::{SharedStore, StoreSnapshot};
 pub use query::{
     filter_rules, filter_rules_budgeted, top_k_by_confidence, top_k_by_confidence_budgeted,
     CubeRule,

@@ -12,28 +12,44 @@ use std::sync::Arc;
 use crate::cube::{CubeError, RuleCube};
 use crate::store::CubeStore;
 
-/// Add `other`'s counts into `cube`. Both cubes must have identical
-/// dimensions (attribute indices, names, labels) and class labels.
+impl RuleCube {
+    /// Add `other`'s counts into `self` in place — the compaction fast
+    /// path: one slice-wise pass over the flat count tensors, no clone.
+    /// Both cubes must have identical dimensions (attribute indices,
+    /// names, labels) and class labels, which makes their flat layouts
+    /// identical cell for cell.
+    ///
+    /// # Errors
+    /// Fails on any structural mismatch; `self` is untouched on error.
+    pub fn merge_into(&mut self, other: &RuleCube) -> Result<(), CubeError> {
+        if self.dims() != other.dims() {
+            return Err(CubeError::Invalid(
+                "cannot merge cubes with different dimensions".into(),
+            ));
+        }
+        if self.class_labels() != other.class_labels() {
+            return Err(CubeError::Invalid(
+                "cannot merge cubes with different class labels".into(),
+            ));
+        }
+        let total = self.total() + other.total();
+        for (dst, src) in self.counts_mut().iter_mut().zip(other.counts()) {
+            *dst += src;
+        }
+        self.set_total(total);
+        Ok(())
+    }
+}
+
+/// Add `other`'s counts into `cube`, returning a new cube. Both cubes
+/// must have identical dimensions (attribute indices, names, labels) and
+/// class labels. Pure counterpart of [`RuleCube::merge_into`].
 ///
 /// # Errors
 /// Fails on any structural mismatch.
 pub fn merge_cubes(cube: &RuleCube, other: &RuleCube) -> Result<RuleCube, CubeError> {
-    if cube.dims() != other.dims() {
-        return Err(CubeError::Invalid(
-            "cannot merge cubes with different dimensions".into(),
-        ));
-    }
-    if cube.class_labels() != other.class_labels() {
-        return Err(CubeError::Invalid(
-            "cannot merge cubes with different class labels".into(),
-        ));
-    }
     let mut out = cube.clone();
-    for (coords, class, count) in other.iter_cells() {
-        if count > 0 {
-            out.add(&coords, class, count)?;
-        }
-    }
+    out.merge_into(other)?;
     Ok(out)
 }
 
@@ -84,6 +100,76 @@ impl CubeStore {
             one_d,
             pairs,
         ))
+    }
+
+    /// Merge another store's counts into `self` in place — the compactor
+    /// hot path. Cubes shared with a published snapshot (their `Arc` has
+    /// other owners) are copied once via `Arc::make_mut`; uniquely-owned
+    /// cubes are updated with zero allocation. `self` must be an eager
+    /// store; `other` may be lazy (its pair cubes materialize on demand).
+    ///
+    /// # Errors
+    /// Fails on attribute/class/domain mismatches or a lazy `self`. All
+    /// structure is validated before any count is touched, so `self` is
+    /// unchanged on error.
+    pub fn merge_from(&mut self, other: &CubeStore) -> Result<(), CubeError> {
+        if self.attrs() != other.attrs() {
+            return Err(CubeError::Invalid(
+                "cannot merge stores over different attribute sets".into(),
+            ));
+        }
+        if self.class_labels() != other.class_labels() {
+            return Err(CubeError::Invalid(
+                "cannot merge stores with different class labels".into(),
+            ));
+        }
+        if !self.is_eager() {
+            return Err(CubeError::Invalid(
+                "merge_from requires an eager destination store".into(),
+            ));
+        }
+        let attrs = self.attrs().to_vec();
+        // Validate every cube pair structurally before mutating anything,
+        // so a mid-merge mismatch cannot leave the store half-merged.
+        let check = |mine: &RuleCube, theirs: &RuleCube| -> Result<(), CubeError> {
+            if mine.dims() != theirs.dims() || mine.class_labels() != theirs.class_labels() {
+                return Err(CubeError::Invalid(
+                    "cannot merge cubes with different dimensions".into(),
+                ));
+            }
+            Ok(())
+        };
+        for &a in &attrs {
+            check(&*self.one_dim(a)?, &*other.one_dim(a)?)?;
+        }
+        for (i, &a) in attrs.iter().enumerate() {
+            for &b in &attrs[i + 1..] {
+                check(&*self.pair(a, b)?, &*other.pair(a, b)?)?;
+            }
+        }
+        for &a in &attrs {
+            let theirs = other.one_dim(a)?;
+            let slot = self
+                .one_d_mut()
+                .get_mut(&a)
+                .ok_or_else(|| CubeError::NoSuchDim(format!("attribute index {a}")))?;
+            Arc::make_mut(slot).merge_into(&theirs)?;
+        }
+        for (i, &a) in attrs.iter().enumerate() {
+            for &b in &attrs[i + 1..] {
+                let theirs = other.pair(a, b)?;
+                let key = (a.min(b), a.max(b));
+                let map = self.pairs_eager_mut().ok_or_else(|| {
+                    CubeError::Invalid("merge_from requires an eager destination store".into())
+                })?;
+                let slot = map
+                    .get_mut(&key)
+                    .ok_or_else(|| CubeError::NoSuchDim(format!("pair cube {key:?}")))?;
+                Arc::make_mut(slot).merge_into(&theirs)?;
+            }
+        }
+        self.add_totals(other.class_counts(), other.total_records());
+        Ok(())
     }
 }
 
@@ -167,6 +253,59 @@ mod tests {
         let direct = CubeStore::build(&doubled_ds, &opts).unwrap();
         assert_eq!(merged.class_counts(), direct.class_counts());
         assert_eq!(*merged.pair(0, 1).unwrap(), *direct.pair(0, 1).unwrap());
+    }
+
+    #[test]
+    fn merge_from_equals_pure_merge() {
+        let (a, b, all) = halves();
+        let opts = StoreBuildOptions::default();
+        let mut sa = CubeStore::build(&a, &opts).unwrap();
+        let sb = CubeStore::build(&b, &opts).unwrap();
+        sa.merge_from(&sb).unwrap();
+        let direct = CubeStore::build(&all, &opts).unwrap();
+        assert_eq!(sa.total_records(), direct.total_records());
+        assert_eq!(sa.class_counts(), direct.class_counts());
+        for &i in direct.attrs() {
+            assert_eq!(*sa.one_dim(i).unwrap(), *direct.one_dim(i).unwrap());
+        }
+        for (i, &x) in direct.attrs().iter().enumerate() {
+            for &y in &direct.attrs()[i + 1..] {
+                assert_eq!(*sa.pair(x, y).unwrap(), *direct.pair(x, y).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_from_copies_on_write_only_pinned_cubes() {
+        // A shallow clone stands in for a published snapshot: merging
+        // must not mutate the cubes it pins, and the pinned clone must
+        // keep serving the pre-merge counts.
+        let (a, b, _) = halves();
+        let opts = StoreBuildOptions::default();
+        let mut sa = CubeStore::build(&a, &opts).unwrap();
+        let sb = CubeStore::build(&b, &opts).unwrap();
+        let pinned = sa.clone();
+        let before = pinned.pair(0, 1).unwrap();
+        sa.merge_from(&sb).unwrap();
+        assert!(Arc::ptr_eq(&pinned.pair(0, 1).unwrap(), &before));
+        assert_eq!(pinned.total_records(), 3_000);
+        assert_eq!(sa.total_records(), 5_000);
+        assert_ne!(*sa.pair(0, 1).unwrap(), *before);
+        // With the pin gone, a second merge updates cubes in place.
+        drop((pinned, before));
+        let addr = Arc::as_ptr(&sa.pair(0, 1).unwrap());
+        sa.merge_from(&sb).unwrap();
+        assert_eq!(Arc::as_ptr(&sa.pair(0, 1).unwrap()), addr);
+        assert_eq!(sa.total_records(), 7_000);
+    }
+
+    #[test]
+    fn merge_from_rejects_lazy_destination() {
+        let (a, b, _) = halves();
+        let mut lazy =
+            CubeStore::build_lazy(Arc::new(a), &StoreBuildOptions::default()).unwrap();
+        let sb = CubeStore::build(&b, &StoreBuildOptions::default()).unwrap();
+        assert!(lazy.merge_from(&sb).is_err());
     }
 
     #[test]

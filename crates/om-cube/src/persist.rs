@@ -33,8 +33,9 @@ const VERSION: u8 = 2;
 
 /// IEEE CRC32 (the ubiquitous zip/PNG polynomial), table-driven.
 /// Hand-rolled because the build environment vendors no compression or
-/// hashing crates.
-fn crc32(bytes: &[u8]) -> u32 {
+/// hashing crates. Public so `om-ingest` can frame its write-ahead log
+/// with the same checksum discipline.
+pub fn crc32(bytes: &[u8]) -> u32 {
     const TABLE: [u32; 256] = {
         let mut table = [0u32; 256];
         let mut i = 0;

@@ -16,7 +16,8 @@
 //! materializes pair cubes on first use behind a `parking_lot::RwLock`.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crossbeam::channel;
 use parking_lot::RwLock;
@@ -40,13 +41,20 @@ pub struct StoreBuildOptions {
 }
 
 
+/// One lazily-built pair cube. `OnceLock` guarantees exactly-once
+/// initialization: the first thread to reach a cold slot runs the build
+/// while any concurrent reader of the same slot blocks until the result
+/// (or the build error, which `CubeError: Clone` lets us retain) lands.
+type PairSlot = OnceLock<Result<Arc<RuleCube>, CubeError>>;
+
 enum PairCubes {
     /// All pair cubes prebuilt (offline mode).
     Eager(HashMap<(usize, usize), Arc<RuleCube>>),
     /// Pair cubes built on first access from the retained dataset.
     Lazy {
         dataset: Arc<Dataset>,
-        cache: RwLock<HashMap<(usize, usize), Arc<RuleCube>>>,
+        cache: RwLock<HashMap<(usize, usize), Arc<PairSlot>>>,
+        builds: AtomicU64,
     },
 }
 
@@ -194,6 +202,7 @@ impl CubeStore {
             pairs: PairCubes::Lazy {
                 dataset: ds,
                 cache: RwLock::new(HashMap::new()),
+                builds: AtomicU64::new(0),
             },
         })
     }
@@ -269,13 +278,26 @@ impl CubeStore {
                 .get(&key)
                 .cloned()
                 .ok_or_else(|| CubeError::NoSuchDim(format!("pair cube {key:?}"))),
-            PairCubes::Lazy { dataset, cache } => {
-                if let Some(c) = cache.read().get(&key) {
-                    return Ok(c.clone());
-                }
-                let built = Arc::new(build_cube(dataset, &[key.0, key.1])?);
-                let mut w = cache.write();
-                Ok(w.entry(key).or_insert(built).clone())
+            PairCubes::Lazy {
+                dataset,
+                cache,
+                builds,
+            } => {
+                // Two-phase: grab (or create) the slot under the map lock,
+                // then build outside it via `get_or_init`, so a slow build
+                // neither holds the map lock nor runs more than once. The
+                // read guard must be fully dropped before taking the write
+                // lock — holding both self-deadlocks.
+                let existing = cache.read().get(&key).cloned();
+                let slot = match existing {
+                    Some(s) => s,
+                    None => cache.write().entry(key).or_default().clone(),
+                };
+                slot.get_or_init(|| {
+                    builds.fetch_add(1, Ordering::Relaxed);
+                    build_cube(dataset, &[key.0, key.1]).map(Arc::new)
+                })
+                .clone()
             }
         }
     }
@@ -284,7 +306,11 @@ impl CubeStore {
     pub fn n_pair_cubes(&self) -> usize {
         match &self.pairs {
             PairCubes::Eager(map) => map.len(),
-            PairCubes::Lazy { cache, .. } => cache.read().len(),
+            PairCubes::Lazy { cache, .. } => cache
+                .read()
+                .values()
+                .filter(|s| matches!(s.get(), Some(Ok(_))))
+                .count(),
         }
     }
 
@@ -295,10 +321,80 @@ impl CubeStore {
         match &self.pairs {
             PairCubes::Eager(map) => total += map.values().map(|c| cube_bytes(c)).sum::<usize>(),
             PairCubes::Lazy { cache, .. } => {
-                total += cache.read().values().map(|c| cube_bytes(c)).sum::<usize>()
+                total += cache
+                    .read()
+                    .values()
+                    .filter_map(|s| match s.get() {
+                        Some(Ok(c)) => Some(cube_bytes(c)),
+                        _ => None,
+                    })
+                    .sum::<usize>()
             }
         }
         total
+    }
+
+    /// Whether every cube is materialized up front (no retained dataset).
+    pub fn is_eager(&self) -> bool {
+        matches!(self.pairs, PairCubes::Eager(_))
+    }
+
+    /// How many lazy pair-cube builds have run (0 for eager stores).
+    /// Exactly-once materialization means this never exceeds the number
+    /// of distinct pairs requested, however many threads race on them.
+    pub fn lazy_builds(&self) -> u64 {
+        match &self.pairs {
+            PairCubes::Eager(_) => 0,
+            PairCubes::Lazy { builds, .. } => builds.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn one_d_mut(&mut self) -> &mut HashMap<usize, Arc<RuleCube>> {
+        &mut self.one_d
+    }
+
+    pub(crate) fn pairs_eager_mut(&mut self) -> Option<&mut HashMap<(usize, usize), Arc<RuleCube>>> {
+        match &mut self.pairs {
+            PairCubes::Eager(map) => Some(map),
+            PairCubes::Lazy { .. } => None,
+        }
+    }
+
+    pub(crate) fn add_totals(&mut self, class_counts: &[u64], total_records: u64) {
+        for (dst, src) in self.class_counts.iter_mut().zip(class_counts) {
+            *dst += src;
+        }
+        self.total_records += total_records;
+    }
+}
+
+/// Shallow clone: the flat count tensors stay shared behind their `Arc`s,
+/// so cloning a store of hundreds of cubes is a map copy, not a data copy.
+/// This is what makes snapshot publication cheap — see
+/// [`crate::snapshot::SharedStore`]. A lazy clone shares the in-flight
+/// build slots too, so two clones racing on the same cold pair still
+/// build it once.
+impl Clone for CubeStore {
+    fn clone(&self) -> Self {
+        Self {
+            attrs: self.attrs.clone(),
+            class_labels: self.class_labels.clone(),
+            class_counts: self.class_counts.clone(),
+            total_records: self.total_records,
+            one_d: self.one_d.clone(),
+            pairs: match &self.pairs {
+                PairCubes::Eager(map) => PairCubes::Eager(map.clone()),
+                PairCubes::Lazy {
+                    dataset,
+                    cache,
+                    builds,
+                } => PairCubes::Lazy {
+                    dataset: Arc::clone(dataset),
+                    cache: RwLock::new(cache.read().clone()),
+                    builds: AtomicU64::new(builds.load(Ordering::Relaxed)),
+                },
+            },
+        }
     }
 }
 
@@ -391,6 +487,53 @@ mod tests {
         // Must agree with an eager build.
         let eager = CubeStore::build(&ds, &StoreBuildOptions::default()).unwrap();
         assert_eq!(*c1, *eager.pair(0, 3).unwrap());
+    }
+
+    #[test]
+    fn lazy_cold_pair_builds_exactly_once_under_contention() {
+        // 8 threads released together onto the same cold pair cube: the
+        // build must run exactly once, every thread must get the same
+        // Arc, and nothing may deadlock.
+        let ds = Arc::new(generate_scaleup(&ScaleUpConfig {
+            n_attrs: 5,
+            n_records: 20_000,
+            seed: 11,
+            ..ScaleUpConfig::default()
+        }));
+        let store = CubeStore::build_lazy(ds, &StoreBuildOptions::default()).unwrap();
+        let barrier = std::sync::Barrier::new(8);
+        let cubes: Vec<Arc<RuleCube>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        store.pair(1, 3).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(store.lazy_builds(), 1, "cold pair cube built more than once");
+        assert_eq!(store.n_pair_cubes(), 1);
+        for c in &cubes[1..] {
+            assert!(Arc::ptr_eq(&cubes[0], c), "threads saw different cubes");
+        }
+    }
+
+    #[test]
+    fn shallow_clone_shares_cube_tensors() {
+        let (_, store) = small_store(1);
+        let copy = store.clone();
+        assert!(Arc::ptr_eq(
+            &store.one_dim(0).unwrap(),
+            &copy.one_dim(0).unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            &store.pair(0, 1).unwrap(),
+            &copy.pair(0, 1).unwrap()
+        ));
+        assert_eq!(copy.total_records(), store.total_records());
+        assert!(store.is_eager() && copy.is_eager());
     }
 
     #[test]

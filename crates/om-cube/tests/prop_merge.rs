@@ -3,8 +3,8 @@
 //! data.
 
 use om_cube::merge::merge_cubes;
-use om_cube::{build_cube, RuleCube};
-use om_data::{Cell, Dataset, DatasetBuilder};
+use om_cube::{build_cube, CubeStore, RuleCube, StoreBuildOptions};
+use om_data::{Attribute, Cell, Column, Dataset, DatasetBuilder, Domain, Schema};
 use proptest::prelude::*;
 
 fn dataset_from(rows: &[(u8, u8, u8)]) -> Dataset {
@@ -32,6 +32,30 @@ fn dataset_from(rows: &[(u8, u8, u8)]) -> Dataset {
 
 fn cube_of(rows: &[(u8, u8, u8)]) -> RuleCube {
     build_cube(&dataset_from(rows), &[0, 1]).unwrap()
+}
+
+/// Fixed-domain dataset (no seed rows): every batch shares identical
+/// domains however its rows are distributed, so arbitrary partitions can
+/// be compared without compensation.
+fn dataset_fixed(rows: &[(u8, u8, u8)]) -> Dataset {
+    let schema = Schema::new(
+        vec![
+            Attribute::categorical("A", Domain::from_labels(["a0", "a1", "a2"])),
+            Attribute::categorical("B", Domain::from_labels(["b0", "b1"])),
+            Attribute::categorical("C", Domain::from_labels(["c0", "c1"])),
+        ],
+        2,
+    )
+    .unwrap();
+    Dataset::from_columns(
+        schema,
+        vec![
+            Column::Categorical(rows.iter().map(|r| u32::from(r.0 % 3)).collect()),
+            Column::Categorical(rows.iter().map(|r| u32::from(r.1 % 2)).collect()),
+            Column::Categorical(rows.iter().map(|r| u32::from(r.2 % 2)).collect()),
+        ],
+    )
+    .unwrap()
 }
 
 proptest! {
@@ -94,5 +118,59 @@ proptest! {
                 .map(|(a, b)| a + b)
                 .collect::<Vec<_>>()
         );
+    }
+
+    /// In-place accumulation is the same function as the pure merge.
+    #[test]
+    fn merge_into_equals_pure_merge(
+        x in proptest::collection::vec((0u8..3, 0u8..2, 0u8..2), 0..40),
+        y in proptest::collection::vec((0u8..3, 0u8..2, 0u8..2), 0..40)
+    ) {
+        let cx = cube_of(&x);
+        let cy = cube_of(&y);
+        let pure = merge_cubes(&cx, &cy).unwrap();
+        let mut acc = cx;
+        acc.merge_into(&cy).unwrap();
+        prop_assert_eq!(acc, pure);
+    }
+
+    /// The whole-store invariant live ingestion rests on: a store built
+    /// over all records equals the per-part stores of ANY partition,
+    /// folded together with `merge_from` in ANY order.
+    #[test]
+    fn store_over_any_random_partition_merges_to_the_whole(
+        rows in proptest::collection::vec((0u8..3, 0u8..2, 0u8..2), 1..80),
+        assignment in proptest::collection::vec(0usize..4, 80),
+        reversed in 0u8..2
+    ) {
+        let opts = StoreBuildOptions::default();
+        let whole = CubeStore::build(&dataset_fixed(&rows), &opts).unwrap();
+
+        let mut parts: [Vec<(u8, u8, u8)>; 4] = Default::default();
+        for (row, part) in rows.iter().zip(&assignment) {
+            parts[*part].push(*row);
+        }
+        let mut stores: Vec<CubeStore> = parts
+            .iter()
+            .map(|p| CubeStore::build(&dataset_fixed(p), &opts).unwrap())
+            .collect();
+        if reversed == 1 {
+            stores.reverse();
+        }
+        let mut acc = stores.remove(0);
+        for part in &stores {
+            acc.merge_from(part).unwrap();
+        }
+
+        prop_assert_eq!(acc.total_records(), whole.total_records());
+        prop_assert_eq!(acc.class_counts(), whole.class_counts());
+        for &a in whole.attrs() {
+            prop_assert_eq!(&*acc.one_dim(a).unwrap(), &*whole.one_dim(a).unwrap());
+        }
+        for (i, &a) in whole.attrs().iter().enumerate() {
+            for &b in &whole.attrs()[i + 1..] {
+                prop_assert_eq!(&*acc.pair(a, b).unwrap(), &*whole.pair(a, b).unwrap());
+            }
+        }
     }
 }

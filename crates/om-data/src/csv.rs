@@ -34,8 +34,11 @@ impl CsvOptions {
     }
 }
 
-/// Split one CSV record honoring double-quote quoting.
-fn split_record(line: &str, delim: char) -> Vec<String> {
+/// Split one CSV record honoring double-quote quoting. Public because
+/// live ingestion (`om-ingest`) must split uploaded rows with the exact
+/// semantics of this reader — bin labels like `"[1.000, 4.000)"` contain
+/// the delimiter and arrive quoted.
+pub fn split_record(line: &str, delim: char) -> Vec<String> {
     let mut fields = Vec::new();
     let mut field = String::new();
     let mut chars = line.chars().peekable();

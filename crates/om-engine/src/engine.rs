@@ -1,16 +1,18 @@
 //! The engine façade.
 
 use std::fmt;
+use std::sync::Arc;
 
 use om_compare::{
     compare_groups, drill_down_budgeted, CompareConfig, CompareError, Comparator,
     ComparisonResult, ComparisonSpec, DrillConfig, DrillLevel, GroupSpec,
 };
 use om_car::{mine, mine_restricted, CarRule, Condition, MinerConfig};
-use om_cube::{CubeError, CubeStore, CubeView, StoreBuildOptions};
+use om_cube::{CubeError, CubeStore, CubeView, SharedStore, StoreBuildOptions, StoreSnapshot};
 use om_data::{DataError, Dataset};
 use om_discretize::{discretize_all, CutPoints, Method};
 use om_fault::{fail, Budget, FaultError};
+use om_ingest::{IngestConfig, IngestError, IngestHandle};
 use om_gi::{
     mine_exceptions_budgeted, mine_influence_budgeted, mine_trends_budgeted, Exception,
     ExceptionConfig, InfluenceResult, TrendConfig, TrendResult,
@@ -63,6 +65,8 @@ pub enum EngineError {
     /// The request ran out of budget, was cancelled, or hit an injected
     /// fault — work was cut short, not wrong.
     Fault(FaultError),
+    /// Live ingestion failed (bad rows, WAL I/O, schema mismatch).
+    Ingest(IngestError),
 }
 
 impl fmt::Display for EngineError {
@@ -73,6 +77,7 @@ impl fmt::Display for EngineError {
             EngineError::Compare(e) => write!(f, "comparison error: {e}"),
             EngineError::Unknown(what) => write!(f, "unknown name: {what}"),
             EngineError::Fault(e) => write!(f, "{e}"),
+            EngineError::Ingest(e) => write!(f, "ingest error: {e}"),
         }
     }
 }
@@ -107,6 +112,14 @@ impl From<FaultError> for EngineError {
         EngineError::Fault(e)
     }
 }
+impl From<IngestError> for EngineError {
+    fn from(e: IngestError) -> Self {
+        match e {
+            IngestError::Fault(f) => EngineError::Fault(f),
+            other => EngineError::Ingest(other),
+        }
+    }
+}
 
 impl EngineError {
     /// Whether this error means "the service is busy, retry later"
@@ -126,9 +139,14 @@ pub struct GiReport {
 }
 
 /// The assembled Opportunity Map system over one dataset.
+///
+/// The cube store lives behind a [`SharedStore`]: every query pins one
+/// immutable [`StoreSnapshot`] up front, so a concurrent live-ingestion
+/// compactor publishing a new generation mid-query can never produce a
+/// torn read — the query finishes against the generation it started on.
 pub struct OpportunityMap {
     dataset: Dataset,
-    store: CubeStore,
+    shared: SharedStore,
     config: EngineConfig,
     cuts: Vec<(usize, CutPoints)>,
 }
@@ -147,20 +165,51 @@ impl OpportunityMap {
         let store = CubeStore::build(&dataset, &config.store)?;
         Ok(Self {
             dataset,
-            store,
+            shared: SharedStore::new(store),
             config,
             cuts,
         })
     }
 
-    /// The (discretized) dataset.
+    /// The (discretized) dataset. With live ingestion running this is the
+    /// *base* dataset the engine was built from; ingested rows exist only
+    /// in the cube store.
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
     }
 
-    /// The rule-cube store.
-    pub fn store(&self) -> &CubeStore {
-        &self.store
+    /// Pin the current store generation. The snapshot derefs to
+    /// [`CubeStore`] and stays valid (and unchanging) however long it is
+    /// held, even while ingestion publishes newer generations.
+    pub fn store(&self) -> Arc<StoreSnapshot> {
+        self.shared.snapshot()
+    }
+
+    /// The shared store handle itself (for wiring ingestion or metrics).
+    pub fn shared_store(&self) -> &SharedStore {
+        &self.shared
+    }
+
+    /// The store generation currently being served.
+    pub fn store_generation(&self) -> u64 {
+        self.shared.generation()
+    }
+
+    /// Start live ingestion into this engine's store: appended rows are
+    /// WAL-logged under `config.wal_dir`, built into delta cubes, merged
+    /// off the query path, and published as new store generations.
+    /// Unmerged WAL segments from a previous run are replayed first.
+    ///
+    /// # Errors
+    /// Fails if the schema still has continuous attributes the engine did
+    /// not discretize, or on WAL I/O / replay errors.
+    pub fn start_ingest(&self, config: &IngestConfig) -> Result<IngestHandle, EngineError> {
+        Ok(IngestHandle::start(
+            self.dataset.schema().clone(),
+            &self.cuts,
+            self.shared.clone(),
+            config,
+        )?)
     }
 
     /// The configuration in force.
@@ -224,7 +273,7 @@ impl OpportunityMap {
 
     /// The overall visualization (Fig. 5).
     pub fn overall_view(&self, options: &OverallOptions) -> String {
-        render_overall(&self.store, options)
+        render_overall(&self.store(), options)
     }
 
     /// The detailed visualization of one attribute (Fig. 6).
@@ -237,7 +286,7 @@ impl OpportunityMap {
         options: &DetailedOptions,
     ) -> Result<String, EngineError> {
         let attr = self.attr_index(attr_name)?;
-        let cube = self.store.one_dim(attr)?;
+        let cube = self.store().one_dim(attr)?;
         let view = CubeView::from_cube(&cube)?;
         Ok(render_detailed(&view, options))
     }
@@ -262,7 +311,8 @@ impl OpportunityMap {
         budget: &Budget,
     ) -> Result<ComparisonResult, EngineError> {
         fail::inject("engine.compare")?;
-        Ok(Comparator::with_config(&self.store, self.config.compare.clone())
+        let snapshot = self.store();
+        Ok(Comparator::with_config(&snapshot, self.config.compare.clone())
             .compare_budgeted(spec, budget)?)
     }
 
@@ -333,7 +383,7 @@ impl OpportunityMap {
             class: self.class_id(class)?,
         };
         Ok(compare_groups(
-            &self.store,
+            &self.store(),
             &spec,
             &self.config.compare,
         )?)
@@ -405,10 +455,13 @@ impl OpportunityMap {
     /// [`EngineError::Fault`] on budget overrun.
     pub fn general_impressions_budgeted(&self, budget: &Budget) -> Result<GiReport, EngineError> {
         fail::inject("engine.gi")?;
+        // One snapshot across all three miners: trends, exceptions and
+        // influence must describe the same store generation.
+        let snapshot = self.store();
         Ok(GiReport {
-            trends: mine_trends_budgeted(&self.store, &self.config.trend, budget)?,
-            exceptions: mine_exceptions_budgeted(&self.store, &self.config.exception, budget)?,
-            influence: mine_influence_budgeted(&self.store, budget)?,
+            trends: mine_trends_budgeted(&snapshot, &self.config.trend, budget)?,
+            exceptions: mine_exceptions_budgeted(&snapshot, &self.config.exception, budget)?,
+            influence: mine_influence_budgeted(&snapshot, budget)?,
         })
     }
 
@@ -418,7 +471,7 @@ impl OpportunityMap {
         use om_gi::{mine_pair_exceptions, PairExceptionConfig};
         use om_viz::gi_view;
         let gi = self.general_impressions();
-        let pair = mine_pair_exceptions(&self.store, &PairExceptionConfig::default());
+        let pair = mine_pair_exceptions(&self.store(), &PairExceptionConfig::default());
         let mut out = String::new();
         out.push_str(&gi_view::render_trends(
             &gi.trends,

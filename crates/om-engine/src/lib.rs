@@ -27,3 +27,8 @@ pub use session::Session;
 // match faults and arm failpoints without depending on om-fault
 // directly.
 pub use om_fault::{fail, Budget, CancelToken, FaultError};
+
+// Re-exported so downstream crates wire live ingestion and pin store
+// snapshots without depending on om-ingest / om-cube directly.
+pub use om_cube::{SharedStore, StoreSnapshot};
+pub use om_ingest::{IngestConfig, IngestError, IngestHandle, IngestStats};

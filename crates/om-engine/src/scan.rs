@@ -67,6 +67,9 @@ impl OpportunityMap {
         config: &ScanConfig,
     ) -> Result<Vec<ScanFinding>, EngineError> {
         let class_id = self.class_id(class)?;
+        // One snapshot for both phases: candidates found in phase 1 are
+        // compared in phase 2 against the same store generation.
+        let snapshot = self.store();
         // Phase 1: per attribute, the most significant value pair.
         struct Candidate {
             attr: usize,
@@ -75,8 +78,8 @@ impl OpportunityMap {
             z: f64,
         }
         let mut candidates: Vec<Candidate> = Vec::new();
-        for &attr in self.store().attrs() {
-            let cube = self.store().one_dim(attr)?;
+        for &attr in snapshot.attrs() {
+            let cube = snapshot.one_dim(attr)?;
             let view = CubeView::from_cube(&cube)?;
             let mut best: Option<Candidate> = None;
             let n_values = view.n_values() as u32;
@@ -114,7 +117,7 @@ impl OpportunityMap {
 
         // Phase 2: run the full comparison on each surviving pair.
         let comparator =
-            Comparator::with_config(self.store(), self.config().compare.clone());
+            Comparator::with_config(&snapshot, self.config().compare.clone());
         let mut findings = Vec::with_capacity(candidates.len());
         for c in candidates {
             let spec = ComparisonSpec {

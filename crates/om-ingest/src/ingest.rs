@@ -1,0 +1,446 @@
+//! The live ingestion pipeline: WAL append → staging → delta cube →
+//! background compaction → snapshot publish.
+//!
+//! ```text
+//!  rows ──► RowParser ──► WAL append (durable) ──► staging buffer
+//!                                                     │ seal_rows
+//!                                                     ▼
+//!                                           delta CubeStore (built
+//!                                           synchronously, small)
+//!                                                     │ channel
+//!                                                     ▼
+//!                                        compactor thread: merge_from
+//!                                        into master, publish snapshot
+//! ```
+//!
+//! Writers hold the state lock only for the WAL write and an occasional
+//! small delta build; queries never touch that lock — they read the
+//! [`SharedStore`]'s current generation. The compactor batches every
+//! delta waiting in its channel into one merge + one publish, so cube
+//! copy-on-write cost is amortized under bursts.
+//!
+//! Crash model: a row is durable once its WAL append returned. Recovery
+//! ([`IngestHandle::start`]) rebuilds sealed segments into deltas and
+//! merges them before serving, and reloads the active segment into the
+//! staging buffer — counts after a crash are byte-identical to a run
+//! that never crashed, because merge is associative over row batches.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+
+use om_cube::{CubeStore, SharedStore, StoreBuildOptions};
+use om_data::{Column, Dataset, Schema, ValueId};
+use om_discretize::CutPoints;
+use om_fault::fail;
+
+use crate::error::IngestError;
+use crate::row::RowParser;
+use crate::wal::Wal;
+
+/// Knobs for a live ingestor.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Directory of WAL segments; created if absent, replayed if not.
+    pub wal_dir: PathBuf,
+    /// Staged rows that trigger sealing a segment into a delta cube.
+    pub seal_rows: usize,
+    /// Fsync after every append (durable but slower). Benchmarks turn
+    /// this off; production keeps it on.
+    pub sync_writes: bool,
+}
+
+impl IngestConfig {
+    /// Defaults: seal every 4096 rows, fsync on.
+    pub fn new(wal_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            wal_dir: wal_dir.into(),
+            seal_rows: 4096,
+            sync_writes: true,
+        }
+    }
+}
+
+/// Point-in-time ingestion counters (the `/metrics` ingest series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Rows accepted (durably appended) since start, recovery included.
+    pub rows_total: u64,
+    /// Segments sealed into delta cubes.
+    pub segments_sealed_total: u64,
+    /// Compactor merge+publish cycles.
+    pub compactions_total: u64,
+    /// Currently-published store generation.
+    pub store_generation: u64,
+    /// Bytes across all WAL segment files.
+    pub wal_bytes: u64,
+}
+
+#[derive(Default)]
+struct Metrics {
+    rows: AtomicU64,
+    sealed: AtomicU64,
+    compactions: AtomicU64,
+    wal_bytes: AtomicU64,
+}
+
+enum Msg {
+    Delta(CubeStore),
+    Barrier(Sender<()>),
+}
+
+struct State {
+    wal: Wal,
+    staging: Vec<Vec<ValueId>>,
+}
+
+struct Inner {
+    parser: RowParser,
+    attrs: Vec<usize>,
+    seal_rows: usize,
+    shared: SharedStore,
+    // Arc'd because the compactor thread shares the counters; the thread
+    // must NOT hold the whole `Inner`, or the drop-to-join cycle would
+    // keep both alive forever.
+    metrics: Arc<Metrics>,
+    state: Mutex<State>,
+    tx: Mutex<Option<Sender<Msg>>>,
+    compactor: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Clonable handle to a running ingestor. All clones feed the same WAL,
+/// staging buffer, and compactor; dropping the last clone shuts the
+/// compactor down (after it drains its queue).
+#[derive(Clone)]
+pub struct IngestHandle {
+    inner: Arc<Inner>,
+}
+
+/// Build one delta store over a sealed batch of schema-ordered rows.
+fn build_delta(
+    schema: &Schema,
+    attrs: &[usize],
+    rows: &[Vec<ValueId>],
+) -> Result<CubeStore, IngestError> {
+    let n_attrs = schema.n_attributes();
+    let mut columns: Vec<Vec<ValueId>> = vec![Vec::with_capacity(rows.len()); n_attrs];
+    for row in rows {
+        for (col, &id) in columns.iter_mut().zip(row) {
+            col.push(id);
+        }
+    }
+    let ds = Dataset::from_columns(
+        schema.clone(),
+        columns.into_iter().map(Column::Categorical).collect(),
+    )?;
+    // Deltas are small (≤ seal_rows); a single-threaded build avoids
+    // spawning a worker pool on every seal.
+    Ok(CubeStore::build(
+        &ds,
+        &StoreBuildOptions {
+            attrs: Some(attrs.to_vec()),
+            n_threads: 1,
+        },
+    )?)
+}
+
+/// Merge every queued delta into `master`, publish once per batch.
+fn compactor_loop(
+    mut master: CubeStore,
+    rx: &Receiver<Msg>,
+    shared: &SharedStore,
+    metrics: &Metrics,
+) {
+    while let Ok(first) = rx.recv() {
+        let mut queue = vec![first];
+        while let Ok(more) = rx.try_recv() {
+            queue.push(more);
+        }
+        let mut acks = Vec::new();
+        let mut dirty = false;
+        for msg in queue {
+            match msg {
+                Msg::Delta(delta) => {
+                    // An injected merge fault models the process dying
+                    // before compaction: the delta stays WAL-durable and
+                    // is recovered on restart.
+                    if fail::inject("ingest.merge").is_ok()
+                        && master.merge_from(&delta).is_ok()
+                    {
+                        dirty = true;
+                    }
+                }
+                Msg::Barrier(ack) => acks.push(ack),
+            }
+        }
+        if dirty {
+            shared.publish(master.clone());
+            metrics.compactions.fetch_add(1, Ordering::Relaxed);
+        }
+        for ack in acks {
+            let _ = ack.send(());
+        }
+    }
+}
+
+impl IngestHandle {
+    /// Start (or recover) a live ingestor over the store currently
+    /// published in `shared`.
+    ///
+    /// `schema` must be the discretized schema the store was built over;
+    /// `cuts` are the cut points of originally-continuous attributes so
+    /// numeric fields in live rows bin identically to the offline build.
+    ///
+    /// Recovery: sealed WAL segments found in `config.wal_dir` are
+    /// rebuilt into delta cubes and merged (then published) before this
+    /// returns; the active segment's rows are reloaded into staging.
+    ///
+    /// # Errors
+    /// Schema rejection (continuous attributes, lazy store), WAL I/O,
+    /// or a delta rebuild failure on corrupted history.
+    pub fn start(
+        schema: Schema,
+        cuts: &[(usize, CutPoints)],
+        shared: SharedStore,
+        config: &IngestConfig,
+    ) -> Result<Self, IngestError> {
+        if config.seal_rows == 0 {
+            return Err(IngestError::Schema("seal_rows must be at least 1".into()));
+        }
+        let base = shared.snapshot();
+        if !base.is_eager() {
+            return Err(IngestError::Schema(
+                "live ingestion requires an eager cube store".into(),
+            ));
+        }
+        let parser = RowParser::new(schema, cuts)?;
+        let attrs = base.attrs().to_vec();
+
+        let (wal, recovery) = Wal::open(&config.wal_dir, config.sync_writes)?;
+        let mut master = base.store().clone();
+        drop(base);
+        let mut recovered_rows = 0u64;
+        let mut sealed = 0u64;
+        for segment in &recovery.sealed {
+            if segment.is_empty() {
+                continue;
+            }
+            recovered_rows += segment.len() as u64;
+            sealed += 1;
+            let delta = build_delta(parser.schema(), &attrs, segment)?;
+            master.merge_from(&delta)?;
+        }
+        if sealed > 0 {
+            shared.publish(master.clone());
+        }
+        recovered_rows += recovery.active.len() as u64;
+
+        let (tx, rx) = channel::unbounded::<Msg>();
+        let metrics = Arc::new(Metrics {
+            rows: AtomicU64::new(recovered_rows),
+            sealed: AtomicU64::new(sealed),
+            compactions: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(wal.bytes()),
+        });
+        let inner = Arc::new(Inner {
+            parser,
+            attrs,
+            seal_rows: config.seal_rows,
+            shared: shared.clone(),
+            metrics: Arc::clone(&metrics),
+            state: Mutex::new(State {
+                wal,
+                staging: recovery.active,
+            }),
+            tx: Mutex::new(Some(tx)),
+            compactor: Mutex::new(None),
+        });
+        let handle = std::thread::Builder::new()
+            .name("om-ingest-compactor".into())
+            .spawn(move || compactor_loop(master, &rx, &shared, &metrics))
+            .map_err(IngestError::Io)?;
+        *inner.compactor.lock() = Some(handle);
+
+        let this = Self { inner };
+        // A recovered staging buffer past the seal threshold (crash
+        // landed between append and seal) seals immediately.
+        {
+            let mut state = this.inner.state.lock();
+            if state.staging.len() >= this.inner.seal_rows {
+                this.seal_locked(&mut state)?;
+            }
+        }
+        Ok(this)
+    }
+
+    /// Append a newline-separated batch of CSV rows (schema order, class
+    /// included). All-or-nothing: on any bad row, nothing is appended.
+    /// Returns the number of rows accepted.
+    ///
+    /// # Errors
+    /// [`IngestError::BadRow`] on validation failures; WAL/fault errors
+    /// on the durability path.
+    pub fn append_csv(&self, body: &str) -> Result<usize, IngestError> {
+        let rows = self.inner.parser.parse_body(body)?;
+        self.append_rows(rows)
+    }
+
+    /// Append pre-encoded rows (each: every schema attribute's `ValueId`
+    /// in schema order). Validates arity and id ranges.
+    ///
+    /// # Errors
+    /// As [`Self::append_csv`].
+    pub fn append_rows(&self, rows: Vec<Vec<ValueId>>) -> Result<usize, IngestError> {
+        let schema = self.inner.parser.schema();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != schema.n_attributes() {
+                return Err(IngestError::BadRow {
+                    row: i + 1,
+                    reason: format!(
+                        "expected {} values, got {}",
+                        schema.n_attributes(),
+                        row.len()
+                    ),
+                });
+            }
+            for (attr, &id) in row.iter().enumerate() {
+                if id as usize >= schema.attribute(attr).cardinality() {
+                    return Err(IngestError::BadRow {
+                        row: i + 1,
+                        reason: format!(
+                            "attribute {:?}: value id {id} out of range",
+                            schema.attribute(attr).name()
+                        ),
+                    });
+                }
+            }
+        }
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        let n = rows.len();
+        let mut state = self.inner.state.lock();
+        fail::inject("ingest.append")?;
+        state.wal.append(&rows)?;
+        self.inner.metrics.rows.fetch_add(n as u64, Ordering::Relaxed);
+        self.inner
+            .metrics
+            .wal_bytes
+            .store(state.wal.bytes(), Ordering::Relaxed);
+        state.staging.extend(rows);
+        if state.staging.len() >= self.inner.seal_rows {
+            self.seal_locked(&mut state)?;
+        }
+        Ok(n)
+    }
+
+    /// Seal the current staging buffer into a delta now, regardless of
+    /// size. No-op on an empty buffer.
+    ///
+    /// # Errors
+    /// WAL rotation or delta-build failures.
+    pub fn seal_now(&self) -> Result<(), IngestError> {
+        let mut state = self.inner.state.lock();
+        self.seal_locked(&mut state)
+    }
+
+    fn seal_locked(&self, state: &mut State) -> Result<(), IngestError> {
+        if state.staging.is_empty() {
+            return Ok(());
+        }
+        // The ISSUE's crash point: rows are WAL-durable but the segment
+        // is not yet sealed. An injected error here leaves exactly that
+        // state behind for recovery to replay.
+        fail::inject("ingest.seal")?;
+        state.wal.seal()?;
+        let rows = std::mem::take(&mut state.staging);
+        let delta = build_delta(self.inner.parser.schema(), &self.inner.attrs, &rows)?;
+        self.inner.metrics.sealed.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .metrics
+            .wal_bytes
+            .store(state.wal.bytes(), Ordering::Relaxed);
+        self.send(Msg::Delta(delta))
+    }
+
+    fn send(&self, msg: Msg) -> Result<(), IngestError> {
+        match self.inner.tx.lock().as_ref() {
+            Some(tx) => tx.send(msg).map_err(|_| IngestError::Closed),
+            None => Err(IngestError::Closed),
+        }
+    }
+
+    /// Seal pending rows and block until the compactor has merged and
+    /// published everything submitted before this call. After `flush`,
+    /// a fresh snapshot reflects every accepted row.
+    ///
+    /// # Errors
+    /// Seal failures, or [`IngestError::Closed`] after shutdown.
+    pub fn flush(&self) -> Result<(), IngestError> {
+        self.seal_now()?;
+        let (ack_tx, ack_rx) = channel::bounded::<()>(1);
+        self.send(Msg::Barrier(ack_tx))?;
+        ack_rx.recv().map_err(|_| IngestError::Closed)
+    }
+
+    /// Current counters, including the published store generation.
+    pub fn stats(&self) -> IngestStats {
+        IngestStats {
+            rows_total: self.inner.metrics.rows.load(Ordering::Relaxed),
+            segments_sealed_total: self.inner.metrics.sealed.load(Ordering::Relaxed),
+            compactions_total: self.inner.metrics.compactions.load(Ordering::Relaxed),
+            store_generation: self.inner.shared.generation(),
+            wal_bytes: self.inner.metrics.wal_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The shared store this ingestor publishes into.
+    pub fn shared_store(&self) -> &SharedStore {
+        &self.inner.shared
+    }
+
+    /// Render the ingest Prometheus series (appended to `/metrics`).
+    pub fn render_metrics(&self) -> String {
+        let stats = self.stats();
+        format!(
+            "# TYPE om_ingest_rows_total counter\n\
+             om_ingest_rows_total {}\n\
+             # TYPE om_ingest_segments_sealed_total counter\n\
+             om_ingest_segments_sealed_total {}\n\
+             # TYPE om_compactions_total counter\n\
+             om_compactions_total {}\n\
+             # TYPE om_store_generation gauge\n\
+             om_store_generation {}\n\
+             # TYPE om_wal_bytes gauge\n\
+             om_wal_bytes {}\n",
+            stats.rows_total,
+            stats.segments_sealed_total,
+            stats.compactions_total,
+            stats.store_generation,
+            stats.wal_bytes
+        )
+    }
+
+    /// Stop accepting rows and join the compactor after it drains its
+    /// queue. Staged-but-unsealed rows stay in the WAL for the next
+    /// start. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.tx.lock().take();
+        if let Some(handle) = self.inner.compactor.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.tx.lock().take();
+        if let Some(handle) = self.compactor.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}

@@ -14,6 +14,8 @@ pub const MAX_REQUEST_LINE: usize = 4096;
 pub const MAX_HEADER_LINE: usize = 1024;
 /// Upper bound on the number of headers.
 pub const MAX_HEADERS: usize = 64;
+/// Default upper bound on a request body (`POST /ingest` uploads).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1 << 20;
 
 /// Why a request could not be parsed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,7 +41,8 @@ impl std::fmt::Display for ParseError {
     }
 }
 
-/// A parsed request: method, decoded path, decoded query parameters.
+/// A parsed request: method, decoded path, decoded query parameters,
+/// and (for `POST`) the UTF-8 body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     pub method: String,
@@ -47,6 +50,8 @@ pub struct Request {
     /// Query parameters, percent-decoded, in sorted key order (which
     /// also canonicalizes the cache key).
     pub params: BTreeMap<String, String>,
+    /// The request body (empty without a `Content-Length` header).
+    pub body: String,
 }
 
 impl Request {
@@ -182,11 +187,24 @@ fn parse_query(raw: &str) -> Result<BTreeMap<String, String>, String> {
     Ok(params)
 }
 
-/// Parse one request from `stream` with all bounds enforced.
+/// Parse one request from `stream` with all bounds enforced, allowing a
+/// body of at most [`DEFAULT_MAX_BODY_BYTES`].
 ///
 /// # Errors
 /// See [`ParseError`]; `Malformed` maps to `400`, `TimedOut` to `408`.
 pub fn parse_request<S: Read>(stream: S) -> Result<Request, ParseError> {
+    parse_request_bounded(stream, DEFAULT_MAX_BODY_BYTES)
+}
+
+/// [`parse_request`] with an explicit body bound: a `Content-Length`
+/// above `max_body_bytes` is rejected before a single body byte is read.
+///
+/// # Errors
+/// See [`ParseError`].
+pub fn parse_request_bounded<S: Read>(
+    stream: S,
+    max_body_bytes: usize,
+) -> Result<Request, ParseError> {
     let mut reader = BufReader::new(stream);
     let mut got_any = false;
     let request_line = read_line_bounded(&mut reader, MAX_REQUEST_LINE, &mut got_any)?;
@@ -210,16 +228,22 @@ pub fn parse_request<S: Read>(stream: S) -> Result<Request, ParseError> {
         return Err(ParseError::Malformed(format!("bad target {target:?}")));
     }
 
-    // Headers: bounded count and length; contents are otherwise ignored
+    // Headers: bounded count and length; only `Content-Length` matters
     // (the daemon is stateless per request and always closes).
     let mut n_headers = 0;
+    let mut content_length = 0usize;
     loop {
         let line = read_line_bounded(&mut reader, MAX_HEADER_LINE, &mut got_any)?;
         if line.is_empty() {
             break;
         }
-        if !line.contains(':') {
+        let Some((name, value)) = line.split_once(':') else {
             return Err(ParseError::Malformed(format!("bad header {line:?}")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse::<usize>().map_err(|_| {
+                ParseError::Malformed(format!("bad Content-Length {:?}", value.trim()))
+            })?;
         }
         n_headers += 1;
         if n_headers > MAX_HEADERS {
@@ -228,6 +252,28 @@ pub fn parse_request<S: Read>(stream: S) -> Result<Request, ParseError> {
             )));
         }
     }
+    if content_length > max_body_bytes {
+        return Err(ParseError::Malformed(format!(
+            "body of {content_length} bytes exceeds the {max_body_bytes}-byte limit"
+        )));
+    }
+    let mut body_bytes = vec![0u8; content_length];
+    let mut read = 0;
+    while read < content_length {
+        match reader.read(&mut body_bytes[read..]) {
+            Ok(0) => return Err(ParseError::Malformed("truncated body".into())),
+            Ok(n) => read += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(ParseError::TimedOut);
+            }
+            Err(e) => return Err(ParseError::Io(e.to_string())),
+        }
+    }
+    let body = String::from_utf8(body_bytes)
+        .map_err(|_| ParseError::Malformed("non-UTF-8 body".into()))?;
 
     let (raw_path, raw_query) = target.split_once('?').unwrap_or((target, ""));
     let path = percent_decode(raw_path).map_err(ParseError::Malformed)?;
@@ -236,6 +282,7 @@ pub fn parse_request<S: Read>(stream: S) -> Result<Request, ParseError> {
         method: method.to_owned(),
         path,
         params,
+        body,
     })
 }
 
@@ -412,6 +459,52 @@ mod tests {
         }
         raw.push_str("\r\n");
         assert!(matches!(parse_str(&raw), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn reads_posted_body_to_content_length() {
+        let r = parse_str("POST /ingest HTTP/1.1\r\nContent-Length: 12\r\n\r\na,b,c\nd,e,f\nignored tail")
+            .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, "a,b,c\nd,e,f\n");
+    }
+
+    #[test]
+    fn get_without_content_length_has_empty_body() {
+        let r = parse_str("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.body, "");
+    }
+
+    #[test]
+    fn oversized_body_rejected_before_reading_it() {
+        let raw = format!(
+            "POST /ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            DEFAULT_MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse_str(&raw), Err(ParseError::Malformed(_))));
+        let tight = parse_request_bounded(
+            "POST /i HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd".as_bytes(),
+            3,
+        );
+        assert!(matches!(tight, Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn truncated_or_bad_bodies_rejected() {
+        assert!(matches!(
+            parse_str("POST /i HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_str("POST /i HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        let mut raw = b"POST /i HTTP/1.1\r\nContent-Length: 2\r\n\r\n".to_vec();
+        raw.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            parse_request(raw.as_slice()),
+            Err(ParseError::Malformed(_))
+        ));
     }
 
     #[test]

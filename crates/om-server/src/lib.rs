@@ -36,11 +36,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::TrySendError;
-use om_engine::OpportunityMap;
+use om_engine::{IngestHandle, OpportunityMap};
 use om_fault::{fail, Budget, CancelToken};
 
 use crate::cache::ResponseCache;
-use crate::http::{parse_request, ParseError, Response};
+use crate::http::{parse_request_bounded, ParseError, Response};
 use crate::metrics::{Endpoint, Metrics};
 use crate::router::RouteOptions;
 
@@ -63,6 +63,9 @@ pub struct ServerConfig {
     pub engine_budget: Option<Duration>,
     /// `Retry-After` seconds on overload (`503`) responses.
     pub retry_after_secs: u64,
+    /// Upper bound on a request body (`POST /ingest` uploads); larger
+    /// uploads get `400` before a single body byte is read.
+    pub max_body_bytes: usize,
     /// Log one line per request to stderr.
     pub verbose: bool,
 }
@@ -77,6 +80,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             engine_budget: Some(Duration::from_secs(2)),
             retry_after_secs: 1,
+            max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
             verbose: false,
         }
     }
@@ -95,11 +99,15 @@ pub struct Server {
 /// Everything a worker needs, shared across the pool.
 struct Shared {
     om: Arc<OpportunityMap>,
+    /// `Some` when live ingestion is enabled; `POST /ingest` appends
+    /// through it and `/metrics` includes its counters.
+    ingest: Option<IngestHandle>,
     cache: ResponseCache,
     metrics: Arc<Metrics>,
     request_timeout: Duration,
     engine_budget: Option<Duration>,
     retry_after_secs: u64,
+    max_body_bytes: usize,
     verbose: bool,
 }
 
@@ -110,6 +118,19 @@ impl Server {
     /// # Errors
     /// Fails if the address cannot be bound.
     pub fn start(om: Arc<OpportunityMap>, config: ServerConfig) -> io::Result<Self> {
+        Self::start_with_ingest(om, config, None)
+    }
+
+    /// [`start`](Self::start) with live ingestion enabled: `POST /ingest`
+    /// appends through `ingest`, and `/metrics` includes its counters.
+    ///
+    /// # Errors
+    /// Fails if the address cannot be bound.
+    pub fn start_with_ingest(
+        om: Arc<OpportunityMap>,
+        config: ServerConfig,
+        ingest: Option<IngestHandle>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -120,11 +141,13 @@ impl Server {
 
         let shared = Arc::new(Shared {
             om,
+            ingest,
             cache: ResponseCache::new(config.cache_capacity),
             metrics: Arc::new(Metrics::default()),
             request_timeout: config.request_timeout,
             engine_budget: config.engine_budget,
             retry_after_secs: config.retry_after_secs,
+            max_body_bytes: config.max_body_bytes,
             verbose: config.verbose,
         });
         let metrics = Arc::clone(&shared.metrics);
@@ -242,7 +265,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(shared.request_timeout));
     let _ = stream.set_nodelay(true);
 
-    let parsed = parse_request(&stream);
+    let parsed = parse_request_bounded(&stream, shared.max_body_bytes);
     let (endpoint, response) = match &parsed {
         Ok(req) => {
             let endpoint = Endpoint::classify(&req.path);
@@ -313,23 +336,39 @@ fn respond(req: &http::Request, endpoint: Endpoint, shared: &Shared) -> Response
         budget: Budget::with_token(shared.engine_budget, CancelToken::new()),
         retry_after_secs: shared.retry_after_secs,
     };
+    let metrics_body = || {
+        let mut body = shared.metrics.render();
+        if let Some(handle) = &shared.ingest {
+            body.push_str(&handle.render_metrics());
+        }
+        body
+    };
     // Only the engine-backed query endpoints cache: /healthz and
-    // /metrics are live signals, and unroutable paths are cheap 404s.
+    // /metrics are live signals, ingestion is a write, and unroutable
+    // paths are cheap 404s.
     let cacheable = req.method == "GET"
         && matches!(
             endpoint,
             Endpoint::Compare | Endpoint::Drill | Endpoint::Gi | Endpoint::CubeSlice
         );
     let response = if !cacheable {
-        router::route(req, &shared.om, &opts, || shared.metrics.render())
+        router::route(req, &shared.om, shared.ingest.as_ref(), &opts, metrics_body)
     } else {
-        let key = req.canonical_key();
+        // With live ingestion the store advances under the cache, so the
+        // generation joins the key: entries computed against superseded
+        // generations stop matching and age out of the LRU.
+        let key = if shared.ingest.is_some() {
+            format!("g{}:{}", shared.om.store_generation(), req.canonical_key())
+        } else {
+            req.canonical_key()
+        };
         if let Some(hit) = shared.cache.get(&key) {
             shared.metrics.record_cache_hit();
             return (*hit).clone();
         }
         shared.metrics.record_cache_miss();
-        let response = router::route(req, &shared.om, &opts, || shared.metrics.render());
+        let response =
+            router::route(req, &shared.om, shared.ingest.as_ref(), &opts, metrics_body);
         if response.status == 200 {
             shared.cache.insert(key, Arc::new(response.clone()));
         }

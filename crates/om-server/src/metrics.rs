@@ -17,19 +17,21 @@ pub enum Endpoint {
     Drill,
     Gi,
     CubeSlice,
+    Ingest,
     /// Anything else (404s and parse failures).
     Other,
 }
 
 impl Endpoint {
     /// All endpoints in render order.
-    pub const ALL: [Endpoint; 7] = [
+    pub const ALL: [Endpoint; 8] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Compare,
         Endpoint::Drill,
         Endpoint::Gi,
         Endpoint::CubeSlice,
+        Endpoint::Ingest,
         Endpoint::Other,
     ];
 
@@ -43,6 +45,7 @@ impl Endpoint {
             "/drill" => Endpoint::Drill,
             "/gi" => Endpoint::Gi,
             "/cube/slice" => Endpoint::CubeSlice,
+            "/ingest" => Endpoint::Ingest,
             _ => Endpoint::Other,
         }
     }
@@ -57,6 +60,7 @@ impl Endpoint {
             Endpoint::Drill => "drill",
             Endpoint::Gi => "gi",
             Endpoint::CubeSlice => "cube_slice",
+            Endpoint::Ingest => "ingest",
             Endpoint::Other => "other",
         }
     }
@@ -294,6 +298,7 @@ mod tests {
     fn endpoint_classification() {
         assert_eq!(Endpoint::classify("/compare"), Endpoint::Compare);
         assert_eq!(Endpoint::classify("/cube/slice"), Endpoint::CubeSlice);
+        assert_eq!(Endpoint::classify("/ingest"), Endpoint::Ingest);
         assert_eq!(Endpoint::classify("/nope"), Endpoint::Other);
     }
 

@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 
 use om_compare::DrillConfig;
 use om_cube::CubeView;
-use om_engine::{Budget, EngineError, OpportunityMap};
+use om_engine::{Budget, EngineError, IngestHandle, OpportunityMap};
 use om_gi::Trend;
 
 use crate::http::{Request, Response};
@@ -312,16 +312,62 @@ fn cube_slice(req: &Request, om: &OpportunityMap, opts: &RouteOptions) -> Result
     }
 }
 
+/// `POST /ingest`: append the CSV body to the live store. All-or-nothing
+/// per request — one bad row rejects the whole batch with `400` naming
+/// the row. Accepted rows are WAL-durable before the `200`; the merge
+/// into the served cubes is asynchronous, so `generation` in the reply
+/// is the generation at append time, not necessarily the one that will
+/// contain the rows.
+fn ingest(
+    req: &Request,
+    handle: Option<&IngestHandle>,
+    opts: &RouteOptions,
+) -> Result<Response, Response> {
+    let Some(handle) = handle else {
+        return Err(Response::error(
+            404,
+            "live ingestion is not enabled (start the server with an ingest WAL)",
+        ));
+    };
+    // Writes obey the same budget discipline as queries: an expired
+    // deadline sheds the batch before any WAL I/O.
+    opts.budget.check().map_err(|e| {
+        Response::error(503, &e.to_string()).with_retry_after(opts.retry_after_secs)
+    })?;
+    match handle.append_csv(&req.body) {
+        Ok(accepted) => {
+            let stats = handle.stats();
+            Ok(Response::json(format!(
+                "{{\"accepted\":{accepted},\"rows_total\":{},\"generation\":{}}}",
+                stats.rows_total, stats.store_generation
+            )))
+        }
+        Err(e) if e.is_bad_request() => Err(Response::error(400, &e.to_string())),
+        Err(e) => Err(Response::error(500, &e.to_string())),
+    }
+}
+
 /// Route one parsed request under `opts`' budget. `metrics_body` is the
 /// pre-rendered `/metrics` text (rendered by the caller, which owns the
-/// counters).
+/// counters); `ingest_handle` is `Some` when live ingestion is enabled.
 #[must_use]
 pub fn route(
     req: &Request,
     om: &OpportunityMap,
+    ingest_handle: Option<&IngestHandle>,
     opts: &RouteOptions,
     metrics_body: impl FnOnce() -> String,
 ) -> Response {
+    // The one non-GET endpoint; everything else below is read-only.
+    if req.path == "/ingest" {
+        if req.method != "POST" {
+            return Response::error(
+                405,
+                &format!("method {} not allowed for /ingest (use POST)", req.method),
+            );
+        }
+        return ingest(req, ingest_handle, opts).unwrap_or_else(|error| error);
+    }
     if req.method != "GET" {
         return Response::error(405, &format!("method {} not allowed", req.method));
     }
@@ -365,8 +411,42 @@ mod tests {
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
                 .collect::<BTreeMap<_, _>>(),
+            body: String::new(),
         };
-        route(&req, engine(), opts, || "metrics\n".to_owned())
+        route(&req, engine(), None, opts, || "metrics\n".to_owned())
+    }
+
+    fn post_ingest(
+        om: &OpportunityMap,
+        handle: Option<&IngestHandle>,
+        body: &str,
+        opts: &RouteOptions,
+    ) -> Response {
+        let req = Request {
+            method: "POST".into(),
+            path: "/ingest".into(),
+            params: BTreeMap::new(),
+            body: body.to_owned(),
+        };
+        route(&req, om, handle, opts, String::new)
+    }
+
+    /// Row 0 of the engine's discretized dataset as a CSV line (interval
+    /// labels contain commas, so they go out quoted).
+    fn csv_row_of(om: &OpportunityMap) -> String {
+        let ds = om.dataset();
+        (0..ds.schema().n_attributes())
+            .map(|i| {
+                let id = ds.column(i).as_categorical().expect("discretized")[0];
+                let label = ds.schema().attribute(i).domain().label(id).unwrap();
+                if label.contains(',') {
+                    format!("\"{label}\"")
+                } else {
+                    label.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(",")
     }
 
     #[test]
@@ -483,9 +563,71 @@ mod tests {
             method: "POST".into(),
             path: "/healthz".into(),
             params: BTreeMap::new(),
+            body: String::new(),
         };
-        let r = route(&req, engine(), &RouteOptions::default(), String::new);
+        let r = route(&req, engine(), None, &RouteOptions::default(), String::new);
         assert_eq!(r.status, 405);
+    }
+
+    #[test]
+    fn ingest_without_handle_is_404_and_get_is_405() {
+        let r = post_ingest(engine(), None, "x", &RouteOptions::default());
+        assert_eq!(r.status, 404);
+        assert!(r.body.contains("not enabled"));
+        let req = Request {
+            method: "GET".into(),
+            path: "/ingest".into(),
+            params: BTreeMap::new(),
+            body: String::new(),
+        };
+        let r = route(&req, engine(), None, &RouteOptions::default(), String::new);
+        assert_eq!(r.status, 405);
+        assert!(r.body.contains("POST"));
+    }
+
+    #[test]
+    fn ingest_roundtrip_bad_rows_and_budget() {
+        use om_engine::IngestConfig;
+        // A private engine: ingesting into the shared static one would
+        // shift the ground under the other routing tests.
+        let (ds, _) = paper_scenario(5_000, 7);
+        let om = OpportunityMap::build(ds, EngineConfig::default()).unwrap();
+        let dir = std::env::temp_dir().join(format!("om-route-ingest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let handle = om
+            .start_ingest(&IngestConfig {
+                sync_writes: false,
+                ..IngestConfig::new(&dir)
+            })
+            .unwrap();
+        let opts = RouteOptions::default();
+
+        let row = csv_row_of(&om);
+        let ok = post_ingest(&om, Some(&handle), &format!("{row}\n{row}\n"), &opts);
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        assert!(ok.body.contains("\"accepted\":2"), "{}", ok.body);
+        assert!(ok.body.contains("\"generation\":"), "{}", ok.body);
+
+        let bad = post_ingest(
+            &om,
+            Some(&handle),
+            &format!("{row}\nnot,nearly,enough\n"),
+            &opts,
+        );
+        assert_eq!(bad.status, 400, "{}", bad.body);
+        assert!(bad.body.contains("row 2"), "{}", bad.body);
+        assert_eq!(handle.stats().rows_total, 2, "bad batch committed nothing");
+
+        let spent = RouteOptions {
+            budget: Budget::with_timeout(std::time::Duration::ZERO),
+            retry_after_secs: 3,
+        };
+        let shed = post_ingest(&om, Some(&handle), &row, &spent);
+        assert_eq!(shed.status, 503, "{}", shed.body);
+        assert_eq!(shed.retry_after, Some(3));
+
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

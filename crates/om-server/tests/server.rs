@@ -324,6 +324,103 @@ fn generous_budget_does_not_change_answers() {
 }
 
 #[test]
+fn live_ingestion_end_to_end() {
+    use om_engine::IngestConfig;
+
+    // A private engine: these rows must not leak into the shared one.
+    let (ds, _) = paper_scenario(5_000, 11);
+    let om = Arc::new(OpportunityMap::build(ds, EngineConfig::default()).unwrap());
+    let wal_dir = std::env::temp_dir().join(format!("om-server-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let handle = om
+        .start_ingest(&IngestConfig {
+            seal_rows: 64,
+            sync_writes: false,
+            ..IngestConfig::new(&wal_dir)
+        })
+        .unwrap();
+    let server = Server::start_with_ingest(
+        Arc::clone(&om),
+        ServerConfig {
+            request_timeout: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+        Some(handle.clone()),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Warm the response cache against generation 0.
+    let (status, before) = get(addr, "/cube/slice?attr=PhoneModel");
+    assert_eq!(status, 200);
+    assert!(before.contains("\"total\":5000"), "{before}");
+
+    // Row 0 of the discretized dataset, as the CSV a client would POST
+    // (interval bin labels contain commas, hence the quoting).
+    let dataset = om.dataset();
+    let row = (0..dataset.schema().n_attributes())
+        .map(|i| {
+            let id = dataset.column(i).as_categorical().unwrap()[0];
+            let label = dataset.schema().attribute(i).domain().label(id).unwrap();
+            if label.contains(',') {
+                format!("\"{label}\"")
+            } else {
+                label.to_owned()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let body = format!("{row}\n{row}\n{row}\n");
+    let (status, reply) = raw_request(
+        addr,
+        &format!(
+            "POST /ingest HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"accepted\":3"), "{reply}");
+
+    // A malformed batch is a 400 naming the row, and commits nothing.
+    let bad = "such,garbage\n";
+    let (status, reply) = raw_request(
+        addr,
+        &format!(
+            "POST /ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n{bad}",
+            bad.len()
+        ),
+    );
+    assert_eq!(status, 400, "{reply}");
+    assert!(reply.contains("row 1"), "{reply}");
+
+    // GET on /ingest is a 405 even with ingestion enabled.
+    assert_eq!(get(addr, "/ingest").0, 405);
+
+    // Force the pipeline through seal + merge + publish, then the served
+    // counts must include the rows (the generation-scoped cache key
+    // retires the warmed generation-0 entry).
+    handle.flush().unwrap();
+    let (status, after) = get(addr, "/cube/slice?attr=PhoneModel");
+    assert_eq!(status, 200);
+    assert!(after.contains("\"total\":5003"), "{after}");
+
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(metrics.contains("om_ingest_rows_total 3"), "{metrics}");
+    assert!(metrics.contains("om_ingest_segments_sealed_total 1"), "{metrics}");
+    assert!(metrics.contains("om_compactions_total 1"), "{metrics}");
+    assert!(metrics.contains("om_store_generation 1"), "{metrics}");
+    assert!(metrics.contains("om_wal_bytes"), "{metrics}");
+    assert!(
+        metrics.contains("om_requests_total{endpoint=\"ingest\"} 3"),
+        "{metrics}"
+    );
+
+    server.shutdown();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+#[test]
 fn graceful_shutdown_drains_in_flight_request() {
     let server = start_server();
     let addr = server.local_addr();

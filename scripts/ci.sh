@@ -16,10 +16,19 @@ cargo test --workspace -q
 echo "==> cargo test -p om-server --features failpoints -q (chaos suite)"
 cargo test -p om-server --features failpoints -q
 
+echo "==> cargo test -p om-ingest --features failpoints -q (ingest recovery + snapshot consistency)"
+cargo test -p om-ingest --features failpoints -q
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo clippy -p om-server --features failpoints --all-targets -- -D warnings"
 cargo clippy -p om-server --features failpoints --all-targets -- -D warnings
+
+echo "==> cargo clippy -p om-ingest --features failpoints --all-targets -- -D warnings"
+cargo clippy -p om-ingest --features failpoints --all-targets -- -D warnings
+
+echo "==> ingest_throughput bench (smoke)"
+OM_BENCH_SMOKE=1 cargo bench -p om-bench --bench ingest_throughput
 
 echo "==> ci OK"

@@ -74,6 +74,9 @@ pub struct IngestStats {
     pub segments_sealed_total: u64,
     /// Compactor merge+publish cycles.
     pub compactions_total: u64,
+    /// Deltas the compactor failed to merge (each leaves the served
+    /// store lagging the WAL until a restart replays the segment).
+    pub merge_failures_total: u64,
     /// Currently-published store generation.
     pub store_generation: u64,
     /// Bytes across all WAL segment files.
@@ -85,6 +88,7 @@ struct Metrics {
     rows: AtomicU64,
     sealed: AtomicU64,
     compactions: AtomicU64,
+    merge_failures: AtomicU64,
     wal_bytes: AtomicU64,
 }
 
@@ -168,10 +172,22 @@ fn compactor_loop(
                     // An injected merge fault models the process dying
                     // before compaction: the delta stays WAL-durable and
                     // is recovered on restart.
-                    if fail::inject("ingest.merge").is_ok()
-                        && master.merge_from(&delta).is_ok()
-                    {
-                        dirty = true;
+                    let merged = fail::inject("ingest.merge")
+                        .map_err(IngestError::from)
+                        .and_then(|()| Ok(master.merge_from(&delta)?));
+                    match merged {
+                        Ok(()) => dirty = true,
+                        Err(e) => {
+                            // Deltas are pre-validated, so a real merge
+                            // failure means the served store diverges
+                            // from the WAL until a restart replays the
+                            // segment — it must not vanish silently.
+                            metrics.merge_failures.fetch_add(1, Ordering::Relaxed);
+                            eprintln!(
+                                "om-ingest: compactor dropped a delta ({e}); \
+                                 served store lags the WAL until restart"
+                            );
+                        }
                     }
                 }
                 Msg::Barrier(ack) => acks.push(ack),
@@ -221,6 +237,15 @@ impl IngestHandle {
         let attrs = base.attrs().to_vec();
 
         let (wal, recovery) = Wal::open(&config.wal_dir, config.sync_writes)?;
+        if recovery.torn_tail {
+            // The torn rows were never acked (their append/seal did not
+            // return), so dropping them is correct — but worth a trace.
+            eprintln!(
+                "om-ingest: WAL recovery in {} dropped a torn/corrupt segment tail \
+                 (rows from an unacknowledged write)",
+                config.wal_dir.display()
+            );
+        }
         let mut master = base.store().clone();
         drop(base);
         let mut recovered_rows = 0u64;
@@ -244,6 +269,7 @@ impl IngestHandle {
             rows: AtomicU64::new(recovered_rows),
             sealed: AtomicU64::new(sealed),
             compactions: AtomicU64::new(0),
+            merge_failures: AtomicU64::new(0),
             wal_bytes: AtomicU64::new(wal.bytes()),
         });
         let inner = Arc::new(Inner {
@@ -393,6 +419,7 @@ impl IngestHandle {
             rows_total: self.inner.metrics.rows.load(Ordering::Relaxed),
             segments_sealed_total: self.inner.metrics.sealed.load(Ordering::Relaxed),
             compactions_total: self.inner.metrics.compactions.load(Ordering::Relaxed),
+            merge_failures_total: self.inner.metrics.merge_failures.load(Ordering::Relaxed),
             store_generation: self.inner.shared.generation(),
             wal_bytes: self.inner.metrics.wal_bytes.load(Ordering::Relaxed),
         }
@@ -413,6 +440,8 @@ impl IngestHandle {
              om_ingest_segments_sealed_total {}\n\
              # TYPE om_compactions_total counter\n\
              om_compactions_total {}\n\
+             # TYPE om_ingest_merge_failures_total counter\n\
+             om_ingest_merge_failures_total {}\n\
              # TYPE om_store_generation gauge\n\
              om_store_generation {}\n\
              # TYPE om_wal_bytes gauge\n\
@@ -420,6 +449,7 @@ impl IngestHandle {
             stats.rows_total,
             stats.segments_sealed_total,
             stats.compactions_total,
+            stats.merge_failures_total,
             stats.store_generation,
             stats.wal_bytes
         )

@@ -26,7 +26,10 @@
 //! rows into the staging buffer. Because appends are strictly sequential
 //! within one file, a crash can only damage the final frame of a
 //! segment; replay stops at the first bad frame and reports a torn tail
-//! rather than failing.
+//! rather than failing. Before the active segment is reopened for
+//! append, any torn tail is truncated away — otherwise rows appended
+//! after recovery would sit behind the corrupt bytes and be silently
+//! dropped by the *next* replay despite having been acked as durable.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -91,35 +94,36 @@ fn encode_frame(rows: &[Vec<ValueId>]) -> Vec<u8> {
 }
 
 /// Decode every intact frame of one segment. Returns the recovered rows
-/// and whether the segment ended cleanly (no torn/corrupt tail).
-fn decode_segment(buf: &[u8]) -> (Vec<Vec<ValueId>>, bool) {
+/// and the byte length of the intact prefix — equal to `buf.len()` iff
+/// the segment ended cleanly (no torn/corrupt tail).
+fn decode_segment(buf: &[u8]) -> (Vec<Vec<ValueId>>, usize) {
     let mut rows = Vec::new();
     let mut at = 0usize;
     while at < buf.len() {
         let rest = &buf[at..];
         if rest.len() < HEADER {
-            return (rows, false);
+            return (rows, at);
         }
         if &rest[..4] != MAGIC || rest[4] != VERSION {
-            return (rows, false);
+            return (rows, at);
         }
         let len = u64::from_le_bytes(rest[5..13].try_into().unwrap()) as usize;
         if rest.len() < HEADER + len + 4 {
-            return (rows, false); // torn tail: frame written partially
+            return (rows, at); // torn tail: frame written partially
         }
         let payload = &rest[HEADER..HEADER + len];
         let stored_crc =
             u32::from_le_bytes(rest[HEADER + len..HEADER + len + 4].try_into().unwrap());
         if crc32(payload) != stored_crc {
-            return (rows, false);
+            return (rows, at);
         }
         if len < 8 {
-            return (rows, false);
+            return (rows, at);
         }
         let n_rows = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
         let n_cols = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
         if len != 8 + n_rows * n_cols * 4 {
-            return (rows, false);
+            return (rows, at);
         }
         let mut p = 8;
         for _ in 0..n_rows {
@@ -132,7 +136,7 @@ fn decode_segment(buf: &[u8]) -> (Vec<Vec<ValueId>>, bool) {
         }
         at += HEADER + len + 4;
     }
-    (rows, true)
+    (rows, at)
 }
 
 impl Wal {
@@ -161,15 +165,20 @@ impl Wal {
 
         let mut recovery = Recovery::default();
         let mut bytes = 0u64;
+        let mut active_valid_len = 0u64;
         for (pos, &i) in indices.iter().enumerate() {
             let mut raw = Vec::new();
             File::open(segment_path(dir, i))?.read_to_end(&mut raw)?;
-            let (rows, clean) = decode_segment(&raw);
-            recovery.torn_tail |= !clean;
-            bytes += raw.len() as u64;
+            let (rows, valid_len) = decode_segment(&raw);
+            recovery.torn_tail |= valid_len != raw.len();
             if pos + 1 == indices.len() {
+                // The active segment is truncated to its intact prefix
+                // below, so count only those bytes.
+                bytes += valid_len as u64;
+                active_valid_len = valid_len as u64;
                 recovery.active = rows;
             } else {
+                bytes += raw.len() as u64;
                 recovery.sealed.push(rows);
             }
         }
@@ -180,6 +189,14 @@ impl Wal {
             .create(true)
             .append(true)
             .open(segment_path(dir, active_index))?;
+        // A torn/corrupt tail must not survive into the append path:
+        // replay stops at the first bad frame, so frames appended behind
+        // the bad bytes would be acked as durable yet dropped by the next
+        // replay. Cut the segment back to its last intact frame first.
+        if file.metadata()?.len() > active_valid_len {
+            file.set_len(active_valid_len)?;
+            file.sync_data()?;
+        }
         Ok((
             Self {
                 dir: dir.to_path_buf(),
@@ -217,9 +234,15 @@ impl Wal {
     /// segment's rows are exactly what the caller built a delta from.
     ///
     /// # Errors
-    /// I/O failures creating the next segment.
+    /// I/O failures creating the next segment; in durable mode
+    /// (`sync_writes`), also a failed final sync — a segment must not be
+    /// sealed (and its delta served) while its frames may not be on disk.
     pub fn seal(&mut self) -> Result<(), IngestError> {
-        self.file.sync_data().ok();
+        if self.sync_writes {
+            self.file.sync_data()?;
+        } else {
+            let _ = self.file.sync_data();
+        }
         self.active_index += 1;
         self.file = OpenOptions::new()
             .create(true)
@@ -320,6 +343,40 @@ mod tests {
         let (_, rec) = Wal::open(&dir, true).unwrap();
         assert!(rec.torn_tail);
         assert_eq!(rec.active, rows(0..3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn appends_after_torn_recovery_survive_the_next_replay() {
+        let dir = tmp_dir("torn-reappend");
+        {
+            let (mut wal, _) = Wal::open(&dir, true).unwrap();
+            wal.append(&rows(0..5)).unwrap();
+            wal.append(&rows(5..8)).unwrap();
+        }
+        let path = segment_path(&dir, 0);
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 7]).unwrap();
+        let intact = encode_frame(&rows(0..5)).len() as u64;
+        {
+            let (mut wal, rec) = Wal::open(&dir, true).unwrap();
+            assert!(rec.torn_tail);
+            assert_eq!(wal.bytes(), intact, "torn bytes not counted");
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                intact,
+                "torn tail truncated before reopening for append"
+            );
+            wal.append(&rows(8..12)).unwrap();
+        }
+        // The second replay must see both the pre-crash intact frame and
+        // the rows appended after recovery — nothing hides behind a
+        // corrupt tail.
+        let (_, rec) = Wal::open(&dir, true).unwrap();
+        assert!(!rec.torn_tail);
+        let mut expected = rows(0..5);
+        expected.extend(rows(8..12));
+        assert_eq!(rec.active, expected);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -144,8 +144,16 @@ fn crash_at_every_protocol_stage_recovers_exact_counts() {
                 // owns those rows now.
                 "seal" => assert!(result.is_err()),
                 // A merge fault is invisible to the writer (the compactor
-                // drops the delta in memory); the WAL still has it.
-                _ => assert!(result.is_ok()),
+                // drops the delta in memory); the WAL still has it, and
+                // the drop is accounted rather than silent.
+                _ => {
+                    assert!(result.is_ok());
+                    assert_eq!(
+                        handle.stats().merge_failures_total,
+                        1,
+                        "{stage}: dropped delta must be counted"
+                    );
+                }
             }
             handle.shutdown();
         }

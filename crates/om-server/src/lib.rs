@@ -357,10 +357,10 @@ fn respond(req: &http::Request, endpoint: Endpoint, shared: &Shared) -> Response
         // With live ingestion the store advances under the cache, so the
         // generation joins the key: entries computed against superseded
         // generations stop matching and age out of the LRU.
-        let key = if shared.ingest.is_some() {
-            format!("g{}:{}", shared.om.store_generation(), req.canonical_key())
-        } else {
-            req.canonical_key()
+        let generation = shared.ingest.is_some().then(|| shared.om.store_generation());
+        let key = match generation {
+            Some(g) => format!("g{g}:{}", req.canonical_key()),
+            None => req.canonical_key(),
         };
         if let Some(hit) = shared.cache.get(&key) {
             shared.metrics.record_cache_hit();
@@ -369,7 +369,15 @@ fn respond(req: &http::Request, endpoint: Endpoint, shared: &Shared) -> Response
         shared.metrics.record_cache_miss();
         let response =
             router::route(req, &shared.om, shared.ingest.as_ref(), &opts, metrics_body);
-        if response.status == 200 {
+        // The handlers pin their own snapshot, so a publish between the
+        // key read and the route can hand back a body computed against a
+        // newer generation. Generations are monotonic, so if the current
+        // generation still matches the key's, the body provably came
+        // from that generation; otherwise skip the insert rather than
+        // cache a mislabeled entry.
+        let key_still_current =
+            generation.is_none_or(|g| shared.om.store_generation() == g);
+        if response.status == 200 && key_still_current {
             shared.cache.insert(key, Arc::new(response.clone()));
         }
         response

@@ -1,0 +1,79 @@
+//! Shared strict-decoding helpers: required/optional typed fields plus
+//! unknown-key rejection, all with field-naming error messages.
+
+use crate::json::Json;
+
+/// Reject any key outside `allowed` (typo safety for requests).
+pub(crate) fn check_keys(v: &Json, allowed: &[&str]) -> Result<(), String> {
+    let pairs = v.as_obj().ok_or("expected a JSON object")?;
+    for (k, _) in pairs {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("unknown field {k:?}"));
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+pub(crate) fn opt_str(v: &Json, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x
+            .as_str()
+            .map(str::to_owned)
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be a string")),
+    }
+}
+
+pub(crate) fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer field {key:?}"))
+}
+
+pub(crate) fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+/// A required float; JSON `null` reads as NaN (the wire form of a
+/// non-finite value).
+pub(crate) fn req_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing number field {key:?}"))
+}
+
+pub(crate) fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be a number")),
+    }
+}
+
+pub(crate) fn req_bool(v: &Json, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing boolean field {key:?}"))
+}
+
+pub(crate) fn req_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array field {key:?}"))
+}

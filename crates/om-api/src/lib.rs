@@ -1,0 +1,42 @@
+//! # om-api — typed wire contract for the opportunity-map HTTP API
+//!
+//! The single source of truth for every `/v1` request and response
+//! body, shared by the server (om-server) and the HTTP clients
+//! (om-cli, benches). Pure std: it holds no engine types, only what
+//! actually travels on the wire, so clients don't pull in the cube or
+//! comparison machinery.
+//!
+//! Layout:
+//! - [`json`] — a small strict JSON value type ([`json::Json`]) with a
+//!   parser and an encoder whose float/escape formatting is
+//!   byte-identical to the legacy hand-rolled encoders.
+//! - [`error`] — the uniform `/v1` error envelope
+//!   `{"error":{"code","message","retry_after_ms"?,"row"?}}` and the
+//!   code → HTTP-status mapping.
+//! - [`request`] — typed request bodies (`POST /v1/compare`, `/drill`,
+//!   `/gi`, `/cube/slice`, `/ingest`, `/compare/batch`).
+//! - [`response`] — typed response bodies; their encoders reproduce
+//!   the legacy GET bodies byte-for-byte, which is what lets `/v1`
+//!   answers stay identical to the deprecated endpoints.
+//!
+//! Every type round-trips: `parse(x.encode()) == x` (non-finite floats
+//! all encode as `null` and are treated as equal wire values).
+
+pub mod error;
+pub mod json;
+pub mod request;
+pub mod response;
+
+mod de;
+
+pub use error::{ErrorCode, ErrorEnvelope};
+pub use json::{Json, JsonError};
+pub use request::{
+    BatchItemRequest, BatchRequest, CompareRequest, DrillRequest, GiRequest, IngestRequest,
+    PathStep, SliceRequest,
+};
+pub use response::{
+    AttrScoreWire, BatchItemResult, BatchResponse, CompareResponse, DrillLevelWire, DrillResponse,
+    ExceptionWire, GiResponse, InfluenceWire, IngestResponse, PairCellWire, PairDimWire,
+    SliceResponse, SliceValueWire, TrendWire, ValueContributionWire,
+};

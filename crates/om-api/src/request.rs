@@ -1,0 +1,522 @@
+//! Typed `/v1` request bodies.
+//!
+//! Field names mirror the legacy GET query parameters (`attr`, `v1`,
+//! `v2`, `class`, `depth`, `min_score`, `top`, `by`), so migrating a
+//! client is a mechanical move from the query string into a JSON body.
+
+use crate::de::{check_keys, opt_f64, opt_str, opt_u64, req_arr, req_str};
+use crate::json::Json;
+
+#[allow(clippy::cast_precision_loss)]
+fn num_u64(x: u64) -> Json {
+    Json::Num(x as f64)
+}
+
+/// `POST /v1/compare` — one comparison by names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompareRequest {
+    pub attr: String,
+    pub v1: String,
+    pub v2: String,
+    pub class: String,
+}
+
+impl CompareRequest {
+    fn fields(&self) -> Vec<(String, Json)> {
+        vec![
+            ("attr".to_owned(), Json::Str(self.attr.clone())),
+            ("v1".to_owned(), Json::Str(self.v1.clone())),
+            ("v2".to_owned(), Json::Str(self.v2.clone())),
+            ("class".to_owned(), Json::Str(self.class.clone())),
+        ]
+    }
+
+    #[must_use]
+    pub fn encode(&self) -> String {
+        Json::Obj(self.fields()).encode()
+    }
+
+    /// # Errors
+    /// A message naming the malformed field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        check_keys(v, &["attr", "v1", "v2", "class"])?;
+        Ok(Self {
+            attr: req_str(v, "attr")?,
+            v1: req_str(v, "v1")?,
+            v2: req_str(v, "v2")?,
+            class: req_str(v, "class")?,
+        })
+    }
+
+    /// # Errors
+    /// A message describing the parse or shape failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text).map_err(|e| e.to_string())?)
+    }
+}
+
+/// One fixed drill condition: `attr = value`, both by label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStep {
+    pub attr: String,
+    pub value: String,
+}
+
+impl PathStep {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("attr".to_owned(), Json::Str(self.attr.clone())),
+            ("value".to_owned(), Json::Str(self.value.clone())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        check_keys(v, &["attr", "value"])?;
+        Ok(Self {
+            attr: req_str(v, "attr")?,
+            value: req_str(v, "value")?,
+        })
+    }
+}
+
+/// `POST /v1/drill` — drill-down from a named comparison.
+///
+/// With an empty `path` the walk is automated (condition on each
+/// level's top finding, exactly the legacy `/drill`); a non-empty
+/// `path` fixes the conditions instead: level *i* is the comparison
+/// conditioned on `path[..i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrillRequest {
+    pub attr: String,
+    pub v1: String,
+    pub v2: String,
+    pub class: String,
+    /// Maximum automated depth; server default when absent.
+    pub depth: Option<u64>,
+    /// Minimum normalized score to keep descending; server default
+    /// when absent.
+    pub min_score: Option<f64>,
+    pub path: Vec<PathStep>,
+}
+
+impl DrillRequest {
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut fields = vec![
+            ("attr".to_owned(), Json::Str(self.attr.clone())),
+            ("v1".to_owned(), Json::Str(self.v1.clone())),
+            ("v2".to_owned(), Json::Str(self.v2.clone())),
+            ("class".to_owned(), Json::Str(self.class.clone())),
+        ];
+        if let Some(depth) = self.depth {
+            fields.push(("depth".to_owned(), num_u64(depth)));
+        }
+        if let Some(min_score) = self.min_score {
+            fields.push(("min_score".to_owned(), Json::Num(min_score)));
+        }
+        if !self.path.is_empty() {
+            fields.push((
+                "path".to_owned(),
+                Json::Arr(self.path.iter().map(PathStep::to_json).collect()),
+            ));
+        }
+        Json::Obj(fields).encode()
+    }
+
+    /// # Errors
+    /// A message naming the malformed field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        check_keys(
+            v,
+            &["attr", "v1", "v2", "class", "depth", "min_score", "path"],
+        )?;
+        let path = match v.get("path") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(p) => p
+                .as_arr()
+                .ok_or("field \"path\" must be an array")?
+                .iter()
+                .map(PathStep::from_json)
+                .collect::<Result<_, _>>()?,
+        };
+        Ok(Self {
+            attr: req_str(v, "attr")?,
+            v1: req_str(v, "v1")?,
+            v2: req_str(v, "v2")?,
+            class: req_str(v, "class")?,
+            depth: opt_u64(v, "depth")?,
+            min_score: opt_f64(v, "min_score")?,
+            path,
+        })
+    }
+
+    /// # Errors
+    /// A message describing the parse or shape failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text).map_err(|e| e.to_string())?)
+    }
+}
+
+/// `POST /v1/gi` — the general-impressions report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GiRequest {
+    /// Entries per section (exceptions, influence); server default when
+    /// absent.
+    pub top: Option<u64>,
+}
+
+impl GiRequest {
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut fields = Vec::new();
+        if let Some(top) = self.top {
+            fields.push(("top".to_owned(), num_u64(top)));
+        }
+        Json::Obj(fields).encode()
+    }
+
+    /// # Errors
+    /// A message naming the malformed field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        check_keys(v, &["top"])?;
+        Ok(Self {
+            top: opt_u64(v, "top")?,
+        })
+    }
+
+    /// Parse, accepting an empty body as the default request.
+    ///
+    /// # Errors
+    /// A message describing the parse or shape failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if text.trim().is_empty() {
+            return Ok(Self::default());
+        }
+        Self::from_json(&Json::parse(text).map_err(|e| e.to_string())?)
+    }
+}
+
+/// `POST /v1/cube/slice` — a one-dimensional cube slice, or a pair
+/// slice when `by` is given.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceRequest {
+    pub attr: String,
+    pub by: Option<String>,
+}
+
+impl SliceRequest {
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut fields = vec![("attr".to_owned(), Json::Str(self.attr.clone()))];
+        if let Some(by) = &self.by {
+            fields.push(("by".to_owned(), Json::Str(by.clone())));
+        }
+        Json::Obj(fields).encode()
+    }
+
+    /// # Errors
+    /// A message naming the malformed field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        check_keys(v, &["attr", "by"])?;
+        Ok(Self {
+            attr: req_str(v, "attr")?,
+            by: opt_str(v, "by")?,
+        })
+    }
+
+    /// # Errors
+    /// A message describing the parse or shape failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text).map_err(|e| e.to_string())?)
+    }
+}
+
+/// `POST /v1/ingest` — typed live rows: each row is every attribute's
+/// value label (class included) in schema order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestRequest {
+    pub rows: Vec<Vec<String>>,
+}
+
+impl IngestRequest {
+    #[must_use]
+    pub fn encode(&self) -> String {
+        Json::Obj(vec![(
+            "rows".to_owned(),
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|row| {
+                        Json::Arr(row.iter().map(|f| Json::Str(f.clone())).collect())
+                    })
+                    .collect(),
+            ),
+        )])
+        .encode()
+    }
+
+    /// # Errors
+    /// A message naming the malformed field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        check_keys(v, &["rows"])?;
+        let rows = req_arr(v, "rows")?
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                row.as_arr()
+                    .ok_or_else(|| format!("row {} must be an array of strings", i + 1))?
+                    .iter()
+                    .map(|f| {
+                        f.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| format!("row {} has a non-string field", i + 1))
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { rows })
+    }
+
+    /// # Errors
+    /// A message describing the parse or shape failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text).map_err(|e| e.to_string())?)
+    }
+}
+
+/// One item of a `/v1/compare/batch` request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchItemRequest {
+    /// `{"kind":"compare", ...CompareRequest, "budget_ms":N?}`
+    Compare {
+        req: CompareRequest,
+        budget_ms: Option<u64>,
+    },
+    /// `{"kind":"drill", ...DrillRequest, "budget_ms":N?}`
+    Drill {
+        req: DrillRequest,
+        budget_ms: Option<u64>,
+    },
+}
+
+impl BatchItemRequest {
+    fn to_json(&self) -> Json {
+        match self {
+            BatchItemRequest::Compare { req, budget_ms } => {
+                let mut fields =
+                    vec![("kind".to_owned(), Json::Str("compare".to_owned()))];
+                fields.extend(req.fields());
+                if let Some(ms) = budget_ms {
+                    fields.push(("budget_ms".to_owned(), num_u64(*ms)));
+                }
+                Json::Obj(fields)
+            }
+            BatchItemRequest::Drill { req, budget_ms } => {
+                // Reuse DrillRequest's canonical encoding, then prepend
+                // the kind tag and append the budget.
+                let encoded = Json::parse(&req.encode()).expect("own encoding parses");
+                let Json::Obj(inner) = encoded else {
+                    unreachable!("DrillRequest encodes an object")
+                };
+                let mut fields = vec![("kind".to_owned(), Json::Str("drill".to_owned()))];
+                fields.extend(inner);
+                if let Some(ms) = budget_ms {
+                    fields.push(("budget_ms".to_owned(), num_u64(*ms)));
+                }
+                Json::Obj(fields)
+            }
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let kind = req_str(v, "kind")?;
+        let budget_ms = opt_u64(v, "budget_ms")?;
+        // Strip the batch-only fields, then decode as the plain request.
+        let pairs = v.as_obj().ok_or("expected a JSON object")?;
+        let stripped = Json::Obj(
+            pairs
+                .iter()
+                .filter(|(k, _)| k != "kind" && k != "budget_ms")
+                .cloned()
+                .collect(),
+        );
+        match kind.as_str() {
+            "compare" => Ok(BatchItemRequest::Compare {
+                req: CompareRequest::from_json(&stripped)?,
+                budget_ms,
+            }),
+            "drill" => Ok(BatchItemRequest::Drill {
+                req: DrillRequest::from_json(&stripped)?,
+                budget_ms,
+            }),
+            other => Err(format!(
+                "unknown item kind {other:?} (expected \"compare\" or \"drill\")"
+            )),
+        }
+    }
+}
+
+/// `POST /v1/compare/batch` — many comparison/drill items answered in
+/// one request, with shared-scan batching server-side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRequest {
+    pub items: Vec<BatchItemRequest>,
+}
+
+impl BatchRequest {
+    #[must_use]
+    pub fn encode(&self) -> String {
+        Json::Obj(vec![(
+            "items".to_owned(),
+            Json::Arr(self.items.iter().map(BatchItemRequest::to_json).collect()),
+        )])
+        .encode()
+    }
+
+    /// # Errors
+    /// A message naming the malformed item or field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        check_keys(v, &["items"])?;
+        let items = req_arr(v, "items")?
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                BatchItemRequest::from_json(item).map_err(|e| format!("item {}: {e}", i + 1))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Self { items })
+    }
+
+    /// # Errors
+    /// A message describing the parse or shape failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text).map_err(|e| e.to_string())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_round_trips() {
+        let r = CompareRequest {
+            attr: "PhoneModel".into(),
+            v1: "ph1".into(),
+            v2: "ph2".into(),
+            class: "dropped".into(),
+        };
+        assert_eq!(
+            r.encode(),
+            "{\"attr\":\"PhoneModel\",\"v1\":\"ph1\",\"v2\":\"ph2\",\"class\":\"dropped\"}"
+        );
+        assert_eq!(CompareRequest::parse(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        assert!(CompareRequest::parse(
+            "{\"attr\":\"a\",\"v1\":\"1\",\"v2\":\"2\",\"class\":\"c\",\"oops\":1}"
+        )
+        .unwrap_err()
+        .contains("oops"));
+    }
+
+    #[test]
+    fn drill_round_trips_with_and_without_extras() {
+        let bare = DrillRequest {
+            attr: "A".into(),
+            v1: "x".into(),
+            v2: "y".into(),
+            class: "c".into(),
+            depth: None,
+            min_score: None,
+            path: Vec::new(),
+        };
+        assert_eq!(DrillRequest::parse(&bare.encode()).unwrap(), bare);
+        let full = DrillRequest {
+            depth: Some(3),
+            min_score: Some(0.05),
+            path: vec![PathStep {
+                attr: "B".into(),
+                value: "v".into(),
+            }],
+            ..bare
+        };
+        assert_eq!(DrillRequest::parse(&full.encode()).unwrap(), full);
+    }
+
+    #[test]
+    fn gi_accepts_empty_body() {
+        assert_eq!(GiRequest::parse("").unwrap(), GiRequest { top: None });
+        assert_eq!(GiRequest::parse("{}").unwrap(), GiRequest { top: None });
+        let r = GiRequest { top: Some(5) };
+        assert_eq!(GiRequest::parse(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn slice_round_trips() {
+        for by in [None, Some("Other".to_owned())] {
+            let r = SliceRequest {
+                attr: "A".into(),
+                by,
+            };
+            assert_eq!(SliceRequest::parse(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn ingest_rows_round_trip() {
+        let r = IngestRequest {
+            rows: vec![
+                vec!["red".into(), "lo, hi".into(), "yes".into()],
+                vec!["blue".into(), "1.5".into(), "no".into()],
+            ],
+        };
+        assert_eq!(IngestRequest::parse(&r.encode()).unwrap(), r);
+        assert!(IngestRequest::parse("{\"rows\":[[1]]}").is_err());
+        assert!(IngestRequest::parse("{\"rows\":[\"flat\"]}")
+            .unwrap_err()
+            .contains("row 1"));
+    }
+
+    #[test]
+    fn batch_round_trips_both_kinds() {
+        let r = BatchRequest {
+            items: vec![
+                BatchItemRequest::Compare {
+                    req: CompareRequest {
+                        attr: "A".into(),
+                        v1: "x".into(),
+                        v2: "y".into(),
+                        class: "c".into(),
+                    },
+                    budget_ms: Some(250),
+                },
+                BatchItemRequest::Drill {
+                    req: DrillRequest {
+                        attr: "A".into(),
+                        v1: "x".into(),
+                        v2: "y".into(),
+                        class: "c".into(),
+                        depth: Some(2),
+                        min_score: None,
+                        path: vec![PathStep {
+                            attr: "B".into(),
+                            value: "v".into(),
+                        }],
+                    },
+                    budget_ms: None,
+                },
+            ],
+        };
+        assert_eq!(BatchRequest::parse(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn batch_names_the_offending_item() {
+        let bad = "{\"items\":[{\"kind\":\"compare\",\"attr\":\"a\",\"v1\":\"1\",\
+                   \"v2\":\"2\",\"class\":\"c\"},{\"kind\":\"teleport\"}]}";
+        assert!(BatchRequest::parse(bad).unwrap_err().contains("item 2"));
+    }
+}

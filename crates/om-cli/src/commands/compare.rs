@@ -60,7 +60,7 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
     };
     om = om.with_compare_config(compare);
 
-    let result = om.compare_by_name_budgeted(&attr, &v1, &v2, &target, &budget)?;
+    let result = om.run_compare_by_name(&attr, &v1, &v2, &target, om.exec_ctx(Some(&budget)))?;
     if format == "json" {
         writeln!(out, "{}", om_compare::json::to_json(&result)).ok();
         return Ok(());

@@ -28,7 +28,7 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
     let om = super::build_engine(parsed, ds)?;
     parsed.reject_unknown()?;
 
-    let gi = om.general_impressions_budgeted(&budget)?;
+    let gi = om.run_general_impressions(om.exec_ctx(Some(&budget)))?;
 
     writeln!(out, "== strong unit trends ==").ok();
     let mut strong: Vec<_> = gi

@@ -4,16 +4,18 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+use om_api::{ErrorEnvelope, IngestRequest, IngestResponse};
+
 use crate::args::Parsed;
 use crate::{CliError, CliResult};
 
 const HELP: &str = "\
 opmap ingest — append CSV rows to a running server's live store
 
-Reads data rows from <file> and POSTs them in batches to the /ingest
-endpoint of an `opmap serve --ingest-wal <dir>` server. Rows must use
-the serving dataset's discretized value labels, in schema order, with
-the class column last; labels containing commas must be quoted.
+Reads data rows from <file> and POSTs them in typed batches to the
+/v1/ingest endpoint of an `opmap serve --ingest-wal <dir>` server. Rows
+must use the serving dataset's discretized value labels, in schema order,
+with the class column last; labels containing commas must be quoted.
 
 USAGE:
   opmap ingest <file> [OPTIONS]
@@ -58,47 +60,86 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
     if lines.is_empty() {
         return Err(CliError::Failed(format!("{path:?} contains no data rows")));
     }
+    // Field splitting happens client-side so the server sees structured
+    // rows and can point at the offending row index on rejection.
+    let rows: Vec<Vec<String>> = lines
+        .iter()
+        .map(|line| om_data::csv::split_record(line, ','))
+        .collect();
 
     let mut accepted = 0u64;
     let mut batches = 0usize;
-    let mut last_reply = String::new();
-    for chunk in lines.chunks(batch) {
-        let mut body = chunk.join("\n");
-        body.push('\n');
+    let mut last: Option<IngestResponse> = None;
+    for (chunk_no, chunk) in rows.chunks(batch).enumerate() {
+        let body = IngestRequest { rows: chunk.to_vec() }.encode();
         let (status, reply) = post_ingest(&addr, &body)?;
         if status != 200 {
-            return Err(CliError::Failed(format!(
-                "server rejected batch {} ({} row(s) in, {accepted} accepted so far) \
-                 with status {status}: {}",
-                batches + 1,
+            return Err(CliError::Failed(reject_message(
+                status,
+                &reply,
+                chunk_no,
                 chunk.len(),
-                reply.trim()
+                accepted,
+                batch,
             )));
         }
-        accepted += json_u64(&reply, "accepted").unwrap_or(0);
+        let parsed_reply = IngestResponse::parse(&reply).map_err(|e| {
+            CliError::Failed(format!("malformed ingest reply from {addr}: {e}"))
+        })?;
+        accepted += parsed_reply.accepted;
+        last = Some(parsed_reply);
         batches += 1;
-        last_reply = reply;
     }
 
     writeln!(
         out,
-        "appended {accepted} row(s) in {batches} batch(es) to http://{addr}/ingest"
+        "appended {accepted} row(s) in {batches} batch(es) to http://{addr}/v1/ingest"
     )
     .ok();
-    if let (Some(total), Some(generation)) = (
-        json_u64(&last_reply, "rows_total"),
-        json_u64(&last_reply, "generation"),
-    ) {
+    if let Some(reply) = last {
         writeln!(
             out,
-            "server has ingested {total} row(s) this run; store generation {generation}"
+            "server has ingested {} row(s) this run; store generation {}",
+            reply.rows_total, reply.generation
         )
         .ok();
     }
     Ok(())
 }
 
-/// POST `body` to `/ingest` and return (status, reply body).
+/// Render a rejected batch as an actionable message, naming the file row
+/// when the server's error envelope carries one.
+fn reject_message(
+    status: u16,
+    reply: &str,
+    chunk_no: usize,
+    chunk_len: usize,
+    accepted: u64,
+    batch: usize,
+) -> String {
+    let prefix = format!(
+        "server rejected batch {} ({chunk_len} row(s) in, {accepted} accepted so far) \
+         with status {status}",
+        chunk_no + 1
+    );
+    match ErrorEnvelope::parse(reply) {
+        Ok(env) => {
+            let mut msg = format!("{prefix}: {} ({})", env.message, env.code.as_str());
+            if let Some(row) = env.row {
+                // Row index within the batch -> row within the file.
+                let file_row = chunk_no * batch + usize::try_from(row).unwrap_or(0);
+                msg.push_str(&format!("; this is data row {file_row} of the file"));
+            }
+            if let Some(ms) = env.retry_after_ms {
+                msg.push_str(&format!("; retry in {ms}ms"));
+            }
+            msg
+        }
+        Err(_) => format!("{prefix}: {}", reply.trim()),
+    }
+}
+
+/// POST `body` to `/v1/ingest` and return (status, reply body).
 fn post_ingest(addr: &str, body: &str) -> Result<(u16, String), CliError> {
     let connect_err = |e: std::io::Error| {
         CliError::Failed(format!("cannot reach server at {addr}: {e}"))
@@ -107,7 +148,8 @@ fn post_ingest(addr: &str, body: &str) -> Result<(u16, String), CliError> {
     stream.set_read_timeout(Some(IO_TIMEOUT)).ok();
     stream.set_write_timeout(Some(IO_TIMEOUT)).ok();
     let request = format!(
-        "POST /ingest HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+        "POST /v1/ingest HTTP/1.1\r\nHost: {addr}\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\
          Connection: close\r\n\r\n{body}",
         body.len()
     );
@@ -126,14 +168,6 @@ fn post_ingest(addr: &str, body: &str) -> Result<(u16, String), CliError> {
         .map_or("", |(_, b)| b)
         .to_owned();
     Ok((status, reply))
-}
-
-/// Pull `"key":<digits>` out of a flat JSON object without a parser.
-fn json_u64(json: &str, key: &str) -> Option<u64> {
-    let needle = format!("\"{key}\":");
-    let rest = &json[json.find(&needle)? + needle.len()..];
-    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
-    digits.parse().ok()
 }
 
 #[cfg(test)]
@@ -175,12 +209,20 @@ mod tests {
     }
 
     #[test]
-    fn json_scraping() {
-        let body = "{\"accepted\":12,\"rows_total\":340,\"generation\":7}";
-        assert_eq!(json_u64(body, "accepted"), Some(12));
-        assert_eq!(json_u64(body, "rows_total"), Some(340));
-        assert_eq!(json_u64(body, "generation"), Some(7));
-        assert_eq!(json_u64(body, "missing"), None);
+    fn reject_message_names_file_row_from_envelope() {
+        let reply = r#"{"error":{"code":"bad_row","message":"bad row 2: expected 13 fields, got 3","row":2}}"#;
+        let msg = reject_message(400, reply, 3, 10, 30, 10);
+        assert!(msg.contains("status 400"), "{msg}");
+        assert!(msg.contains("bad_row"), "{msg}");
+        assert!(msg.contains("data row 32 of the file"), "{msg}");
+
+        let overload = r#"{"error":{"code":"overloaded","message":"deadline exceeded","retry_after_ms":2000}}"#;
+        let msg = reject_message(503, overload, 0, 5, 0, 5);
+        assert!(msg.contains("retry in 2000ms"), "{msg}");
+
+        // Legacy/plain replies still surface verbatim.
+        let msg = reject_message(500, "boom\n", 0, 1, 0, 1);
+        assert!(msg.ends_with(": boom"), "{msg}");
     }
 
     #[test]

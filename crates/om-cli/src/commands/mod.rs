@@ -42,10 +42,13 @@ pub(crate) fn load_dataset(parsed: &mut Parsed) -> Result<Dataset, CliError> {
 /// Shared engine construction with the `--bins <k>` discretization knob.
 pub(crate) fn build_engine(parsed: &mut Parsed, ds: Dataset) -> Result<OpportunityMap, CliError> {
     let bins = parsed.parse_or("bins", 0usize)?;
+    // `--exec-workers 1` is the serial path; 0 means one shard per core.
+    let exec_workers = parsed.parse_or("exec-workers", 1usize)?;
     let mut config = EngineConfig::default();
     if bins > 0 {
         config.discretization = om_discretize::Method::EqualFrequency(bins);
     }
+    config.exec = om_engine::ExecConfig { workers: exec_workers };
     Ok(OpportunityMap::build(ds, config)?)
 }
 

@@ -13,7 +13,9 @@ const HELP: &str = "\
 opmap serve — run the HTTP query daemon
 
 Builds the engine once (discretization + full cube store), then serves
-read-only queries: /compare, /drill, /gi, /cube/slice, /healthz, /metrics.
+read-only queries: /compare, /drill, /gi, /cube/slice, /healthz, /metrics,
+plus the typed POST /v1/* API (see docs/api.md) including the batched
+/v1/compare/batch endpoint.
 
 OPTIONS:
   --data <csv>         Dataset to serve (with --class); omitted → synthetic
@@ -22,7 +24,9 @@ OPTIONS:
   --seed <n>           Synthetic dataset seed [7]
   --bins <k>           Equal-frequency bins instead of MDL discretization
   --addr <host:port>   Bind address (port 0 → ephemeral) [127.0.0.1:7878]
-  --workers <n>        Worker threads [4]
+  --workers <n>        HTTP worker threads [4]
+  --exec-workers <n>   Engine comparison shards per request; 1 = serial,
+                       0 = one per core [1]
   --cache <n>          Response-cache capacity, 0 disables [256]
   --timeout-ms <ms>    Per-request read timeout [5000]
   --queue <n>          Admission queue depth; overflow is shed with 503 [64]

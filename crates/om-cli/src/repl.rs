@@ -218,7 +218,7 @@ pub fn run_repl<R: BufRead, W: Write + ?Sized>(om: &OpportunityMap, input: R, ou
                 }
             }
             ["compare", attr, v1, v2, class] => {
-                match om.compare_by_name(attr, v1, v2, class) {
+                match om.run_compare_by_name(attr, v1, v2, class, om.exec_ctx(None)) {
                     Ok(result) => {
                         let _ = writeln!(out, "{}", om_compare::report::render(&result, 5));
                     }

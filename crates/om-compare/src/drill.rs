@@ -14,6 +14,8 @@
 //! dataset — it is the one comparator feature whose cost scales with data
 //! size, which is why the paper keeps it on-demand.
 
+use std::sync::Arc;
+
 use om_car::Condition;
 use om_cube::{CubeStore, StoreBuildOptions};
 use om_data::Dataset;
@@ -88,6 +90,63 @@ pub fn drill_down_budgeted(
     config: &DrillConfig,
     budget: &Budget,
 ) -> Result<Vec<DrillLevel>, CompareError> {
+    let compare = config.compare.clone();
+    drill_down_with(ds, spec, config, budget, move |store, spec, budget| {
+        Comparator::with_config(&store, compare.clone()).compare_budgeted(spec, budget)
+    })
+}
+
+/// The candidate attributes a drill level ranks over: categorical,
+/// non-class, keeping the selected attribute, excluding anything already
+/// conditioned on. Returns fewer than 2 attributes when nothing but the
+/// selection is left — the walk's natural stopping point.
+pub fn candidate_attrs(ds: &Dataset, spec_attr: usize, excluded: &[usize]) -> Vec<usize> {
+    ds.schema()
+        .non_class_indices()
+        .into_iter()
+        .filter(|a| {
+            ds.schema().attribute(*a).is_categorical()
+                && (*a == spec_attr || !excluded.contains(a))
+        })
+        .collect()
+}
+
+/// Build the restricted cube store one drill level compares over — the
+/// recount from records that makes drilling the one comparator feature
+/// whose cost scales with data size.
+///
+/// # Errors
+/// [`CompareError::Cube`] if the build fails.
+pub fn level_store(current: &Dataset, attrs: Vec<usize>) -> Result<CubeStore, CompareError> {
+    CubeStore::build(
+        current,
+        &StoreBuildOptions {
+            attrs: Some(attrs),
+            n_threads: 0,
+        },
+    )
+    .map_err(CompareError::Cube)
+}
+
+/// [`drill_down_budgeted`] with the per-level comparison delegated to
+/// `run_compare` — the seam an execution layer (om-exec) uses to swap the
+/// serial comparator for a sharded one without duplicating the walk. The
+/// store is handed over in an [`Arc`] because a parallel runner fans it
+/// out to pool workers.
+///
+/// # Errors
+/// Same contract as [`drill_down_budgeted`]: root failures and faults
+/// propagate, deeper data-thinness failures end the walk cleanly.
+pub fn drill_down_with<F>(
+    ds: &Dataset,
+    spec: &ComparisonSpec,
+    config: &DrillConfig,
+    budget: &Budget,
+    mut run_compare: F,
+) -> Result<Vec<DrillLevel>, CompareError>
+where
+    F: FnMut(Arc<CubeStore>, &ComparisonSpec, &Budget) -> Result<ComparisonResult, CompareError>,
+{
     let mut levels = Vec::new();
     let mut current = ds.clone();
     let mut conditions: Vec<Condition> = Vec::new();
@@ -96,28 +155,12 @@ pub fn drill_down_budgeted(
     for depth in 0..=config.max_depth {
         budget.check()?;
         fail::inject("compare.drill-level")?;
-        let attrs: Vec<usize> = current
-            .schema()
-            .non_class_indices()
-            .into_iter()
-            .filter(|a| {
-                current.schema().attribute(*a).is_categorical()
-                    && (*a == spec.attr || !excluded.contains(a))
-            })
-            .collect();
+        let attrs = candidate_attrs(&current, spec.attr, &excluded);
         if attrs.len() < 2 {
             break; // only the selected attribute left — nothing to rank
         }
-        let store = CubeStore::build(
-            &current,
-            &StoreBuildOptions {
-                attrs: Some(attrs),
-                n_threads: 0,
-            },
-        )
-        .map_err(CompareError::Cube)?;
-        let comparator = Comparator::with_config(&store, config.compare.clone());
-        let result = match comparator.compare_budgeted(spec, budget) {
+        let store = Arc::new(level_store(&current, attrs)?);
+        let result = match run_compare(store, spec, budget) {
             Ok(r) => r,
             Err(e) if depth == 0 => return Err(e),
             Err(e @ CompareError::Fault(_)) => return Err(e),

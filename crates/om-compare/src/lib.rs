@@ -35,9 +35,16 @@ pub mod property;
 pub mod rank;
 pub mod report;
 
-pub use drill::{drill_down, drill_down_budgeted, DrillConfig, DrillLevel};
+pub use drill::{
+    candidate_attrs, drill_down, drill_down_budgeted, drill_down_with, level_store, DrillConfig,
+    DrillLevel,
+};
 pub use groups::{compare_groups, GroupSpec};
 pub use interval::IntervalMethod;
 pub use measure::{score_attribute, AttrScore, SubPopCounts, ValueContribution};
 pub use property::PropertyInfo;
-pub use rank::{CompareConfig, CompareError, Comparator, ComparisonResult, ComparisonSpec};
+pub use rank::{
+    assemble, attr_name, counts_for_class, normalize, score_candidate, subpop_counts,
+    subpop_slices, BaseStats, CompareConfig, CompareError, Comparator, ComparisonResult,
+    ComparisonSpec, NormalizedSpec,
+};

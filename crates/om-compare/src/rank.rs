@@ -22,7 +22,7 @@ use crate::measure::{score_attribute, AttrScore, SubPopCounts};
 
 /// The user's selection: one attribute, two of its values, and the class
 /// of interest (Section III-C's input rules).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ComparisonSpec {
     /// Schema index of the selected attribute (e.g. `PhoneModel`).
     pub attr: usize,
@@ -224,175 +224,243 @@ impl<'a> Comparator<'a> {
         budget: &Budget,
     ) -> Result<ComparisonResult, CompareError> {
         budget.check()?;
-        let (spec, swapped, base) = self.normalize(spec)?;
-        let mut ranked: Vec<AttrScore> = Vec::new();
-        let mut property_attrs: Vec<AttrScore> = Vec::new();
-
+        let norm = normalize(self.store, &self.config, spec)?;
+        let mut scores = Vec::with_capacity(self.store.attrs().len().saturating_sub(1));
         for &other in self.store.attrs() {
-            if other == spec.attr {
+            if other == norm.spec.attr {
                 continue;
             }
             budget.check()?;
-            fail::inject("compare.attr")?;
-            let (labels, d1, d2) =
-                subpop_counts(self.store, spec.attr, other, spec.value_1, spec.value_2, spec.class)?;
-            let name = attr_name(self.store, other)?;
-            let score = score_attribute(
-                other,
-                &name,
-                &labels,
-                &d1,
-                &d2,
-                base.cf1,
-                base.cf2,
-                self.config.interval,
-            );
-            if score.property.is_property(self.config.property_tau) {
-                property_attrs.push(score);
-            } else {
-                ranked.push(score);
-            }
+            scores.push(score_candidate(self.store, &self.config, &norm, other)?);
         }
-
-        ranked.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.attr.cmp(&b.attr))
-        });
-        property_attrs.sort_by(|a, b| {
-            b.property
-                .ratio()
-                .partial_cmp(&a.property.ratio())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(
-                    b.score
-                        .partial_cmp(&a.score)
-                        .unwrap_or(std::cmp::Ordering::Equal),
-                )
-        });
-
-        Ok(ComparisonResult {
-            attr: spec.attr,
-            attr_name: base.attr_name,
-            value_1: spec.value_1,
-            value_1_label: base.v1_label,
-            value_2: spec.value_2,
-            value_2_label: base.v2_label,
-            swapped,
-            class: spec.class,
-            class_label: base.class_label,
-            cf1: base.cf1,
-            cf2: base.cf2,
-            n1: base.n1,
-            n2: base.n2,
-            ranked,
-            property_attrs,
-        })
-    }
-
-    /// Validate the spec, orient it so `cf1 <= cf2`, and gather the base
-    /// rule statistics.
-    fn normalize(
-        &self,
-        spec: &ComparisonSpec,
-    ) -> Result<(ComparisonSpec, bool, BaseStats), CompareError> {
-        if spec.value_1 == spec.value_2 {
-            return Err(CompareError::InvalidSpec(
-                "the two compared values must differ".into(),
-            ));
-        }
-        let one = self.store.one_dim(spec.attr)?;
-        let dim = &one.dims()[0];
-        let card = dim.cardinality() as ValueId;
-        for v in [spec.value_1, spec.value_2] {
-            if v >= card {
-                return Err(CompareError::InvalidSpec(format!(
-                    "value id {v} out of range for attribute {:?} (cardinality {card})",
-                    dim.name
-                )));
-            }
-        }
-        if spec.class as usize >= one.n_classes() {
-            return Err(CompareError::InvalidSpec(format!(
-                "class id {} out of range ({} classes)",
-                spec.class,
-                one.n_classes()
-            )));
-        }
-
-        let stats = |v: ValueId| -> Result<(u64, u64), CompareError> {
-            let n = one.cell_total(&[v])?;
-            let x = one.count(&[v], spec.class)?;
-            Ok((n, x))
-        };
-        let (mut n1, mut x1) = stats(spec.value_1)?;
-        let (mut n2, mut x2) = stats(spec.value_2)?;
-        let (mut v1, mut v2) = (spec.value_1, spec.value_2);
-        let conf = |x: u64, n: u64| if n == 0 { 0.0 } else { x as f64 / n as f64 };
-        let mut swapped = false;
-        if conf(x1, n1) > conf(x2, n2) {
-            std::mem::swap(&mut n1, &mut n2);
-            std::mem::swap(&mut x1, &mut x2);
-            std::mem::swap(&mut v1, &mut v2);
-            swapped = true;
-        }
-        for (v, n) in [(v1, n1), (v2, n2)] {
-            if n < self.config.min_sub_population {
-                return Err(CompareError::InsufficientSupport {
-                    value_label: dim.labels[v as usize].clone(),
-                    count: n,
-                    required: self.config.min_sub_population,
-                });
-            }
-        }
-        let cf1 = conf(x1, n1);
-        let cf2 = conf(x2, n2);
-        if cf1 <= 0.0 {
-            return Err(CompareError::ZeroBaselineConfidence);
-        }
-        Ok((
-            ComparisonSpec {
-                attr: spec.attr,
-                value_1: v1,
-                value_2: v2,
-                class: spec.class,
-            },
-            swapped,
-            BaseStats {
-                attr_name: dim.name.clone(),
-                v1_label: dim.labels[v1 as usize].clone(),
-                v2_label: dim.labels[v2 as usize].clone(),
-                class_label: one.class_labels()[spec.class as usize].clone(),
-                cf1,
-                cf2,
-                n1,
-                n2,
-            },
-        ))
+        Ok(assemble(norm, scores, &self.config))
     }
 }
 
-struct BaseStats {
-    attr_name: String,
-    v1_label: String,
-    v2_label: String,
-    class_label: String,
-    cf1: f64,
-    cf2: f64,
-    n1: u64,
-    n2: u64,
+/// Base rule statistics of the two compared sub-populations, gathered
+/// once per comparison from the selected attribute's 2-D cube.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseStats {
+    pub attr_name: String,
+    pub v1_label: String,
+    pub v2_label: String,
+    pub class_label: String,
+    pub cf1: f64,
+    pub cf2: f64,
+    pub n1: u64,
+    pub n2: u64,
+}
+
+/// A validated comparison oriented so `cf1 <= cf2`: the shared input of
+/// every per-attribute scoring step.
+///
+/// [`normalize`] → N × [`score_candidate`] → [`assemble`] is the exact
+/// pipeline [`Comparator::compare_budgeted`] runs serially; execution
+/// layers (om-exec) shard the middle stage across workers and reuse the
+/// outer two unchanged, so parallel output is byte-identical to serial
+/// by construction rather than by re-implementation.
+#[derive(Debug, Clone)]
+pub struct NormalizedSpec {
+    /// The oriented spec: `value_1` is the lower-confidence value.
+    pub spec: ComparisonSpec,
+    /// Whether the input values were swapped to enforce `cf1 <= cf2`.
+    pub swapped: bool,
+    /// Base statistics backing every `F_k` computation.
+    pub base: BaseStats,
+}
+
+/// Validate `spec` against `store`, orient it so `cf1 <= cf2`, and gather
+/// the base rule statistics.
+///
+/// # Errors
+/// [`CompareError::InvalidSpec`], [`CompareError::InsufficientSupport`]
+/// or [`CompareError::ZeroBaselineConfidence`] on a spec the measure is
+/// undefined for; [`CompareError::Cube`] if the store lacks the cubes.
+pub fn normalize(
+    store: &CubeStore,
+    config: &CompareConfig,
+    spec: &ComparisonSpec,
+) -> Result<NormalizedSpec, CompareError> {
+    if spec.value_1 == spec.value_2 {
+        return Err(CompareError::InvalidSpec(
+            "the two compared values must differ".into(),
+        ));
+    }
+    let one = store.one_dim(spec.attr)?;
+    let dim = &one.dims()[0];
+    let card = dim.cardinality() as ValueId;
+    for v in [spec.value_1, spec.value_2] {
+        if v >= card {
+            return Err(CompareError::InvalidSpec(format!(
+                "value id {v} out of range for attribute {:?} (cardinality {card})",
+                dim.name
+            )));
+        }
+    }
+    if spec.class as usize >= one.n_classes() {
+        return Err(CompareError::InvalidSpec(format!(
+            "class id {} out of range ({} classes)",
+            spec.class,
+            one.n_classes()
+        )));
+    }
+
+    let stats = |v: ValueId| -> Result<(u64, u64), CompareError> {
+        let n = one.cell_total(&[v])?;
+        let x = one.count(&[v], spec.class)?;
+        Ok((n, x))
+    };
+    let (mut n1, mut x1) = stats(spec.value_1)?;
+    let (mut n2, mut x2) = stats(spec.value_2)?;
+    let (mut v1, mut v2) = (spec.value_1, spec.value_2);
+    let conf = |x: u64, n: u64| if n == 0 { 0.0 } else { x as f64 / n as f64 };
+    let mut swapped = false;
+    if conf(x1, n1) > conf(x2, n2) {
+        std::mem::swap(&mut n1, &mut n2);
+        std::mem::swap(&mut x1, &mut x2);
+        std::mem::swap(&mut v1, &mut v2);
+        swapped = true;
+    }
+    for (v, n) in [(v1, n1), (v2, n2)] {
+        if n < config.min_sub_population {
+            return Err(CompareError::InsufficientSupport {
+                value_label: dim.labels[v as usize].clone(),
+                count: n,
+                required: config.min_sub_population,
+            });
+        }
+    }
+    let cf1 = conf(x1, n1);
+    let cf2 = conf(x2, n2);
+    if cf1 <= 0.0 {
+        return Err(CompareError::ZeroBaselineConfidence);
+    }
+    Ok(NormalizedSpec {
+        spec: ComparisonSpec {
+            attr: spec.attr,
+            value_1: v1,
+            value_2: v2,
+            class: spec.class,
+        },
+        swapped,
+        base: BaseStats {
+            attr_name: dim.name.clone(),
+            v1_label: dim.labels[v1 as usize].clone(),
+            v2_label: dim.labels[v2 as usize].clone(),
+            class_label: one.class_labels()[spec.class as usize].clone(),
+            cf1,
+            cf2,
+            n1,
+            n2,
+        },
+    })
+}
+
+/// Score one candidate attribute against a normalized spec — the
+/// per-attribute unit of work of Fig. 3's loop, and the unit Fig. 9
+/// scales in. Reads only rule cubes and writes nothing, so shards can
+/// run it concurrently against one pinned store.
+///
+/// # Errors
+/// [`CompareError::Cube`] if the store lacks the pair cube;
+/// [`CompareError::Fault`] from an armed `compare.attr` failpoint.
+pub fn score_candidate(
+    store: &CubeStore,
+    config: &CompareConfig,
+    norm: &NormalizedSpec,
+    other: usize,
+) -> Result<AttrScore, CompareError> {
+    fail::inject("compare.attr")?;
+    let spec = &norm.spec;
+    let (labels, d1, d2) =
+        subpop_counts(store, spec.attr, other, spec.value_1, spec.value_2, spec.class)?;
+    let name = attr_name(store, other)?;
+    Ok(score_attribute(
+        other,
+        &name,
+        &labels,
+        &d1,
+        &d2,
+        norm.base.cf1,
+        norm.base.cf2,
+        config.interval,
+    ))
+}
+
+/// Partition scored attributes into the ranked and property lists and
+/// apply the canonical sort orders.
+///
+/// `scores` must arrive in store-attribute order (the order
+/// `store.attrs()` yields): both sorts are stable, so ties keep their
+/// input order and serial vs sharded execution produce byte-identical
+/// results if and only if the pre-sort order matches.
+pub fn assemble(
+    norm: NormalizedSpec,
+    scores: Vec<AttrScore>,
+    config: &CompareConfig,
+) -> ComparisonResult {
+    let mut ranked: Vec<AttrScore> = Vec::new();
+    let mut property_attrs: Vec<AttrScore> = Vec::new();
+    for score in scores {
+        if score.property.is_property(config.property_tau) {
+            property_attrs.push(score);
+        } else {
+            ranked.push(score);
+        }
+    }
+
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.attr.cmp(&b.attr))
+    });
+    property_attrs.sort_by(|a, b| {
+        b.property
+            .ratio()
+            .partial_cmp(&a.property.ratio())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    });
+
+    ComparisonResult {
+        attr: norm.spec.attr,
+        attr_name: norm.base.attr_name,
+        value_1: norm.spec.value_1,
+        value_1_label: norm.base.v1_label,
+        value_2: norm.spec.value_2,
+        value_2_label: norm.base.v2_label,
+        swapped: norm.swapped,
+        class: norm.spec.class,
+        class_label: norm.base.class_label,
+        cf1: norm.base.cf1,
+        cf2: norm.base.cf2,
+        n1: norm.base.n1,
+        n2: norm.base.n2,
+        ranked,
+        property_attrs,
+    }
 }
 
 /// Name of attribute `attr` as recorded in its 2-D cube.
-pub(crate) fn attr_name(store: &CubeStore, attr: usize) -> Result<String, CubeError> {
+///
+/// # Errors
+/// [`CubeError`] if the store has no cube for `attr`.
+pub fn attr_name(store: &CubeStore, attr: usize) -> Result<String, CubeError> {
     Ok(store.one_dim(attr)?.dims()[0].name.clone())
 }
 
 /// Extract the per-value counts of both sub-populations for `other` from
 /// the 3-D cube `(sel, other, class)` — two slice operations, exactly the
 /// manual workflow of Section III-C, automated.
-pub(crate) fn subpop_counts(
+///
+/// # Errors
+/// [`CompareError::Cube`] if the pair cube is missing or malformed.
+pub fn subpop_counts(
     store: &CubeStore,
     sel: usize,
     other: usize,
@@ -400,6 +468,28 @@ pub(crate) fn subpop_counts(
     v2: ValueId,
     class: ValueId,
 ) -> Result<(Vec<String>, SubPopCounts, SubPopCounts), CompareError> {
+    let (labels, d1, d2) = subpop_slices(store, sel, other, v1, v2)?;
+    Ok((
+        labels,
+        counts_for_class(&d1, class)?,
+        counts_for_class(&d2, class)?,
+    ))
+}
+
+/// The two sub-population slices of the pair cube `(sel, other)`, before
+/// any class is chosen. Batch plans whose items share a base population
+/// fetch these once per candidate attribute and extract per-class counts
+/// with [`counts_for_class`] — one cube pass serving many comparisons.
+///
+/// # Errors
+/// [`CompareError::Cube`] if the pair cube is missing or malformed.
+pub fn subpop_slices(
+    store: &CubeStore,
+    sel: usize,
+    other: usize,
+    v1: ValueId,
+    v2: ValueId,
+) -> Result<(Vec<String>, RuleCube, RuleCube), CompareError> {
     let pair = store.pair(sel, other)?;
     // A store assembled from a corrupt or hand-built artifact can hold a
     // pair cube that doesn't mention `sel`; this path is reachable from
@@ -416,14 +506,14 @@ pub(crate) fn subpop_counts(
     let labels = pair.dims()[1 - sel_dim].labels.clone();
     let d1 = slice(&pair, sel_dim, v1)?;
     let d2 = slice(&pair, sel_dim, v2)?;
-    Ok((
-        labels,
-        counts_from_slice(&d1, class)?,
-        counts_from_slice(&d2, class)?,
-    ))
+    Ok((labels, d1, d2))
 }
 
-fn counts_from_slice(cube: &RuleCube, class: ValueId) -> Result<SubPopCounts, CompareError> {
+/// Per-value `(N_k, x_k)` counts of one sub-population slice for `class`.
+///
+/// # Errors
+/// [`CompareError::Cube`] on an out-of-range class.
+pub fn counts_for_class(cube: &RuleCube, class: ValueId) -> Result<SubPopCounts, CompareError> {
     let card = cube.dims()[0].cardinality();
     let mut n = Vec::with_capacity(card);
     let mut x = Vec::with_capacity(card);

@@ -4,13 +4,14 @@ use std::fmt;
 use std::sync::Arc;
 
 use om_compare::{
-    compare_groups, drill_down_budgeted, CompareConfig, CompareError, Comparator,
+    compare_groups, drill_down_budgeted, drill_down_with, CompareConfig, CompareError, Comparator,
     ComparisonResult, ComparisonSpec, DrillConfig, DrillLevel, GroupSpec,
 };
 use om_car::{mine, mine_restricted, CarRule, Condition, MinerConfig};
 use om_cube::{CubeError, CubeStore, CubeView, SharedStore, StoreBuildOptions, StoreSnapshot};
 use om_data::{DataError, Dataset};
 use om_discretize::{discretize_all, CutPoints, Method};
+use om_exec::{rank_parallel, BatchItem, BatchOutcome, ExecConfig, Executor};
 use om_fault::{fail, Budget, FaultError};
 use om_ingest::{IngestConfig, IngestError, IngestHandle};
 use om_gi::{
@@ -39,6 +40,10 @@ pub struct EngineConfig {
     /// `other` bucket before building cubes (high-cardinality hygiene;
     /// see `om_data::collapse`).
     pub collapse_min_count: Option<u64>,
+    /// Comparator execution policy. Serial by default; a wider policy
+    /// sizes the engine's persistent worker pool and routes ranking
+    /// through om-exec's sharded path (byte-identical output).
+    pub exec: ExecConfig,
 }
 
 impl Default for EngineConfig {
@@ -50,7 +55,54 @@ impl Default for EngineConfig {
             trend: TrendConfig::default(),
             exception: ExceptionConfig::default(),
             collapse_min_count: None,
+            exec: ExecConfig::serial(),
         }
+    }
+}
+
+/// Per-call execution context: the one argument every query method
+/// takes beyond its inputs. Collapses the old `foo`/`foo_budgeted`
+/// method pairs and carries the parallelism policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecCtx<'a> {
+    /// Cooperative deadline/cancellation; `None` runs unlimited.
+    pub budget: Option<&'a Budget>,
+    /// Parallelism policy for this call. Serial runs inline on the
+    /// calling thread; anything wider routes through the engine's
+    /// worker pool (whose width was fixed by [`EngineConfig::exec`] at
+    /// build time). Output is byte-identical either way.
+    pub exec: ExecConfig,
+}
+
+impl Default for ExecCtx<'_> {
+    fn default() -> Self {
+        Self {
+            budget: None,
+            exec: ExecConfig::serial(),
+        }
+    }
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Serial, unlimited — the old `foo()` behavior.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::default()
+    }
+
+    /// Serial under `budget` — the old `foo_budgeted()` behavior.
+    #[must_use]
+    pub fn budgeted(budget: &'a Budget) -> Self {
+        Self {
+            budget: Some(budget),
+            exec: ExecConfig::serial(),
+        }
+    }
+
+    /// Replace the parallelism policy.
+    #[must_use]
+    pub fn with_exec(self, exec: ExecConfig) -> Self {
+        Self { exec, ..self }
     }
 }
 
@@ -149,6 +201,9 @@ pub struct OpportunityMap {
     shared: SharedStore,
     config: EngineConfig,
     cuts: Vec<(usize, CutPoints)>,
+    /// Persistent worker pool for parallel execution, sized by
+    /// [`EngineConfig::exec`]. Width 1 spawns no threads at all.
+    executor: Executor,
 }
 
 impl OpportunityMap {
@@ -163,12 +218,24 @@ impl OpportunityMap {
         }
         let cuts = discretize_all(&mut dataset, &config.discretization)?;
         let store = CubeStore::build(&dataset, &config.store)?;
+        let executor = Executor::new(&config.exec);
         Ok(Self {
             dataset,
             shared: SharedStore::new(store),
             config,
             cuts,
+            executor,
         })
+    }
+
+    /// The context a caller should run queries under: the engine's
+    /// configured parallelism policy, plus an optional budget.
+    #[must_use]
+    pub fn exec_ctx<'a>(&self, budget: Option<&'a Budget>) -> ExecCtx<'a> {
+        ExecCtx {
+            budget,
+            exec: self.config.exec,
+        }
     }
 
     /// The (discretized) dataset. With live ingestion running this is the
@@ -291,36 +358,110 @@ impl OpportunityMap {
         Ok(render_detailed(&view, options))
     }
 
-    /// Run the comparator on a resolved spec.
+    /// Resolve a named comparison ("ph1 vs ph2 of PhoneModel on class
+    /// dropped") into a [`ComparisonSpec`].
     ///
     /// # Errors
-    /// See [`CompareError`].
-    pub fn compare(&self, spec: &ComparisonSpec) -> Result<ComparisonResult, EngineError> {
-        self.compare_budgeted(spec, &Budget::unlimited())
+    /// Fails on unknown names.
+    pub fn spec_by_name(
+        &self,
+        attr_name: &str,
+        value_1: &str,
+        value_2: &str,
+        class: &str,
+    ) -> Result<ComparisonSpec, EngineError> {
+        let attr = self.attr_index(attr_name)?;
+        Ok(ComparisonSpec {
+            attr,
+            value_1: self.value_id(attr, value_1)?,
+            value_2: self.value_id(attr, value_2)?,
+            class: self.class_id(class)?,
+        })
     }
 
-    /// [`compare`](Self::compare) under a cooperative [`Budget`]: the
-    /// comparison checks the deadline per attribute and returns
-    /// [`EngineError::Fault`] instead of running past it.
+    /// Resolve a named drill condition (`attr = value`).
+    ///
+    /// # Errors
+    /// Fails on unknown names.
+    pub fn condition_by_name(&self, attr_name: &str, value: &str) -> Result<Condition, EngineError> {
+        let attr = self.attr_index(attr_name)?;
+        Ok(Condition::new(attr, self.value_id(attr, value)?))
+    }
+
+    /// Run the comparator on a resolved spec under `ctx`: the budget (if
+    /// any) is checked per attribute, and a non-serial policy shards the
+    /// candidate loop across the engine's worker pool — output is
+    /// byte-identical to serial either way.
     ///
     /// # Errors
     /// See [`CompareError`]; [`EngineError::Fault`] on budget overrun.
+    pub fn run_compare(
+        &self,
+        spec: &ComparisonSpec,
+        ctx: ExecCtx<'_>,
+    ) -> Result<ComparisonResult, EngineError> {
+        fail::inject("engine.compare")?;
+        let unlimited = Budget::unlimited();
+        let budget = ctx.budget.unwrap_or(&unlimited);
+        let snapshot = self.store();
+        if ctx.exec.is_serial() {
+            Ok(Comparator::with_config(&snapshot, self.config.compare.clone())
+                .compare_budgeted(spec, budget)?)
+        } else {
+            Ok(rank_parallel(
+                &self.executor,
+                &snapshot,
+                &self.config.compare,
+                spec,
+                budget,
+            )?)
+        }
+    }
+
+    /// [`run_compare`](Self::run_compare) by names — the exact gesture
+    /// of Section V-B's case study.
+    ///
+    /// # Errors
+    /// Fails on unknown names or comparator errors.
+    pub fn run_compare_by_name(
+        &self,
+        attr_name: &str,
+        value_1: &str,
+        value_2: &str,
+        class: &str,
+        ctx: ExecCtx<'_>,
+    ) -> Result<ComparisonResult, EngineError> {
+        let spec = self.spec_by_name(attr_name, value_1, value_2, class)?;
+        self.run_compare(&spec, ctx)
+    }
+
+    /// Deprecated shim for [`run_compare`](Self::run_compare).
+    ///
+    /// # Errors
+    /// As [`run_compare`](Self::run_compare).
+    #[deprecated(note = "use run_compare with an ExecCtx")]
+    pub fn compare(&self, spec: &ComparisonSpec) -> Result<ComparisonResult, EngineError> {
+        self.run_compare(spec, ExecCtx::serial())
+    }
+
+    /// Deprecated shim for [`run_compare`](Self::run_compare).
+    ///
+    /// # Errors
+    /// As [`run_compare`](Self::run_compare).
+    #[deprecated(note = "use run_compare with an ExecCtx")]
     pub fn compare_budgeted(
         &self,
         spec: &ComparisonSpec,
         budget: &Budget,
     ) -> Result<ComparisonResult, EngineError> {
-        fail::inject("engine.compare")?;
-        let snapshot = self.store();
-        Ok(Comparator::with_config(&snapshot, self.config.compare.clone())
-            .compare_budgeted(spec, budget)?)
+        self.run_compare(spec, ExecCtx::budgeted(budget))
     }
 
-    /// Run the comparator by names: "compare ph1 vs ph2 of PhoneModel on
-    /// class dropped" — the exact gesture of Section V-B's case study.
+    /// Deprecated shim for [`run_compare_by_name`](Self::run_compare_by_name).
     ///
     /// # Errors
-    /// Fails on unknown names or comparator errors.
+    /// As [`run_compare_by_name`](Self::run_compare_by_name).
+    #[deprecated(note = "use run_compare_by_name with an ExecCtx")]
     pub fn compare_by_name(
         &self,
         attr_name: &str,
@@ -328,15 +469,14 @@ impl OpportunityMap {
         value_2: &str,
         class: &str,
     ) -> Result<ComparisonResult, EngineError> {
-        self.compare_by_name_budgeted(attr_name, value_1, value_2, class, &Budget::unlimited())
+        self.run_compare_by_name(attr_name, value_1, value_2, class, ExecCtx::serial())
     }
 
-    /// [`compare_by_name`](Self::compare_by_name) under a cooperative
-    /// [`Budget`].
+    /// Deprecated shim for [`run_compare_by_name`](Self::run_compare_by_name).
     ///
     /// # Errors
-    /// Fails on unknown names, comparator errors, or
-    /// [`EngineError::Fault`] on budget overrun.
+    /// As [`run_compare_by_name`](Self::run_compare_by_name).
+    #[deprecated(note = "use run_compare_by_name with an ExecCtx")]
     pub fn compare_by_name_budgeted(
         &self,
         attr_name: &str,
@@ -345,14 +485,7 @@ impl OpportunityMap {
         class: &str,
         budget: &Budget,
     ) -> Result<ComparisonResult, EngineError> {
-        let attr = self.attr_index(attr_name)?;
-        let spec = ComparisonSpec {
-            attr,
-            value_1: self.value_id(attr, value_1)?,
-            value_2: self.value_id(attr, value_2)?,
-            class: self.class_id(class)?,
-        };
-        self.compare_budgeted(&spec, budget)
+        self.run_compare_by_name(attr_name, value_1, value_2, class, ExecCtx::budgeted(budget))
     }
 
     /// Text rendering of a comparison's top attribute (Fig. 7).
@@ -389,12 +522,50 @@ impl OpportunityMap {
         )?)
     }
 
-    /// Automated drill-down from a named comparison: condition on each
-    /// level's top finding and compare again (Section III-B's restricted
-    /// analysis, automated).
+    /// Automated drill-down from a named comparison under `ctx`:
+    /// condition on each level's top finding and compare again (Section
+    /// III-B's restricted analysis, automated). The walk re-checks the
+    /// deadline before each level's cube rebuild — the engine's most
+    /// expensive interactive path. Under a non-serial policy each
+    /// level's ranking is sharded across the pool.
     ///
     /// # Errors
-    /// Fails on unknown names or if the root comparison fails.
+    /// Fails on unknown names, a failed root comparison, or
+    /// [`EngineError::Fault`] on budget overrun at any depth.
+    pub fn run_drill_down_by_name(
+        &self,
+        attr_name: &str,
+        value_1: &str,
+        value_2: &str,
+        class: &str,
+        config: &DrillConfig,
+        ctx: ExecCtx<'_>,
+    ) -> Result<Vec<DrillLevel>, EngineError> {
+        fail::inject("engine.drill")?;
+        let spec = self.spec_by_name(attr_name, value_1, value_2, class)?;
+        let unlimited = Budget::unlimited();
+        let budget = ctx.budget.unwrap_or(&unlimited);
+        if ctx.exec.is_serial() {
+            Ok(drill_down_budgeted(&self.dataset, &spec, config, budget)?)
+        } else {
+            Ok(drill_down_with(
+                &self.dataset,
+                &spec,
+                config,
+                budget,
+                |store, spec, budget| {
+                    rank_parallel(&self.executor, &store, &self.config.compare, spec, budget)
+                },
+            )?)
+        }
+    }
+
+    /// Deprecated shim for
+    /// [`run_drill_down_by_name`](Self::run_drill_down_by_name).
+    ///
+    /// # Errors
+    /// As [`run_drill_down_by_name`](Self::run_drill_down_by_name).
+    #[deprecated(note = "use run_drill_down_by_name with an ExecCtx")]
     pub fn drill_down_by_name(
         &self,
         attr_name: &str,
@@ -403,24 +574,15 @@ impl OpportunityMap {
         class: &str,
         config: &DrillConfig,
     ) -> Result<Vec<DrillLevel>, EngineError> {
-        self.drill_down_by_name_budgeted(
-            attr_name,
-            value_1,
-            value_2,
-            class,
-            config,
-            &Budget::unlimited(),
-        )
+        self.run_drill_down_by_name(attr_name, value_1, value_2, class, config, ExecCtx::serial())
     }
 
-    /// [`drill_down_by_name`](Self::drill_down_by_name) under a
-    /// cooperative [`Budget`]: the walk re-checks the deadline before
-    /// each level's cube rebuild — the engine's most expensive
-    /// interactive path.
+    /// Deprecated shim for
+    /// [`run_drill_down_by_name`](Self::run_drill_down_by_name).
     ///
     /// # Errors
-    /// Fails on unknown names, a failed root comparison, or
-    /// [`EngineError::Fault`] on budget overrun at any depth.
+    /// As [`run_drill_down_by_name`](Self::run_drill_down_by_name).
+    #[deprecated(note = "use run_drill_down_by_name with an ExecCtx")]
     pub fn drill_down_by_name_budgeted(
         &self,
         attr_name: &str,
@@ -430,39 +592,121 @@ impl OpportunityMap {
         config: &DrillConfig,
         budget: &Budget,
     ) -> Result<Vec<DrillLevel>, EngineError> {
-        fail::inject("engine.drill")?;
-        let attr = self.attr_index(attr_name)?;
-        let spec = ComparisonSpec {
-            attr,
-            value_1: self.value_id(attr, value_1)?,
-            value_2: self.value_id(attr, value_2)?,
-            class: self.class_id(class)?,
-        };
-        Ok(drill_down_budgeted(&self.dataset, &spec, config, budget)?)
+        self.run_drill_down_by_name(
+            attr_name,
+            value_1,
+            value_2,
+            class,
+            config,
+            ExecCtx::budgeted(budget),
+        )
     }
 
-    /// Mine all general impressions (trends, exceptions, influence).
-    pub fn general_impressions(&self) -> GiReport {
-        self.general_impressions_budgeted(&Budget::unlimited())
-            .expect("unlimited budget never trips")
+    /// Execute a comparison batch (see [`om_exec::run_batch`]): compare
+    /// items sharing a base population share one cube pass, drill items
+    /// sharing a path prefix share conditioned populations and level
+    /// results, and per-item budgets yield partial results — completed
+    /// items return even when later ones run out of time. Outcomes come
+    /// back in item order; item failures never fail the batch.
+    ///
+    /// # Errors
+    /// Only batch-level failures: an armed `engine.batch` failpoint or
+    /// an already-expired batch budget.
+    pub fn run_batch(
+        &self,
+        items: &[BatchItem],
+        drill_config: &DrillConfig,
+        ctx: ExecCtx<'_>,
+    ) -> Result<Vec<BatchOutcome>, EngineError> {
+        fail::inject("engine.batch")?;
+        let unlimited = Budget::unlimited();
+        let budget = ctx.budget.unwrap_or(&unlimited);
+        budget.check()?;
+        let snapshot = self.store();
+        Ok(om_exec::run_batch(
+            &self.executor,
+            &snapshot,
+            &self.dataset,
+            &self.config.compare,
+            drill_config,
+            items,
+            budget,
+        ))
     }
 
-    /// [`general_impressions`](Self::general_impressions) under a
-    /// cooperative [`Budget`]: each miner checks the deadline per
-    /// attribute.
+    /// Mine all general impressions (trends, exceptions, influence)
+    /// under `ctx`: each miner checks the deadline per attribute, and a
+    /// non-serial policy scatters the three miners across the pool.
     ///
     /// # Errors
     /// [`EngineError::Fault`] on budget overrun.
-    pub fn general_impressions_budgeted(&self, budget: &Budget) -> Result<GiReport, EngineError> {
+    pub fn run_general_impressions(&self, ctx: ExecCtx<'_>) -> Result<GiReport, EngineError> {
         fail::inject("engine.gi")?;
+        let unlimited = Budget::unlimited();
+        let budget = ctx.budget.unwrap_or(&unlimited);
         // One snapshot across all three miners: trends, exceptions and
         // influence must describe the same store generation.
         let snapshot = self.store();
-        Ok(GiReport {
-            trends: mine_trends_budgeted(&snapshot, &self.config.trend, budget)?,
-            exceptions: mine_exceptions_budgeted(&snapshot, &self.config.exception, budget)?,
-            influence: mine_influence_budgeted(&snapshot, budget)?,
-        })
+        if ctx.exec.is_serial() {
+            return Ok(GiReport {
+                trends: mine_trends_budgeted(&snapshot, &self.config.trend, budget)?,
+                exceptions: mine_exceptions_budgeted(&snapshot, &self.config.exception, budget)?,
+                influence: mine_influence_budgeted(&snapshot, budget)?,
+            });
+        }
+
+        enum GiPart {
+            Trends(Vec<TrendResult>),
+            Exceptions(Vec<Exception>),
+            Influence(Vec<InfluenceResult>),
+        }
+        let job = |part: fn(&StoreSnapshot, &EngineConfig, &Budget) -> Result<GiPart, FaultError>|
+         -> Box<dyn FnOnce() -> Result<GiPart, FaultError> + Send> {
+            let snapshot = Arc::clone(&snapshot);
+            let config = self.config.clone();
+            let budget = budget.clone();
+            Box::new(move || part(&snapshot, &config, &budget))
+        };
+        let jobs = vec![
+            job(|s, c, b| Ok(GiPart::Trends(mine_trends_budgeted(s, &c.trend, b)?))),
+            job(|s, c, b| Ok(GiPart::Exceptions(mine_exceptions_budgeted(s, &c.exception, b)?))),
+            job(|s, _, b| Ok(GiPart::Influence(mine_influence_budgeted(s, b)?))),
+        ];
+        // Scatter preserves job order, so `?` surfaces errors with the
+        // same priority as the serial path: trends, then exceptions,
+        // then influence.
+        let mut parts = self.executor.scatter(jobs).into_iter();
+        let mut report = GiReport {
+            trends: Vec::new(),
+            exceptions: Vec::new(),
+            influence: Vec::new(),
+        };
+        for _ in 0..3 {
+            match parts.next().expect("three jobs scattered")? {
+                GiPart::Trends(t) => report.trends = t,
+                GiPart::Exceptions(e) => report.exceptions = e,
+                GiPart::Influence(i) => report.influence = i,
+            }
+        }
+        Ok(report)
+    }
+
+    /// Deprecated shim for
+    /// [`run_general_impressions`](Self::run_general_impressions).
+    #[deprecated(note = "use run_general_impressions with an ExecCtx")]
+    pub fn general_impressions(&self) -> GiReport {
+        self.run_general_impressions(ExecCtx::serial())
+            .expect("unlimited budget never trips")
+    }
+
+    /// Deprecated shim for
+    /// [`run_general_impressions`](Self::run_general_impressions).
+    ///
+    /// # Errors
+    /// As [`run_general_impressions`](Self::run_general_impressions).
+    #[deprecated(note = "use run_general_impressions with an ExecCtx")]
+    pub fn general_impressions_budgeted(&self, budget: &Budget) -> Result<GiReport, EngineError> {
+        self.run_general_impressions(ExecCtx::budgeted(budget))
     }
 
     /// Render the general-impressions report as text (top `n` entries per
@@ -470,7 +714,9 @@ impl OpportunityMap {
     pub fn gi_report(&self, n: usize) -> String {
         use om_gi::{mine_pair_exceptions, PairExceptionConfig};
         use om_viz::gi_view;
-        let gi = self.general_impressions();
+        let gi = self
+            .run_general_impressions(self.exec_ctx(None))
+            .expect("unlimited budget never trips");
         let pair = mine_pair_exceptions(&self.store(), &PairExceptionConfig::default());
         let mut out = String::new();
         out.push_str(&gi_view::render_trends(
@@ -536,6 +782,129 @@ mod tests {
     fn end_to_end_case_study() {
         let (om, truth) = engine();
         let result = om
+            .run_compare_by_name(
+                &truth.compare_attr,
+                &truth.baseline_value,
+                &truth.target_value,
+                &truth.target_class,
+                ExecCtx::serial(),
+            )
+            .unwrap();
+        assert_eq!(result.top().unwrap().attr_name, truth.expected_top_attr);
+        let view = om.comparison_view(&result);
+        assert!(view.contains(&truth.expected_top_attr));
+    }
+
+    #[test]
+    fn parallel_engine_matches_serial_engine() {
+        let (ds, truth) = paper_scenario(40_000, 21);
+        let serial = OpportunityMap::build(ds.clone(), EngineConfig::default()).unwrap();
+        let parallel = OpportunityMap::build(
+            ds,
+            EngineConfig {
+                exec: ExecConfig { workers: 4 },
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let names = (
+            truth.compare_attr.as_str(),
+            truth.baseline_value.as_str(),
+            truth.target_value.as_str(),
+            truth.target_class.as_str(),
+        );
+        let a = serial
+            .run_compare_by_name(names.0, names.1, names.2, names.3, serial.exec_ctx(None))
+            .unwrap();
+        let b = parallel
+            .run_compare_by_name(names.0, names.1, names.2, names.3, parallel.exec_ctx(None))
+            .unwrap();
+        assert_eq!(a, b);
+        let da = serial
+            .run_drill_down_by_name(
+                names.0,
+                names.1,
+                names.2,
+                names.3,
+                &DrillConfig::default(),
+                serial.exec_ctx(None),
+            )
+            .unwrap();
+        let db = parallel
+            .run_drill_down_by_name(
+                names.0,
+                names.1,
+                names.2,
+                names.3,
+                &DrillConfig::default(),
+                parallel.exec_ctx(None),
+            )
+            .unwrap();
+        assert_eq!(da, db);
+        let ga = serial.run_general_impressions(serial.exec_ctx(None)).unwrap();
+        let gb = parallel
+            .run_general_impressions(parallel.exec_ctx(None))
+            .unwrap();
+        assert_eq!(ga.trends, gb.trends);
+        assert_eq!(ga.exceptions, gb.exceptions);
+        assert_eq!(ga.influence, gb.influence);
+    }
+
+    #[test]
+    fn batch_outcomes_arrive_in_item_order() {
+        let (om, truth) = engine();
+        let spec = om
+            .spec_by_name(
+                &truth.compare_attr,
+                &truth.baseline_value,
+                &truth.target_value,
+                &truth.target_class,
+            )
+            .unwrap();
+        let bogus = ComparisonSpec {
+            value_2: spec.value_1,
+            ..spec
+        };
+        let items = vec![
+            BatchItem::Compare {
+                spec,
+                budget_ms: None,
+            },
+            BatchItem::Compare {
+                spec: bogus,
+                budget_ms: None,
+            },
+            BatchItem::Drill {
+                spec,
+                path: Vec::new(),
+                budget_ms: None,
+            },
+        ];
+        let outcomes = om
+            .run_batch(&items, &DrillConfig::default(), om.exec_ctx(None))
+            .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        let single = om.run_compare(&spec, om.exec_ctx(None)).unwrap();
+        assert!(matches!(&outcomes[0], BatchOutcome::Compare(r) if *r == single));
+        assert!(matches!(&outcomes[1], BatchOutcome::Failed { .. }));
+        let walked = om
+            .run_drill_down_by_name(
+                &truth.compare_attr,
+                &truth.baseline_value,
+                &truth.target_value,
+                &truth.target_class,
+                &DrillConfig::default(),
+                om.exec_ctx(None),
+            )
+            .unwrap();
+        assert!(matches!(&outcomes[2], BatchOutcome::Drill(levels) if *levels == walked));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_answer() {
+        let (om, truth) = engine();
+        let via_shim = om
             .compare_by_name(
                 &truth.compare_attr,
                 &truth.baseline_value,
@@ -543,9 +912,17 @@ mod tests {
                 &truth.target_class,
             )
             .unwrap();
-        assert_eq!(result.top().unwrap().attr_name, truth.expected_top_attr);
-        let view = om.comparison_view(&result);
-        assert!(view.contains(&truth.expected_top_attr));
+        let via_ctx = om
+            .run_compare_by_name(
+                &truth.compare_attr,
+                &truth.baseline_value,
+                &truth.target_value,
+                &truth.target_class,
+                ExecCtx::serial(),
+            )
+            .unwrap();
+        assert_eq!(via_shim, via_ctx);
+        assert_eq!(om.general_impressions().trends, om.run_general_impressions(ExecCtx::serial()).unwrap().trends);
     }
 
     #[test]
@@ -561,7 +938,7 @@ mod tests {
     #[test]
     fn general_impressions_nonempty() {
         let (om, _) = engine();
-        let gi = om.general_impressions();
+        let gi = om.run_general_impressions(ExecCtx::serial()).unwrap();
         assert_eq!(
             gi.trends.len(),
             om.store().attrs().len() * om.dataset().schema().n_classes()
@@ -605,12 +982,12 @@ mod tests {
         use std::time::Duration;
         let (om, truth) = engine();
         let spent = Budget::with_timeout(Duration::ZERO);
-        let r = om.compare_by_name_budgeted(
+        let r = om.run_compare_by_name(
             &truth.compare_attr,
             &truth.baseline_value,
             &truth.target_value,
             &truth.target_class,
-            &spent,
+            ExecCtx::budgeted(&spent),
         );
         match r {
             Err(e @ EngineError::Fault(FaultError::DeadlineExceeded { .. })) => {
@@ -619,15 +996,15 @@ mod tests {
             }
             other => panic!("expected deadline fault, got {other:?}"),
         }
-        assert!(om.general_impressions_budgeted(&spent).is_err());
+        assert!(om.run_general_impressions(ExecCtx::budgeted(&spent)).is_err());
         assert!(om
-            .drill_down_by_name_budgeted(
+            .run_drill_down_by_name(
                 &truth.compare_attr,
                 &truth.baseline_value,
                 &truth.target_value,
                 &truth.target_class,
                 &DrillConfig::default(),
-                &spent,
+                ExecCtx::budgeted(&spent),
             )
             .is_err());
     }
@@ -636,21 +1013,22 @@ mod tests {
     fn budgeted_results_match_plain_results() {
         let (om, truth) = engine();
         let plain = om
-            .compare_by_name(
+            .run_compare_by_name(
                 &truth.compare_attr,
                 &truth.baseline_value,
                 &truth.target_value,
                 &truth.target_class,
+                ExecCtx::serial(),
             )
             .unwrap();
         let generous = Budget::with_timeout(std::time::Duration::from_secs(600));
         let budgeted = om
-            .compare_by_name_budgeted(
+            .run_compare_by_name(
                 &truth.compare_attr,
                 &truth.baseline_value,
                 &truth.target_value,
                 &truth.target_class,
-                &generous,
+                ExecCtx::budgeted(&generous),
             )
             .unwrap();
         assert_eq!(plain, budgeted);
@@ -664,7 +1042,9 @@ mod tests {
         let phone = om.attr_index("PhoneModel").unwrap();
         assert!(om.value_id(phone, "ph99").is_err());
         assert!(om
-            .compare_by_name("PhoneModel", "ph1", "ph99", "dropped")
+            .run_compare_by_name("PhoneModel", "ph1", "ph99", "dropped", ExecCtx::serial())
             .is_err());
+        assert!(om.condition_by_name("PhoneModel", "ph99").is_err());
+        assert!(om.condition_by_name("Bogus", "x").is_err());
     }
 }

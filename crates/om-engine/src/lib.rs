@@ -18,7 +18,7 @@ pub mod explore;
 pub mod scan;
 pub mod session;
 
-pub use engine::{EngineConfig, EngineError, GiReport, OpportunityMap};
+pub use engine::{EngineConfig, EngineError, ExecCtx, GiReport, OpportunityMap};
 pub use explore::{ExploreOp, Explorer};
 pub use scan::{ScanConfig, ScanFinding};
 pub use session::Session;
@@ -32,3 +32,9 @@ pub use om_fault::{fail, Budget, CancelToken, FaultError};
 // snapshots without depending on om-ingest / om-cube directly.
 pub use om_cube::{SharedStore, StoreSnapshot};
 pub use om_ingest::{IngestConfig, IngestError, IngestHandle, IngestStats};
+
+// Re-exported so downstream crates configure parallel execution and
+// build comparison batches without depending on om-exec / om-car
+// directly.
+pub use om_car::Condition;
+pub use om_exec::{BatchItem, BatchOutcome, ExecConfig};

@@ -45,7 +45,7 @@ proptest! {
     #[test]
     fn gi_is_total_over_attributes(ds in arb_dataset()) {
         let om = OpportunityMap::build(ds, EngineConfig::default()).unwrap();
-        let gi = om.general_impressions();
+        let gi = om.run_general_impressions(om.exec_ctx(None)).unwrap();
         let n_attrs = om.store().attrs().len();
         prop_assert_eq!(gi.trends.len(), n_attrs * om.dataset().schema().n_classes());
         prop_assert_eq!(gi.influence.len(), n_attrs);

@@ -24,7 +24,7 @@ fn shared_engine_answers_from_many_threads() {
     let (ds, _) = om_synth::paper_scenario(10_000, 44);
     let om = Arc::new(OpportunityMap::build(ds, EngineConfig::default()).unwrap());
     let expected = om
-        .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+        .run_compare_by_name("PhoneModel", "ph1", "ph2", "dropped", om.exec_ctx(None))
         .unwrap();
 
     let handles: Vec<_> = (0..4)
@@ -33,7 +33,7 @@ fn shared_engine_answers_from_many_threads() {
             let top = expected.top().unwrap().attr_name.clone();
             std::thread::spawn(move || {
                 let result = om
-                    .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+                    .run_compare_by_name("PhoneModel", "ph1", "ph2", "dropped", om.exec_ctx(None))
                     .unwrap();
                 assert_eq!(result.top().unwrap().attr_name, top);
             })

@@ -1,0 +1,399 @@
+//! Shared-scan comparison batches.
+//!
+//! The COMPARE system (Siddiqui et al.) observes that groupwise
+//! comparison workloads overlap heavily: many requests read the same
+//! base population. The smart-drill-down session shape (Joglekar et
+//! al.) is the extreme case — one parent, many children. A batch
+//! exploits both overlaps:
+//!
+//! * **compare items** sharing a selected attribute and value pair are
+//!   grouped so each candidate attribute's pair-cube slices are fetched
+//!   **once per cube pass** and re-read per class of interest, instead
+//!   of once per request;
+//! * **drill items** sharing a condition-path prefix reuse both the
+//!   conditioned record set and the per-level comparison result, so 32
+//!   children of one parent compute the parent's comparison once;
+//! * each item carries an optional budget narrowing; a deadline marks
+//!   the *remaining* items overloaded while completed items are still
+//!   returned — partial results, never all-or-nothing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use om_car::Condition;
+use om_compare::{
+    assemble, attr_name, candidate_attrs, counts_for_class, drill_down_with, level_store,
+    normalize, score_attribute, subpop_slices, AttrScore, CompareConfig, CompareError,
+    ComparisonResult, ComparisonSpec, DrillConfig, DrillLevel, NormalizedSpec,
+};
+use om_data::{Dataset, ValueId};
+use om_fault::{fail, Budget};
+
+use crate::pool::Executor;
+use crate::rank::{rank_parallel, StoreRef};
+
+/// One unit of a comparison batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchItem {
+    /// Rank all attributes for one spec against the pinned store.
+    Compare {
+        spec: ComparisonSpec,
+        /// Narrow this item's share of the batch budget; `None` means
+        /// the batch budget applies unchanged.
+        budget_ms: Option<u64>,
+    },
+    /// Walk a drill path over the base dataset. An empty `path` is the
+    /// automated drill-down (the `/drill` behavior); a non-empty path
+    /// pins the conditions level by level — level 0 is the root, level
+    /// `i` is conditioned on `path[..i]` — producing up to
+    /// `path.len() + 1` levels.
+    Drill {
+        spec: ComparisonSpec,
+        path: Vec<Condition>,
+        /// Narrow this item's share of the batch budget.
+        budget_ms: Option<u64>,
+    },
+}
+
+/// Per-item result of a batch: success, or a typed reason.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOutcome {
+    Compare(ComparisonResult),
+    Drill(Vec<DrillLevel>),
+    /// The item's (or the batch's) budget ran out before this item
+    /// completed; retry later.
+    Overloaded { message: String },
+    /// The item itself is invalid or unanswerable; retrying won't help.
+    Failed { message: String },
+}
+
+impl BatchOutcome {
+    fn from_error(e: &CompareError) -> Self {
+        match e {
+            CompareError::Fault(f) if f.is_overload() => BatchOutcome::Overloaded {
+                message: e.to_string(),
+            },
+            _ => BatchOutcome::Failed {
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+/// Key grouping compare items that can share one cube pass: same
+/// selected attribute and same (unordered) value pair. Orientation is
+/// per-item — it depends on the class of interest — so the key uses the
+/// unordered pair and each item maps the shared slices to its own
+/// orientation.
+type GroupKey = (usize, ValueId, ValueId);
+
+fn group_key(spec: &ComparisonSpec) -> GroupKey {
+    let (lo, hi) = if spec.value_1 <= spec.value_2 {
+        (spec.value_1, spec.value_2)
+    } else {
+        (spec.value_2, spec.value_1)
+    };
+    (spec.attr, lo, hi)
+}
+
+fn item_budget(batch: &Budget, budget_ms: Option<u64>) -> Budget {
+    match budget_ms {
+        Some(ms) => batch.narrowed(Duration::from_millis(ms)),
+        None => batch.clone(),
+    }
+}
+
+/// Execute a batch: compare groups are scattered across the pool (one
+/// shared cube pass per group), then drill items walk their paths with
+/// conditioned populations and per-level comparisons memoized across
+/// items. Outcomes are returned in item order.
+///
+/// Every individual result is byte-identical to what the corresponding
+/// single request (`compare` / fixed-path drill) would return: the
+/// shared pass runs the exact `normalize → score → assemble` stages of
+/// the serial comparator, merely reusing slice fetches.
+pub fn run_batch<S: StoreRef>(
+    exec: &Executor,
+    store: &S,
+    ds: &Dataset,
+    compare_config: &CompareConfig,
+    drill_config: &DrillConfig,
+    items: &[BatchItem],
+    budget: &Budget,
+) -> Vec<BatchOutcome> {
+    let mut outcomes: Vec<Option<BatchOutcome>> = vec![None; items.len()];
+
+    // ---- compare items: group by shared base population ------------
+    let mut groups: HashMap<GroupKey, Vec<(usize, ComparisonSpec, Budget)>> = HashMap::new();
+    let mut group_order: Vec<GroupKey> = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        if let BatchItem::Compare { spec, budget_ms } = item {
+            let key = group_key(spec);
+            let entry = groups.entry(key).or_insert_with(|| {
+                group_order.push(key);
+                Vec::new()
+            });
+            entry.push((i, *spec, item_budget(budget, *budget_ms)));
+        }
+    }
+    type GroupJob = Box<dyn FnOnce() -> Vec<(usize, BatchOutcome)> + Send>;
+    let jobs: Vec<GroupJob> = group_order
+        .into_iter()
+        .map(|key| {
+            let members = groups.remove(&key).expect("group recorded");
+            let store = store.clone();
+            let config = compare_config.clone();
+            Box::new(move || run_compare_group(store.store(), &config, members)) as GroupJob
+        })
+        .collect();
+    for group_outcomes in exec.scatter(jobs) {
+        for (i, outcome) in group_outcomes {
+            outcomes[i] = Some(outcome);
+        }
+    }
+
+    // ---- drill items: memoized path walk ---------------------------
+    let mut memo = DrillMemo::default();
+    for (i, item) in items.iter().enumerate() {
+        if let BatchItem::Drill {
+            spec,
+            path,
+            budget_ms,
+        } = item
+        {
+            let item_budget = item_budget(budget, *budget_ms);
+            outcomes[i] = Some(run_drill_item(
+                exec,
+                ds,
+                compare_config,
+                drill_config,
+                spec,
+                path,
+                &item_budget,
+                &mut memo,
+            ));
+        }
+    }
+
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every item produced an outcome"))
+        .collect()
+}
+
+/// One cube pass serving every member of a compare group. Per-candidate
+/// slices are fetched once; each member extracts its own per-class
+/// counts and scores from them.
+fn run_compare_group(
+    store: &om_cube::CubeStore,
+    config: &CompareConfig,
+    members: Vec<(usize, ComparisonSpec, Budget)>,
+) -> Vec<(usize, BatchOutcome)> {
+    if let Err(e) = fail::inject("exec.batch-group") {
+        let out = BatchOutcome::from_error(&CompareError::Fault(e));
+        return members.iter().map(|(i, _, _)| (*i, out.clone())).collect();
+    }
+
+    // Normalize every member first; invalid specs fail individually
+    // without sinking the group.
+    let mut live: Vec<(usize, NormalizedSpec, Budget, Vec<AttrScore>)> = Vec::new();
+    let mut out: Vec<(usize, BatchOutcome)> = Vec::new();
+    for (i, spec, item_budget) in members {
+        if let Err(e) = item_budget.check() {
+            out.push((i, BatchOutcome::from_error(&CompareError::Fault(e))));
+            continue;
+        }
+        match normalize(store, config, &spec) {
+            Ok(norm) => live.push((i, norm, item_budget, Vec::new())),
+            Err(e) => out.push((i, BatchOutcome::from_error(&e))),
+        }
+    }
+    let Some(sel) = live.first().map(|(_, n, _, _)| n.spec.attr) else {
+        return out;
+    };
+
+    for &other in store.attrs() {
+        if other == sel || live.is_empty() {
+            continue;
+        }
+        // The shared fetch: one pair-cube access and two slices serve
+        // every live member of the group.
+        let fetched = subpop_slices(
+            store,
+            sel,
+            other,
+            live[0].1.spec.value_1.min(live[0].1.spec.value_2),
+            live[0].1.spec.value_1.max(live[0].1.spec.value_2),
+        )
+        .and_then(|slices| Ok((attr_name(store, other)?, slices)));
+        let (name, (labels, s_lo, s_hi)) = match fetched {
+            Ok(v) => v,
+            Err(e) => {
+                let outcome = BatchOutcome::from_error(&e);
+                out.extend(live.drain(..).map(|(i, ..)| (i, outcome.clone())));
+                break;
+            }
+        };
+        let mut still_live = Vec::with_capacity(live.len());
+        for (i, norm, item_budget, mut scores) in live {
+            let step = (|| -> Result<AttrScore, CompareError> {
+                item_budget.check()?;
+                fail::inject("compare.attr")?;
+                let oriented_lo = norm.spec.value_1 <= norm.spec.value_2;
+                let (d1, d2) = if oriented_lo { (&s_lo, &s_hi) } else { (&s_hi, &s_lo) };
+                Ok(score_attribute(
+                    other,
+                    &name,
+                    &labels,
+                    &counts_for_class(d1, norm.spec.class)?,
+                    &counts_for_class(d2, norm.spec.class)?,
+                    norm.base.cf1,
+                    norm.base.cf2,
+                    config.interval,
+                ))
+            })();
+            match step {
+                Ok(score) => {
+                    scores.push(score);
+                    still_live.push((i, norm, item_budget, scores));
+                }
+                Err(e) => out.push((i, BatchOutcome::from_error(&e))),
+            }
+        }
+        live = still_live;
+    }
+
+    for (i, norm, _, scores) in live {
+        out.push((
+            i,
+            BatchOutcome::Compare(assemble(norm, scores, config)),
+        ));
+    }
+    out
+}
+
+/// Comparisons and conditioned populations shared across a batch's
+/// drill items, keyed by the exact condition-path prefix.
+#[derive(Default)]
+struct DrillMemo {
+    pops: HashMap<Vec<Condition>, Arc<Dataset>>,
+    results: HashMap<(Vec<Condition>, ComparisonSpec), ComparisonResult>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_drill_item(
+    exec: &Executor,
+    ds: &Dataset,
+    compare_config: &CompareConfig,
+    drill_config: &DrillConfig,
+    spec: &ComparisonSpec,
+    path: &[Condition],
+    budget: &Budget,
+    memo: &mut DrillMemo,
+) -> BatchOutcome {
+    if path.is_empty() {
+        // The automated walk — each level's comparison still runs
+        // sharded, and the root result is shared with fixed-path items
+        // through the memo. Only the unconditioned root is memoizable
+        // from outside the walk (deeper levels depend on the walk's own
+        // findings); it is exactly the runner's first invocation.
+        let results = &mut memo.results;
+        let mut at_root = true;
+        let walked = drill_down_with(ds, spec, drill_config, budget, |store, spec, budget| {
+            let is_root = std::mem::take(&mut at_root);
+            let root_key = (Vec::new(), *spec);
+            if is_root {
+                if let Some(hit) = results.get(&root_key) {
+                    return Ok(hit.clone());
+                }
+            }
+            let result = rank_parallel(exec, &store, compare_config, spec, budget)?;
+            if is_root {
+                results.insert(root_key, result.clone());
+            }
+            Ok(result)
+        });
+        return match walked {
+            Ok(levels) => BatchOutcome::Drill(levels),
+            Err(e) => BatchOutcome::from_error(&e),
+        };
+    }
+
+    let mut levels: Vec<DrillLevel> = Vec::new();
+    for depth in 0..=path.len() {
+        if let Err(e) = budget.check() {
+            return BatchOutcome::from_error(&CompareError::Fault(e));
+        }
+        if let Err(e) = fail::inject("compare.drill-level") {
+            return BatchOutcome::from_error(&CompareError::Fault(e));
+        }
+        let prefix = &path[..depth];
+        let current = match conditioned_population(ds, prefix, memo) {
+            Ok(pop) => pop,
+            Err(msg) => return BatchOutcome::Failed { message: msg },
+        };
+        let mut excluded: Vec<usize> = vec![spec.attr];
+        excluded.extend(prefix.iter().map(|c| c.attr));
+        let attrs = candidate_attrs(&current, spec.attr, &excluded);
+        if attrs.len() < 2 {
+            break; // nothing left to rank under these conditions
+        }
+        let key = (prefix.to_vec(), *spec);
+        let result = if let Some(hit) = memo.results.get(&key) {
+            hit.clone()
+        } else {
+            let computed = level_store(&current, attrs).map(Arc::new).and_then(|store| {
+                rank_parallel(exec, &store, compare_config, spec, budget)
+            });
+            match computed {
+                Ok(r) => {
+                    memo.results.insert(key, r.clone());
+                    r
+                }
+                Err(e) if depth == 0 => return BatchOutcome::from_error(&e),
+                Err(e @ CompareError::Fault(_)) => return BatchOutcome::from_error(&e),
+                Err(_) => break, // conditioned data too thin — stop cleanly
+            }
+        };
+        levels.push(DrillLevel {
+            conditions: prefix.to_vec(),
+            condition_labels: prefix.iter().map(|c| c.display(ds.schema())).collect(),
+            result,
+        });
+    }
+    BatchOutcome::Drill(levels)
+}
+
+/// The records satisfying `prefix`, built incrementally and shared
+/// across every item whose path starts the same way.
+fn conditioned_population(
+    ds: &Dataset,
+    prefix: &[Condition],
+    memo: &mut DrillMemo,
+) -> Result<Arc<Dataset>, String> {
+    if prefix.is_empty() {
+        return Ok(memo
+            .pops
+            .entry(Vec::new())
+            .or_insert_with(|| Arc::new(ds.clone()))
+            .clone());
+    }
+    if let Some(hit) = memo.pops.get(prefix) {
+        return Ok(hit.clone());
+    }
+    let parent = conditioned_population(ds, &prefix[..prefix.len() - 1], memo)?;
+    let cond = prefix[prefix.len() - 1];
+    let sub = parent
+        .sub_population(cond.attr, cond.value)
+        .map_err(|e| format!("condition {} is invalid: {e}", cond.display(ds.schema())))?;
+    if sub.is_empty() {
+        return Err(format!(
+            "condition {} selects no records",
+            cond.display(ds.schema())
+        ));
+    }
+    let sub = Arc::new(sub);
+    memo.pops.insert(prefix.to_vec(), sub.clone());
+    Ok(sub)
+}

@@ -1,0 +1,67 @@
+//! Execution configuration: how wide the comparator is allowed to go.
+
+/// Parallelism policy for comparator execution.
+///
+/// `workers == 1` is the serial path: everything runs inline on the
+/// calling thread and the worker pool is never touched. `workers == 0`
+/// means "all cores". Any other value caps the shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Maximum concurrent shards per request; 0 = number of cores.
+    pub workers: usize,
+}
+
+/// The serial policy, usable in `const` and `static` contexts.
+pub const SERIAL: ExecConfig = ExecConfig { workers: 1 };
+
+impl Default for ExecConfig {
+    /// Default to all cores: parallel output is byte-identical to
+    /// serial, so there is no correctness reason to default narrower.
+    fn default() -> Self {
+        Self { workers: 0 }
+    }
+}
+
+impl ExecConfig {
+    /// The serial policy.
+    #[must_use]
+    pub fn serial() -> Self {
+        SERIAL
+    }
+
+    /// Whether this policy ever leaves the calling thread.
+    #[must_use]
+    pub fn is_serial(&self) -> bool {
+        self.effective_workers() == 1
+    }
+
+    /// The concrete worker count: `workers`, with 0 resolved to the
+    /// machine's available parallelism (at least 1).
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.workers
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_resolves_to_at_least_one() {
+        assert!(ExecConfig { workers: 0 }.effective_workers() >= 1);
+    }
+
+    #[test]
+    fn explicit_counts_pass_through() {
+        assert_eq!(ExecConfig { workers: 7 }.effective_workers(), 7);
+        assert!(ExecConfig::serial().is_serial());
+        assert!(!ExecConfig { workers: 2 }.is_serial());
+    }
+}

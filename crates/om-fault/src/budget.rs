@@ -93,6 +93,27 @@ impl Budget {
         self.deadline.is_some()
     }
 
+    /// A child budget expiring `limit` from now — or at this budget's
+    /// own deadline, whichever comes first — sharing the parent's cancel
+    /// token. This is how a batch propagates its deadline into per-item
+    /// budgets: an item may narrow its share but can never outlive the
+    /// batch.
+    #[must_use]
+    pub fn narrowed(&self, limit: Duration) -> Self {
+        let started = Instant::now();
+        let child_deadline = started.checked_add(limit);
+        let deadline = match (self.deadline, child_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        Self {
+            deadline,
+            limit: limit.min(self.limit),
+            started,
+            cancel: self.cancel.clone(),
+        }
+    }
+
     /// A clone of the cancellation token.
     #[must_use]
     pub fn cancel_token(&self) -> CancelToken {

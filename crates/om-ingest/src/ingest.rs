@@ -315,6 +315,22 @@ impl IngestHandle {
         self.append_rows(rows)
     }
 
+    /// Append already-split label rows (the typed `/v1/ingest` path:
+    /// each row is every schema attribute's label, class included, in
+    /// schema order). All-or-nothing, like [`Self::append_csv`].
+    /// Returns the number of rows accepted.
+    ///
+    /// # Errors
+    /// As [`Self::append_csv`].
+    pub fn append_labeled(&self, rows: &[Vec<String>]) -> Result<usize, IngestError> {
+        let parsed = rows
+            .iter()
+            .enumerate()
+            .map(|(i, fields)| self.inner.parser.parse_fields(fields, i + 1))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.append_rows(parsed)
+    }
+
     /// Append pre-encoded rows (each: every schema attribute's `ValueId`
     /// in schema order). Validates arity and id ranges.
     ///

@@ -87,6 +87,18 @@ impl RowParser {
             .into_iter()
             .map(|f| f.trim().to_owned())
             .collect();
+        self.parse_fields(&fields, row)
+    }
+
+    /// Validate one already-split row (the JSON ingest path, where the
+    /// client sends fields as an array instead of a CSV line). Fields
+    /// are taken verbatim — no trimming or quote handling. `row` is the
+    /// 1-based position used in error messages.
+    ///
+    /// # Errors
+    /// [`IngestError::BadRow`] on wrong arity, unknown labels, or
+    /// unbinnable numerics.
+    pub fn parse_fields(&self, fields: &[String], row: usize) -> Result<Vec<ValueId>, IngestError> {
         if fields.len() != self.schema.n_attributes() {
             return Err(IngestError::BadRow {
                 row,

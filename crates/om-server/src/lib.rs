@@ -26,6 +26,7 @@ pub mod cache;
 pub mod http;
 pub mod metrics;
 pub mod router;
+pub mod v1;
 
 use std::io::{self, Read as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};

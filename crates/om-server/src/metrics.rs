@@ -18,13 +18,15 @@ pub enum Endpoint {
     Gi,
     CubeSlice,
     Ingest,
+    /// `/v1/compare/batch`.
+    Batch,
     /// Anything else (404s and parse failures).
     Other,
 }
 
 impl Endpoint {
     /// All endpoints in render order.
-    pub const ALL: [Endpoint; 8] = [
+    pub const ALL: [Endpoint; 9] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Compare,
@@ -32,20 +34,23 @@ impl Endpoint {
         Endpoint::Gi,
         Endpoint::CubeSlice,
         Endpoint::Ingest,
+        Endpoint::Batch,
         Endpoint::Other,
     ];
 
-    /// Classify a decoded request path.
+    /// Classify a decoded request path. The `/v1` routes share their
+    /// legacy twin's label — same engine work, same series.
     #[must_use]
     pub fn classify(path: &str) -> Self {
         match path {
             "/healthz" => Endpoint::Healthz,
             "/metrics" => Endpoint::Metrics,
-            "/compare" => Endpoint::Compare,
-            "/drill" => Endpoint::Drill,
-            "/gi" => Endpoint::Gi,
-            "/cube/slice" => Endpoint::CubeSlice,
-            "/ingest" => Endpoint::Ingest,
+            "/compare" | "/v1/compare" => Endpoint::Compare,
+            "/drill" | "/v1/drill" => Endpoint::Drill,
+            "/gi" | "/v1/gi" => Endpoint::Gi,
+            "/cube/slice" | "/v1/cube/slice" => Endpoint::CubeSlice,
+            "/ingest" | "/v1/ingest" => Endpoint::Ingest,
+            "/v1/compare/batch" => Endpoint::Batch,
             _ => Endpoint::Other,
         }
     }
@@ -61,6 +66,7 @@ impl Endpoint {
             Endpoint::Gi => "gi",
             Endpoint::CubeSlice => "cube_slice",
             Endpoint::Ingest => "ingest",
+            Endpoint::Batch => "compare_batch",
             Endpoint::Other => "other",
         }
     }
@@ -299,6 +305,12 @@ mod tests {
         assert_eq!(Endpoint::classify("/compare"), Endpoint::Compare);
         assert_eq!(Endpoint::classify("/cube/slice"), Endpoint::CubeSlice);
         assert_eq!(Endpoint::classify("/ingest"), Endpoint::Ingest);
+        assert_eq!(Endpoint::classify("/v1/compare"), Endpoint::Compare);
+        assert_eq!(Endpoint::classify("/v1/drill"), Endpoint::Drill);
+        assert_eq!(Endpoint::classify("/v1/gi"), Endpoint::Gi);
+        assert_eq!(Endpoint::classify("/v1/cube/slice"), Endpoint::CubeSlice);
+        assert_eq!(Endpoint::classify("/v1/ingest"), Endpoint::Ingest);
+        assert_eq!(Endpoint::classify("/v1/compare/batch"), Endpoint::Batch);
         assert_eq!(Endpoint::classify("/nope"), Endpoint::Other);
     }
 

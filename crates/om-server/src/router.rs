@@ -84,7 +84,7 @@ fn compare(req: &Request, om: &OpportunityMap, opts: &RouteOptions) -> Result<Re
     let v2 = req.required("v2").map_err(|m| Response::error(400, &m))?;
     let class = req.required("class").map_err(|m| Response::error(400, &m))?;
     let result = om
-        .compare_by_name_budgeted(attr, v1, v2, class, &opts.budget)
+        .run_compare_by_name(attr, v1, v2, class, om.exec_ctx(Some(&opts.budget)))
         .map_err(|e| engine_error(&e, opts))?;
     Ok(Response::json(om_compare::json::to_json(&result)))
 }
@@ -105,7 +105,7 @@ fn drill(req: &Request, om: &OpportunityMap, opts: &RouteOptions) -> Result<Resp
             .map_err(|m| Response::error(400, &m))?,
     };
     let levels = om
-        .drill_down_by_name_budgeted(attr, v1, v2, class, &config, &opts.budget)
+        .run_drill_down_by_name(attr, v1, v2, class, &config, om.exec_ctx(Some(&opts.budget)))
         .map_err(|e| engine_error(&e, opts))?;
     let mut body = String::with_capacity(1024);
     body.push_str("{\"levels\":[");
@@ -133,7 +133,7 @@ fn gi(req: &Request, om: &OpportunityMap, opts: &RouteOptions) -> Result<Respons
         .parse_or("top", 10usize)
         .map_err(|m| Response::error(400, &m))?;
     let report = om
-        .general_impressions_budgeted(&opts.budget)
+        .run_general_impressions(om.exec_ctx(Some(&opts.budget)))
         .map_err(|e| engine_error(&e, opts))?;
     let mut body = String::with_capacity(2048);
     body.push_str("{\"trends\":[");
@@ -358,7 +358,11 @@ pub fn route(
     opts: &RouteOptions,
     metrics_body: impl FnOnce() -> String,
 ) -> Response {
-    // The one non-GET endpoint; everything else below is read-only.
+    // The versioned API has its own dispatch, methods and error shape.
+    if req.path.starts_with("/v1/") {
+        return crate::v1::route_v1(req, om, ingest_handle, opts);
+    }
+    // The one non-GET legacy endpoint; everything else below is read-only.
     if req.path == "/ingest" {
         if req.method != "POST" {
             return Response::error(
@@ -465,8 +469,9 @@ mod tests {
         ];
         let response = get("/compare", &params);
         assert_eq!(response.status, 200);
-        let direct = engine()
-            .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+        let om = engine();
+        let direct = om
+            .run_compare_by_name("PhoneModel", "ph1", "ph2", "dropped", om.exec_ctx(None))
             .unwrap();
         assert_eq!(response.body, om_compare::json::to_json(&direct));
     }

@@ -1,0 +1,482 @@
+//! The versioned `/v1` API: typed JSON bodies in, typed JSON bodies out.
+//!
+//! Every endpoint is `POST`-only, decodes its request through the
+//! [`om_api`] request types, runs the engine through the unified
+//! `run_*`/[`ExecCtx`](om_engine::ExecCtx) entry points, and encodes its
+//! response through the [`om_api`] wire types — which reproduce the
+//! legacy bodies byte for byte. Failures always answer with the uniform
+//! envelope `{"error":{"code","message","retry_after_ms"?,"row"?}}`;
+//! the HTTP status is derived from the code.
+
+use om_api::{
+    AttrScoreWire, BatchItemRequest, BatchItemResult, BatchRequest, BatchResponse,
+    CompareRequest, CompareResponse, DrillLevelWire, DrillRequest, DrillResponse, ErrorCode,
+    ErrorEnvelope, ExceptionWire, GiRequest, GiResponse, IngestRequest, IngestResponse,
+    InfluenceWire, PairCellWire, PairDimWire, SliceRequest, SliceResponse, SliceValueWire,
+    TrendWire, ValueContributionWire,
+};
+use om_compare::{AttrScore, ComparisonResult, DrillConfig, DrillLevel};
+use om_cube::CubeView;
+use om_engine::{
+    BatchItem, BatchOutcome, EngineError, GiReport, IngestError, IngestHandle, OpportunityMap,
+};
+use om_gi::Trend;
+
+use crate::http::{Request, Response};
+use crate::router::RouteOptions;
+
+// ---------------------------------------------------------------------
+// engine results -> om-api wire types
+// ---------------------------------------------------------------------
+
+fn attr_score_wire(s: &AttrScore) -> AttrScoreWire {
+    AttrScoreWire {
+        attr: s.attr as u64,
+        name: s.attr_name.clone(),
+        score: s.score,
+        normalized: s.normalized,
+        property_p: s.property.p as u64,
+        property_t: s.property.t as u64,
+        property_ratio: s.property.ratio(),
+        values: s
+            .contributions
+            .iter()
+            .map(|c| ValueContributionWire {
+                value: c.label.clone(),
+                n1: c.n1,
+                n2: c.n2,
+                x1: c.x1,
+                x2: c.x2,
+                cf1: c.cf1,
+                cf2: c.cf2,
+                rcf1: c.rcf1,
+                rcf2: c.rcf2,
+                f: c.f,
+                w: c.w,
+            })
+            .collect(),
+    }
+}
+
+pub(crate) fn compare_wire(r: &ComparisonResult) -> CompareResponse {
+    CompareResponse {
+        attribute: r.attr_name.clone(),
+        value_1: r.value_1_label.clone(),
+        value_2: r.value_2_label.clone(),
+        swapped: r.swapped,
+        class: r.class_label.clone(),
+        cf1: r.cf1,
+        cf2: r.cf2,
+        n1: r.n1,
+        n2: r.n2,
+        ranked: r.ranked.iter().map(attr_score_wire).collect(),
+        property_attributes: r.property_attrs.iter().map(attr_score_wire).collect(),
+    }
+}
+
+pub(crate) fn drill_wire(levels: &[DrillLevel]) -> DrillResponse {
+    DrillResponse {
+        levels: levels
+            .iter()
+            .map(|level| DrillLevelWire {
+                conditions: level.condition_labels.clone(),
+                result: compare_wire(&level.result),
+            })
+            .collect(),
+    }
+}
+
+pub(crate) fn gi_wire(report: &GiReport, top: usize) -> GiResponse {
+    GiResponse {
+        trends: report
+            .trends
+            .iter()
+            .filter_map(|t| {
+                let trend = match t.trend {
+                    Trend::Increasing => "increasing",
+                    Trend::Decreasing => "decreasing",
+                    Trend::Stable => "stable",
+                    Trend::None => return None,
+                };
+                Some(TrendWire {
+                    attr: t.attr_name.clone(),
+                    class: t.class_label.clone(),
+                    trend: trend.to_owned(),
+                    slope: t.slope,
+                    r_squared: t.r_squared,
+                })
+            })
+            .collect(),
+        exceptions: report
+            .exceptions
+            .iter()
+            .take(top)
+            .map(|e| ExceptionWire {
+                attr: e.attr_name.clone(),
+                value: e.value_label.clone(),
+                class: e.class_label.clone(),
+                kind: match e.kind {
+                    om_gi::ExceptionKind::High => "high",
+                    om_gi::ExceptionKind::Low => "low",
+                }
+                .to_owned(),
+                confidence: e.confidence,
+                rest_confidence: e.rest_confidence,
+                z: e.z,
+            })
+            .collect(),
+        influence: report
+            .influence
+            .iter()
+            .take(top)
+            .map(|r| InfluenceWire {
+                attr: r.attr_name.clone(),
+                chi2: r.chi2,
+                p_value: r.p_value,
+                info_gain: r.info_gain,
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// error mapping
+// ---------------------------------------------------------------------
+
+fn bad_request(message: String) -> ErrorEnvelope {
+    ErrorEnvelope::new(ErrorCode::BadRequest, message)
+}
+
+fn overloaded(message: String, opts: &RouteOptions) -> ErrorEnvelope {
+    ErrorEnvelope {
+        retry_after_ms: Some(opts.retry_after_secs.saturating_mul(1000)),
+        ..ErrorEnvelope::new(ErrorCode::Overloaded, message)
+    }
+}
+
+/// The `/v1` twin of the legacy status mapping: same classes, expressed
+/// as envelope codes instead of bare statuses.
+fn engine_envelope(e: &EngineError, opts: &RouteOptions) -> ErrorEnvelope {
+    if e.is_overload() {
+        return overloaded(e.to_string(), opts);
+    }
+    let code = match e {
+        EngineError::Unknown(_) => ErrorCode::UnknownName,
+        EngineError::Fault(_) => ErrorCode::Internal,
+        _ => ErrorCode::Invalid,
+    };
+    ErrorEnvelope::new(code, e.to_string())
+}
+
+fn envelope_response(env: &ErrorEnvelope) -> Response {
+    let mut response = Response {
+        status: env.code.http_status(),
+        content_type: "application/json",
+        body: env.encode(),
+        retry_after: None,
+    };
+    if let Some(ms) = env.retry_after_ms {
+        response.retry_after = Some(ms.div_ceil(1000).max(1));
+    }
+    response
+}
+
+// ---------------------------------------------------------------------
+// handlers
+// ---------------------------------------------------------------------
+
+fn compare(
+    req: &Request,
+    om: &OpportunityMap,
+    opts: &RouteOptions,
+) -> Result<Response, ErrorEnvelope> {
+    let body = CompareRequest::parse(&req.body).map_err(bad_request)?;
+    let result = om
+        .run_compare_by_name(
+            &body.attr,
+            &body.v1,
+            &body.v2,
+            &body.class,
+            om.exec_ctx(Some(&opts.budget)),
+        )
+        .map_err(|e| engine_envelope(&e, opts))?;
+    Ok(Response::json(compare_wire(&result).encode()))
+}
+
+fn drill_config_for(om: &OpportunityMap, depth: Option<u64>, min_score: Option<f64>) -> DrillConfig {
+    let defaults = DrillConfig::default();
+    DrillConfig {
+        compare: om.config().compare.clone(),
+        max_depth: depth.map_or(defaults.max_depth, |d| {
+            usize::try_from(d).unwrap_or(usize::MAX)
+        }),
+        min_normalized_score: min_score.unwrap_or(defaults.min_normalized_score),
+    }
+}
+
+fn drill(
+    req: &Request,
+    om: &OpportunityMap,
+    opts: &RouteOptions,
+) -> Result<Response, ErrorEnvelope> {
+    let body = DrillRequest::parse(&req.body).map_err(bad_request)?;
+    let config = drill_config_for(om, body.depth, body.min_score);
+    let ctx = om.exec_ctx(Some(&opts.budget));
+    if body.path.is_empty() {
+        let levels = om
+            .run_drill_down_by_name(&body.attr, &body.v1, &body.v2, &body.class, &config, ctx)
+            .map_err(|e| engine_envelope(&e, opts))?;
+        return Ok(Response::json(drill_wire(&levels).encode()));
+    }
+    // A fixed path: resolve the conditions by name and walk them through
+    // the batch executor (a one-item batch), which owns path semantics.
+    let spec = om
+        .spec_by_name(&body.attr, &body.v1, &body.v2, &body.class)
+        .map_err(|e| engine_envelope(&e, opts))?;
+    let path = body
+        .path
+        .iter()
+        .map(|step| om.condition_by_name(&step.attr, &step.value))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| engine_envelope(&e, opts))?;
+    let item = BatchItem::Drill {
+        spec,
+        path,
+        budget_ms: None,
+    };
+    let outcomes = om
+        .run_batch(std::slice::from_ref(&item), &config, ctx)
+        .map_err(|e| engine_envelope(&e, opts))?;
+    match outcomes.into_iter().next().expect("one item, one outcome") {
+        BatchOutcome::Drill(levels) => Ok(Response::json(drill_wire(&levels).encode())),
+        BatchOutcome::Compare(_) => unreachable!("drill item answered with a comparison"),
+        BatchOutcome::Overloaded { message } => Err(overloaded(message, opts)),
+        BatchOutcome::Failed { message } => Err(ErrorEnvelope::new(ErrorCode::Invalid, message)),
+    }
+}
+
+fn gi(req: &Request, om: &OpportunityMap, opts: &RouteOptions) -> Result<Response, ErrorEnvelope> {
+    let body = GiRequest::parse(&req.body).map_err(bad_request)?;
+    let top = body
+        .top
+        .map_or(10, |t| usize::try_from(t).unwrap_or(usize::MAX));
+    let report = om
+        .run_general_impressions(om.exec_ctx(Some(&opts.budget)))
+        .map_err(|e| engine_envelope(&e, opts))?;
+    Ok(Response::json(gi_wire(&report, top).encode()))
+}
+
+fn cube_slice(
+    req: &Request,
+    om: &OpportunityMap,
+    opts: &RouteOptions,
+) -> Result<Response, ErrorEnvelope> {
+    let body = SliceRequest::parse(&req.body).map_err(bad_request)?;
+    let attr = om
+        .attr_index(&body.attr)
+        .map_err(|e| engine_envelope(&e, opts))?;
+    let response = match &body.by {
+        None => {
+            let cube = om.store().one_dim(attr).map_err(|e| {
+                ErrorEnvelope::new(ErrorCode::UnknownName, format!("cube error: {e}"))
+            })?;
+            let view = CubeView::from_cube(&cube).map_err(|e| {
+                ErrorEnvelope::new(ErrorCode::Invalid, format!("cube error: {e}"))
+            })?;
+            let values = (0..view.n_values() as u32)
+                .map(|v| SliceValueWire {
+                    label: view.value_labels()[v as usize].clone(),
+                    total: view.value_total(v),
+                    counts: (0..view.n_classes() as u32).map(|c| view.count(v, c)).collect(),
+                    // NaN is the wire's spelling of "empty value": it
+                    // encodes as `null`, exactly like the legacy body.
+                    confidences: (0..view.n_classes() as u32)
+                        .map(|c| view.confidence(v, c).unwrap_or(f64::NAN))
+                        .collect(),
+                })
+                .collect();
+            SliceResponse::OneDim {
+                attr: view.attr_name().to_owned(),
+                total: view.total(),
+                classes: view.class_labels().to_vec(),
+                values,
+            }
+        }
+        Some(by_name) => {
+            let by = om
+                .attr_index(by_name)
+                .map_err(|e| engine_envelope(&e, opts))?;
+            let cube = om.store().pair(attr, by).map_err(|e| {
+                ErrorEnvelope::new(ErrorCode::NotFound, format!("cube error: {e}"))
+            })?;
+            let cells = cube
+                .iter_cells()
+                .filter(|(_, _, count)| *count > 0)
+                .map(|(coords, class, count)| PairCellWire {
+                    coords: [u64::from(coords[0]), u64::from(coords[1])],
+                    class: u64::from(class),
+                    count,
+                })
+                .collect();
+            SliceResponse::Pair {
+                dims: cube
+                    .dims()
+                    .iter()
+                    .map(|dim| PairDimWire {
+                        attr: dim.name.clone(),
+                        labels: dim.labels.clone(),
+                    })
+                    .collect(),
+                classes: cube.class_labels().to_vec(),
+                total: cube.total(),
+                cells,
+            }
+        }
+    };
+    Ok(Response::json(response.encode()))
+}
+
+fn ingest(
+    req: &Request,
+    handle: Option<&IngestHandle>,
+    opts: &RouteOptions,
+) -> Result<Response, ErrorEnvelope> {
+    let Some(handle) = handle else {
+        return Err(ErrorEnvelope::new(
+            ErrorCode::NotFound,
+            "live ingestion is not enabled (start the server with an ingest WAL)",
+        ));
+    };
+    opts.budget
+        .check()
+        .map_err(|e| overloaded(e.to_string(), opts))?;
+    let body = IngestRequest::parse(&req.body).map_err(bad_request)?;
+    match handle.append_labeled(&body.rows) {
+        Ok(accepted) => {
+            let stats = handle.stats();
+            Ok(Response::json(
+                IngestResponse {
+                    accepted: accepted as u64,
+                    rows_total: stats.rows_total,
+                    generation: stats.store_generation,
+                }
+                .encode(),
+            ))
+        }
+        Err(e @ IngestError::BadRow { row, .. }) => Err(ErrorEnvelope {
+            row: Some(row as u64),
+            ..ErrorEnvelope::new(ErrorCode::BadRow, e.to_string())
+        }),
+        Err(e) if e.is_bad_request() => Err(bad_request(e.to_string())),
+        Err(e) => Err(ErrorEnvelope::new(ErrorCode::Internal, e.to_string())),
+    }
+}
+
+/// Resolve one batch item's names into an engine [`BatchItem`]; per-item
+/// failures become per-item envelopes, never batch failures.
+fn resolve_batch_item(
+    om: &OpportunityMap,
+    item: &BatchItemRequest,
+    opts: &RouteOptions,
+) -> Result<BatchItem, ErrorEnvelope> {
+    match item {
+        BatchItemRequest::Compare { req, budget_ms } => {
+            let spec = om
+                .spec_by_name(&req.attr, &req.v1, &req.v2, &req.class)
+                .map_err(|e| engine_envelope(&e, opts))?;
+            Ok(BatchItem::Compare {
+                spec,
+                budget_ms: *budget_ms,
+            })
+        }
+        BatchItemRequest::Drill { req, budget_ms } => {
+            if req.depth.is_some() || req.min_score.is_some() {
+                return Err(ErrorEnvelope::new(
+                    ErrorCode::Invalid,
+                    "batch drill items run under the server's drill configuration; \
+                     \"depth\" and \"min_score\" are only accepted on /v1/drill",
+                ));
+            }
+            let spec = om
+                .spec_by_name(&req.attr, &req.v1, &req.v2, &req.class)
+                .map_err(|e| engine_envelope(&e, opts))?;
+            let path = req
+                .path
+                .iter()
+                .map(|step| om.condition_by_name(&step.attr, &step.value))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| engine_envelope(&e, opts))?;
+            Ok(BatchItem::Drill {
+                spec,
+                path,
+                budget_ms: *budget_ms,
+            })
+        }
+    }
+}
+
+fn batch(
+    req: &Request,
+    om: &OpportunityMap,
+    opts: &RouteOptions,
+) -> Result<Response, ErrorEnvelope> {
+    let body = BatchRequest::parse(&req.body).map_err(bad_request)?;
+    let resolved: Vec<Result<BatchItem, ErrorEnvelope>> = body
+        .items
+        .iter()
+        .map(|item| resolve_batch_item(om, item, opts))
+        .collect();
+    let runnable: Vec<BatchItem> = resolved.iter().filter_map(|r| r.clone().ok()).collect();
+    let drill_config = drill_config_for(om, None, None);
+    let outcomes = om
+        .run_batch(&runnable, &drill_config, om.exec_ctx(Some(&opts.budget)))
+        .map_err(|e| engine_envelope(&e, opts))?;
+    let mut outcomes = outcomes.into_iter();
+    let items = resolved
+        .into_iter()
+        .map(|r| match r {
+            Err(env) => BatchItemResult::Error(env),
+            Ok(_) => match outcomes.next().expect("one outcome per runnable item") {
+                BatchOutcome::Compare(result) => BatchItemResult::Compare(compare_wire(&result)),
+                BatchOutcome::Drill(levels) => BatchItemResult::Drill(drill_wire(&levels)),
+                BatchOutcome::Overloaded { message } => {
+                    BatchItemResult::Error(overloaded(message, opts))
+                }
+                BatchOutcome::Failed { message } => {
+                    BatchItemResult::Error(ErrorEnvelope::new(ErrorCode::Invalid, message))
+                }
+            },
+        })
+        .collect();
+    Ok(Response::json(BatchResponse { items }.encode()))
+}
+
+/// Route one `/v1/*` request. Every endpoint is `POST`; anything else
+/// gets a `method_not_allowed` envelope, unknown paths a `not_found`.
+#[must_use]
+pub fn route_v1(
+    req: &Request,
+    om: &OpportunityMap,
+    ingest_handle: Option<&IngestHandle>,
+    opts: &RouteOptions,
+) -> Response {
+    if req.method != "POST" {
+        return envelope_response(&ErrorEnvelope::new(
+            ErrorCode::MethodNotAllowed,
+            format!("method {} not allowed for {} (use POST)", req.method, req.path),
+        ));
+    }
+    let outcome = match req.path.as_str() {
+        "/v1/compare" => compare(req, om, opts),
+        "/v1/drill" => drill(req, om, opts),
+        "/v1/gi" => gi(req, om, opts),
+        "/v1/cube/slice" => cube_slice(req, om, opts),
+        "/v1/ingest" => ingest(req, ingest_handle, opts),
+        "/v1/compare/batch" => batch(req, om, opts),
+        other => Err(ErrorEnvelope::new(
+            ErrorCode::NotFound,
+            format!("no v1 route for {other:?}"),
+        )),
+    };
+    outcome.unwrap_or_else(|env| envelope_response(&env))
+}

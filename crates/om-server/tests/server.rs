@@ -80,7 +80,7 @@ fn compare_matches_direct_engine_call() {
     );
     assert_eq!(status, 200);
     let direct = engine()
-        .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+        .run_compare_by_name("PhoneModel", "ph1", "ph2", "dropped", engine().exec_ctx(None))
         .unwrap();
     assert_eq!(body, om_compare::json::to_json(&direct));
     server.shutdown();
@@ -93,7 +93,7 @@ fn gi_and_cube_slice_match_direct_calls() {
 
     let (status, gi_body) = get(addr, "/gi?top=5");
     assert_eq!(status, 200);
-    let report = engine().general_impressions();
+    let report = engine().run_general_impressions(engine().exec_ctx(None)).unwrap();
     // Spot-check against the direct engine report: the top influence
     // attribute's name must appear in the JSON.
     assert!(gi_body.contains(&format!("\"attr\":\"{}\"", report.influence[0].attr_name)));
@@ -225,7 +225,7 @@ fn eight_concurrent_clients_get_correct_answers() {
     let addr = server.local_addr();
     let expected = om_compare::json::to_json(
         &engine()
-            .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+            .run_compare_by_name("PhoneModel", "ph1", "ph2", "dropped", engine().exec_ctx(None))
             .unwrap(),
     );
 
@@ -317,7 +317,7 @@ fn generous_budget_does_not_change_answers() {
     );
     assert_eq!(status, 200);
     let direct = engine()
-        .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+        .run_compare_by_name("PhoneModel", "ph1", "ph2", "dropped", engine().exec_ctx(None))
         .unwrap();
     assert_eq!(body, om_compare::json::to_json(&direct));
     server.shutdown();

@@ -26,7 +26,7 @@ fn main() {
     println!("{}", om.overall_view(&OverallOptions::default()));
 
     // Trends summary (the colored arrows).
-    let gi = om.general_impressions();
+    let gi = om.run_general_impressions(om.exec_ctx(None)).expect("unlimited budget never trips");
     let strong: Vec<_> = gi
         .trends
         .iter()
@@ -51,7 +51,7 @@ fn main() {
     // --- Fig. 7: the comparison -------------------------------------------
     println!("=== Automated comparison: ph1 vs ph2 on 'dropped' (Fig. 7) ===");
     let result = om
-        .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+        .run_compare_by_name("PhoneModel", "ph1", "ph2", "dropped", om.exec_ctx(None))
         .expect("comparison runs");
     println!("{}", report::render(&result, 6));
     println!("{}", om.comparison_view(&result));

@@ -32,12 +32,10 @@ fn main() {
     );
 
     let result = om
-        .compare_by_name(
-            &truth.compare_attr,
+        .run_compare_by_name(&truth.compare_attr,
             &truth.baseline_value,
             &truth.target_value,
-            &truth.target_class,
-        )
+            &truth.target_class, om.exec_ctx(None))
         .expect("comparison runs");
     println!("{}", report::render(&result, 5));
     println!("{}", om.comparison_view(&result));
@@ -61,7 +59,7 @@ fn main() {
 
     // The general-impressions view still flags the night shift as an
     // exception *overall* — the two tools answer different questions.
-    let gi = om.general_impressions();
+    let gi = om.run_general_impressions(om.exec_ctx(None)).expect("unlimited budget never trips");
     if let Some(e) = gi
         .exceptions
         .iter()

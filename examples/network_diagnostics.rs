@@ -32,12 +32,10 @@ fn main() {
     // Then asks: what distinguishes morning from afternoon w.r.t.
     // congestion?
     let result = om
-        .compare_by_name(
-            &truth.compare_attr,
+        .run_compare_by_name(&truth.compare_attr,
             &truth.baseline_value,
             &truth.target_value,
-            &truth.target_class,
-        )
+            &truth.target_class, om.exec_ctx(None))
         .expect("comparison runs");
     println!("{}", report::render(&result, 5));
     println!("{}", om.comparison_view(&result));

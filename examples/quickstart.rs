@@ -35,7 +35,7 @@ fn main() {
     // 3. The user notices the two phones differ (Fig. 6) and asks the
     //    comparator which attribute explains the difference (Fig. 7).
     let result = om
-        .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+        .run_compare_by_name("PhoneModel", "ph1", "ph2", "dropped", om.exec_ctx(None))
         .expect("comparison runs");
 
     println!("{}", report::render(&result, 8));

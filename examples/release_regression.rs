@@ -92,7 +92,7 @@ fn main() {
     );
 
     let result = om
-        .compare_by_name("Month", "may", "june", "dropped")
+        .run_compare_by_name("Month", "may", "june", "dropped", om.exec_ctx(None))
         .expect("comparison runs");
     println!("{}", report::render(&result, 6));
     println!("{}", om.comparison_view(&result));

@@ -19,6 +19,9 @@ cargo test -p om-server --features failpoints -q
 echo "==> cargo test -p om-ingest --features failpoints -q (ingest recovery + snapshot consistency)"
 cargo test -p om-ingest --features failpoints -q
 
+echo "==> cargo test -p om-exec --test determinism -q (parallel == serial, byte-for-byte)"
+cargo test -p om-exec --test determinism -q
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -28,7 +31,19 @@ cargo clippy -p om-server --features failpoints --all-targets -- -D warnings
 echo "==> cargo clippy -p om-ingest --features failpoints --all-targets -- -D warnings"
 cargo clippy -p om-ingest --features failpoints --all-targets -- -D warnings
 
+echo "==> cargo clippy -p om-exec --features failpoints --all-targets -- -D warnings"
+cargo clippy -p om-exec --features failpoints --all-targets -- -D warnings
+
+echo "==> cargo clippy -p om-api --all-targets -- -D warnings"
+cargo clippy -p om-api --all-targets -- -D warnings
+
 echo "==> ingest_throughput bench (smoke)"
 OM_BENCH_SMOKE=1 cargo bench -p om-bench --bench ingest_throughput
+
+echo "==> rank_parallel bench (smoke)"
+OM_BENCH_SMOKE=1 cargo bench -p om-bench --bench rank_parallel
+
+echo "==> batch_drill bench (smoke)"
+OM_BENCH_SMOKE=1 cargo bench -p om-bench --bench batch_drill
 
 echo "==> ci OK"

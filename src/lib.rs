@@ -19,7 +19,7 @@
 //! // Discretize, build every 2-D and 3-D rule cube, and compare.
 //! let om = OpportunityMap::build(dataset, EngineConfig::default()).unwrap();
 //! let result = om
-//!     .compare_by_name("PhoneModel", "ph1", "ph2", "dropped")
+//!     .run_compare_by_name("PhoneModel", "ph1", "ph2", "dropped", om.exec_ctx(None))
 //!     .unwrap();
 //!
 //! // The comparator surfaces the planted cause at rank 1.

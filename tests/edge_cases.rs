@@ -17,11 +17,11 @@ fn single_attribute_dataset() {
     let om = OpportunityMap::build(b.finish().unwrap(), EngineConfig::default()).unwrap();
     // Comparison needs at least one *other* attribute to rank: result is
     // an empty ranking, not a crash.
-    let result = om.compare_by_name("A", "x", "y", "bad").unwrap();
+    let result = om.run_compare_by_name("A", "x", "y", "bad", om.exec_ctx(None)).unwrap();
     assert!(result.ranked.is_empty());
     assert!(result.top().is_none());
     // GI and views still work.
-    let _ = om.general_impressions();
+    let _ = om.run_general_impressions(om.exec_ctx(None)).expect("unlimited budget never trips");
     let _ = om.overall_view(&Default::default());
 }
 
@@ -42,7 +42,7 @@ fn class_value_never_occurs() {
     let om = OpportunityMap::build(ds, EngineConfig::default()).unwrap();
     // Comparing on the nearly-empty class: the sole ghost record makes one
     // sub-population confidence 0 ⇒ a clean error, not a panic.
-    let r = om.compare_by_name("A", "a0", "a1", "ghost");
+    let r = om.run_compare_by_name("A", "a0", "a1", "ghost", om.exec_ctx(None));
     assert!(r.is_err());
     let msg = r.unwrap_err().to_string();
     assert!(msg.contains("never occurs") || msg.contains("ratio"), "{msg}");
@@ -61,7 +61,7 @@ fn all_records_one_class() {
     }
     let om = OpportunityMap::build(b.finish().unwrap(), EngineConfig::default()).unwrap();
     // 100% confidence everywhere; comparison degenerates but must not panic.
-    let result = om.compare_by_name("A", "x", "y", "only").unwrap();
+    let result = om.run_compare_by_name("A", "x", "y", "only", om.exec_ctx(None)).unwrap();
     // cf1 == cf2 == 1.0 ⇒ ratio 1 ⇒ every F_k <= 0 ⇒ all scores 0.
     for s in &result.ranked {
         assert_eq!(s.score, 0.0);
@@ -125,7 +125,7 @@ fn constant_continuous_attribute() {
     // treat it as carrying no signal.
     let flat = om.attr_index("Flat").unwrap();
     assert_eq!(om.dataset().schema().attribute(flat).cardinality(), 1);
-    let result = om.compare_by_name("A", "x", "y", "bad").unwrap();
+    let result = om.run_compare_by_name("A", "x", "y", "bad", om.exec_ctx(None)).unwrap();
     let flat_score = result
         .ranked
         .iter()
@@ -154,7 +154,7 @@ fn all_nan_continuous_attribute() {
     // Everything lands in the missing bin.
     let counts = om.dataset().value_counts(nan_attr).unwrap();
     assert_eq!(counts.iter().sum::<u64>(), 60);
-    let _ = om.compare_by_name("A", "x", "y", "bad").unwrap();
+    let _ = om.run_compare_by_name("A", "x", "y", "bad", om.exec_ctx(None)).unwrap();
 }
 
 #[test]

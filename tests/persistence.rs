@@ -16,10 +16,10 @@ fn dataset_round_trip_preserves_analysis() {
     let a = OpportunityMap::build(ds, EngineConfig::default()).unwrap();
     let b = OpportunityMap::build(restored, EngineConfig::default()).unwrap();
     let ra = a
-        .compare_by_name("PhoneModel", "ph1", "ph2", &truth.target_class)
+        .run_compare_by_name("PhoneModel", "ph1", "ph2", &truth.target_class, a.exec_ctx(None))
         .unwrap();
     let rb = b
-        .compare_by_name("PhoneModel", "ph1", "ph2", &truth.target_class)
+        .run_compare_by_name("PhoneModel", "ph1", "ph2", &truth.target_class, b.exec_ctx(None))
         .unwrap();
     assert_eq!(ra, rb, "identical data must give identical comparisons");
 }
@@ -60,7 +60,7 @@ fn session_reload_reproduces_comparison() {
     assert_eq!(reloaded.log, vec!["first pass".to_string()]);
     let om = reloaded.open_engine(EngineConfig::default()).unwrap();
     let result = om
-        .compare_by_name("PhoneModel", "ph1", "ph2", &truth.target_class)
+        .run_compare_by_name("PhoneModel", "ph1", "ph2", &truth.target_class, om.exec_ctx(None))
         .unwrap();
     assert_eq!(result.top().unwrap().attr_name, truth.expected_top_attr);
     std::fs::remove_file(&path).ok();

@@ -10,12 +10,10 @@ fn run_scenario(
     truth: &GroundTruth,
 ) -> opportunity_map::compare::ComparisonResult {
     let om = OpportunityMap::build(dataset, EngineConfig::default()).expect("engine builds");
-    om.compare_by_name(
-        &truth.compare_attr,
+    om.run_compare_by_name(&truth.compare_attr,
         &truth.baseline_value,
         &truth.target_value,
-        &truth.target_class,
-    )
+        &truth.target_class, om.exec_ctx(None))
     .expect("comparison runs")
 }
 

@@ -52,7 +52,7 @@ fn regression_localized_to_movement_speed() {
     let (may, june) = months();
     let om = OpportunityMap::build(stack(&may, &june), EngineConfig::default()).unwrap();
     let result = om
-        .compare_by_name("Month", "may", "june", "dropped")
+        .run_compare_by_name("Month", "may", "june", "dropped", om.exec_ctx(None))
         .unwrap();
     let top = result.top().unwrap();
     assert_eq!(top.attr_name, "MovementSpeed");

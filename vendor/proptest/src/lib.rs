@@ -3,8 +3,12 @@
 //! The build environment has no route to crates.io, so the workspace
 //! vendors the slice of `proptest` its property tests use: the
 //! [`proptest!`] macro, numeric range strategies, tuple strategies,
-//! [`collection::vec`], [`Strategy::prop_map`], and the
-//! [`prop_assert!`]/[`prop_assert_eq!`] assertions.
+//! [`collection::vec`], [`option::of`], [`prop_oneof!`],
+//! [`Strategy::prop_map`], and the [`prop_assert!`]/[`prop_assert_eq!`]
+//! assertions.
+//!
+//! [`option::of`]: option::of
+//! [`Strategy::prop_map`]: strategy::Strategy::prop_map
 //!
 //! Differences from upstream, deliberate for a test-only shim:
 //! * inputs are drawn from a deterministic per-case seed (no `PROPTEST_`
@@ -111,6 +115,49 @@ pub mod strategy {
         }
     }
 
+    /// Weighted choice between strategies with a common value type
+    /// (upstream `Union`); built by the [`prop_oneof!`] macro.
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct OneOf<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u32,
+    }
+
+    impl<T> OneOf<T> {
+        /// Build from `(weight, strategy)` arms; weights need not sum
+        /// to anything in particular but must not all be zero.
+        #[must_use]
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one non-zero weight");
+            Self { arms, total }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (weight, strat) in &self.arms {
+                if pick < *weight {
+                    return strat.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("pick < total by construction")
+        }
+    }
+
+    /// Box one `prop_oneof!` arm (macro plumbing: gives the coercion a
+    /// concrete target type).
+    pub fn one_of_arm<T>(
+        weight: u32,
+        strat: impl Strategy<Value = T> + 'static,
+    ) -> (u32, Box<dyn Strategy<Value = T>>) {
+        (weight, Box::new(strat))
+    }
+
     /// A fixed value (upstream `Just`).
     #[derive(Debug, Clone)]
     pub struct Just<T: Clone>(pub T);
@@ -197,6 +244,33 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` one case in four, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_range(0u8..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 /// Macro runtime support; not part of the public API surface.
 #[doc(hidden)]
 pub mod __rt {
@@ -209,7 +283,21 @@ pub mod prelude {
     pub use crate::collection;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Choose between strategies, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::one_of_arm($weight, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Define property tests: each `#[test] fn name(pat in strategy, ...)`
@@ -300,6 +388,19 @@ mod tests {
         fn mapped_strategy(p in arb_pair()) {
             let (prod, b) = p;
             prop_assert_eq!(prod % b, 0);
+        }
+
+        #[test]
+        fn oneof_honors_arms(x in prop_oneof![Just(1u8), Just(2u8)], y in prop_oneof![5 => 0u8..3, 1 => Just(9u8)]) {
+            prop_assert!(x == 1 || x == 2);
+            prop_assert!(y < 3 || y == 9);
+        }
+
+        #[test]
+        fn option_of_yields_both(o in crate::option::of(0u32..10)) {
+            if let Some(x) = o {
+                prop_assert!(x < 10);
+            }
         }
 
         #[test]

@@ -22,6 +22,11 @@
 //! Every type round-trips: `parse(x.encode()) == x` (non-finite floats
 //! all encode as `null` and are treated as equal wire values).
 
+// Request-path crate: panics here become 500s or worker deaths, so
+// unwrap/expect are lint-visible outside unit tests (om-lint's
+// panic-path check enforces the same rule with suppression reasons).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod error;
 pub mod json;
 pub mod request;

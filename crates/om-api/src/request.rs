@@ -100,8 +100,9 @@ pub struct DrillRequest {
 }
 
 impl DrillRequest {
-    #[must_use]
-    pub fn encode(&self) -> String {
+    /// The request's fields in canonical encode order, reused by the
+    /// batch encoder to inline a drill item without a re-parse.
+    fn fields(&self) -> Vec<(String, Json)> {
         let mut fields = vec![
             ("attr".to_owned(), Json::Str(self.attr.clone())),
             ("v1".to_owned(), Json::Str(self.v1.clone())),
@@ -120,7 +121,12 @@ impl DrillRequest {
                 Json::Arr(self.path.iter().map(PathStep::to_json).collect()),
             ));
         }
-        Json::Obj(fields).encode()
+        fields
+    }
+
+    #[must_use]
+    pub fn encode(&self) -> String {
+        Json::Obj(self.fields()).encode()
     }
 
     /// # Errors
@@ -312,14 +318,10 @@ impl BatchItemRequest {
                 Json::Obj(fields)
             }
             BatchItemRequest::Drill { req, budget_ms } => {
-                // Reuse DrillRequest's canonical encoding, then prepend
-                // the kind tag and append the budget.
-                let encoded = Json::parse(&req.encode()).expect("own encoding parses");
-                let Json::Obj(inner) = encoded else {
-                    unreachable!("DrillRequest encodes an object")
-                };
+                // Reuse DrillRequest's canonical field order, with the
+                // kind tag prepended and the budget appended.
                 let mut fields = vec![("kind".to_owned(), Json::Str("drill".to_owned()))];
-                fields.extend(inner);
+                fields.extend(req.fields());
                 if let Some(ms) = budget_ms {
                     fields.push(("budget_ms".to_owned(), num_u64(*ms)));
                 }

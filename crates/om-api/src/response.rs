@@ -693,6 +693,7 @@ impl SliceResponse {
                     let _ = write!(
                         out,
                         "{{\"coords\":[{},{}],\"class\":{},\"count\":{}}}",
+                        // om-lint: allow(panic-path) — coords is a fixed [u64; 2]
                         cell.coords[0], cell.coords[1], cell.class, cell.count
                     );
                 }

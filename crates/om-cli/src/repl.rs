@@ -150,8 +150,13 @@ pub fn run_repl<R: BufRead, W: Write + ?Sized>(om: &OpportunityMap, input: R, ou
             }
             ["slice", attr_name, value_label] => {
                 let r = explorer_dim(&explorer, om, attr_name).and_then(|dim| {
-                    let cube = explorer.current().expect("dim lookup implies selection");
-                    let d = &cube.dims()[dim];
+                    let cube = explorer
+                        .current()
+                        .ok_or_else(|| "no cube selected; `open` one first".to_owned())?;
+                    let d = cube
+                        .dims()
+                        .get(dim)
+                        .ok_or_else(|| format!("dimension {dim} is out of range"))?;
                     d.labels
                         .iter()
                         .position(|l| l == value_label)

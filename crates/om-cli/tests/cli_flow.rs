@@ -11,7 +11,7 @@ fn opmap(args: &[&str]) -> Result<String, CliError> {
 }
 
 fn temp_csv(name: &str) -> String {
-    let dir = std::env::temp_dir().join("om_cli_test");
+    let dir = std::env::temp_dir().join("om-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
     dir.join(name).to_string_lossy().into_owned()
 }

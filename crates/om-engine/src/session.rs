@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn file_round_trip() {
         let s = session();
-        let dir = std::env::temp_dir().join("om_session_test");
+        let dir = std::env::temp_dir().join("om-session-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("session.omss");
         s.save(&path).unwrap();

@@ -140,8 +140,8 @@ pub fn run_batch<S: StoreRef>(
     type GroupJob = Box<dyn FnOnce() -> Vec<(usize, BatchOutcome)> + Send>;
     let jobs: Vec<GroupJob> = group_order
         .into_iter()
-        .map(|key| {
-            let members = groups.remove(&key).expect("group recorded");
+        .filter_map(|key| groups.remove(&key))
+        .map(|members| {
             let store = store.clone();
             let config = compare_config.clone();
             Box::new(move || run_compare_group(store.store(), &config, members)) as GroupJob
@@ -149,7 +149,9 @@ pub fn run_batch<S: StoreRef>(
         .collect();
     for group_outcomes in exec.scatter(jobs) {
         for (i, outcome) in group_outcomes {
-            outcomes[i] = Some(outcome);
+            if let Some(slot) = outcomes.get_mut(i) {
+                *slot = Some(outcome);
+            }
         }
     }
 
@@ -163,7 +165,7 @@ pub fn run_batch<S: StoreRef>(
         } = item
         {
             let item_budget = item_budget(budget, *budget_ms);
-            outcomes[i] = Some(run_drill_item(
+            let outcome = run_drill_item(
                 exec,
                 ds,
                 compare_config,
@@ -172,13 +174,23 @@ pub fn run_batch<S: StoreRef>(
                 path,
                 &item_budget,
                 &mut memo,
-            ));
+            );
+            if let Some(slot) = outcomes.get_mut(i) {
+                *slot = Some(outcome);
+            }
         }
     }
 
+    // Every item is Compare or Drill and both passes fill their slots;
+    // a hole would be a batching bug, reported as a typed failure
+    // rather than a panic on the request path.
     outcomes
         .into_iter()
-        .map(|o| o.expect("every item produced an outcome"))
+        .map(|o| {
+            o.unwrap_or_else(|| BatchOutcome::Failed {
+                message: "batch item produced no outcome".to_owned(),
+            })
+        })
         .collect()
 }
 
@@ -214,18 +226,21 @@ fn run_compare_group(
     };
 
     for &other in store.attrs() {
-        if other == sel || live.is_empty() {
+        if other == sel {
             continue;
         }
+        // Every member shares the unordered pair (the group key), so the
+        // first live member's spec names the slices for all of them.
+        let (pair_lo, pair_hi) = match live.first() {
+            Some((_, norm, _, _)) => (
+                norm.spec.value_1.min(norm.spec.value_2),
+                norm.spec.value_1.max(norm.spec.value_2),
+            ),
+            None => break,
+        };
         // The shared fetch: one pair-cube access and two slices serve
         // every live member of the group.
-        let fetched = subpop_slices(
-            store,
-            sel,
-            other,
-            live[0].1.spec.value_1.min(live[0].1.spec.value_2),
-            live[0].1.spec.value_1.max(live[0].1.spec.value_2),
-        )
+        let fetched = subpop_slices(store, sel, other, pair_lo, pair_hi)
         .and_then(|slices| Ok((attr_name(store, other)?, slices)));
         let (name, (labels, s_lo, s_hi)) = match fetched {
             Ok(v) => v,
@@ -328,7 +343,9 @@ fn run_drill_item(
         if let Err(e) = fail::inject("compare.drill-level") {
             return BatchOutcome::from_error(&CompareError::Fault(e));
         }
-        let prefix = &path[..depth];
+        let Some(prefix) = path.get(..depth) else {
+            break; // depth <= path.len() by the loop bound
+        };
         let current = match conditioned_population(ds, prefix, memo) {
             Ok(pop) => pop,
             Err(msg) => return BatchOutcome::Failed { message: msg },
@@ -372,18 +389,17 @@ fn conditioned_population(
     prefix: &[Condition],
     memo: &mut DrillMemo,
 ) -> Result<Arc<Dataset>, String> {
-    if prefix.is_empty() {
+    let Some((&cond, parent_prefix)) = prefix.split_last() else {
         return Ok(memo
             .pops
             .entry(Vec::new())
             .or_insert_with(|| Arc::new(ds.clone()))
             .clone());
-    }
+    };
     if let Some(hit) = memo.pops.get(prefix) {
         return Ok(hit.clone());
     }
-    let parent = conditioned_population(ds, &prefix[..prefix.len() - 1], memo)?;
-    let cond = prefix[prefix.len() - 1];
+    let parent = conditioned_population(ds, parent_prefix, memo)?;
     let sub = parent
         .sub_population(cond.attr, cond.value)
         .map_err(|e| format!("condition {} is invalid: {e}", cond.display(ds.schema())))?;

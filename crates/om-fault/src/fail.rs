@@ -26,6 +26,30 @@ use std::time::Duration;
 
 use crate::FaultError;
 
+/// Every failpoint name the workspace declares, one per seam.
+///
+/// This is the contract between library code and the chaos suites:
+/// `fail::inject` sites must use a name listed here, and tests may only
+/// arm listed names (plus test-local `tests.*` names). `om-lint`'s
+/// `failpoint-names` check enforces both directions, so a typo'd name
+/// cannot silently arm nothing.
+pub const SEAMS: &[&str] = &[
+    "compare.attr",        // om-compare: per-attribute comparison work item
+    "compare.drill-level", // om-compare: one drill-down level expansion
+    "cube.decode",         // om-cube: cube snapshot frame decode
+    "store.decode",        // om-cube: store manifest decode
+    "ingest.append",       // om-ingest: WAL append fsync boundary
+    "ingest.merge",        // om-ingest: delta-cube merge into the live cube
+    "ingest.seal",         // om-ingest: segment seal + snapshot swap
+    "engine.compare",      // om-engine: compare entry point
+    "engine.drill",        // om-engine: drill-down entry point
+    "engine.batch",        // om-engine: batch plan execution
+    "engine.gi",           // om-engine: general-impressions scan
+    "server.respond",      // om-server: response serialization boundary
+    "exec.rank",           // om-exec: sharded rank worker body
+    "exec.batch-group",    // om-exec: batch group dispatch
+];
+
 /// What an armed failpoint does when its seam is crossed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Action {

@@ -20,6 +20,11 @@
 //!   store and publishing immutable generations through
 //!   [`om_cube::SharedStore`], so queries never see a torn store.
 
+// Request-path crate: panics here become 500s or worker deaths, so
+// unwrap/expect are lint-visible outside unit tests (om-lint's
+// panic-path check enforces the same rule with suppression reasons).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod error;
 mod ingest;
 pub mod row;

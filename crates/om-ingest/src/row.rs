@@ -162,16 +162,19 @@ impl RowParser {
                     ),
                 });
             }
-            return binning.bin_ids[binning.cuts.bin_of(parsed)].ok_or_else(|| {
-                IngestError::BadRow {
+            return binning
+                .bin_ids
+                .get(binning.cuts.bin_of(parsed))
+                .copied()
+                .flatten()
+                .ok_or_else(|| IngestError::BadRow {
                     row,
                     reason: format!(
                         "attribute {:?}: value {parsed} falls in a bin absent from the \
                          serving domain",
                         attribute.name()
                     ),
-                }
-            });
+                });
         }
         Err(IngestError::BadRow {
             row,

@@ -93,6 +93,19 @@ fn encode_frame(rows: &[Vec<ValueId>]) -> Vec<u8> {
     out
 }
 
+/// Little-endian reads over an untrusted replay buffer. Out-of-range
+/// offsets return `None` — a torn or corrupt tail must never panic the
+/// recovery path, it just truncates the replay.
+fn read_u32_at(buf: &[u8], at: usize) -> Option<u32> {
+    let bytes = buf.get(at..at.checked_add(4)?)?;
+    Some(u32::from_le_bytes(bytes.try_into().ok()?))
+}
+
+fn read_u64_at(buf: &[u8], at: usize) -> Option<u64> {
+    let bytes = buf.get(at..at.checked_add(8)?)?;
+    Some(u64::from_le_bytes(bytes.try_into().ok()?))
+}
+
 /// Decode every intact frame of one segment. Returns the recovered rows
 /// and the byte length of the intact prefix — equal to `buf.len()` iff
 /// the segment ended cleanly (no torn/corrupt tail).
@@ -100,43 +113,46 @@ fn decode_segment(buf: &[u8]) -> (Vec<Vec<ValueId>>, usize) {
     let mut rows = Vec::new();
     let mut at = 0usize;
     while at < buf.len() {
-        let rest = &buf[at..];
-        if rest.len() < HEADER {
-            return (rows, at);
+        match decode_frame(buf, at, &mut rows) {
+            Some(next) => at = next,
+            None => return (rows, at), // torn/corrupt tail: stop replay here
         }
-        if &rest[..4] != MAGIC || rest[4] != VERSION {
-            return (rows, at);
-        }
-        let len = u64::from_le_bytes(rest[5..13].try_into().unwrap()) as usize;
-        if rest.len() < HEADER + len + 4 {
-            return (rows, at); // torn tail: frame written partially
-        }
-        let payload = &rest[HEADER..HEADER + len];
-        let stored_crc =
-            u32::from_le_bytes(rest[HEADER + len..HEADER + len + 4].try_into().unwrap());
-        if crc32(payload) != stored_crc {
-            return (rows, at);
-        }
-        if len < 8 {
-            return (rows, at);
-        }
-        let n_rows = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
-        let n_cols = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
-        if len != 8 + n_rows * n_cols * 4 {
-            return (rows, at);
-        }
-        let mut p = 8;
-        for _ in 0..n_rows {
-            let mut row = Vec::with_capacity(n_cols);
-            for _ in 0..n_cols {
-                row.push(u32::from_le_bytes(payload[p..p + 4].try_into().unwrap()));
-                p += 4;
-            }
-            rows.push(row);
-        }
-        at += HEADER + len + 4;
     }
     (rows, at)
+}
+
+/// Decode the frame starting at byte `at`, appending its rows on
+/// success and returning the offset just past it. `None` means the
+/// bytes from `at` on are torn or corrupt; nothing is appended. Every
+/// read is bounds-checked — replay input is whatever survived a crash.
+fn decode_frame(buf: &[u8], at: usize, rows: &mut Vec<Vec<ValueId>>) -> Option<usize> {
+    let rest = buf.get(at..)?;
+    if rest.get(..4)? != MAGIC || *rest.get(4)? != VERSION {
+        return None;
+    }
+    let len = usize::try_from(read_u64_at(rest, 5)?).ok()?;
+    let payload = rest.get(HEADER..HEADER.checked_add(len)?)?;
+    let stored_crc = read_u32_at(rest, HEADER + len)?;
+    if crc32(payload) != stored_crc || len < 8 {
+        return None;
+    }
+    let n_rows = read_u32_at(payload, 0)? as usize;
+    let n_cols = read_u32_at(payload, 4)? as usize;
+    if len != 8usize.checked_add(n_rows.checked_mul(n_cols)?.checked_mul(4)?)? {
+        return None;
+    }
+    let mut batch = Vec::new();
+    let mut p = 8;
+    for _ in 0..n_rows {
+        let mut row = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            row.push(read_u32_at(payload, p)?);
+            p += 4;
+        }
+        batch.push(row);
+    }
+    rows.append(&mut batch);
+    Some(at + HEADER + len + 4)
 }
 
 impl Wal {

@@ -1,0 +1,152 @@
+//! `deprecated-engine-api`: no in-repo caller of `#[deprecated]` shims.
+//!
+//! PR 4 collapsed the engine API onto `run_*` + `ExecCtx` and left the
+//! old `compare`/`*_budgeted` pairs as deprecated one-line shims. Rust
+//! only *warns* on deprecated calls, and the workspace denies warnings
+//! per-crate — but a new crate that forgets the clippy wiring would
+//! reintroduce callers silently. This check closes that hole.
+//!
+//! A name is checked only when it is unambiguous: if a fn of the same
+//! name is also defined *without* `#[deprecated]` anywhere in the
+//! workspace (e.g. `Comparator::compare` vs the engine's deprecated
+//! `compare` shim), a lexical scan cannot attribute call sites, so the
+//! name is skipped. The remaining names are flagged at any
+//! `.name(`/`::name(` call site outside the defining file and outside
+//! test regions (the shim-coverage test is allowed to call them).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::checks::Check;
+use crate::lexer::TokKind;
+use crate::{Finding, Role, Workspace};
+
+pub struct DeprecatedEngineApi;
+
+const NAME: &str = "deprecated-engine-api";
+
+impl Check for DeprecatedEngineApi {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "no in-repo caller of #[deprecated] shims outside the shims themselves"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Finding> {
+        // name -> defining file (first wins; shims live in one file).
+        let mut deprecated: BTreeMap<String, String> = BTreeMap::new();
+        let mut plain: BTreeSet<&str> = BTreeSet::new();
+        for src in &ws.sources {
+            for (name, _) in &src.info.deprecated_fns {
+                deprecated.entry(name.clone()).or_insert_with(|| src.rel.clone());
+            }
+            for name in &src.info.plain_fns {
+                plain.insert(name);
+            }
+        }
+        deprecated.retain(|name, _| !plain.contains(name.as_str()));
+        if deprecated.is_empty() {
+            return Vec::new();
+        }
+
+        let mut out = Vec::new();
+        for src in &ws.sources {
+            if src.role != Role::Src {
+                continue;
+            }
+            let code = &src.info.code;
+            for (i, t) in code.iter().enumerate() {
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                let Some(def_file) = deprecated.get(&t.text) else {
+                    continue;
+                };
+                if *def_file == src.rel || src.info.in_test_region(t.line) {
+                    continue;
+                }
+                let is_call = code.get(i + 1).is_some_and(|n| n.is_punct('('));
+                let after_path = i > 0 && (code[i - 1].is_punct('.') || code[i - 1].is_punct(':'));
+                if is_call && after_path {
+                    out.push(Finding::new(
+                        NAME,
+                        &src.rel,
+                        t.line,
+                        format!(
+                            "call to deprecated engine shim `{}` (defined in {def_file}); \
+                             use the run_* API with an ExecCtx",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scan, CheckConfig, SourceFile};
+
+    fn ws(files: Vec<(&str, &str)>) -> Workspace {
+        Workspace {
+            root: std::path::PathBuf::new(),
+            sources: files
+                .into_iter()
+                .map(|(rel, text)| SourceFile {
+                    rel: rel.into(),
+                    role: Role::Src,
+                    info: scan::scan(&crate::lexer::lex(text)),
+                })
+                .collect(),
+            manifests: vec![],
+            docs: vec![],
+            config: CheckConfig::default(),
+        }
+    }
+
+    #[test]
+    fn flags_external_caller() {
+        let w = ws(vec![
+            (
+                "crates/om-engine/src/engine.rs",
+                "#[deprecated(note = \"use run_compare\")]\npub fn compare_by_name(&self) {}",
+            ),
+            (
+                "crates/om-cli/src/lib.rs",
+                "fn go(om: &OpportunityMap) { om.compare_by_name(); }",
+            ),
+        ]);
+        let f = DeprecatedEngineApi.run(&w);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].file, "crates/om-cli/src/lib.rs");
+    }
+
+    #[test]
+    fn ambiguous_names_are_skipped() {
+        let w = ws(vec![
+            (
+                "crates/om-engine/src/engine.rs",
+                "#[deprecated]\npub fn compare(&self) {}",
+            ),
+            (
+                "crates/om-compare/src/rank.rs",
+                "pub fn compare(&self) {}\nfn use_it(c: &Comparator) { c.compare(); }",
+            ),
+        ]);
+        assert!(DeprecatedEngineApi.run(&w).is_empty());
+    }
+
+    #[test]
+    fn defining_file_and_tests_are_exempt() {
+        let w = ws(vec![(
+            "crates/om-engine/src/engine.rs",
+            "#[deprecated]\npub fn old_shim(&self) { self.old_shim_inner() }\n\
+             #[cfg(test)]\nmod tests { fn t(om: &O) { om.old_shim(); } }",
+        )]);
+        assert!(DeprecatedEngineApi.run(&w).is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! `failpoint-names`: the chaos suite and the failure seams must agree.
+//!
+//! `om_fault::fail::SEAMS` is the registry of every failpoint name the
+//! workspace declares. Three invariants:
+//!
+//! 1. every `fail::inject("name")` seam in library code names a
+//!    registered seam (no unregistered seams),
+//! 2. every name armed in test code — `fail::configure("name", ..)`
+//!    literals, `OM_FAILPOINTS`-style `name=action` entry strings, and
+//!    bare dotted failpoint literals (the arrays crash-recovery tests
+//!    iterate) — is registered, so a typo'd chaos test cannot silently
+//!    arm nothing (names under `tests.` are test-local and exempt), and
+//! 3. every registered seam still has at least one inject site.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::checks::Check;
+use crate::lexer::TokKind;
+use crate::{Finding, Role, Workspace};
+
+pub struct FailpointNames;
+
+const NAME: &str = "failpoint-names";
+
+/// Subsystem prefixes that make a bare dotted string literal in test
+/// code count as a failpoint name.
+const SEAM_PREFIXES: [&str; 7] = [
+    "compare.", "cube.", "store.", "ingest.", "engine.", "server.", "exec.",
+];
+
+/// File-ish suffixes that disqualify a dotted literal (`"wal.rs"`,
+/// `"data.csv"` are paths, not failpoints).
+const FILE_SUFFIXES: [&str; 8] = [".rs", ".csv", ".json", ".toml", ".md", ".txt", ".wal", ".tmp"];
+
+impl Check for FailpointNames {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "every OM_FAILPOINTS name armed in tests is declared in om_fault::fail::SEAMS"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Finding> {
+        let Some(reg_file) = ws
+            .sources
+            .iter()
+            .find(|s| s.rel == ws.config.failpoint_registry)
+        else {
+            return Vec::new();
+        };
+        let Some((seams, seams_line)) = parse_seams(reg_file) else {
+            return vec![Finding::new(
+                NAME,
+                &reg_file.rel,
+                1,
+                "no `SEAMS: &[&str]` registry found; declare every failpoint name there",
+            )];
+        };
+
+        let mut out = Vec::new();
+        // inject sites: name -> first site.
+        let mut injected: BTreeMap<String, (String, u32)> = BTreeMap::new();
+        for src in &ws.sources {
+            let code = &src.info.code;
+            for (i, t) in code.iter().enumerate() {
+                if t.is_ident("inject")
+                    && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && code.get(i + 2).is_some_and(|n| n.kind == TokKind::Str)
+                {
+                    let lit = &code[i + 2];
+                    let in_tests = src.role == Role::Test || src.info.in_test_region(t.line);
+                    if !in_tests {
+                        injected
+                            .entry(lit.text.clone())
+                            .or_insert_with(|| (src.rel.clone(), lit.line));
+                        if !seams.contains(&lit.text) {
+                            out.push(Finding::new(
+                                NAME,
+                                &src.rel,
+                                lit.line,
+                                format!(
+                                    "failpoint {:?} injected here but not declared in \
+                                     om_fault::fail::SEAMS",
+                                    lit.text
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Armed names in test code.
+        for src in &ws.sources {
+            let code = &src.info.code;
+            for (i, t) in code.iter().enumerate() {
+                let in_tests = src.role == Role::Test || src.info.in_test_region(t.line);
+                if !in_tests {
+                    continue;
+                }
+                if t.kind != TokKind::Str {
+                    continue;
+                }
+                let after_configure = i >= 2
+                    && code[i - 1].is_punct('(')
+                    && code[i - 2].is_ident("configure");
+                for name in armed_candidates(&t.text, after_configure) {
+                    if name.starts_with("tests.") {
+                        continue;
+                    }
+                    if !seams.contains(&name) {
+                        out.push(Finding::new(
+                            NAME,
+                            &src.rel,
+                            t.line,
+                            format!(
+                                "test arms failpoint {name:?}, which is not declared in \
+                                 om_fault::fail::SEAMS — it would silently arm nothing"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Registered seams must still exist as inject sites.
+        for seam in &seams {
+            if !injected.contains_key(seam) {
+                out.push(Finding::new(
+                    NAME,
+                    &reg_file.rel,
+                    seams_line,
+                    format!("SEAMS declares {seam:?} but no fail::inject({seam:?}) site exists"),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Literals in `SEAMS: &[&str] = &[ ... ];`.
+fn parse_seams(src: &crate::SourceFile) -> Option<(BTreeSet<String>, u32)> {
+    let code = &src.info.code;
+    let at = code.iter().position(|t| t.is_ident("SEAMS"))?;
+    let line = code[at].line;
+    let mut seams = BTreeSet::new();
+    for t in &code[at..] {
+        if t.kind == TokKind::Str {
+            seams.insert(t.text.clone());
+        }
+        if t.is_punct(';') {
+            break;
+        }
+    }
+    Some((seams, line))
+}
+
+/// Failpoint names a test-side string literal arms. `configure("x")`
+/// literals always count; otherwise the literal must either carry
+/// `name=action` entries (the `OM_FAILPOINTS` wire format) or be a bare
+/// dotted name under a known subsystem prefix.
+fn armed_candidates(lit: &str, after_configure: bool) -> Vec<String> {
+    if lit.contains('=') {
+        return lit
+            .split(';')
+            .filter_map(|entry| entry.split_once('=').map(|(n, _)| n.trim().to_owned()))
+            .filter(|n| looks_like_failpoint(n))
+            .collect();
+    }
+    if after_configure {
+        return vec![lit.to_owned()];
+    }
+    if looks_like_failpoint(lit) {
+        return vec![lit.to_owned()];
+    }
+    Vec::new()
+}
+
+fn looks_like_failpoint(name: &str) -> bool {
+    (name.starts_with("tests.") || SEAM_PREFIXES.iter().any(|p| name.starts_with(p)))
+        && !FILE_SUFFIXES.iter().any(|s| name.ends_with(s))
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || matches!(b, b'.' | b'-' | b'_'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scan, CheckConfig, SourceFile};
+
+    const REGISTRY: &str = r#"
+pub const SEAMS: &[&str] = &["engine.compare", "cube.decode"];
+pub fn inject(name: &str) {}
+fn seams_used() { inject("engine.compare"); inject("cube.decode"); }
+"#;
+
+    fn ws(test_src: &str) -> Workspace {
+        let mk = |rel: &str, text: &str, role| SourceFile {
+            rel: rel.into(),
+            role,
+            info: scan::scan(&crate::lexer::lex(text)),
+        };
+        Workspace {
+            root: std::path::PathBuf::new(),
+            sources: vec![
+                mk("crates/om-fault/src/fail.rs", REGISTRY, Role::Src),
+                mk("crates/om-server/tests/chaos.rs", test_src, Role::Test),
+            ],
+            manifests: vec![],
+            docs: vec![],
+            config: CheckConfig::default(),
+        }
+    }
+
+    #[test]
+    fn registered_arms_are_clean() {
+        let w = ws(r#"fn t() { fail::configure("engine.compare", Action::Delay(d)); }"#);
+        assert!(FailpointNames.run(&w).is_empty());
+    }
+
+    #[test]
+    fn typoed_configure_is_flagged() {
+        let w = ws(r#"fn t() { fail::configure("engine.comapre", Action::Delay(d)); }"#);
+        let f = FailpointNames.run(&w);
+        assert_eq!(f.len(), 1);
+        // om-lint: allow(failpoint-names) — deliberate typo exercising the check
+        assert!(f[0].message.contains("engine.comapre"));
+    }
+
+    #[test]
+    fn env_entry_strings_and_dotted_literals_are_parsed() {
+        let w = ws(
+            // om-lint: allow(failpoint-names) — fixture arms unregistered names on purpose
+            r#"fn t() { let e = "cube.decode=error:rot;engine.nope=delay:5"; let a = ["engine.compare", "store.gone"]; let p = "wal.rs"; }"#,
+        );
+        let f = FailpointNames.run(&w);
+        // om-lint: allow(failpoint-names) — asserting on the deliberately bad name
+        assert!(f.iter().any(|f| f.message.contains("engine.nope")), "{f:?}");
+        // om-lint: allow(failpoint-names) — asserting on the deliberately bad name
+        assert!(f.iter().any(|f| f.message.contains("store.gone")));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn tests_scope_names_are_exempt() {
+        let w = ws(r#"fn t() { fail::configure("tests.local-only", Action::Delay(d)); }"#);
+        assert!(FailpointNames.run(&w).is_empty());
+    }
+
+    #[test]
+    fn stale_seam_without_inject_site_is_flagged() {
+        let reg = r#"pub const SEAMS: &[&str] = &["engine.compare"];"#;
+        let w = Workspace {
+            root: std::path::PathBuf::new(),
+            sources: vec![SourceFile {
+                rel: "crates/om-fault/src/fail.rs".into(),
+                role: Role::Src,
+                info: scan::scan(&crate::lexer::lex(reg)),
+            }],
+            manifests: vec![],
+            docs: vec![],
+            config: CheckConfig::default(),
+        };
+        let f = FailpointNames.run(&w);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no fail::inject"));
+    }
+}

@@ -1,0 +1,329 @@
+//! `lock-order`: static detection of inconsistent lock acquisition
+//! order — the compile-time half of a deadlock detector.
+//!
+//! Pass 1 collects the workspace's lock *names*: identifiers declared
+//! as `name: Mutex<..>` / `name: RwLock<..>` fields or statics. Names
+//! are namespaced per crate (`om-server/inner`), so identical field
+//! names in unrelated crates do not alias.
+//!
+//! Pass 2 walks every function body (non-test) and records each
+//! zero-argument `.lock()` / `.read()` / `.write()` call whose receiver
+//! tail is a declared lock name. Within one function, acquiring A
+//! before B adds the edge A → B to a workspace-wide lock graph.
+//!
+//! Any cycle in that graph means two code paths acquire the same pair
+//! of locks in opposite orders — a latent deadlock. The finding names
+//! the cycle and one acquisition site per edge.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::checks::Check;
+use crate::lexer::TokKind;
+use crate::{Finding, Role, Workspace};
+
+pub struct LockOrder;
+
+const NAME: &str = "lock-order";
+const ACQUIRERS: [&str; 3] = ["lock", "read", "write"];
+
+impl Check for LockOrder {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "pairwise lock acquisition order is consistent across the workspace (no cycles)"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Finding> {
+        // Pass 1: declared lock names, per crate.
+        let mut locks: BTreeSet<String> = BTreeSet::new();
+        for src in &ws.sources {
+            let ns = crate_of(&src.rel);
+            let code = &src.info.code;
+            for (i, t) in code.iter().enumerate() {
+                let is_lock_type = t.is_ident("Mutex") || t.is_ident("RwLock");
+                if is_lock_type
+                    && code.get(i + 1).is_some_and(|n| n.is_punct('<'))
+                    && i >= 2
+                    && code[i - 1].is_punct(':')
+                    && code[i - 2].kind == TokKind::Ident
+                {
+                    locks.insert(format!("{ns}/{}", code[i - 2].text));
+                }
+            }
+        }
+        if locks.is_empty() {
+            return Vec::new();
+        }
+
+        // Pass 2: ordered acquisition pairs inside each function.
+        // edge (A, B) -> one witness site "file:line(fn)".
+        let mut edges: BTreeMap<(String, String), String> = BTreeMap::new();
+        for src in &ws.sources {
+            if src.role != Role::Src {
+                continue;
+            }
+            let ns = crate_of(&src.rel);
+            let code = &src.info.code;
+            for f in &src.info.fns {
+                if src.info.in_test_region(f.start_line) {
+                    continue;
+                }
+                let mut seq: Vec<(String, u32)> = Vec::new();
+                let (open, close) = f.body;
+                for i in open..=close.min(code.len().saturating_sub(1)) {
+                    let t = &code[i];
+                    if t.kind == TokKind::Ident
+                        && ACQUIRERS.contains(&t.text.as_str())
+                        && i >= 2
+                        && code[i - 1].is_punct('.')
+                        && code[i - 2].kind == TokKind::Ident
+                        && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+                        && code.get(i + 2).is_some_and(|n| n.is_punct(')'))
+                    {
+                        let name = format!("{ns}/{}", code[i - 2].text);
+                        if locks.contains(&name) {
+                            seq.push((name, t.line));
+                        }
+                    }
+                }
+                for a in 0..seq.len() {
+                    for b in (a + 1)..seq.len() {
+                        if seq[a].0 != seq[b].0 {
+                            edges
+                                .entry((seq[a].0.clone(), seq[b].0.clone()))
+                                .or_insert_with(|| {
+                                    format!(
+                                        "{}:{} (fn {}, then line {})",
+                                        src.rel, seq[a].1, f.name, seq[b].1
+                                    )
+                                });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cycle detection over the edge set.
+        let mut out = Vec::new();
+        let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+        for ((a, b), site_ab) in &edges {
+            let Some(site_ba) = edges.get(&(b.clone(), a.clone())) else {
+                continue;
+            };
+            let key = if a < b {
+                (a.clone(), b.clone())
+            } else {
+                (b.clone(), a.clone())
+            };
+            if !reported.insert(key) {
+                continue;
+            }
+            let (file, line) = split_site(site_ab);
+            out.push(Finding::new(
+                NAME,
+                &file,
+                line,
+                format!(
+                    "inconsistent lock order: `{a}` then `{b}` at {site_ab}, but \
+                     `{b}` then `{a}` at {site_ba} — opposite orders can deadlock"
+                ),
+            ));
+        }
+        // Longer cycles (A→B→C→A) without any 2-cycle: depth-first walk.
+        out.extend(long_cycles(&edges, &reported));
+        out
+    }
+}
+
+/// Crate name from a workspace-relative path (`crates/om-server/src/..`
+/// → `om-server`; root `src/..` → `root`).
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates" | "vendor") => parts.next().unwrap_or("?").to_owned(),
+        _ => "root".to_owned(),
+    }
+}
+
+fn split_site(site: &str) -> (String, u32) {
+    let mut it = site.split(':');
+    let file = it.next().unwrap_or("?").to_owned();
+    let line = it
+        .next()
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(1);
+    (file, line)
+}
+
+/// Report one representative cycle of length ≥ 3 per strongly-connected
+/// component not already covered by a pairwise report.
+fn long_cycles(
+    edges: &BTreeMap<(String, String), String>,
+    reported_pairs: &BTreeSet<(String, String)>,
+) -> Vec<Finding> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a).or_default().push(b);
+    }
+    let mut out = Vec::new();
+    let mut seen_cycle_nodes: BTreeSet<String> = BTreeSet::new();
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        if seen_cycle_nodes.contains(start) {
+            continue;
+        }
+        let mut stack = vec![start];
+        let mut on_path: Vec<&str> = Vec::new();
+        if let Some(cycle) = dfs(start, &adj, &mut on_path, &mut stack.split_off(1)) {
+            // Skip cycles already reported as a pair.
+            if cycle.len() == 2 {
+                continue;
+            }
+            let covered = cycle.windows(2).any(|w| {
+                let key = if w[0] < w[1] {
+                    (w[0].clone(), w[1].clone())
+                } else {
+                    (w[1].clone(), w[0].clone())
+                };
+                reported_pairs.contains(&key)
+            });
+            if covered {
+                continue;
+            }
+            for n in &cycle {
+                seen_cycle_nodes.insert(n.clone());
+            }
+            let site = edges
+                .get(&(cycle[0].clone(), cycle[1].clone()))
+                .cloned()
+                .unwrap_or_default();
+            let (file, line) = split_site(&site);
+            out.push(Finding::new(
+                NAME,
+                &file,
+                line,
+                format!(
+                    "lock-order cycle {} — acquisition orders around this loop can deadlock \
+                     (first edge at {site})",
+                    cycle.join(" → "),
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// DFS from `node`; returns the node list of the first cycle found.
+fn dfs<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    on_path: &mut Vec<&'a str>,
+    _unused: &mut Vec<&'a str>,
+) -> Option<Vec<String>> {
+    if let Some(pos) = on_path.iter().position(|n| *n == node) {
+        return Some(on_path[pos..].iter().map(|s| (*s).to_owned()).collect());
+    }
+    if on_path.len() > 32 {
+        return None; // pathological graphs: give up quietly
+    }
+    on_path.push(node);
+    if let Some(nexts) = adj.get(node) {
+        for next in nexts {
+            if let Some(c) = dfs(next, adj, on_path, _unused) {
+                on_path.pop();
+                return Some(c);
+            }
+        }
+    }
+    on_path.pop();
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scan, CheckConfig, SourceFile};
+
+    fn ws(files: Vec<(&str, &str)>) -> Workspace {
+        Workspace {
+            root: std::path::PathBuf::new(),
+            sources: files
+                .into_iter()
+                .map(|(rel, text)| SourceFile {
+                    rel: rel.into(),
+                    role: Role::Src,
+                    info: scan::scan(&crate::lexer::lex(text)),
+                })
+                .collect(),
+            manifests: vec![],
+            docs: vec![],
+            config: CheckConfig::default(),
+        }
+    }
+
+    const DECLS: &str = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n";
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let w = ws(vec![(
+            "crates/om-x/src/lib.rs",
+            &format!(
+                "{DECLS}fn one(s: &S) {{ let g = s.a.lock(); let h = s.b.lock(); }}\n\
+                 fn two(s: &S) {{ let g = s.a.lock(); let h = s.b.lock(); }}\n"
+            ),
+        )]);
+        assert!(LockOrder.run(&w).is_empty());
+    }
+
+    #[test]
+    fn inverted_order_is_a_cycle() {
+        let w = ws(vec![(
+            "crates/om-x/src/lib.rs",
+            &format!(
+                "{DECLS}fn one(s: &S) {{ let g = s.a.lock(); let h = s.b.lock(); }}\n\
+                 fn two(s: &S) {{ let h = s.b.lock(); let g = s.a.lock(); }}\n"
+            ),
+        )]);
+        let f = LockOrder.run(&w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("opposite orders"));
+    }
+
+    #[test]
+    fn same_names_in_different_crates_do_not_alias() {
+        let one = format!("{DECLS}fn f(s: &S) {{ let g = s.a.lock(); let h = s.b.lock(); }}\n");
+        let two = format!("{DECLS}fn f(s: &S) {{ let h = s.b.lock(); let g = s.a.lock(); }}\n");
+        let w = ws(vec![
+            ("crates/om-x/src/lib.rs", one.leak()),
+            ("crates/om-y/src/lib.rs", two.leak()),
+        ]);
+        assert!(LockOrder.run(&w).is_empty());
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_an_acquisition() {
+        let w = ws(vec![(
+            "crates/om-x/src/lib.rs",
+            "struct S { file: Mutex<u32> }\nfn f(file: &mut F, buf: &mut [u8]) { file.read(buf); }\n",
+        )]);
+        assert!(LockOrder.run(&w).is_empty());
+    }
+
+    #[test]
+    fn three_cycle_is_reported() {
+        let decls = "struct S { a: Mutex<u32>, b: Mutex<u32>, c: Mutex<u32> }\n";
+        let w = ws(vec![(
+            "crates/om-x/src/lib.rs",
+            &format!(
+                "{decls}fn one(s: &S) {{ let g = s.a.lock(); let h = s.b.lock(); }}\n\
+                 fn two(s: &S) {{ let g = s.b.lock(); let h = s.c.lock(); }}\n\
+                 fn three(s: &S) {{ let g = s.c.lock(); let h = s.a.lock(); }}\n"
+            ),
+        )]);
+        let f = LockOrder.run(&w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("cycle"));
+    }
+}

@@ -1,0 +1,108 @@
+//! `unsafe-safety-comment`: every `unsafe` block, fn, or impl is
+//! preceded by a `// SAFETY:` comment justifying it.
+//!
+//! The workspace is `unsafe`-free today (even the vendored parking_lot
+//! shim is safe code); this check keeps any future `unsafe` honest.
+//! The comment must appear within the three lines above the `unsafe`
+//! token (or on the same line), matching the convention
+//! `clippy::undocumented_unsafe_blocks` enforces — but this check also
+//! covers the vendored crates, which opt out of workspace lints.
+
+use crate::checks::Check;
+use crate::lexer::TokKind;
+use crate::{Finding, Workspace};
+
+pub struct UnsafeSafetyComment;
+
+const NAME: &str = "unsafe-safety-comment";
+
+impl Check for UnsafeSafetyComment {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "every unsafe block/impl/fn carries a // SAFETY: comment"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for src in &ws.sources {
+            // Work over the raw text lines for comment adjacency; the
+            // token stream tells us which `unsafe` occurrences are code.
+            for t in &src.info.code {
+                if !(t.kind == TokKind::Ident && t.text == "unsafe") {
+                    continue;
+                }
+                if has_safety_comment(src, t.line) {
+                    continue;
+                }
+                out.push(Finding::new(
+                    NAME,
+                    &src.rel,
+                    t.line,
+                    "unsafe without a preceding // SAFETY: comment explaining the invariant",
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// A `SAFETY:` comment on the same line or within the three lines above.
+fn has_safety_comment(src: &crate::SourceFile, line: u32) -> bool {
+    // The scan keeps trivia out of `code`; re-derive comment lines from
+    // the suppressions pass is not enough (SAFETY is not a suppression),
+    // so look at the raw comment tokens captured at lex time.
+    src.info
+        .comment_lines
+        .iter()
+        .any(|&(l, ref text)| l + 3 >= line && l <= line && text.contains("SAFETY:"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scan, CheckConfig, Role, SourceFile};
+
+    fn run(text: &str) -> Vec<Finding> {
+        let ws = Workspace {
+            root: std::path::PathBuf::new(),
+            sources: vec![SourceFile {
+                rel: "vendor/parking_lot/src/lib.rs".into(),
+                role: Role::Src,
+                info: scan::scan(&crate::lexer::lex(text)),
+            }],
+            manifests: vec![],
+            docs: vec![],
+            config: CheckConfig::default(),
+        };
+        UnsafeSafetyComment.run(&ws)
+    }
+
+    #[test]
+    fn documented_unsafe_is_clean() {
+        let f = run("// SAFETY: the pointer outlives the guard\nunsafe { deref(p) }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn bare_unsafe_is_flagged() {
+        let f = run("fn f(p: *const u8) { unsafe { deref(p) } }\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_comments_and_strings_is_ignored() {
+        let f = run("// this crate avoids unsafe entirely\nlet s = \"unsafe\";\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unsafe_impl_needs_comment_too() {
+        let flagged = run("unsafe impl Send for X {}\n");
+        assert_eq!(flagged.len(), 1);
+        let ok = run("// SAFETY: X owns no thread-affine state\nunsafe impl Send for X {}\n");
+        assert!(ok.is_empty());
+    }
+}

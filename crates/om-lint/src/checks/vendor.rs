@@ -1,0 +1,185 @@
+//! `vendor-only`: every dependency across the workspace resolves from a
+//! `path` (or workspace inheritance), never a bare crates.io version.
+//!
+//! The seed repo was broken for exactly this reason: the build
+//! environment's crates.io mirror is unreachable, so any
+//! `foo = "1.0"` entry compiles on a developer laptop and dies in CI.
+//! This check parses every `Cargo.toml` (a deliberately small TOML
+//! subset: sections, `key = value` lines, inline tables) and flags
+//! dependency entries that carry a `version` requirement without a
+//! `path`, or are bare version strings.
+//!
+//! Suppress with a `# om-lint: allow(vendor-only) — <reason>` TOML
+//! comment on the entry's line.
+
+use crate::checks::Check;
+use crate::{Finding, Workspace};
+
+pub struct VendorOnly;
+
+const NAME: &str = "vendor-only";
+
+/// Sections whose entries are dependency requirements.
+fn is_dep_section(section: &str) -> bool {
+    let last = section.split('.').next_back().unwrap_or(section);
+    matches!(
+        last,
+        "dependencies" | "dev-dependencies" | "build-dependencies"
+    )
+}
+
+impl Check for VendorOnly {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "all Cargo dependencies resolve via path/workspace, never a bare registry version"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for manifest in &ws.manifests {
+            let mut section = String::new();
+            // `[dependencies.foo]` multi-line tables accumulate keys.
+            let mut table_entry: Option<(String, u32, bool, bool)> = None; // (name, line, has_path_or_ws, has_version)
+            for (idx, raw) in manifest.text.lines().enumerate() {
+                let line_no = u32::try_from(idx).unwrap_or(u32::MAX - 1) + 1;
+                let suppressed = raw.contains("om-lint: allow(vendor-only)")
+                    && raw.split('#').nth(1).is_some_and(|c| {
+                        c.split(')').nth(1).is_some_and(|r| {
+                            !r.trim_start_matches(['—', '–', '-', ':', ' ']).trim().is_empty()
+                        })
+                    });
+                let line = raw.split('#').next().unwrap_or("").trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if let Some(rest) = line.strip_prefix('[') {
+                    // Close out any pending [dependencies.foo] table.
+                    if let Some((name, l, ok, has_version)) = table_entry.take() {
+                        if has_version && !ok {
+                            out.push(version_finding(&manifest.rel, l, &name));
+                        }
+                    }
+                    section = rest.trim_end_matches(']').trim().to_owned();
+                    if section.contains("dependencies.") {
+                        if let Some(dep) = section.split('.').next_back() {
+                            table_entry = Some((dep.to_owned(), line_no, false, false));
+                        }
+                    }
+                    continue;
+                }
+                if let Some((name, _, ok, has_version)) = table_entry.as_mut() {
+                    // Inside [dependencies.foo].
+                    let _ = name;
+                    if line.starts_with("path") || line.starts_with("workspace") {
+                        *ok = true;
+                    }
+                    if line.starts_with("version") {
+                        *has_version = true;
+                    }
+                    continue;
+                }
+                if !is_dep_section(&section) {
+                    continue;
+                }
+                let Some((key, value)) = line.split_once('=') else {
+                    continue;
+                };
+                let key = key.trim();
+                let value = value.trim();
+                if suppressed {
+                    continue;
+                }
+                // `foo.workspace = true` / `foo.path = "..."` dotted keys.
+                if key.ends_with(".workspace") || key.ends_with(".path") {
+                    continue;
+                }
+                let ok = value.contains("workspace") && value.contains("true")
+                    || value.contains("path");
+                if !ok {
+                    out.push(version_finding(&manifest.rel, line_no, key));
+                }
+            }
+            if let Some((name, l, ok, has_version)) = table_entry.take() {
+                if has_version && !ok {
+                    out.push(version_finding(&manifest.rel, l, &name));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn version_finding(file: &str, line: u32, name: &str) -> Finding {
+    Finding::new(
+        NAME,
+        file,
+        line,
+        format!(
+            "dependency `{name}` resolves from the registry; the crates.io mirror is \
+             unreachable here — vendor it under vendor/ and use a path/workspace dep"
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CheckConfig, TextFile};
+
+    fn run(toml: &str) -> Vec<Finding> {
+        let ws = Workspace {
+            root: std::path::PathBuf::new(),
+            sources: vec![],
+            manifests: vec![TextFile {
+                rel: "crates/om-x/Cargo.toml".into(),
+                text: toml.into(),
+            }],
+            docs: vec![],
+            config: CheckConfig::default(),
+        };
+        VendorOnly.run(&ws)
+    }
+
+    #[test]
+    fn path_and_workspace_deps_are_clean() {
+        let f = run(
+            "[dependencies]\nrand = { path = \"../../vendor/rand\" }\nom-cube.workspace = true\n\
+             om-data = { workspace = true }\n\n[dev-dependencies]\nproptest.workspace = true\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn bare_versions_are_flagged() {
+        let f = run("[dependencies]\nserde = \"1.0\"\nlibc = { version = \"0.2\" }\n");
+        assert_eq!(f.len(), 2);
+        assert!(f[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn multiline_dep_tables_work() {
+        let clean = run("[dependencies.rand]\npath = \"../../vendor/rand\"\nversion = \"0.8\"\n");
+        assert!(clean.is_empty(), "{clean:?}");
+        let dirty = run("[dependencies.serde]\nversion = \"1.0\"\nfeatures = [\"derive\"]\n");
+        assert_eq!(dirty.len(), 1);
+    }
+
+    #[test]
+    fn non_dep_sections_are_ignored() {
+        let f = run("[package]\nname = \"x\"\nversion = \"0.1.0\"\n[features]\nfast = []\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn toml_comment_suppression_with_reason() {
+        let f = run(
+            "[dependencies]\nserde = \"1.0\" # om-lint: allow(vendor-only) — fixture exercises the rule\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        let bare = run("[dependencies]\nserde = \"1.0\" # om-lint: allow(vendor-only)\n");
+        assert_eq!(bare.len(), 1, "allow without reason must not suppress");
+    }
+}

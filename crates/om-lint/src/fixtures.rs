@@ -1,0 +1,105 @@
+//! Fixture self-test: each check ships a `violation/` mini-workspace it
+//! must flag and a `clean/` mini-workspace it must pass. The corpus
+//! lives under `crates/om-lint/tests/fixtures/<check>/{violation,clean}`
+//! and mirrors the real repo layout (`crates/om-server/src/...`), so the
+//! checks run against it completely unmodified.
+//!
+//! `om-lint fixtures` runs this as a CI gate: a check that stops firing
+//! on its own seeded violation (or starts firing on its clean twin) is a
+//! broken check, caught before it silently stops protecting the repo.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::{CheckConfig, Workspace};
+
+/// Outcome of one fixture run.
+#[derive(Debug)]
+pub struct FixtureOutcome {
+    pub check: String,
+    /// `"violation"` or `"clean"`.
+    pub kind: String,
+    pub pass: bool,
+    pub detail: String,
+}
+
+/// Location of the fixture corpus under a workspace root.
+#[must_use]
+pub fn fixtures_dir(workspace_root: &Path) -> PathBuf {
+    workspace_root.join("crates/om-lint/tests/fixtures")
+}
+
+/// Run every fixture under `dir`; one outcome per (check, kind) pair.
+///
+/// # Errors
+/// I/O failures walking the corpus, or an empty/missing corpus.
+pub fn run_all(dir: &Path) -> Result<Vec<FixtureOutcome>, String> {
+    let mut checks: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("fixture corpus missing at {}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    checks.sort();
+    if checks.is_empty() {
+        return Err(format!("fixture corpus at {} is empty", dir.display()));
+    }
+    let mut out = Vec::new();
+    for check_dir in checks {
+        let check = check_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        for kind in ["violation", "clean"] {
+            let root = check_dir.join(kind);
+            if !root.is_dir() {
+                out.push(FixtureOutcome {
+                    check: check.clone(),
+                    kind: kind.to_owned(),
+                    pass: false,
+                    detail: format!("missing fixture dir {}", root.display()),
+                });
+                continue;
+            }
+            out.push(run_one(&check, kind, &root)?);
+        }
+    }
+    Ok(out)
+}
+
+fn run_one(check: &str, kind: &str, root: &Path) -> Result<FixtureOutcome, String> {
+    let ws = Workspace::load(root, CheckConfig::default())?;
+    let findings = ws.run_checks();
+    let hits: Vec<_> = findings.iter().filter(|f| f.check == check).collect();
+    // A fixture must not trip *other* checks either — that would mean
+    // the corpus exercises more than it claims.
+    let strays: Vec<_> = findings.iter().filter(|f| f.check != check).collect();
+    let (pass, detail) = if !strays.is_empty() {
+        (
+            false,
+            format!(
+                "stray finding from another check: {} {}:{} {}",
+                strays[0].check, strays[0].file, strays[0].line, strays[0].message
+            ),
+        )
+    } else if kind == "violation" {
+        if hits.is_empty() {
+            (false, "expected at least one finding, got none".to_owned())
+        } else {
+            (true, format!("{} finding(s)", hits.len()))
+        }
+    } else if let Some(f) = hits.first() {
+        (
+            false,
+            format!("expected clean, got {}:{} {}", f.file, f.line, f.message),
+        )
+    } else {
+        (true, "clean".to_owned())
+    };
+    Ok(FixtureOutcome {
+        check: check.to_owned(),
+        kind: kind.to_owned(),
+        pass,
+        detail,
+    })
+}

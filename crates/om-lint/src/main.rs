@@ -1,0 +1,136 @@
+//! `om-lint` CLI.
+//!
+//! ```text
+//! om-lint check [--json] [paths…]   # lint the workspace (exit 1 on findings)
+//! om-lint fixtures                  # self-test the checks against the corpus
+//! om-lint checks                    # list the registered checks
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use om_lint::{checks, find_workspace_root, fixtures, jsonout, CheckConfig, Workspace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str);
+    match cmd {
+        Some("check") => cmd_check(&args[1..]),
+        Some("fixtures") => cmd_fixtures(),
+        Some("checks") => {
+            for c in checks::all() {
+                println!("{:24} {}", c.name(), c.description());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h" | "help") | None => {
+            eprintln!(
+                "usage: om-lint <command>\n\n  check [--json] [paths…]  lint the workspace; \
+                 exit 1 if findings remain\n  fixtures                 run the self-test corpus\n  \
+                 checks                   list registered checks"
+            );
+            ExitCode::from(u8::from(cmd.is_none()) * 2)
+        }
+        Some(other) => {
+            eprintln!("om-lint: unknown command {other:?} (try --help)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn workspace_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    find_workspace_root(&cwd).ok_or_else(|| "no [workspace] Cargo.toml above cwd".to_owned())
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut filters: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            other if other.starts_with('-') => {
+                eprintln!("om-lint: unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+            path => filters.push(path.trim_end_matches('/').to_owned()),
+        }
+    }
+    let root = match workspace_root() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("om-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ws = match Workspace::load(&root, CheckConfig::default()) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("om-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut findings = ws.run_checks();
+    if !filters.is_empty() {
+        findings.retain(|f| {
+            filters
+                .iter()
+                .any(|p| f.file == *p || f.file.starts_with(&format!("{p}/")))
+        });
+    }
+    if json {
+        print!("{}", jsonout::render(&findings));
+    } else {
+        for f in &findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.check, f.message);
+        }
+        let files = ws.sources.len() + ws.manifests.len();
+        eprintln!(
+            "om-lint: {} finding(s) across {files} files ({} checks)",
+            findings.len(),
+            checks::all().len(),
+        );
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_fixtures() -> ExitCode {
+    let root = match workspace_root() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("om-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    run_fixture_dir(&fixtures::fixtures_dir(&root))
+}
+
+fn run_fixture_dir(dir: &Path) -> ExitCode {
+    let outcomes = match fixtures::run_all(dir) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("om-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = 0usize;
+    for o in &outcomes {
+        let tag = if o.pass { "ok  " } else { "FAIL" };
+        println!("{tag} {:24} {:9} {}", o.check, o.kind, o.detail);
+        failed += usize::from(!o.pass);
+    }
+    eprintln!(
+        "om-lint fixtures: {}/{} passed",
+        outcomes.len() - failed,
+        outcomes.len()
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

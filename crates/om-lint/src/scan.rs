@@ -1,0 +1,368 @@
+//! Lightweight structure recovery over the token stream: `#[cfg(test)]`
+//! regions, function spans, `#[deprecated]` items, and `om-lint`
+//! suppression comments. No AST — brace matching and local patterns
+//! only, which is robust to everything the checks need.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, TokKind};
+
+/// A function item: name plus the token range and line range of its body.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// Token indices (into the *code* token vec) of the body, braces included.
+    pub body: (usize, usize),
+    pub start_line: u32,
+}
+
+/// One suppression comment: `// om-lint: allow(check[, check]) — reason`.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub checks: Vec<String>,
+    pub reason: String,
+    /// Line of the comment itself.
+    pub comment_line: u32,
+    /// First code line at or after the comment — the line it silences.
+    pub applies_line: u32,
+}
+
+/// Everything the checks want to know about one file beyond raw tokens.
+#[derive(Debug, Default)]
+pub struct ScanInfo {
+    /// Code tokens only (trivia stripped); checks index into this.
+    pub code: Vec<Tok>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(u32, u32)>,
+    /// All function items, outermost first.
+    pub fns: Vec<FnSpan>,
+    /// Function names defined in this file carrying `#[deprecated]`.
+    pub deprecated_fns: Vec<(String, u32)>,
+    /// Function names defined in this file *without* `#[deprecated]`.
+    pub plain_fns: Vec<String>,
+    /// Parsed suppression comments.
+    pub suppressions: Vec<Suppression>,
+    /// (line, text) of every comment token — SAFETY markers live here.
+    pub comment_lines: Vec<(u32, String)>,
+    /// check name -> suppressed lines.
+    suppressed_lines: BTreeMap<String, Vec<u32>>,
+}
+
+impl ScanInfo {
+    /// Is `line` inside a `#[cfg(test)]` item?
+    #[must_use]
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// Is a finding of `check` at `line` silenced by a suppression?
+    #[must_use]
+    pub fn is_suppressed(&self, check: &str, line: u32) -> bool {
+        self.suppressed_lines
+            .get(check)
+            .is_some_and(|lines| lines.contains(&line))
+    }
+}
+
+/// Build [`ScanInfo`] from the full (trivia-included) token stream.
+#[must_use]
+pub fn scan(all_toks: &[Tok]) -> ScanInfo {
+    let mut info = ScanInfo {
+        code: all_toks.iter().filter(|t| !t.is_trivia()).cloned().collect(),
+        comment_lines: all_toks
+            .iter()
+            .filter(|t| t.is_trivia())
+            .map(|t| (t.line, t.text.clone()))
+            .collect(),
+        ..ScanInfo::default()
+    };
+    find_test_regions(&mut info);
+    find_fns(&mut info);
+    find_suppressions(all_toks, &mut info);
+    info
+}
+
+/// Walk forward from `start` (an index into `code` pointing at `{`) to
+/// its matching close brace; returns the index of the closing token.
+fn match_braces(code: &[Tok], start: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in code.iter().enumerate().skip(start) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Index of the first `{` or terminating `;` at attribute depth zero,
+/// starting from `from`. Skips `#[...]` attribute groups so brackets in
+/// attribute arguments never look like item structure.
+fn find_body_open(code: &[Tok], from: usize) -> Option<(usize, bool)> {
+    let mut i = from;
+    while i < code.len() {
+        let t = &code[i];
+        if t.is_punct('#') && code.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            let mut depth = 0i64;
+            i += 1;
+            while i < code.len() {
+                if code[i].is_punct('[') {
+                    depth += 1;
+                } else if code[i].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        } else if t.is_punct('{') {
+            return Some((i, true));
+        } else if t.is_punct(';') {
+            return Some((i, false));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Does the attribute group starting at `#` (index `hash`) mention
+/// `test` inside a `cfg(...)`? Matches `#[cfg(test)]`,
+/// `#[cfg(all(test, ...))]` and friends.
+fn is_cfg_test_attr(code: &[Tok], hash: usize) -> Option<usize> {
+    if !code.get(hash)?.is_punct('#') || !code.get(hash + 1)?.is_punct('[') {
+        return None;
+    }
+    let mut depth = 0i64;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    let mut i = hash + 1;
+    while i < code.len() {
+        let t = &code[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (saw_cfg && saw_test).then_some(i);
+            }
+        } else if t.is_ident("cfg") {
+            saw_cfg = true;
+        } else if t.is_ident("test") && saw_cfg {
+            saw_test = true;
+        }
+        i += 1;
+    }
+    None
+}
+
+fn find_test_regions(info: &mut ScanInfo) {
+    let code = &info.code;
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if let Some(close) = is_cfg_test_attr(code, i) {
+            // The attribute gates the next item; find its body.
+            if let Some((open, is_brace)) = find_body_open(code, close + 1) {
+                let end = if is_brace {
+                    match_braces(code, open)
+                } else {
+                    open
+                };
+                regions.push((code[i].line, code[end].line));
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    info.test_regions = regions;
+}
+
+fn find_fns(info: &mut ScanInfo) {
+    let code = &info.code;
+    let mut fns = Vec::new();
+    let mut deprecated = Vec::new();
+    let mut plain = Vec::new();
+    let mut pending_deprecated = false;
+    let mut i = 0;
+    while i < code.len() {
+        let t = &code[i];
+        if t.is_punct('#') && code.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            // Attribute group: note `deprecated`, then skip it whole.
+            let mut depth = 0i64;
+            let mut j = i + 1;
+            while j < code.len() {
+                if code[j].is_punct('[') {
+                    depth += 1;
+                } else if code[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth == 1 && code[j].is_ident("deprecated") {
+                    pending_deprecated = true;
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "fn" => {
+                    let name = code
+                        .get(i + 1)
+                        .filter(|n| n.kind == TokKind::Ident)
+                        .map(|n| n.text.clone());
+                    if let Some(name) = name {
+                        if pending_deprecated {
+                            deprecated.push((name.clone(), t.line));
+                        } else {
+                            plain.push(name.clone());
+                        }
+                        if let Some((open, true)) = find_body_open(code, i + 2) {
+                            let close = match_braces(code, open);
+                            fns.push(FnSpan {
+                                name,
+                                body: (open, close),
+                                start_line: t.line,
+                            });
+                        }
+                    }
+                    pending_deprecated = false;
+                }
+                // A non-fn item consumes any pending #[deprecated].
+                "struct" | "enum" | "trait" | "mod" | "const" | "static" | "type"
+                | "macro_rules" | "use" => {
+                    pending_deprecated = false;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    info.fns = fns;
+    info.deprecated_fns = deprecated;
+    info.plain_fns = plain;
+}
+
+/// Parse `om-lint: allow(...)` comments out of the trivia stream and map
+/// each to the first code line at or after it.
+fn find_suppressions(all_toks: &[Tok], info: &mut ScanInfo) {
+    let code_lines: Vec<u32> = info.code.iter().map(|t| t.line).collect();
+    for t in all_toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        // Doc comments never suppress — they describe the allow syntax
+        // without invoking it.
+        if t.text.starts_with("///") || t.text.starts_with("//!") {
+            continue;
+        }
+        let Some(rest) = t.text.split("om-lint:").nth(1) else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow") else {
+            continue;
+        };
+        let args = args.trim_start();
+        let Some(open) = args.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close_at) = open.find(')') else {
+            continue;
+        };
+        let checks: Vec<String> = open[..close_at]
+            .split(',')
+            .map(|c| c.trim().to_owned())
+            .filter(|c| !c.is_empty())
+            .collect();
+        // Everything after the closing paren, minus dash/colon
+        // separators, is the mandatory reason.
+        let reason = open[close_at + 1..]
+            .trim_start_matches([' ', '\t'])
+            .trim_start_matches(['—', '–', '-', ':'])
+            .trim()
+            .to_owned();
+        let applies_line = code_lines
+            .iter()
+            .copied()
+            .find(|&l| l >= t.line)
+            .unwrap_or(t.line);
+        for check in &checks {
+            info.suppressed_lines
+                .entry(check.clone())
+                .or_default()
+                .push(applies_line);
+        }
+        info.suppressions.push(Suppression {
+            checks,
+            reason,
+            comment_line: t.line,
+            applies_line,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_mod_is_a_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\n";
+        let info = scan(&lex(src));
+        assert_eq!(info.test_regions.len(), 1);
+        assert!(info.in_test_region(4));
+        assert!(!info.in_test_region(1));
+    }
+
+    #[test]
+    fn deprecated_fns_are_separated() {
+        let src = "#[deprecated(note = \"x\")]\npub fn old() {}\npub fn new_one() {}\n\
+                   #[deprecated]\nstruct S;\nfn after_struct() {}\n";
+        let info = scan(&lex(src));
+        assert_eq!(info.deprecated_fns.len(), 1);
+        assert_eq!(info.deprecated_fns[0].0, "old");
+        assert!(info.plain_fns.contains(&"new_one".to_owned()));
+        assert!(info.plain_fns.contains(&"after_struct".to_owned()));
+    }
+
+    #[test]
+    fn suppression_maps_to_next_code_line() {
+        let src = "// om-lint: allow(panic-path) — startup only\nlet x = v.unwrap();\n\
+                   let y = w.unwrap(); // om-lint: allow(panic-path) — trailing\n";
+        let info = scan(&lex(src));
+        assert!(info.is_suppressed("panic-path", 2));
+        assert!(info.is_suppressed("panic-path", 3));
+        assert!(!info.is_suppressed("panic-path", 1) || info.code.first().map(|t| t.line) == Some(1));
+        assert_eq!(info.suppressions.len(), 2);
+        assert_eq!(info.suppressions[0].reason, "startup only");
+    }
+
+    #[test]
+    fn bare_suppression_has_empty_reason() {
+        let src = "// om-lint: allow(unsafe-safety-comment)\nunsafe { () }\n";
+        let info = scan(&lex(src));
+        assert_eq!(info.suppressions.len(), 1);
+        assert!(info.suppressions[0].reason.is_empty());
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "fn a() { inner(); }\nfn b() { let x = 1; }\n";
+        let info = scan(&lex(src));
+        assert_eq!(info.fns.len(), 2);
+        assert_eq!(info.fns[0].name, "a");
+        let (open, close) = info.fns[0].body;
+        assert!(info.code[open].is_punct('{'));
+        assert!(info.code[close].is_punct('}'));
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: the caller migrated to the run_* API.
+
+fn go(om: &OpportunityMap) {
+    om.run_compare();
+}

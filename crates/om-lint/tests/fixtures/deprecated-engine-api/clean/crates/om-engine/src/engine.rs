@@ -1,0 +1,6 @@
+//! Fixture: a deprecated shim left behind by an API migration.
+
+#[deprecated(note = "use run_compare with an ExecCtx")]
+pub fn compare_by_name(&self) {}
+
+pub fn run_compare(&self) {}

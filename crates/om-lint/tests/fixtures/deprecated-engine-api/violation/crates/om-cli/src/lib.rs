@@ -1,0 +1,5 @@
+//! Fixture: a caller still on the deprecated shim.
+
+fn go(om: &OpportunityMap) {
+    om.compare_by_name();
+}

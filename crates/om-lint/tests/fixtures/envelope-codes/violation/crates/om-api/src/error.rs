@@ -1,0 +1,17 @@
+//! Fixture: two wire codes; the doc table documents the wrong set.
+
+impl ErrorCode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Overloaded => "overloaded",
+        }
+    }
+
+    pub fn http_status(self) -> u16 {
+        match self {
+            ErrorCode::BadRequest => 400,
+            ErrorCode::Overloaded => 503,
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: the failpoint registry with one declared seam.
+
+pub const SEAMS: &[&str] = &["engine.compare"];
+
+pub fn inject(_name: &str) {}
+
+fn seams_used() {
+    inject("engine.compare");
+}

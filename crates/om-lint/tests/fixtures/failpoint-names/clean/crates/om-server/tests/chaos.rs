@@ -1,0 +1,4 @@
+#[test]
+fn registered_failpoint() {
+    fail::configure("engine.compare", Action::Error("boom"));
+}

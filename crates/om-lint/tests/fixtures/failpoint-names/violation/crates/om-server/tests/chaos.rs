@@ -1,0 +1,4 @@
+#[test]
+fn typoed_failpoint() {
+    fail::configure("engine.comapre", Action::Error("boom"));
+}

@@ -1,0 +1,18 @@
+//! Fixture: both paths honor the same accounts-before-audit order.
+
+pub struct State {
+    accounts: Mutex<Vec<u64>>,
+    audit: Mutex<Vec<String>>,
+}
+
+pub fn transfer(s: &State) {
+    let a = s.accounts.lock();
+    let b = s.audit.lock();
+    drop((a, b));
+}
+
+pub fn report(s: &State) {
+    let a = s.accounts.lock();
+    let b = s.audit.lock();
+    drop((a, b));
+}

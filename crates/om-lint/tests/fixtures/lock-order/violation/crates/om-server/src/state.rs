@@ -1,0 +1,19 @@
+//! Fixture: two paths acquire the same pair of locks in opposite
+//! orders — a latent deadlock.
+
+pub struct State {
+    accounts: Mutex<Vec<u64>>,
+    audit: Mutex<Vec<String>>,
+}
+
+pub fn transfer(s: &State) {
+    let a = s.accounts.lock();
+    let b = s.audit.lock();
+    drop((a, b));
+}
+
+pub fn report(s: &State) {
+    let b = s.audit.lock();
+    let a = s.accounts.lock();
+    drop((a, b));
+}

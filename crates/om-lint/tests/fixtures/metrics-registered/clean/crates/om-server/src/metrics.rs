@@ -1,0 +1,5 @@
+//! Fixture: render set, docs, and test assertions agree.
+
+pub fn render(out: &mut String) {
+    out.push_str("om_requests_total 0\n");
+}

@@ -1,0 +1,5 @@
+#[test]
+fn metrics_exposed() {
+    let text = super_fetch();
+    assert!(text.contains("om_requests_total"));
+}

@@ -1,0 +1,5 @@
+//! Fixture: /metrics renders one counter; the docs reference another.
+
+pub fn render(out: &mut String) {
+    out.push_str("om_requests_total 0\n");
+}

@@ -1,0 +1,11 @@
+//! Fixture: the same handler with typed errors, plus one annotated
+//! infallible site (suppression must be honored).
+
+pub fn handle(q: Option<u32>) -> Result<u32, String> {
+    q.ok_or_else(|| "missing q".to_owned())
+}
+
+pub fn first(xs: &[u32; 4]) -> u32 {
+    // om-lint: allow(panic-path) — index 0 of a fixed-size [u32; 4]
+    xs[0]
+}

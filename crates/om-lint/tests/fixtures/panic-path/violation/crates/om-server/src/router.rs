@@ -1,0 +1,9 @@
+//! Fixture: request handler that panics on bad input.
+
+pub fn handle(q: Option<u32>) -> u32 {
+    q.unwrap()
+}
+
+pub fn first(xs: &[u32]) -> u32 {
+    xs[0]
+}

@@ -1,0 +1,6 @@
+//! Fixture: a well-formed allow — known check, with a reason.
+
+pub fn pick(xs: &[u32]) -> u32 {
+    // om-lint: allow(panic-path) — fixture demonstrates the happy path
+    xs[0]
+}

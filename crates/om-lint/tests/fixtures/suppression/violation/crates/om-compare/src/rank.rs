@@ -1,0 +1,11 @@
+//! Fixture: suppression hygiene — reason-less and unknown-check allows.
+
+pub fn pick(xs: &[u32]) -> u32 {
+    // om-lint: allow(panic-path)
+    xs[0]
+}
+
+pub fn other(xs: &[u32]) -> u32 {
+    // om-lint: allow(made-up-check) — the check name does not exist
+    xs[0]
+}

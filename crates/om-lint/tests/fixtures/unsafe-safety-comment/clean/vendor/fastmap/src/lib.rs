@@ -1,0 +1,6 @@
+//! Fixture: the same read, justified.
+
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer into a live, aligned buffer.
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+//! Fixture: raw-pointer read with no safety argument.
+
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

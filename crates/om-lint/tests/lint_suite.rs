@@ -1,0 +1,63 @@
+//! Integration suite for the lint driver itself: the fixture corpus
+//! must self-test green, the real workspace must be clean at HEAD, and
+//! the JSON output must match its golden byte-for-byte.
+
+use std::path::PathBuf;
+
+use om_lint::fixtures::{fixtures_dir, run_all};
+use om_lint::{find_workspace_root, jsonout, CheckConfig, Workspace};
+
+fn workspace_root() -> PathBuf {
+    let here = std::env::current_dir().expect("cwd");
+    find_workspace_root(&here).expect("om-lint tests run inside the workspace")
+}
+
+#[test]
+fn fixture_corpus_is_green() {
+    let outcomes = run_all(&fixtures_dir(&workspace_root())).expect("corpus loads");
+    // Every check ships both kinds; a missing dir shows up as a failure.
+    assert!(outcomes.len() >= 16, "corpus too small: {}", outcomes.len());
+    let failures: Vec<_> = outcomes.iter().filter(|o| !o.pass).collect();
+    assert!(failures.is_empty(), "fixture failures: {failures:?}");
+}
+
+#[test]
+fn workspace_head_is_clean() {
+    let root = workspace_root();
+    let ws = Workspace::load(&root, CheckConfig::default()).expect("workspace loads");
+    let findings = ws.run_checks();
+    assert!(
+        findings.is_empty(),
+        "om-lint findings on HEAD (fix or annotate them):\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {}:{}: [{}] {}", f.file, f.line, f.check, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The JSON report for the panic-path violation fixture, pinned to a
+/// golden file. Regenerate with `OM_UPDATE_GOLDEN=1 cargo test -p om-lint`.
+#[test]
+fn json_output_matches_golden() {
+    let root = workspace_root();
+    let fixture = fixtures_dir(&root).join("panic-path/violation");
+    let ws = Workspace::load(&fixture, CheckConfig::default()).expect("fixture loads");
+    let rendered = jsonout::render(&ws.run_checks());
+
+    let golden_path = root.join("crates/om-lint/tests/golden/panic_path_violation.json");
+    if std::env::var_os("OM_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_path.parent().expect("golden dir"))
+            .expect("create golden dir");
+        std::fs::write(&golden_path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden file exists; regenerate with OM_UPDATE_GOLDEN=1");
+    assert_eq!(
+        rendered, golden,
+        "JSON output drifted from the golden; if intentional, \
+         regenerate with OM_UPDATE_GOLDEN=1"
+    );
+}

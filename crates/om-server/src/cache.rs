@@ -74,8 +74,11 @@ impl ResponseCache {
         }
         inner.order.insert(stamp, key);
         while inner.map.len() > self.capacity {
-            let (&oldest, _) = inner.order.iter().next().expect("order tracks map");
-            let evicted = inner.order.remove(&oldest).expect("stamp present");
+            // `order` mirrors `map`; if it ever ran dry we stop evicting
+            // rather than panic a request worker.
+            let Some((_, evicted)) = inner.order.pop_first() else {
+                break;
+            };
             inner.map.remove(&evicted);
         }
     }

@@ -112,10 +112,11 @@ fn read_line_bounded<R: BufRead>(
             }
             Ok(_) => {
                 *got_any = true;
-                if byte[0] == b'\n' {
+                let [b] = byte;
+                if b == b'\n' {
                     break;
                 }
-                line.push(byte[0]);
+                line.push(b);
                 if line.len() > limit {
                     return Err(ParseError::Malformed(format!(
                         "line exceeds {limit} bytes"
@@ -146,20 +147,23 @@ fn percent_decode(raw: &str) -> Result<String, String> {
     let bytes = raw.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&b) = bytes.get(i) {
+        match b {
             b'+' => {
                 out.push(b' ');
                 i += 1;
             }
             b'%' => {
-                let hex = bytes
+                let &[h, l] = bytes
                     .get(i + 1..i + 3)
-                    .ok_or_else(|| "truncated percent escape".to_owned())?;
-                let hi = (hex[0] as char)
+                    .ok_or_else(|| "truncated percent escape".to_owned())?
+                else {
+                    return Err("truncated percent escape".to_owned());
+                };
+                let hi = (h as char)
                     .to_digit(16)
                     .ok_or_else(|| format!("invalid percent escape in {raw:?}"))?;
-                let lo = (hex[1] as char)
+                let lo = (l as char)
                     .to_digit(16)
                     .ok_or_else(|| format!("invalid percent escape in {raw:?}"))?;
                 out.push((hi * 16 + lo) as u8);
@@ -260,6 +264,7 @@ pub fn parse_request_bounded<S: Read>(
     let mut body_bytes = vec![0u8; content_length];
     let mut read = 0;
     while read < content_length {
+        // om-lint: allow(panic-path) — read < content_length == body_bytes.len() by the loop guard
         match reader.read(&mut body_bytes[read..]) {
             Ok(0) => return Err(ParseError::Malformed("truncated body".into())),
             Ok(n) => read += n,

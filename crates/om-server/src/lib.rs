@@ -22,6 +22,11 @@
 //! accept loop, the channel disconnects, and every worker finishes the
 //! request it holds before exiting — in-flight requests always drain.
 
+// Request-path crate: panics here become 500s or worker deaths, so
+// unwrap/expect are lint-visible outside unit tests (om-lint's
+// panic-path check enforces the same rule with suppression reasons).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cache;
 pub mod http;
 pub mod metrics;
@@ -117,7 +122,7 @@ impl Server {
     /// immediately.
     ///
     /// # Errors
-    /// Fails if the address cannot be bound.
+    /// Fails if the address cannot be bound or a thread cannot be spawned.
     pub fn start(om: Arc<OpportunityMap>, config: ServerConfig) -> io::Result<Self> {
         Self::start_with_ingest(om, config, None)
     }
@@ -126,7 +131,7 @@ impl Server {
     /// appends through `ingest`, and `/metrics` includes its counters.
     ///
     /// # Errors
-    /// Fails if the address cannot be bound.
+    /// Fails if the address cannot be bound or a thread cannot be spawned.
     pub fn start_with_ingest(
         om: Arc<OpportunityMap>,
         config: ServerConfig,
@@ -167,9 +172,8 @@ impl Server {
                             handle_connection(stream, &shared);
                         }
                     })
-                    .expect("spawn worker thread")
             })
-            .collect();
+            .collect::<io::Result<Vec<_>>>()?;
 
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_metrics = Arc::clone(&shared.metrics);
@@ -200,8 +204,7 @@ impl Server {
                     }
                 }
                 // `tx` drops here; workers drain and exit.
-            })
-            .expect("spawn accept thread");
+            })?;
 
         Ok(Self {
             local_addr,

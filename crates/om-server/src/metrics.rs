@@ -93,6 +93,7 @@ impl Histogram {
             .iter()
             .position(|&bound| us <= bound)
             .unwrap_or(BUCKET_BOUNDS_US.len());
+        // om-lint: allow(panic-path) — idx ≤ BOUNDS.len(); buckets has len+1 slots
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
@@ -117,6 +118,7 @@ impl Histogram {
         for (idx, bucket) in self.buckets.iter().enumerate() {
             let in_bucket = bucket.load(Ordering::Relaxed);
             if cumulative + in_bucket >= target {
+                // om-lint: allow(panic-path) — idx > 0 on this arm, idx ≤ BOUNDS.len()
                 let lo = if idx == 0 { 0 } else { BUCKET_BOUNDS_US[idx - 1] };
                 let hi = BUCKET_BOUNDS_US.get(idx).copied().unwrap_or(lo * 2);
                 // Position of the target rank within this bucket.
@@ -131,7 +133,7 @@ impl Histogram {
         }
         // Unreachable with a consistent count, but racing increments can
         // leave the sum of buckets momentarily behind `count`.
-        Some(BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1])
+        Some(BUCKET_BOUNDS_US.last().copied().unwrap_or(0))
     }
 }
 
@@ -150,15 +152,26 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// Index of `endpoint` in the `requests` array. Exhaustive match:
+    /// every variant has a slot by construction, nothing to search or
+    /// panic over.
     fn slot(endpoint: Endpoint) -> usize {
-        Endpoint::ALL
-            .iter()
-            .position(|e| *e == endpoint)
-            .expect("endpoint in ALL")
+        match endpoint {
+            Endpoint::Healthz => 0,
+            Endpoint::Metrics => 1,
+            Endpoint::Compare => 2,
+            Endpoint::Drill => 3,
+            Endpoint::Gi => 4,
+            Endpoint::CubeSlice => 5,
+            Endpoint::Ingest => 6,
+            Endpoint::Batch => 7,
+            Endpoint::Other => 8,
+        }
     }
 
     /// Count one request against its endpoint.
     pub fn record_request(&self, endpoint: Endpoint) {
+        // om-lint: allow(panic-path) — slot() < ALL.len() by exhaustive match
         self.requests[Self::slot(endpoint)].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -216,6 +229,7 @@ impl Metrics {
     /// Requests seen for `endpoint`.
     #[must_use]
     pub fn requests(&self, endpoint: Endpoint) -> u64 {
+        // om-lint: allow(panic-path) — slot() < ALL.len() by exhaustive match
         self.requests[Self::slot(endpoint)].load(Ordering::Relaxed)
     }
 

@@ -227,6 +227,7 @@ fn one_dim_slice(
         let _ = write!(
             body,
             "{{\"label\":\"{}\",\"total\":{},\"counts\":[",
+            // om-lint: allow(panic-path) — v < n_values() == value_labels().len() by the loop bound
             esc(&view.value_labels()[v as usize]),
             view.value_total(v)
         );
@@ -293,6 +294,7 @@ fn pair_slice(om: &OpportunityMap, a: usize, b: usize) -> Result<Response, Respo
         let _ = write!(
             body,
             "{{\"coords\":[{},{}],\"class\":{class},\"count\":{count}}}",
+            // om-lint: allow(panic-path) — slice cells are 2-D by CubeView construction
             coords[0], coords[1]
         );
     }

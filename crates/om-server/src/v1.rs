@@ -247,11 +247,19 @@ fn drill(
     let outcomes = om
         .run_batch(std::slice::from_ref(&item), &config, ctx)
         .map_err(|e| engine_envelope(&e, opts))?;
-    match outcomes.into_iter().next().expect("one item, one outcome") {
-        BatchOutcome::Drill(levels) => Ok(Response::json(drill_wire(&levels).encode())),
-        BatchOutcome::Compare(_) => unreachable!("drill item answered with a comparison"),
-        BatchOutcome::Overloaded { message } => Err(overloaded(message, opts)),
-        BatchOutcome::Failed { message } => Err(ErrorEnvelope::new(ErrorCode::Invalid, message)),
+    match outcomes.into_iter().next() {
+        Some(BatchOutcome::Drill(levels)) => Ok(Response::json(drill_wire(&levels).encode())),
+        Some(BatchOutcome::Overloaded { message }) => Err(overloaded(message, opts)),
+        Some(BatchOutcome::Failed { message }) => {
+            Err(ErrorEnvelope::new(ErrorCode::Invalid, message))
+        }
+        // One item in, one drill outcome out is the engine contract;
+        // a missing or mismatched outcome is an internal fault the
+        // client should see as a 500, not a worker panic.
+        Some(BatchOutcome::Compare(_)) | None => Err(ErrorEnvelope::new(
+            ErrorCode::Internal,
+            "engine answered the drill item with a mismatched outcome",
+        )),
     }
 }
 
@@ -285,6 +293,7 @@ fn cube_slice(
             })?;
             let values = (0..view.n_values() as u32)
                 .map(|v| SliceValueWire {
+                    // om-lint: allow(panic-path) — v < n_values() == value_labels().len() by the range bound
                     label: view.value_labels()[v as usize].clone(),
                     total: view.value_total(v),
                     counts: (0..view.n_classes() as u32).map(|c| view.count(v, c)).collect(),
@@ -313,6 +322,7 @@ fn cube_slice(
                 .iter_cells()
                 .filter(|(_, _, count)| *count > 0)
                 .map(|(coords, class, count)| PairCellWire {
+                    // om-lint: allow(panic-path) — pair-cube cells are 2-D by construction
                     coords: [u64::from(coords[0]), u64::from(coords[1])],
                     class: u64::from(class),
                     count,
@@ -436,15 +446,23 @@ fn batch(
         .into_iter()
         .map(|r| match r {
             Err(env) => BatchItemResult::Error(env),
-            Ok(_) => match outcomes.next().expect("one outcome per runnable item") {
-                BatchOutcome::Compare(result) => BatchItemResult::Compare(compare_wire(&result)),
-                BatchOutcome::Drill(levels) => BatchItemResult::Drill(drill_wire(&levels)),
-                BatchOutcome::Overloaded { message } => {
+            Ok(_) => match outcomes.next() {
+                Some(BatchOutcome::Compare(result)) => {
+                    BatchItemResult::Compare(compare_wire(&result))
+                }
+                Some(BatchOutcome::Drill(levels)) => BatchItemResult::Drill(drill_wire(&levels)),
+                Some(BatchOutcome::Overloaded { message }) => {
                     BatchItemResult::Error(overloaded(message, opts))
                 }
-                BatchOutcome::Failed { message } => {
+                Some(BatchOutcome::Failed { message }) => {
                     BatchItemResult::Error(ErrorEnvelope::new(ErrorCode::Invalid, message))
                 }
+                // The engine yields one outcome per runnable item;
+                // running dry is an internal fault reported per-item.
+                None => BatchItemResult::Error(ErrorEnvelope::new(
+                    ErrorCode::Internal,
+                    "engine returned fewer batch outcomes than runnable items".to_owned(),
+                )),
             },
         })
         .collect();

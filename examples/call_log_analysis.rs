@@ -151,7 +151,7 @@ fn main() {
     }
 
     // --- session persistence -------------------------------------------------
-    let path = std::env::temp_dir().join("om_case_study.omss");
+    let path = std::env::temp_dir().join("om-case-study.omss");
     session.save(&path).expect("session saved");
     println!("session saved to {}", path.display());
 

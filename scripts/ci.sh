@@ -22,6 +22,15 @@ cargo test -p om-ingest --features failpoints -q
 echo "==> cargo test -p om-exec --test determinism -q (parallel == serial, byte-for-byte)"
 cargo test -p om-exec --test determinism -q
 
+echo "==> om-lint fixtures (check self-test corpus)"
+cargo run -q -p om-lint -- fixtures
+
+echo "==> om-lint check (workspace invariants; JSON artifact in target/)"
+# The JSON dump always lands (artifact even on failure); the plain run
+# gates the script with readable findings.
+cargo run -q -p om-lint -- check --json > target/om-lint.json || true
+cargo run -q -p om-lint -- check
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

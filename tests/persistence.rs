@@ -35,7 +35,7 @@ fn cube_round_trip_through_disk() {
     let time = s.attr_index("TimeOfCall").unwrap();
     let cube = build_cube(&ds, &[phone, time]).unwrap();
 
-    let dir = std::env::temp_dir().join("om_persist_test");
+    let dir = std::env::temp_dir().join("om-persist-test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("pair.omrc");
     std::fs::write(&path, encode_cube(&cube).unwrap()).unwrap();
@@ -51,7 +51,7 @@ fn session_reload_reproduces_comparison() {
     let mut session = Session::new(ds);
     session.note("first pass");
 
-    let dir = std::env::temp_dir().join("om_persist_test");
+    let dir = std::env::temp_dir().join("om-persist-test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("analysis.omss");
     session.save(&path).unwrap();

@@ -1,0 +1,417 @@
+//! Wire types for the shard-internal `/internal/*` endpoints.
+//!
+//! A cluster coordinator drives its shards over plain HTTP, and the
+//! payloads it moves — encoded cube stores, encoded (zero-row) schema
+//! datasets — are binary. JSON carries them as standard base64 strings,
+//! encoded and decoded here so both sides of the protocol share one
+//! implementation. These endpoints are *not* part of the public `/v1`
+//! contract: they are versioned implicitly by the store/dataset codecs
+//! (whose magic headers reject foreign bytes) and served only by engine
+//! shards, never by a coordinator.
+
+use crate::de::{check_keys, req_arr, req_str, req_u64};
+use crate::json::Json;
+
+const B64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard base64 (RFC 4648, with padding) of `bytes`.
+#[must_use]
+pub fn b64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        // om-lint: allow(panic-path) — chunks(3) never yields an empty slice
+        let b0 = u32::from(chunk[0]);
+        let b1 = chunk.get(1).copied().map(u32::from);
+        let b2 = chunk.get(2).copied().map(u32::from);
+        let word = (b0 << 16) | (b1.unwrap_or(0) << 8) | b2.unwrap_or(0);
+        // om-lint: allow(panic-path) — & 0x3f keeps the index < 64 == alphabet length
+        let sextet = |shift: u32| B64_ALPHABET[((word >> shift) & 0x3f) as usize] as char;
+        out.push(sextet(18));
+        out.push(sextet(12));
+        out.push(if b1.is_some() { sextet(6) } else { '=' });
+        out.push(if b2.is_some() { sextet(0) } else { '=' });
+    }
+    out
+}
+
+/// Decode standard base64 (RFC 4648; padding required, no whitespace).
+///
+/// # Errors
+/// A message naming the first offending byte or length problem.
+pub fn b64_decode(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!(
+            "base64 length {} is not a multiple of 4",
+            bytes.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (group_idx, group) in bytes.chunks(4).enumerate() {
+        let last_group = (group_idx + 1) * 4 == bytes.len();
+        let mut word: u32 = 0;
+        let mut pad = 0usize;
+        for (i, &b) in group.iter().enumerate() {
+            let value = if b == b'=' {
+                if !last_group || i < 2 {
+                    return Err("unexpected '=' padding inside base64".to_owned());
+                }
+                pad += 1;
+                0
+            } else {
+                if pad > 0 {
+                    return Err("base64 data after '=' padding".to_owned());
+                }
+                match B64_ALPHABET.iter().position(|&a| a == b) {
+                    Some(v) => v as u32,
+                    None => return Err(format!("invalid base64 byte 0x{b:02x}")),
+                }
+            };
+            word = (word << 6) | value;
+        }
+        out.push((word >> 16) as u8);
+        if pad < 2 {
+            out.push((word >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(word as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// One resolved drill condition on the internal wire: `attr = value` by
+/// schema index and value id (names were resolved at the coordinator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConditionWire {
+    pub attr: u64,
+    pub value: u64,
+}
+
+fn conditions_json(conditions: &[ConditionWire]) -> Json {
+    Json::Arr(
+        conditions
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    #[allow(clippy::cast_precision_loss)]
+                    ("attr".to_owned(), Json::Num(c.attr as f64)),
+                    #[allow(clippy::cast_precision_loss)]
+                    ("value".to_owned(), Json::Num(c.value as f64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn conditions_from(v: &Json, key: &str) -> Result<Vec<ConditionWire>, String> {
+    req_arr(v, key)?
+        .iter()
+        .map(|c| {
+            check_keys(c, &["attr", "value"])?;
+            Ok(ConditionWire {
+                attr: req_u64(c, "attr")?,
+                value: req_u64(c, "value")?,
+            })
+        })
+        .collect()
+}
+
+/// `GET /internal/schema` — the shard's schema as an encoded zero-row
+/// dataset (schema + domains, no records), base64 of the om-data codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternalSchemaResponse {
+    pub dataset_b64: String,
+}
+
+impl InternalSchemaResponse {
+    #[must_use]
+    pub fn encode(&self) -> String {
+        Json::Obj(vec![(
+            "dataset".to_owned(),
+            Json::Str(self.dataset_b64.clone()),
+        )])
+        .encode()
+    }
+
+    /// # Errors
+    /// A message describing the parse or shape failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        check_keys(&v, &["dataset"])?;
+        Ok(Self {
+            dataset_b64: req_str(&v, "dataset")?,
+        })
+    }
+}
+
+/// `GET /internal/generation` (and `POST /internal/flush`) — the shard's
+/// currently published store generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternalGenerationResponse {
+    pub generation: u64,
+}
+
+impl InternalGenerationResponse {
+    #[must_use]
+    pub fn encode(&self) -> String {
+        format!("{{\"generation\":{}}}", self.generation)
+    }
+
+    /// # Errors
+    /// A message describing the parse or shape failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        check_keys(&v, &["generation"])?;
+        Ok(Self {
+            generation: req_u64(&v, "generation")?,
+        })
+    }
+}
+
+/// `GET /internal/store?expect=G` — the shard's full cube store at the
+/// pinned generation `G` (base64 of the om-cube store codec). A shard
+/// whose published generation moved past `G` answers `409` instead, and
+/// the coordinator re-pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternalStoreResponse {
+    pub generation: u64,
+    pub store_b64: String,
+}
+
+impl InternalStoreResponse {
+    #[must_use]
+    pub fn encode(&self) -> String {
+        Json::Obj(vec![
+            #[allow(clippy::cast_precision_loss)]
+            ("generation".to_owned(), Json::Num(self.generation as f64)),
+            ("store".to_owned(), Json::Str(self.store_b64.clone())),
+        ])
+        .encode()
+    }
+
+    /// # Errors
+    /// A message describing the parse or shape failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        check_keys(&v, &["generation", "store"])?;
+        Ok(Self {
+            generation: req_u64(&v, "generation")?,
+            store_b64: req_str(&v, "store")?,
+        })
+    }
+}
+
+/// `POST /internal/level` — build the restricted drill-level store over
+/// the shard's *base* partition narrowed by `conditions`, counting only
+/// `attrs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternalLevelRequest {
+    pub conditions: Vec<ConditionWire>,
+    pub attrs: Vec<u64>,
+}
+
+impl InternalLevelRequest {
+    #[must_use]
+    pub fn encode(&self) -> String {
+        Json::Obj(vec![
+            ("conditions".to_owned(), conditions_json(&self.conditions)),
+            (
+                "attrs".to_owned(),
+                Json::Arr(
+                    self.attrs
+                        .iter()
+                        .map(|&a| {
+                            #[allow(clippy::cast_precision_loss)]
+                            Json::Num(a as f64)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .encode()
+    }
+
+    /// # Errors
+    /// A message describing the parse or shape failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        check_keys(&v, &["conditions", "attrs"])?;
+        let attrs = req_arr(&v, "attrs")?
+            .iter()
+            .map(|a| {
+                a.as_u64()
+                    .ok_or_else(|| "attrs must be non-negative integers".to_owned())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            conditions: conditions_from(&v, "conditions")?,
+            attrs,
+        })
+    }
+}
+
+/// Response to [`InternalLevelRequest`]: the restricted store (base64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternalLevelResponse {
+    pub store_b64: String,
+}
+
+impl InternalLevelResponse {
+    #[must_use]
+    pub fn encode(&self) -> String {
+        Json::Obj(vec![("store".to_owned(), Json::Str(self.store_b64.clone()))]).encode()
+    }
+
+    /// # Errors
+    /// A message describing the parse or shape failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        check_keys(&v, &["store"])?;
+        Ok(Self {
+            store_b64: req_str(&v, "store")?,
+        })
+    }
+}
+
+/// `POST /internal/count` — how many base-partition records satisfy all
+/// of `conditions` (the coordinator's sub-population emptiness probe).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternalCountRequest {
+    pub conditions: Vec<ConditionWire>,
+}
+
+impl InternalCountRequest {
+    #[must_use]
+    pub fn encode(&self) -> String {
+        Json::Obj(vec![(
+            "conditions".to_owned(),
+            conditions_json(&self.conditions),
+        )])
+        .encode()
+    }
+
+    /// # Errors
+    /// A message describing the parse or shape failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        check_keys(&v, &["conditions"])?;
+        Ok(Self {
+            conditions: conditions_from(&v, "conditions")?,
+        })
+    }
+}
+
+/// Response to [`InternalCountRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternalCountResponse {
+    pub count: u64,
+}
+
+impl InternalCountResponse {
+    #[must_use]
+    pub fn encode(&self) -> String {
+        format!("{{\"count\":{}}}", self.count)
+    }
+
+    /// # Errors
+    /// A message describing the parse or shape failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        check_keys(&v, &["count"])?;
+        Ok(Self {
+            count: req_u64(&v, "count")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_round_trips() {
+        for len in 0..64usize {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
+            let text = b64_encode(&bytes);
+            assert_eq!(b64_decode(&text).unwrap(), bytes, "len={len}");
+        }
+    }
+
+    #[test]
+    fn base64_known_vectors() {
+        // RFC 4648 test vectors.
+        assert_eq!(b64_encode(b""), "");
+        assert_eq!(b64_encode(b"f"), "Zg==");
+        assert_eq!(b64_encode(b"fo"), "Zm8=");
+        assert_eq!(b64_encode(b"foo"), "Zm9v");
+        assert_eq!(b64_encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(b64_decode("Zm9vYmE=").unwrap(), b"fooba");
+    }
+
+    #[test]
+    fn base64_rejects_garbage() {
+        assert!(b64_decode("abc").is_err()); // bad length
+        assert!(b64_decode("ab!=").is_err()); // bad byte
+        assert!(b64_decode("a=bc").is_err()); // data after padding
+        assert!(b64_decode("=abc").is_err()); // padding up front
+    }
+
+    #[test]
+    fn wire_types_round_trip() {
+        let level = InternalLevelRequest {
+            conditions: vec![
+                ConditionWire { attr: 3, value: 1 },
+                ConditionWire { attr: 0, value: 9 },
+            ],
+            attrs: vec![0, 2, 5],
+        };
+        assert_eq!(
+            InternalLevelRequest::parse(&level.encode()).unwrap(),
+            level
+        );
+        let count = InternalCountRequest {
+            conditions: level.conditions.clone(),
+        };
+        assert_eq!(InternalCountRequest::parse(&count.encode()).unwrap(), count);
+        let store = InternalStoreResponse {
+            generation: 7,
+            store_b64: b64_encode(b"store bytes"),
+        };
+        assert_eq!(
+            InternalStoreResponse::parse(&store.encode()).unwrap(),
+            store
+        );
+        let generation = InternalGenerationResponse { generation: 12 };
+        assert_eq!(
+            InternalGenerationResponse::parse(&generation.encode()).unwrap(),
+            generation
+        );
+        let schema = InternalSchemaResponse {
+            dataset_b64: b64_encode(b"dataset"),
+        };
+        assert_eq!(
+            InternalSchemaResponse::parse(&schema.encode()).unwrap(),
+            schema
+        );
+        let level_resp = InternalLevelResponse {
+            store_b64: b64_encode(b"level"),
+        };
+        assert_eq!(
+            InternalLevelResponse::parse(&level_resp.encode()).unwrap(),
+            level_resp
+        );
+        let count_resp = InternalCountResponse { count: 41 };
+        assert_eq!(
+            InternalCountResponse::parse(&count_resp.encode()).unwrap(),
+            count_resp
+        );
+    }
+
+    #[test]
+    fn strict_parsing_rejects_unknown_fields() {
+        assert!(InternalCountResponse::parse("{\"count\":1,\"x\":2}").is_err());
+        assert!(InternalGenerationResponse::parse("{}").is_err());
+    }
+}

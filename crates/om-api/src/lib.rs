@@ -18,6 +18,9 @@
 //! - [`response`] — typed response bodies; their encoders reproduce
 //!   the legacy GET bodies byte-for-byte, which is what lets `/v1`
 //!   answers stay identical to the deprecated endpoints.
+//! - [`internal`] — shard-internal wire types for cluster mode
+//!   (`/internal/*`): base64 carriage of encoded stores and schema
+//!   datasets between om-server shards and the om-cluster coordinator.
 //!
 //! Every type round-trips: `parse(x.encode()) == x` (non-finite floats
 //! all encode as `null` and are treated as equal wire values).
@@ -28,6 +31,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod error;
+pub mod internal;
 pub mod json;
 pub mod request;
 pub mod response;
@@ -35,6 +39,11 @@ pub mod response;
 mod de;
 
 pub use error::{ErrorCode, ErrorEnvelope};
+pub use internal::{
+    b64_decode, b64_encode, ConditionWire, InternalCountRequest, InternalCountResponse,
+    InternalGenerationResponse, InternalLevelRequest, InternalLevelResponse,
+    InternalSchemaResponse, InternalStoreResponse,
+};
 pub use json::{Json, JsonError};
 pub use request::{
     BatchItemRequest, BatchRequest, CompareRequest, DrillRequest, GiRequest, IngestRequest,

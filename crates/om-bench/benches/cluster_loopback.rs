@@ -1,0 +1,211 @@
+//! Cluster loopback throughput: a merging coordinator over N in-process
+//! shard servers, hammered with the mixed /v1 workload.
+//!
+//! Measures the distributed-merge overhead the coordinator adds on top
+//! of a single node: every request fans out over loopback TCP, pins one
+//! store generation per shard, merges the partials, and runs the
+//! single-node engine over the merged store.
+//!
+//! Reported per topology (1 shard = the no-fan-out baseline):
+//! throughput (req/s), latency p50/p95/p99, and response bytes.
+//!
+//! `OM_BENCH_SMOKE=1` shrinks the workload for CI smoke runs.
+//! `OM_BENCH_OUT=<file>` additionally writes the machine-readable
+//! results JSON (the committed `BENCH_6.json`).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use om_cluster::{partition_dataset, ClusterConfig, Coordinator, ShardClient};
+use om_engine::{EngineConfig, OpportunityMap};
+use om_server::{Server, ServerConfig};
+use om_synth::paper_scenario;
+
+const TOPOLOGIES: &[usize] = &[1, 2, 4];
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        engine_budget: None,
+        n_workers: 4,
+        ..ServerConfig::default()
+    }
+}
+
+/// The benched mix: mostly cheap compares, some engine-bound drills, a
+/// slice and a batch — the same shape `opmap cluster` drives.
+fn request_for(i: usize) -> (&'static str, String) {
+    let compare = |v1: &str, v2: &str| om_api::CompareRequest {
+        attr: "PhoneModel".into(),
+        v1: v1.into(),
+        v2: v2.into(),
+        class: "dropped".into(),
+    };
+    match i % 8 {
+        0 => ("/v1/compare", compare("ph1", "ph2").encode()),
+        1 => ("/v1/compare", compare("ph1", "ph3").encode()),
+        2 => ("/v1/compare", compare("ph3", "ph4").encode()),
+        3 => ("/v1/compare", compare("ph2", "ph4").encode()),
+        4 => (
+            "/v1/drill",
+            om_api::DrillRequest {
+                attr: "PhoneModel".into(),
+                v1: "ph1".into(),
+                v2: "ph2".into(),
+                class: "dropped".into(),
+                depth: Some(2),
+                min_score: None,
+                path: Vec::new(),
+            }
+            .encode(),
+        ),
+        5 => ("/v1/gi", om_api::GiRequest { top: Some(5) }.encode()),
+        6 => (
+            "/v1/cube/slice",
+            om_api::SliceRequest {
+                attr: "PhoneModel".into(),
+                by: Some("TimeOfCall".into()),
+            }
+            .encode(),
+        ),
+        _ => (
+            "/v1/compare/batch",
+            om_api::BatchRequest {
+                items: vec![
+                    om_api::BatchItemRequest::Compare {
+                        req: compare("ph1", "ph2"),
+                        budget_ms: None,
+                    },
+                    om_api::BatchItemRequest::Compare {
+                        req: compare("ph2", "ph1"),
+                        budget_ms: None,
+                    },
+                ],
+            }
+            .encode(),
+        ),
+    }
+}
+
+struct Run {
+    shards: usize,
+    throughput: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    bytes: u64,
+}
+
+fn percentile(sorted_us: &[u128], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
+}
+
+fn bench_topology(union: &Arc<OpportunityMap>, n_shards: usize, requests: usize) -> Run {
+    // Shards: in-process servers over hash-routed partitions (1 shard
+    // degenerates to the whole dataset — the fan-out-free baseline).
+    let parts = partition_dataset(union.dataset(), n_shards).expect("partition");
+    let shard_servers: Vec<Server> = parts
+        .into_iter()
+        .map(|p| {
+            let om = Arc::new(OpportunityMap::build(p, EngineConfig::default()).expect("build"));
+            Server::start(om, server_config()).expect("start shard")
+        })
+        .collect();
+    let coordinator = Coordinator::connect(ClusterConfig {
+        shard_addrs: shard_servers
+            .iter()
+            .map(|s| s.local_addr().to_string())
+            .collect(),
+        ..ClusterConfig::default()
+    })
+    .expect("connect");
+    let coord = Server::start_custom(Arc::new(coordinator), server_config()).expect("start coord");
+    let client = ShardClient::new(coord.local_addr().to_string(), Duration::from_secs(60));
+
+    // Warm the merged store + caches once, then measure.
+    let (path, body) = request_for(0);
+    let (status, response) = client.post(path, &body).expect("warm-up");
+    assert_eq!(status, 200, "warm-up failed: {response}");
+
+    let mut latencies: Vec<u128> = Vec::with_capacity(requests);
+    let mut bytes = 0u64;
+    let started = Instant::now();
+    for i in 0..requests {
+        let (path, body) = request_for(i);
+        let t = Instant::now();
+        let (status, response) = client.post(path, &body).expect("request");
+        latencies.push(t.elapsed().as_micros());
+        assert_eq!(status, 200, "{path} failed: {response}");
+        bytes += response.len() as u64;
+    }
+    let elapsed = started.elapsed();
+
+    coord.shutdown();
+    for s in shard_servers {
+        s.shutdown();
+    }
+    latencies.sort_unstable();
+    Run {
+        shards: n_shards,
+        throughput: requests as f64 / elapsed.as_secs_f64(),
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+        bytes,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("OM_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let (records, requests) = if smoke { (6_000, 160) } else { (50_000, 4_000) };
+
+    println!("building union engine ({records} records)…");
+    let (ds, _) = paper_scenario(records, 9);
+    let union = Arc::new(OpportunityMap::build(ds, EngineConfig::default()).expect("build"));
+
+    let mut runs = Vec::new();
+    for &n in TOPOLOGIES {
+        println!("topology: {n} shard(s), {requests} mixed requests…");
+        let run = bench_topology(&union, n, requests);
+        println!(
+            "  {:>6.0} req/s   p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms   {} bytes",
+            run.throughput, run.p50_ms, run.p95_ms, run.p99_ms, run.bytes
+        );
+        runs.push(run);
+    }
+
+    // The headline: coordinator-over-1-shard vs 4 shards shows the pure
+    // fan-out + merge cost; both serve byte-identical responses.
+    if let (Some(base), Some(wide)) = (runs.first(), runs.last()) {
+        println!(
+            "fan-out cost: p50 {:.2}ms (1 shard) -> {:.2}ms ({} shards)",
+            base.p50_ms, wide.p50_ms, wide.shards
+        );
+    }
+
+    if let Ok(out) = std::env::var("OM_BENCH_OUT") {
+        let mut json = format!(
+            "{{\"bench\":\"cluster_loopback\",\"records\":{records},\"requests\":{requests},\
+             \"smoke\":{smoke},\"topologies\":["
+        );
+        for (i, r) in runs.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            let _ = write!(
+                json,
+                "{{\"shards\":{},\"throughput_rps\":{:.2},\"latency_ms\":{{\"p50\":{:.3},\
+                 \"p95\":{:.3},\"p99\":{:.3}}},\"bytes_total\":{}}}",
+                r.shards, r.throughput, r.p50_ms, r.p95_ms, r.p99_ms, r.bytes
+            );
+        }
+        json.push_str("]}\n");
+        std::fs::write(&out, json).expect("write OM_BENCH_OUT");
+        println!("results written to {out}");
+    }
+}

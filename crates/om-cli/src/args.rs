@@ -38,7 +38,15 @@ impl Parsed {
                 // another option; otherwise a key/value pair.
                 let is_switch = matches!(
                     key,
-                    "help" | "no-ci" | "full" | "ansi" | "verbose" | "skip-header"
+                    "help"
+                        | "no-ci"
+                        | "full"
+                        | "ansi"
+                        | "verbose"
+                        | "skip-header"
+                        | "verify"
+                        | "chaos"
+                        | "ingest"
                 );
                 if is_switch {
                     switches.push(key.to_owned());

@@ -1,0 +1,619 @@
+//! `opmap cluster` — spawn a loopback sharded cluster and drive load.
+//!
+//! The harness provisions a cluster end to end, the same way a real
+//! deployment would:
+//!
+//! 1. build the prepared (discretized) dataset once,
+//! 2. split it into hash-routed partitions ([`om_cluster::partition_dataset`]),
+//! 3. spawn one `opmap serve --data-bin <part>` **process** per shard on
+//!    an ephemeral port (scraping the announced address),
+//! 4. run the coordinator in-process over those shards,
+//! 5. drive a deterministic mix of compare / drill / gi / slice / batch
+//!    (and, with `--ingest`, live row) requests at the coordinator.
+//!
+//! `--verify` additionally runs a single-node server over the *union*
+//! of the partitions and asserts every coordinator response is
+//! byte-identical to the single node's — the cluster's core contract.
+//! `--chaos` kills one shard mid-load, asserts the typed 503 partial
+//! failure names it, then restarts the shard (same partition, same WAL)
+//! and re-joins it through a fresh coordinator epoch.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use om_cluster::{partition_dataset, ClusterConfig, Coordinator, ShardClient};
+use om_data::persist::encode_dataset;
+use om_engine::{EngineConfig, IngestConfig, OpportunityMap};
+use om_server::{Server, ServerConfig};
+
+use crate::args::Parsed;
+use crate::{CliError, CliResult};
+
+const HELP: &str = "\
+opmap cluster — loopback sharded cluster: N shard processes + coordinator
+
+Partitions a synthetic dataset across N `opmap serve` shard processes by
+the stable row hash, runs the merging coordinator in-process, and drives
+a deterministic mixed workload (compare, drill, gi, slice, batch, and —
+with --ingest — live rows) at the coordinator's /v1/* API.
+
+OPTIONS:
+  --shards <n>       Shard processes to spawn [4]
+  --records <n>      Synthetic dataset size [20000]
+  --seed <n>         Synthetic dataset seed [7]
+  --requests <n>     Mixed requests to drive (100000+ for a load run) [5000]
+  --verify           Also run a single-node server over the union and
+                     assert every response is byte-identical
+  --chaos            Kill one shard mid-load (assert the typed 503 names
+                     it), restart it from its WAL, re-join and continue
+  --ingest           Give every shard a WAL and route live rows by hash
+  --bench-out <file> Write machine-readable results JSON (throughput,
+                     latency p50/p95/p99, bytes)
+
+EXIT STATUS: non-zero if any verification or chaos assertion fails.";
+
+/// One spawned `opmap serve` shard process.
+struct Shard {
+    child: Child,
+    addr: String,
+    bin: PathBuf,
+    wal: Option<PathBuf>,
+}
+
+impl Shard {
+    /// Spawn `opmap serve --data-bin <bin> --addr 127.0.0.1:0` and
+    /// scrape the announced ephemeral address from its stdout.
+    fn spawn(bin: &Path, wal: Option<&Path>) -> Result<Shard, CliError> {
+        let exe = std::env::current_exe()
+            .map_err(|e| CliError::Failed(format!("cannot locate own executable: {e}")))?;
+        let mut cmd = Command::new(exe);
+        cmd.arg("serve")
+            .arg("--data-bin")
+            .arg(bin)
+            .args(["--addr", "127.0.0.1:0", "--budget-ms", "0", "--workers", "2"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if let Some(dir) = wal {
+            cmd.arg("--ingest-wal").arg(dir);
+        }
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| CliError::Failed(format!("cannot spawn shard process: {e}")))?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| CliError::Failed("shard stdout not captured".into()))?;
+        let mut reader = BufReader::new(stdout);
+        let addr = loop {
+            let mut line = String::new();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| CliError::Failed(format!("cannot read shard stdout: {e}")))?;
+            if n == 0 {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(CliError::Failed(
+                    "shard process exited before announcing its port".into(),
+                ));
+            }
+            if let Some(rest) = line.trim().strip_prefix("om-server listening on http://") {
+                break rest.to_owned();
+            }
+        };
+        // Keep draining so the child never blocks on a full stdout pipe.
+        std::thread::spawn(move || {
+            let _ = std::io::copy(&mut reader, &mut std::io::sink());
+        });
+        Ok(Shard {
+            child,
+            addr,
+            bin: bin.to_path_buf(),
+            wal: wal.map(Path::to_path_buf),
+        })
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// The deterministic request mix: `(path, body, is_ingest)` for slot `i`.
+fn request_for(i: usize, ingest_rows: &[Vec<String>]) -> (String, String, bool) {
+    let compare = |v1: &str, v2: &str| {
+        om_api::CompareRequest {
+            attr: "PhoneModel".into(),
+            v1: v1.into(),
+            v2: v2.into(),
+            class: "dropped".into(),
+        }
+    };
+    let drill = |path: Vec<om_api::PathStep>| om_api::DrillRequest {
+        attr: "PhoneModel".into(),
+        v1: "ph1".into(),
+        v2: "ph2".into(),
+        class: "dropped".into(),
+        depth: Some(2),
+        min_score: None,
+        path,
+    };
+    match i % 10 {
+        0 => ("/v1/compare".into(), compare("ph1", "ph2").encode(), false),
+        1 => ("/v1/compare".into(), compare("ph1", "ph3").encode(), false),
+        2 => ("/v1/compare".into(), compare("ph3", "ph4").encode(), false),
+        3 => ("/v1/compare".into(), compare("ph2", "ph4").encode(), false),
+        4 => ("/v1/drill".into(), drill(Vec::new()).encode(), false),
+        5 => (
+            "/v1/drill".into(),
+            drill(vec![om_api::PathStep {
+                attr: "TimeOfCall".into(),
+                value: "morning".into(),
+            }])
+            .encode(),
+            false,
+        ),
+        6 => (
+            "/v1/gi".into(),
+            om_api::GiRequest { top: Some(5) }.encode(),
+            false,
+        ),
+        7 => (
+            "/v1/cube/slice".into(),
+            om_api::SliceRequest {
+                attr: "PhoneModel".into(),
+                by: Some("TimeOfCall".into()),
+            }
+            .encode(),
+            false,
+        ),
+        8 => (
+            "/v1/compare/batch".into(),
+            om_api::BatchRequest {
+                items: vec![
+                    om_api::BatchItemRequest::Compare {
+                        req: compare("ph1", "ph2"),
+                        budget_ms: None,
+                    },
+                    om_api::BatchItemRequest::Compare {
+                        req: compare("ph2", "ph1"),
+                        budget_ms: None,
+                    },
+                    om_api::BatchItemRequest::Drill {
+                        req: drill(vec![om_api::PathStep {
+                            attr: "TimeOfCall".into(),
+                            value: "evening".into(),
+                        }]),
+                        budget_ms: None,
+                    },
+                ],
+            }
+            .encode(),
+            false,
+        ),
+        _ if !ingest_rows.is_empty() => {
+            // Rotate through distinct 4-row windows of the sample rows.
+            let start = (i / 10 * 4) % ingest_rows.len();
+            let rows: Vec<Vec<String>> = (0..4)
+                .map(|k| ingest_rows[(start + k) % ingest_rows.len()].clone())
+                .collect();
+            (
+                "/v1/ingest".into(),
+                om_api::IngestRequest { rows }.encode(),
+                true,
+            )
+        }
+        _ => ("/v1/compare".into(), compare("ph1", "ph4").encode(), false),
+    }
+}
+
+/// Extract verbatim field labels of the first `n` rows of a prepared
+/// dataset, for replay through live ingestion.
+fn sample_rows(ds: &om_data::Dataset, n: usize) -> Result<Vec<Vec<String>>, CliError> {
+    let schema = ds.schema();
+    let mut rows = Vec::with_capacity(n.min(ds.n_rows()));
+    for r in 0..n.min(ds.n_rows()) {
+        let mut row = Vec::with_capacity(schema.n_attributes());
+        for a in 0..schema.n_attributes() {
+            let ids = ds.categorical(a)?;
+            let label = ids
+                .get(r)
+                .and_then(|&id| schema.attribute(a).domain().label(id))
+                .ok_or_else(|| CliError::Failed(format!("row {r} attr {a} has no label")))?;
+            row.push(label.to_owned());
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn percentile(sorted_us: &[u128], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
+}
+
+/// Entry point for `opmap cluster`.
+///
+/// # Errors
+/// Usage errors for bad flags; failures if a shard cannot start, a
+/// verification diverges, or a chaos assertion fails.
+pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
+    if parsed.switch("help") {
+        writeln!(out, "{HELP}").ok();
+        return Ok(());
+    }
+    let n_shards = parsed.parse_or("shards", 4usize)?;
+    if n_shards == 0 {
+        return Err(CliError::Usage("--shards must be at least 1".into()));
+    }
+    let records = parsed.parse_or("records", 20_000usize)?;
+    let seed = parsed.parse_or("seed", 7u64)?;
+    let requests = parsed.parse_or("requests", 5_000usize)?;
+    let bench_out = parsed.optional("bench-out");
+    let verify = parsed.switch("verify");
+    let chaos = parsed.switch("chaos");
+    let ingest = parsed.switch("ingest");
+    parsed.reject_unknown()?;
+
+    let work = std::env::temp_dir().join(format!(
+        "om-cluster-run-{}-{seed}-{n_shards}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work)
+        .map_err(|e| CliError::Failed(format!("cannot create {work:?}: {e}")))?;
+
+    let result = run_inner(
+        out, n_shards, records, seed, requests, verify, chaos, ingest, &work, bench_out,
+    );
+    let _ = std::fs::remove_dir_all(&work);
+    result
+}
+
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn run_inner(
+    out: &mut dyn Write,
+    n_shards: usize,
+    records: usize,
+    seed: u64,
+    requests: usize,
+    verify: bool,
+    chaos: bool,
+    ingest: bool,
+    work: &Path,
+    bench_out: Option<String>,
+) -> CliResult {
+    // 1. One centrally-prepared dataset; the union engine doubles as
+    //    the single-node verification twin.
+    writeln!(out, "building {records}-record dataset (seed {seed})…").ok();
+    let ds = om_synth::paper_scenario(records, seed).0;
+    let twin = Arc::new(OpportunityMap::build(ds, EngineConfig::default())?);
+    let ingest_rows = sample_rows(twin.dataset(), 256)?;
+
+    // 2. Hash-partition and provision one binary partition per shard.
+    let parts = partition_dataset(twin.dataset(), n_shards)?;
+    let mut bins = Vec::new();
+    for (i, part) in parts.iter().enumerate() {
+        let path = work.join(format!("part-{i}.bin"));
+        std::fs::write(&path, encode_dataset(part))
+            .map_err(|e| CliError::Failed(format!("cannot write {path:?}: {e}")))?;
+        bins.push(path);
+    }
+
+    // 3. Spawn the shard processes on ephemeral ports.
+    let mut shards = Vec::new();
+    for (i, bin) in bins.iter().enumerate() {
+        let wal = ingest.then(|| work.join(format!("wal-{i}")));
+        let shard = Shard::spawn(bin, wal.as_deref())?;
+        writeln!(
+            out,
+            "shard {i}: pid {} on http://{} ({} rows)",
+            shard.child.id(),
+            shard.addr,
+            parts[i].n_rows()
+        )
+        .ok();
+        shards.push(shard);
+    }
+
+    // 4. Coordinator in-process, serving the same typed /v1 API.
+    let server_config = || ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        engine_budget: None,
+        ..ServerConfig::default()
+    };
+    let connect = |shards: &[Shard]| -> Result<Server, CliError> {
+        let coordinator = Coordinator::connect(ClusterConfig {
+            shard_addrs: shards.iter().map(|s| s.addr.clone()).collect(),
+            ingest,
+            ..ClusterConfig::default()
+        })
+        .map_err(|e| CliError::Failed(format!("coordinator cannot join cluster: {e}")))?;
+        Server::start_custom(Arc::new(coordinator), server_config())
+            .map_err(|e| CliError::Failed(format!("cannot start coordinator: {e}")))
+    };
+    let mut coord_server = connect(&shards)?;
+    writeln!(
+        out,
+        "coordinator on http://{} over {n_shards} shard(s)",
+        coord_server.local_addr()
+    )
+    .ok();
+
+    // 5. Optional single-node twin over the union, for byte-identity.
+    let twin_ingest = (verify && ingest)
+        .then(|| {
+            twin.start_ingest(&IngestConfig {
+                sync_writes: false,
+                ..IngestConfig::new(work.join("wal-single"))
+            })
+        })
+        .transpose()
+        .map_err(|e| CliError::Failed(format!("cannot start twin ingestion: {e}")))?;
+    let twin_server = verify
+        .then(|| {
+            Server::start_with_ingest(Arc::clone(&twin), server_config(), twin_ingest.clone())
+        })
+        .transpose()
+        .map_err(|e| CliError::Failed(format!("cannot start single-node twin: {e}")))?;
+
+    let timeout = Duration::from_secs(60);
+    let mut coord_client = ShardClient::new(coord_server.local_addr().to_string(), timeout);
+    let twin_client = twin_server
+        .as_ref()
+        .map(|s| ShardClient::new(s.local_addr().to_string(), timeout));
+
+    // 6. Drive the mixed load.
+    let chaos_at = requests / 2;
+    let mut latencies_us: Vec<u128> = Vec::with_capacity(requests);
+    let mut bytes_total: u64 = 0;
+    let mut verified: u64 = 0;
+    let started = Instant::now();
+    for i in 0..requests {
+        if chaos && i == chaos_at {
+            chaos_round(out, &mut shards, &mut coord_server, &mut coord_client, &connect)?;
+        }
+        let (path, body, is_ingest) = request_for(i, if ingest { &ingest_rows } else { &[] });
+        let t = Instant::now();
+        let (status, response) = coord_client
+            .post(&path, &body)
+            .map_err(|e| CliError::Failed(format!("request {i} ({path}) failed: {e}")))?;
+        latencies_us.push(t.elapsed().as_micros());
+        bytes_total += response.len() as u64;
+        if status != 200 {
+            return Err(CliError::Failed(format!(
+                "request {i} ({path}) answered HTTP {status}: {response}"
+            )));
+        }
+        if let Some(tc) = &twin_client {
+            let (ts, tr) = tc
+                .post(&path, &body)
+                .map_err(|e| CliError::Failed(format!("twin request {i} ({path}) failed: {e}")))?;
+            if is_ingest {
+                // Acks agree on counts; the generation counter is
+                // per-shard and intentionally not byte-compared.
+                let ca = om_api::IngestResponse::parse(&response)
+                    .map_err(|e| CliError::Failed(format!("bad cluster ack: {e}")))?;
+                let ta = om_api::IngestResponse::parse(&tr)
+                    .map_err(|e| CliError::Failed(format!("bad twin ack: {e}")))?;
+                if (ca.accepted, ca.rows_total) != (ta.accepted, ta.rows_total) {
+                    return Err(CliError::Failed(format!(
+                        "ingest divergence at request {i}: cluster accepted {}/{}, twin {}/{}",
+                        ca.accepted, ca.rows_total, ta.accepted, ta.rows_total
+                    )));
+                }
+            } else if (status, response.as_str()) != (ts, tr.as_str()) {
+                return Err(CliError::Failed(format!(
+                    "byte-identity violated at request {i} ({path}):\n cluster: HTTP {status}: {response}\n single:  HTTP {ts}: {tr}"
+                )));
+            }
+            verified += 1;
+        }
+    }
+    let elapsed = started.elapsed();
+
+    // 7. With live ingestion: seal and absorb everywhere, then prove the
+    //    merged store still matches the single node (epoch re-pin).
+    if ingest && verify {
+        for shard in &shards {
+            ShardClient::new(shard.addr.clone(), timeout)
+                .expect_ok("POST", "/internal/flush", Some("{}"))
+                .map_err(|e| CliError::Failed(format!("shard flush failed: {e}")))?;
+        }
+        if let Some(handle) = &twin_ingest {
+            handle
+                .flush()
+                .map_err(|e| CliError::Failed(format!("twin flush failed: {e}")))?;
+        }
+        let (path, body, _) = request_for(0, &[]);
+        let cluster = coord_client
+            .post(&path, &body)
+            .map_err(|e| CliError::Failed(format!("post-flush request failed: {e}")))?;
+        let single = twin_client
+            .as_ref()
+            .map(|tc| tc.post(&path, &body))
+            .transpose()
+            .map_err(|e| CliError::Failed(format!("post-flush twin request failed: {e}")))?;
+        if let Some(single) = single {
+            if cluster != single {
+                return Err(CliError::Failed(format!(
+                    "post-ingest divergence: cluster {cluster:?} vs single {single:?}"
+                )));
+            }
+            verified += 1;
+        }
+        writeln!(out, "post-ingest flush: merged store still byte-identical").ok();
+    }
+
+    // 8. Report.
+    latencies_us.sort_unstable();
+    let throughput = requests as f64 / elapsed.as_secs_f64();
+    let (p50, p95, p99) = (
+        percentile(&latencies_us, 0.50),
+        percentile(&latencies_us, 0.95),
+        percentile(&latencies_us, 0.99),
+    );
+    writeln!(
+        out,
+        "drove {requests} request(s) in {:.2}s: {throughput:.0} req/s, \
+         latency p50 {p50:.2}ms p95 {p95:.2}ms p99 {p99:.2}ms, {bytes_total} byte(s)",
+        elapsed.as_secs_f64()
+    )
+    .ok();
+    if verify {
+        writeln!(
+            out,
+            "verify: {verified} response(s) byte-identical to the single-node twin"
+        )
+        .ok();
+    }
+
+    if let Some(path) = bench_out {
+        let json = format!(
+            "{{\"bench\":\"cluster_loopback\",\"shards\":{n_shards},\"records\":{records},\
+             \"requests\":{requests},\"ingest\":{ingest},\"chaos\":{chaos},\
+             \"verified_responses\":{verified},\"throughput_rps\":{throughput:.2},\
+             \"latency_ms\":{{\"p50\":{p50:.3},\"p95\":{p95:.3},\"p99\":{p99:.3}}},\
+             \"bytes_total\":{bytes_total}}}\n"
+        );
+        std::fs::write(&path, json)
+            .map_err(|e| CliError::Failed(format!("cannot write {path:?}: {e}")))?;
+        writeln!(out, "bench results written to {path}").ok();
+    }
+
+    if let Some(server) = twin_server {
+        server.shutdown();
+    }
+    if let Some(handle) = twin_ingest {
+        handle.shutdown();
+    }
+    coord_server.shutdown();
+    Ok(())
+}
+
+/// Kill one shard, assert the typed partial failure names it, restart
+/// the shard from its partition + WAL, and re-join it via a fresh
+/// coordinator epoch.
+fn chaos_round(
+    out: &mut dyn Write,
+    shards: &mut [Shard],
+    coord_server: &mut Server,
+    coord_client: &mut ShardClient,
+    connect: &dyn Fn(&[Shard]) -> Result<Server, CliError>,
+) -> CliResult {
+    let victim = shards.len() - 1;
+    writeln!(out, "chaos: killing shard {victim} (pid {})", shards[victim].child.id()).ok();
+    shards[victim].kill();
+
+    let probe = om_api::CompareRequest {
+        attr: "PhoneModel".into(),
+        v1: "ph1".into(),
+        v2: "ph2".into(),
+        class: "dropped".into(),
+    }
+    .encode();
+    let (status, body) = coord_client
+        .post("/v1/compare", &probe)
+        .map_err(|e| CliError::Failed(format!("chaos probe failed to send: {e}")))?;
+    if status != 503 {
+        return Err(CliError::Failed(format!(
+            "chaos: degraded cluster answered HTTP {status} (want 503): {body}"
+        )));
+    }
+    let env = om_api::ErrorEnvelope::parse(&body)
+        .map_err(|e| CliError::Failed(format!("chaos: 503 body is not an error envelope: {e}")))?;
+    if !env.message.contains(&format!("shard {victim}")) {
+        return Err(CliError::Failed(format!(
+            "chaos: envelope does not name shard {victim}: {}",
+            env.message
+        )));
+    }
+    writeln!(out, "chaos: typed 503 names the lost shard: {}", env.message).ok();
+
+    let (bin, wal) = (shards[victim].bin.clone(), shards[victim].wal.clone());
+    shards[victim] = Shard::spawn(&bin, wal.as_deref())?;
+    writeln!(
+        out,
+        "chaos: shard {victim} restarted on http://{} (WAL replayed)",
+        shards[victim].addr
+    )
+    .ok();
+
+    // Re-join: a fresh coordinator pins a fresh epoch over the new
+    // topology; the old one is torn down.
+    let new_server = connect(shards)?;
+    let old = std::mem::replace(coord_server, new_server);
+    old.shutdown();
+    *coord_client = ShardClient::new(coord_server.local_addr().to_string(), Duration::from_secs(60));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_args(args: &[&str]) -> (CliResult, String) {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut parsed = Parsed::parse(&argv).unwrap();
+        let _ = parsed.command();
+        let mut out = Vec::new();
+        let r = run(&mut parsed, &mut out);
+        (r, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn help_prints_options() {
+        let (r, text) = run_args(&["cluster", "--help"]);
+        assert!(r.is_ok());
+        assert!(text.contains("--shards"));
+        assert!(text.contains("--verify"));
+    }
+
+    #[test]
+    fn zero_shards_is_usage_error() {
+        let (r, _) = run_args(&["cluster", "--shards", "0"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn unknown_option_is_usage_error() {
+        let (r, _) = run_args(&["cluster", "--typo", "x"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn percentiles_interpolate_sanely() {
+        let us: Vec<u128> = (1..=100).map(|v| v * 1000).collect();
+        assert!((percentile(&us, 0.50) - 50.0).abs() < 2.0);
+        assert!((percentile(&us, 0.99) - 99.0).abs() < 2.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn request_mix_is_deterministic_and_valid_json() {
+        let rows = vec![vec!["a".to_owned(); 3]];
+        for i in 0..20 {
+            let (path, body, _) = request_for(i, &rows);
+            assert!(path.starts_with("/v1/"), "{path}");
+            assert_eq!(request_for(i, &rows).1, body);
+        }
+        // Without ingest rows, slot 9 degrades to a compare.
+        let (path, _, is_ingest) = request_for(9, &[]);
+        assert_eq!(path, "/v1/compare");
+        assert!(!is_ingest);
+        let (path, _, is_ingest) = request_for(9, &rows);
+        assert_eq!(path, "/v1/ingest");
+        assert!(is_ingest);
+    }
+}

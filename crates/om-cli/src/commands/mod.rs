@@ -1,5 +1,6 @@
 //! One module per `opmap` subcommand.
 
+pub mod cluster;
 pub mod compare;
 pub mod describe;
 pub mod detail;

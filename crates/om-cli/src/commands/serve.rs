@@ -20,6 +20,9 @@ plus the typed POST /v1/* API (see docs/api.md) including the batched
 OPTIONS:
   --data <csv>         Dataset to serve (with --class); omitted → synthetic
   --class <column>     Class column of --data
+  --data-bin <file>    Pre-discretized binary dataset partition (the om-data
+                       persist format `opmap cluster` provisions shards with);
+                       overrides --data
   --records <n>        Synthetic dataset size when --data is omitted [50000]
   --seed <n>           Synthetic dataset seed [7]
   --bins <k>           Equal-frequency bins instead of MDL discretization
@@ -70,7 +73,12 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
         return Err(CliError::Usage("--seal-rows must be at least 1".into()));
     }
 
-    let dataset = if parsed.optional("data").is_some() {
+    let dataset = if let Some(bin) = parsed.optional("data-bin") {
+        let bytes = std::fs::read(&bin)
+            .map_err(|e| CliError::Failed(format!("cannot read {bin:?}: {e}")))?;
+        om_data::persist::decode_dataset(bytes.into())
+            .map_err(|e| CliError::Failed(format!("cannot decode {bin:?}: {e}")))?
+    } else if parsed.optional("data").is_some() {
         super::load_dataset(parsed)?
     } else {
         let records = parsed.parse_or("records", 50_000usize)?;

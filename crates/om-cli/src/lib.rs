@@ -86,6 +86,7 @@ COMMANDS:
   report     Full Markdown analysis report in one call
   scan       Auto-detect significant value pairs and compare each
   serve      Run the HTTP query daemon over a dataset
+  cluster    Spawn a loopback sharded cluster and drive mixed load
   ingest     Append CSV rows to a running server's live store
   help       Show this message
 
@@ -121,6 +122,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> CliResult {
         "rules" => commands::rules::run(&mut parsed, out),
         "scan" => commands::scan::run(&mut parsed, out),
         "serve" => commands::serve::run(&mut parsed, out),
+        "cluster" => commands::cluster::run(&mut parsed, out),
         "ingest" => commands::ingest::run(&mut parsed, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").ok();

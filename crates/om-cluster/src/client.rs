@@ -1,0 +1,103 @@
+//! Minimal blocking HTTP/1.1 client for shard fan-out.
+//!
+//! One request per connection (`Connection: close`), with read *and*
+//! write timeouts set on the socket — a lagging or dead shard turns
+//! into a typed error within the per-shard timeout instead of stalling
+//! the coordinator. That bounded failure is what the coordinator turns
+//! into a `503` partial-failure envelope naming the shard.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One shard's HTTP endpoint.
+#[derive(Debug, Clone)]
+pub struct ShardClient {
+    addr: String,
+    timeout: Duration,
+}
+
+impl ShardClient {
+    #[must_use]
+    pub fn new(addr: impl Into<String>, timeout: Duration) -> Self {
+        Self {
+            addr: addr.into(),
+            timeout,
+        }
+    }
+
+    /// The shard's `host:port`, for error messages naming the shard.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// `GET path` → `(status, body)`.
+    ///
+    /// # Errors
+    /// A transport-level failure (unreachable, timeout, malformed
+    /// response), as a human-readable message.
+    pub fn get(&self, path: &str) -> Result<(u16, String), String> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body → `(status, body)`.
+    ///
+    /// # Errors
+    /// A transport-level failure, as a human-readable message.
+    pub fn post(&self, path: &str, body: &str) -> Result<(u16, String), String> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(&self, method: &str, path: &str, body: Option<&str>) -> Result<(u16, String), String> {
+        let stream = TcpStream::connect(&self.addr)
+            .map_err(|e| format!("cannot reach {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
+            .map_err(|e| format!("cannot configure socket to {}: {e}", self.addr))?;
+        let mut stream = stream;
+        let request = match body {
+            Some(body) => format!(
+                "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                self.addr,
+                body.len()
+            ),
+            None => format!(
+                "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+                self.addr
+            ),
+        };
+        stream
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("write to {} failed: {e}", self.addr))?;
+        let mut response = String::new();
+        stream
+            .read_to_string(&mut response)
+            .map_err(|e| format!("read from {} failed: {e}", self.addr))?;
+        let status = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| format!("malformed response from {}", self.addr))?;
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_owned())
+            .unwrap_or_default();
+        Ok((status, body))
+    }
+
+    /// A request that must succeed with `200`: non-200 statuses become
+    /// errors carrying the (trimmed) response body.
+    ///
+    /// # Errors
+    /// Transport failures and non-200 responses.
+    pub fn expect_ok(&self, method: &str, path: &str, body: Option<&str>) -> Result<String, String> {
+        let (status, body) = self.request(method, path, body)?;
+        if status == 200 {
+            Ok(body)
+        } else {
+            Err(format!("HTTP {status}: {}", body.trim()))
+        }
+    }
+}

@@ -1,0 +1,887 @@
+//! The coordinator: the `/v1` API served by distributed merge.
+//!
+//! A [`Coordinator`] implements `om_server::ops::EngineOps` — the same
+//! seam the resident single-node backend implements — by fanning every
+//! operation out to N om-server shards and merging their partials:
+//!
+//! * **Epoch pinning.** Every store-backed read (compare, GI, slice,
+//!   batch) first polls each shard's published generation, then fetches
+//!   each shard's full store *at that pinned generation*
+//!   (`/internal/store?expect=G`). A shard that republished in between
+//!   answers `409` and the whole read re-pins — a merged store can
+//!   therefore never mix generations. The merged store is cached keyed
+//!   by the generation vector, so steady-state reads fan out only the
+//!   cheap generation poll.
+//! * **Deterministic merge.** Partials merge in shard order with the
+//!   cube merge algebra (`cube(A) ⊕ cube(B) == cube(A ∪ B)`), and
+//!   failures gather with om-exec's earliest-shard-error-wins rule
+//!   ([`om_exec::gather_in_order`]) — the response does not depend on
+//!   which shard answered first on the wire.
+//! * **Identical engine code.** The merged store is then queried by the
+//!   *single-node* comparator/miner code, and names resolve through a
+//!   zero-row engine twin built from the shards' own schema — which is
+//!   why coordinator responses (results *and* error messages) are
+//!   byte-identical to a single node holding the union of the
+//!   partitions. The only sanctioned divergences are availability
+//!   errors a single node cannot have (a shard down or lagging, a
+//!   generation race that never settles); those surface as `503`
+//!   envelopes naming the shard, with a `Retry-After` hint.
+//! * **Drill-down.** The drill walk runs the shared
+//!   [`om_compare::drill_down_via`] loop over a [`DrillPopulation`]
+//!   backed by `/internal/level` fan-outs (merged per level) and
+//!   `/internal/count` emptiness probes. Drill levels read the shards'
+//!   immutable *base* partitions — exactly as a single node drills its
+//!   base dataset — so level stores are generation-free and cacheable.
+//! * **Ingest.** Rows are validated up front against the shared schema
+//!   (identical `bad_row` envelopes, all-or-nothing), routed by the
+//!   stable row hash ([`crate::router`]), and forwarded to the owning
+//!   shards' `/v1/ingest`. Acks sum `accepted`/`rows_total`; the
+//!   reported generation is the maximum across touched shards (shard
+//!   generations advance independently). Cross-shard atomicity is not
+//!   guaranteed: a mid-batch shard failure leaves the rows accepted by
+//!   other shards durable in their WALs.
+//!
+//! The coordinator assumes every shard runs the default engine
+//! configuration (the cluster tooling starts shards that way); the
+//! comparator/miner thresholds it applies to merged stores come from
+//! the same defaults.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use om_api::{
+    b64_decode, ConditionWire, ErrorCode, ErrorEnvelope, IngestRequest, IngestResponse,
+    InternalCountRequest, InternalCountResponse, InternalGenerationResponse, InternalLevelRequest,
+    InternalLevelResponse, InternalSchemaResponse, InternalStoreResponse,
+};
+use om_compare::{
+    candidate_attrs_in, drill_down_via, CompareConfig, CompareError, Comparator, ComparisonResult,
+    ComparisonSpec, DrillConfig, DrillLevel, DrillPopulation,
+};
+use om_cube::persist::decode_store;
+use om_cube::CubeStore;
+use om_data::persist::decode_dataset;
+use om_data::{Schema, ValueId};
+use om_engine::{
+    fail, BatchItem, BatchOutcome, Budget, Condition, EngineConfig, EngineError, FaultError,
+    GiReport, OpportunityMap, SharedStore, StoreSnapshot,
+};
+use om_exec::gather_in_order;
+use om_gi::{mine_exceptions_budgeted, mine_influence_budgeted, mine_trends_budgeted};
+use om_ingest::RowParser;
+use om_server::ops::{ingest_envelope, EngineOps, IngestAck, OpsError};
+
+use crate::client::ShardClient;
+use crate::metrics::ClusterMetrics;
+use crate::router::route_fields;
+
+/// How a coordinator reaches and treats its shards.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Shard endpoints (`host:port`), in shard-index order. The order
+    /// is part of the cluster identity: routing and merging both use
+    /// it.
+    pub shard_addrs: Vec<String>,
+    /// Per-shard request timeout; a shard that exceeds it becomes a
+    /// `503` partial-failure envelope naming the shard.
+    pub shard_timeout: Duration,
+    /// `Retry-After` hint attached to overload envelopes, in seconds.
+    pub retry_after_secs: u64,
+    /// How many times a store read re-pins when shards republish
+    /// mid-fan-out before giving up with an overload envelope.
+    pub stale_retries: u32,
+    /// Whether `/v1/ingest` is live (requires shards started with
+    /// ingest WALs).
+    pub ingest: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            shard_addrs: Vec::new(),
+            shard_timeout: Duration::from_secs(30),
+            retry_after_secs: 1,
+            stale_retries: 3,
+            ingest: false,
+        }
+    }
+}
+
+/// A resolved condition path, as a hashable cache key.
+type CondKey = Vec<(usize, ValueId)>;
+
+fn cond_key(conditions: &[Condition]) -> CondKey {
+    conditions.iter().map(|c| (c.attr, c.value)).collect()
+}
+
+fn wire_conditions(conditions: &[Condition]) -> Vec<ConditionWire> {
+    conditions
+        .iter()
+        .map(|c| ConditionWire {
+            attr: c.attr as u64,
+            value: u64::from(c.value),
+        })
+        .collect()
+}
+
+/// Drill-level stores are cached per (condition path, attribute set);
+/// clear-on-cap keeps a pathological request mix from growing without
+/// bound while leaving the common session shapes fully cached.
+const LEVEL_CACHE_CAP: usize = 512;
+
+type LevelCache = HashMap<(CondKey, Vec<usize>), Arc<CubeStore>>;
+
+/// The coordinator for one shard topology. See the module docs.
+pub struct Coordinator {
+    shards: Vec<ShardClient>,
+    /// Zero-row engine twin built from the shards' schema: resolves
+    /// names, validates conditions and carries the shared configs with
+    /// the exact single-node code (and error messages).
+    om: OpportunityMap,
+    parser: RowParser,
+    retry_after_secs: u64,
+    stale_retries: u32,
+    ingest: bool,
+    /// Merged full store, keyed by the pinned generation vector.
+    merged: Mutex<Option<(Vec<u64>, Arc<StoreSnapshot>)>>,
+    /// Merged drill-level stores (generation-free; see module docs).
+    levels: Mutex<LevelCache>,
+    /// Conditioned base-partition row counts, summed across shards.
+    counts: Mutex<HashMap<CondKey, u64>>,
+    metrics: ClusterMetrics,
+}
+
+impl Coordinator {
+    /// Connect to the shards: fetch and cross-check their schemas, and
+    /// bootstrap the zero-row engine twin.
+    ///
+    /// # Errors
+    /// Unreachable shards, shards that disagree on the schema, or a
+    /// schema the engine cannot host.
+    pub fn connect(config: ClusterConfig) -> Result<Self, String> {
+        if config.shard_addrs.is_empty() {
+            return Err("cluster needs at least one shard".to_owned());
+        }
+        let shards: Vec<ShardClient> = config
+            .shard_addrs
+            .iter()
+            .map(|a| ShardClient::new(a.clone(), config.shard_timeout))
+            .collect();
+        let mut schema_b64 = String::new();
+        for (i, shard) in shards.iter().enumerate() {
+            let body = shard
+                .expect_ok("GET", "/internal/schema", None)
+                .map_err(|e| format!("shard {i} ({}): schema fetch failed: {e}", shard.addr()))?;
+            let resp = InternalSchemaResponse::parse(&body)
+                .map_err(|e| format!("shard {i} ({}): bad schema response: {e}", shard.addr()))?;
+            if i == 0 {
+                schema_b64 = resp.dataset_b64;
+            } else if schema_b64 != resp.dataset_b64 {
+                return Err(format!(
+                    "shard {i} ({}) disagrees with shard 0 on the schema; \
+                     every shard must be partitioned from the same dataset",
+                    shard.addr()
+                ));
+            }
+        }
+        let bytes = b64_decode(&schema_b64).map_err(|e| format!("shard schema is not valid base64: {e}"))?;
+        let zero = decode_dataset(Bytes::from(bytes))
+            .map_err(|e| format!("shard schema dataset failed to decode: {e}"))?;
+        let om = OpportunityMap::build(zero, EngineConfig::default())
+            .map_err(|e| format!("coordinator engine bootstrap failed: {e}"))?;
+        let parser = RowParser::new(om.dataset().schema().clone(), om.cut_points())
+            .map_err(|e| format!("coordinator row parser bootstrap failed: {e}"))?;
+        let metrics = ClusterMetrics::default();
+        metrics
+            .shards
+            .store(shards.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        Ok(Self {
+            shards,
+            om,
+            parser,
+            retry_after_secs: config.retry_after_secs,
+            stale_retries: config.stale_retries,
+            ingest: config.ingest,
+            merged: Mutex::new(None),
+            levels: Mutex::new(HashMap::new()),
+            counts: Mutex::new(HashMap::new()),
+            metrics,
+        })
+    }
+
+    /// Number of shards in the topology.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The coordinator's counters (rendered into `/metrics`).
+    #[must_use]
+    pub fn cluster_metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
+    fn shard_addr(&self, i: usize) -> &str {
+        self.shards.get(i).map_or("?", ShardClient::addr)
+    }
+
+    fn overloaded(&self, message: String) -> ErrorEnvelope {
+        ErrorEnvelope {
+            retry_after_ms: Some(self.retry_after_secs.saturating_mul(1000)),
+            ..ErrorEnvelope::new(ErrorCode::Overloaded, message)
+        }
+    }
+
+    /// Run `f(shard_index, shard)` once per shard, concurrently, and
+    /// return the per-shard results in shard order.
+    fn fan_out<T: Send>(
+        &self,
+        f: impl Fn(usize, &ShardClient) -> Result<T, String> + Sync,
+    ) -> Vec<Result<T, String>> {
+        ClusterMetrics::add(&self.metrics.fanouts_total, 1);
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, shard)| scope.spawn(move || f(i, shard)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err("shard fan-out worker panicked".to_owned()))
+                })
+                .collect()
+        })
+    }
+
+    /// Earliest-shard-error-wins gather: the reported failure is the
+    /// lowest-indexed failing shard, independent of wire timing.
+    fn gather<T>(&self, op: &str, results: Vec<Result<T, String>>) -> Result<Vec<T>, ErrorEnvelope> {
+        let indexed = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.map_err(|msg| (i, msg)));
+        gather_in_order(indexed).map_err(|(i, msg)| {
+            ClusterMetrics::add(&self.metrics.shard_errors_total, 1);
+            self.overloaded(format!(
+                "shard {i} ({}) failed during {op}: {msg}",
+                self.shard_addr(i)
+            ))
+        })
+    }
+
+    /// Pin one generation per shard and return the merged full store at
+    /// exactly that generation vector (cached across requests).
+    fn pinned_store(&self, _budget: &Budget) -> Result<Arc<StoreSnapshot>, ErrorEnvelope> {
+        enum Fetch {
+            Fresh(Box<CubeStore>),
+            Stale,
+        }
+        for _ in 0..=self.stale_retries {
+            let gens = self.gather(
+                "generation poll",
+                self.fan_out(|_, shard| {
+                    let body = shard.expect_ok("GET", "/internal/generation", None)?;
+                    InternalGenerationResponse::parse(&body).map(|r| r.generation)
+                }),
+            )?;
+            if let Some((pinned, snap)) = self.merged.lock().clone() {
+                if pinned == gens {
+                    return Ok(snap);
+                }
+            }
+            let fetched = self.gather(
+                "store fetch",
+                self.fan_out(|i, shard| {
+                    let expect = gens.get(i).copied().unwrap_or(0);
+                    let (status, body) = shard.get(&format!("/internal/store?expect={expect}"))?;
+                    match status {
+                        200 => {
+                            let resp = InternalStoreResponse::parse(&body)?;
+                            let bytes = b64_decode(&resp.store_b64)?;
+                            let store = decode_store(Bytes::from(bytes))
+                                .map_err(|e| format!("store decode failed: {e}"))?;
+                            Ok(Fetch::Fresh(Box::new(store)))
+                        }
+                        // The shard republished since the poll: not a
+                        // failure, a re-pin.
+                        409 => Ok(Fetch::Stale),
+                        s => Err(format!("HTTP {s}: {}", body.trim())),
+                    }
+                }),
+            )?;
+            if fetched.iter().any(|f| matches!(f, Fetch::Stale)) {
+                ClusterMetrics::add(&self.metrics.stale_retries_total, 1);
+                continue;
+            }
+            let mut merged: Option<CubeStore> = None;
+            for f in fetched {
+                let Fetch::Fresh(part) = f else { continue };
+                merged = Some(match merged {
+                    None => *part,
+                    Some(acc) => acc.merge(&part).map_err(|e| {
+                        ErrorEnvelope::new(
+                            ErrorCode::Internal,
+                            format!("shard store merge failed: {e}"),
+                        )
+                    })?,
+                });
+            }
+            let Some(merged) = merged else {
+                return Err(ErrorEnvelope::new(
+                    ErrorCode::Internal,
+                    "cluster produced no shard stores",
+                ));
+            };
+            let snap = SharedStore::new(merged).snapshot();
+            ClusterMetrics::add(&self.metrics.store_refreshes_total, 1);
+            *self.merged.lock() = Some((gens, Arc::clone(&snap)));
+            return Ok(snap);
+        }
+        Err(self.overloaded(format!(
+            "cluster store generations kept moving across {} pins (live ingestion racing the \
+             fan-out); retry",
+            u64::from(self.stale_retries) + 1
+        )))
+    }
+
+    /// Merged drill-level store over the shards' conditioned *base*
+    /// partitions (generation-free; see module docs).
+    fn cluster_level_store(
+        &self,
+        conditions: &[Condition],
+        attrs: &[usize],
+    ) -> Result<Arc<CubeStore>, ErrorEnvelope> {
+        let key = (cond_key(conditions), attrs.to_vec());
+        if let Some(hit) = self.levels.lock().get(&key) {
+            ClusterMetrics::add(&self.metrics.level_cache_hits_total, 1);
+            return Ok(Arc::clone(hit));
+        }
+        ClusterMetrics::add(&self.metrics.level_cache_misses_total, 1);
+        let request = InternalLevelRequest {
+            conditions: wire_conditions(conditions),
+            attrs: attrs.iter().map(|&a| a as u64).collect(),
+        }
+        .encode();
+        let parts = self.gather(
+            "drill-level fan-out",
+            self.fan_out(|_, shard| {
+                let body = shard.expect_ok("POST", "/internal/level", Some(&request))?;
+                let resp = InternalLevelResponse::parse(&body)?;
+                let bytes = b64_decode(&resp.store_b64)?;
+                decode_store(Bytes::from(bytes)).map_err(|e| format!("level store decode failed: {e}"))
+            }),
+        )?;
+        let mut parts = parts.into_iter();
+        let Some(mut acc) = parts.next() else {
+            return Err(ErrorEnvelope::new(
+                ErrorCode::Internal,
+                "cluster produced no level stores",
+            ));
+        };
+        for part in parts {
+            acc = acc.merge(&part).map_err(|e| {
+                ErrorEnvelope::new(ErrorCode::Internal, format!("level store merge failed: {e}"))
+            })?;
+        }
+        let merged = Arc::new(acc);
+        let mut cache = self.levels.lock();
+        if cache.len() >= LEVEL_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, Arc::clone(&merged));
+        Ok(merged)
+    }
+
+    /// Conditioned base-partition row count, summed across shards.
+    fn cluster_count(&self, conditions: &[Condition]) -> Result<u64, ErrorEnvelope> {
+        let key = cond_key(conditions);
+        if let Some(&hit) = self.counts.lock().get(&key) {
+            return Ok(hit);
+        }
+        let request = InternalCountRequest {
+            conditions: wire_conditions(conditions),
+        }
+        .encode();
+        let counts = self.gather(
+            "count fan-out",
+            self.fan_out(|_, shard| {
+                let body = shard.expect_ok("POST", "/internal/count", Some(&request))?;
+                InternalCountResponse::parse(&body).map(|r| r.count)
+            }),
+        )?;
+        let total: u64 = counts.iter().sum();
+        let mut cache = self.counts.lock();
+        if cache.len() >= LEVEL_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, total);
+        Ok(total)
+    }
+
+    /// The conditioned-population mirror of the batch fixed-path walk:
+    /// validate each condition against the schema and probe the
+    /// cluster-wide sub-population for emptiness, producing the exact
+    /// single-node failure messages.
+    fn validate_prefix(&self, prefix: &[Condition], schema: &Schema) -> Result<(), PrefixError> {
+        for j in 0..prefix.len() {
+            let Some(&cond) = prefix.get(j) else { break };
+            // The zero-row twin runs the same validity checks as a
+            // shard's sub_population (they depend only on the schema).
+            if let Err(e) = self.om.dataset().sub_population(cond.attr, cond.value) {
+                return Err(PrefixError::Invalid(format!(
+                    "condition {} is invalid: {e}",
+                    cond.display(schema)
+                )));
+            }
+            // om-lint: allow(panic-path) — j < prefix.len() by the enumerate bound
+            match self.cluster_count(&prefix[..=j]) {
+                Ok(0) => {
+                    return Err(PrefixError::Invalid(format!(
+                        "condition {} selects no records",
+                        cond.display(schema)
+                    )))
+                }
+                Ok(_) => {}
+                Err(env) => return Err(PrefixError::FanOut(env)),
+            }
+        }
+        Ok(())
+    }
+
+    /// The coordinator's mirror of om-exec's `run_drill_item`: the same
+    /// walk, budgets, memoization and error classification, with level
+    /// stores and emptiness probes answered by shard fan-out.
+    fn drill_item(
+        &self,
+        spec: &ComparisonSpec,
+        path: &[Condition],
+        budget: &Budget,
+        drill_config: &DrillConfig,
+        compare_config: &CompareConfig,
+        memo: &mut HashMap<(Vec<Condition>, ComparisonSpec), ComparisonResult>,
+    ) -> BatchOutcome {
+        if path.is_empty() {
+            // The automated walk; only the unconditioned root result is
+            // memoizable from outside (deeper levels depend on the
+            // walk's own findings) — it is the runner's first call.
+            let mut at_root = true;
+            let mut pop = ClusterPopulation::new(self);
+            let compare = compare_config.clone();
+            let walked = drill_down_via(&mut pop, spec, drill_config, budget, |store, spec, budget| {
+                let is_root = std::mem::take(&mut at_root);
+                let root_key = (Vec::new(), *spec);
+                if is_root {
+                    if let Some(hit) = memo.get(&root_key) {
+                        return Ok(hit.clone());
+                    }
+                }
+                let result =
+                    Comparator::with_config(&store, compare.clone()).compare_budgeted(spec, budget)?;
+                if is_root {
+                    memo.insert(root_key, result.clone());
+                }
+                Ok(result)
+            });
+            return match walked {
+                Ok(levels) => BatchOutcome::Drill(levels),
+                Err(e) => match pop.failure.take() {
+                    Some(env) => BatchOutcome::Overloaded { message: env.message },
+                    None => BatchOutcome::from_error(&e),
+                },
+            };
+        }
+
+        let schema = self.om.dataset().schema();
+        let mut levels: Vec<DrillLevel> = Vec::new();
+        for depth in 0..=path.len() {
+            if let Err(e) = budget.check() {
+                return BatchOutcome::from_error(&CompareError::Fault(e));
+            }
+            if let Err(e) = fail::inject("compare.drill-level") {
+                return BatchOutcome::from_error(&CompareError::Fault(e));
+            }
+            let Some(prefix) = path.get(..depth) else {
+                break;
+            };
+            match self.validate_prefix(prefix, schema) {
+                Ok(()) => {}
+                Err(PrefixError::Invalid(message)) => return BatchOutcome::Failed { message },
+                Err(PrefixError::FanOut(env)) => {
+                    return BatchOutcome::Overloaded { message: env.message }
+                }
+            }
+            let mut excluded: Vec<usize> = vec![spec.attr];
+            excluded.extend(prefix.iter().map(|c| c.attr));
+            let attrs = candidate_attrs_in(schema, spec.attr, &excluded);
+            if attrs.len() < 2 {
+                break; // nothing left to rank under these conditions
+            }
+            let key = (prefix.to_vec(), *spec);
+            let result = if let Some(hit) = memo.get(&key) {
+                hit.clone()
+            } else {
+                let store = match self.cluster_level_store(prefix, &attrs) {
+                    Ok(store) => store,
+                    Err(env) => return BatchOutcome::Overloaded { message: env.message },
+                };
+                let computed =
+                    Comparator::with_config(&store, compare_config.clone()).compare_budgeted(spec, budget);
+                match computed {
+                    Ok(r) => {
+                        memo.insert(key, r.clone());
+                        r
+                    }
+                    Err(e) if depth == 0 => return BatchOutcome::from_error(&e),
+                    Err(e @ CompareError::Fault(_)) => return BatchOutcome::from_error(&e),
+                    Err(_) => break, // conditioned data too thin — stop cleanly
+                }
+            };
+            levels.push(DrillLevel {
+                conditions: prefix.to_vec(),
+                condition_labels: prefix.iter().map(|c| c.display(schema)).collect(),
+                result,
+            });
+        }
+        BatchOutcome::Drill(levels)
+    }
+}
+
+enum PrefixError {
+    /// The request is at fault — the single-node `Failed` message.
+    Invalid(String),
+    /// A shard fan-out failed — availability, retryable.
+    FanOut(ErrorEnvelope),
+}
+
+/// The distributed [`DrillPopulation`]: levels are merged shard
+/// partials, descent is a schema validity probe plus a cluster-wide
+/// emptiness count. A shard failure mid-walk is stashed as the `/v1`
+/// envelope (the carrier `CompareError` is replaced by the caller).
+struct ClusterPopulation<'a> {
+    co: &'a Coordinator,
+    conditions: Vec<Condition>,
+    failure: Option<ErrorEnvelope>,
+}
+
+impl<'a> ClusterPopulation<'a> {
+    fn new(co: &'a Coordinator) -> Self {
+        Self {
+            co,
+            conditions: Vec::new(),
+            failure: None,
+        }
+    }
+
+    fn fan_out_failed(&mut self, env: ErrorEnvelope) -> CompareError {
+        let carrier = CompareError::Fault(FaultError::Injected(format!(
+            "cluster fan-out failed: {}",
+            env.message
+        )));
+        self.failure = Some(env);
+        carrier
+    }
+}
+
+impl DrillPopulation for ClusterPopulation<'_> {
+    fn schema(&self) -> &Schema {
+        self.co.om.dataset().schema()
+    }
+
+    fn level_store(&mut self, attrs: Vec<usize>) -> Result<Arc<CubeStore>, CompareError> {
+        match self.co.cluster_level_store(&self.conditions, &attrs) {
+            Ok(store) => Ok(store),
+            Err(env) => Err(self.fan_out_failed(env)),
+        }
+    }
+
+    fn descend(&mut self, condition: Condition) -> Result<bool, CompareError> {
+        // Validity first, on the zero-row twin — the exact checks a
+        // single node's sub_population applies (schema-only), with an
+        // invalid condition ending the walk cleanly just like there.
+        if self
+            .co
+            .om
+            .dataset()
+            .sub_population(condition.attr, condition.value)
+            .is_err()
+        {
+            return Ok(false);
+        }
+        let mut probe = self.conditions.clone();
+        probe.push(condition);
+        match self.co.cluster_count(&probe) {
+            Ok(0) => Ok(false),
+            Ok(_) => {
+                self.conditions = probe;
+                Ok(true)
+            }
+            Err(env) => Err(self.fan_out_failed(env)),
+        }
+    }
+}
+
+fn item_budget(batch: &Budget, budget_ms: Option<u64>) -> Budget {
+    match budget_ms {
+        Some(ms) => batch.narrowed(Duration::from_millis(ms)),
+        None => batch.clone(),
+    }
+}
+
+type GroupKey = (usize, ValueId, ValueId);
+
+fn group_key(spec: &ComparisonSpec) -> GroupKey {
+    let (lo, hi) = if spec.value_1 <= spec.value_2 {
+        (spec.value_1, spec.value_2)
+    } else {
+        (spec.value_2, spec.value_1)
+    };
+    (spec.attr, lo, hi)
+}
+
+impl EngineOps for Coordinator {
+    fn compare_config(&self) -> CompareConfig {
+        self.om.config().compare.clone()
+    }
+
+    fn spec_by_name(
+        &self,
+        attr: &str,
+        value_1: &str,
+        value_2: &str,
+        class: &str,
+    ) -> Result<ComparisonSpec, OpsError> {
+        Ok(self.om.spec_by_name(attr, value_1, value_2, class)?)
+    }
+
+    fn condition_by_name(&self, attr: &str, value: &str) -> Result<Condition, OpsError> {
+        Ok(self.om.condition_by_name(attr, value)?)
+    }
+
+    fn attr_index(&self, name: &str) -> Result<usize, OpsError> {
+        Ok(self.om.attr_index(name)?)
+    }
+
+    fn run_compare_by_name(
+        &self,
+        attr: &str,
+        value_1: &str,
+        value_2: &str,
+        class: &str,
+        budget: &Budget,
+    ) -> Result<ComparisonResult, OpsError> {
+        // Same order as the single node: resolve, then the compare
+        // failpoint, then the store.
+        let spec = self.om.spec_by_name(attr, value_1, value_2, class)?;
+        fail::inject("engine.compare").map_err(EngineError::from)?;
+        let store = self.pinned_store(budget)?;
+        Comparator::with_config(&store, self.compare_config())
+            .compare_budgeted(&spec, budget)
+            .map_err(|e| OpsError::Engine(EngineError::from(e)))
+    }
+
+    fn run_drill_down_by_name(
+        &self,
+        attr: &str,
+        value_1: &str,
+        value_2: &str,
+        class: &str,
+        config: &DrillConfig,
+        budget: &Budget,
+    ) -> Result<Vec<DrillLevel>, OpsError> {
+        fail::inject("engine.drill").map_err(EngineError::from)?;
+        let spec = self.om.spec_by_name(attr, value_1, value_2, class)?;
+        let compare = config.compare.clone();
+        let mut pop = ClusterPopulation::new(self);
+        let walked = drill_down_via(&mut pop, &spec, config, budget, move |store, spec, budget| {
+            Comparator::with_config(&store, compare.clone()).compare_budgeted(spec, budget)
+        });
+        match walked {
+            Ok(levels) => Ok(levels),
+            Err(e) => match pop.failure.take() {
+                Some(env) => Err(OpsError::Envelope(env)),
+                None => Err(OpsError::Engine(EngineError::from(e))),
+            },
+        }
+    }
+
+    fn run_general_impressions(&self, budget: &Budget) -> Result<GiReport, OpsError> {
+        fail::inject("engine.gi").map_err(EngineError::from)?;
+        let snapshot = self.pinned_store(budget)?;
+        let config = self.om.config();
+        let mine = || -> Result<GiReport, EngineError> {
+            Ok(GiReport {
+                trends: mine_trends_budgeted(&snapshot, &config.trend, budget)?,
+                exceptions: mine_exceptions_budgeted(&snapshot, &config.exception, budget)?,
+                influence: mine_influence_budgeted(&snapshot, budget)?,
+            })
+        };
+        mine().map_err(OpsError::Engine)
+    }
+
+    fn query_store(&self, budget: &Budget) -> Result<Arc<StoreSnapshot>, OpsError> {
+        Ok(self.pinned_store(budget)?)
+    }
+
+    fn run_batch(
+        &self,
+        items: &[BatchItem],
+        drill_config: &DrillConfig,
+        budget: &Budget,
+    ) -> Result<Vec<BatchOutcome>, OpsError> {
+        fail::inject("engine.batch").map_err(EngineError::from)?;
+        budget.check().map_err(EngineError::from)?;
+        // One pinned merged store for the whole batch, like the single
+        // node's one snapshot.
+        let store = self.pinned_store(budget)?;
+        let compare_config = self.compare_config();
+        let mut outcomes: Vec<Option<BatchOutcome>> = vec![None; items.len()];
+
+        // Compare items, grouped exactly as om-exec groups them (the
+        // shared pass there is an optimization with byte-identical
+        // output; here each member runs the serial comparator on the
+        // merged store).
+        let mut groups: HashMap<GroupKey, Vec<(usize, ComparisonSpec, Budget)>> = HashMap::new();
+        let mut group_order: Vec<GroupKey> = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            if let BatchItem::Compare { spec, budget_ms } = item {
+                let key = group_key(spec);
+                groups
+                    .entry(key)
+                    .or_insert_with(|| {
+                        group_order.push(key);
+                        Vec::new()
+                    })
+                    .push((i, *spec, item_budget(budget, *budget_ms)));
+            }
+        }
+        for key in group_order {
+            let Some(members) = groups.remove(&key) else {
+                continue;
+            };
+            let group_fault = fail::inject("exec.batch-group").err();
+            for (i, spec, member_budget) in members {
+                let outcome = match &group_fault {
+                    Some(f) => BatchOutcome::from_error(&CompareError::Fault(f.clone())),
+                    None => match member_budget.check() {
+                        Err(e) => BatchOutcome::from_error(&CompareError::Fault(e)),
+                        Ok(()) => match Comparator::with_config(&store, compare_config.clone())
+                            .compare_budgeted(&spec, &member_budget)
+                        {
+                            Ok(r) => BatchOutcome::Compare(r),
+                            Err(e) => BatchOutcome::from_error(&e),
+                        },
+                    },
+                };
+                if let Some(slot) = outcomes.get_mut(i) {
+                    *slot = Some(outcome);
+                }
+            }
+        }
+
+        // Drill items: memoized path walk, same sharing as om-exec.
+        let mut memo: HashMap<(Vec<Condition>, ComparisonSpec), ComparisonResult> = HashMap::new();
+        for (i, item) in items.iter().enumerate() {
+            if let BatchItem::Drill {
+                spec,
+                path,
+                budget_ms,
+            } = item
+            {
+                let member_budget = item_budget(budget, *budget_ms);
+                let outcome = self.drill_item(
+                    spec,
+                    path,
+                    &member_budget,
+                    drill_config,
+                    &compare_config,
+                    &mut memo,
+                );
+                if let Some(slot) = outcomes.get_mut(i) {
+                    *slot = Some(outcome);
+                }
+            }
+        }
+
+        Ok(outcomes
+            .into_iter()
+            .map(|o| {
+                o.unwrap_or_else(|| BatchOutcome::Failed {
+                    message: "batch item produced no outcome".to_owned(),
+                })
+            })
+            .collect())
+    }
+
+    fn ingest_enabled(&self) -> bool {
+        self.ingest
+    }
+
+    fn ingest_rows(&self, rows: &[Vec<String>]) -> Result<IngestAck, OpsError> {
+        if !self.ingest {
+            return Err(ErrorEnvelope::new(
+                ErrorCode::NotFound,
+                "live ingestion is not enabled (start the server with an ingest WAL)",
+            )
+            .into());
+        }
+        // Validate the whole batch up front against the shared schema:
+        // all-or-nothing with the exact single-node bad_row envelope,
+        // and no shard ever sees a batch its siblings would reject.
+        for (i, row) in rows.iter().enumerate() {
+            self.parser
+                .parse_fields(row, i + 1)
+                .map_err(|e| OpsError::Envelope(ingest_envelope(&e)))?;
+        }
+        let n = self.shards.len();
+        let mut parts: Vec<Vec<Vec<String>>> = vec![Vec::new(); n];
+        for row in rows {
+            if let Some(part) = parts.get_mut(route_fields(row, n)) {
+                part.push(row.clone());
+            }
+        }
+        ClusterMetrics::add(&self.metrics.ingest_rows_routed_total, rows.len() as u64);
+        // Every shard gets a POST — an empty batch for shards the router
+        // assigned nothing. The ack's `rows_total` is cumulative, so the
+        // cluster-wide total is only right if every shard reports.
+        let bodies: Vec<String> = parts
+            .into_iter()
+            .map(|rows| IngestRequest { rows }.encode())
+            .collect();
+        let acks = self
+            .gather(
+                "ingest fan-out",
+                self.fan_out(|i, shard| {
+                    let body = bodies.get(i).map_or("{\"rows\":[]}", String::as_str);
+                    let response = shard.expect_ok("POST", "/v1/ingest", Some(body))?;
+                    IngestResponse::parse(&response)
+                }),
+            )
+            .map_err(OpsError::Envelope)?;
+        let mut ack = IngestAck {
+            accepted: 0,
+            rows_total: 0,
+            generation: 0,
+        };
+        for shard_ack in acks {
+            ack.accepted += shard_ack.accepted;
+            ack.rows_total += shard_ack.rows_total;
+            // Shard generations advance independently; report the
+            // furthest one (documented divergence from a single node's
+            // scalar generation).
+            ack.generation = ack.generation.max(shard_ack.generation);
+        }
+        Ok(ack)
+    }
+
+    fn extra_metrics(&self) -> String {
+        self.metrics.render()
+    }
+}

@@ -1,0 +1,38 @@
+//! Sharded scale-out for the Opportunity Map engine.
+//!
+//! A cluster is N om-server **shards**, each owning a hash-routed
+//! partition of the record set, plus one **coordinator** that serves
+//! the existing typed `/v1/*` API unchanged. The coordinator answers a
+//! request by fanning out to the shards over HTTP, merging the partial
+//! cube stores with the merge algebra (`cube(A) ⊕ cube(B) ==
+//! cube(A ∪ B)`), and running the *same* single-node engine code over
+//! the merged store — which is what makes a coordinator response
+//! byte-identical to a single node holding the union of the partitions.
+//!
+//! The deterministic pieces, in module order:
+//!
+//! * [`router`] — the stable row hash that assigns every record to
+//!   exactly one shard, identical across processes and restarts;
+//! * [`client`] — a small blocking HTTP/1.1 client with per-shard
+//!   timeouts (a lagging shard becomes a typed partial-failure
+//!   envelope, never a hang);
+//! * [`coordinator`] — the [`coordinator::Coordinator`], an
+//!   `om_server::ops::EngineOps` implementation that epoch-pins one
+//!   store generation per shard before merging and refuses
+//!   mixed-generation merges;
+//! * [`metrics`] — the `om_cluster_*` counters rendered into the
+//!   coordinator's `/metrics`.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod client;
+pub mod coordinator;
+pub mod metrics;
+pub mod partition;
+pub mod router;
+
+pub use client::ShardClient;
+pub use coordinator::{ClusterConfig, Coordinator};
+pub use metrics::ClusterMetrics;
+pub use partition::{partition_dataset, partition_rows};
+pub use router::{route_fields, row_hash};

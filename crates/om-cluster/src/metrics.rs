@@ -1,0 +1,93 @@
+//! Coordinator counters, rendered into `/metrics`.
+//!
+//! Same conventions as om-server's own registry: monotonic atomics,
+//! text exposition with `# TYPE` lines, relaxed ordering (these are
+//! operator telemetry, not synchronization).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The `om_cluster_*` series.
+#[derive(Debug, Default)]
+pub struct ClusterMetrics {
+    /// Number of shards in the topology (a gauge; set once at connect).
+    pub shards: AtomicU64,
+    /// Shard fan-outs performed (one per distributed operation, not per
+    /// shard request).
+    pub fanouts_total: AtomicU64,
+    /// Shard requests that failed (transport error or non-2xx).
+    pub shard_errors_total: AtomicU64,
+    /// Store fetches retried because a shard moved generations between
+    /// the pin poll and the fetch.
+    pub stale_retries_total: AtomicU64,
+    /// Merged-store rebuilds (a cache miss on the pinned generation
+    /// vector).
+    pub store_refreshes_total: AtomicU64,
+    /// Drill-level stores served from the coordinator's merge cache.
+    pub level_cache_hits_total: AtomicU64,
+    /// Drill-level stores that required a shard fan-out and merge.
+    pub level_cache_misses_total: AtomicU64,
+    /// Rows routed to shards by live ingestion.
+    pub ingest_rows_routed_total: AtomicU64,
+}
+
+impl ClusterMetrics {
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Text exposition, appended to the coordinator's `/metrics` body.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let series: [(&str, &str, &AtomicU64); 8] = [
+            ("om_cluster_shards", "gauge", &self.shards),
+            ("om_cluster_fanouts_total", "counter", &self.fanouts_total),
+            ("om_cluster_shard_errors_total", "counter", &self.shard_errors_total),
+            ("om_cluster_stale_retries_total", "counter", &self.stale_retries_total),
+            ("om_cluster_store_refreshes_total", "counter", &self.store_refreshes_total),
+            ("om_cluster_level_cache_hits_total", "counter", &self.level_cache_hits_total),
+            ("om_cluster_level_cache_misses_total", "counter", &self.level_cache_misses_total),
+            ("om_cluster_ingest_rows_routed_total", "counter", &self.ingest_rows_routed_total),
+        ];
+        for (name, kind, counter) in series {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(kind);
+            out.push('\n');
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&counter.load(Ordering::Relaxed).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_series() {
+        let m = ClusterMetrics::default();
+        m.shards.store(4, Ordering::Relaxed);
+        ClusterMetrics::add(&m.fanouts_total, 3);
+        let text = m.render();
+        for name in [
+            "om_cluster_shards",
+            "om_cluster_fanouts_total",
+            "om_cluster_shard_errors_total",
+            "om_cluster_stale_retries_total",
+            "om_cluster_store_refreshes_total",
+            "om_cluster_level_cache_hits_total",
+            "om_cluster_level_cache_misses_total",
+            "om_cluster_ingest_rows_routed_total",
+        ] {
+            assert!(text.contains(&format!("# TYPE {name} ")), "{name} untyped");
+            assert!(text.contains(&format!("\n{name} ")) || text.starts_with(&format!("{name} ")), "{name} missing");
+        }
+        assert!(text.contains("om_cluster_shards 4"));
+        assert!(text.contains("om_cluster_fanouts_total 3"));
+    }
+}

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use om_car::Condition;
 use om_cube::{CubeStore, StoreBuildOptions};
-use om_data::Dataset;
+use om_data::{Dataset, Schema};
 use om_fault::{fail, Budget};
 
 use crate::rank::{CompareConfig, CompareError, Comparator, ComparisonResult, ComparisonSpec};
@@ -101,12 +101,18 @@ pub fn drill_down_budgeted(
 /// conditioned on. Returns fewer than 2 attributes when nothing but the
 /// selection is left — the walk's natural stopping point.
 pub fn candidate_attrs(ds: &Dataset, spec_attr: usize, excluded: &[usize]) -> Vec<usize> {
-    ds.schema()
+    candidate_attrs_in(ds.schema(), spec_attr, excluded)
+}
+
+/// [`candidate_attrs`] from a bare [`Schema`] — the candidate set is a
+/// schema property (conditioning never changes the schema), which is
+/// what lets a distributed walk rank without holding any records.
+pub fn candidate_attrs_in(schema: &Schema, spec_attr: usize, excluded: &[usize]) -> Vec<usize> {
+    schema
         .non_class_indices()
         .into_iter()
         .filter(|a| {
-            ds.schema().attribute(*a).is_categorical()
-                && (*a == spec_attr || !excluded.contains(a))
+            schema.attribute(*a).is_categorical() && (*a == spec_attr || !excluded.contains(a))
         })
         .collect()
 }
@@ -128,6 +134,64 @@ pub fn level_store(current: &Dataset, attrs: Vec<usize>) -> Result<CubeStore, Co
     .map_err(CompareError::Cube)
 }
 
+/// The population one drill walk narrows level by level.
+///
+/// The walk itself ([`drill_down_via`]) only needs three capabilities:
+/// the (conditioning-invariant) schema, a restricted cube store over the
+/// *current* sub-population, and the ability to descend one condition.
+/// A single-node caller backs this with a [`Dataset`]; a distributed
+/// caller backs it with shard fan-out and merged partial stores — the
+/// walk's control flow (and therefore its output) is identical either
+/// way.
+pub trait DrillPopulation {
+    /// The schema of the population (identical at every level).
+    fn schema(&self) -> &Schema;
+
+    /// Build the restricted cube store for the current sub-population
+    /// over `attrs`. Returned in an [`Arc`] so an implementation that
+    /// caches stores (a coordinator merging shard partials) can hand
+    /// out the cached build without cloning it.
+    ///
+    /// # Errors
+    /// [`CompareError`] when the store cannot be built; the walk
+    /// propagates it (at any depth).
+    fn level_store(&mut self, attrs: Vec<usize>) -> Result<Arc<CubeStore>, CompareError>;
+
+    /// Narrow the population to `condition`. Returns `Ok(false)` when
+    /// the resulting sub-population would be empty (or the condition
+    /// does not apply) — the walk's clean stop.
+    ///
+    /// # Errors
+    /// Only for infrastructure failures (a distributed population losing
+    /// a shard); a plain empty sub-population is `Ok(false)`.
+    fn descend(&mut self, condition: Condition) -> Result<bool, CompareError>;
+}
+
+/// Dataset-backed [`DrillPopulation`]: the paper's on-demand recount.
+struct DatasetPopulation {
+    current: Dataset,
+}
+
+impl DrillPopulation for DatasetPopulation {
+    fn schema(&self) -> &Schema {
+        self.current.schema()
+    }
+
+    fn level_store(&mut self, attrs: Vec<usize>) -> Result<Arc<CubeStore>, CompareError> {
+        level_store(&self.current, attrs).map(Arc::new)
+    }
+
+    fn descend(&mut self, condition: Condition) -> Result<bool, CompareError> {
+        match self.current.sub_population(condition.attr, condition.value) {
+            Ok(sub) if !sub.is_empty() => {
+                self.current = sub;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+}
+
 /// [`drill_down_budgeted`] with the per-level comparison delegated to
 /// `run_compare` — the seam an execution layer (om-exec) uses to swap the
 /// serial comparator for a sharded one without duplicating the walk. The
@@ -142,24 +206,48 @@ pub fn drill_down_with<F>(
     spec: &ComparisonSpec,
     config: &DrillConfig,
     budget: &Budget,
-    mut run_compare: F,
+    run_compare: F,
 ) -> Result<Vec<DrillLevel>, CompareError>
 where
     F: FnMut(Arc<CubeStore>, &ComparisonSpec, &Budget) -> Result<ComparisonResult, CompareError>,
 {
+    let mut pop = DatasetPopulation {
+        current: ds.clone(),
+    };
+    drill_down_via(&mut pop, spec, config, budget, run_compare)
+}
+
+/// The drill walk over any [`DrillPopulation`] — the one copy of the
+/// level loop shared by the single-node path ([`drill_down_with`]) and
+/// a distributed coordinator, so both produce the same levels for the
+/// same counts by construction.
+///
+/// # Errors
+/// Same contract as [`drill_down_budgeted`]: root failures and faults
+/// propagate, deeper data-thinness failures end the walk cleanly.
+pub fn drill_down_via<P, F>(
+    pop: &mut P,
+    spec: &ComparisonSpec,
+    config: &DrillConfig,
+    budget: &Budget,
+    mut run_compare: F,
+) -> Result<Vec<DrillLevel>, CompareError>
+where
+    P: DrillPopulation + ?Sized,
+    F: FnMut(Arc<CubeStore>, &ComparisonSpec, &Budget) -> Result<ComparisonResult, CompareError>,
+{
     let mut levels = Vec::new();
-    let mut current = ds.clone();
     let mut conditions: Vec<Condition> = Vec::new();
     let mut excluded: Vec<usize> = vec![spec.attr];
 
     for depth in 0..=config.max_depth {
         budget.check()?;
         fail::inject("compare.drill-level")?;
-        let attrs = candidate_attrs(&current, spec.attr, &excluded);
+        let attrs = candidate_attrs_in(pop.schema(), spec.attr, &excluded);
         if attrs.len() < 2 {
             break; // only the selected attribute left — nothing to rank
         }
-        let store = Arc::new(level_store(&current, attrs)?);
+        let store = pop.level_store(attrs)?;
         let result = match run_compare(store, spec, budget) {
             Ok(r) => r,
             Err(e) if depth == 0 => return Err(e),
@@ -175,7 +263,7 @@ where
             conditions: conditions.clone(),
             condition_labels: conditions
                 .iter()
-                .map(|c| c.display(ds.schema()))
+                .map(|c| c.display(pop.schema()))
                 .collect(),
             result,
         });
@@ -187,11 +275,11 @@ where
             break;
         }
         // Condition on the finding and descend.
-        current = match current.sub_population(attr, value) {
-            Ok(sub) if !sub.is_empty() => sub,
-            _ => break,
-        };
-        conditions.push(Condition::new(attr, value));
+        let condition = Condition::new(attr, value);
+        if !pop.descend(condition)? {
+            break;
+        }
+        conditions.push(condition);
         excluded.push(attr);
     }
     Ok(levels)

@@ -36,8 +36,8 @@ pub mod rank;
 pub mod report;
 
 pub use drill::{
-    candidate_attrs, drill_down, drill_down_budgeted, drill_down_with, level_store, DrillConfig,
-    DrillLevel,
+    candidate_attrs, candidate_attrs_in, drill_down, drill_down_budgeted, drill_down_via,
+    drill_down_with, level_store, DrillConfig, DrillLevel, DrillPopulation,
 };
 pub use groups::{compare_groups, GroupSpec};
 pub use interval::IntervalMethod;

@@ -69,7 +69,12 @@ pub enum BatchOutcome {
 }
 
 impl BatchOutcome {
-    fn from_error(e: &CompareError) -> Self {
+    /// Map a comparison failure onto its per-item outcome — overload
+    /// faults are retryable, everything else is a terminal item
+    /// failure. Public so a distributed coordinator mirroring the batch
+    /// loop classifies errors identically.
+    #[must_use]
+    pub fn from_error(e: &CompareError) -> Self {
         match e {
             CompareError::Fault(f) if f.is_overload() => BatchOutcome::Overloaded {
                 message: e.to_string(),

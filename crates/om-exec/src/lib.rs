@@ -34,4 +34,4 @@ pub mod rank;
 pub use batch::{run_batch, BatchItem, BatchOutcome};
 pub use config::ExecConfig;
 pub use pool::Executor;
-pub use rank::{rank_parallel, StoreRef};
+pub use rank::{gather_in_order, rank_parallel, StoreRef};

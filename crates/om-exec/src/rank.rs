@@ -91,13 +91,30 @@ pub fn rank_parallel<S: StoreRef>(
         })
         .collect();
 
-    let mut scores = Vec::with_capacity(candidates.len());
-    // Shards are gathered in order, so `?` surfaces the earliest shard's
-    // error — the one serial execution would have reached first.
-    for shard_result in exec.scatter(jobs) {
-        scores.extend(shard_result?);
-    }
+    let scores = gather_in_order(exec.scatter(jobs))?
+        .into_iter()
+        .flatten()
+        .collect();
     Ok(assemble(norm, scores, config))
+}
+
+/// Deterministic merge of per-shard partial results: shards are gathered
+/// in shard order and the **earliest** shard's error wins — the error a
+/// serial execution over the concatenated shards would have reached
+/// first. This is the merge rule `rank_parallel` applies to in-process
+/// pool shards, exported so a distributed coordinator can apply the
+/// identical rule to per-process shards.
+///
+/// # Errors
+/// The first (lowest-index) shard error, verbatim.
+pub fn gather_in_order<T, E>(
+    shards: impl IntoIterator<Item = Result<T, E>>,
+) -> Result<Vec<T>, E> {
+    let mut out = Vec::new();
+    for shard in shards {
+        out.push(shard?);
+    }
+    Ok(out)
 }
 
 /// Score one contiguous shard of candidate attributes, in order.

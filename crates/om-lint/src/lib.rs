@@ -101,10 +101,12 @@ impl Default for CheckConfig {
                 "crates/om-api/src/".into(),
                 "crates/om-ingest/src/".into(),
                 "crates/om-exec/src/".into(),
+                "crates/om-cluster/src/".into(),
             ],
             metrics_render_files: vec![
                 "crates/om-server/src/metrics.rs".into(),
                 "crates/om-ingest/src/ingest.rs".into(),
+                "crates/om-cluster/src/metrics.rs".into(),
             ],
             envelope_source: "crates/om-api/src/error.rs".into(),
             envelope_doc: "docs/api.md".into(),

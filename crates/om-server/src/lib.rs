@@ -29,7 +29,9 @@
 
 pub mod cache;
 pub mod http;
+mod internal;
 pub mod metrics;
+pub mod ops;
 pub mod router;
 pub mod v1;
 
@@ -47,7 +49,9 @@ use om_fault::{fail, Budget, CancelToken};
 
 use crate::cache::ResponseCache;
 use crate::http::{parse_request_bounded, ParseError, Response};
+use crate::internal::StoreWireCache;
 use crate::metrics::{Endpoint, Metrics};
+use crate::ops::EngineOps;
 use crate::router::RouteOptions;
 
 /// Server tuning knobs.
@@ -102,12 +106,27 @@ pub struct Server {
     metrics: Arc<Metrics>,
 }
 
+/// What the workers answer queries from: a resident engine (the
+/// single-node server and every cluster shard) or a custom [`EngineOps`]
+/// backend (the om-cluster coordinator).
+enum Backend {
+    Engine {
+        om: Arc<OpportunityMap>,
+        /// `Some` when live ingestion is enabled; `POST /ingest` appends
+        /// through it and `/metrics` includes its counters.
+        ingest: Option<IngestHandle>,
+        /// Encoded-store body for `/internal/store`, cached per generation.
+        store_wire: StoreWireCache,
+    },
+    /// Health, metrics and `/v1` only: no response cache (the backend
+    /// owns its own generation-keyed caching), no legacy GET endpoints,
+    /// no `/internal/*`.
+    Custom(Arc<dyn EngineOps>),
+}
+
 /// Everything a worker needs, shared across the pool.
 struct Shared {
-    om: Arc<OpportunityMap>,
-    /// `Some` when live ingestion is enabled; `POST /ingest` appends
-    /// through it and `/metrics` includes its counters.
-    ingest: Option<IngestHandle>,
+    backend: Backend,
     cache: ResponseCache,
     metrics: Arc<Metrics>,
     request_timeout: Duration,
@@ -137,6 +156,29 @@ impl Server {
         config: ServerConfig,
         ingest: Option<IngestHandle>,
     ) -> io::Result<Self> {
+        Self::start_backend(
+            Backend::Engine {
+                om,
+                ingest,
+                store_wire: StoreWireCache::default(),
+            },
+            config,
+        )
+    }
+
+    /// Serve a custom [`EngineOps`] backend — the om-cluster
+    /// coordinator's entry point. Only `/healthz`, `/metrics` and the
+    /// typed `/v1` API are routed; the legacy GET endpoints and
+    /// `/internal/*` answer `404`, and the response cache is disabled
+    /// (a distributed backend owns its own generation-keyed caching).
+    ///
+    /// # Errors
+    /// Fails if the address cannot be bound or a thread cannot be spawned.
+    pub fn start_custom(ops: Arc<dyn EngineOps>, config: ServerConfig) -> io::Result<Self> {
+        Self::start_backend(Backend::Custom(ops), config)
+    }
+
+    fn start_backend(backend: Backend, config: ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -146,8 +188,7 @@ impl Server {
         let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(config.queue_capacity.max(1));
 
         let shared = Arc::new(Shared {
-            om,
-            ingest,
+            backend,
             cache: ResponseCache::new(config.cache_capacity),
             metrics: Arc::new(Metrics::default()),
             request_timeout: config.request_timeout,
@@ -340,51 +381,73 @@ fn respond(req: &http::Request, endpoint: Endpoint, shared: &Shared) -> Response
         budget: Budget::with_token(shared.engine_budget, CancelToken::new()),
         retry_after_secs: shared.retry_after_secs,
     };
-    let metrics_body = || {
-        let mut body = shared.metrics.render();
-        if let Some(handle) = &shared.ingest {
-            body.push_str(&handle.render_metrics());
+    let response = match &shared.backend {
+        Backend::Custom(ops) => {
+            let metrics_body = || {
+                let mut body = shared.metrics.render();
+                body.push_str(&ops.extra_metrics());
+                body
+            };
+            router::route_custom(req, ops.as_ref(), &opts, metrics_body)
         }
-        body
-    };
-    // Only the engine-backed query endpoints cache: /healthz and
-    // /metrics are live signals, ingestion is a write, and unroutable
-    // paths are cheap 404s.
-    let cacheable = req.method == "GET"
-        && matches!(
-            endpoint,
-            Endpoint::Compare | Endpoint::Drill | Endpoint::Gi | Endpoint::CubeSlice
-        );
-    let response = if !cacheable {
-        router::route(req, &shared.om, shared.ingest.as_ref(), &opts, metrics_body)
-    } else {
-        // With live ingestion the store advances under the cache, so the
-        // generation joins the key: entries computed against superseded
-        // generations stop matching and age out of the LRU.
-        let generation = shared.ingest.is_some().then(|| shared.om.store_generation());
-        let key = match generation {
-            Some(g) => format!("g{g}:{}", req.canonical_key()),
-            None => req.canonical_key(),
-        };
-        if let Some(hit) = shared.cache.get(&key) {
-            shared.metrics.record_cache_hit();
-            return (*hit).clone();
+        Backend::Engine {
+            om,
+            ingest,
+            store_wire,
+        } => {
+            // The shard-internal cluster protocol bypasses cache and
+            // legacy routing entirely.
+            if req.path.starts_with("/internal/") {
+                return internal::route_internal(req, om, ingest.as_ref(), store_wire);
+            }
+            let metrics_body = || {
+                let mut body = shared.metrics.render();
+                if let Some(handle) = ingest {
+                    body.push_str(&handle.render_metrics());
+                }
+                body
+            };
+            // Only the engine-backed query endpoints cache: /healthz and
+            // /metrics are live signals, ingestion is a write, and
+            // unroutable paths are cheap 404s.
+            let cacheable = req.method == "GET"
+                && matches!(
+                    endpoint,
+                    Endpoint::Compare | Endpoint::Drill | Endpoint::Gi | Endpoint::CubeSlice
+                );
+            if !cacheable {
+                router::route(req, om, ingest.as_ref(), &opts, metrics_body)
+            } else {
+                // With live ingestion the store advances under the cache,
+                // so the generation joins the key: entries computed
+                // against superseded generations stop matching and age
+                // out of the LRU.
+                let generation = ingest.is_some().then(|| om.store_generation());
+                let key = match generation {
+                    Some(g) => format!("g{g}:{}", req.canonical_key()),
+                    None => req.canonical_key(),
+                };
+                if let Some(hit) = shared.cache.get(&key) {
+                    shared.metrics.record_cache_hit();
+                    return (*hit).clone();
+                }
+                shared.metrics.record_cache_miss();
+                let response = router::route(req, om, ingest.as_ref(), &opts, metrics_body);
+                // The handlers pin their own snapshot, so a publish
+                // between the key read and the route can hand back a body
+                // computed against a newer generation. Generations are
+                // monotonic, so if the current generation still matches
+                // the key's, the body provably came from that generation;
+                // otherwise skip the insert rather than cache a
+                // mislabeled entry.
+                let key_still_current =
+                    generation.is_none_or(|g| om.store_generation() == g);
+                if response.status == 200 && key_still_current {
+                    shared.cache.insert(key, Arc::new(response.clone()));
+                }
+                response
+            }
         }
-        shared.metrics.record_cache_miss();
-        let response =
-            router::route(req, &shared.om, shared.ingest.as_ref(), &opts, metrics_body);
-        // The handlers pin their own snapshot, so a publish between the
-        // key read and the route can hand back a body computed against a
-        // newer generation. Generations are monotonic, so if the current
-        // generation still matches the key's, the body provably came
-        // from that generation; otherwise skip the insert rather than
-        // cache a mislabeled entry.
-        let key_still_current =
-            generation.is_none_or(|g| shared.om.store_generation() == g);
-        if response.status == 200 && key_still_current {
-            shared.cache.insert(key, Arc::new(response.clone()));
-        }
-        response
     };
     if response.status == 503 {
         // Shed connections never reach here, so this counts exactly the

@@ -360,9 +360,15 @@ pub fn route(
     opts: &RouteOptions,
     metrics_body: impl FnOnce() -> String,
 ) -> Response {
-    // The versioned API has its own dispatch, methods and error shape.
+    // The versioned API has its own dispatch, methods and error shape;
+    // it runs against the EngineOps seam, here backed by the resident
+    // engine (verbatim delegation, so answers are unchanged).
     if req.path.starts_with("/v1/") {
-        return crate::v1::route_v1(req, om, ingest_handle, opts);
+        let ops = crate::ops::EngineBackend {
+            om,
+            ingest: ingest_handle,
+        };
+        return crate::v1::route_v1(req, &ops, opts);
     }
     // The one non-GET legacy endpoint; everything else below is read-only.
     if req.path == "/ingest" {
@@ -387,6 +393,31 @@ pub fn route(
         other => Err(Response::error(404, &format!("no route for {other:?}"))),
     };
     outcome.unwrap_or_else(|error| error)
+}
+
+/// Route one request against a custom [`EngineOps`] backend (a cluster
+/// coordinator): health, metrics and the versioned `/v1` API only. The
+/// legacy GET query endpoints and `/ingest` are deliberately absent —
+/// they predate the typed contract and stay single-node — so they 404
+/// exactly like any unknown path.
+#[must_use]
+pub fn route_custom(
+    req: &Request,
+    ops: &dyn crate::ops::EngineOps,
+    opts: &RouteOptions,
+    metrics_body: impl FnOnce() -> String,
+) -> Response {
+    if req.path.starts_with("/v1/") {
+        return crate::v1::route_v1(req, ops, opts);
+    }
+    match req.path.as_str() {
+        "/healthz" | "/metrics" if req.method != "GET" => {
+            Response::error(405, &format!("method {} not allowed", req.method))
+        }
+        "/healthz" => Response::text("ok\n"),
+        "/metrics" => Response::text(metrics_body()),
+        other => Response::error(404, &format!("no route for {other:?}")),
+    }
 }
 
 #[cfg(test)]

@@ -1,12 +1,13 @@
 //! The versioned `/v1` API: typed JSON bodies in, typed JSON bodies out.
 //!
 //! Every endpoint is `POST`-only, decodes its request through the
-//! [`om_api`] request types, runs the engine through the unified
-//! `run_*`/[`ExecCtx`](om_engine::ExecCtx) entry points, and encodes its
-//! response through the [`om_api`] wire types — which reproduce the
-//! legacy bodies byte for byte. Failures always answer with the uniform
-//! envelope `{"error":{"code","message","retry_after_ms"?,"row"?}}`;
-//! the HTTP status is derived from the code.
+//! [`om_api`] request types, runs its backend through the
+//! [`EngineOps`] seam — the resident engine on a single node, the
+//! om-cluster coordinator in cluster mode — and encodes its response
+//! through the [`om_api`] wire types, which reproduce the legacy bodies
+//! byte for byte. Failures always answer with the uniform envelope
+//! `{"error":{"code","message","retry_after_ms"?,"row"?}}`; the HTTP
+//! status is derived from the code.
 
 use om_api::{
     AttrScoreWire, BatchItemRequest, BatchItemResult, BatchRequest, BatchResponse,
@@ -17,12 +18,12 @@ use om_api::{
 };
 use om_compare::{AttrScore, ComparisonResult, DrillConfig, DrillLevel};
 use om_cube::CubeView;
-use om_engine::{
-    BatchItem, BatchOutcome, EngineError, GiReport, IngestError, IngestHandle, OpportunityMap,
-};
+use om_engine::{BatchItem, BatchOutcome, EngineError, GiReport};
 use om_gi::Trend;
 
 use crate::http::{Request, Response};
+use crate::ops::EngineOps;
+use crate::ops::OpsError;
 use crate::router::RouteOptions;
 
 // ---------------------------------------------------------------------
@@ -168,6 +169,16 @@ fn engine_envelope(e: &EngineError, opts: &RouteOptions) -> ErrorEnvelope {
     ErrorEnvelope::new(code, e.to_string())
 }
 
+/// Collapse a backend failure to its envelope: engine errors go
+/// through the legacy-equivalent mapping, coordinator envelopes pass
+/// through verbatim (they arrive with code and retry hint decided).
+fn ops_envelope(e: &OpsError, opts: &RouteOptions) -> ErrorEnvelope {
+    match e {
+        OpsError::Engine(e) => engine_envelope(e, opts),
+        OpsError::Envelope(env) => env.clone(),
+    }
+}
+
 fn envelope_response(env: &ErrorEnvelope) -> Response {
     let mut response = Response {
         status: env.code.http_status(),
@@ -187,26 +198,24 @@ fn envelope_response(env: &ErrorEnvelope) -> Response {
 
 fn compare(
     req: &Request,
-    om: &OpportunityMap,
+    ops: &dyn EngineOps,
     opts: &RouteOptions,
 ) -> Result<Response, ErrorEnvelope> {
     let body = CompareRequest::parse(&req.body).map_err(bad_request)?;
-    let result = om
-        .run_compare_by_name(
-            &body.attr,
-            &body.v1,
-            &body.v2,
-            &body.class,
-            om.exec_ctx(Some(&opts.budget)),
-        )
-        .map_err(|e| engine_envelope(&e, opts))?;
+    let result = ops
+        .run_compare_by_name(&body.attr, &body.v1, &body.v2, &body.class, &opts.budget)
+        .map_err(|e| ops_envelope(&e, opts))?;
     Ok(Response::json(compare_wire(&result).encode()))
 }
 
-fn drill_config_for(om: &OpportunityMap, depth: Option<u64>, min_score: Option<f64>) -> DrillConfig {
+fn drill_config_for(
+    ops: &dyn EngineOps,
+    depth: Option<u64>,
+    min_score: Option<f64>,
+) -> DrillConfig {
     let defaults = DrillConfig::default();
     DrillConfig {
-        compare: om.config().compare.clone(),
+        compare: ops.compare_config(),
         max_depth: depth.map_or(defaults.max_depth, |d| {
             usize::try_from(d).unwrap_or(usize::MAX)
         }),
@@ -216,37 +225,43 @@ fn drill_config_for(om: &OpportunityMap, depth: Option<u64>, min_score: Option<f
 
 fn drill(
     req: &Request,
-    om: &OpportunityMap,
+    ops: &dyn EngineOps,
     opts: &RouteOptions,
 ) -> Result<Response, ErrorEnvelope> {
     let body = DrillRequest::parse(&req.body).map_err(bad_request)?;
-    let config = drill_config_for(om, body.depth, body.min_score);
-    let ctx = om.exec_ctx(Some(&opts.budget));
+    let config = drill_config_for(ops, body.depth, body.min_score);
     if body.path.is_empty() {
-        let levels = om
-            .run_drill_down_by_name(&body.attr, &body.v1, &body.v2, &body.class, &config, ctx)
-            .map_err(|e| engine_envelope(&e, opts))?;
+        let levels = ops
+            .run_drill_down_by_name(
+                &body.attr,
+                &body.v1,
+                &body.v2,
+                &body.class,
+                &config,
+                &opts.budget,
+            )
+            .map_err(|e| ops_envelope(&e, opts))?;
         return Ok(Response::json(drill_wire(&levels).encode()));
     }
     // A fixed path: resolve the conditions by name and walk them through
     // the batch executor (a one-item batch), which owns path semantics.
-    let spec = om
+    let spec = ops
         .spec_by_name(&body.attr, &body.v1, &body.v2, &body.class)
-        .map_err(|e| engine_envelope(&e, opts))?;
+        .map_err(|e| ops_envelope(&e, opts))?;
     let path = body
         .path
         .iter()
-        .map(|step| om.condition_by_name(&step.attr, &step.value))
+        .map(|step| ops.condition_by_name(&step.attr, &step.value))
         .collect::<Result<Vec<_>, _>>()
-        .map_err(|e| engine_envelope(&e, opts))?;
+        .map_err(|e| ops_envelope(&e, opts))?;
     let item = BatchItem::Drill {
         spec,
         path,
         budget_ms: None,
     };
-    let outcomes = om
-        .run_batch(std::slice::from_ref(&item), &config, ctx)
-        .map_err(|e| engine_envelope(&e, opts))?;
+    let outcomes = ops
+        .run_batch(std::slice::from_ref(&item), &config, &opts.budget)
+        .map_err(|e| ops_envelope(&e, opts))?;
     match outcomes.into_iter().next() {
         Some(BatchOutcome::Drill(levels)) => Ok(Response::json(drill_wire(&levels).encode())),
         Some(BatchOutcome::Overloaded { message }) => Err(overloaded(message, opts)),
@@ -263,29 +278,32 @@ fn drill(
     }
 }
 
-fn gi(req: &Request, om: &OpportunityMap, opts: &RouteOptions) -> Result<Response, ErrorEnvelope> {
+fn gi(req: &Request, ops: &dyn EngineOps, opts: &RouteOptions) -> Result<Response, ErrorEnvelope> {
     let body = GiRequest::parse(&req.body).map_err(bad_request)?;
     let top = body
         .top
         .map_or(10, |t| usize::try_from(t).unwrap_or(usize::MAX));
-    let report = om
-        .run_general_impressions(om.exec_ctx(Some(&opts.budget)))
-        .map_err(|e| engine_envelope(&e, opts))?;
+    let report = ops
+        .run_general_impressions(&opts.budget)
+        .map_err(|e| ops_envelope(&e, opts))?;
     Ok(Response::json(gi_wire(&report, top).encode()))
 }
 
 fn cube_slice(
     req: &Request,
-    om: &OpportunityMap,
+    ops: &dyn EngineOps,
     opts: &RouteOptions,
 ) -> Result<Response, ErrorEnvelope> {
     let body = SliceRequest::parse(&req.body).map_err(bad_request)?;
-    let attr = om
+    let attr = ops
         .attr_index(&body.attr)
-        .map_err(|e| engine_envelope(&e, opts))?;
+        .map_err(|e| ops_envelope(&e, opts))?;
+    let store = ops
+        .query_store(&opts.budget)
+        .map_err(|e| ops_envelope(&e, opts))?;
     let response = match &body.by {
         None => {
-            let cube = om.store().one_dim(attr).map_err(|e| {
+            let cube = store.one_dim(attr).map_err(|e| {
                 ErrorEnvelope::new(ErrorCode::UnknownName, format!("cube error: {e}"))
             })?;
             let view = CubeView::from_cube(&cube).map_err(|e| {
@@ -312,10 +330,10 @@ fn cube_slice(
             }
         }
         Some(by_name) => {
-            let by = om
+            let by = ops
                 .attr_index(by_name)
-                .map_err(|e| engine_envelope(&e, opts))?;
-            let cube = om.store().pair(attr, by).map_err(|e| {
+                .map_err(|e| ops_envelope(&e, opts))?;
+            let cube = store.pair(attr, by).map_err(|e| {
                 ErrorEnvelope::new(ErrorCode::NotFound, format!("cube error: {e}"))
             })?;
             let cells = cube
@@ -348,52 +366,44 @@ fn cube_slice(
 
 fn ingest(
     req: &Request,
-    handle: Option<&IngestHandle>,
+    ops: &dyn EngineOps,
     opts: &RouteOptions,
 ) -> Result<Response, ErrorEnvelope> {
-    let Some(handle) = handle else {
+    if !ops.ingest_enabled() {
         return Err(ErrorEnvelope::new(
             ErrorCode::NotFound,
             "live ingestion is not enabled (start the server with an ingest WAL)",
         ));
-    };
+    }
     opts.budget
         .check()
         .map_err(|e| overloaded(e.to_string(), opts))?;
     let body = IngestRequest::parse(&req.body).map_err(bad_request)?;
-    match handle.append_labeled(&body.rows) {
-        Ok(accepted) => {
-            let stats = handle.stats();
-            Ok(Response::json(
-                IngestResponse {
-                    accepted: accepted as u64,
-                    rows_total: stats.rows_total,
-                    generation: stats.store_generation,
-                }
-                .encode(),
-            ))
+    let ack = ops
+        .ingest_rows(&body.rows)
+        .map_err(|e| ops_envelope(&e, opts))?;
+    Ok(Response::json(
+        IngestResponse {
+            accepted: ack.accepted,
+            rows_total: ack.rows_total,
+            generation: ack.generation,
         }
-        Err(e @ IngestError::BadRow { row, .. }) => Err(ErrorEnvelope {
-            row: Some(row as u64),
-            ..ErrorEnvelope::new(ErrorCode::BadRow, e.to_string())
-        }),
-        Err(e) if e.is_bad_request() => Err(bad_request(e.to_string())),
-        Err(e) => Err(ErrorEnvelope::new(ErrorCode::Internal, e.to_string())),
-    }
+        .encode(),
+    ))
 }
 
 /// Resolve one batch item's names into an engine [`BatchItem`]; per-item
 /// failures become per-item envelopes, never batch failures.
 fn resolve_batch_item(
-    om: &OpportunityMap,
+    ops: &dyn EngineOps,
     item: &BatchItemRequest,
     opts: &RouteOptions,
 ) -> Result<BatchItem, ErrorEnvelope> {
     match item {
         BatchItemRequest::Compare { req, budget_ms } => {
-            let spec = om
+            let spec = ops
                 .spec_by_name(&req.attr, &req.v1, &req.v2, &req.class)
-                .map_err(|e| engine_envelope(&e, opts))?;
+                .map_err(|e| ops_envelope(&e, opts))?;
             Ok(BatchItem::Compare {
                 spec,
                 budget_ms: *budget_ms,
@@ -407,15 +417,15 @@ fn resolve_batch_item(
                      \"depth\" and \"min_score\" are only accepted on /v1/drill",
                 ));
             }
-            let spec = om
+            let spec = ops
                 .spec_by_name(&req.attr, &req.v1, &req.v2, &req.class)
-                .map_err(|e| engine_envelope(&e, opts))?;
+                .map_err(|e| ops_envelope(&e, opts))?;
             let path = req
                 .path
                 .iter()
-                .map(|step| om.condition_by_name(&step.attr, &step.value))
+                .map(|step| ops.condition_by_name(&step.attr, &step.value))
                 .collect::<Result<Vec<_>, _>>()
-                .map_err(|e| engine_envelope(&e, opts))?;
+                .map_err(|e| ops_envelope(&e, opts))?;
             Ok(BatchItem::Drill {
                 spec,
                 path,
@@ -427,20 +437,20 @@ fn resolve_batch_item(
 
 fn batch(
     req: &Request,
-    om: &OpportunityMap,
+    ops: &dyn EngineOps,
     opts: &RouteOptions,
 ) -> Result<Response, ErrorEnvelope> {
     let body = BatchRequest::parse(&req.body).map_err(bad_request)?;
     let resolved: Vec<Result<BatchItem, ErrorEnvelope>> = body
         .items
         .iter()
-        .map(|item| resolve_batch_item(om, item, opts))
+        .map(|item| resolve_batch_item(ops, item, opts))
         .collect();
     let runnable: Vec<BatchItem> = resolved.iter().filter_map(|r| r.clone().ok()).collect();
-    let drill_config = drill_config_for(om, None, None);
-    let outcomes = om
-        .run_batch(&runnable, &drill_config, om.exec_ctx(Some(&opts.budget)))
-        .map_err(|e| engine_envelope(&e, opts))?;
+    let drill_config = drill_config_for(ops, None, None);
+    let outcomes = ops
+        .run_batch(&runnable, &drill_config, &opts.budget)
+        .map_err(|e| ops_envelope(&e, opts))?;
     let mut outcomes = outcomes.into_iter();
     let items = resolved
         .into_iter()
@@ -472,12 +482,7 @@ fn batch(
 /// Route one `/v1/*` request. Every endpoint is `POST`; anything else
 /// gets a `method_not_allowed` envelope, unknown paths a `not_found`.
 #[must_use]
-pub fn route_v1(
-    req: &Request,
-    om: &OpportunityMap,
-    ingest_handle: Option<&IngestHandle>,
-    opts: &RouteOptions,
-) -> Response {
+pub fn route_v1(req: &Request, ops: &dyn EngineOps, opts: &RouteOptions) -> Response {
     if req.method != "POST" {
         return envelope_response(&ErrorEnvelope::new(
             ErrorCode::MethodNotAllowed,
@@ -485,12 +490,12 @@ pub fn route_v1(
         ));
     }
     let outcome = match req.path.as_str() {
-        "/v1/compare" => compare(req, om, opts),
-        "/v1/drill" => drill(req, om, opts),
-        "/v1/gi" => gi(req, om, opts),
-        "/v1/cube/slice" => cube_slice(req, om, opts),
-        "/v1/ingest" => ingest(req, ingest_handle, opts),
-        "/v1/compare/batch" => batch(req, om, opts),
+        "/v1/compare" => compare(req, ops, opts),
+        "/v1/drill" => drill(req, ops, opts),
+        "/v1/gi" => gi(req, ops, opts),
+        "/v1/cube/slice" => cube_slice(req, ops, opts),
+        "/v1/ingest" => ingest(req, ops, opts),
+        "/v1/compare/batch" => batch(req, ops, opts),
         other => Err(ErrorEnvelope::new(
             ErrorCode::NotFound,
             format!("no v1 route for {other:?}"),

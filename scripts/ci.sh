@@ -46,6 +46,10 @@ cargo clippy -p om-exec --features failpoints --all-targets -- -D warnings
 echo "==> cargo clippy -p om-api --all-targets -- -D warnings"
 cargo clippy -p om-api --all-targets -- -D warnings
 
+echo "==> cargo clippy -p om-cluster --all-targets -- -D warnings (both feature configs)"
+cargo clippy -p om-cluster --all-targets -- -D warnings
+cargo clippy -p om-cluster --features failpoints --all-targets -- -D warnings
+
 echo "==> ingest_throughput bench (smoke)"
 OM_BENCH_SMOKE=1 cargo bench -p om-bench --bench ingest_throughput
 
@@ -54,5 +58,22 @@ OM_BENCH_SMOKE=1 cargo bench -p om-bench --bench rank_parallel
 
 echo "==> batch_drill bench (smoke)"
 OM_BENCH_SMOKE=1 cargo bench -p om-bench --bench batch_drill
+
+echo "==> cluster loopback smoke (2 shards, byte-identity vs single node, chaos + ingest)"
+# Spawns 2 real shard processes on ephemeral ports, byte-compares every
+# coordinator response against a single-node server over the union,
+# kills + WAL-revives a shard mid-load, and checks post-ingest identity.
+target/release/opmap cluster --shards 2 --records 6000 --requests 200 \
+  --verify --chaos --ingest --bench-out target/cluster-smoke.json
+cat target/cluster-smoke.json
+
+echo "==> cluster loopback smoke (4 shards, byte-identity incl. concurrent ingest)"
+target/release/opmap cluster --shards 4 --records 6000 --requests 200 \
+  --verify --ingest
+
+echo "==> cluster_loopback bench (smoke)"
+# Absolute path: cargo runs the bench with the package dir as CWD.
+OM_BENCH_SMOKE=1 OM_BENCH_OUT="$PWD/target/BENCH_6.smoke.json" \
+  cargo bench -p om-bench --bench cluster_loopback
 
 echo "==> ci OK"

@@ -66,6 +66,16 @@ pub(crate) fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, String> {
     }
 }
 
+pub(crate) fn opt_bool(v: &Json, key: &str) -> Result<Option<bool>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be a boolean")),
+    }
+}
+
 pub(crate) fn req_bool(v: &Json, key: &str) -> Result<bool, String> {
     v.get(key)
         .and_then(Json::as_bool)

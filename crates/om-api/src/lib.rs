@@ -50,7 +50,7 @@ pub use request::{
     PathStep, SliceRequest,
 };
 pub use response::{
-    AttrScoreWire, BatchItemResult, BatchResponse, CompareResponse, DrillLevelWire, DrillResponse,
-    ExceptionWire, GiResponse, InfluenceWire, IngestResponse, PairCellWire, PairDimWire,
-    SliceResponse, SliceValueWire, TrendWire, ValueContributionWire,
+    AttrScoreWire, BatchItemResult, BatchResponse, CompareResponse, CoverageWire, DrillLevelWire,
+    DrillResponse, ExceptionWire, GiResponse, InfluenceWire, IngestResponse, PairCellWire,
+    PairDimWire, SliceResponse, SliceValueWire, TrendWire, ValueContributionWire,
 };

@@ -4,7 +4,7 @@
 //! `v2`, `class`, `depth`, `min_score`, `top`, `by`), so migrating a
 //! client is a mechanical move from the query string into a JSON body.
 
-use crate::de::{check_keys, opt_f64, opt_str, opt_u64, req_arr, req_str};
+use crate::de::{check_keys, opt_bool, opt_f64, opt_str, opt_u64, req_arr, req_str};
 use crate::json::Json;
 
 #[allow(clippy::cast_precision_loss)]
@@ -19,16 +19,26 @@ pub struct CompareRequest {
     pub v1: String,
     pub v2: String,
     pub class: String,
+    /// Opt in to a degraded partial answer when part of a cluster is
+    /// unreachable: instead of a blanket `503`, the response covers the
+    /// live partitions and carries a `coverage` envelope. Absent (the
+    /// default) keeps today's all-or-nothing semantics; single-node
+    /// servers always answer with full coverage either way.
+    pub allow_partial: Option<bool>,
 }
 
 impl CompareRequest {
     fn fields(&self) -> Vec<(String, Json)> {
-        vec![
+        let mut fields = vec![
             ("attr".to_owned(), Json::Str(self.attr.clone())),
             ("v1".to_owned(), Json::Str(self.v1.clone())),
             ("v2".to_owned(), Json::Str(self.v2.clone())),
             ("class".to_owned(), Json::Str(self.class.clone())),
-        ]
+        ];
+        if let Some(allow) = self.allow_partial {
+            fields.push(("allow_partial".to_owned(), Json::Bool(allow)));
+        }
+        fields
     }
 
     #[must_use]
@@ -39,12 +49,13 @@ impl CompareRequest {
     /// # Errors
     /// A message naming the malformed field.
     pub fn from_json(v: &Json) -> Result<Self, String> {
-        check_keys(v, &["attr", "v1", "v2", "class"])?;
+        check_keys(v, &["attr", "v1", "v2", "class", "allow_partial"])?;
         Ok(Self {
             attr: req_str(v, "attr")?,
             v1: req_str(v, "v1")?,
             v2: req_str(v, "v2")?,
             class: req_str(v, "class")?,
+            allow_partial: opt_bool(v, "allow_partial")?,
         })
     }
 
@@ -169,6 +180,9 @@ pub struct GiRequest {
     /// Entries per section (exceptions, influence); server default when
     /// absent.
     pub top: Option<u64>,
+    /// Opt in to a degraded partial report when part of a cluster is
+    /// unreachable (see [`CompareRequest::allow_partial`]).
+    pub allow_partial: Option<bool>,
 }
 
 impl GiRequest {
@@ -178,15 +192,19 @@ impl GiRequest {
         if let Some(top) = self.top {
             fields.push(("top".to_owned(), num_u64(top)));
         }
+        if let Some(allow) = self.allow_partial {
+            fields.push(("allow_partial".to_owned(), Json::Bool(allow)));
+        }
         Json::Obj(fields).encode()
     }
 
     /// # Errors
     /// A message naming the malformed field.
     pub fn from_json(v: &Json) -> Result<Self, String> {
-        check_keys(v, &["top"])?;
+        check_keys(v, &["top", "allow_partial"])?;
         Ok(Self {
             top: opt_u64(v, "top")?,
+            allow_partial: opt_bool(v, "allow_partial")?,
         })
     }
 
@@ -407,12 +425,25 @@ mod tests {
             v1: "ph1".into(),
             v2: "ph2".into(),
             class: "dropped".into(),
+            allow_partial: None,
         };
         assert_eq!(
             r.encode(),
             "{\"attr\":\"PhoneModel\",\"v1\":\"ph1\",\"v2\":\"ph2\",\"class\":\"dropped\"}"
         );
         assert_eq!(CompareRequest::parse(&r.encode()).unwrap(), r);
+
+        let partial = CompareRequest {
+            allow_partial: Some(true),
+            ..r
+        };
+        assert!(partial.encode().ends_with("\"allow_partial\":true}"));
+        assert_eq!(CompareRequest::parse(&partial.encode()).unwrap(), partial);
+        assert!(
+            CompareRequest::parse("{\"attr\":\"a\",\"v1\":\"1\",\"v2\":\"2\",\"class\":\"c\",\"allow_partial\":1}")
+                .unwrap_err()
+                .contains("boolean")
+        );
     }
 
     #[test]
@@ -450,9 +481,16 @@ mod tests {
 
     #[test]
     fn gi_accepts_empty_body() {
-        assert_eq!(GiRequest::parse("").unwrap(), GiRequest { top: None });
-        assert_eq!(GiRequest::parse("{}").unwrap(), GiRequest { top: None });
-        let r = GiRequest { top: Some(5) };
+        let bare = GiRequest {
+            top: None,
+            allow_partial: None,
+        };
+        assert_eq!(GiRequest::parse("").unwrap(), bare);
+        assert_eq!(GiRequest::parse("{}").unwrap(), bare);
+        let r = GiRequest {
+            top: Some(5),
+            allow_partial: Some(true),
+        };
         assert_eq!(GiRequest::parse(&r.encode()).unwrap(), r);
     }
 
@@ -492,6 +530,7 @@ mod tests {
                         v1: "x".into(),
                         v2: "y".into(),
                         class: "c".into(),
+                        allow_partial: None,
                     },
                     budget_ms: Some(250),
                 },

@@ -202,6 +202,77 @@ impl AttrScoreWire {
     }
 }
 
+/// Which part of a cluster answered a degraded (`allow_partial`)
+/// request: the coverage envelope attached to partial results. A
+/// response without one covers the full record set.
+#[derive(Debug, Clone)]
+pub struct CoverageWire {
+    pub partitions_total: u64,
+    pub partitions_answered: u64,
+    /// Share of the cluster's rows inside the answered partitions, in
+    /// percent (base rows plus acknowledged live-ingested rows).
+    pub rows_covered_pct: f64,
+    /// Partition indices that contributed nothing.
+    pub missing_partitions: Vec<u64>,
+    /// The unreachable shard addresses behind the missing partitions.
+    pub missing_shards: Vec<String>,
+}
+
+impl PartialEq for CoverageWire {
+    fn eq(&self, other: &Self) -> bool {
+        self.partitions_total == other.partitions_total
+            && self.partitions_answered == other.partitions_answered
+            && feq(self.rows_covered_pct, other.rows_covered_pct)
+            && self.missing_partitions == other.missing_partitions
+            && self.missing_shards == other.missing_shards
+    }
+}
+
+impl CoverageWire {
+    fn encode_into(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            r#"{{"partitions_total":{},"partitions_answered":{},"rows_covered_pct":{},"missing_partitions":["#,
+            self.partitions_total,
+            self.partitions_answered,
+            num(self.rows_covered_pct)
+        );
+        for (i, p) in self.missing_partitions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{p}");
+        }
+        out.push_str(r#"],"missing_shards":["#);
+        for (i, s) in self.missing_shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", esc(s));
+        }
+        out.push_str("]}");
+    }
+
+    /// # Errors
+    /// A message describing the shape mismatch.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            partitions_total: req_u64(v, "partitions_total")?,
+            partitions_answered: req_u64(v, "partitions_answered")?,
+            rows_covered_pct: req_f64(v, "rows_covered_pct")?,
+            missing_partitions: decode_u64_arr(v, "missing_partitions")?,
+            missing_shards: decode_str_arr(v, "missing_shards")?,
+        })
+    }
+}
+
+fn opt_coverage(v: &Json) -> Result<Option<CoverageWire>, String> {
+    match v.get("coverage") {
+        None | Some(Json::Null) => Ok(None),
+        Some(c) => CoverageWire::from_json(c).map(Some),
+    }
+}
+
 /// The full comparison body (`/v1/compare`, and each drill level).
 /// Encodes byte-identically to `om_compare::json::to_json`.
 #[derive(Debug, Clone)]
@@ -217,6 +288,10 @@ pub struct CompareResponse {
     pub n2: u64,
     pub ranked: Vec<AttrScoreWire>,
     pub property_attributes: Vec<AttrScoreWire>,
+    /// Present only on degraded partial answers (`allow_partial`); a
+    /// full-coverage body omits the field entirely, keeping it
+    /// byte-identical to the pre-coverage wire format.
+    pub coverage: Option<CoverageWire>,
 }
 
 impl PartialEq for CompareResponse {
@@ -232,6 +307,7 @@ impl PartialEq for CompareResponse {
             && self.n2 == other.n2
             && self.ranked == other.ranked
             && self.property_attributes == other.property_attributes
+            && self.coverage == other.coverage
     }
 }
 
@@ -270,7 +346,12 @@ impl CompareResponse {
             }
             s.encode_into(out);
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(cov) = &self.coverage {
+            out.push_str(",\"coverage\":");
+            cov.encode_into(out);
+        }
+        out.push('}');
     }
 
     /// # Errors
@@ -294,6 +375,7 @@ impl CompareResponse {
                 .iter()
                 .map(AttrScoreWire::from_json)
                 .collect::<Result<_, _>>()?,
+            coverage: opt_coverage(v)?,
         })
     }
 
@@ -439,6 +521,10 @@ pub struct GiResponse {
     pub trends: Vec<TrendWire>,
     pub exceptions: Vec<ExceptionWire>,
     pub influence: Vec<InfluenceWire>,
+    /// Present only on degraded partial answers (`allow_partial`); a
+    /// full-coverage body omits the field entirely, keeping it
+    /// byte-identical to the pre-coverage wire format.
+    pub coverage: Option<CoverageWire>,
 }
 
 impl GiResponse {
@@ -491,7 +577,12 @@ impl GiResponse {
                 num(r.info_gain)
             );
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(cov) = &self.coverage {
+            out.push_str(",\"coverage\":");
+            cov.encode_into(&mut out);
+        }
+        out.push('}');
         out
     }
 
@@ -539,6 +630,7 @@ impl GiResponse {
             trends,
             exceptions,
             influence,
+            coverage: opt_coverage(v)?,
         })
     }
 
@@ -913,6 +1005,7 @@ mod tests {
                 }],
             }],
             property_attributes: vec![],
+            coverage: None,
         }
     }
 
@@ -970,8 +1063,32 @@ mod tests {
                 p_value: 0.0001,
                 info_gain: 0.2,
             }],
+            coverage: None,
         };
         assert_eq!(GiResponse::parse(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn coverage_round_trips_and_stays_off_full_answers() {
+        let full = sample_compare();
+        assert!(
+            !full.encode().contains("coverage"),
+            "full-coverage bodies must stay byte-identical to the legacy wire"
+        );
+        let mut partial = sample_compare();
+        partial.coverage = Some(CoverageWire {
+            partitions_total: 4,
+            partitions_answered: 3,
+            rows_covered_pct: 74.5,
+            missing_partitions: vec![2],
+            missing_shards: vec!["127.0.0.1:9102".into(), "127.0.0.1:9103".into()],
+        });
+        let text = partial.encode();
+        assert!(text.contains("\"coverage\":{\"partitions_total\":4,\"partitions_answered\":3"));
+        assert!(text.contains("\"missing_partitions\":[2]"));
+        let back = CompareResponse::parse(&text).unwrap();
+        assert_eq!(back, partial);
+        assert_ne!(back, full);
     }
 
     #[test]

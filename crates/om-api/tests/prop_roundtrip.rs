@@ -5,8 +5,9 @@
 
 use om_api::{
     AttrScoreWire, BatchItemRequest, BatchItemResult, BatchRequest, BatchResponse, CompareRequest,
-    CompareResponse, DrillLevelWire, DrillRequest, DrillResponse, ErrorCode, ErrorEnvelope,
-    ExceptionWire, GiRequest, GiResponse, InfluenceWire, IngestRequest, IngestResponse,
+    CompareResponse, CoverageWire, DrillLevelWire, DrillRequest, DrillResponse, ErrorCode,
+    ErrorEnvelope, ExceptionWire, GiRequest, GiResponse, InfluenceWire, IngestRequest,
+    IngestResponse,
     PairCellWire, PairDimWire, PathStep, SliceRequest, SliceResponse, SliceValueWire, TrendWire,
     ValueContributionWire,
 };
@@ -88,14 +89,40 @@ fn attr_score() -> impl Strategy<Value = AttrScoreWire> {
         )
 }
 
+fn coverage() -> impl Strategy<Value = CoverageWire> {
+    (
+        (count(), count()),
+        float(),
+        collection::vec(count(), 0..4),
+        collection::vec(label(), 0..4),
+    )
+        .prop_map(
+            |(
+                (partitions_total, partitions_answered),
+                rows_covered_pct,
+                missing_partitions,
+                missing_shards,
+            )| CoverageWire {
+                partitions_total,
+                partitions_answered,
+                rows_covered_pct,
+                missing_partitions,
+                missing_shards,
+            },
+        )
+}
+
 fn compare_response() -> impl Strategy<Value = CompareResponse> {
     (
         (label(), label(), label(), label()),
         coin(),
         (float(), float()),
         (count(), count()),
-        collection::vec(attr_score(), 0..3),
-        collection::vec(attr_score(), 0..2),
+        (
+            collection::vec(attr_score(), 0..3),
+            collection::vec(attr_score(), 0..2),
+        ),
+        proptest::option::of(coverage()),
     )
         .prop_map(
             |(
@@ -103,8 +130,8 @@ fn compare_response() -> impl Strategy<Value = CompareResponse> {
                 swapped,
                 (cf1, cf2),
                 (n1, n2),
-                ranked,
-                property_attributes,
+                (ranked, property_attributes),
+                coverage,
             )| CompareResponse {
                 attribute,
                 value_1,
@@ -117,6 +144,7 @@ fn compare_response() -> impl Strategy<Value = CompareResponse> {
                 n2,
                 ranked,
                 property_attributes,
+                coverage,
             },
         )
 }
@@ -159,9 +187,10 @@ proptest! {
 
     #[test]
     fn compare_request_round_trips(
-        attr in label(), v1 in label(), v2 in label(), class in label()
+        attr in label(), v1 in label(), v2 in label(), class in label(),
+        allow_partial in proptest::option::of(coin()),
     ) {
-        let r = CompareRequest { attr, v1, v2, class };
+        let r = CompareRequest { attr, v1, v2, class, allow_partial };
         prop_assert_eq!(CompareRequest::parse(&r.encode()).unwrap(), r);
     }
 
@@ -182,10 +211,11 @@ proptest! {
     #[test]
     fn gi_and_slice_requests_round_trip(
         top in proptest::option::of(count()),
+        allow_partial in proptest::option::of(coin()),
         attr in label(),
         by in proptest::option::of(label()),
     ) {
-        let g = GiRequest { top };
+        let g = GiRequest { top, allow_partial };
         prop_assert_eq!(GiRequest::parse(&g.encode()).unwrap(), g);
         let s = SliceRequest { attr, by };
         prop_assert_eq!(SliceRequest::parse(&s.encode()).unwrap(), s);
@@ -205,7 +235,7 @@ proptest! {
             prop_oneof![
                 ((label(), label(), label(), label()), proptest::option::of(count()))
                     .prop_map(|((attr, v1, v2, class), budget_ms)| BatchItemRequest::Compare {
-                        req: CompareRequest { attr, v1, v2, class },
+                        req: CompareRequest { attr, v1, v2, class, allow_partial: None },
                         budget_ms,
                     }),
                 ((label(), label(), label(), label()), proptest::option::of(0..8u64),
@@ -263,8 +293,9 @@ proptest! {
                 }),
             0..3,
         ),
+        coverage in proptest::option::of(coverage()),
     ) {
-        let r = GiResponse { trends, exceptions, influence };
+        let r = GiResponse { trends, exceptions, influence, coverage };
         prop_assert_eq!(GiResponse::parse(&r.encode()).unwrap(), r);
     }
 

@@ -3,26 +3,38 @@
 //!
 //! Measures the distributed-merge overhead the coordinator adds on top
 //! of a single node: every request fans out over loopback TCP, pins one
-//! store generation per shard, merges the partials, and runs the
+//! store generation per partition, merges the partials, and runs the
 //! single-node engine over the merged store.
 //!
-//! Reported per topology (1 shard = the no-fan-out baseline):
-//! throughput (req/s), latency p50/p95/p99, and response bytes.
+//! Reported per topology (1 shard = the no-fan-out baseline): throughput
+//! (req/s), latency p50/p95/p99, and response bytes. The replicated
+//! topologies additionally measure the fault-tolerance tax: `2x2`
+//! replicates every partition, and `2x2 degraded` runs the same load
+//! with the preferred replica of *every* partition shut down — the
+//! steady-state cost of answering entirely through breaker-guided
+//! failover.
 //!
 //! `OM_BENCH_SMOKE=1` shrinks the workload for CI smoke runs.
 //! `OM_BENCH_OUT=<file>` additionally writes the machine-readable
-//! results JSON (the committed `BENCH_6.json`).
+//! results JSON (the committed `BENCH_7.json`).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use om_cluster::{partition_dataset, ClusterConfig, Coordinator, ShardClient};
+use om_cluster::{partition_dataset, replica_set, ClusterConfig, Coordinator, ShardClient};
 use om_engine::{EngineConfig, OpportunityMap};
 use om_server::{Server, ServerConfig};
 use om_synth::paper_scenario;
 
-const TOPOLOGIES: &[usize] = &[1, 2, 4];
+/// `(partitions, replicas, degraded)` per benched topology.
+const TOPOLOGIES: &[(usize, usize, bool)] = &[
+    (1, 1, false),
+    (2, 1, false),
+    (4, 1, false),
+    (2, 2, false),
+    (2, 2, true),
+];
 
 fn server_config() -> ServerConfig {
     ServerConfig {
@@ -41,6 +53,7 @@ fn request_for(i: usize) -> (&'static str, String) {
         v1: v1.into(),
         v2: v2.into(),
         class: "dropped".into(),
+        allow_partial: None,
     };
     match i % 8 {
         0 => ("/v1/compare", compare("ph1", "ph2").encode()),
@@ -60,7 +73,14 @@ fn request_for(i: usize) -> (&'static str, String) {
             }
             .encode(),
         ),
-        5 => ("/v1/gi", om_api::GiRequest { top: Some(5) }.encode()),
+        5 => (
+            "/v1/gi",
+            om_api::GiRequest {
+                top: Some(5),
+                allow_partial: None,
+            }
+            .encode(),
+        ),
         6 => (
             "/v1/cube/slice",
             om_api::SliceRequest {
@@ -89,7 +109,9 @@ fn request_for(i: usize) -> (&'static str, String) {
 }
 
 struct Run {
-    shards: usize,
+    partitions: usize,
+    replicas: usize,
+    degraded: bool,
     throughput: f64,
     p50_ms: f64,
     p95_ms: f64,
@@ -105,22 +127,36 @@ fn percentile(sorted_us: &[u128], p: f64) -> f64 {
     sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
 }
 
-fn bench_topology(union: &Arc<OpportunityMap>, n_shards: usize, requests: usize) -> Run {
+fn bench_topology(
+    union: &Arc<OpportunityMap>,
+    partitions: usize,
+    replicas: usize,
+    degraded: bool,
+    requests: usize,
+) -> Run {
     // Shards: in-process servers over hash-routed partitions (1 shard
     // degenerates to the whole dataset — the fan-out-free baseline).
-    let parts = partition_dataset(union.dataset(), n_shards).expect("partition");
-    let shard_servers: Vec<Server> = parts
-        .into_iter()
-        .map(|p| {
-            let om = Arc::new(OpportunityMap::build(p, EngineConfig::default()).expect("build"));
-            Server::start(om, server_config()).expect("start shard")
-        })
-        .collect();
+    // Replicas of a partition share the partition's engine.
+    let parts = partition_dataset(union.dataset(), partitions).expect("partition");
+    let mut shard_servers: Vec<Option<Server>> = Vec::with_capacity(partitions * replicas);
+    for p in parts {
+        let om = Arc::new(OpportunityMap::build(p, EngineConfig::default()).expect("build"));
+        for _ in 0..replicas {
+            shard_servers.push(Some(
+                Server::start(Arc::clone(&om), server_config()).expect("start shard"),
+            ));
+        }
+    }
     let coordinator = Coordinator::connect(ClusterConfig {
         shard_addrs: shard_servers
             .iter()
-            .map(|s| s.local_addr().to_string())
+            .map(|s| s.as_ref().expect("live shard").local_addr().to_string())
             .collect(),
+        replicas,
+        // Dead replicas answer connection-refused instantly; a tight
+        // backoff keeps the pre-breaker warm-up requests cheap.
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(10),
         ..ClusterConfig::default()
     })
     .expect("connect");
@@ -131,6 +167,23 @@ fn bench_topology(union: &Arc<OpportunityMap>, n_shards: usize, requests: usize)
     let (path, body) = request_for(0);
     let (status, response) = client.post(path, &body).expect("warm-up");
     assert_eq!(status, 200, "warm-up failed: {response}");
+
+    if degraded {
+        // The degraded steady state: the preferred replica of every
+        // partition is gone, and enough warm-up load has run for the
+        // breakers to open — measuring pure failover-path serving.
+        for p in 0..partitions {
+            let g = replica_set(p, partitions, replicas)[0];
+            if let Some(server) = shard_servers[g].take() {
+                server.shutdown();
+            }
+        }
+        for i in 0..16 {
+            let (path, body) = request_for(i);
+            let (status, response) = client.post(path, &body).expect("degraded warm-up");
+            assert_eq!(status, 200, "degraded warm-up failed: {response}");
+        }
+    }
 
     let mut latencies: Vec<u128> = Vec::with_capacity(requests);
     let mut bytes = 0u64;
@@ -146,12 +199,14 @@ fn bench_topology(union: &Arc<OpportunityMap>, n_shards: usize, requests: usize)
     let elapsed = started.elapsed();
 
     coord.shutdown();
-    for s in shard_servers {
+    for s in shard_servers.into_iter().flatten() {
         s.shutdown();
     }
     latencies.sort_unstable();
     Run {
-        shards: n_shards,
+        partitions,
+        replicas,
+        degraded,
         throughput: requests as f64 / elapsed.as_secs_f64(),
         p50_ms: percentile(&latencies, 0.50),
         p95_ms: percentile(&latencies, 0.95),
@@ -169,9 +224,12 @@ fn main() {
     let union = Arc::new(OpportunityMap::build(ds, EngineConfig::default()).expect("build"));
 
     let mut runs = Vec::new();
-    for &n in TOPOLOGIES {
-        println!("topology: {n} shard(s), {requests} mixed requests…");
-        let run = bench_topology(&union, n, requests);
+    for &(partitions, replicas, degraded) in TOPOLOGIES {
+        println!(
+            "topology: {partitions}x{replicas}{}, {requests} mixed requests…",
+            if degraded { " degraded" } else { "" }
+        );
+        let run = bench_topology(&union, partitions, replicas, degraded, requests);
         println!(
             "  {:>6.0} req/s   p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms   {} bytes",
             run.throughput, run.p50_ms, run.p95_ms, run.p99_ms, run.bytes
@@ -179,12 +237,21 @@ fn main() {
         runs.push(run);
     }
 
-    // The headline: coordinator-over-1-shard vs 4 shards shows the pure
-    // fan-out + merge cost; both serve byte-identical responses.
-    if let (Some(base), Some(wide)) = (runs.first(), runs.last()) {
+    // The headlines: coordinator-over-1-shard vs 4 partitions shows the
+    // pure fan-out + merge cost; replicated-healthy vs degraded shows
+    // the failover tax. All serve byte-identical responses.
+    if let (Some(base), Some(wide)) = (runs.first(), runs.iter().find(|r| r.partitions == 4)) {
         println!(
-            "fan-out cost: p50 {:.2}ms (1 shard) -> {:.2}ms ({} shards)",
-            base.p50_ms, wide.p50_ms, wide.shards
+            "fan-out cost: p50 {:.2}ms (1 shard) -> {:.2}ms ({} partitions)",
+            base.p50_ms, wide.p50_ms, wide.partitions
+        );
+    }
+    let healthy = runs.iter().find(|r| r.replicas > 1 && !r.degraded);
+    let hurt = runs.iter().find(|r| r.replicas > 1 && r.degraded);
+    if let (Some(h), Some(d)) = (healthy, hurt) {
+        println!(
+            "failover tax: p50 {:.2}ms ({}x{} healthy) -> {:.2}ms (preferred replicas down)",
+            h.p50_ms, h.partitions, h.replicas, d.p50_ms
         );
     }
 
@@ -199,9 +266,10 @@ fn main() {
             }
             let _ = write!(
                 json,
-                "{{\"shards\":{},\"throughput_rps\":{:.2},\"latency_ms\":{{\"p50\":{:.3},\
-                 \"p95\":{:.3},\"p99\":{:.3}}},\"bytes_total\":{}}}",
-                r.shards, r.throughput, r.p50_ms, r.p95_ms, r.p99_ms, r.bytes
+                "{{\"shards\":{},\"replicas\":{},\"degraded\":{},\"throughput_rps\":{:.2},\
+                 \"latency_ms\":{{\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3}}},\"bytes_total\":{}}}",
+                r.partitions, r.replicas, r.degraded, r.throughput, r.p50_ms, r.p95_ms, r.p99_ms,
+                r.bytes
             );
         }
         json.push_str("]}\n");

@@ -5,8 +5,10 @@
 //!
 //! 1. build the prepared (discretized) dataset once,
 //! 2. split it into hash-routed partitions ([`om_cluster::partition_dataset`]),
-//! 3. spawn one `opmap serve --data-bin <part>` **process** per shard on
-//!    an ephemeral port (scraping the announced address),
+//! 3. spawn `--replicas` `opmap serve --data-bin <part>` **processes**
+//!    per partition on ephemeral ports (scraping the announced address;
+//!    replicas of a partition share the partition bytes but own their
+//!    WAL),
 //! 4. run the coordinator in-process over those shards,
 //! 5. drive a deterministic mix of compare / drill / gi / slice / batch
 //!    (and, with `--ingest`, live row) requests at the coordinator.
@@ -14,9 +16,18 @@
 //! `--verify` additionally runs a single-node server over the *union*
 //! of the partitions and asserts every coordinator response is
 //! byte-identical to the single node's — the cluster's core contract.
-//! `--chaos` kills one shard mid-load, asserts the typed 503 partial
-//! failure names it, then restarts the shard (same partition, same WAL)
-//! and re-joins it through a fresh coordinator epoch.
+//!
+//! `--chaos` exercises the fault-tolerance machinery end to end. With
+//! replication it kills one replica of **every** partition mid-load and
+//! the load must keep answering 200 (retry, breaker, failover); the
+//! victims are later respawned **on their original ports** (std's
+//! listener sets `SO_REUSEADDR` on Unix, so the fixed topology rebinds
+//! cleanly) and re-join through breaker probes and catch-up replay.
+//! After the load, it kills *all* replicas of the last partition and
+//! asserts both failure shapes: the default all-or-nothing typed `503`
+//! naming the lost partition, and — when more than one partition
+//! exists — the `allow_partial` degraded `200` carrying a coverage
+//! envelope.
 
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
@@ -24,31 +35,42 @@ use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use om_cluster::{partition_dataset, ClusterConfig, Coordinator, ShardClient};
+use om_cluster::{partition_dataset, replica_set, ClusterConfig, Coordinator, ShardClient};
 use om_data::persist::encode_dataset;
-use om_engine::{EngineConfig, IngestConfig, OpportunityMap};
+use om_engine::{EngineConfig, IngestConfig, IngestHandle, OpportunityMap};
 use om_server::{Server, ServerConfig};
 
 use crate::args::Parsed;
 use crate::{CliError, CliResult};
 
 const HELP: &str = "\
-opmap cluster — loopback sharded cluster: N shard processes + coordinator
+opmap cluster — loopback sharded cluster: shard processes + coordinator
 
-Partitions a synthetic dataset across N `opmap serve` shard processes by
-the stable row hash, runs the merging coordinator in-process, and drives
-a deterministic mixed workload (compare, drill, gi, slice, batch, and —
+Partitions a synthetic dataset across `--shards` partitions by the
+stable row hash, spawns `--replicas` `opmap serve` processes per
+partition, runs the merging coordinator in-process, and drives a
+deterministic mixed workload (compare, drill, gi, slice, batch, and —
 with --ingest — live rows) at the coordinator's /v1/* API.
 
 OPTIONS:
-  --shards <n>       Shard processes to spawn [4]
+  --shards <n>       Partitions to spawn [4]
+  --replicas <r>     Shard processes (replicas) per partition [1]
   --records <n>      Synthetic dataset size [20000]
   --seed <n>         Synthetic dataset seed [7]
   --requests <n>     Mixed requests to drive (100000+ for a load run) [5000]
+  --seal-rows <n>    Ingested rows between synchronized seal rounds: the
+                     harness seals every shard and the verification twin
+                     together once this many rows have landed (a shard
+                     never seals on its own — independent seal points
+                     would make mid-load visibility diverge from the
+                     single-node twin) [4096]
   --verify           Also run a single-node server over the union and
                      assert every response is byte-identical
-  --chaos            Kill one shard mid-load (assert the typed 503 names
-                     it), restart it from its WAL, re-join and continue
+  --chaos            Kill one replica per partition mid-load (the load
+                     must keep answering 200 at --replicas 2+), respawn
+                     them on their original ports and re-join; then kill
+                     a whole partition and assert the typed 503 and the
+                     allow_partial coverage envelope
   --ingest           Give every shard a WAL and route live rows by hash
   --bench-out <file> Write machine-readable results JSON (throughput,
                      latency p50/p95/p99, bytes)
@@ -61,19 +83,29 @@ struct Shard {
     addr: String,
     bin: PathBuf,
     wal: Option<PathBuf>,
+    seal_rows: usize,
 }
 
 impl Shard {
-    /// Spawn `opmap serve --data-bin <bin> --addr 127.0.0.1:0` and
-    /// scrape the announced ephemeral address from its stdout.
-    fn spawn(bin: &Path, wal: Option<&Path>) -> Result<Shard, CliError> {
+    /// Spawn `opmap serve --data-bin <bin>` and scrape the announced
+    /// address. With `pin: None` the shard binds an ephemeral port;
+    /// with `pin: Some(addr)` it must rebind exactly that address (a
+    /// chaos respawn keeping the coordinator's topology fixed).
+    fn spawn(
+        bin: &Path,
+        wal: Option<&Path>,
+        pin: Option<&str>,
+        seal_rows: usize,
+    ) -> Result<Shard, CliError> {
         let exe = std::env::current_exe()
             .map_err(|e| CliError::Failed(format!("cannot locate own executable: {e}")))?;
         let mut cmd = Command::new(exe);
         cmd.arg("serve")
             .arg("--data-bin")
             .arg(bin)
-            .args(["--addr", "127.0.0.1:0", "--budget-ms", "0", "--workers", "2"])
+            .args(["--addr", pin.unwrap_or("127.0.0.1:0")])
+            .args(["--budget-ms", "0", "--workers", "2"])
+            .args(["--seal-rows", &seal_rows.to_string()])
             .stdout(Stdio::piped())
             .stderr(Stdio::null());
         if let Some(dir) = wal {
@@ -112,12 +144,38 @@ impl Shard {
             addr,
             bin: bin.to_path_buf(),
             wal: wal.map(Path::to_path_buf),
+            seal_rows,
         })
     }
 
     fn kill(&mut self) {
         let _ = self.child.kill();
         let _ = self.child.wait();
+    }
+
+    /// Respawn this shard on its original address (same partition
+    /// bytes, same WAL). The rebind can race the dying listener, so a
+    /// few attempts are allowed.
+    fn respawn(&mut self) -> Result<(), CliError> {
+        let mut last = None;
+        for _ in 0..10 {
+            match Shard::spawn(
+                &self.bin,
+                self.wal.as_deref(),
+                Some(&self.addr),
+                self.seal_rows,
+            ) {
+                Ok(fresh) => {
+                    *self = fresh;
+                    return Ok(());
+                }
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| CliError::Failed("shard respawn failed".into())))
     }
 }
 
@@ -127,16 +185,22 @@ impl Drop for Shard {
     }
 }
 
+fn compare_request(v1: &str, v2: &str) -> om_api::CompareRequest {
+    om_api::CompareRequest {
+        attr: "PhoneModel".into(),
+        v1: v1.into(),
+        v2: v2.into(),
+        class: "dropped".into(),
+        allow_partial: None,
+    }
+}
+
 /// The deterministic request mix: `(path, body, is_ingest)` for slot `i`.
+/// Rows per ingest batch in the mixed workload (one batch per 10
+/// requests); the seal-round cadence is counted in these.
+const INGEST_BATCH_ROWS: usize = 4;
+
 fn request_for(i: usize, ingest_rows: &[Vec<String>]) -> (String, String, bool) {
-    let compare = |v1: &str, v2: &str| {
-        om_api::CompareRequest {
-            attr: "PhoneModel".into(),
-            v1: v1.into(),
-            v2: v2.into(),
-            class: "dropped".into(),
-        }
-    };
     let drill = |path: Vec<om_api::PathStep>| om_api::DrillRequest {
         attr: "PhoneModel".into(),
         v1: "ph1".into(),
@@ -147,10 +211,10 @@ fn request_for(i: usize, ingest_rows: &[Vec<String>]) -> (String, String, bool) 
         path,
     };
     match i % 10 {
-        0 => ("/v1/compare".into(), compare("ph1", "ph2").encode(), false),
-        1 => ("/v1/compare".into(), compare("ph1", "ph3").encode(), false),
-        2 => ("/v1/compare".into(), compare("ph3", "ph4").encode(), false),
-        3 => ("/v1/compare".into(), compare("ph2", "ph4").encode(), false),
+        0 => ("/v1/compare".into(), compare_request("ph1", "ph2").encode(), false),
+        1 => ("/v1/compare".into(), compare_request("ph1", "ph3").encode(), false),
+        2 => ("/v1/compare".into(), compare_request("ph3", "ph4").encode(), false),
+        3 => ("/v1/compare".into(), compare_request("ph2", "ph4").encode(), false),
         4 => ("/v1/drill".into(), drill(Vec::new()).encode(), false),
         5 => (
             "/v1/drill".into(),
@@ -163,7 +227,11 @@ fn request_for(i: usize, ingest_rows: &[Vec<String>]) -> (String, String, bool) 
         ),
         6 => (
             "/v1/gi".into(),
-            om_api::GiRequest { top: Some(5) }.encode(),
+            om_api::GiRequest {
+                top: Some(5),
+                allow_partial: None,
+            }
+            .encode(),
             false,
         ),
         7 => (
@@ -180,11 +248,11 @@ fn request_for(i: usize, ingest_rows: &[Vec<String>]) -> (String, String, bool) 
             om_api::BatchRequest {
                 items: vec![
                     om_api::BatchItemRequest::Compare {
-                        req: compare("ph1", "ph2"),
+                        req: compare_request("ph1", "ph2"),
                         budget_ms: None,
                     },
                     om_api::BatchItemRequest::Compare {
-                        req: compare("ph2", "ph1"),
+                        req: compare_request("ph2", "ph1"),
                         budget_ms: None,
                     },
                     om_api::BatchItemRequest::Drill {
@@ -201,8 +269,8 @@ fn request_for(i: usize, ingest_rows: &[Vec<String>]) -> (String, String, bool) 
         ),
         _ if !ingest_rows.is_empty() => {
             // Rotate through distinct 4-row windows of the sample rows.
-            let start = (i / 10 * 4) % ingest_rows.len();
-            let rows: Vec<Vec<String>> = (0..4)
+            let start = (i / 10 * INGEST_BATCH_ROWS) % ingest_rows.len();
+            let rows: Vec<Vec<String>> = (0..INGEST_BATCH_ROWS)
                 .map(|k| ingest_rows[(start + k) % ingest_rows.len()].clone())
                 .collect();
             (
@@ -211,7 +279,7 @@ fn request_for(i: usize, ingest_rows: &[Vec<String>]) -> (String, String, bool) 
                 true,
             )
         }
-        _ => ("/v1/compare".into(), compare("ph1", "ph4").encode(), false),
+        _ => ("/v1/compare".into(), compare_request("ph1", "ph4").encode(), false),
     }
 }
 
@@ -253,47 +321,84 @@ pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
         writeln!(out, "{HELP}").ok();
         return Ok(());
     }
-    let n_shards = parsed.parse_or("shards", 4usize)?;
-    if n_shards == 0 {
+    let n_partitions = parsed.parse_or("shards", 4usize)?;
+    if n_partitions == 0 {
         return Err(CliError::Usage("--shards must be at least 1".into()));
+    }
+    let replicas = parsed.parse_or("replicas", 1usize)?;
+    if replicas == 0 {
+        return Err(CliError::Usage("--replicas must be at least 1".into()));
     }
     let records = parsed.parse_or("records", 20_000usize)?;
     let seed = parsed.parse_or("seed", 7u64)?;
     let requests = parsed.parse_or("requests", 5_000usize)?;
+    let seal_rows = parsed.parse_or("seal-rows", 4096usize)?;
+    if seal_rows == 0 {
+        return Err(CliError::Usage("--seal-rows must be at least 1".into()));
+    }
     let bench_out = parsed.optional("bench-out");
     let verify = parsed.switch("verify");
     let chaos = parsed.switch("chaos");
     let ingest = parsed.switch("ingest");
     parsed.reject_unknown()?;
 
+    // Arm OM_FAILPOINTS on the coordinator side too (shard child
+    // processes arm their own registry in `serve`); a no-op unless this
+    // binary was built with the `failpoints` feature.
+    om_engine::fail::init_from_env();
+
     let work = std::env::temp_dir().join(format!(
-        "om-cluster-run-{}-{seed}-{n_shards}",
+        "om-cluster-run-{}-{seed}-{n_partitions}x{replicas}",
         std::process::id()
     ));
     let _ = std::fs::remove_dir_all(&work);
     std::fs::create_dir_all(&work)
         .map_err(|e| CliError::Failed(format!("cannot create {work:?}: {e}")))?;
 
-    let result = run_inner(
-        out, n_shards, records, seed, requests, verify, chaos, ingest, &work, bench_out,
-    );
+    let opts = RunOptions {
+        n_partitions,
+        replicas,
+        records,
+        seed,
+        requests,
+        seal_rows,
+        verify,
+        chaos,
+        ingest,
+        bench_out,
+    };
+    let result = run_inner(out, &opts, &work);
     let _ = std::fs::remove_dir_all(&work);
     result
 }
 
-#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
-fn run_inner(
-    out: &mut dyn Write,
-    n_shards: usize,
+struct RunOptions {
+    n_partitions: usize,
+    replicas: usize,
     records: usize,
     seed: u64,
     requests: usize,
+    seal_rows: usize,
     verify: bool,
     chaos: bool,
     ingest: bool,
-    work: &Path,
     bench_out: Option<String>,
-) -> CliResult {
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_inner(out: &mut dyn Write, opts: &RunOptions, work: &Path) -> CliResult {
+    let RunOptions {
+        n_partitions,
+        replicas,
+        records,
+        seed,
+        requests,
+        seal_rows,
+        verify,
+        chaos,
+        ingest,
+        ref bench_out,
+    } = *opts;
     // 1. One centrally-prepared dataset; the union engine doubles as
     //    the single-node verification twin.
     writeln!(out, "building {records}-record dataset (seed {seed})…").ok();
@@ -301,8 +406,9 @@ fn run_inner(
     let twin = Arc::new(OpportunityMap::build(ds, EngineConfig::default())?);
     let ingest_rows = sample_rows(twin.dataset(), 256)?;
 
-    // 2. Hash-partition and provision one binary partition per shard.
-    let parts = partition_dataset(twin.dataset(), n_shards)?;
+    // 2. Hash-partition and provision one binary partition per
+    //    partition; replicas share the bytes.
+    let parts = partition_dataset(twin.dataset(), n_partitions)?;
     let mut bins = Vec::new();
     for (i, part) in parts.iter().enumerate() {
         let path = work.join(format!("part-{i}.bin"));
@@ -311,42 +417,62 @@ fn run_inner(
         bins.push(path);
     }
 
-    // 3. Spawn the shard processes on ephemeral ports.
+    // 3. Spawn the shard processes on ephemeral ports, partition block
+    //    by partition block (replica r of partition p is global index
+    //    p * replicas + r — the layout the coordinator's router
+    //    expects).
     let mut shards = Vec::new();
-    for (i, bin) in bins.iter().enumerate() {
-        let wal = ingest.then(|| work.join(format!("wal-{i}")));
-        let shard = Shard::spawn(bin, wal.as_deref())?;
-        writeln!(
-            out,
-            "shard {i}: pid {} on http://{} ({} rows)",
-            shard.child.id(),
-            shard.addr,
-            parts[i].n_rows()
-        )
-        .ok();
-        shards.push(shard);
+    for p in 0..n_partitions {
+        for r in 0..replicas {
+            let bin = bins
+                .get(p)
+                .ok_or_else(|| CliError::Failed(format!("no partition bin for {p}")))?;
+            let wal = ingest.then(|| work.join(format!("wal-{p}-{r}")));
+            // Natural seals are disabled (threshold no batch reaches):
+            // generations advance only at the harness's synchronized
+            // seal rounds, keeping every replica's — and the twin's —
+            // visible store in lockstep between rounds.
+            let shard = Shard::spawn(bin, wal.as_deref(), None, usize::MAX)?;
+            writeln!(
+                out,
+                "partition {p} replica {r}: pid {} on http://{} ({} rows)",
+                shard.child.id(),
+                shard.addr,
+                parts.get(p).map_or(0, om_data::Dataset::n_rows)
+            )
+            .ok();
+            shards.push(shard);
+        }
     }
 
-    // 4. Coordinator in-process, serving the same typed /v1 API.
+    // 4. Coordinator in-process, serving the same typed /v1 API. A
+    //    typed handle is kept alongside the server's trait object so
+    //    chaos can poll `degraded_addrs` while the server answers load.
     let server_config = || ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         engine_budget: None,
         ..ServerConfig::default()
     };
-    let connect = |shards: &[Shard]| -> Result<Server, CliError> {
-        let coordinator = Coordinator::connect(ClusterConfig {
+    let coordinator = Arc::new(
+        Coordinator::connect(ClusterConfig {
             shard_addrs: shards.iter().map(|s| s.addr.clone()).collect(),
+            replicas,
             ingest,
+            // Chaos kills replicas outright (connection refused, not
+            // slowness): tight backoff keeps the degraded window fast
+            // while the breaker is still warming up.
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(100),
+            breaker_open: Duration::from_millis(500),
             ..ClusterConfig::default()
         })
-        .map_err(|e| CliError::Failed(format!("coordinator cannot join cluster: {e}")))?;
-        Server::start_custom(Arc::new(coordinator), server_config())
-            .map_err(|e| CliError::Failed(format!("cannot start coordinator: {e}")))
-    };
-    let mut coord_server = connect(&shards)?;
+        .map_err(|e| CliError::Failed(format!("coordinator cannot join cluster: {e}")))?,
+    );
+    let coord_server = Server::start_custom(Arc::clone(&coordinator) as _, server_config())
+        .map_err(|e| CliError::Failed(format!("cannot start coordinator: {e}")))?;
     writeln!(
         out,
-        "coordinator on http://{} over {n_shards} shard(s)",
+        "coordinator on http://{} over {n_partitions} partition(s) x {replicas} replica(s)",
         coord_server.local_addr()
     )
     .ok();
@@ -356,6 +482,7 @@ fn run_inner(
         .then(|| {
             twin.start_ingest(&IngestConfig {
                 sync_writes: false,
+                seal_rows: usize::MAX,
                 ..IngestConfig::new(work.join("wal-single"))
             })
         })
@@ -369,20 +496,51 @@ fn run_inner(
         .map_err(|e| CliError::Failed(format!("cannot start single-node twin: {e}")))?;
 
     let timeout = Duration::from_secs(60);
-    let mut coord_client = ShardClient::new(coord_server.local_addr().to_string(), timeout);
+    let coord_client = ShardClient::new(coord_server.local_addr().to_string(), timeout);
     let twin_client = twin_server
         .as_ref()
         .map(|s| ShardClient::new(s.local_addr().to_string(), timeout));
 
-    // 6. Drive the mixed load.
-    let chaos_at = requests / 2;
+    // 6. Drive the mixed load. With chaos and replication, one replica
+    //    of every partition dies at the half-way mark and rejoins at
+    //    the three-quarter mark — the load in between must never see a
+    //    5xx.
+    let replicated_chaos = chaos && replicas >= 2;
+    let chaos_kill_at = requests / 2;
+    let chaos_rejoin_at = requests - requests / 4;
+    let mut victims: Vec<usize> = Vec::new();
+    let mut rows_unsealed = 0usize;
     let mut latencies_us: Vec<u128> = Vec::with_capacity(requests);
     let mut bytes_total: u64 = 0;
     let mut verified: u64 = 0;
     let started = Instant::now();
     for i in 0..requests {
-        if chaos && i == chaos_at {
-            chaos_round(out, &mut shards, &mut coord_server, &mut coord_client, &connect)?;
+        if replicated_chaos && i == chaos_kill_at {
+            victims = (0..n_partitions)
+                .filter_map(|p| replica_set(p, n_partitions, replicas).first().copied())
+                .collect();
+            for &g in &victims {
+                if let Some(shard) = shards.get_mut(g) {
+                    writeln!(out, "chaos: killing shard {g} (pid {}) on {}", shard.child.id(), shard.addr).ok();
+                    shard.kill();
+                }
+            }
+        }
+        if replicated_chaos && i == chaos_rejoin_at {
+            for &g in &victims {
+                if let Some(shard) = shards.get_mut(g) {
+                    shard.respawn()?;
+                    writeln!(out, "chaos: shard {g} respawned on http://{}", shard.addr).ok();
+                }
+            }
+            settle(out, &coordinator, &coord_client, &shards, ingest)?;
+            if ingest {
+                // The victims just caught up on the rows they missed;
+                // seal everywhere so the byte-compared load resumes
+                // from an aligned visible store.
+                flush_round(&shards, twin_ingest.as_ref(), timeout)?;
+                rows_unsealed = 0;
+            }
         }
         let (path, body, is_ingest) = request_for(i, if ingest { &ingest_rows } else { &[] });
         let t = Instant::now();
@@ -420,10 +578,48 @@ fn run_inner(
             }
             verified += 1;
         }
+        if is_ingest {
+            rows_unsealed += INGEST_BATCH_ROWS;
+            // Seal rounds are suspended while chaos victims are down:
+            // a dead replica cannot take part, and sealing around it
+            // would desynchronize visibility until it rejoins.
+            let kill_window =
+                replicated_chaos && i >= chaos_kill_at && i < chaos_rejoin_at;
+            if rows_unsealed >= seal_rows && !kill_window {
+                flush_round(&shards, twin_ingest.as_ref(), timeout)?;
+                rows_unsealed = 0;
+            }
+        }
     }
     let elapsed = started.elapsed();
+    if replicated_chaos {
+        let (_, metrics) = coord_client
+            .get("/metrics")
+            .map_err(|e| CliError::Failed(format!("cannot scrape coordinator metrics: {e}")))?;
+        for needed in ["om_cluster_failovers_total", "om_cluster_breaker_opens_total"] {
+            let active = metrics
+                .lines()
+                .any(|l| l.starts_with(needed) && !l.ends_with(" 0"));
+            if !active {
+                return Err(CliError::Failed(format!(
+                    "chaos ran a full kill/rejoin cycle but {needed} never moved"
+                )));
+            }
+        }
+        writeln!(
+            out,
+            "chaos: replicated survival held — zero 5xx with one replica of every partition down"
+        )
+        .ok();
+    }
 
-    // 7. With live ingestion: seal and absorb everywhere, then prove the
+    // 7. Chaos, part two: lose *every* replica of the last partition
+    //    and assert both contractual failure shapes.
+    if chaos {
+        whole_partition_loss(out, opts, &mut shards, &coordinator, &coord_client)?;
+    }
+
+    // 8. With live ingestion: seal and absorb everywhere, then prove the
     //    merged store still matches the single node (epoch re-pin).
     if ingest && verify {
         for shard in &shards {
@@ -456,7 +652,7 @@ fn run_inner(
         writeln!(out, "post-ingest flush: merged store still byte-identical").ok();
     }
 
-    // 8. Report.
+    // 9. Report.
     latencies_us.sort_unstable();
     let throughput = requests as f64 / elapsed.as_secs_f64();
     let (p50, p95, p99) = (
@@ -481,13 +677,14 @@ fn run_inner(
 
     if let Some(path) = bench_out {
         let json = format!(
-            "{{\"bench\":\"cluster_loopback\",\"shards\":{n_shards},\"records\":{records},\
+            "{{\"bench\":\"cluster_loopback\",\"shards\":{n_partitions},\"replicas\":{replicas},\
+             \"records\":{records},\
              \"requests\":{requests},\"ingest\":{ingest},\"chaos\":{chaos},\
              \"verified_responses\":{verified},\"throughput_rps\":{throughput:.2},\
              \"latency_ms\":{{\"p50\":{p50:.3},\"p95\":{p95:.3},\"p99\":{p99:.3}}},\
              \"bytes_total\":{bytes_total}}}\n"
         );
-        std::fs::write(&path, json)
+        std::fs::write(path, &json)
             .map_err(|e| CliError::Failed(format!("cannot write {path:?}: {e}")))?;
         writeln!(out, "bench results written to {path}").ok();
     }
@@ -502,60 +699,220 @@ fn run_inner(
     Ok(())
 }
 
-/// Kill one shard, assert the typed partial failure names it, restart
-/// the shard from its partition + WAL, and re-join it via a fresh
-/// coordinator epoch.
-fn chaos_round(
-    out: &mut dyn Write,
-    shards: &mut [Shard],
-    coord_server: &mut Server,
-    coord_client: &mut ShardClient,
-    connect: &dyn Fn(&[Shard]) -> Result<Server, CliError>,
-) -> CliResult {
-    let victim = shards.len() - 1;
-    writeln!(out, "chaos: killing shard {victim} (pid {})", shards[victim].child.id()).ok();
-    shards[victim].kill();
-
-    let probe = om_api::CompareRequest {
-        attr: "PhoneModel".into(),
-        v1: "ph1".into(),
-        v2: "ph2".into(),
-        class: "dropped".into(),
+/// One synchronized seal round: every shard (direct `/internal/flush`)
+/// and the verification twin seal their staged rows together, so the
+/// next generation pin sees the same row set everywhere. Shards never
+/// seal on their own in this harness — independent seal points would
+/// make the cluster's mid-load visibility diverge from the twin's.
+fn flush_round(shards: &[Shard], twin: Option<&IngestHandle>, timeout: Duration) -> CliResult {
+    for shard in shards {
+        ShardClient::new(shard.addr.clone(), timeout)
+            .expect_ok("POST", "/internal/flush", Some("{}"))
+            .map_err(|e| CliError::Failed(format!("seal round: shard flush failed: {e}")))?;
     }
-    .encode();
+    if let Some(handle) = twin {
+        handle
+            .flush()
+            .map_err(|e| CliError::Failed(format!("seal round: twin flush failed: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Wait until the coordinator has healed: breaker probes readmit the
+/// respawned replicas and queued catch-up rows replay. Reads only touch
+/// a partition's preferred replica, so with ingest enabled an empty
+/// ingest batch (a pure stats write that every replica receives) drives
+/// the non-preferred breakers closed too; without ingest, a degraded
+/// address that answers a direct probe is merely awaiting its next
+/// on-demand breaker probe and counts as settled.
+fn settle(
+    out: &mut dyn Write,
+    coordinator: &Arc<Coordinator>,
+    coord_client: &ShardClient,
+    shards: &[Shard],
+    ingest: bool,
+) -> CliResult {
+    let probe = compare_request("ph1", "ph2").encode();
+    let empty_batch = om_api::IngestRequest { rows: Vec::new() }.encode();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (mut status, _) = coord_client
+            .post("/v1/compare", &probe)
+            .map_err(|e| CliError::Failed(format!("settle probe failed: {e}")))?;
+        if ingest {
+            // A 503 here is expected while breakers are still open
+            // after a whole-partition loss; keep probing until the
+            // half-open window readmits the respawned replicas.
+            let (ingest_status, _) = coord_client
+                .post("/v1/ingest", &empty_batch)
+                .map_err(|e| CliError::Failed(format!("settle ingest probe failed: {e}")))?;
+            status = status.max(ingest_status);
+        }
+        let degraded = coordinator.degraded_addrs();
+        if status == 200 && degraded.is_empty() {
+            writeln!(out, "chaos: cluster settled (all replicas healthy and caught up)").ok();
+            return Ok(());
+        }
+        if status == 200 && !ingest {
+            let all_reachable = degraded.iter().all(|addr| {
+                shards.iter().any(|s| s.addr == *addr)
+                    && ShardClient::new(addr.clone(), Duration::from_secs(2))
+                        .get("/internal/generation")
+                        .is_ok_and(|(s, _)| s == 200)
+            });
+            if all_reachable {
+                writeln!(
+                    out,
+                    "chaos: cluster settled ({} replica(s) await their next breaker probe)",
+                    degraded.len()
+                )
+                .ok();
+                return Ok(());
+            }
+        }
+        if Instant::now() > deadline {
+            return Err(CliError::Failed(format!(
+                "cluster did not settle after rejoin; still degraded: {degraded:?}"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Kill every replica of the last partition and assert both failure
+/// contracts: the default all-or-nothing `503` (naming the shard at
+/// replication factor 1, the partition above it) and — when other
+/// partitions remain — the `allow_partial` degraded `200` with a
+/// coverage envelope. The victims are then respawned and re-joined.
+fn whole_partition_loss(
+    out: &mut dyn Write,
+    opts: &RunOptions,
+    shards: &mut [Shard],
+    coordinator: &Arc<Coordinator>,
+    coord_client: &ShardClient,
+) -> CliResult {
+    let RunOptions {
+        n_partitions,
+        replicas,
+        ingest,
+        ..
+    } = *opts;
+    let victim_partition = n_partitions - 1;
+    let members = replica_set(victim_partition, n_partitions, replicas);
+    let mut victim_addrs = Vec::new();
+    for &g in &members {
+        if let Some(shard) = shards.get_mut(g) {
+            writeln!(out, "chaos: killing shard {g} on {} (whole partition {victim_partition})", shard.addr).ok();
+            victim_addrs.push(shard.addr.clone());
+            shard.kill();
+        }
+    }
+
+    let probe = compare_request("ph1", "ph2").encode();
     let (status, body) = coord_client
         .post("/v1/compare", &probe)
         .map_err(|e| CliError::Failed(format!("chaos probe failed to send: {e}")))?;
     if status != 503 {
         return Err(CliError::Failed(format!(
-            "chaos: degraded cluster answered HTTP {status} (want 503): {body}"
+            "chaos: cluster with partition {victim_partition} lost answered HTTP {status} (want 503): {body}"
         )));
     }
     let env = om_api::ErrorEnvelope::parse(&body)
         .map_err(|e| CliError::Failed(format!("chaos: 503 body is not an error envelope: {e}")))?;
-    if !env.message.contains(&format!("shard {victim}")) {
+    let expected_name = if replicas == 1 {
+        format!("shard {}", members.first().copied().unwrap_or(victim_partition))
+    } else {
+        format!("partition {victim_partition}")
+    };
+    if !env.message.contains(&expected_name) {
         return Err(CliError::Failed(format!(
-            "chaos: envelope does not name shard {victim}: {}",
+            "chaos: envelope does not name the lost {expected_name}: {}",
             env.message
         )));
     }
-    writeln!(out, "chaos: typed 503 names the lost shard: {}", env.message).ok();
+    if env.retry_after_ms.is_none() {
+        return Err(CliError::Failed(
+            "chaos: 503 envelope carries no retry_after_ms hint".into(),
+        ));
+    }
+    writeln!(out, "chaos: typed 503 names the lost {expected_name}: {}", env.message).ok();
 
-    let (bin, wal) = (shards[victim].bin.clone(), shards[victim].wal.clone());
-    shards[victim] = Shard::spawn(&bin, wal.as_deref())?;
-    writeln!(
-        out,
-        "chaos: shard {victim} restarted on http://{} (WAL replayed)",
-        shards[victim].addr
-    )
-    .ok();
+    if n_partitions > 1 {
+        let partial = om_api::CompareRequest {
+            allow_partial: Some(true),
+            ..compare_request("ph1", "ph2")
+        }
+        .encode();
+        let (status, body) = coord_client
+            .post("/v1/compare", &partial)
+            .map_err(|e| CliError::Failed(format!("chaos partial probe failed to send: {e}")))?;
+        if status != 200 {
+            return Err(CliError::Failed(format!(
+                "chaos: allow_partial answered HTTP {status} (want degraded 200): {body}"
+            )));
+        }
+        let resp = om_api::CompareResponse::parse(&body)
+            .map_err(|e| CliError::Failed(format!("chaos: degraded 200 is not a compare response: {e}")))?;
+        let Some(coverage) = resp.coverage else {
+            return Err(CliError::Failed(
+                "chaos: degraded answer carries no coverage envelope".into(),
+            ));
+        };
+        let want_answered = (n_partitions - 1) as u64;
+        if coverage.partitions_answered != want_answered
+            || coverage.partitions_total != n_partitions as u64
+            || !coverage.missing_partitions.contains(&(victim_partition as u64))
+        {
+            return Err(CliError::Failed(format!(
+                "chaos: coverage envelope is wrong: {coverage:?} (want {want_answered}/{n_partitions} with partition {victim_partition} missing)"
+            )));
+        }
+        for addr in &victim_addrs {
+            if !coverage.missing_shards.contains(addr) {
+                return Err(CliError::Failed(format!(
+                    "chaos: coverage envelope does not name lost shard {addr}: {coverage:?}"
+                )));
+            }
+        }
+        if !(coverage.rows_covered_pct > 0.0 && coverage.rows_covered_pct < 100.0) {
+            return Err(CliError::Failed(format!(
+                "chaos: rows_covered_pct {:.3} is not a strict partial",
+                coverage.rows_covered_pct
+            )));
+        }
+        writeln!(
+            out,
+            "chaos: allow_partial answered from {want_answered}/{n_partitions} partition(s) \
+             ({:.1}% of rows), naming {:?}",
+            coverage.rows_covered_pct, coverage.missing_shards
+        )
+        .ok();
+    }
 
-    // Re-join: a fresh coordinator pins a fresh epoch over the new
-    // topology; the old one is torn down.
-    let new_server = connect(shards)?;
-    let old = std::mem::replace(coord_server, new_server);
-    old.shutdown();
-    *coord_client = ShardClient::new(coord_server.local_addr().to_string(), Duration::from_secs(60));
+    for &g in &members {
+        if let Some(shard) = shards.get_mut(g) {
+            shard.respawn()?;
+            writeln!(out, "chaos: shard {g} respawned on http://{}", shard.addr).ok();
+        }
+    }
+    settle(out, coordinator, coord_client, shards, ingest)?;
+
+    // Back at full strength, allow_partial must change nothing: the
+    // answer carries no coverage envelope at all.
+    let partial = om_api::CompareRequest {
+        allow_partial: Some(true),
+        ..compare_request("ph1", "ph2")
+    }
+    .encode();
+    let (status, body) = coord_client
+        .post("/v1/compare", &partial)
+        .map_err(|e| CliError::Failed(format!("post-rejoin partial probe failed: {e}")))?;
+    if status != 200 || body.contains("\"coverage\"") {
+        return Err(CliError::Failed(format!(
+            "chaos: full-coverage allow_partial answer changed shape (HTTP {status}): {body}"
+        )));
+    }
+    writeln!(out, "chaos: full-coverage allow_partial answer carries no coverage envelope").ok();
     Ok(())
 }
 
@@ -577,12 +934,19 @@ mod tests {
         let (r, text) = run_args(&["cluster", "--help"]);
         assert!(r.is_ok());
         assert!(text.contains("--shards"));
+        assert!(text.contains("--replicas"));
         assert!(text.contains("--verify"));
     }
 
     #[test]
     fn zero_shards_is_usage_error() {
         let (r, _) = run_args(&["cluster", "--shards", "0"]);
+        assert!(matches!(r, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn zero_replicas_is_usage_error() {
+        let (r, _) = run_args(&["cluster", "--replicas", "0"]);
         assert!(matches!(r, Err(CliError::Usage(_))));
     }
 

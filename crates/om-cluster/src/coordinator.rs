@@ -2,44 +2,78 @@
 //!
 //! A [`Coordinator`] implements `om_server::ops::EngineOps` — the same
 //! seam the resident single-node backend implements — by fanning every
-//! operation out to N om-server shards and merging their partials:
+//! operation out to its shard processes and merging their partials:
 //!
+//! * **Replicated partitions.** The topology is `partitions x replicas`
+//!   shard processes: `shard_addrs` lists them partition-block by
+//!   partition-block, and [`crate::router::replica_set`] maps each
+//!   partition to its ordered replica set. With `replicas == 1` (the
+//!   default) every behavior below degenerates to the unreplicated
+//!   cluster, byte for byte.
 //! * **Epoch pinning.** Every store-backed read (compare, GI, slice,
-//!   batch) first polls each shard's published generation, then fetches
-//!   each shard's full store *at that pinned generation*
-//!   (`/internal/store?expect=G`). A shard that republished in between
-//!   answers `409` and the whole read re-pins — a merged store can
-//!   therefore never mix generations. The merged store is cached keyed
-//!   by the generation vector, so steady-state reads fan out only the
-//!   cheap generation poll.
-//! * **Deterministic merge.** Partials merge in shard order with the
-//!   cube merge algebra (`cube(A) ⊕ cube(B) == cube(A ∪ B)`), and
-//!   failures gather with om-exec's earliest-shard-error-wins rule
+//!   batch) first pins one published generation per *partition*, then
+//!   fetches each partition's full store *at that pinned generation*
+//!   (`/internal/store?expect=G`). A replica that republished in
+//!   between answers `409` and the whole read re-pins — a merged store
+//!   can therefore never mix generations. Replicas of a partition seal
+//!   at identical row counts, so a generation names the same store
+//!   bytes on every replica; the merged store is cached keyed by the
+//!   per-partition generation vector, and steady-state reads fan out
+//!   only the cheap generation poll.
+//! * **Retry, failover, hedging.** Each replica address carries a
+//!   consecutive-failure circuit breaker ([`crate::health`]). A
+//!   transport failure is retried on the same replica under capped,
+//!   jittered exponential backoff, then the read fails over to the next
+//!   replica in preference order; open breakers are skipped outright
+//!   and half-open probes are replayed missed ingest rows before the
+//!   replica serves reads again. When `hedge_after` is set, a store
+//!   fetch that runs past the threshold fires a hedged duplicate at the
+//!   next replica and the first success wins. A partition is only
+//!   *down* when every replica is exhausted.
+//! * **Degraded partial answers.** A request that opted in with
+//!   `allow_partial` answers from the live partitions when some
+//!   partition is down, attaching a coverage envelope (partitions
+//!   answered, share of rows covered, the missing shard addresses).
+//!   Without the opt-in — and always, when *every* partition is down —
+//!   the failure stays a `503` envelope naming the partition, with a
+//!   `Retry-After` hint derived from the soonest breaker half-open
+//!   time. Partial merges are never cached.
+//! * **Deterministic merge.** Partials merge in partition order with
+//!   the cube merge algebra (`cube(A) ⊕ cube(B) == cube(A ∪ B)`), and
+//!   failures gather with om-exec's earliest-partition-error-wins rule
 //!   ([`om_exec::gather_in_order`]) — the response does not depend on
 //!   which shard answered first on the wire.
 //! * **Identical engine code.** The merged store is then queried by the
 //!   *single-node* comparator/miner code, and names resolve through a
 //!   zero-row engine twin built from the shards' own schema — which is
-//!   why coordinator responses (results *and* error messages) are
-//!   byte-identical to a single node holding the union of the
-//!   partitions. The only sanctioned divergences are availability
-//!   errors a single node cannot have (a shard down or lagging, a
+//!   why full-coverage coordinator responses (results *and* error
+//!   messages) are byte-identical to a single node holding the union of
+//!   the partitions. The only sanctioned divergences are availability
+//!   errors a single node cannot have (a partition down or lagging, a
 //!   generation race that never settles); those surface as `503`
-//!   envelopes naming the shard, with a `Retry-After` hint.
+//!   envelopes, or as partial answers when the caller opted in.
 //! * **Drill-down.** The drill walk runs the shared
 //!   [`om_compare::drill_down_via`] loop over a [`DrillPopulation`]
 //!   backed by `/internal/level` fan-outs (merged per level) and
-//!   `/internal/count` emptiness probes. Drill levels read the shards'
-//!   immutable *base* partitions — exactly as a single node drills its
-//!   base dataset — so level stores are generation-free and cacheable.
+//!   `/internal/count` emptiness probes, each with the same per-replica
+//!   failover. Drill levels read the shards' immutable *base*
+//!   partitions — exactly as a single node drills its base dataset — so
+//!   level stores are generation-free and cacheable.
 //! * **Ingest.** Rows are validated up front against the shared schema
 //!   (identical `bad_row` envelopes, all-or-nothing), routed by the
-//!   stable row hash ([`crate::router`]), and forwarded to the owning
-//!   shards' `/v1/ingest`. Acks sum `accepted`/`rows_total`; the
-//!   reported generation is the maximum across touched shards (shard
-//!   generations advance independently). Cross-shard atomicity is not
-//!   guaranteed: a mid-batch shard failure leaves the rows accepted by
-//!   other shards durable in their WALs.
+//!   stable row hash ([`crate::router`]) to a *partition*, and written
+//!   to every live replica of that partition. The partition acks when
+//!   at least one replica acked; replicas that missed the write have
+//!   the rows queued and replayed when they recover (the replay probes
+//!   the replica's durable row count first, so a write whose ack was
+//!   lost is never double-applied). Failed replica writes are *not*
+//!   retried in place — replay-on-recovery is the idempotent path.
+//!   Acks report `accepted` as the minimum and `rows_total` as the
+//!   maximum across a partition's replicas, summed over partitions;
+//!   the reported generation is the maximum across touched shards.
+//!   Cross-partition atomicity is not guaranteed: a mid-batch partition
+//!   failure leaves the rows accepted by other partitions durable in
+//!   their WALs.
 //!
 //! The coordinator assumes every shard runs the default engine
 //! configuration (the cluster tooling starts shards that way); the
@@ -47,16 +81,17 @@
 //! the same defaults.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 
 use om_api::{
-    b64_decode, ConditionWire, ErrorCode, ErrorEnvelope, IngestRequest, IngestResponse,
-    InternalCountRequest, InternalCountResponse, InternalGenerationResponse, InternalLevelRequest,
-    InternalLevelResponse, InternalSchemaResponse, InternalStoreResponse,
+    b64_decode, ConditionWire, CoverageWire, ErrorCode, ErrorEnvelope, IngestRequest,
+    IngestResponse, InternalCountRequest, InternalCountResponse, InternalGenerationResponse,
+    InternalLevelRequest, InternalLevelResponse, InternalSchemaResponse, InternalStoreResponse,
 };
 use om_compare::{
     candidate_attrs_in, drill_down_via, CompareConfig, CompareError, Comparator, ComparisonResult,
@@ -76,24 +111,44 @@ use om_ingest::RowParser;
 use om_server::ops::{ingest_envelope, EngineOps, IngestAck, OpsError};
 
 use crate::client::ShardClient;
+use crate::health::{backoff_delay, Admission, Health, HealthConfig};
 use crate::metrics::ClusterMetrics;
-use crate::router::route_fields;
+use crate::router::{replica_set, route_fields};
 
 /// How a coordinator reaches and treats its shards.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Shard endpoints (`host:port`), in shard-index order. The order
-    /// is part of the cluster identity: routing and merging both use
-    /// it.
+    /// Shard endpoints (`host:port`), grouped partition by partition:
+    /// with R replicas, addresses `[p*R, (p+1)*R)` serve partition `p`.
+    /// The order is part of the cluster identity: routing and merging
+    /// both use it.
     pub shard_addrs: Vec<String>,
-    /// Per-shard request timeout; a shard that exceeds it becomes a
-    /// `503` partial-failure envelope naming the shard.
+    /// Replication factor: how many consecutive addresses serve each
+    /// partition. `shard_addrs.len()` must be a multiple of it.
+    pub replicas: usize,
+    /// Per-shard whole-request timeout; a replica that exceeds it is
+    /// retried, failed over, or reported in a `503` envelope.
     pub shard_timeout: Duration,
-    /// `Retry-After` hint attached to overload envelopes, in seconds.
+    /// `Retry-After` hint attached to overload envelopes when no
+    /// breaker supplies a sharper one, in seconds.
     pub retry_after_secs: u64,
     /// How many times a store read re-pins when shards republish
     /// mid-fan-out before giving up with an overload envelope.
     pub stale_retries: u32,
+    /// Same-replica retries after a transport failure before failing
+    /// over to the next replica.
+    pub fetch_retries: u32,
+    /// First-retry backoff; each further retry doubles it (with jitter).
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Consecutive failures that open a replica's circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects before half-opening a probe.
+    pub breaker_open: Duration,
+    /// When set, a store fetch still pending after this long fires a
+    /// hedged duplicate at the next replica (first success wins).
+    pub hedge_after: Option<Duration>,
     /// Whether `/v1/ingest` is live (requires shards started with
     /// ingest WALs).
     pub ingest: bool,
@@ -103,9 +158,16 @@ impl Default for ClusterConfig {
     fn default() -> Self {
         Self {
             shard_addrs: Vec::new(),
+            replicas: 1,
             shard_timeout: Duration::from_secs(30),
             retry_after_secs: 1,
             stale_retries: 3,
+            fetch_retries: 2,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(1),
+            breaker_threshold: 3,
+            breaker_open: Duration::from_secs(2),
+            hedge_after: None,
             ingest: false,
         }
     }
@@ -135,6 +197,46 @@ const LEVEL_CACHE_CAP: usize = 512;
 
 type LevelCache = HashMap<(CondKey, Vec<usize>), Arc<CubeStore>>;
 
+/// Every replica of one partition was skipped or exhausted; carries the
+/// per-replica evidence for the `503` envelope.
+struct PartitionDown {
+    partition: usize,
+    /// `(global shard index, failure message)`, in the order tried.
+    failures: Vec<(usize, String)>,
+}
+
+/// `true` when a replica's error names a 4xx status: the *request* is
+/// at fault, every replica would answer identically, and neither
+/// failover nor a health penalty is warranted.
+fn is_request_fault(msg: &str) -> bool {
+    msg.starts_with("HTTP 4")
+}
+
+/// One store-fetch outcome at a pinned generation.
+enum Fetch {
+    Fresh(Box<CubeStore>),
+    /// The replica republished since the poll: not a failure, a re-pin.
+    Stale,
+}
+
+/// A single `/internal/store?expect=G` attempt against one replica —
+/// the unit both the sequential and the hedged fetch paths run.
+fn fetch_store_once(shard: &ShardClient, expect: u64) -> Result<Fetch, String> {
+    fail::inject("cluster.fetch").map_err(|e| e.to_string())?;
+    let (status, body) = shard.get(&format!("/internal/store?expect={expect}"))?;
+    match status {
+        200 => {
+            let resp = InternalStoreResponse::parse(&body)?;
+            let bytes = b64_decode(&resp.store_b64)?;
+            let store = decode_store(Bytes::from(bytes))
+                .map_err(|e| format!("store decode failed: {e}"))?;
+            Ok(Fetch::Fresh(Box::new(store)))
+        }
+        409 => Ok(Fetch::Stale),
+        s => Err(format!("HTTP {s}: {}", body.trim())),
+    }
+}
+
 /// The coordinator for one shard topology. See the module docs.
 pub struct Coordinator {
     shards: Vec<ShardClient>,
@@ -143,34 +245,68 @@ pub struct Coordinator {
     /// the exact single-node code (and error messages).
     om: OpportunityMap,
     parser: RowParser,
+    n_partitions: usize,
+    replicas: usize,
     retry_after_secs: u64,
     stale_retries: u32,
+    fetch_retries: u32,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+    hedge_after: Option<Duration>,
     ingest: bool,
-    /// Merged full store, keyed by the pinned generation vector.
+    /// One circuit breaker per shard address (shared with detached
+    /// hedge workers).
+    health: Arc<Health>,
+    /// Monotonic salt decorrelating concurrent backoff sleeps.
+    backoff_salt: AtomicU64,
+    /// Per-replica rows that missed a write (replica down at ingest
+    /// time), replayed in order when the replica recovers.
+    catchup: Vec<Mutex<Vec<Vec<String>>>>,
+    /// Per-partition base-partition row count (fixed at connect).
+    part_base_rows: Vec<u64>,
+    /// Per-partition authoritative live-ingested row count: the highest
+    /// `rows_total` any replica acked.
+    part_ingested: Vec<AtomicU64>,
+    /// Merged full store, keyed by the pinned per-partition generation
+    /// vector. Only full-coverage merges are cached.
     merged: Mutex<Option<(Vec<u64>, Arc<StoreSnapshot>)>>,
     /// Merged drill-level stores (generation-free; see module docs).
     levels: Mutex<LevelCache>,
-    /// Conditioned base-partition row counts, summed across shards.
+    /// Conditioned base-partition row counts, summed across partitions.
     counts: Mutex<HashMap<CondKey, u64>>,
-    metrics: ClusterMetrics,
+    metrics: Arc<ClusterMetrics>,
 }
 
 impl Coordinator {
-    /// Connect to the shards: fetch and cross-check their schemas, and
-    /// bootstrap the zero-row engine twin.
+    /// Connect to the shards: fetch and cross-check their schemas,
+    /// bootstrap the zero-row engine twin, and record each partition's
+    /// base row count (the denominator of coverage envelopes).
     ///
     /// # Errors
-    /// Unreachable shards, shards that disagree on the schema, or a
-    /// schema the engine cannot host.
+    /// Unreachable shards, shards that disagree on the schema, an
+    /// address list that does not tile into `partitions x replicas`, or
+    /// a schema the engine cannot host.
     pub fn connect(config: ClusterConfig) -> Result<Self, String> {
+        if config.replicas == 0 {
+            return Err("replication factor must be at least 1".to_owned());
+        }
         if config.shard_addrs.is_empty() {
             return Err("cluster needs at least one shard".to_owned());
+        }
+        if !config.shard_addrs.len().is_multiple_of(config.replicas) {
+            return Err(format!(
+                "{} shard address(es) do not tile into whole partitions at replication \
+                 factor {}; the address list must be partitions x replicas",
+                config.shard_addrs.len(),
+                config.replicas
+            ));
         }
         let shards: Vec<ShardClient> = config
             .shard_addrs
             .iter()
             .map(|a| ShardClient::new(a.clone(), config.shard_timeout))
             .collect();
+        let n_partitions = shards.len() / config.replicas;
         let mut schema_b64 = String::new();
         for (i, shard) in shards.iter().enumerate() {
             let body = shard
@@ -195,17 +331,62 @@ impl Coordinator {
             .map_err(|e| format!("coordinator engine bootstrap failed: {e}"))?;
         let parser = RowParser::new(om.dataset().schema().clone(), om.cut_points())
             .map_err(|e| format!("coordinator row parser bootstrap failed: {e}"))?;
-        let metrics = ClusterMetrics::default();
+        let empty_count = InternalCountRequest {
+            conditions: Vec::new(),
+        }
+        .encode();
+        let mut part_base_rows = Vec::with_capacity(n_partitions);
+        for p in 0..n_partitions {
+            let g = replica_set(p, n_partitions, config.replicas)
+                .first()
+                .copied()
+                .unwrap_or(p);
+            let Some(shard) = shards.get(g) else {
+                return Err(format!("partition {p} has no replica at index {g}"));
+            };
+            let body = shard
+                .expect_ok("POST", "/internal/count", Some(&empty_count))
+                .map_err(|e| format!("shard {g} ({}): base count failed: {e}", shard.addr()))?;
+            let count = InternalCountResponse::parse(&body)
+                .map_err(|e| format!("shard {g} ({}): bad count response: {e}", shard.addr()))?
+                .count;
+            part_base_rows.push(count);
+        }
+        let metrics = Arc::new(ClusterMetrics::default());
+        metrics.shards.store(shards.len() as u64, Ordering::Relaxed);
         metrics
-            .shards
-            .store(shards.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            .partitions
+            .store(n_partitions as u64, Ordering::Relaxed);
+        metrics
+            .replicas
+            .store(config.replicas as u64, Ordering::Relaxed);
+        let health = Arc::new(Health::new(
+            shards.len(),
+            HealthConfig {
+                threshold: config.breaker_threshold,
+                open_for: config.breaker_open,
+            },
+        ));
+        let catchup = (0..shards.len()).map(|_| Mutex::new(Vec::new())).collect();
+        let part_ingested = (0..n_partitions).map(|_| AtomicU64::new(0)).collect();
         Ok(Self {
             shards,
             om,
             parser,
+            n_partitions,
+            replicas: config.replicas,
             retry_after_secs: config.retry_after_secs,
             stale_retries: config.stale_retries,
+            fetch_retries: config.fetch_retries,
+            backoff_base: config.backoff_base,
+            backoff_cap: config.backoff_cap,
+            hedge_after: config.hedge_after,
             ingest: config.ingest,
+            health,
+            backoff_salt: AtomicU64::new(0),
+            catchup,
+            part_base_rows,
+            part_ingested,
             merged: Mutex::new(None),
             levels: Mutex::new(HashMap::new()),
             counts: Mutex::new(HashMap::new()),
@@ -213,16 +394,45 @@ impl Coordinator {
         })
     }
 
-    /// Number of shards in the topology.
+    /// Number of shard processes in the topology.
     #[must_use]
     pub fn n_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Number of partitions (shards divided by the replication factor).
+    #[must_use]
+    pub fn n_partitions(&self) -> usize {
+        self.n_partitions
+    }
+
+    /// The replication factor.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas
     }
 
     /// The coordinator's counters (rendered into `/metrics`).
     #[must_use]
     pub fn cluster_metrics(&self) -> &ClusterMetrics {
         &self.metrics
+    }
+
+    /// Shard addresses the coordinator currently considers degraded:
+    /// breaker not closed, or queued catch-up rows not yet replayed.
+    /// Empty means every replica is healthy and fully caught up — the
+    /// cluster tooling polls this to wait for a rejoin to settle.
+    #[must_use]
+    pub fn degraded_addrs(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(g, _)| {
+                !self.health.is_closed(*g)
+                    || self.catchup.get(*g).is_some_and(|q| !q.lock().is_empty())
+            })
+            .map(|(_, s)| s.addr().to_owned())
+            .collect()
     }
 
     fn shard_addr(&self, i: usize) -> &str {
@@ -236,94 +446,440 @@ impl Coordinator {
         }
     }
 
-    /// Run `f(shard_index, shard)` once per shard, concurrently, and
-    /// return the per-shard results in shard order.
-    fn fan_out<T: Send>(
+    /// The `503` envelope for a downed partition. At replication factor
+    /// 1 the message is the legacy single-shard form; above it, the
+    /// partition is named with every replica's evidence. The
+    /// `Retry-After` hint is the soonest any involved breaker
+    /// half-opens, falling back to the static hint when none is open.
+    fn partition_envelope(&self, op: &str, down: &PartitionDown) -> ErrorEnvelope {
+        let members = replica_set(down.partition, self.n_partitions, self.replicas);
+        let retry_after_ms = self
+            .health
+            .min_retry_after(members.iter().copied())
+            .map_or(self.retry_after_secs.saturating_mul(1000), |d| {
+                (u64::try_from(d.as_millis()).unwrap_or(u64::MAX)).max(1)
+            });
+        let message = match down.failures.as_slice() {
+            [(g, msg)] if self.replicas == 1 => {
+                format!("shard {g} ({}) failed during {op}: {msg}", self.shard_addr(*g))
+            }
+            failures => {
+                let evidence: Vec<String> = failures
+                    .iter()
+                    .map(|(g, msg)| format!("replica {g} ({}): {msg}", self.shard_addr(*g)))
+                    .collect();
+                format!(
+                    "partition {} is unavailable for {op} (all {} replica(s) failed): {}",
+                    down.partition,
+                    members.len(),
+                    evidence.join("; ")
+                )
+            }
+        };
+        ErrorEnvelope {
+            retry_after_ms: Some(retry_after_ms),
+            ..ErrorEnvelope::new(ErrorCode::Overloaded, message)
+        }
+    }
+
+    /// Record one replica failure in the breaker and the counters.
+    fn note_failure(&self, g: usize) {
+        ClusterMetrics::add(&self.metrics.shard_errors_total, 1);
+        if self.health.record_failure(g) {
+            ClusterMetrics::add(&self.metrics.breaker_opens_total, 1);
+        }
+    }
+
+    /// Replay rows a replica missed while it was down, before it serves
+    /// anything else. The replica's durable `rows_total` is probed
+    /// first (an empty ingest batch is a pure stats read) and only the
+    /// genuinely missing tail is resent — a write whose ack was lost is
+    /// never double-applied.
+    fn flush_catchup(&self, g: usize, shard: &ShardClient) -> Result<(), String> {
+        if !self.ingest {
+            return Ok(());
+        }
+        let Some(slot) = self.catchup.get(g) else {
+            return Ok(());
+        };
+        let mut queue = slot.lock();
+        if queue.is_empty() {
+            return Ok(());
+        }
+        let probe = shard.expect_ok("POST", "/v1/ingest", Some("{\"rows\":[]}"))?;
+        let have = IngestResponse::parse(&probe)?.rows_total;
+        let target = self
+            .part_ingested
+            .get(g / self.replicas.max(1))
+            .map_or(0, |t| t.load(Ordering::Relaxed));
+        let missing = usize::try_from(target.saturating_sub(have))
+            .unwrap_or(usize::MAX)
+            .min(queue.len());
+        if missing > 0 {
+            let tail = queue
+                .get(queue.len() - missing..)
+                .map(<[Vec<String>]>::to_vec)
+                .unwrap_or_default();
+            let body = IngestRequest { rows: tail }.encode();
+            let resp = shard.expect_ok("POST", "/v1/ingest", Some(&body))?;
+            IngestResponse::parse(&resp)?;
+            ClusterMetrics::add(&self.metrics.catchup_rows_total, missing as u64);
+        }
+        queue.clear();
+        Ok(())
+    }
+
+    /// Walk one partition's replicas in preference order: admit each
+    /// through its breaker, replay queued catch-up rows, then run `f`
+    /// with same-replica retries under capped jittered backoff before
+    /// failing over to the next replica.
+    fn try_replicas<T>(
         &self,
-        f: impl Fn(usize, &ShardClient) -> Result<T, String> + Sync,
-    ) -> Vec<Result<T, String>> {
+        partition: usize,
+        f: impl Fn(usize, &ShardClient) -> Result<T, String>,
+    ) -> Result<T, PartitionDown> {
+        let members = replica_set(partition, self.n_partitions, self.replicas);
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        for (k, &g) in members.iter().enumerate() {
+            let Some(shard) = self.shards.get(g) else {
+                continue;
+            };
+            match self.health.admit(g) {
+                Admission::Deny => {
+                    failures.push((g, "circuit breaker open (recent failures); skipped".to_owned()));
+                    continue;
+                }
+                Admission::Probe => ClusterMetrics::add(&self.metrics.breaker_probes_total, 1),
+                Admission::Allow => {}
+            }
+            if let Err(msg) = self.flush_catchup(g, shard) {
+                self.note_failure(g);
+                failures.push((g, format!("catch-up replay failed: {msg}")));
+                continue;
+            }
+            let mut attempt = 0u32;
+            loop {
+                match f(g, shard) {
+                    Ok(v) => {
+                        self.health.record_success(g);
+                        return Ok(v);
+                    }
+                    Err(msg) if is_request_fault(&msg) => {
+                        failures.push((g, msg));
+                        return Err(PartitionDown { partition, failures });
+                    }
+                    Err(msg) => {
+                        self.note_failure(g);
+                        // Stop retrying a replica whose breaker just
+                        // opened — it will only burn the backoff budget.
+                        if attempt >= self.fetch_retries || !self.health.is_closed(g) {
+                            failures.push((g, msg));
+                            break;
+                        }
+                        ClusterMetrics::add(&self.metrics.retries_total, 1);
+                        let salt = self.backoff_salt.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(backoff_delay(
+                            self.backoff_base,
+                            self.backoff_cap,
+                            attempt,
+                            salt,
+                        ));
+                        attempt += 1;
+                    }
+                }
+            }
+            if k + 1 < members.len() {
+                ClusterMetrics::add(&self.metrics.failovers_total, 1);
+            }
+        }
+        Err(PartitionDown { partition, failures })
+    }
+
+    /// Run `f(partition)` once per partition, concurrently, and return
+    /// the per-partition results in partition order.
+    fn fan_out_partitions<T: Send>(
+        &self,
+        f: impl Fn(usize) -> Result<T, PartitionDown> + Sync,
+    ) -> Vec<Result<T, PartitionDown>> {
         ClusterMetrics::add(&self.metrics.fanouts_total, 1);
         std::thread::scope(|scope| {
             let f = &f;
-            let handles: Vec<_> = self
-                .shards
-                .iter()
-                .enumerate()
-                .map(|(i, shard)| scope.spawn(move || f(i, shard)))
+            let handles: Vec<_> = (0..self.n_partitions)
+                .map(|p| scope.spawn(move || f(p)))
                 .collect();
             handles
                 .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|_| Err("shard fan-out worker panicked".to_owned()))
+                .enumerate()
+                .map(|(p, h)| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(PartitionDown {
+                            partition: p,
+                            failures: vec![(p, "partition fan-out worker panicked".to_owned())],
+                        })
+                    })
                 })
                 .collect()
         })
     }
 
-    /// Earliest-shard-error-wins gather: the reported failure is the
-    /// lowest-indexed failing shard, independent of wire timing.
-    fn gather<T>(&self, op: &str, results: Vec<Result<T, String>>) -> Result<Vec<T>, ErrorEnvelope> {
+    /// Earliest-partition-error-wins gather: the reported failure is
+    /// the lowest-numbered failing partition, independent of wire
+    /// timing.
+    fn gather_parts<T>(
+        &self,
+        op: &str,
+        results: Vec<Result<T, PartitionDown>>,
+    ) -> Result<Vec<T>, ErrorEnvelope> {
         let indexed = results
             .into_iter()
-            .enumerate()
-            .map(|(i, r)| r.map_err(|msg| (i, msg)));
-        gather_in_order(indexed).map_err(|(i, msg)| {
-            ClusterMetrics::add(&self.metrics.shard_errors_total, 1);
-            self.overloaded(format!(
-                "shard {i} ({}) failed during {op}: {msg}",
-                self.shard_addr(i)
-            ))
-        })
+            .map(|r| r.map_err(|down| (down.partition, down)));
+        gather_in_order(indexed).map_err(|(_, down)| self.partition_envelope(op, &down))
     }
 
-    /// Pin one generation per shard and return the merged full store at
-    /// exactly that generation vector (cached across requests).
-    fn pinned_store(&self, _budget: &Budget) -> Result<Arc<StoreSnapshot>, ErrorEnvelope> {
-        enum Fetch {
-            Fresh(Box<CubeStore>),
-            Stale,
+    /// Fetch one partition's store at the pinned generation, failing
+    /// over between replicas — hedged when configured.
+    fn fetch_partition_store(&self, partition: usize, expect: u64) -> Result<Fetch, PartitionDown> {
+        match self.hedge_after {
+            Some(hedge_after) if self.replicas > 1 => {
+                self.fetch_partition_store_hedged(partition, expect, hedge_after)
+            }
+            _ => self.try_replicas(partition, |_, shard| fetch_store_once(shard, expect)),
         }
-        for _ in 0..=self.stale_retries {
-            let gens = self.gather(
-                "generation poll",
-                self.fan_out(|_, shard| {
-                    let body = shard.expect_ok("GET", "/internal/generation", None)?;
-                    InternalGenerationResponse::parse(&body).map(|r| r.generation)
-                }),
-            )?;
-            if let Some((pinned, snap)) = self.merged.lock().clone() {
-                if pinned == gens {
-                    return Ok(snap);
+    }
+
+    /// Launch the next admissible candidate's fetch on a detached
+    /// worker. Returns `true` when a worker was actually launched.
+    fn launch_hedged_fetch(
+        &self,
+        candidates: &[usize],
+        next: &mut usize,
+        failures: &mut Vec<(usize, String)>,
+        expect: u64,
+        tx: &mpsc::Sender<(usize, Result<Fetch, String>)>,
+    ) -> bool {
+        while let Some(&g) = candidates.get(*next) {
+            *next += 1;
+            let Some(shard) = self.shards.get(g) else {
+                continue;
+            };
+            if let Err(msg) = self.flush_catchup(g, shard) {
+                self.note_failure(g);
+                failures.push((g, format!("catch-up replay failed: {msg}")));
+                continue;
+            }
+            let shard = shard.clone();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    fetch_store_once(&shard, expect)
+                }))
+                .unwrap_or_else(|_| Err("store fetch worker panicked".to_owned()));
+                let _ = tx.send((g, result));
+            });
+            return true;
+        }
+        false
+    }
+
+    /// The hedged store fetch: the preferred replica goes first; if it
+    /// is still pending after `hedge_after`, the next replica is raced
+    /// against it and the first success wins. Losers are abandoned
+    /// (their whole-request deadline bounds them).
+    fn fetch_partition_store_hedged(
+        &self,
+        partition: usize,
+        expect: u64,
+        hedge_after: Duration,
+    ) -> Result<Fetch, PartitionDown> {
+        let mut candidates: Vec<usize> = Vec::new();
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        for g in replica_set(partition, self.n_partitions, self.replicas) {
+            match self.health.admit(g) {
+                Admission::Deny => {
+                    failures.push((g, "circuit breaker open (recent failures); skipped".to_owned()));
+                }
+                Admission::Probe => {
+                    ClusterMetrics::add(&self.metrics.breaker_probes_total, 1);
+                    candidates.push(g);
+                }
+                Admission::Allow => candidates.push(g),
+            }
+        }
+        let (tx, rx) = mpsc::channel::<(usize, Result<Fetch, String>)>();
+        let mut next = 0usize;
+        let mut pending = 0usize;
+        loop {
+            while pending == 0 {
+                if self.launch_hedged_fetch(&candidates, &mut next, &mut failures, expect, &tx) {
+                    pending += 1;
+                } else {
+                    return Err(PartitionDown { partition, failures });
                 }
             }
-            let fetched = self.gather(
-                "store fetch",
-                self.fan_out(|i, shard| {
-                    let expect = gens.get(i).copied().unwrap_or(0);
-                    let (status, body) = shard.get(&format!("/internal/store?expect={expect}"))?;
-                    match status {
-                        200 => {
-                            let resp = InternalStoreResponse::parse(&body)?;
-                            let bytes = b64_decode(&resp.store_b64)?;
-                            let store = decode_store(Bytes::from(bytes))
-                                .map_err(|e| format!("store decode failed: {e}"))?;
-                            Ok(Fetch::Fresh(Box::new(store)))
-                        }
-                        // The shard republished since the poll: not a
-                        // failure, a re-pin.
-                        409 => Ok(Fetch::Stale),
-                        s => Err(format!("HTTP {s}: {}", body.trim())),
+            // While unlaunched candidates remain, wait only the hedge
+            // threshold; afterwards, workers are bounded by the client's
+            // whole-request deadline, so a generous wait terminates.
+            let wait = if next < candidates.len() {
+                hedge_after
+            } else {
+                self.backoff_cap.max(Duration::from_secs(60))
+            };
+            match rx.recv_timeout(wait) {
+                Ok((g, Ok(fetch))) => {
+                    self.health.record_success(g);
+                    return Ok(fetch);
+                }
+                Ok((g, Err(msg))) => {
+                    pending -= 1;
+                    self.note_failure(g);
+                    failures.push((g, msg));
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if next < candidates.len()
+                        && self.launch_hedged_fetch(&candidates, &mut next, &mut failures, expect, &tx)
+                    {
+                        ClusterMetrics::add(&self.metrics.hedges_total, 1);
+                        pending += 1;
+                    } else if pending == 0 {
+                        return Err(PartitionDown { partition, failures });
                     }
-                }),
-            )?;
-            if fetched.iter().any(|f| matches!(f, Fetch::Stale)) {
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(PartitionDown { partition, failures });
+                }
+            }
+        }
+    }
+
+    /// The coverage envelope for a partial answer: which partitions
+    /// answered, the share of the cluster's rows they hold, and the
+    /// addresses behind the gaps.
+    fn coverage_for(&self, answered: &[bool]) -> CoverageWire {
+        let mut total_rows = 0u64;
+        let mut covered_rows = 0u64;
+        let mut partitions_answered = 0u64;
+        let mut missing_partitions: Vec<u64> = Vec::new();
+        let mut missing_shards: Vec<String> = Vec::new();
+        for p in 0..self.n_partitions {
+            let rows = self.part_base_rows.get(p).copied().unwrap_or(0)
+                + self
+                    .part_ingested
+                    .get(p)
+                    .map_or(0, |t| t.load(Ordering::Relaxed));
+            total_rows += rows;
+            if answered.get(p).copied().unwrap_or(false) {
+                covered_rows += rows;
+                partitions_answered += 1;
+            } else {
+                missing_partitions.push(p as u64);
+                for g in replica_set(p, self.n_partitions, self.replicas) {
+                    missing_shards.push(self.shard_addr(g).to_owned());
+                }
+            }
+        }
+        let rows_covered_pct = if total_rows == 0 {
+            100.0 * partitions_answered as f64 / (self.n_partitions.max(1)) as f64
+        } else {
+            100.0 * covered_rows as f64 / total_rows as f64
+        };
+        CoverageWire {
+            partitions_total: self.n_partitions as u64,
+            partitions_answered,
+            rows_covered_pct,
+            missing_partitions,
+            missing_shards,
+        }
+    }
+
+    /// Pin one generation per partition and return the merged store at
+    /// exactly that generation vector (cached across requests when the
+    /// coverage is full). With `allow_partial`, partitions whose every
+    /// replica is down are skipped and reported in the returned
+    /// coverage envelope instead of failing the read — unless *every*
+    /// partition is down, which is always an error.
+    fn pinned_store_with(
+        &self,
+        allow_partial: bool,
+    ) -> Result<(Arc<StoreSnapshot>, Option<CoverageWire>), ErrorEnvelope> {
+        for _ in 0..=self.stale_retries {
+            // Phase 1: pin a generation per partition via any live
+            // replica.
+            let polls = self.fan_out_partitions(|p| {
+                self.try_replicas(p, |_, shard| {
+                    let body = shard.expect_ok("GET", "/internal/generation", None)?;
+                    InternalGenerationResponse::parse(&body).map(|r| r.generation)
+                })
+            });
+            let mut gens: Vec<Option<u64>> = Vec::with_capacity(polls.len());
+            let mut first_down: Option<PartitionDown> = None;
+            for poll in polls {
+                match poll {
+                    Ok(g) => gens.push(Some(g)),
+                    Err(down) => {
+                        if !allow_partial {
+                            return Err(self.partition_envelope("generation poll", &down));
+                        }
+                        if first_down.is_none() {
+                            first_down = Some(down);
+                        }
+                        gens.push(None);
+                    }
+                }
+            }
+            if gens.iter().all(Option::is_none) {
+                // om-lint: allow(panic-path) — all-None over a non-empty list implies a stashed failure
+                let down = first_down.unwrap_or(PartitionDown {
+                    partition: 0,
+                    failures: Vec::new(),
+                });
+                return Err(self.partition_envelope("generation poll", &down));
+            }
+            // Full coverage at an unchanged generation vector: serve
+            // the cached merge without any store fetch.
+            if gens.iter().all(Option::is_some) {
+                let key: Vec<u64> = gens.iter().map(|g| g.unwrap_or(0)).collect();
+                if let Some((pinned, snap)) = self.merged.lock().clone() {
+                    if pinned == key {
+                        return Ok((snap, None));
+                    }
+                }
+            }
+            // Phase 2: fetch each live partition's store at its pinned
+            // generation (hedged when configured).
+            let fetched = self.fan_out_partitions(|p| match gens.get(p).copied().flatten() {
+                None => Ok(None),
+                Some(expect) => self.fetch_partition_store(p, expect).map(Some),
+            });
+            let mut parts: Vec<Option<Fetch>> = Vec::with_capacity(fetched.len());
+            for r in fetched {
+                match r {
+                    Ok(opt) => parts.push(opt),
+                    Err(down) => {
+                        if !allow_partial {
+                            return Err(self.partition_envelope("store fetch", &down));
+                        }
+                        parts.push(None);
+                    }
+                }
+            }
+            if parts.iter().any(|p| matches!(p, Some(Fetch::Stale))) {
                 ClusterMetrics::add(&self.metrics.stale_retries_total, 1);
                 continue;
             }
+            if parts.iter().all(Option::is_none) {
+                return Err(self.overloaded(
+                    "every partition became unavailable during the store fetch; retry".to_owned(),
+                ));
+            }
+            // Phase 3: merge in partition order.
+            let mut answered: Vec<bool> = Vec::with_capacity(parts.len());
             let mut merged: Option<CubeStore> = None;
-            for f in fetched {
-                let Fetch::Fresh(part) = f else { continue };
+            for part in parts {
+                let Some(Fetch::Fresh(part)) = part else {
+                    answered.push(false);
+                    continue;
+                };
+                answered.push(true);
                 merged = Some(match merged {
                     None => *part,
                     Some(acc) => acc.merge(&part).map_err(|e| {
@@ -342,14 +898,27 @@ impl Coordinator {
             };
             let snap = SharedStore::new(merged).snapshot();
             ClusterMetrics::add(&self.metrics.store_refreshes_total, 1);
-            *self.merged.lock() = Some((gens, Arc::clone(&snap)));
-            return Ok(snap);
+            if answered.iter().all(|&a| a) {
+                let key: Vec<u64> = gens.iter().map(|g| g.unwrap_or(0)).collect();
+                *self.merged.lock() = Some((key, Arc::clone(&snap)));
+                return Ok((snap, None));
+            }
+            ClusterMetrics::add(&self.metrics.partial_answers_total, 1);
+            let coverage = self.coverage_for(&answered);
+            return Ok((snap, Some(coverage)));
         }
         Err(self.overloaded(format!(
             "cluster store generations kept moving across {} pins (live ingestion racing the \
              fan-out); retry",
             u64::from(self.stale_retries) + 1
         )))
+    }
+
+    /// Pin one generation per partition and return the merged full
+    /// store at exactly that generation vector (cached across
+    /// requests). All-or-nothing: any downed partition is an error.
+    fn pinned_store(&self, _budget: &Budget) -> Result<Arc<StoreSnapshot>, ErrorEnvelope> {
+        self.pinned_store_with(false).map(|(snap, _)| snap)
     }
 
     /// Merged drill-level store over the shards' conditioned *base*
@@ -370,13 +939,16 @@ impl Coordinator {
             attrs: attrs.iter().map(|&a| a as u64).collect(),
         }
         .encode();
-        let parts = self.gather(
+        let parts = self.gather_parts(
             "drill-level fan-out",
-            self.fan_out(|_, shard| {
-                let body = shard.expect_ok("POST", "/internal/level", Some(&request))?;
-                let resp = InternalLevelResponse::parse(&body)?;
-                let bytes = b64_decode(&resp.store_b64)?;
-                decode_store(Bytes::from(bytes)).map_err(|e| format!("level store decode failed: {e}"))
+            self.fan_out_partitions(|p| {
+                self.try_replicas(p, |_, shard| {
+                    let body = shard.expect_ok("POST", "/internal/level", Some(&request))?;
+                    let resp = InternalLevelResponse::parse(&body)?;
+                    let bytes = b64_decode(&resp.store_b64)?;
+                    decode_store(Bytes::from(bytes))
+                        .map_err(|e| format!("level store decode failed: {e}"))
+                })
             }),
         )?;
         let mut parts = parts.into_iter();
@@ -400,7 +972,7 @@ impl Coordinator {
         Ok(merged)
     }
 
-    /// Conditioned base-partition row count, summed across shards.
+    /// Conditioned base-partition row count, summed across partitions.
     fn cluster_count(&self, conditions: &[Condition]) -> Result<u64, ErrorEnvelope> {
         let key = cond_key(conditions);
         if let Some(&hit) = self.counts.lock().get(&key) {
@@ -410,11 +982,13 @@ impl Coordinator {
             conditions: wire_conditions(conditions),
         }
         .encode();
-        let counts = self.gather(
+        let counts = self.gather_parts(
             "count fan-out",
-            self.fan_out(|_, shard| {
-                let body = shard.expect_ok("POST", "/internal/count", Some(&request))?;
-                InternalCountResponse::parse(&body).map(|r| r.count)
+            self.fan_out_partitions(|p| {
+                self.try_replicas(p, |_, shard| {
+                    let body = shard.expect_ok("POST", "/internal/count", Some(&request))?;
+                    InternalCountResponse::parse(&body).map(|r| r.count)
+                })
             }),
         )?;
         let total: u64 = counts.iter().sum();
@@ -426,34 +1000,87 @@ impl Coordinator {
         Ok(total)
     }
 
-    /// The conditioned-population mirror of the batch fixed-path walk:
-    /// validate each condition against the schema and probe the
-    /// cluster-wide sub-population for emptiness, producing the exact
-    /// single-node failure messages.
-    fn validate_prefix(&self, prefix: &[Condition], schema: &Schema) -> Result<(), PrefixError> {
-        for j in 0..prefix.len() {
-            let Some(&cond) = prefix.get(j) else { break };
-            // The zero-row twin runs the same validity checks as a
-            // shard's sub_population (they depend only on the schema).
-            if let Err(e) = self.om.dataset().sub_population(cond.attr, cond.value) {
-                return Err(PrefixError::Invalid(format!(
-                    "condition {} is invalid: {e}",
-                    cond.display(schema)
-                )));
-            }
-            // om-lint: allow(panic-path) — j < prefix.len() by the enumerate bound
-            match self.cluster_count(&prefix[..=j]) {
-                Ok(0) => {
-                    return Err(PrefixError::Invalid(format!(
-                        "condition {} selects no records",
-                        cond.display(schema)
-                    )))
+    /// Write one partition's sub-batch to every live replica. The
+    /// partition acks when at least one replica acked; replicas that
+    /// missed a non-empty write get the rows queued for replay. Failed
+    /// writes are *not* retried in place — replay-on-recovery probes
+    /// the replica's durable row count first and is therefore safe
+    /// against lost acks, where an in-place retry could double-apply.
+    fn ingest_partition(
+        &self,
+        partition: usize,
+        sub: &[Vec<String>],
+    ) -> Result<IngestAck, PartitionDown> {
+        let body = IngestRequest { rows: sub.to_vec() }.encode();
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        let mut missed: Vec<usize> = Vec::new();
+        let mut ack: Option<IngestAck> = None;
+        for g in replica_set(partition, self.n_partitions, self.replicas) {
+            let Some(shard) = self.shards.get(g) else {
+                continue;
+            };
+            match self.health.admit(g) {
+                Admission::Deny => {
+                    failures.push((g, "circuit breaker open (recent failures); skipped".to_owned()));
+                    missed.push(g);
+                    continue;
                 }
-                Ok(_) => {}
-                Err(env) => return Err(PrefixError::FanOut(env)),
+                Admission::Probe => ClusterMetrics::add(&self.metrics.breaker_probes_total, 1),
+                Admission::Allow => {}
+            }
+            if let Err(msg) = self.flush_catchup(g, shard) {
+                self.note_failure(g);
+                failures.push((g, format!("catch-up replay failed: {msg}")));
+                missed.push(g);
+                continue;
+            }
+            let outcome = shard
+                .expect_ok("POST", "/v1/ingest", Some(&body))
+                .and_then(|r| IngestResponse::parse(&r));
+            match outcome {
+                Ok(replica_ack) => {
+                    self.health.record_success(g);
+                    ack = Some(match ack {
+                        None => IngestAck {
+                            accepted: replica_ack.accepted,
+                            rows_total: replica_ack.rows_total,
+                            generation: replica_ack.generation,
+                        },
+                        Some(prev) => IngestAck {
+                            accepted: prev.accepted.min(replica_ack.accepted),
+                            rows_total: prev.rows_total.max(replica_ack.rows_total),
+                            generation: prev.generation.max(replica_ack.generation),
+                        },
+                    });
+                }
+                Err(msg) if is_request_fault(&msg) => {
+                    // The batch itself is bad: every replica would
+                    // reject it identically, so fail the partition
+                    // without queueing anything.
+                    failures.push((g, msg));
+                    return Err(PartitionDown { partition, failures });
+                }
+                Err(msg) => {
+                    self.note_failure(g);
+                    failures.push((g, msg));
+                    missed.push(g);
+                }
             }
         }
-        Ok(())
+        let Some(ack) = ack else {
+            return Err(PartitionDown { partition, failures });
+        };
+        if let Some(total) = self.part_ingested.get(partition) {
+            total.fetch_max(ack.rows_total, Ordering::Relaxed);
+        }
+        if !sub.is_empty() {
+            for g in missed {
+                if let Some(queue) = self.catchup.get(g) {
+                    queue.lock().extend(sub.iter().cloned());
+                }
+            }
+        }
+        Ok(ack)
     }
 
     /// The coordinator's mirror of om-exec's `run_drill_item`: the same
@@ -551,6 +1178,36 @@ impl Coordinator {
             });
         }
         BatchOutcome::Drill(levels)
+    }
+
+    /// The conditioned-population mirror of the batch fixed-path walk:
+    /// validate each condition against the schema and probe the
+    /// cluster-wide sub-population for emptiness, producing the exact
+    /// single-node failure messages.
+    fn validate_prefix(&self, prefix: &[Condition], schema: &Schema) -> Result<(), PrefixError> {
+        for j in 0..prefix.len() {
+            let Some(&cond) = prefix.get(j) else { break };
+            // The zero-row twin runs the same validity checks as a
+            // shard's sub_population (they depend only on the schema).
+            if let Err(e) = self.om.dataset().sub_population(cond.attr, cond.value) {
+                return Err(PrefixError::Invalid(format!(
+                    "condition {} is invalid: {e}",
+                    cond.display(schema)
+                )));
+            }
+            // om-lint: allow(panic-path) — j < prefix.len() by the enumerate bound
+            match self.cluster_count(&prefix[..=j]) {
+                Ok(0) => {
+                    return Err(PrefixError::Invalid(format!(
+                        "condition {} selects no records",
+                        cond.display(schema)
+                    )))
+                }
+                Ok(_) => {}
+                Err(env) => return Err(PrefixError::FanOut(env)),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -687,6 +1344,23 @@ impl EngineOps for Coordinator {
             .map_err(|e| OpsError::Engine(EngineError::from(e)))
     }
 
+    fn run_compare_by_name_partial(
+        &self,
+        attr: &str,
+        value_1: &str,
+        value_2: &str,
+        class: &str,
+        budget: &Budget,
+    ) -> Result<(ComparisonResult, Option<CoverageWire>), OpsError> {
+        let spec = self.om.spec_by_name(attr, value_1, value_2, class)?;
+        fail::inject("engine.compare").map_err(EngineError::from)?;
+        let (store, coverage) = self.pinned_store_with(true)?;
+        let result = Comparator::with_config(&store, self.compare_config())
+            .compare_budgeted(&spec, budget)
+            .map_err(|e| OpsError::Engine(EngineError::from(e)))?;
+        Ok((result, coverage))
+    }
+
     fn run_drill_down_by_name(
         &self,
         attr: &str,
@@ -724,6 +1398,23 @@ impl EngineOps for Coordinator {
             })
         };
         mine().map_err(OpsError::Engine)
+    }
+
+    fn run_general_impressions_partial(
+        &self,
+        budget: &Budget,
+    ) -> Result<(GiReport, Option<CoverageWire>), OpsError> {
+        fail::inject("engine.gi").map_err(EngineError::from)?;
+        let (snapshot, coverage) = self.pinned_store_with(true)?;
+        let config = self.om.config();
+        let mine = || -> Result<GiReport, EngineError> {
+            Ok(GiReport {
+                trends: mine_trends_budgeted(&snapshot, &config.trend, budget)?,
+                exceptions: mine_exceptions_budgeted(&snapshot, &config.exception, budget)?,
+                influence: mine_influence_budgeted(&snapshot, budget)?,
+            })
+        };
+        mine().map(|report| (report, coverage)).map_err(OpsError::Engine)
     }
 
     fn query_store(&self, budget: &Budget) -> Result<Arc<StoreSnapshot>, OpsError> {
@@ -840,28 +1531,23 @@ impl EngineOps for Coordinator {
                 .parse_fields(row, i + 1)
                 .map_err(|e| OpsError::Envelope(ingest_envelope(&e)))?;
         }
-        let n = self.shards.len();
-        let mut parts: Vec<Vec<Vec<String>>> = vec![Vec::new(); n];
+        let mut parts: Vec<Vec<Vec<String>>> = vec![Vec::new(); self.n_partitions];
         for row in rows {
-            if let Some(part) = parts.get_mut(route_fields(row, n)) {
+            if let Some(part) = parts.get_mut(route_fields(row, self.n_partitions)) {
                 part.push(row.clone());
             }
         }
         ClusterMetrics::add(&self.metrics.ingest_rows_routed_total, rows.len() as u64);
-        // Every shard gets a POST — an empty batch for shards the router
-        // assigned nothing. The ack's `rows_total` is cumulative, so the
-        // cluster-wide total is only right if every shard reports.
-        let bodies: Vec<String> = parts
-            .into_iter()
-            .map(|rows| IngestRequest { rows }.encode())
-            .collect();
+        // Every partition gets a write fan-out — an empty batch for
+        // partitions the router assigned nothing. The ack's
+        // `rows_total` is cumulative per partition, so the cluster-wide
+        // total is only right if every partition reports.
         let acks = self
-            .gather(
+            .gather_parts(
                 "ingest fan-out",
-                self.fan_out(|i, shard| {
-                    let body = bodies.get(i).map_or("{\"rows\":[]}", String::as_str);
-                    let response = shard.expect_ok("POST", "/v1/ingest", Some(body))?;
-                    IngestResponse::parse(&response)
+                self.fan_out_partitions(|p| {
+                    let sub = parts.get(p).map(Vec::as_slice).unwrap_or(&[]);
+                    self.ingest_partition(p, sub)
                 }),
             )
             .map_err(OpsError::Envelope)?;
@@ -870,18 +1556,21 @@ impl EngineOps for Coordinator {
             rows_total: 0,
             generation: 0,
         };
-        for shard_ack in acks {
-            ack.accepted += shard_ack.accepted;
-            ack.rows_total += shard_ack.rows_total;
+        for part_ack in acks {
+            ack.accepted += part_ack.accepted;
+            ack.rows_total += part_ack.rows_total;
             // Shard generations advance independently; report the
             // furthest one (documented divergence from a single node's
             // scalar generation).
-            ack.generation = ack.generation.max(shard_ack.generation);
+            ack.generation = ack.generation.max(part_ack.generation);
         }
         Ok(ack)
     }
 
     fn extra_metrics(&self) -> String {
+        self.metrics
+            .breaker_open
+            .store(self.health.open_count(), Ordering::Relaxed);
         self.metrics.render()
     }
 }

@@ -12,27 +12,39 @@
 //! The deterministic pieces, in module order:
 //!
 //! * [`router`] — the stable row hash that assigns every record to
-//!   exactly one shard, identical across processes and restarts;
-//! * [`client`] — a small blocking HTTP/1.1 client with per-shard
-//!   timeouts (a lagging shard becomes a typed partial-failure
-//!   envelope, never a hang);
+//!   exactly one partition (and each partition to an ordered replica
+//!   set), identical across processes and restarts;
+//! * [`client`] — a small blocking HTTP/1.1 client whose per-shard
+//!   timeout bounds the whole request (a lagging shard becomes a typed
+//!   partial-failure envelope, never a hang);
+//! * [`health`] — per-replica circuit breakers plus the jittered
+//!   backoff schedule that pace retries against suspect shards;
 //! * [`coordinator`] — the [`coordinator::Coordinator`], an
 //!   `om_server::ops::EngineOps` implementation that epoch-pins one
-//!   store generation per shard before merging and refuses
-//!   mixed-generation merges;
+//!   store generation per partition before merging, fails over between
+//!   replicas, and refuses mixed-generation merges;
 //! * [`metrics`] — the `om_cluster_*` counters rendered into the
 //!   coordinator's `/metrics`.
+//!
+//! With `replicas >= 2` every partition is served by R shards: ingest
+//! writes to all live replicas (recovered replicas are caught up from
+//! the coordinator's replay queue), reads fail over between them, and a
+//! partition is only unavailable when *all* of its replicas are down —
+//! at which point an `allow_partial` request still gets a typed partial
+//! answer carrying a coverage envelope.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
 pub mod coordinator;
+pub mod health;
 pub mod metrics;
 pub mod partition;
 pub mod router;
 
 pub use client::ShardClient;
 pub use coordinator::{ClusterConfig, Coordinator};
+pub use health::{backoff_delay, Admission, Health, HealthConfig};
 pub use metrics::ClusterMetrics;
 pub use partition::{partition_dataset, partition_rows};
-pub use router::{route_fields, row_hash};
+pub use router::{replica_set, route_fields, row_hash};

@@ -9,13 +9,32 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// The `om_cluster_*` series.
 #[derive(Debug, Default)]
 pub struct ClusterMetrics {
-    /// Number of shards in the topology (a gauge; set once at connect).
+    /// Number of shard processes in the topology (a gauge; set once at
+    /// connect — `partitions * replicas`).
     pub shards: AtomicU64,
+    /// Number of partitions in the topology (a gauge; set at connect).
+    pub partitions: AtomicU64,
+    /// Replication factor (a gauge; set at connect).
+    pub replicas: AtomicU64,
     /// Shard fan-outs performed (one per distributed operation, not per
     /// shard request).
     pub fanouts_total: AtomicU64,
     /// Shard requests that failed (transport error or non-2xx).
     pub shard_errors_total: AtomicU64,
+    /// Same-replica retries after a transport failure (each one paid a
+    /// capped, jittered backoff first).
+    pub retries_total: AtomicU64,
+    /// Failovers to the next replica after a replica was exhausted.
+    pub failovers_total: AtomicU64,
+    /// Hedged store fetches fired because the preferred replica ran
+    /// past the hedge latency threshold.
+    pub hedges_total: AtomicU64,
+    /// Breakers currently not closed (a gauge; refreshed on render).
+    pub breaker_open: AtomicU64,
+    /// Breaker transitions into the open state.
+    pub breaker_opens_total: AtomicU64,
+    /// Half-open probes admitted against suspect replicas.
+    pub breaker_probes_total: AtomicU64,
     /// Store fetches retried because a shard moved generations between
     /// the pin poll and the fetch.
     pub stale_retries_total: AtomicU64,
@@ -28,6 +47,11 @@ pub struct ClusterMetrics {
     pub level_cache_misses_total: AtomicU64,
     /// Rows routed to shards by live ingestion.
     pub ingest_rows_routed_total: AtomicU64,
+    /// Rows replayed to a recovered replica that missed writes.
+    pub catchup_rows_total: AtomicU64,
+    /// Degraded-mode answers served with a coverage envelope
+    /// (`allow_partial` requests that skipped dead partitions).
+    pub partial_answers_total: AtomicU64,
 }
 
 impl ClusterMetrics {
@@ -38,16 +62,26 @@ impl ClusterMetrics {
     /// Text exposition, appended to the coordinator's `/metrics` body.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut out = String::with_capacity(1024);
-        let series: [(&str, &str, &AtomicU64); 8] = [
+        let mut out = String::with_capacity(2048);
+        let series: [(&str, &str, &AtomicU64); 18] = [
             ("om_cluster_shards", "gauge", &self.shards),
+            ("om_cluster_partitions", "gauge", &self.partitions),
+            ("om_cluster_replicas", "gauge", &self.replicas),
             ("om_cluster_fanouts_total", "counter", &self.fanouts_total),
             ("om_cluster_shard_errors_total", "counter", &self.shard_errors_total),
+            ("om_cluster_retries_total", "counter", &self.retries_total),
+            ("om_cluster_failovers_total", "counter", &self.failovers_total),
+            ("om_cluster_hedges_total", "counter", &self.hedges_total),
+            ("om_cluster_breaker_open", "gauge", &self.breaker_open),
+            ("om_cluster_breaker_opens_total", "counter", &self.breaker_opens_total),
+            ("om_cluster_breaker_probes_total", "counter", &self.breaker_probes_total),
             ("om_cluster_stale_retries_total", "counter", &self.stale_retries_total),
             ("om_cluster_store_refreshes_total", "counter", &self.store_refreshes_total),
             ("om_cluster_level_cache_hits_total", "counter", &self.level_cache_hits_total),
             ("om_cluster_level_cache_misses_total", "counter", &self.level_cache_misses_total),
             ("om_cluster_ingest_rows_routed_total", "counter", &self.ingest_rows_routed_total),
+            ("om_cluster_catchup_rows_total", "counter", &self.catchup_rows_total),
+            ("om_cluster_partial_answers_total", "counter", &self.partial_answers_total),
         ];
         for (name, kind, counter) in series {
             out.push_str("# TYPE ");
@@ -73,21 +107,35 @@ mod tests {
         let m = ClusterMetrics::default();
         m.shards.store(4, Ordering::Relaxed);
         ClusterMetrics::add(&m.fanouts_total, 3);
+        ClusterMetrics::add(&m.retries_total, 2);
+        ClusterMetrics::add(&m.hedges_total, 1);
         let text = m.render();
         for name in [
             "om_cluster_shards",
+            "om_cluster_partitions",
+            "om_cluster_replicas",
             "om_cluster_fanouts_total",
             "om_cluster_shard_errors_total",
+            "om_cluster_retries_total",
+            "om_cluster_failovers_total",
+            "om_cluster_hedges_total",
+            "om_cluster_breaker_open",
+            "om_cluster_breaker_opens_total",
+            "om_cluster_breaker_probes_total",
             "om_cluster_stale_retries_total",
             "om_cluster_store_refreshes_total",
             "om_cluster_level_cache_hits_total",
             "om_cluster_level_cache_misses_total",
             "om_cluster_ingest_rows_routed_total",
+            "om_cluster_catchup_rows_total",
+            "om_cluster_partial_answers_total",
         ] {
             assert!(text.contains(&format!("# TYPE {name} ")), "{name} untyped");
             assert!(text.contains(&format!("\n{name} ")) || text.starts_with(&format!("{name} ")), "{name} missing");
         }
         assert!(text.contains("om_cluster_shards 4"));
         assert!(text.contains("om_cluster_fanouts_total 3"));
+        assert!(text.contains("om_cluster_retries_total 2"));
+        assert!(text.contains("om_cluster_hedges_total 1"));
     }
 }

@@ -45,6 +45,36 @@ pub fn route_fields(fields: &[impl AsRef<str>], n_shards: usize) -> usize {
     (row_hash(fields) % n_shards as u64) as usize
 }
 
+/// The ordered replica set serving one partition: `replicas` distinct
+/// global shard indices drawn from the partition's contiguous block of
+/// the flat shard-address list (`[p·R, (p+1)·R)` for partition `p` at
+/// replication factor `R`).
+///
+/// The *order* is the coordinator's preference order for reads: the
+/// first entry is contacted first, the rest are failover / hedge
+/// targets. The preferred slot rotates with the partition index so a
+/// healthy cluster spreads read load across replica slots instead of
+/// hammering slot 0 of every partition.
+///
+/// Like [`route_fields`], this is a pure function of its arguments —
+/// every process (provisioning tool, coordinator, re-partitioner)
+/// derives the same topology from the same flat address list.
+///
+/// # Panics
+/// `replicas` must be non-zero and `partition` must be in
+/// `0..n_partitions`.
+#[must_use]
+pub fn replica_set(partition: usize, n_partitions: usize, replicas: usize) -> Vec<usize> {
+    assert!(replicas > 0, "replication factor must be at least 1");
+    assert!(
+        partition < n_partitions,
+        "partition {partition} out of range for {n_partitions} partition(s)"
+    );
+    (0..replicas)
+        .map(|k| partition * replicas + (partition + k) % replicas)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +121,51 @@ mod tests {
             n in 1usize..16,
         ) {
             prop_assert!(route_fields(&as_fields(&raw), n) < n);
+        }
+
+        /// Replica sets are a pure function of the topology: a second
+        /// process (a restarted coordinator) derives the same ordered
+        /// set for every partition.
+        #[test]
+        fn replica_sets_are_deterministic(p in 0usize..32, extra in 0usize..32, r in 1usize..5) {
+            let n = p + extra + 1;
+            prop_assert_eq!(replica_set(p, n, r), replica_set(p, n, r));
+        }
+
+        /// A replica set holds exactly `R` *distinct* shards, all drawn
+        /// from the partition's own contiguous block.
+        #[test]
+        fn replica_sets_hold_r_distinct_shards(p in 0usize..32, extra in 0usize..32, r in 1usize..5) {
+            let n = p + extra + 1;
+            let set = replica_set(p, n, r);
+            prop_assert_eq!(set.len(), r);
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), r, "replica set {:?} repeats a shard", set);
+            for &g in &set {
+                prop_assert!(g >= p * r && g < (p + 1) * r,
+                    "replica {} escapes partition {}'s block at R={}", g, p, r);
+            }
+        }
+
+        /// Killing any single replica leaves full coverage at `R >= 2`:
+        /// no partition is left with zero live replicas, because one
+        /// global shard index belongs to exactly one partition's set.
+        #[test]
+        fn single_replica_loss_keeps_full_coverage(n in 1usize..16, r in 2usize..5, kill_seed in 0usize..1024) {
+            let killed = kill_seed % (n * r);
+            for p in 0..n {
+                let live: Vec<usize> = replica_set(p, n, r)
+                    .into_iter()
+                    .filter(|&g| g != killed)
+                    .collect();
+                prop_assert!(
+                    !live.is_empty(),
+                    "killing shard {} left partition {} of {} uncovered at R={}",
+                    killed, p, n, r
+                );
+            }
         }
 
         /// Distinct rows spread within 2x of uniform: over `k` random

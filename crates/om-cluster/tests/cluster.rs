@@ -138,6 +138,7 @@ fn coordinator_is_byte_identical_to_single_node() {
             v1: "ph1".into(),
             v2: "ph2".into(),
             class: "dropped".into(),
+            allow_partial: None,
         };
         let (status, _) = assert_identical(coord, single, "/v1/compare", &compare.encode());
         assert_eq!(status, 200);
@@ -187,7 +188,11 @@ fn coordinator_is_byte_identical_to_single_node() {
             coord,
             single,
             "/v1/gi",
-            &om_api::GiRequest { top: Some(4) }.encode(),
+            &om_api::GiRequest {
+                top: Some(4),
+                allow_partial: None,
+            }
+            .encode(),
         );
         assert_eq!(status, 200);
 
@@ -299,6 +304,11 @@ fn shard_lost_after_connect_yields_503_envelope() {
         shard_addrs: addrs.clone(),
         shard_timeout: Duration::from_secs(2),
         retry_after_secs: 7,
+        // One failure opens the breaker for 7s, so the 503's hint is
+        // derived from the breaker's actual half-open time.
+        breaker_threshold: 1,
+        breaker_open: Duration::from_secs(7),
+        fetch_retries: 0,
         ..ClusterConfig::default()
     })
     .unwrap();
@@ -309,6 +319,7 @@ fn shard_lost_after_connect_yields_503_envelope() {
         v1: "ph1".into(),
         v2: "ph2".into(),
         class: "dropped".into(),
+        allow_partial: None,
     }
     .encode();
     let (status, _) = cc.post("/v1/compare", &compare).unwrap();
@@ -326,7 +337,24 @@ fn shard_lost_after_connect_yields_503_envelope() {
         "envelope names the lost shard: {}",
         env.message
     );
-    assert_eq!(env.retry_after_ms, Some(7_000), "Retry-After hint rides along");
+    // The hint is the breaker's remaining open window, not a constant:
+    // just under the configured 7s, and shrinking on the next ask.
+    let first = env.retry_after_ms.expect("Retry-After hint rides along");
+    assert!(
+        first > 6_000 && first <= 7_000,
+        "hint {first}ms should be the breaker's remaining open time (~7s)"
+    );
+    std::thread::sleep(Duration::from_millis(150));
+    let (status, body) = cc.post("/v1/compare", &compare).unwrap();
+    assert_eq!(status, 503);
+    let again = om_api::ErrorEnvelope::parse(&body)
+        .unwrap()
+        .retry_after_ms
+        .expect("hint present while the breaker is open");
+    assert!(
+        again < first,
+        "hint must track the breaker window: {again}ms after {first}ms"
+    );
 
     // The slice path (no engine budget involved) degrades the same way.
     let slice = om_api::SliceRequest {
@@ -405,6 +433,7 @@ fn distributed_ingest_routes_and_stays_identical() {
             v1: "ph1".into(),
             v2: "ph2".into(),
             class: "dropped".into(),
+            allow_partial: None,
         };
         let (status, _) = assert_identical(coord, single, "/v1/compare", &compare.encode());
         assert_eq!(status, 200);
@@ -420,6 +449,450 @@ fn distributed_ingest_routes_and_stays_identical() {
         );
         assert_eq!(status, 200);
     });
+}
+
+/// Spin up a `partitions x replicas` topology of in-process servers
+/// (replicas of a partition share the partition's engine) plus a
+/// single-node twin, with fast failover tuning for chaos tests.
+fn replicated_fixture(
+    partitions: usize,
+    replicas: usize,
+) -> (
+    Arc<Coordinator>,
+    Server,
+    Vec<Option<Server>>,
+    Vec<String>,
+    Server,
+) {
+    let ds = scenario(12_000, 42);
+    let twin_om = Arc::new(OpportunityMap::build(ds, EngineConfig::default()).unwrap());
+    let parts = partition_dataset(twin_om.dataset(), partitions).unwrap();
+    let mut shard_servers: Vec<Option<Server>> = Vec::new();
+    for part in parts {
+        let om = Arc::new(OpportunityMap::build(part, EngineConfig::default()).unwrap());
+        for _ in 0..replicas {
+            shard_servers.push(Some(Server::start(Arc::clone(&om), server_config()).unwrap()));
+        }
+    }
+    let addrs: Vec<String> = shard_servers
+        .iter()
+        .map(|s| s.as_ref().unwrap().local_addr().to_string())
+        .collect();
+    let coordinator = Arc::new(
+        Coordinator::connect(ClusterConfig {
+            shard_addrs: addrs.clone(),
+            replicas,
+            shard_timeout: Duration::from_secs(5),
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(10),
+            breaker_open: Duration::from_millis(200),
+            ..ClusterConfig::default()
+        })
+        .unwrap(),
+    );
+    let coord = Server::start_custom(Arc::clone(&coordinator) as _, server_config()).unwrap();
+    let single = Server::start(twin_om, server_config()).unwrap();
+    (coordinator, coord, shard_servers, addrs, single)
+}
+
+fn compare_body() -> String {
+    om_api::CompareRequest {
+        attr: "PhoneModel".into(),
+        v1: "ph1".into(),
+        v2: "ph2".into(),
+        class: "dropped".into(),
+        allow_partial: None,
+    }
+    .encode()
+}
+
+fn metric_value(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("{name} missing from /metrics"))
+}
+
+#[test]
+fn replicated_cluster_survives_one_replica_per_partition() {
+    let (_, coord, mut shard_servers, _, single) = replicated_fixture(2, 2);
+    let cc = client(&coord);
+    let sc = client(&single);
+
+    // Healthy warm-up: byte-identical, no failovers.
+    let (status, _) = assert_identical(&cc, &sc, "/v1/compare", &compare_body());
+    assert_eq!(status, 200);
+
+    // Kill the PREFERRED replica of every partition: every read now
+    // has to retry, open the breaker and fail over — while staying
+    // byte-identical to the single node.
+    for p in 0..2 {
+        let g = om_cluster::replica_set(p, 2, 2)[0];
+        shard_servers[g].take().unwrap().shutdown();
+    }
+    for body in [
+        compare_body(),
+        om_api::GiRequest {
+            top: Some(4),
+            allow_partial: None,
+        }
+        .encode(),
+    ] {
+        let path = if body.contains("attr") { "/v1/compare" } else { "/v1/gi" };
+        let (status, _) = assert_identical(&cc, &sc, path, &body);
+        assert_eq!(status, 200, "degraded-but-replicated cluster must stay 200");
+    }
+    let slice = om_api::SliceRequest {
+        attr: "PhoneModel".into(),
+        by: Some("TimeOfCall".into()),
+    };
+    let (status, _) = assert_identical(&cc, &sc, "/v1/cube/slice", &slice.encode());
+    assert_eq!(status, 200);
+
+    // The fault-tolerance machinery actually engaged, and says so.
+    let (_, metrics) = cc.get("/metrics").unwrap();
+    assert!(metric_value(&metrics, "om_cluster_failovers_total") >= 1, "{metrics}");
+    assert!(metric_value(&metrics, "om_cluster_retries_total") >= 1);
+    assert!(metric_value(&metrics, "om_cluster_breaker_opens_total") >= 1);
+    assert!(metric_value(&metrics, "om_cluster_shard_errors_total") >= 1);
+    assert!(metric_value(&metrics, "om_cluster_breaker_open") >= 1);
+
+    coord.shutdown();
+    single.shutdown();
+    for s in shard_servers.into_iter().flatten() {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn whole_partition_loss_defaults_to_503_and_degrades_on_opt_in() {
+    let (_, coord, mut shard_servers, addrs, single) = replicated_fixture(2, 2);
+    let cc = client(&coord);
+
+    // At full strength, allow_partial is inert: byte-identical to the
+    // plain request, no coverage key on the wire.
+    let plain = compare_body();
+    let opted = om_api::CompareRequest {
+        allow_partial: Some(true),
+        ..om_api::CompareRequest::parse(&plain).unwrap()
+    }
+    .encode();
+    let (ps, pb) = cc.post("/v1/compare", &plain).unwrap();
+    let (os, ob) = cc.post("/v1/compare", &opted).unwrap();
+    assert_eq!((ps, pb.as_str()), (os, ob.as_str()), "allow_partial changed a full answer");
+    assert!(!ob.contains("\"coverage\""));
+
+    // Lose BOTH replicas of partition 1.
+    let members = om_cluster::replica_set(1, 2, 2);
+    for &g in &members {
+        shard_servers[g].take().unwrap().shutdown();
+    }
+
+    // Default contract: all-or-nothing 503 naming the partition, with
+    // every replica's evidence.
+    let (status, body) = cc.post("/v1/compare", &plain).unwrap();
+    assert_eq!(status, 503, "{body}");
+    let env = om_api::ErrorEnvelope::parse(&body).unwrap();
+    assert_eq!(env.code, om_api::ErrorCode::Overloaded);
+    assert!(env.message.contains("partition 1"), "{}", env.message);
+    for &g in &members {
+        assert!(
+            env.message.contains(&addrs[g]),
+            "envelope lists replica {g}: {}",
+            env.message
+        );
+    }
+    assert!(env.retry_after_ms.is_some());
+
+    // Opt-in contract: a 200 from the live partition, with the gap
+    // spelled out in the coverage envelope.
+    let (status, body) = cc.post("/v1/compare", &opted).unwrap();
+    assert_eq!(status, 200, "allow_partial must degrade, not fail: {body}");
+    let resp = om_api::CompareResponse::parse(&body).unwrap();
+    let coverage = resp.coverage.expect("partial answer carries coverage");
+    assert_eq!(coverage.partitions_total, 2);
+    assert_eq!(coverage.partitions_answered, 1);
+    assert_eq!(coverage.missing_partitions, vec![1]);
+    for &g in &members {
+        assert!(coverage.missing_shards.contains(&addrs[g]));
+    }
+    assert!(
+        coverage.rows_covered_pct > 0.0 && coverage.rows_covered_pct < 100.0,
+        "pct {} must be a strict partial",
+        coverage.rows_covered_pct
+    );
+
+    // GI degrades the same way.
+    let gi = om_api::GiRequest {
+        top: Some(4),
+        allow_partial: Some(true),
+    };
+    let (status, body) = cc.post("/v1/gi", &gi.encode()).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"coverage\""));
+
+    // Batch items cannot opt in: the batch is all-or-nothing.
+    let batch = om_api::BatchRequest {
+        items: vec![om_api::BatchItemRequest::Compare {
+            req: om_api::CompareRequest {
+                allow_partial: Some(true),
+                ..om_api::CompareRequest::parse(&plain).unwrap()
+            },
+            budget_ms: None,
+        }],
+    };
+    // Per-item failures become per-item envelopes inside a 200 batch
+    // response; the rejected item must not touch the degraded cluster.
+    let (status, body) = cc.post("/v1/compare/batch", &batch.encode()).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("all-or-nothing"), "{body}");
+
+    // The degraded answers were counted.
+    let (_, metrics) = cc.get("/metrics").unwrap();
+    assert!(metric_value(&metrics, "om_cluster_partial_answers_total") >= 2);
+
+    coord.shutdown();
+    single.shutdown();
+    for s in shard_servers.into_iter().flatten() {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn rejoined_replica_catches_up_and_takes_over() {
+    // One partition, two replicas, live ingestion. Replica B misses a
+    // batch while down, rejoins on its original port, is caught up by
+    // replay — and then must carry the cluster alone when A dies.
+    let ds = scenario(8_000, 42);
+    let part = partition_dataset(
+        &OpportunityMap::build(ds.clone(), EngineConfig::default())
+            .unwrap()
+            .dataset()
+            .clone(),
+        1,
+    )
+    .unwrap()
+    .remove(0);
+    let wal_root = std::env::temp_dir().join(format!("om-cluster-rejoin-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_root);
+
+    let start_replica = |name: &str, addr: Option<String>| {
+        let om = Arc::new(OpportunityMap::build(part.clone(), EngineConfig::default()).unwrap());
+        let handle = om
+            .start_ingest(&IngestConfig {
+                sync_writes: false,
+                ..IngestConfig::new(wal_root.join(name))
+            })
+            .unwrap();
+        let config = ServerConfig {
+            addr: addr.unwrap_or_else(|| "127.0.0.1:0".to_owned()),
+            ..server_config()
+        };
+        let server =
+            Server::start_with_ingest(Arc::clone(&om), config, Some(handle.clone())).unwrap();
+        (server, handle)
+    };
+    let (server_a, handle_a) = start_replica("a", None);
+    let (server_b, handle_b) = start_replica("b", None);
+    let addr_b = server_b.local_addr().to_string();
+
+    let coordinator = Arc::new(
+        Coordinator::connect(ClusterConfig {
+            shard_addrs: vec![server_a.local_addr().to_string(), addr_b.clone()],
+            replicas: 2,
+            ingest: true,
+            shard_timeout: Duration::from_secs(5),
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(10),
+            breaker_open: Duration::from_millis(100),
+            ..ClusterConfig::default()
+        })
+        .unwrap(),
+    );
+    let coord = Server::start_custom(Arc::clone(&coordinator) as _, server_config()).unwrap();
+    let cc = client(&coord);
+
+    // Rows both replicas can parse: verbatim labels of real records.
+    let om = OpportunityMap::build(ds, EngineConfig::default()).unwrap();
+    let prepared = om.dataset();
+    let schema = prepared.schema();
+    let rows: Vec<Vec<String>> = (0..80)
+        .map(|r| {
+            (0..schema.n_attributes())
+                .map(|a| {
+                    let id = prepared.categorical(a).unwrap()[r];
+                    schema.attribute(a).domain().label(id).unwrap().to_owned()
+                })
+                .collect()
+        })
+        .collect();
+
+    // Batch 1 lands on both replicas.
+    let batch1 = om_api::IngestRequest {
+        rows: rows[..40].to_vec(),
+    }
+    .encode();
+    let (status, body) = cc.post("/v1/ingest", &batch1).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // B dies; batch 2 is acked by A alone and queued for B.
+    server_b.shutdown();
+    handle_b.shutdown();
+    let batch2 = om_api::IngestRequest {
+        rows: rows[40..].to_vec(),
+    }
+    .encode();
+    let (status, body) = cc.post("/v1/ingest", &batch2).unwrap();
+    assert_eq!(status, 200, "one live replica must be enough to ack: {body}");
+    assert!(
+        coordinator.degraded_addrs().contains(&addr_b),
+        "B is degraded while down"
+    );
+
+    // B rejoins on its original address (std listeners set SO_REUSEADDR
+    // on Unix), replaying batch 1 from its own WAL; the coordinator's
+    // replay supplies the missed batch 2.
+    let (server_b2, handle_b2) = start_replica("b", Some(addr_b.clone()));
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    loop {
+        // Empty ingest batches are pure stats writes that reach every
+        // replica: they half-open the breaker and trigger replay.
+        let (status, _) = cc
+            .post("/v1/ingest", &om_api::IngestRequest { rows: Vec::new() }.encode())
+            .unwrap();
+        assert_eq!(status, 200);
+        if coordinator.degraded_addrs().is_empty() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "B never caught up; still degraded: {:?}",
+            coordinator.degraded_addrs()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let (_, metrics) = cc.get("/metrics").unwrap();
+    assert_eq!(
+        metric_value(&metrics, "om_cluster_catchup_rows_total"),
+        40,
+        "exactly the missed batch is replayed"
+    );
+
+    // A dies. B — caught up — must now hold the whole partition, and
+    // its answer must reflect every ingested row.
+    server_a.shutdown();
+    handle_a.shutdown();
+    handle_b2.flush().unwrap();
+    let (status, via_b) = cc.post("/v1/compare", &compare_body()).unwrap();
+    assert_eq!(status, 200, "B alone must carry the partition: {via_b}");
+
+    // Ground truth: a fresh single node over the same base + all 80 rows.
+    let (reference, ref_handle) = start_replica("reference", None);
+    let rc = client(&reference);
+    rc.post("/v1/ingest", &batch1).unwrap();
+    rc.post("/v1/ingest", &batch2).unwrap();
+    ref_handle.flush().unwrap();
+    let (status, want) = rc.post("/v1/compare", &compare_body()).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(via_b, want, "catch-up replay must restore byte-identity");
+
+    coord.shutdown();
+    server_b2.shutdown();
+    handle_b2.shutdown();
+    reference.shutdown();
+    ref_handle.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_root);
+}
+
+#[cfg(feature = "failpoints")]
+mod failpoints {
+    use super::*;
+    use om_fault::fail::{self, Action};
+    use parking_lot::Mutex;
+
+    /// Failpoint state is process-global; these tests must not overlap.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn small_fixture(
+        replicas: usize,
+        tune: impl FnOnce(&mut ClusterConfig),
+    ) -> (Arc<Coordinator>, Server, Vec<Server>) {
+        let ds = scenario(4_000, 11);
+        let om = Arc::new(OpportunityMap::build(ds, EngineConfig::default()).unwrap());
+        let part = partition_dataset(om.dataset(), 1).unwrap().remove(0);
+        let shard_om = Arc::new(OpportunityMap::build(part, EngineConfig::default()).unwrap());
+        let shards: Vec<Server> = (0..replicas)
+            .map(|_| Server::start(Arc::clone(&shard_om), server_config()).unwrap())
+            .collect();
+        let mut config = ClusterConfig {
+            shard_addrs: shards.iter().map(|s| s.local_addr().to_string()).collect(),
+            replicas,
+            ..ClusterConfig::default()
+        };
+        tune(&mut config);
+        let coordinator = Arc::new(Coordinator::connect(config).unwrap());
+        let coord = Server::start_custom(Arc::clone(&coordinator) as _, server_config()).unwrap();
+        (coordinator, coord, shards)
+    }
+
+    #[test]
+    fn slow_store_fetch_triggers_a_hedge_that_wins() {
+        let _serial = SERIAL.lock();
+        // Both replicas answer the store fetch 80ms late; with a 20ms
+        // hedge threshold the coordinator races the second replica
+        // instead of waiting, and the request still answers 200.
+        let (_, coord, shards) = small_fixture(2, |c| {
+            c.hedge_after = Some(Duration::from_millis(20));
+        });
+        let cc = client(&coord);
+        fail::configure(
+            "server.internal-store",
+            Action::Delay(Duration::from_millis(80)),
+        );
+        let (status, body) = cc.post("/v1/compare", &compare_body()).unwrap();
+        fail::remove("server.internal-store");
+        assert_eq!(status, 200, "{body}");
+        let (_, metrics) = cc.get("/metrics").unwrap();
+        assert!(
+            metric_value(&metrics, "om_cluster_hedges_total") >= 1,
+            "a hedge must have fired: {metrics}"
+        );
+        coord.shutdown();
+        for s in shards {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn whole_request_deadline_bounds_a_stalled_shard() {
+        let _serial = SERIAL.lock();
+        // The shard stalls 3s inside the store handler; the client's
+        // whole-request deadline (300ms) must cut the request off and
+        // surface a typed 503 long before the stall ends.
+        let (_, coord, shards) = small_fixture(1, |c| {
+            c.shard_timeout = Duration::from_millis(300);
+            c.fetch_retries = 0;
+        });
+        let cc = client(&coord);
+        fail::configure(
+            "server.internal-store",
+            Action::Delay(Duration::from_secs(3)),
+        );
+        let started = std::time::Instant::now();
+        let (status, body) = cc.post("/v1/compare", &compare_body()).unwrap();
+        let elapsed = started.elapsed();
+        fail::remove("server.internal-store");
+        assert_eq!(status, 503, "{body}");
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "deadline must bound the stall: took {elapsed:?}"
+        );
+        coord.shutdown();
+        for s in shards {
+            s.shutdown();
+        }
+    }
 }
 
 #[test]

@@ -48,6 +48,8 @@ pub const SEAMS: &[&str] = &[
     "server.respond",      // om-server: response serialization boundary
     "exec.rank",           // om-exec: sharded rank worker body
     "exec.batch-group",    // om-exec: batch group dispatch
+    "cluster.fetch",       // om-cluster: per-replica pinned store fetch
+    "server.internal-store", // om-server: shard-side /internal/store handler
 ];
 
 /// What an armed failpoint does when its seam is crossed.

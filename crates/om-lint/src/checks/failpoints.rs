@@ -24,8 +24,8 @@ const NAME: &str = "failpoint-names";
 
 /// Subsystem prefixes that make a bare dotted string literal in test
 /// code count as a failpoint name.
-const SEAM_PREFIXES: [&str; 7] = [
-    "compare.", "cube.", "store.", "ingest.", "engine.", "server.", "exec.",
+const SEAM_PREFIXES: [&str; 8] = [
+    "compare.", "cube.", "store.", "ingest.", "engine.", "server.", "exec.", "cluster.",
 ];
 
 /// File-ish suffixes that disqualify a dotted literal (`"wal.rs"`,

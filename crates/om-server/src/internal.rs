@@ -100,6 +100,13 @@ fn schema(om: &OpportunityMap) -> Response {
 }
 
 fn store(req: &Request, om: &OpportunityMap, wire: &StoreWireCache) -> Response {
+    // Chaos seam: delay or fail the shard-side store fetch — the
+    // coordinator's hedged fetches and whole-request deadline are
+    // exercised against exactly this handler. Compiles to nothing
+    // without `failpoints`.
+    if let Err(e) = om_fault::fail::inject("server.internal-store") {
+        return Response::error(500, &e.to_string());
+    }
     let Some(expect) = req.params.get("expect") else {
         return Response::error(400, "missing required parameter \"expect\"");
     };

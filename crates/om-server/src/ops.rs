@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use om_api::{ErrorCode, ErrorEnvelope};
+use om_api::{CoverageWire, ErrorCode, ErrorEnvelope};
 use om_compare::{CompareConfig, ComparisonResult, ComparisonSpec, DrillConfig, DrillLevel};
 use om_engine::{
     BatchItem, BatchOutcome, Budget, Condition, EngineError, GiReport, IngestError, IngestHandle,
@@ -136,6 +136,40 @@ pub trait EngineOps: Send + Sync {
     /// # Errors
     /// Miner errors, budget overrun, unavailability.
     fn run_general_impressions(&self, budget: &Budget) -> Result<GiReport, OpsError>;
+
+    /// [`EngineOps::run_compare_by_name`], but with the caller opting
+    /// into a degraded partial answer: a distributed backend may answer
+    /// from the live subset of its partitions and report the gap in the
+    /// returned [`CoverageWire`]. `None` coverage means full coverage. A
+    /// single node always has full coverage, so the default delegates
+    /// and never degrades.
+    ///
+    /// # Errors
+    /// Same as [`EngineOps::run_compare_by_name`].
+    fn run_compare_by_name_partial(
+        &self,
+        attr: &str,
+        value_1: &str,
+        value_2: &str,
+        class: &str,
+        budget: &Budget,
+    ) -> Result<(ComparisonResult, Option<CoverageWire>), OpsError> {
+        self.run_compare_by_name(attr, value_1, value_2, class, budget)
+            .map(|r| (r, None))
+    }
+
+    /// [`EngineOps::run_general_impressions`] with partial-answer
+    /// opt-in; same contract as
+    /// [`EngineOps::run_compare_by_name_partial`].
+    ///
+    /// # Errors
+    /// Same as [`EngineOps::run_general_impressions`].
+    fn run_general_impressions_partial(
+        &self,
+        budget: &Budget,
+    ) -> Result<(GiReport, Option<CoverageWire>), OpsError> {
+        self.run_general_impressions(budget).map(|r| (r, None))
+    }
 
     /// Pin one store generation for a cube-slice read. The resident
     /// backend ignores `budget` — slices read precomputed counts, and

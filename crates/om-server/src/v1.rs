@@ -72,6 +72,7 @@ pub(crate) fn compare_wire(r: &ComparisonResult) -> CompareResponse {
         n2: r.n2,
         ranked: r.ranked.iter().map(attr_score_wire).collect(),
         property_attributes: r.property_attrs.iter().map(attr_score_wire).collect(),
+        coverage: None,
     }
 }
 
@@ -137,6 +138,7 @@ pub(crate) fn gi_wire(report: &GiReport, top: usize) -> GiResponse {
                 info_gain: r.info_gain,
             })
             .collect(),
+        coverage: None,
     }
 }
 
@@ -202,6 +204,14 @@ fn compare(
     opts: &RouteOptions,
 ) -> Result<Response, ErrorEnvelope> {
     let body = CompareRequest::parse(&req.body).map_err(bad_request)?;
+    if body.allow_partial == Some(true) {
+        let (result, coverage) = ops
+            .run_compare_by_name_partial(&body.attr, &body.v1, &body.v2, &body.class, &opts.budget)
+            .map_err(|e| ops_envelope(&e, opts))?;
+        let mut wire = compare_wire(&result);
+        wire.coverage = coverage;
+        return Ok(Response::json(wire.encode()));
+    }
     let result = ops
         .run_compare_by_name(&body.attr, &body.v1, &body.v2, &body.class, &opts.budget)
         .map_err(|e| ops_envelope(&e, opts))?;
@@ -283,6 +293,14 @@ fn gi(req: &Request, ops: &dyn EngineOps, opts: &RouteOptions) -> Result<Respons
     let top = body
         .top
         .map_or(10, |t| usize::try_from(t).unwrap_or(usize::MAX));
+    if body.allow_partial == Some(true) {
+        let (report, coverage) = ops
+            .run_general_impressions_partial(&opts.budget)
+            .map_err(|e| ops_envelope(&e, opts))?;
+        let mut wire = gi_wire(&report, top);
+        wire.coverage = coverage;
+        return Ok(Response::json(wire.encode()));
+    }
     let report = ops
         .run_general_impressions(&opts.budget)
         .map_err(|e| ops_envelope(&e, opts))?;
@@ -401,6 +419,13 @@ fn resolve_batch_item(
 ) -> Result<BatchItem, ErrorEnvelope> {
     match item {
         BatchItemRequest::Compare { req, budget_ms } => {
+            if req.allow_partial.is_some() {
+                return Err(ErrorEnvelope::new(
+                    ErrorCode::Invalid,
+                    "batch compare items are always all-or-nothing; \
+                     \"allow_partial\" is only accepted on /v1/compare",
+                ));
+            }
             let spec = ops
                 .spec_by_name(&req.attr, &req.v1, &req.v2, &req.class)
                 .map_err(|e| ops_envelope(&e, opts))?;
@@ -448,9 +473,15 @@ fn batch(
         .collect();
     let runnable: Vec<BatchItem> = resolved.iter().filter_map(|r| r.clone().ok()).collect();
     let drill_config = drill_config_for(ops, None, None);
-    let outcomes = ops
-        .run_batch(&runnable, &drill_config, &opts.budget)
-        .map_err(|e| ops_envelope(&e, opts))?;
+    // Nothing runnable means nothing to execute: don't touch the engine
+    // (a clustered backend would needlessly pin a store generation) —
+    // the per-item envelopes already tell the whole story.
+    let outcomes = if runnable.is_empty() {
+        Vec::new()
+    } else {
+        ops.run_batch(&runnable, &drill_config, &opts.budget)
+            .map_err(|e| ops_envelope(&e, opts))?
+    };
     let mut outcomes = outcomes.into_iter();
     let items = resolved
         .into_iter()

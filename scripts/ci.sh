@@ -22,6 +22,9 @@ cargo test -p om-ingest --features failpoints -q
 echo "==> cargo test -p om-exec --test determinism -q (parallel == serial, byte-for-byte)"
 cargo test -p om-exec --test determinism -q
 
+echo "==> cargo test -p om-cluster --features failpoints -q (fault-tolerance suite incl. hedging + deadline)"
+cargo test -p om-cluster --features failpoints -q
+
 echo "==> om-lint fixtures (check self-test corpus)"
 cargo run -q -p om-lint -- fixtures
 
@@ -50,6 +53,9 @@ echo "==> cargo clippy -p om-cluster --all-targets -- -D warnings (both feature 
 cargo clippy -p om-cluster --all-targets -- -D warnings
 cargo clippy -p om-cluster --features failpoints --all-targets -- -D warnings
 
+echo "==> cargo clippy -p om-cli --features failpoints --all-targets -- -D warnings"
+cargo clippy -p om-cli --features failpoints --all-targets -- -D warnings
+
 echo "==> ingest_throughput bench (smoke)"
 OM_BENCH_SMOKE=1 cargo bench -p om-bench --bench ingest_throughput
 
@@ -71,9 +77,27 @@ echo "==> cluster loopback smoke (4 shards, byte-identity incl. concurrent inges
 target/release/opmap cluster --shards 4 --records 6000 --requests 200 \
   --verify --ingest
 
+echo "==> replicated cluster chaos smoke (2 partitions x 2 replicas)"
+# Kills the preferred replica of every partition mid-load (zero 5xx
+# expected under replication), WAL-revives them, proves whole-partition
+# loss degrades into an allow_partial coverage envelope, and ends with
+# byte-identity against a single node over the union.
+target/release/opmap cluster --shards 2 --replicas 2 --records 6000 \
+  --requests 200 --verify --chaos --ingest \
+  --bench-out target/cluster-replicated-smoke.json
+cat target/cluster-replicated-smoke.json
+
+echo "==> replicated chaos smoke under failpoints (delayed store fetches)"
+# The failpoints build config must hold the same guarantees while every
+# shard's store handler is slowed; exercises retry + deadline paths.
+OM_FAILPOINTS="server.internal-store=delay:5" \
+  cargo run -q -p om-cli --features failpoints -- cluster \
+  --shards 2 --replicas 2 --records 4000 --requests 120 \
+  --verify --chaos --ingest
+
 echo "==> cluster_loopback bench (smoke)"
 # Absolute path: cargo runs the bench with the package dir as CWD.
-OM_BENCH_SMOKE=1 OM_BENCH_OUT="$PWD/target/BENCH_6.smoke.json" \
+OM_BENCH_SMOKE=1 OM_BENCH_OUT="$PWD/target/BENCH_7.smoke.json" \
   cargo bench -p om-bench --bench cluster_loopback
 
 echo "==> ci OK"

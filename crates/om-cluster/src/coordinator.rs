@@ -197,6 +197,25 @@ const LEVEL_CACHE_CAP: usize = 512;
 
 type LevelCache = HashMap<(CondKey, Vec<usize>), Arc<CubeStore>>;
 
+/// One replica's catch-up state: rows it missed while down, plus a
+/// flag marking a replay in flight. Rows stay queued until the replay
+/// *succeeds*, so concurrent callers never mistake a mid-replay
+/// replica for a caught-up one — and the replayer does its network
+/// round trips without holding this lock.
+#[derive(Default)]
+struct CatchupQueue {
+    rows: Vec<Vec<String>>,
+    in_flight: bool,
+}
+
+/// What `flush_catchup` found: the replica is ready to serve, or a
+/// replay is already in flight elsewhere (skip the replica, but do not
+/// penalise its breaker — contention is not evidence of unhealth).
+enum Catchup {
+    Ready,
+    Busy,
+}
+
 /// Every replica of one partition was skipped or exhausted; carries the
 /// per-replica evidence for the `503` envelope.
 struct PartitionDown {
@@ -237,6 +256,33 @@ fn fetch_store_once(shard: &ShardClient, expect: u64) -> Result<Fetch, String> {
     }
 }
 
+/// Record one hedged-fetch outcome in the shared breaker and counters.
+/// A free function over `Arc`-shared state because hedge workers can
+/// outlive the fetch that spawned them: the coordinator returns on the
+/// first success, and a loser's result landing after that must *still*
+/// be reported — an unreported half-open probe wedges its breaker at
+/// Deny (and a worker's failure must open breakers even when nobody is
+/// listening).
+fn record_fetch_outcome(
+    health: &Health,
+    metrics: &ClusterMetrics,
+    g: usize,
+    result: &Result<Fetch, String>,
+) {
+    match result {
+        // Fresh and Stale (409) both prove the replica transport is
+        // healthy; so does a 4xx, where only the request is at fault.
+        Ok(_) => health.record_success(g),
+        Err(msg) if is_request_fault(msg) => health.record_success(g),
+        Err(_) => {
+            ClusterMetrics::add(&metrics.shard_errors_total, 1);
+            if health.record_failure(g) {
+                ClusterMetrics::add(&metrics.breaker_opens_total, 1);
+            }
+        }
+    }
+}
+
 /// The coordinator for one shard topology. See the module docs.
 pub struct Coordinator {
     shards: Vec<ShardClient>,
@@ -261,7 +307,7 @@ pub struct Coordinator {
     backoff_salt: AtomicU64,
     /// Per-replica rows that missed a write (replica down at ingest
     /// time), replayed in order when the replica recovers.
-    catchup: Vec<Mutex<Vec<Vec<String>>>>,
+    catchup: Vec<Mutex<CatchupQueue>>,
     /// Per-partition base-partition row count (fixed at connect).
     part_base_rows: Vec<u64>,
     /// Per-partition authoritative live-ingested row count: the highest
@@ -365,10 +411,61 @@ impl Coordinator {
             HealthConfig {
                 threshold: config.breaker_threshold,
                 open_for: config.breaker_open,
+                // A legitimate probe is bounded by the catch-up replay
+                // (two round trips) plus the request itself, each
+                // clamped to the whole-request timeout.
+                probe_timeout: config
+                    .shard_timeout
+                    .saturating_mul(3)
+                    .saturating_add(config.breaker_open),
             },
         ));
-        let catchup = (0..shards.len()).map(|_| Mutex::new(Vec::new())).collect();
-        let part_ingested = (0..n_partitions).map(|_| AtomicU64::new(0)).collect();
+        let catchup = (0..shards.len())
+            .map(|_| Mutex::new(CatchupQueue::default()))
+            .collect();
+        // Catch-up queues are in-memory only: a coordinator restart
+        // drops any rows queued for a down replica. Cross-check the
+        // replicas' durable row counts here so a partition whose
+        // replicas diverged while no coordinator was watching is
+        // refused instead of silently serving mismatched stores (the
+        // generation-pinned merge relies on replicas sealing at
+        // identical row counts), and seed the per-partition targets
+        // from the durable counts rather than zero.
+        let mut part_ingested_seed = vec![0u64; n_partitions];
+        if config.ingest {
+            for (p, seed) in part_ingested_seed.iter_mut().enumerate() {
+                let mut agreed: Option<(usize, u64)> = None;
+                for g in replica_set(p, n_partitions, config.replicas) {
+                    let Some(shard) = shards.get(g) else { continue };
+                    let body = shard
+                        .expect_ok("POST", "/v1/ingest", Some("{\"rows\":[]}"))
+                        .map_err(|e| {
+                            format!("shard {g} ({}): ingest probe failed: {e}", shard.addr())
+                        })?;
+                    let rows = IngestResponse::parse(&body)
+                        .map_err(|e| {
+                            format!("shard {g} ({}): bad ingest probe response: {e}", shard.addr())
+                        })?
+                        .rows_total;
+                    match agreed {
+                        None => agreed = Some((g, rows)),
+                        Some((g0, rows0)) if rows0 != rows => {
+                            return Err(format!(
+                                "partition {p} replicas disagree on durable ingested rows: \
+                                 shard {g0} has {rows0}, shard {g} ({}) has {rows}; the \
+                                 replicas diverged while no coordinator was replaying missed \
+                                 writes — re-seed the lagging replica from its peer's WAL \
+                                 before reconnecting",
+                                shard.addr()
+                            ));
+                        }
+                        Some(_) => {}
+                    }
+                }
+                *seed = agreed.map_or(0, |(_, rows)| rows);
+            }
+        }
+        let part_ingested = part_ingested_seed.into_iter().map(AtomicU64::new).collect();
         Ok(Self {
             shards,
             om,
@@ -429,7 +526,7 @@ impl Coordinator {
             .enumerate()
             .filter(|(g, _)| {
                 !self.health.is_closed(*g)
-                    || self.catchup.get(*g).is_some_and(|q| !q.lock().is_empty())
+                    || self.catchup.get(*g).is_some_and(|q| !q.lock().rows.is_empty())
             })
             .map(|(_, s)| s.addr().to_owned())
             .collect()
@@ -495,17 +592,54 @@ impl Coordinator {
     /// first (an empty ingest batch is a pure stats read) and only the
     /// genuinely missing tail is resent — a write whose ack was lost is
     /// never double-applied.
-    fn flush_catchup(&self, g: usize, shard: &ShardClient) -> Result<(), String> {
+    ///
+    /// The network round trips run *outside* the queue lock: the lock
+    /// is taken only to snapshot the queue (setting `in_flight`) and to
+    /// commit the outcome. Rows stay queued until the replay succeeds,
+    /// and concurrent callers see `in_flight` and skip the replica —
+    /// so a mid-replay replica is never mistaken for a caught-up one
+    /// and never accepts new direct writes out of order.
+    fn flush_catchup(&self, g: usize, shard: &ShardClient) -> Result<Catchup, String> {
         if !self.ingest {
-            return Ok(());
+            return Ok(Catchup::Ready);
         }
         let Some(slot) = self.catchup.get(g) else {
-            return Ok(());
+            return Ok(Catchup::Ready);
         };
+        let batch = {
+            let mut queue = slot.lock();
+            if queue.in_flight {
+                return Ok(Catchup::Busy);
+            }
+            if queue.rows.is_empty() {
+                return Ok(Catchup::Ready);
+            }
+            queue.in_flight = true;
+            queue.rows.clone()
+        };
+        let result = self.replay_missed_rows(g, shard, &batch);
         let mut queue = slot.lock();
-        if queue.is_empty() {
-            return Ok(());
+        queue.in_flight = false;
+        match result {
+            Ok(()) => {
+                // Drop exactly the snapshot we replayed; rows queued
+                // while the replay was in flight stay for the next one.
+                let replayed = batch.len().min(queue.rows.len());
+                queue.rows.drain(..replayed);
+                Ok(Catchup::Ready)
+            }
+            Err(msg) => Err(msg),
         }
+    }
+
+    /// The network half of [`Self::flush_catchup`]: probe the replica's
+    /// durable row count, resend only the tail it actually lacks.
+    fn replay_missed_rows(
+        &self,
+        g: usize,
+        shard: &ShardClient,
+        batch: &[Vec<String>],
+    ) -> Result<(), String> {
         let probe = shard.expect_ok("POST", "/v1/ingest", Some("{\"rows\":[]}"))?;
         let have = IngestResponse::parse(&probe)?.rows_total;
         let target = self
@@ -514,10 +648,10 @@ impl Coordinator {
             .map_or(0, |t| t.load(Ordering::Relaxed));
         let missing = usize::try_from(target.saturating_sub(have))
             .unwrap_or(usize::MAX)
-            .min(queue.len());
+            .min(batch.len());
         if missing > 0 {
-            let tail = queue
-                .get(queue.len() - missing..)
+            let tail = batch
+                .get(batch.len() - missing..)
                 .map(<[Vec<String>]>::to_vec)
                 .unwrap_or_default();
             let body = IngestRequest { rows: tail }.encode();
@@ -525,7 +659,6 @@ impl Coordinator {
             IngestResponse::parse(&resp)?;
             ClusterMetrics::add(&self.metrics.catchup_rows_total, missing as u64);
         }
-        queue.clear();
         Ok(())
     }
 
@@ -552,10 +685,17 @@ impl Coordinator {
                 Admission::Probe => ClusterMetrics::add(&self.metrics.breaker_probes_total, 1),
                 Admission::Allow => {}
             }
-            if let Err(msg) = self.flush_catchup(g, shard) {
-                self.note_failure(g);
-                failures.push((g, format!("catch-up replay failed: {msg}")));
-                continue;
+            match self.flush_catchup(g, shard) {
+                Ok(Catchup::Ready) => {}
+                Ok(Catchup::Busy) => {
+                    failures.push((g, "catch-up replay in progress; skipped".to_owned()));
+                    continue;
+                }
+                Err(msg) => {
+                    self.note_failure(g);
+                    failures.push((g, format!("catch-up replay failed: {msg}")));
+                    continue;
+                }
             }
             let mut attempt = 0u32;
             loop {
@@ -565,6 +705,11 @@ impl Coordinator {
                         return Ok(v);
                     }
                     Err(msg) if is_request_fault(&msg) => {
+                        // The replica answered — its transport is fine;
+                        // only the request is at fault. Recording the
+                        // success matters for a half-open probe, which
+                        // would otherwise stay wedged at Deny.
+                        self.health.record_success(g);
                         failures.push((g, msg));
                         return Err(PartitionDown { partition, failures });
                     }
@@ -649,6 +794,13 @@ impl Coordinator {
 
     /// Launch the next admissible candidate's fetch on a detached
     /// worker. Returns `true` when a worker was actually launched.
+    ///
+    /// Admission happens *here*, at launch time — never for candidates
+    /// that may end up unlaunched. A half-open probe admitted up front
+    /// but abandoned by an early return would leave its breaker wedged
+    /// at Deny forever. The worker records its own outcome in the
+    /// shared breaker, so even results arriving after the coordinator
+    /// stopped listening are reported.
     fn launch_hedged_fetch(
         &self,
         candidates: &[usize],
@@ -662,18 +814,36 @@ impl Coordinator {
             let Some(shard) = self.shards.get(g) else {
                 continue;
             };
-            if let Err(msg) = self.flush_catchup(g, shard) {
-                self.note_failure(g);
-                failures.push((g, format!("catch-up replay failed: {msg}")));
-                continue;
+            match self.health.admit(g) {
+                Admission::Deny => {
+                    failures.push((g, "circuit breaker open (recent failures); skipped".to_owned()));
+                    continue;
+                }
+                Admission::Probe => ClusterMetrics::add(&self.metrics.breaker_probes_total, 1),
+                Admission::Allow => {}
+            }
+            match self.flush_catchup(g, shard) {
+                Ok(Catchup::Ready) => {}
+                Ok(Catchup::Busy) => {
+                    failures.push((g, "catch-up replay in progress; skipped".to_owned()));
+                    continue;
+                }
+                Err(msg) => {
+                    self.note_failure(g);
+                    failures.push((g, format!("catch-up replay failed: {msg}")));
+                    continue;
+                }
             }
             let shard = shard.clone();
             let tx = tx.clone();
+            let health = Arc::clone(&self.health);
+            let metrics = Arc::clone(&self.metrics);
             std::thread::spawn(move || {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     fetch_store_once(&shard, expect)
                 }))
                 .unwrap_or_else(|_| Err("store fetch worker panicked".to_owned()));
+                record_fetch_outcome(&health, &metrics, g, &result);
                 let _ = tx.send((g, result));
             });
             return true;
@@ -683,28 +853,17 @@ impl Coordinator {
 
     /// The hedged store fetch: the preferred replica goes first; if it
     /// is still pending after `hedge_after`, the next replica is raced
-    /// against it and the first success wins. Losers are abandoned
-    /// (their whole-request deadline bounds them).
+    /// against it and the first success wins. Losers run on until their
+    /// whole-request deadline and record their own breaker outcomes, so
+    /// the early return never strands an admitted probe.
     fn fetch_partition_store_hedged(
         &self,
         partition: usize,
         expect: u64,
         hedge_after: Duration,
     ) -> Result<Fetch, PartitionDown> {
-        let mut candidates: Vec<usize> = Vec::new();
+        let candidates = replica_set(partition, self.n_partitions, self.replicas);
         let mut failures: Vec<(usize, String)> = Vec::new();
-        for g in replica_set(partition, self.n_partitions, self.replicas) {
-            match self.health.admit(g) {
-                Admission::Deny => {
-                    failures.push((g, "circuit breaker open (recent failures); skipped".to_owned()));
-                }
-                Admission::Probe => {
-                    ClusterMetrics::add(&self.metrics.breaker_probes_total, 1);
-                    candidates.push(g);
-                }
-                Admission::Allow => candidates.push(g),
-            }
-        }
         let (tx, rx) = mpsc::channel::<(usize, Result<Fetch, String>)>();
         let mut next = 0usize;
         let mut pending = 0usize;
@@ -724,14 +883,20 @@ impl Coordinator {
             } else {
                 self.backoff_cap.max(Duration::from_secs(60))
             };
+            // Health outcomes are recorded by the workers themselves
+            // (see `launch_hedged_fetch`); this loop only steers.
             match rx.recv_timeout(wait) {
-                Ok((g, Ok(fetch))) => {
-                    self.health.record_success(g);
+                Ok((_, Ok(fetch))) => {
                     return Ok(fetch);
+                }
+                Ok((g, Err(msg))) if is_request_fault(&msg) => {
+                    // A 4xx is the request's fault: every replica would
+                    // answer identically, so hedging further is futile.
+                    failures.push((g, msg));
+                    return Err(PartitionDown { partition, failures });
                 }
                 Ok((g, Err(msg))) => {
                     pending -= 1;
-                    self.note_failure(g);
                     failures.push((g, msg));
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -1028,11 +1193,19 @@ impl Coordinator {
                 Admission::Probe => ClusterMetrics::add(&self.metrics.breaker_probes_total, 1),
                 Admission::Allow => {}
             }
-            if let Err(msg) = self.flush_catchup(g, shard) {
-                self.note_failure(g);
-                failures.push((g, format!("catch-up replay failed: {msg}")));
-                missed.push(g);
-                continue;
+            match self.flush_catchup(g, shard) {
+                Ok(Catchup::Ready) => {}
+                Ok(Catchup::Busy) => {
+                    failures.push((g, "catch-up replay in progress; skipped".to_owned()));
+                    missed.push(g);
+                    continue;
+                }
+                Err(msg) => {
+                    self.note_failure(g);
+                    failures.push((g, format!("catch-up replay failed: {msg}")));
+                    missed.push(g);
+                    continue;
+                }
             }
             let outcome = shard
                 .expect_ok("POST", "/v1/ingest", Some(&body))
@@ -1056,7 +1229,10 @@ impl Coordinator {
                 Err(msg) if is_request_fault(&msg) => {
                     // The batch itself is bad: every replica would
                     // reject it identically, so fail the partition
-                    // without queueing anything.
+                    // without queueing anything. The replica answered,
+                    // though — record the success so a half-open probe
+                    // closes instead of wedging at Deny.
+                    self.health.record_success(g);
                     failures.push((g, msg));
                     return Err(PartitionDown { partition, failures });
                 }
@@ -1076,7 +1252,7 @@ impl Coordinator {
         if !sub.is_empty() {
             for g in missed {
                 if let Some(queue) = self.catchup.get(g) {
-                    queue.lock().extend(sub.iter().cloned());
+                    queue.lock().rows.extend(sub.iter().cloned());
                 }
             }
         }

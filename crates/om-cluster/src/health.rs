@@ -22,7 +22,10 @@
 //! * **HalfOpen** — exactly one caller is admitted as a *probe*; its
 //!   outcome closes the breaker or re-opens it. Concurrent callers are
 //!   denied while the probe is in flight (no thundering herd on a
-//!   recovering process).
+//!   recovering process). A probe whose outcome is never reported (a
+//!   crashed worker, a dropped result channel) must not deny the
+//!   address forever: after `probe_timeout` the breaker re-admits a
+//!   fresh probe.
 //!
 //! The module is deliberately free of request semantics: callers decide
 //! what a probe does (the coordinator replays missed ingest rows before
@@ -38,6 +41,13 @@ pub struct HealthConfig {
     pub threshold: u32,
     /// How long an open breaker rejects before half-opening a probe.
     pub open_for: Duration,
+    /// How long a half-open probe may stay unreported before the
+    /// breaker grants a fresh probe instead of denying forever. Must
+    /// comfortably exceed the longest legitimate probe (whole-request
+    /// timeout plus catch-up replay); a duplicate probe admitted past
+    /// the deadline is harmless — both outcomes are absorbed by the
+    /// state machine.
+    pub probe_timeout: Duration,
 }
 
 impl Default for HealthConfig {
@@ -45,6 +55,7 @@ impl Default for HealthConfig {
         Self {
             threshold: 3,
             open_for: Duration::from_secs(2),
+            probe_timeout: Duration::from_secs(90),
         }
     }
 }
@@ -53,7 +64,7 @@ impl Default for HealthConfig {
 enum State {
     Closed,
     Open { until: Instant },
-    HalfOpen,
+    HalfOpen { since: Instant },
 }
 
 #[derive(Debug)]
@@ -105,12 +116,23 @@ impl Health {
             return Admission::Allow;
         };
         let mut s = slot.lock();
+        let now = Instant::now();
         match s.state {
             State::Closed => Admission::Allow,
-            State::HalfOpen => Admission::Deny,
+            State::HalfOpen { since } => {
+                // The in-flight probe's outcome was lost (or it is
+                // pathologically slow): grant a replacement rather
+                // than wedging the address at Deny.
+                if now.saturating_duration_since(since) >= self.config.probe_timeout {
+                    s.state = State::HalfOpen { since: now };
+                    Admission::Probe
+                } else {
+                    Admission::Deny
+                }
+            }
             State::Open { until } => {
-                if Instant::now() >= until {
-                    s.state = State::HalfOpen;
+                if now >= until {
+                    s.state = State::HalfOpen { since: now };
                     Admission::Probe
                 } else {
                     Admission::Deny
@@ -139,7 +161,7 @@ impl Health {
         s.consecutive_failures = s.consecutive_failures.saturating_add(1);
         let open_now = match s.state {
             // A failed half-open probe re-opens immediately.
-            State::HalfOpen => true,
+            State::HalfOpen { .. } => true,
             State::Closed => s.consecutive_failures >= self.config.threshold,
             // Already open (a request admitted before the trip reports
             // late): re-arm the window, but it is not a new open.
@@ -166,7 +188,7 @@ impl Health {
         let s = self.states.get(idx)?.lock();
         match s.state {
             State::Closed => None,
-            State::HalfOpen => Some(self.config.open_for),
+            State::HalfOpen { .. } => Some(self.config.open_for),
             State::Open { until } => Some(until.saturating_duration_since(Instant::now())),
         }
     }
@@ -228,6 +250,7 @@ mod tests {
         HealthConfig {
             threshold: 2,
             open_for: Duration::from_millis(40),
+            probe_timeout: Duration::from_secs(90),
         }
     }
 
@@ -279,10 +302,32 @@ mod tests {
     }
 
     #[test]
+    fn unreported_probe_expires_and_readmits() {
+        let h = Health::new(1, HealthConfig {
+            threshold: 1,
+            open_for: Duration::from_millis(10),
+            probe_timeout: Duration::from_millis(40),
+        });
+        h.record_failure(0);
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(h.admit(0), Admission::Probe);
+        // The probe's outcome is lost. Before the deadline the address
+        // stays denied…
+        assert_eq!(h.admit(0), Admission::Deny);
+        std::thread::sleep(Duration::from_millis(50));
+        // …and after it a replacement probe is granted instead of
+        // wedging the address at Deny forever.
+        assert_eq!(h.admit(0), Admission::Probe);
+        h.record_success(0);
+        assert_eq!(h.admit(0), Admission::Allow);
+    }
+
+    #[test]
     fn retry_after_tracks_the_open_window() {
         let h = Health::new(2, HealthConfig {
             threshold: 1,
             open_for: Duration::from_secs(7),
+            probe_timeout: Duration::from_secs(90),
         });
         assert_eq!(h.min_retry_after(0..2), None);
         h.record_failure(1);

@@ -805,6 +805,120 @@ fn rejoined_replica_catches_up_and_takes_over() {
     let _ = std::fs::remove_dir_all(&wal_root);
 }
 
+#[test]
+fn hedged_fetch_never_strands_a_half_open_probe() {
+    // Regression: the hedged fetch used to admit every replica's
+    // breaker up front, so a half-open probe admitted for a candidate
+    // the race never launched (the preferred replica answered before
+    // the hedge timer) was never reported — wedging the breaker at
+    // Deny and keeping the replica out of the cluster forever. With
+    // lazy admission the probe is only granted when a worker actually
+    // launches, and workers report their own outcomes; a rejoined
+    // replica must therefore always settle back to healthy.
+    let ds = scenario(6_000, 42);
+    let part = partition_dataset(
+        &OpportunityMap::build(ds, EngineConfig::default())
+            .unwrap()
+            .dataset()
+            .clone(),
+        1,
+    )
+    .unwrap()
+    .remove(0);
+    let wal_root = std::env::temp_dir().join(format!("om-cluster-hedge-wedge-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_root);
+    let start_replica = |name: &str, addr: Option<String>| {
+        let om = Arc::new(OpportunityMap::build(part.clone(), EngineConfig::default()).unwrap());
+        let handle = om
+            .start_ingest(&IngestConfig {
+                sync_writes: false,
+                ..IngestConfig::new(wal_root.join(name))
+            })
+            .unwrap();
+        let config = ServerConfig {
+            addr: addr.unwrap_or_else(|| "127.0.0.1:0".to_owned()),
+            ..server_config()
+        };
+        let server =
+            Server::start_with_ingest(Arc::clone(&om), config, Some(handle.clone())).unwrap();
+        (server, handle)
+    };
+    let (server_a, handle_a) = start_replica("a", None);
+    let (server_b, handle_b) = start_replica("b", None);
+    let addr_b = server_b.local_addr().to_string();
+
+    let coordinator = Arc::new(
+        Coordinator::connect(ClusterConfig {
+            shard_addrs: vec![server_a.local_addr().to_string(), addr_b.clone()],
+            replicas: 2,
+            ingest: true,
+            shard_timeout: Duration::from_secs(2),
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(10),
+            breaker_open: Duration::from_millis(100),
+            // A hedge threshold the fast, healthy replica A never
+            // trips: replica B's half-open breaker becomes a candidate
+            // the race considers but never launches.
+            hedge_after: Some(Duration::from_secs(5)),
+            ..ClusterConfig::default()
+        })
+        .unwrap(),
+    );
+    let coord = Server::start_custom(Arc::clone(&coordinator) as _, server_config()).unwrap();
+    let cc = client(&coord);
+
+    // B dies; empty ingest batches (pure stats writes that fan out to
+    // every replica) push its breaker past the threshold.
+    server_b.shutdown();
+    handle_b.shutdown();
+    let empty = om_api::IngestRequest { rows: Vec::new() }.encode();
+    for _ in 0..3 {
+        let (status, body) = cc.post("/v1/ingest", &empty).unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+    assert!(
+        coordinator.degraded_addrs().contains(&addr_b),
+        "B's breaker must be open"
+    );
+
+    // Let the breaker's open window elapse, then run hedged reads: B
+    // is now probe-eligible, but A answers long before the 5s hedge
+    // threshold, so B is never actually fetched from.
+    std::thread::sleep(Duration::from_millis(150));
+    for _ in 0..3 {
+        let (status, body) = cc.post("/v1/compare", &compare_body()).unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+
+    // B rejoins on its original address. The next ingest probes must
+    // re-admit it promptly — with the probe-leak bug its breaker stays
+    // wedged at Deny until (at best) the health layer's probe-timeout
+    // backstop, several seconds out; the tight deadline catches the
+    // leak even with that backstop in place.
+    let (server_b2, handle_b2) = start_replica("b", Some(addr_b));
+    let deadline = std::time::Instant::now() + Duration::from_secs(3);
+    loop {
+        let (status, _) = cc.post("/v1/ingest", &empty).unwrap();
+        assert_eq!(status, 200);
+        if coordinator.degraded_addrs().is_empty() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "B never recovered; the half-open probe was stranded: {:?}",
+            coordinator.degraded_addrs()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    coord.shutdown();
+    server_a.shutdown();
+    handle_a.shutdown();
+    server_b2.shutdown();
+    handle_b2.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_root);
+}
+
 #[cfg(feature = "failpoints")]
 mod failpoints {
     use super::*;

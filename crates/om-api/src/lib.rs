@@ -46,11 +46,12 @@ pub use internal::{
 };
 pub use json::{Json, JsonError};
 pub use request::{
-    BatchItemRequest, BatchRequest, CompareRequest, DrillRequest, GiRequest, IngestRequest,
-    PathStep, SliceRequest,
+    BatchItemRequest, BatchRequest, CompareRequest, DrillRequest, ExploreCompareBlock,
+    ExploreRequest, GiRequest, IngestRequest, PathStep, SliceRequest,
 };
 pub use response::{
     AttrScoreWire, BatchItemResult, BatchResponse, CompareResponse, CoverageWire, DrillLevelWire,
-    DrillResponse, ExceptionWire, GiResponse, InfluenceWire, IngestResponse, PairCellWire,
-    PairDimWire, SliceResponse, SliceValueWire, TrendWire, ValueContributionWire,
+    DrillResponse, ExceptionWire, ExploreCompareWire, ExploreCondWire, ExploreResponse,
+    ExploreSummaryWire, GiResponse, InfluenceWire, IngestResponse, PairCellWire, PairDimWire,
+    SliceResponse, SliceValueWire, TrendWire, ValueContributionWire,
 };

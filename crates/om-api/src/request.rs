@@ -4,7 +4,7 @@
 //! `v2`, `class`, `depth`, `min_score`, `top`, `by`), so migrating a
 //! client is a mechanical move from the query string into a JSON body.
 
-use crate::de::{check_keys, opt_bool, opt_f64, opt_str, opt_u64, req_arr, req_str};
+use crate::de::{check_keys, opt_bool, opt_f64, opt_str, opt_u64, req_arr, req_str, req_u64};
 use crate::json::Json;
 
 #[allow(clippy::cast_precision_loss)]
@@ -414,6 +414,119 @@ impl BatchRequest {
     }
 }
 
+/// The comparison block of an [`ExploreRequest`]: anchors
+/// `explore_compare` mode. Field names match `/v1/compare`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreCompareBlock {
+    pub attr: String,
+    pub v1: String,
+    pub v2: String,
+    pub class: String,
+}
+
+impl ExploreCompareBlock {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("attr".to_owned(), Json::Str(self.attr.clone())),
+            ("v1".to_owned(), Json::Str(self.v1.clone())),
+            ("v2".to_owned(), Json::Str(self.v2.clone())),
+            ("class".to_owned(), Json::Str(self.class.clone())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        check_keys(v, &["attr", "v1", "v2", "class"])?;
+        Ok(Self {
+            attr: req_str(v, "attr")?,
+            v1: req_str(v, "v1")?,
+            v2: req_str(v, "v2")?,
+            class: req_str(v, "class")?,
+        })
+    }
+}
+
+/// `POST /v1/explore` — smart drill-down: top-k rule summaries by
+/// weighted coverage over an optional slice, or — with `compare` —
+/// over both compared sub-populations, interleaved by distinguishing
+/// mass. `slice` and `compare` are mutually exclusive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreRequest {
+    /// Conditions restricting the explored population (at most one —
+    /// the store answers one- and two-dimensional conjunctions
+    /// exactly). Empty = whole population.
+    pub slice: Vec<PathStep>,
+    /// Number of summaries to return.
+    pub k: u64,
+    /// Widest conjunction per summary, slice included; server default
+    /// (2) when absent.
+    pub max_conditions: Option<u64>,
+    /// Per-request budget; the server narrows its own deadline to this,
+    /// returning a `truncated` partial when it expires mid-run.
+    pub budget_ms: Option<u64>,
+    /// Switch to `explore_compare` mode.
+    pub compare: Option<ExploreCompareBlock>,
+}
+
+impl ExploreRequest {
+    fn fields(&self) -> Vec<(String, Json)> {
+        let mut fields = Vec::new();
+        if !self.slice.is_empty() {
+            fields.push((
+                "slice".to_owned(),
+                Json::Arr(self.slice.iter().map(PathStep::to_json).collect()),
+            ));
+        }
+        fields.push(("k".to_owned(), num_u64(self.k)));
+        if let Some(mc) = self.max_conditions {
+            fields.push(("max_conditions".to_owned(), num_u64(mc)));
+        }
+        if let Some(ms) = self.budget_ms {
+            fields.push(("budget_ms".to_owned(), num_u64(ms)));
+        }
+        if let Some(cmp) = &self.compare {
+            fields.push(("compare".to_owned(), cmp.to_json()));
+        }
+        fields
+    }
+
+    #[must_use]
+    pub fn encode(&self) -> String {
+        Json::Obj(self.fields()).encode()
+    }
+
+    /// # Errors
+    /// A message naming the malformed field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        check_keys(v, &["slice", "k", "max_conditions", "budget_ms", "compare"])?;
+        let slice = match v.get("slice") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(s) => s
+                .as_arr()
+                .ok_or("field \"slice\" must be an array")?
+                .iter()
+                .map(PathStep::from_json)
+                .collect::<Result<_, _>>()?,
+        };
+        let compare = match v.get("compare") {
+            None | Some(Json::Null) => None,
+            Some(c) => Some(ExploreCompareBlock::from_json(c)?),
+        };
+        Ok(Self {
+            slice,
+            k: req_u64(v, "k")?,
+            max_conditions: opt_u64(v, "max_conditions")?,
+            budget_ms: opt_u64(v, "budget_ms")?,
+            compare,
+        })
+    }
+
+    /// # Errors
+    /// A message describing the parse or shape failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text).map_err(|e| e.to_string())?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,6 +665,53 @@ mod tests {
             ],
         };
         assert_eq!(BatchRequest::parse(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn explore_round_trips_every_shape() {
+        let bare = ExploreRequest {
+            slice: Vec::new(),
+            k: 5,
+            max_conditions: None,
+            budget_ms: None,
+            compare: None,
+        };
+        assert_eq!(bare.encode(), "{\"k\":5}");
+        assert_eq!(ExploreRequest::parse(&bare.encode()).unwrap(), bare);
+
+        let sliced = ExploreRequest {
+            slice: vec![PathStep {
+                attr: "PhoneModel".into(),
+                value: "ph2".into(),
+            }],
+            max_conditions: Some(2),
+            budget_ms: Some(250),
+            ..bare.clone()
+        };
+        assert_eq!(ExploreRequest::parse(&sliced.encode()).unwrap(), sliced);
+
+        let compare = ExploreRequest {
+            compare: Some(ExploreCompareBlock {
+                attr: "PhoneModel".into(),
+                v1: "ph1".into(),
+                v2: "ph2".into(),
+                class: "dropped".into(),
+            }),
+            ..bare
+        };
+        assert_eq!(ExploreRequest::parse(&compare.encode()).unwrap(), compare);
+    }
+
+    #[test]
+    fn explore_rejects_malformed_fields() {
+        assert!(ExploreRequest::parse("{}").unwrap_err().contains('k'));
+        assert!(ExploreRequest::parse("{\"k\":5,\"oops\":1}")
+            .unwrap_err()
+            .contains("oops"));
+        assert!(ExploreRequest::parse("{\"k\":5,\"slice\":\"x\"}")
+            .unwrap_err()
+            .contains("slice"));
+        assert!(ExploreRequest::parse("{\"k\":5,\"compare\":{\"attr\":\"a\"}}").is_err());
     }
 
     #[test]

@@ -452,6 +452,225 @@ impl DrillResponse {
     }
 }
 
+/// One condition of an explore summary, by label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreCondWire {
+    pub attr: String,
+    pub value: String,
+}
+
+/// One ranked summary of an `/v1/explore` body.
+#[derive(Debug, Clone)]
+pub struct ExploreSummaryWire {
+    /// The summary's non-⋆ conditions (slice conditions excluded).
+    pub conditions: Vec<ExploreCondWire>,
+    pub support: u64,
+    /// Marginal weighted coverage the summary earned when selected.
+    pub coverage: u64,
+    /// Per-class rule confidence, in `classes` order.
+    pub confidences: Vec<f64>,
+    /// Compare mode only: 1 = the normalized `value_1` side, 2 = the
+    /// `value_2` side. Absent otherwise.
+    pub side: Option<u64>,
+    /// Compare mode only: distinguishing mass of the condition.
+    pub mass: Option<f64>,
+}
+
+impl PartialEq for ExploreSummaryWire {
+    fn eq(&self, other: &Self) -> bool {
+        self.conditions == other.conditions
+            && self.support == other.support
+            && self.coverage == other.coverage
+            && self.confidences.len() == other.confidences.len()
+            && self
+                .confidences
+                .iter()
+                .zip(&other.confidences)
+                .all(|(&a, &b)| feq(a, b))
+            && self.side == other.side
+            && opt_feq(self.mass, other.mass)
+    }
+}
+
+impl ExploreSummaryWire {
+    fn encode_into(&self, out: &mut String) {
+        out.push_str("{\"conditions\":[");
+        for (i, c) in self.conditions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                r#"{{"attr":"{}","value":"{}"}}"#,
+                esc(&c.attr),
+                esc(&c.value)
+            );
+        }
+        let _ = write!(
+            out,
+            r#"],"support":{},"coverage":{},"confidences":["#,
+            self.support, self.coverage
+        );
+        for (i, cf) in self.confidences.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&num(*cf));
+        }
+        out.push(']');
+        if let Some(side) = self.side {
+            let _ = write!(out, r#","side":{side}"#);
+        }
+        if let Some(mass) = self.mass {
+            let _ = write!(out, r#","mass":{}"#, num(mass));
+        }
+        out.push('}');
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let conditions = req_arr(v, "conditions")?
+            .iter()
+            .map(|c| {
+                Ok(ExploreCondWire {
+                    attr: req_str(c, "attr")?,
+                    value: req_str(c, "value")?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let mass = match v.get("mass") {
+            None => None,
+            Some(Json::Null) => Some(f64::NAN),
+            Some(x) => Some(x.as_f64().ok_or("field \"mass\" must be a number")?),
+        };
+        Ok(Self {
+            conditions,
+            support: req_u64(v, "support")?,
+            coverage: req_u64(v, "coverage")?,
+            confidences: decode_f64_arr(v, "confidences")?,
+            side: match v.get("side") {
+                None | Some(Json::Null) => None,
+                Some(x) => Some(x.as_u64().ok_or("field \"side\" must be an integer")?),
+            },
+            mass,
+        })
+    }
+}
+
+/// The comparison block echoed back by an `explore_compare` body, with
+/// the comparator's normalization (`swapped`) applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreCompareWire {
+    pub attribute: String,
+    pub value_1: String,
+    pub value_2: String,
+    pub swapped: bool,
+    pub class: String,
+}
+
+impl ExploreCompareWire {
+    fn encode_into(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            r#"{{"attribute":"{}","value_1":"{}","value_2":"{}","swapped":{},"class":"{}"}}"#,
+            esc(&self.attribute),
+            esc(&self.value_1),
+            esc(&self.value_2),
+            self.swapped,
+            esc(&self.class)
+        );
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            attribute: req_str(v, "attribute")?,
+            value_1: req_str(v, "value_1")?,
+            value_2: req_str(v, "value_2")?,
+            swapped: req_bool(v, "swapped")?,
+            class: req_str(v, "class")?,
+        })
+    }
+}
+
+/// The smart drill-down body (`/v1/explore`).
+///
+/// `truncated: true` marks a budget-degraded partial: the summaries
+/// present are a valid prefix of the full answer. The `compare` block
+/// (and per-summary `side`/`mass`) appear only in compare mode, keeping
+/// plain exploration bodies free of the fields entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreResponse {
+    pub universe: u64,
+    pub covered: u64,
+    pub steps: u64,
+    pub truncated: bool,
+    /// Class labels indexing each summary's `confidences`.
+    pub classes: Vec<String>,
+    pub summaries: Vec<ExploreSummaryWire>,
+    pub compare: Option<ExploreCompareWire>,
+}
+
+impl ExploreResponse {
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            r#"{{"universe":{},"covered":{},"steps":{},"truncated":{},"classes":["#,
+            self.universe, self.covered, self.steps, self.truncated
+        );
+        for (i, c) in self.classes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", esc(c));
+        }
+        out.push_str("],\"summaries\":[");
+        for (i, s) in self.summaries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            s.encode_into(out);
+        }
+        out.push(']');
+        if let Some(cmp) = &self.compare {
+            out.push_str(",\"compare\":");
+            cmp.encode_into(out);
+        }
+        out.push('}');
+    }
+
+    /// # Errors
+    /// A message describing the shape mismatch.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            universe: req_u64(v, "universe")?,
+            covered: req_u64(v, "covered")?,
+            steps: req_u64(v, "steps")?,
+            truncated: req_bool(v, "truncated")?,
+            classes: decode_str_arr(v, "classes")?,
+            summaries: req_arr(v, "summaries")?
+                .iter()
+                .map(ExploreSummaryWire::from_json)
+                .collect::<Result<_, _>>()?,
+            compare: match v.get("compare") {
+                None | Some(Json::Null) => None,
+                Some(c) => Some(ExploreCompareWire::from_json(c)?),
+            },
+        })
+    }
+
+    /// # Errors
+    /// A message describing the parse or shape failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text).map_err(|e| e.to_string())?)
+    }
+}
+
 /// One trend entry of the GI report (`trend` is `"increasing"`,
 /// `"decreasing"` or `"stable"`; flat/none trends are not emitted).
 #[derive(Debug, Clone)]
@@ -970,6 +1189,64 @@ impl BatchResponse {
 mod tests {
     use super::*;
     use crate::error::ErrorCode;
+
+    fn sample_explore() -> ExploreResponse {
+        ExploreResponse {
+            universe: 18_000,
+            covered: 15_200,
+            steps: 5,
+            truncated: false,
+            classes: vec!["ok".into(), "dropped".into()],
+            summaries: vec![ExploreSummaryWire {
+                conditions: vec![ExploreCondWire {
+                    attr: "TimeOfCall".into(),
+                    value: "morning".into(),
+                }],
+                support: 6_100,
+                coverage: 6_100,
+                confidences: vec![0.94, 0.06],
+                side: None,
+                mass: None,
+            }],
+            compare: None,
+        }
+    }
+
+    #[test]
+    fn explore_round_trips_plain() {
+        let r = sample_explore();
+        assert_eq!(
+            r.encode(),
+            "{\"universe\":18000,\"covered\":15200,\"steps\":5,\"truncated\":false,\
+             \"classes\":[\"ok\",\"dropped\"],\"summaries\":[{\"conditions\":\
+             [{\"attr\":\"TimeOfCall\",\"value\":\"morning\"}],\"support\":6100,\
+             \"coverage\":6100,\"confidences\":[0.94,0.06]}]}"
+        );
+        assert_eq!(ExploreResponse::parse(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn explore_round_trips_compare_mode_and_truncation() {
+        let mut r = sample_explore();
+        r.truncated = true;
+        r.summaries[0].side = Some(2);
+        r.summaries[0].mass = Some(31.5);
+        r.compare = Some(ExploreCompareWire {
+            attribute: "PhoneModel".into(),
+            value_1: "ph1".into(),
+            value_2: "ph2".into(),
+            swapped: true,
+            class: "dropped".into(),
+        });
+        let body = r.encode();
+        assert!(body.contains("\"truncated\":true"));
+        assert!(body.contains("\"side\":2,\"mass\":31.5"));
+        assert!(body.ends_with(
+            "\"compare\":{\"attribute\":\"PhoneModel\",\"value_1\":\"ph1\",\
+             \"value_2\":\"ph2\",\"swapped\":true,\"class\":\"dropped\"}}"
+        ));
+        assert_eq!(ExploreResponse::parse(&body).unwrap(), r);
+    }
 
     fn sample_compare() -> CompareResponse {
         CompareResponse {

@@ -1,0 +1,105 @@
+//! explore_throughput: one memoized `explore_compare` call versus k
+//! independent drill-downs over the same comparison.
+//!
+//! `explore_compare` anchors the comparison once, then builds both
+//! sides' candidate pools in one shared scan (each pair cube fetched
+//! once, sliced twice) before the greedy picks k summaries. The naive
+//! route to k summaries — k separate drill-down calls — re-ranks the
+//! anchoring comparison every time, so the memoized form must win even
+//! on one core: the saving is shared work, not parallelism.
+//!
+//! `OM_BENCH_SMOKE=1` shrinks the workload for CI smoke runs.
+//! `OM_BENCH_OUT=<file>` additionally writes the machine-readable
+//! results JSON (the committed `BENCH_8.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use om_compare::DrillConfig;
+use om_engine::{CompareNames, EngineConfig, ExploreQuery, OpportunityMap};
+use om_synth::paper_scenario;
+
+fn main() {
+    let smoke = std::env::var("OM_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let (records, k, rounds) = if smoke { (8_000, 6, 3) } else { (50_000, 8, 10) };
+
+    println!("building engine ({records} records)…");
+    let (ds, _) = paper_scenario(records, 9);
+    let om = OpportunityMap::build(ds, EngineConfig::default()).expect("build");
+
+    let query = ExploreQuery {
+        slice: Vec::new(),
+        k,
+        max_conditions: None,
+        compare: Some(CompareNames {
+            attr: "PhoneModel".into(),
+            value_1: "ph1".into(),
+            value_2: "ph2".into(),
+            class: "dropped".into(),
+        }),
+    };
+    let drill_config = DrillConfig {
+        max_depth: 1,
+        ..DrillConfig::default()
+    };
+
+    // Warm both code paths once, untimed.
+    let report = om.run_explore(&query, om.exec_ctx(None)).expect("explore");
+    assert!(!report.truncated && !report.summaries.is_empty());
+    let _ = om
+        .run_drill_down_by_name("PhoneModel", "ph1", "ph2", "dropped", &drill_config, om.exec_ctx(None))
+        .expect("drill");
+
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let r = om.run_explore(&query, om.exec_ctx(None)).expect("explore");
+        assert_eq!(r.summaries.len(), report.summaries.len());
+    }
+    let memoized = start.elapsed();
+
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for _ in 0..k {
+            let levels = om
+                .run_drill_down_by_name(
+                    "PhoneModel",
+                    "ph1",
+                    "ph2",
+                    "dropped",
+                    &drill_config,
+                    om.exec_ctx(None),
+                )
+                .expect("drill");
+            assert!(!levels.is_empty());
+        }
+    }
+    let independent = start.elapsed();
+
+    let memoized_ms = memoized.as_secs_f64() * 1e3 / rounds as f64;
+    let independent_ms = independent.as_secs_f64() * 1e3 / rounds as f64;
+    let speedup = independent_ms / memoized_ms;
+    println!("explore_throughput/explore_compare  {memoized_ms:>10.1} ms (1 call, k={k})");
+    println!("explore_throughput/independent      {independent_ms:>10.1} ms ({k} × drill-down)");
+    println!("explore_throughput/speedup          {speedup:>10.2}x");
+
+    if let Ok(out) = std::env::var("OM_BENCH_OUT") {
+        let mut json = format!(
+            "{{\"bench\":\"explore_throughput\",\"records\":{records},\"k\":{k},\
+             \"rounds\":{rounds},\"smoke\":{smoke},"
+        );
+        let _ = write!(
+            json,
+            "\"explore_compare_ms\":{memoized_ms:.3},\"independent_drills_ms\":{independent_ms:.3},\
+             \"speedup\":{speedup:.3}}}"
+        );
+        json.push('\n');
+        std::fs::write(&out, json).expect("write OM_BENCH_OUT");
+        println!("results written to {out}");
+    }
+
+    assert!(
+        memoized < independent,
+        "memoized explore_compare ({memoized:?}) should beat {k} independent \
+         drill-downs ({independent:?})"
+    );
+}

@@ -1,0 +1,282 @@
+//! `om-bench compare` — significance-gated diff of two benchmark result
+//! files (the committed `BENCH_*.json` artifacts).
+//!
+//! Walks both JSON trees in lockstep and classifies every numeric leaf:
+//!
+//! * **Throughput** (`throughput_rps`, `*_rps`): the two runs are modeled
+//!   as Poisson request streams. Conditional on the combined request
+//!   count, the split between the runs is binomial, so a normal
+//!   approximation (om-stats' CDF) gives a p-value for "the new rate is
+//!   genuinely lower". A regression needs both statistical significance
+//!   (p < 0.01) and a practical drop (> 2%), so noise never gates CI and
+//!   tiny-but-real regressions under the practical floor pass too.
+//! * **Latency** (`p50`/`p95`/`p99`, `*_ms`, `*_us`): percentile points
+//!   carry no sample counts, so the gate is purely practical — a tail
+//!   regression is a relative increase above 10%.
+//! * Everything else numeric is reported as informational.
+//!
+//! Exit status: 0 when no metric regressed, 1 on any regression, 2 on
+//! malformed or structurally mismatched inputs.
+//!
+//! Run with: `cargo run -p om-bench --bin compare -- BASELINE.json NEW.json`
+
+use std::process::ExitCode;
+
+use om_api::Json;
+use om_stats::normal_cdf;
+
+/// Practical floor for a throughput drop to count as a regression.
+const THROUGHPUT_DROP_FLOOR: f64 = 0.02;
+/// Significance level for the throughput rate test.
+const ALPHA: f64 = 0.01;
+/// Practical floor for a latency-percentile increase.
+const LATENCY_RISE_FLOOR: f64 = 0.10;
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Kind {
+    Throughput,
+    Latency,
+    Info,
+}
+
+fn classify(path: &str) -> Kind {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if leaf.ends_with("_rps") || leaf.contains("throughput") {
+        return Kind::Throughput;
+    }
+    if matches!(leaf, "p50" | "p95" | "p99") || leaf.ends_with("_ms") || leaf.ends_with("_us") {
+        return Kind::Latency;
+    }
+    Kind::Info
+}
+
+struct Metric {
+    path: String,
+    kind: Kind,
+    old: f64,
+    new: f64,
+}
+
+/// Walk both values in lockstep, collecting numeric leaves under their
+/// shared path. Arrays pair by index; objects pair by key. A key or
+/// index present on only one side is a structural mismatch.
+fn collect(path: &str, a: &Json, b: &Json, out: &mut Vec<Metric>) -> Result<(), String> {
+    match (a, b) {
+        (Json::Num(x), Json::Num(y)) => {
+            out.push(Metric {
+                path: path.to_owned(),
+                kind: classify(path),
+                old: *x,
+                new: *y,
+            });
+            Ok(())
+        }
+        (Json::Obj(xs), Json::Obj(ys)) => {
+            for (k, x) in xs {
+                let Some((_, y)) = ys.iter().find(|(yk, _)| yk == k) else {
+                    return Err(format!("{path}.{k} is missing from the new file"));
+                };
+                let sub = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                collect(&sub, x, y, out)?;
+            }
+            if let Some((k, _)) = ys.iter().find(|(k, _)| !xs.iter().any(|(xk, _)| xk == k)) {
+                return Err(format!("{path}.{k} is missing from the baseline"));
+            }
+            Ok(())
+        }
+        (Json::Arr(xs), Json::Arr(ys)) => {
+            if xs.len() != ys.len() {
+                return Err(format!(
+                    "{path} has {} entries in the baseline but {} in the new file",
+                    xs.len(),
+                    ys.len()
+                ));
+            }
+            for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+                collect(&format!("{path}[{i}]"), x, y, out)?;
+            }
+            Ok(())
+        }
+        // Non-numeric scalars (bench name, smoke flag, …) only need to
+        // be the same shape, not the same value.
+        (Json::Str(_) | Json::Bool(_) | Json::Null, Json::Str(_) | Json::Bool(_) | Json::Null) => {
+            Ok(())
+        }
+        _ => Err(format!("{path} changed type between the files")),
+    }
+}
+
+/// One-sided p-value that the new Poisson rate is lower, conditional on
+/// the combined count: under H0 (equal rates over equal exposure) the
+/// new run's share of `x_old + x_new` requests is Binomial(n, 1/2).
+///
+/// The files record rates, not raw counts; over the benchmarks' fixed
+/// request counts the rate is proportional to the count per unit time,
+/// so the rates themselves (scaled to whole requests) are the natural
+/// event counts for the test.
+fn rate_drop_p_value(old_rps: f64, new_rps: f64) -> f64 {
+    let x_old = old_rps.round().max(0.0);
+    let x_new = new_rps.round().max(0.0);
+    let n = x_old + x_new;
+    if n <= 0.0 {
+        return 1.0;
+    }
+    let mean = n * 0.5;
+    let sd = (n * 0.25).sqrt();
+    // Continuity-corrected left tail for the new run's share.
+    normal_cdf((x_new + 0.5 - mean) / sd)
+}
+
+fn verdict(m: &Metric) -> (&'static str, bool) {
+    let rel = if m.old == 0.0 { 0.0 } else { (m.new - m.old) / m.old };
+    match m.kind {
+        Kind::Throughput => {
+            if rel >= -THROUGHPUT_DROP_FLOOR {
+                ("ok", false)
+            } else if rate_drop_p_value(m.old, m.new) < ALPHA {
+                ("REGRESSION", true)
+            } else {
+                ("ok (not significant)", false)
+            }
+        }
+        Kind::Latency => {
+            if rel > LATENCY_RISE_FLOOR {
+                ("REGRESSION", true)
+            } else {
+                ("ok", false)
+            }
+        }
+        Kind::Info => ("info", false),
+    }
+}
+
+fn run(baseline_path: &str, new_path: &str) -> Result<bool, String> {
+    let read = |p: &str| {
+        std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))
+    };
+    let baseline = Json::parse(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let fresh = Json::parse(&read(new_path)?).map_err(|e| format!("{new_path}: {e}"))?;
+    let mut metrics = Vec::new();
+    collect("", &baseline, &fresh, &mut metrics)?;
+    if metrics.is_empty() {
+        return Err("no numeric metrics in common".to_owned());
+    }
+
+    println!("{:<44} {:>12} {:>12} {:>8}  verdict", "metric", "baseline", "new", "delta");
+    let mut regressed = false;
+    for m in &metrics {
+        let (label, bad) = verdict(m);
+        let rel = if m.old == 0.0 { 0.0 } else { (m.new - m.old) / m.old * 100.0 };
+        println!(
+            "{:<44} {:>12.3} {:>12.3} {:>+7.1}%  {label}",
+            m.path, m.old, m.new, rel
+        );
+        regressed |= bad;
+    }
+    println!();
+    println!(
+        "{}: {} metric(s) compared ({} baseline, {} new)",
+        if regressed { "REGRESSED" } else { "OK" },
+        metrics.len(),
+        baseline_path,
+        new_path
+    );
+    Ok(regressed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline, fresh] = args.as_slice() else {
+        eprintln!("usage: compare <BASELINE.json> <NEW.json>");
+        return ExitCode::from(2);
+    };
+    match run(baseline, fresh) {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("compare: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(a: &str, b: &str) -> Result<Vec<Metric>, String> {
+        let mut out = Vec::new();
+        collect("", &Json::parse(a).unwrap(), &Json::parse(b).unwrap(), &mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn classifies_by_leaf_name() {
+        assert_eq!(classify("topologies[0].throughput_rps"), Kind::Throughput);
+        assert_eq!(classify("latency_ms.p95"), Kind::Latency);
+        assert_eq!(classify("drill_ms"), Kind::Latency);
+        assert_eq!(classify("bytes_total"), Kind::Info);
+    }
+
+    #[test]
+    fn equal_runs_pass() {
+        let a = r#"{"bench":"x","requests":100,"topologies":[{"throughput_rps":1000.0,"latency_ms":{"p95":1.0}}]}"#;
+        let ms = metrics(a, a).unwrap();
+        assert!(ms.iter().all(|m| !verdict(m).1));
+    }
+
+    #[test]
+    fn big_significant_drop_regresses_but_noise_does_not() {
+        let drop = Metric {
+            path: "throughput_rps".into(),
+            kind: Kind::Throughput,
+            old: 2000.0,
+            new: 1500.0,
+        };
+        assert!(verdict(&drop).1, "25% drop over thousands of requests");
+        let noise = Metric {
+            path: "throughput_rps".into(),
+            kind: Kind::Throughput,
+            old: 20.0,
+            new: 17.0,
+        };
+        assert!(
+            !verdict(&noise).1,
+            "a 15% drop over tiny counts is not significant"
+        );
+        let gain = Metric {
+            path: "throughput_rps".into(),
+            kind: Kind::Throughput,
+            old: 1500.0,
+            new: 2000.0,
+        };
+        assert!(!verdict(&gain).1);
+    }
+
+    #[test]
+    fn latency_tail_gate_is_practical() {
+        let worse = Metric {
+            path: "latency_ms.p99".into(),
+            kind: Kind::Latency,
+            old: 1.0,
+            new: 1.2,
+        };
+        assert!(verdict(&worse).1);
+        let fine = Metric {
+            path: "latency_ms.p99".into(),
+            kind: Kind::Latency,
+            old: 1.0,
+            new: 1.05,
+        };
+        assert!(!verdict(&fine).1);
+    }
+
+    #[test]
+    fn structural_mismatch_is_an_error() {
+        let a = r#"{"requests":100}"#;
+        let b = r#"{"requests":100,"extra":1}"#;
+        assert!(metrics(a, b).is_err());
+        let c = r#"{"requests":"hundred"}"#;
+        assert!(metrics(a, c).is_err());
+    }
+}

@@ -196,7 +196,7 @@ fn compare_request(v1: &str, v2: &str) -> om_api::CompareRequest {
 }
 
 /// The deterministic request mix: `(path, body, is_ingest)` for slot `i`.
-/// Rows per ingest batch in the mixed workload (one batch per 10
+/// Rows per ingest batch in the mixed workload (one batch per 12
 /// requests); the seal-round cadence is counted in these.
 const INGEST_BATCH_ROWS: usize = 4;
 
@@ -210,7 +210,7 @@ fn request_for(i: usize, ingest_rows: &[Vec<String>]) -> (String, String, bool) 
         min_score: None,
         path,
     };
-    match i % 10 {
+    match i % 12 {
         0 => ("/v1/compare".into(), compare_request("ph1", "ph2").encode(), false),
         1 => ("/v1/compare".into(), compare_request("ph1", "ph3").encode(), false),
         2 => ("/v1/compare".into(), compare_request("ph3", "ph4").encode(), false),
@@ -267,9 +267,38 @@ fn request_for(i: usize, ingest_rows: &[Vec<String>]) -> (String, String, bool) 
             .encode(),
             false,
         ),
+        9 => (
+            "/v1/explore".into(),
+            om_api::ExploreRequest {
+                slice: Vec::new(),
+                k: 6,
+                max_conditions: None,
+                budget_ms: None,
+                compare: None,
+            }
+            .encode(),
+            false,
+        ),
+        10 => (
+            "/v1/explore".into(),
+            om_api::ExploreRequest {
+                slice: Vec::new(),
+                k: 4,
+                max_conditions: None,
+                budget_ms: None,
+                compare: Some(om_api::ExploreCompareBlock {
+                    attr: "PhoneModel".into(),
+                    v1: "ph1".into(),
+                    v2: "ph2".into(),
+                    class: "dropped".into(),
+                }),
+            }
+            .encode(),
+            false,
+        ),
         _ if !ingest_rows.is_empty() => {
             // Rotate through distinct 4-row windows of the sample rows.
-            let start = (i / 10 * INGEST_BATCH_ROWS) % ingest_rows.len();
+            let start = (i / 12 * INGEST_BATCH_ROWS) % ingest_rows.len();
             let rows: Vec<Vec<String>> = (0..INGEST_BATCH_ROWS)
                 .map(|k| ingest_rows[(start + k) % ingest_rows.len()].clone())
                 .collect();
@@ -967,16 +996,23 @@ mod tests {
     #[test]
     fn request_mix_is_deterministic_and_valid_json() {
         let rows = vec![vec!["a".to_owned(); 3]];
-        for i in 0..20 {
+        for i in 0..24 {
             let (path, body, _) = request_for(i, &rows);
             assert!(path.starts_with("/v1/"), "{path}");
             assert_eq!(request_for(i, &rows).1, body);
         }
-        // Without ingest rows, slot 9 degrades to a compare.
-        let (path, _, is_ingest) = request_for(9, &[]);
+        // Slots 9 and 10 exercise smart exploration, plain and compare.
+        let (path, body, _) = request_for(9, &[]);
+        assert_eq!(path, "/v1/explore");
+        assert!(!body.contains("\"compare\""), "{body}");
+        let (path, body, _) = request_for(10, &[]);
+        assert_eq!(path, "/v1/explore");
+        assert!(body.contains("\"compare\""), "{body}");
+        // Without ingest rows, slot 11 degrades to a compare.
+        let (path, _, is_ingest) = request_for(11, &[]);
         assert_eq!(path, "/v1/compare");
         assert!(!is_ingest);
-        let (path, _, is_ingest) = request_for(9, &rows);
+        let (path, _, is_ingest) = request_for(11, &rows);
         assert_eq!(path, "/v1/ingest");
         assert!(is_ingest);
     }

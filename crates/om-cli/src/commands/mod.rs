@@ -6,6 +6,7 @@ pub mod describe;
 pub mod detail;
 pub mod drill;
 pub mod explore;
+pub mod shell;
 pub mod generate;
 pub mod gi;
 pub mod groups;

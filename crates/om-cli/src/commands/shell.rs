@@ -1,0 +1,30 @@
+//! `opmap shell` — the interactive exploration shell.
+
+use std::io::Write;
+
+use crate::args::Parsed;
+use crate::repl::run_repl;
+use crate::CliResult;
+
+const HELP: &str = "\
+opmap shell — interactive rule-cube exploration (select/slice/rollup/…)
+
+OPTIONS:
+  --data <csv>       input CSV (required)
+  --class <column>   class column name (required)
+  --bins <k>         equal-frequency bins for continuous attributes
+
+Reads commands from stdin; type 'help' inside the shell.";
+
+pub fn run(parsed: &mut Parsed, out: &mut dyn Write) -> CliResult {
+    if parsed.switch("help") {
+        writeln!(out, "{HELP}").ok();
+        return Ok(());
+    }
+    let ds = super::load_dataset(parsed)?;
+    let om = super::build_engine(parsed, ds)?;
+    parsed.reject_unknown()?;
+    let stdin = std::io::stdin().lock();
+    run_repl(&om, stdin, out);
+    Ok(())
+}

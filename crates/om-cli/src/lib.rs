@@ -74,7 +74,8 @@ USAGE:
 COMMANDS:
   generate   Generate a synthetic dataset to CSV
   describe   Summarize a dataset (shape, class skew, attribute stats)
-  explore    Interactive rule-cube exploration shell
+  explore    Smart drill-down: top-k summaries by weighted coverage
+  shell      Interactive rule-cube exploration shell
   overview   Render the overall visualization (all 2-D rule cubes, Fig. 5)
   detail     Render one attribute's detailed view (Fig. 6)
   compare    Rank attributes distinguishing two values (Figs. 7/8)
@@ -114,6 +115,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> CliResult {
         "detail" => commands::detail::run(&mut parsed, out),
         "describe" => commands::describe::run(&mut parsed, out),
         "explore" => commands::explore::run(&mut parsed, out),
+        "shell" => commands::shell::run(&mut parsed, out),
         "compare" => commands::compare::run(&mut parsed, out),
         "drill" => commands::drill::run(&mut parsed, out),
         "groups" => commands::groups::run(&mut parsed, out),

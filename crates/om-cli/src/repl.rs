@@ -1,4 +1,4 @@
-//! The interactive exploration shell (`opmap explore`).
+//! The interactive exploration shell (`opmap shell`).
 //!
 //! The deployed Opportunity Map is an interactive GUI: the analyst selects
 //! cubes, slices, dices, rolls up, inspects, compares, undoes. This REPL

@@ -92,7 +92,7 @@ fn compare_no_ci_flag_changes_scores() {
 
 #[test]
 fn command_help_screens() {
-    for cmd in ["generate", "overview", "detail", "compare", "gi", "rules"] {
+    for cmd in ["generate", "overview", "detail", "compare", "gi", "rules", "explore", "shell"] {
         let text = opmap(&[cmd, "--help"]).unwrap();
         assert!(text.contains("OPTIONS"), "{cmd}: {text}");
     }
@@ -206,6 +206,40 @@ fn drill_command_runs() {
     .unwrap();
     assert!(text.contains("level 0: unconditioned"), "{text}");
     assert!(text.contains("drill-down finished"), "{text}");
+}
+
+#[test]
+fn explore_command_picks_topk_summaries() {
+    let csv = temp_csv("calls_explore.csv");
+    opmap(&[
+        "generate", "--domain", "call-log", "--records", "20000", "--seed", "31", "--out", &csv,
+    ])
+    .unwrap();
+    let text = opmap(&[
+        "explore", "--data", &csv, "--class", "CallDisposition", "--k", "4",
+    ])
+    .unwrap();
+    assert!(text.contains("record(s) in scope"), "{text}");
+    assert!(text.contains("  1. "), "{text}");
+    assert!(text.contains("support="), "{text}");
+
+    // Compare mode labels each summary with its side of the split.
+    let text = opmap(&[
+        "explore", "--data", &csv, "--class", "CallDisposition", "--k", "4",
+        "--attr", "PhoneModel", "--v1", "ph1", "--v2", "ph2", "--target", "dropped",
+    ])
+    .unwrap();
+    assert!(text.contains("exploring both sides of PhoneModel"), "{text}");
+    assert!(text.contains("side="), "{text}");
+    assert!(text.contains("mass="), "{text}");
+
+    // A slice pins its attribute, so no summary may mention it again.
+    let slice = opmap(&[
+        "explore", "--data", &csv, "--class", "CallDisposition", "--k", "3",
+        "--slice", "TimeOfCall=morning",
+    ])
+    .unwrap();
+    assert!(!slice.contains("TimeOfCall="), "sliced attr must not reappear: {slice}");
 }
 
 #[test]

@@ -259,6 +259,83 @@ fn coordinator_is_byte_identical_to_single_node() {
 }
 
 #[test]
+fn explore_through_coordinator_is_byte_identical() {
+    // /v1/explore runs the same greedy drill-down over the
+    // coordinator's merged store as over the single-node twin, so a
+    // 2-shard coordinator must agree byte for byte on answers and on
+    // every error envelope.
+    with_cluster(2, false, |coord, single, _, _| {
+        let plain = om_api::ExploreRequest {
+            slice: Vec::new(),
+            k: 8,
+            max_conditions: None,
+            budget_ms: None,
+            compare: None,
+        };
+        let (status, body) = assert_identical(coord, single, "/v1/explore", &plain.encode());
+        assert_eq!(status, 200, "{body}");
+        let parsed = om_api::ExploreResponse::parse(&body).unwrap();
+        assert!(!parsed.truncated, "{body}");
+        assert!(!parsed.summaries.is_empty(), "{body}");
+
+        let sliced = om_api::ExploreRequest {
+            slice: vec![om_api::PathStep {
+                attr: "TimeOfCall".into(),
+                value: "morning".into(),
+            }],
+            k: 4,
+            ..plain.clone()
+        };
+        let (status, _) = assert_identical(coord, single, "/v1/explore", &sliced.encode());
+        assert_eq!(status, 200);
+
+        let compared = om_api::ExploreRequest {
+            k: 6,
+            compare: Some(om_api::ExploreCompareBlock {
+                attr: "PhoneModel".into(),
+                v1: "ph1".into(),
+                v2: "ph2".into(),
+                class: "dropped".into(),
+            }),
+            ..plain.clone()
+        };
+        let (status, body) = assert_identical(coord, single, "/v1/explore", &compared.encode());
+        assert_eq!(status, 200, "{body}");
+        let parsed = om_api::ExploreResponse::parse(&body).unwrap();
+        assert!(parsed.compare.is_some(), "{body}");
+
+        // Validation and unknown-name envelopes resolve through the same
+        // code on both sides.
+        let invalid = om_api::ExploreRequest {
+            k: 0,
+            ..plain.clone()
+        };
+        let (status, _) = assert_identical(coord, single, "/v1/explore", &invalid.encode());
+        assert_eq!(status, 422);
+        let unknown = om_api::ExploreRequest {
+            slice: vec![om_api::PathStep {
+                attr: "NoSuchAttr".into(),
+                value: "x".into(),
+            }],
+            ..plain.clone()
+        };
+        let (status, _) = assert_identical(coord, single, "/v1/explore", &unknown.encode());
+        assert_eq!(status, 404);
+
+        // A zero budget exhausts before the first summary on both sides:
+        // identical typed overload envelopes (the fixture's route budget
+        // is unlimited, so the request-level narrowing is all there is).
+        let exhausted = om_api::ExploreRequest {
+            budget_ms: Some(0),
+            ..plain.clone()
+        };
+        let (status, body) = assert_identical(coord, single, "/v1/explore", &exhausted.encode());
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("\"overloaded\""), "{body}");
+    });
+}
+
+#[test]
 fn connect_refuses_a_dead_shard() {
     // One live shard, one dead address (a bound-then-dropped listener
     // guarantees the port is closed): connect must fail and name the
@@ -976,6 +1053,33 @@ mod failpoints {
         for s in shards {
             s.shutdown();
         }
+    }
+
+    #[test]
+    fn explore_truncation_is_byte_identical_through_the_coordinator() {
+        let _serial = SERIAL.lock();
+        // `explore.step` fires at the end of every greedy iteration, and
+        // both the coordinator (merged store, in process) and the
+        // single-node twin run that loop in this test process — one
+        // arming truncates both after their first pick, and the partial
+        // envelopes must still agree byte for byte.
+        with_cluster(2, false, |coord, single, _, _| {
+            fail::configure("explore.step", Action::Error("injected stall".into()));
+            let body = om_api::ExploreRequest {
+                slice: Vec::new(),
+                k: 8,
+                max_conditions: None,
+                budget_ms: None,
+                compare: None,
+            }
+            .encode();
+            let (status, answer) = assert_identical(coord, single, "/v1/explore", &body);
+            fail::remove("explore.step");
+            assert_eq!(status, 200, "{answer}");
+            let parsed = om_api::ExploreResponse::parse(&answer).unwrap();
+            assert!(parsed.truncated, "partial answer must be marked: {answer}");
+            assert_eq!(parsed.summaries.len(), 1, "{answer}");
+        });
     }
 
     #[test]

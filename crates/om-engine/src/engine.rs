@@ -12,6 +12,7 @@ use om_cube::{CubeError, CubeStore, CubeView, SharedStore, StoreBuildOptions, St
 use om_data::{DataError, Dataset};
 use om_discretize::{discretize_all, CutPoints, Method};
 use om_exec::{rank_parallel, BatchItem, BatchOutcome, ExecConfig, Executor};
+use om_explore::{ExploreError, ExploreQuery, ExploreReport};
 use om_fault::{fail, Budget, FaultError};
 use om_ingest::{IngestConfig, IngestError, IngestHandle};
 use om_gi::{
@@ -162,6 +163,16 @@ impl From<CompareError> for EngineError {
 impl From<FaultError> for EngineError {
     fn from(e: FaultError) -> Self {
         EngineError::Fault(e)
+    }
+}
+impl From<ExploreError> for EngineError {
+    fn from(e: ExploreError) -> Self {
+        match e {
+            ExploreError::Cube(c) => EngineError::Cube(c),
+            ExploreError::Unknown(m) => EngineError::Unknown(m),
+            ExploreError::Invalid(m) => EngineError::Compare(CompareError::InvalidSpec(m)),
+            ExploreError::Fault(f) => EngineError::Fault(f),
+        }
     }
 }
 impl From<IngestError> for EngineError {
@@ -416,6 +427,40 @@ impl OpportunityMap {
                 budget,
             )?)
         }
+    }
+
+    /// Run a smart drill-down exploration under `ctx`: budgeted greedy
+    /// top-k summaries over the current snapshot, optionally chained
+    /// with the comparator (`query.compare`). A non-serial policy
+    /// shards candidate scoring across the engine's worker pool —
+    /// output is byte-identical to serial either way.
+    ///
+    /// # Errors
+    /// See [`ExploreError`] (mapped into [`EngineError`]);
+    /// [`EngineError::Fault`] when the budget expires before any
+    /// summary completes — later expiry returns a truncated report.
+    pub fn run_explore(
+        &self,
+        query: &ExploreQuery,
+        ctx: ExecCtx<'_>,
+    ) -> Result<ExploreReport, EngineError> {
+        fail::inject("engine.explore")?;
+        let unlimited = Budget::unlimited();
+        let budget = ctx.budget.unwrap_or(&unlimited);
+        let snapshot = self.store();
+        let serial = Executor::serial();
+        let exec = if ctx.exec.is_serial() {
+            &serial
+        } else {
+            &self.executor
+        };
+        Ok(om_explore::explore(
+            exec,
+            &snapshot,
+            &self.config.compare,
+            query,
+            budget,
+        )?)
     }
 
     /// [`run_compare`](Self::run_compare) by names — the exact gesture

@@ -38,3 +38,9 @@ pub use om_ingest::{IngestConfig, IngestError, IngestHandle, IngestStats};
 // directly.
 pub use om_car::Condition;
 pub use om_exec::{BatchItem, BatchOutcome, ExecConfig};
+
+// Smart drill-down: the engine surfaces om-explore's query/report types
+// so service layers need no direct om-explore dependency for typing.
+pub use om_explore::{
+    CompareNames, CondLabel, ExploreError, ExploreQuery, ExploreReport, SummaryRow,
+};

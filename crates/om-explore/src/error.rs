@@ -1,0 +1,78 @@
+//! Error type for exploration.
+
+use std::error::Error;
+use std::fmt;
+
+use om_compare::CompareError;
+use om_cube::CubeError;
+use om_fault::FaultError;
+
+/// Why an exploration failed.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// The underlying cube store failed.
+    Cube(CubeError),
+    /// A named attribute, value or class is absent from the store.
+    Unknown(String),
+    /// The query itself is malformed (k out of range, slice too wide…).
+    Invalid(String),
+    /// Budget expiry, cancellation, or an injected fault before any
+    /// summary completed. Later expiry truncates the report instead of
+    /// surfacing here.
+    Fault(FaultError),
+}
+
+impl ExploreError {
+    /// Whether this failure is load-induced (deadline / cancellation)
+    /// rather than a caller or data error — the service layer maps
+    /// overloads to 503 + Retry-After.
+    pub fn is_overload(&self) -> bool {
+        matches!(self, ExploreError::Fault(f) if f.is_overload())
+    }
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Cube(e) => write!(f, "cube store error: {e}"),
+            ExploreError::Unknown(m) | ExploreError::Invalid(m) => f.write_str(m),
+            ExploreError::Fault(e) => write!(f, "exploration fault: {e}"),
+        }
+    }
+}
+
+impl Error for ExploreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExploreError::Cube(e) => Some(e),
+            ExploreError::Fault(e) => Some(e),
+            ExploreError::Unknown(_) | ExploreError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<CubeError> for ExploreError {
+    fn from(e: CubeError) -> Self {
+        match e {
+            CubeError::Fault(f) => ExploreError::Fault(f),
+            other => ExploreError::Cube(other),
+        }
+    }
+}
+
+impl From<FaultError> for ExploreError {
+    fn from(e: FaultError) -> Self {
+        ExploreError::Fault(e)
+    }
+}
+
+impl From<CompareError> for ExploreError {
+    fn from(e: CompareError) -> Self {
+        match e {
+            CompareError::Cube(c) => c.into(),
+            CompareError::Fault(f) => ExploreError::Fault(f),
+            CompareError::InvalidSpec(m) => ExploreError::Invalid(m),
+            other => ExploreError::Invalid(other.to_string()),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Query types: what to explore, expressed in schema names so the same
+//! struct travels over the wire and works on a coordinator's merged
+//! store.
+
+/// A smart drill-down request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreQuery {
+    /// Conditions restricting the explored population, as
+    /// `(attribute, value)` label pairs. At most one condition — the
+    /// store holds one- and two-dimensional cubes. Empty = whole
+    /// population.
+    pub slice: Vec<(String, String)>,
+    /// Number of summaries to return.
+    pub k: usize,
+    /// Widest conjunction per summary, counting slice conditions.
+    /// Defaults to [`crate::MAX_CONDITIONS`]; clamped there.
+    pub max_conditions: Option<usize>,
+    /// When set, run `explore_compare`: drill both compared
+    /// sub-populations and interleave by distinguishing mass. Mutually
+    /// exclusive with `slice`.
+    pub compare: Option<CompareNames>,
+}
+
+impl ExploreQuery {
+    /// A whole-population exploration for `k` summaries with defaults.
+    pub fn top_k(k: usize) -> Self {
+        ExploreQuery {
+            slice: Vec::new(),
+            k,
+            max_conditions: None,
+            compare: None,
+        }
+    }
+}
+
+/// The comparison anchoring an `explore_compare` run, by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompareNames {
+    /// Attribute whose two values select the sub-populations.
+    pub attr: String,
+    /// First compared value (the comparator may swap for `cf1 <= cf2`).
+    pub value_1: String,
+    /// Second compared value.
+    pub value_2: String,
+    /// Target class for rule confidences.
+    pub class: String,
+}

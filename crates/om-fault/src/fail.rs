@@ -50,6 +50,9 @@ pub const SEAMS: &[&str] = &[
     "exec.batch-group",    // om-exec: batch group dispatch
     "cluster.fetch",       // om-cluster: per-replica pinned store fetch
     "server.internal-store", // om-server: shard-side /internal/store handler
+    "explore.scan",        // om-explore: per-attribute candidate pool scan
+    "explore.step",        // om-explore: end of one greedy selection step
+    "engine.explore",      // om-engine: explore entry point
 ];
 
 /// What an armed failpoint does when its seam is crossed.

@@ -102,6 +102,7 @@ impl Default for CheckConfig {
                 "crates/om-ingest/src/".into(),
                 "crates/om-exec/src/".into(),
                 "crates/om-cluster/src/".into(),
+                "crates/om-explore/src/".into(),
             ],
             metrics_render_files: vec![
                 "crates/om-server/src/metrics.rs".into(),

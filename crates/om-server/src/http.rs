@@ -191,6 +191,20 @@ fn parse_query(raw: &str) -> Result<BTreeMap<String, String>, String> {
     Ok(params)
 }
 
+/// How much of a request's declared body was read off the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BodyRead {
+    /// The full declared body is in [`Request::body`].
+    Full,
+    /// The body was left unread: the declared `Content-Length` exceeded
+    /// the unroutable-target cap, so the caller should answer (a `404`)
+    /// and close without draining the upload.
+    Skipped {
+        /// The declared `Content-Length` that was never read.
+        declared: usize,
+    },
+}
+
 /// Parse one request from `stream` with all bounds enforced, allowing a
 /// body of at most [`DEFAULT_MAX_BODY_BYTES`].
 ///
@@ -209,6 +223,26 @@ pub fn parse_request_bounded<S: Read>(
     stream: S,
     max_body_bytes: usize,
 ) -> Result<Request, ParseError> {
+    parse_request_routed(stream, max_body_bytes, |_| true).map(|(req, _)| req)
+}
+
+/// [`parse_request_bounded`] with route-aware body admission: once the
+/// head is parsed, `routable(path)` says whether the target exists. A
+/// routable target keeps the full `max_body_bytes` allowance (an
+/// oversize `Content-Length` is a `Malformed` reject, as ever). An
+/// unroutable target is capped at [`DEFAULT_MAX_BODY_BYTES`] — the same
+/// 1 MiB bound `/v1/ingest` enforces — so a misaddressed client
+/// streaming a bulk upload can't hold a worker just to hear a `404`:
+/// past the cap the body is left unread ([`BodyRead::Skipped`]) and the
+/// request surfaces with an empty body, which no 404 path ever reads.
+///
+/// # Errors
+/// See [`ParseError`].
+pub fn parse_request_routed<S: Read>(
+    stream: S,
+    max_body_bytes: usize,
+    routable: impl FnOnce(&str) -> bool,
+) -> Result<(Request, BodyRead), ParseError> {
     let mut reader = BufReader::new(stream);
     let mut got_any = false;
     let request_line = read_line_bounded(&mut reader, MAX_REQUEST_LINE, &mut got_any)?;
@@ -256,10 +290,36 @@ pub fn parse_request_bounded<S: Read>(
             )));
         }
     }
-    if content_length > max_body_bytes {
-        return Err(ParseError::Malformed(format!(
-            "body of {content_length} bytes exceeds the {max_body_bytes}-byte limit"
-        )));
+    // Decode the target before touching the body: the body allowance
+    // depends on whether the path routes anywhere at all.
+    let (raw_path, raw_query) = target.split_once('?').unwrap_or((target, ""));
+    let path = percent_decode(raw_path).map_err(ParseError::Malformed)?;
+    let params = parse_query(raw_query).map_err(ParseError::Malformed)?;
+
+    let cap = if routable(&path) {
+        max_body_bytes
+    } else {
+        max_body_bytes.min(DEFAULT_MAX_BODY_BYTES)
+    };
+    if content_length > cap {
+        if cap == max_body_bytes {
+            return Err(ParseError::Malformed(format!(
+                "body of {content_length} bytes exceeds the {max_body_bytes}-byte limit"
+            )));
+        }
+        // Unroutable target over the cap: don't read the upload — the
+        // 404 never looks at the body.
+        return Ok((
+            Request {
+                method: method.to_owned(),
+                path,
+                params,
+                body: String::new(),
+            },
+            BodyRead::Skipped {
+                declared: content_length,
+            },
+        ));
     }
     let mut body_bytes = vec![0u8; content_length];
     let mut read = 0;
@@ -280,15 +340,15 @@ pub fn parse_request_bounded<S: Read>(
     let body = String::from_utf8(body_bytes)
         .map_err(|_| ParseError::Malformed("non-UTF-8 body".into()))?;
 
-    let (raw_path, raw_query) = target.split_once('?').unwrap_or((target, ""));
-    let path = percent_decode(raw_path).map_err(ParseError::Malformed)?;
-    let params = parse_query(raw_query).map_err(ParseError::Malformed)?;
-    Ok(Request {
-        method: method.to_owned(),
-        path,
-        params,
-        body,
-    })
+    Ok((
+        Request {
+            method: method.to_owned(),
+            path,
+            params,
+            body,
+        },
+        BodyRead::Full,
+    ))
 }
 
 /// An HTTP response ready to be written.
@@ -510,6 +570,61 @@ mod tests {
             parse_request(raw.as_slice()),
             Err(ParseError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn unroutable_target_body_is_capped_not_drained() {
+        // A server with a raised body allowance (say for bulk ingest):
+        // a misaddressed upload above the 1 MiB unroutable cap is left
+        // unread — the parser answers with the head only.
+        let raw = format!(
+            "POST /v1/nope HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            DEFAULT_MAX_BODY_BYTES + 1
+        );
+        let (req, body_read) =
+            parse_request_routed(raw.as_bytes(), 64 << 20, |path| path == "/v1/ingest").unwrap();
+        assert_eq!(req.path, "/v1/nope");
+        assert_eq!(req.body, "");
+        assert_eq!(
+            body_read,
+            BodyRead::Skipped {
+                declared: DEFAULT_MAX_BODY_BYTES + 1
+            }
+        );
+
+        // The same declared length on a routable target still reads in
+        // full under the raised allowance.
+        let mut raw = format!(
+            "POST /v1/ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            DEFAULT_MAX_BODY_BYTES + 1
+        )
+        .into_bytes();
+        raw.extend(std::iter::repeat_n(b'x', DEFAULT_MAX_BODY_BYTES + 1));
+        let (req, body_read) =
+            parse_request_routed(raw.as_slice(), 64 << 20, |path| path == "/v1/ingest").unwrap();
+        assert_eq!(body_read, BodyRead::Full);
+        assert_eq!(req.body.len(), DEFAULT_MAX_BODY_BYTES + 1);
+    }
+
+    #[test]
+    fn unroutable_target_small_body_still_reads() {
+        let raw = "POST /v1/nope HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        let (req, body_read) = parse_request_routed(raw.as_bytes(), 64 << 20, |_| false).unwrap();
+        assert_eq!(body_read, BodyRead::Full);
+        assert_eq!(req.body, "abcd");
+    }
+
+    #[test]
+    fn default_allowance_keeps_oversize_reject_on_any_target() {
+        // With the stock 1 MiB allowance the caps coincide, so an
+        // oversize body is a 400 reject whether or not the path routes —
+        // exactly the pre-existing contract.
+        let raw = format!(
+            "POST /v1/nope HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            DEFAULT_MAX_BODY_BYTES + 1
+        );
+        let r = parse_request_routed(raw.as_bytes(), DEFAULT_MAX_BODY_BYTES, |_| false);
+        assert!(matches!(r, Err(ParseError::Malformed(_))));
     }
 
     #[test]

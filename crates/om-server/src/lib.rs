@@ -48,7 +48,7 @@ use om_engine::{IngestHandle, OpportunityMap};
 use om_fault::{fail, Budget, CancelToken};
 
 use crate::cache::ResponseCache;
-use crate::http::{parse_request_bounded, ParseError, Response};
+use crate::http::{ParseError, Response};
 use crate::internal::StoreWireCache;
 use crate::metrics::{Endpoint, Metrics};
 use crate::ops::EngineOps;
@@ -310,9 +310,16 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(shared.request_timeout));
     let _ = stream.set_nodelay(true);
 
-    let parsed = parse_request_bounded(&stream, shared.max_body_bytes);
+    // Route-aware body admission: a target nothing serves only ever
+    // earns a 404, so its upload allowance is capped at the stock
+    // 1 MiB `/v1/ingest` bound even when the server's own allowance was
+    // raised for bulk ingest — a misaddressed client can't hold a
+    // worker by streaming a body the handler will never read.
+    let parsed = http::parse_request_routed(&stream, shared.max_body_bytes, |path| {
+        Endpoint::classify(path) != Endpoint::Other || path.starts_with("/internal/")
+    });
     let (endpoint, response) = match &parsed {
-        Ok(req) => {
+        Ok((req, _)) => {
             let endpoint = Endpoint::classify(&req.path);
             // A panicking handler must not take the worker thread (and
             // with it a slot of the pool) down; the engine is read-only,
@@ -341,11 +348,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
     let mut out = stream;
     let _ = response.write_to(&mut out);
-    if matches!(parsed, Err(ParseError::Malformed(_))) {
+    if matches!(parsed, Err(ParseError::Malformed(_)))
+        || matches!(parsed, Ok((_, http::BodyRead::Skipped { .. })))
+    {
         // The peer may still be mid-send (e.g. an oversized request
-        // line). Closing now would RST the connection before the client
-        // reads the 400, so drain what it has queued, bounded by the
-        // read timeout and a byte cap.
+        // line, or a skipped unroutable upload). Closing now would RST
+        // the connection before the client reads the 400/404, so drain
+        // what it has queued, bounded by the read timeout and a byte
+        // cap.
         let mut sink = [0u8; 4096];
         let mut drained = 0usize;
         while drained < 256 * 1024 {
@@ -360,7 +370,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     if shared.verbose {
         let target = parsed
             .as_ref()
-            .map(|r| r.canonical_key())
+            .map(|(r, _)| r.canonical_key())
             .unwrap_or_else(|e| format!("<{e}>"));
         eprintln!(
             "om-server: {} {} {}us",
@@ -380,6 +390,7 @@ fn respond(req: &http::Request, endpoint: Endpoint, shared: &Shared) -> Response
     let opts = RouteOptions {
         budget: Budget::with_token(shared.engine_budget, CancelToken::new()),
         retry_after_secs: shared.retry_after_secs,
+        metrics: Some(Arc::clone(&shared.metrics)),
     };
     let response = match &shared.backend {
         Backend::Custom(ops) => {

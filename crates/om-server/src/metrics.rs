@@ -20,13 +20,15 @@ pub enum Endpoint {
     Ingest,
     /// `/v1/compare/batch`.
     Batch,
+    /// `/v1/explore`.
+    Explore,
     /// Anything else (404s and parse failures).
     Other,
 }
 
 impl Endpoint {
     /// All endpoints in render order.
-    pub const ALL: [Endpoint; 9] = [
+    pub const ALL: [Endpoint; 10] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Compare,
@@ -35,6 +37,7 @@ impl Endpoint {
         Endpoint::CubeSlice,
         Endpoint::Ingest,
         Endpoint::Batch,
+        Endpoint::Explore,
         Endpoint::Other,
     ];
 
@@ -51,6 +54,7 @@ impl Endpoint {
             "/cube/slice" | "/v1/cube/slice" => Endpoint::CubeSlice,
             "/ingest" | "/v1/ingest" => Endpoint::Ingest,
             "/v1/compare/batch" => Endpoint::Batch,
+            "/v1/explore" => Endpoint::Explore,
             _ => Endpoint::Other,
         }
     }
@@ -67,6 +71,7 @@ impl Endpoint {
             Endpoint::CubeSlice => "cube_slice",
             Endpoint::Ingest => "ingest",
             Endpoint::Batch => "compare_batch",
+            Endpoint::Explore => "explore",
             Endpoint::Other => "other",
         }
     }
@@ -149,6 +154,10 @@ pub struct Metrics {
     panics_caught: AtomicU64,
     queue_depth: AtomicU64,
     latency: Histogram,
+    explore_steps: AtomicU64,
+    explore_summaries: AtomicU64,
+    explore_budget_exhausted: AtomicU64,
+    explore_latency: Histogram,
 }
 
 impl Metrics {
@@ -165,7 +174,8 @@ impl Metrics {
             Endpoint::CubeSlice => 5,
             Endpoint::Ingest => 6,
             Endpoint::Batch => 7,
-            Endpoint::Other => 8,
+            Endpoint::Explore => 8,
+            Endpoint::Other => 9,
         }
     }
 
@@ -208,6 +218,24 @@ impl Metrics {
     /// Count a handler panic caught by the worker's isolation barrier.
     pub fn record_panic_caught(&self) {
         self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one finished `/v1/explore` answer: greedy steps executed,
+    /// summaries served, whether the budget cut it short, and the
+    /// exploration's own wall-clock latency.
+    pub fn record_explore(&self, steps: u64, summaries: u64, truncated: bool, us: u64) {
+        self.explore_steps.fetch_add(steps, Ordering::Relaxed);
+        self.explore_summaries.fetch_add(summaries, Ordering::Relaxed);
+        if truncated {
+            self.explore_budget_exhausted.fetch_add(1, Ordering::Relaxed);
+        }
+        self.explore_latency.record_us(us);
+    }
+
+    /// Count a `/v1/explore` whose budget expired before any summary
+    /// finished (the request answered with an overload envelope).
+    pub fn record_explore_exhausted(&self) {
+        self.explore_budget_exhausted.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A connection entered the admission queue.
@@ -275,6 +303,25 @@ impl Metrics {
         self.queue_depth.load(Ordering::Relaxed)
     }
 
+    /// Greedy exploration steps executed so far.
+    #[must_use]
+    pub fn explore_steps(&self) -> u64 {
+        self.explore_steps.load(Ordering::Relaxed)
+    }
+
+    /// Exploration summaries served so far.
+    #[must_use]
+    pub fn explore_summaries(&self) -> u64 {
+        self.explore_summaries.load(Ordering::Relaxed)
+    }
+
+    /// Explorations cut short by their budget so far (truncated answers
+    /// and overload rejections both count).
+    #[must_use]
+    pub fn explore_budget_exhausted(&self) -> u64 {
+        self.explore_budget_exhausted.load(Ordering::Relaxed)
+    }
+
     /// The plain-text exposition served at `/metrics`.
     #[must_use]
     pub fn render(&self) -> String {
@@ -306,6 +353,29 @@ impl Metrics {
                 self.latency.quantile_us(q).unwrap_or(0)
             );
         }
+        let _ = writeln!(out, "om_explore_steps_total {}", self.explore_steps());
+        let _ = writeln!(
+            out,
+            "om_explore_summaries_total {}",
+            self.explore_summaries()
+        );
+        let _ = writeln!(
+            out,
+            "om_explore_budget_exhausted_total {}",
+            self.explore_budget_exhausted()
+        );
+        let _ = writeln!(
+            out,
+            "om_explore_latency_samples_total {}",
+            self.explore_latency.count()
+        );
+        for (name, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+            let _ = writeln!(
+                out,
+                "om_explore_latency_us{{quantile=\"{name}\"}} {}",
+                self.explore_latency.quantile_us(q).unwrap_or(0)
+            );
+        }
         out
     }
 }
@@ -325,6 +395,7 @@ mod tests {
         assert_eq!(Endpoint::classify("/v1/cube/slice"), Endpoint::CubeSlice);
         assert_eq!(Endpoint::classify("/v1/ingest"), Endpoint::Ingest);
         assert_eq!(Endpoint::classify("/v1/compare/batch"), Endpoint::Batch);
+        assert_eq!(Endpoint::classify("/v1/explore"), Endpoint::Explore);
         assert_eq!(Endpoint::classify("/nope"), Endpoint::Other);
     }
 
@@ -392,6 +463,20 @@ mod tests {
         assert!(text.contains("om_deadline_exceeded_total 1"));
         assert!(text.contains("om_panics_caught_total 1"));
         assert!(text.contains("om_queue_depth 1"));
+    }
+
+    #[test]
+    fn explore_counters_render() {
+        let m = Metrics::default();
+        m.record_explore(5, 5, false, 800);
+        m.record_explore(2, 2, true, 1_500);
+        m.record_explore_exhausted();
+        let text = m.render();
+        assert!(text.contains("om_explore_steps_total 7"));
+        assert!(text.contains("om_explore_summaries_total 7"));
+        assert!(text.contains("om_explore_budget_exhausted_total 2"));
+        assert!(text.contains("om_explore_latency_samples_total 2"));
+        assert!(text.contains("om_explore_latency_us{quantile=\"0.99\"}"));
     }
 
     #[test]

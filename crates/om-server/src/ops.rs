@@ -193,6 +193,33 @@ pub trait EngineOps: Send + Sync {
         budget: &Budget,
     ) -> Result<Vec<BatchOutcome>, OpsError>;
 
+    /// Run a smart drill-down exploration under `budget`.
+    ///
+    /// The default pins a store snapshot and runs om-explore serially
+    /// over it — exploration reads only cube cells, so any backend that
+    /// can answer [`EngineOps::query_store`] (the cluster coordinator's
+    /// merged store included) serves `/v1/explore` with zero extra
+    /// protocol work and byte-identical output.
+    ///
+    /// # Errors
+    /// Unknown names, invalid queries, budget overrun before the first
+    /// summary (later overrun truncates the report), unavailability.
+    fn run_explore(
+        &self,
+        query: &om_explore::ExploreQuery,
+        budget: &Budget,
+    ) -> Result<om_explore::ExploreReport, OpsError> {
+        let store = self.query_store(budget)?;
+        om_explore::explore(
+            &om_exec::Executor::serial(),
+            &store,
+            &self.compare_config(),
+            query,
+            budget,
+        )
+        .map_err(|e| OpsError::Engine(e.into()))
+    }
+
     /// Whether `POST /v1/ingest` is live on this backend.
     fn ingest_enabled(&self) -> bool;
 
@@ -297,6 +324,16 @@ impl EngineOps for EngineBackend<'_> {
         Ok(self
             .om
             .run_batch(items, drill_config, self.om.exec_ctx(Some(budget)))?)
+    }
+
+    fn run_explore(
+        &self,
+        query: &om_explore::ExploreQuery,
+        budget: &Budget,
+    ) -> Result<om_explore::ExploreReport, OpsError> {
+        Ok(self
+            .om
+            .run_explore(query, self.om.exec_ctx(Some(budget)))?)
     }
 
     fn ingest_enabled(&self) -> bool {

@@ -21,6 +21,10 @@ pub struct RouteOptions {
     pub budget: Budget,
     /// Seconds clients should wait before retrying after a `503`.
     pub retry_after_secs: u64,
+    /// The server's counters, when handlers should record work-shaped
+    /// metrics (exploration steps, truncations) that only they can see.
+    /// `None` in embedded/test routing — recording is best-effort.
+    pub metrics: Option<std::sync::Arc<crate::metrics::Metrics>>,
 }
 
 impl Default for RouteOptions {
@@ -28,6 +32,7 @@ impl Default for RouteOptions {
         Self {
             budget: Budget::unlimited(),
             retry_after_secs: 1,
+            metrics: None,
         }
     }
 }
@@ -659,6 +664,7 @@ mod tests {
         let spent = RouteOptions {
             budget: Budget::with_timeout(std::time::Duration::ZERO),
             retry_after_secs: 3,
+            ..RouteOptions::default()
         };
         let shed = post_ingest(&om, Some(&handle), &row, &spent);
         assert_eq!(shed.status, 503, "{}", shed.body);
@@ -673,6 +679,7 @@ mod tests {
         let opts = RouteOptions {
             budget: Budget::with_timeout(std::time::Duration::ZERO),
             retry_after_secs: 7,
+            ..RouteOptions::default()
         };
         for (path, params) in [
             (
@@ -698,6 +705,7 @@ mod tests {
         let opts = RouteOptions {
             budget: Budget::with_timeout(std::time::Duration::ZERO),
             retry_after_secs: 1,
+            ..RouteOptions::default()
         };
         assert_eq!(get_with("/healthz", &[], &opts).status, 200);
         assert_eq!(get_with("/metrics", &[], &opts).status, 200);

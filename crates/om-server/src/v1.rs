@@ -12,13 +12,16 @@
 use om_api::{
     AttrScoreWire, BatchItemRequest, BatchItemResult, BatchRequest, BatchResponse,
     CompareRequest, CompareResponse, DrillLevelWire, DrillRequest, DrillResponse, ErrorCode,
-    ErrorEnvelope, ExceptionWire, GiRequest, GiResponse, IngestRequest, IngestResponse,
+    ErrorEnvelope, ExceptionWire, ExploreCompareWire, ExploreCondWire, ExploreRequest,
+    ExploreResponse, ExploreSummaryWire, GiRequest, GiResponse, IngestRequest, IngestResponse,
     InfluenceWire, PairCellWire, PairDimWire, SliceRequest, SliceResponse, SliceValueWire,
     TrendWire, ValueContributionWire,
 };
 use om_compare::{AttrScore, ComparisonResult, DrillConfig, DrillLevel};
 use om_cube::CubeView;
-use om_engine::{BatchItem, BatchOutcome, EngineError, GiReport};
+use om_engine::{
+    BatchItem, BatchOutcome, CompareNames, EngineError, ExploreQuery, ExploreReport, GiReport,
+};
 use om_gi::Trend;
 
 use crate::http::{Request, Response};
@@ -139,6 +142,42 @@ pub(crate) fn gi_wire(report: &GiReport, top: usize) -> GiResponse {
             })
             .collect(),
         coverage: None,
+    }
+}
+
+pub(crate) fn explore_wire(report: &ExploreReport) -> ExploreResponse {
+    ExploreResponse {
+        universe: report.universe,
+        covered: report.covered,
+        steps: report.steps,
+        truncated: report.truncated,
+        classes: report.classes.clone(),
+        summaries: report
+            .summaries
+            .iter()
+            .map(|s| ExploreSummaryWire {
+                conditions: s
+                    .conds
+                    .iter()
+                    .map(|c| ExploreCondWire {
+                        attr: c.attr.clone(),
+                        value: c.value.clone(),
+                    })
+                    .collect(),
+                support: s.support,
+                coverage: s.coverage,
+                confidences: s.confidences.clone(),
+                side: s.side.map(u64::from),
+                mass: s.mass,
+            })
+            .collect(),
+        compare: report.compare.as_ref().map(|c| ExploreCompareWire {
+            attribute: c.attr.clone(),
+            value_1: c.value_1.clone(),
+            value_2: c.value_2.clone(),
+            swapped: c.swapped,
+            class: c.class.clone(),
+        }),
     }
 }
 
@@ -382,6 +421,64 @@ fn cube_slice(
     Ok(Response::json(response.encode()))
 }
 
+fn explore(
+    req: &Request,
+    ops: &dyn EngineOps,
+    opts: &RouteOptions,
+) -> Result<Response, ErrorEnvelope> {
+    let body = ExploreRequest::parse(&req.body).map_err(bad_request)?;
+    let query = ExploreQuery {
+        slice: body
+            .slice
+            .iter()
+            .map(|step| (step.attr.clone(), step.value.clone()))
+            .collect(),
+        k: usize::try_from(body.k).unwrap_or(usize::MAX),
+        max_conditions: body
+            .max_conditions
+            .map(|m| usize::try_from(m).unwrap_or(usize::MAX)),
+        compare: body.compare.as_ref().map(|c| CompareNames {
+            attr: c.attr.clone(),
+            value_1: c.v1.clone(),
+            value_2: c.v2.clone(),
+            class: c.class.clone(),
+        }),
+    };
+    // A request-level budget can only narrow the route budget — the
+    // server deadline still caps the whole request.
+    let budget = body.budget_ms.map_or_else(
+        || opts.budget.clone(),
+        |ms| opts.budget.narrowed(std::time::Duration::from_millis(ms)),
+    );
+    let started = std::time::Instant::now();
+    let report = match ops.run_explore(&query, &budget) {
+        Ok(report) => {
+            if let Some(metrics) = &opts.metrics {
+                let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                metrics.record_explore(
+                    report.steps,
+                    report.summaries.len() as u64,
+                    report.truncated,
+                    us,
+                );
+            }
+            report
+        }
+        Err(e) => {
+            let env = ops_envelope(&e, opts);
+            // An exhausted budget with zero finished summaries is still a
+            // budget exhaustion — count it alongside truncated answers.
+            if env.code == ErrorCode::Overloaded {
+                if let Some(metrics) = &opts.metrics {
+                    metrics.record_explore_exhausted();
+                }
+            }
+            return Err(env);
+        }
+    };
+    Ok(Response::json(explore_wire(&report).encode()))
+}
+
 fn ingest(
     req: &Request,
     ops: &dyn EngineOps,
@@ -525,6 +622,7 @@ pub fn route_v1(req: &Request, ops: &dyn EngineOps, opts: &RouteOptions) -> Resp
         "/v1/drill" => drill(req, ops, opts),
         "/v1/gi" => gi(req, ops, opts),
         "/v1/cube/slice" => cube_slice(req, ops, opts),
+        "/v1/explore" => explore(req, ops, opts),
         "/v1/ingest" => ingest(req, ops, opts),
         "/v1/compare/batch" => batch(req, ops, opts),
         other => Err(ErrorEnvelope::new(

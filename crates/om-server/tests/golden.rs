@@ -222,6 +222,82 @@ fn v1_batch_shape() {
     assert_eq!(e.code, om_api::ErrorCode::UnknownName);
 }
 
+#[test]
+fn v1_explore_shape() {
+    let r = post("/v1/explore", r#"{"k":5}"#);
+    assert_eq!(r.status, 200, "{}", r.body);
+    check_golden("v1_explore.json", &r.body);
+    let parsed = om_api::ExploreResponse::parse(&r.body).unwrap();
+    // Greedy stops as soon as no candidate adds marginal coverage, so
+    // the answer may saturate below k — but never exceed it.
+    assert!((1..=5).contains(&parsed.summaries.len()), "{}", r.body);
+    assert!(!parsed.truncated);
+    assert!(parsed.compare.is_none());
+    assert_eq!(parsed.encode(), r.body, "om-api round-trip must be lossless");
+}
+
+#[test]
+fn v1_explore_sliced_shape() {
+    let r = post(
+        "/v1/explore",
+        r#"{"slice":[{"attr":"PhoneModel","value":"ph1"}],"k":3}"#,
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    check_golden("v1_explore_sliced.json", &r.body);
+    let parsed = om_api::ExploreResponse::parse(&r.body).unwrap();
+    assert!((1..=3).contains(&parsed.summaries.len()), "{}", r.body);
+    assert!(
+        parsed
+            .summaries
+            .iter()
+            .all(|s| s.conditions.iter().all(|c| c.attr != "PhoneModel")),
+        "sliced attribute must not reappear in summaries"
+    );
+    assert_eq!(parsed.encode(), r.body);
+}
+
+#[test]
+fn v1_explore_compare_shape() {
+    let r = post(
+        "/v1/explore",
+        r#"{"k":6,"compare":{"attr":"PhoneModel","v1":"ph1","v2":"ph2","class":"dropped"}}"#,
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    check_golden("v1_explore_compare.json", &r.body);
+    let parsed = om_api::ExploreResponse::parse(&r.body).unwrap();
+    assert!((1..=6).contains(&parsed.summaries.len()), "{}", r.body);
+    let compare = parsed.compare.as_ref().expect("compare metadata present");
+    assert_eq!(compare.attribute, "PhoneModel");
+    assert!(parsed.summaries.iter().all(|s| s.side.is_some() && s.mass.is_some()));
+    assert_eq!(parsed.encode(), r.body);
+}
+
+#[test]
+fn v1_explore_error_envelopes() {
+    let unknown = post("/v1/explore", r#"{"k":3,"slice":[{"attr":"Bogus","value":"x"}]}"#);
+    assert_eq!(unknown.status, 404, "{}", unknown.body);
+    check_golden("v1_explore_error_unknown.json", &unknown.body);
+
+    let invalid = post("/v1/explore", r#"{"k":0}"#);
+    assert_eq!(invalid.status, 422, "{}", invalid.body);
+    check_golden("v1_explore_error_invalid.json", &invalid.body);
+
+    let spent = RouteOptions {
+        budget: Budget::with_timeout(std::time::Duration::ZERO),
+        retry_after_secs: 2,
+        ..RouteOptions::default()
+    };
+    let overloaded = post_with("/v1/explore", r#"{"k":3}"#, &spent);
+    assert_eq!(overloaded.status, 503, "{}", overloaded.body);
+    assert_eq!(overloaded.retry_after, Some(2));
+    check_golden("v1_explore_error_overloaded.json", &overloaded.body);
+
+    for body in [&unknown.body, &invalid.body, &overloaded.body] {
+        let env = om_api::ErrorEnvelope::parse(body).unwrap();
+        assert_eq!(env.encode(), *body);
+    }
+}
+
 /// Label fields of dataset row 0 — always a valid ingest row.
 fn row_fields_of(om: &OpportunityMap) -> Vec<String> {
     let ds = om.dataset();
@@ -288,6 +364,7 @@ fn v1_ingest_roundtrip() {
     let spent = RouteOptions {
         budget: Budget::with_timeout(std::time::Duration::ZERO),
         retry_after_secs: 3,
+        ..RouteOptions::default()
     };
     let shed = post(&om_api::IngestRequest { rows: vec![row] }.encode(), &spent);
     assert_eq!(shed.status, 503, "{}", shed.body);
@@ -329,6 +406,7 @@ fn v1_error_envelopes() {
     let spent = RouteOptions {
         budget: Budget::with_timeout(std::time::Duration::ZERO),
         retry_after_secs: 1,
+        ..RouteOptions::default()
     };
     let overloaded = post_with("/v1/compare", V1_COMPARE_BODY, &spent);
     assert_eq!(overloaded.status, 503);

@@ -4,8 +4,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
+echo "==> cargo build --release (root package + opmap)"
+# The root `cargo build` covers only the root package; the cluster
+# smokes below run target/release/opmap, so build it explicitly or
+# they silently exercise a stale binary.
 cargo build --release
+cargo build --release -p om-cli
 
 echo "==> cargo test -q (tier-1: root package)"
 cargo test -q
@@ -56,6 +60,10 @@ cargo clippy -p om-cluster --features failpoints --all-targets -- -D warnings
 echo "==> cargo clippy -p om-cli --features failpoints --all-targets -- -D warnings"
 cargo clippy -p om-cli --features failpoints --all-targets -- -D warnings
 
+echo "==> cargo clippy -p om-explore --all-targets -- -D warnings (both feature configs)"
+cargo clippy -p om-explore --all-targets -- -D warnings
+cargo clippy -p om-explore --features failpoints --all-targets -- -D warnings
+
 echo "==> ingest_throughput bench (smoke)"
 OM_BENCH_SMOKE=1 cargo bench -p om-bench --bench ingest_throughput
 
@@ -99,5 +107,16 @@ echo "==> cluster_loopback bench (smoke)"
 # Absolute path: cargo runs the bench with the package dir as CWD.
 OM_BENCH_SMOKE=1 OM_BENCH_OUT="$PWD/target/BENCH_7.smoke.json" \
   cargo bench -p om-bench --bench cluster_loopback
+
+echo "==> explore_throughput bench (smoke: memoized explore_compare must beat k drills)"
+OM_BENCH_SMOKE=1 OM_BENCH_OUT="$PWD/target/BENCH_8.smoke.json" \
+  cargo bench -p om-bench --bench explore_throughput
+
+echo "==> om-bench compare smoke (significance-gated perf diff over the committed artifacts)"
+# Self-diffs must parse the real artifacts and exit 0; the regression
+# gate itself (exit 1 on a significant drop) is covered by the tool's
+# unit tests in the workspace pass above.
+cargo run -q -p om-bench --bin compare -- BENCH_7.json BENCH_7.json
+cargo run -q -p om-bench --bin compare -- BENCH_8.json BENCH_8.json
 
 echo "==> ci OK"

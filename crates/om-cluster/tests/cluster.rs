@@ -258,6 +258,107 @@ fn coordinator_is_byte_identical_to_single_node() {
     });
 }
 
+/// The kernel path through a 2-shard cluster: fixed-path drills and
+/// shared-prefix batches condition sub-populations via bitmap ANDs on
+/// both sides — `SelectorPopulation` on the single node,
+/// `/internal/level` + `/internal/count` (now selector-backed) on each
+/// shard with the coordinator merging the partial stores — and every
+/// response must still agree byte for byte.
+#[test]
+fn two_shard_kernel_conditioning_is_byte_identical() {
+    with_cluster(2, false, |coord, single, _, _| {
+        let drill = om_api::DrillRequest {
+            attr: "PhoneModel".into(),
+            v1: "ph1".into(),
+            v2: "ph2".into(),
+            class: "dropped".into(),
+            depth: Some(3),
+            min_score: Some(0.0),
+            path: Vec::new(),
+        };
+        // Deep walk: several levels of kernel-conditioned stores.
+        let (status, _) = assert_identical(coord, single, "/v1/drill", &drill.encode());
+        assert_eq!(status, 200);
+
+        // A two-condition fixed prefix: chained narrows on every shard.
+        let deep_path = om_api::DrillRequest {
+            path: vec![
+                om_api::PathStep {
+                    attr: "TimeOfCall".into(),
+                    value: "morning".into(),
+                },
+                om_api::PathStep {
+                    attr: "LocationType".into(),
+                    value: "highway".into(),
+                },
+            ],
+            ..drill.clone()
+        };
+        let (status, _) = assert_identical(coord, single, "/v1/drill", &deep_path.encode());
+        assert_eq!(status, 200);
+
+        // A prefix that selects no records: the popcount-zero probe must
+        // produce the same error envelope as the record-count probe did.
+        let conflicting = om_api::DrillRequest {
+            path: vec![
+                om_api::PathStep {
+                    attr: "TimeOfCall".into(),
+                    value: "morning".into(),
+                },
+                om_api::PathStep {
+                    attr: "TimeOfCall".into(),
+                    value: "evening".into(),
+                },
+            ],
+            ..drill.clone()
+        };
+        assert_identical(coord, single, "/v1/drill", &conflicting.encode());
+
+        // Shared-prefix batch: the memoized selectors must produce the
+        // same outcomes through the coordinator's merged level stores.
+        let batch = om_api::BatchRequest {
+            items: vec![
+                om_api::BatchItemRequest::Drill {
+                    req: drill.clone(),
+                    budget_ms: None,
+                },
+                om_api::BatchItemRequest::Drill {
+                    req: om_api::DrillRequest {
+                        path: vec![om_api::PathStep {
+                            attr: "TimeOfCall".into(),
+                            value: "morning".into(),
+                        }],
+                        ..drill.clone()
+                    },
+                    budget_ms: None,
+                },
+                om_api::BatchItemRequest::Drill {
+                    req: deep_path.clone(),
+                    budget_ms: None,
+                },
+            ],
+        };
+        let (status, _) = assert_identical(coord, single, "/v1/compare/batch", &batch.encode());
+        assert_eq!(status, 200);
+
+        // Sliced explore: the single node's indexed store answers the
+        // conditioned pools with masked kernel scans, the coordinator's
+        // merged store (no index) slices pair cubes — same bytes.
+        let explore = om_api::ExploreRequest {
+            slice: vec![om_api::PathStep {
+                attr: "TimeOfCall".into(),
+                value: "morning".into(),
+            }],
+            k: 4,
+            max_conditions: None,
+            budget_ms: None,
+            compare: None,
+        };
+        let (status, _) = assert_identical(coord, single, "/v1/explore", &explore.encode());
+        assert_eq!(status, 200);
+    });
+}
+
 #[test]
 fn explore_through_coordinator_is_byte_identical() {
     // /v1/explore runs the same greedy drill-down over the

@@ -10,14 +10,17 @@
 //! significance floor.
 //!
 //! Conditioning on a third attribute needs counts beyond the stored 3-D
-//! cubes, so (exactly like restricted mining) this path recounts from the
-//! dataset — it is the one comparator feature whose cost scales with data
-//! size, which is why the paper keeps it on-demand.
+//! cubes; the deployed system recounted from the records on demand. Here
+//! the recount goes through the counting kernel instead: conditioning is
+//! a bitmap AND over a [`ColumnIndex`] and each level's cubes come from
+//! one shared masked scan ([`PopulationSelector::build_store_anchored`]),
+//! so drilling no longer copies a single record. Counts — and therefore
+//! every ranked result — are byte-identical to the record walk.
 
 use std::sync::Arc;
 
 use om_car::Condition;
-use om_cube::{CubeStore, StoreBuildOptions};
+use om_cube::{ColumnIndex, CubeStore, PopulationSelector};
 use om_data::{Dataset, Schema};
 use om_fault::{fail, Budget};
 
@@ -117,23 +120,6 @@ pub fn candidate_attrs_in(schema: &Schema, spec_attr: usize, excluded: &[usize])
         .collect()
 }
 
-/// Build the restricted cube store one drill level compares over — the
-/// recount from records that makes drilling the one comparator feature
-/// whose cost scales with data size.
-///
-/// # Errors
-/// [`CompareError::Cube`] if the build fails.
-pub fn level_store(current: &Dataset, attrs: Vec<usize>) -> Result<CubeStore, CompareError> {
-    CubeStore::build(
-        current,
-        &StoreBuildOptions {
-            attrs: Some(attrs),
-            n_threads: 0,
-        },
-    )
-    .map_err(CompareError::Cube)
-}
-
 /// The population one drill walk narrows level by level.
 ///
 /// The walk itself ([`drill_down_via`]) only needs three capabilities:
@@ -167,23 +153,42 @@ pub trait DrillPopulation {
     fn descend(&mut self, condition: Condition) -> Result<bool, CompareError>;
 }
 
-/// Dataset-backed [`DrillPopulation`]: the paper's on-demand recount.
-struct DatasetPopulation {
-    current: Dataset,
+/// Kernel-backed [`DrillPopulation`] — the one single-node way to
+/// condition a drill. `descend` is a bitmap AND; each level's store is
+/// one shared masked scan anchored on the compared attribute, so the
+/// scan fills exactly the pair cubes the level's ranking reads.
+pub struct SelectorPopulation {
+    current: PopulationSelector,
+    anchor: usize,
 }
 
-impl DrillPopulation for DatasetPopulation {
+impl SelectorPopulation {
+    /// A population at the root (unconditioned) selector. `anchor` is
+    /// the compared attribute ([`ComparisonSpec::attr`]); level stores
+    /// eagerly materialize exactly its pair cubes.
+    pub fn new(selector: PopulationSelector, anchor: usize) -> Self {
+        Self {
+            current: selector,
+            anchor,
+        }
+    }
+}
+
+impl DrillPopulation for SelectorPopulation {
     fn schema(&self) -> &Schema {
         self.current.schema()
     }
 
     fn level_store(&mut self, attrs: Vec<usize>) -> Result<Arc<CubeStore>, CompareError> {
-        level_store(&self.current, attrs).map(Arc::new)
+        self.current
+            .build_store_anchored(Some(attrs), self.anchor)
+            .map(Arc::new)
+            .map_err(CompareError::Cube)
     }
 
     fn descend(&mut self, condition: Condition) -> Result<bool, CompareError> {
-        match self.current.sub_population(condition.attr, condition.value) {
-            Ok(sub) if !sub.is_empty() => {
+        match self.current.narrow(condition.attr, condition.value) {
+            Ok(sub) if sub.count() > 0 => {
                 self.current = sub;
                 Ok(true)
             }
@@ -211,9 +216,8 @@ pub fn drill_down_with<F>(
 where
     F: FnMut(Arc<CubeStore>, &ComparisonSpec, &Budget) -> Result<ComparisonResult, CompareError>,
 {
-    let mut pop = DatasetPopulation {
-        current: ds.clone(),
-    };
+    let index = Arc::new(ColumnIndex::build(ds).map_err(CompareError::Cube)?);
+    let mut pop = SelectorPopulation::new(index.selector(), spec.attr);
     drill_down_via(&mut pop, spec, config, budget, run_compare)
 }
 

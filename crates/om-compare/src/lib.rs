@@ -37,7 +37,7 @@ pub mod report;
 
 pub use drill::{
     candidate_attrs, candidate_attrs_in, drill_down, drill_down_budgeted, drill_down_via,
-    drill_down_with, level_store, DrillConfig, DrillLevel, DrillPopulation,
+    drill_down_with, DrillConfig, DrillLevel, DrillPopulation, SelectorPopulation,
 };
 pub use groups::{compare_groups, GroupSpec};
 pub use interval::IntervalMethod;

@@ -20,8 +20,10 @@
 //! without multiple aggregation levels ("our cubes have no hierarchy",
 //! Section II).
 
+pub mod bitmap;
 pub mod build;
 pub mod cube;
+pub mod kernel;
 pub mod merge;
 pub mod olap;
 pub mod persist;
@@ -38,6 +40,9 @@ pub use query::{
     filter_rules, filter_rules_budgeted, top_k_by_confidence, top_k_by_confidence_budgeted,
     CubeRule,
 };
+pub use bitmap::Bitmap;
 pub use cube::{CubeDim, CubeError, RuleCube};
+pub use kernel::{ColumnIndex, PopulationSelector};
+pub use query::conditioned_one_dim;
 pub use store::{CubeStore, StoreBuildOptions};
 pub use view::CubeView;

@@ -22,14 +22,14 @@ use std::sync::{Arc, OnceLock};
 use crossbeam::channel;
 use parking_lot::RwLock;
 
-use om_data::Dataset;
+use om_data::{Dataset, Schema};
 
 use crate::build::build_cube;
 use crate::cube::{CubeError, RuleCube};
+use crate::kernel::{ColumnIndex, PopulationSelector};
 
 /// Options for building a [`CubeStore`].
 #[derive(Debug, Clone)]
-#[derive(Default)]
 pub struct StoreBuildOptions {
     /// Schema indices of the attributes to include; `None` = every
     /// categorical non-class attribute. (The paper's domain experts
@@ -38,8 +38,22 @@ pub struct StoreBuildOptions {
     /// Number of worker threads for the eager pair build; `0` = use
     /// available parallelism.
     pub n_threads: usize,
+    /// Build the per-column bitmap [`ColumnIndex`] alongside the cubes
+    /// (one extra pass per column), so conditioned queries go through
+    /// the counting kernel instead of record walks. On by default; turn
+    /// off for throwaway stores (ingest deltas) nothing conditions on.
+    pub index: bool,
 }
 
+impl Default for StoreBuildOptions {
+    fn default() -> Self {
+        Self {
+            attrs: None,
+            n_threads: 0,
+            index: true,
+        }
+    }
+}
 
 /// One lazily-built pair cube. `OnceLock` guarantees exactly-once
 /// initialization: the first thread to reach a cold slot runs the build
@@ -47,12 +61,30 @@ pub struct StoreBuildOptions {
 /// (or the build error, which `CubeError: Clone` lets us retain) lands.
 type PairSlot = OnceLock<Result<Arc<RuleCube>, CubeError>>;
 
+/// Where a lazy pair cube's counts come from on first access.
+enum PairSource {
+    /// Recount from the retained dataset (the classic lazy store).
+    Dataset(Arc<Dataset>),
+    /// Masked column scan through the counting kernel (kernel-built
+    /// conditioned stores — see [`PopulationSelector::build_store`]).
+    Selector(PopulationSelector),
+}
+
+impl PairSource {
+    fn build(&self, a: usize, b: usize) -> Result<RuleCube, CubeError> {
+        match self {
+            PairSource::Dataset(ds) => build_cube(ds, &[a, b]),
+            PairSource::Selector(sel) => sel.pair_cube(a, b),
+        }
+    }
+}
+
 enum PairCubes {
     /// All pair cubes prebuilt (offline mode).
     Eager(HashMap<(usize, usize), Arc<RuleCube>>),
-    /// Pair cubes built on first access from the retained dataset.
+    /// Pair cubes built on first access from the retained source.
     Lazy {
-        dataset: Arc<Dataset>,
+        source: PairSource,
         cache: RwLock<HashMap<(usize, usize), Arc<PairSlot>>>,
         builds: AtomicU64,
     },
@@ -66,12 +98,20 @@ pub struct CubeStore {
     total_records: u64,
     one_d: HashMap<usize, Arc<RuleCube>>,
     pairs: PairCubes,
+    /// The counting-kernel index over the generation this store was built
+    /// from, when one was built ([`StoreBuildOptions::index`]). `None`
+    /// for merged, decoded, or folded-into stores — their cube counts no
+    /// longer describe any single indexed row set.
+    index: Option<Arc<ColumnIndex>>,
 }
 
 impl CubeStore {
-    /// Validate and resolve the attribute list.
-    fn resolve_attrs(ds: &Dataset, opts: &StoreBuildOptions) -> Result<Vec<usize>, CubeError> {
-        let schema = ds.schema();
+    /// Validate and resolve the attribute list (schema-only, so the
+    /// kernel validates identically without holding records).
+    pub(crate) fn resolve_attrs(
+        schema: &Schema,
+        opts: &StoreBuildOptions,
+    ) -> Result<Vec<usize>, CubeError> {
         let attrs: Vec<usize> = match &opts.attrs {
             Some(list) => {
                 for &a in list {
@@ -122,7 +162,7 @@ impl CubeStore {
     /// # Errors
     /// Fails on invalid attribute selections or non-categorical attributes.
     pub fn build(ds: &Dataset, opts: &StoreBuildOptions) -> Result<Self, CubeError> {
-        let attrs = Self::resolve_attrs(ds, opts)?;
+        let attrs = Self::resolve_attrs(ds.schema(), opts)?;
         let one_d = Self::build_one_d(ds, &attrs)?;
 
         let mut pair_list: Vec<(usize, usize)> = Vec::new();
@@ -182,6 +222,7 @@ impl CubeStore {
             total_records: ds.n_rows() as u64,
             one_d,
             pairs: PairCubes::Eager(pairs),
+            index: Self::maybe_index(ds, opts)?,
         })
     }
 
@@ -191,7 +232,7 @@ impl CubeStore {
     /// # Errors
     /// Fails on invalid attribute selections.
     pub fn build_lazy(ds: Arc<Dataset>, opts: &StoreBuildOptions) -> Result<Self, CubeError> {
-        let attrs = Self::resolve_attrs(&ds, opts)?;
+        let attrs = Self::resolve_attrs(ds.schema(), opts)?;
         let one_d = Self::build_one_d(&ds, &attrs)?;
         Ok(Self {
             attrs,
@@ -199,12 +240,63 @@ impl CubeStore {
             class_counts: ds.class_counts(),
             total_records: ds.n_rows() as u64,
             one_d,
+            index: Self::maybe_index(&ds, opts)?,
             pairs: PairCubes::Lazy {
-                dataset: ds,
+                source: PairSource::Dataset(ds),
                 cache: RwLock::new(HashMap::new()),
                 builds: AtomicU64::new(0),
             },
         })
+    }
+
+    fn maybe_index(
+        ds: &Dataset,
+        opts: &StoreBuildOptions,
+    ) -> Result<Option<Arc<ColumnIndex>>, CubeError> {
+        opts.index
+            .then(|| ColumnIndex::build(ds).map(Arc::new))
+            .transpose()
+    }
+
+    /// Assemble a kernel-built store: cubes already filled by one shared
+    /// masked scan; missing pair cubes build lazily through `lazy_source`
+    /// when one is given, otherwise the store is fully eager.
+    pub(crate) fn from_kernel(
+        attrs: Vec<usize>,
+        class_labels: Vec<String>,
+        class_counts: Vec<u64>,
+        total_records: u64,
+        one_d: HashMap<usize, Arc<RuleCube>>,
+        pairs: HashMap<(usize, usize), Arc<RuleCube>>,
+        lazy_source: Option<PopulationSelector>,
+    ) -> Self {
+        let pairs = match lazy_source {
+            None => PairCubes::Eager(pairs),
+            Some(sel) => {
+                let cache = pairs
+                    .into_iter()
+                    .map(|(key, cube)| {
+                        let slot = Arc::new(PairSlot::new());
+                        let _ = slot.set(Ok(cube));
+                        (key, slot)
+                    })
+                    .collect();
+                PairCubes::Lazy {
+                    source: PairSource::Selector(sel),
+                    cache: RwLock::new(cache),
+                    builds: AtomicU64::new(0),
+                }
+            }
+        };
+        Self {
+            attrs,
+            class_labels,
+            class_counts,
+            total_records,
+            one_d,
+            pairs,
+            index: None,
+        }
     }
 
     /// Assemble a store from prebuilt parts (used by `merge`).
@@ -223,12 +315,34 @@ impl CubeStore {
             total_records,
             one_d,
             pairs: PairCubes::Eager(pairs),
+            index: None,
         }
     }
 
     /// Schema indices of the analysis attributes.
     pub fn attrs(&self) -> &[usize] {
         &self.attrs
+    }
+
+    /// The counting-kernel index over this store's generation, when one
+    /// was built ([`StoreBuildOptions::index`]). `None` for merged,
+    /// decoded, or folded-into stores.
+    pub fn index(&self) -> Option<&Arc<ColumnIndex>> {
+        self.index.as_ref()
+    }
+
+    /// Whether the pair cube `(a, b)` is already materialized (always
+    /// true for member pairs of an eager store). Lets a read path choose
+    /// between slicing a prebuilt cube and a masked kernel scan.
+    pub fn pair_ready(&self, a: usize, b: usize) -> bool {
+        let key = (a.min(b), a.max(b));
+        match &self.pairs {
+            PairCubes::Eager(map) => map.contains_key(&key),
+            PairCubes::Lazy { cache, .. } => cache
+                .read()
+                .get(&key)
+                .is_some_and(|s| matches!(s.get(), Some(Ok(_)))),
+        }
     }
 
     /// Class labels, in id order.
@@ -279,7 +393,7 @@ impl CubeStore {
                 .cloned()
                 .ok_or_else(|| CubeError::NoSuchDim(format!("pair cube {key:?}"))),
             PairCubes::Lazy {
-                dataset,
+                source,
                 cache,
                 builds,
             } => {
@@ -295,7 +409,7 @@ impl CubeStore {
                 };
                 slot.get_or_init(|| {
                     builds.fetch_add(1, Ordering::Relaxed);
-                    build_cube(dataset, &[key.0, key.1]).map(Arc::new)
+                    source.build(key.0, key.1).map(Arc::new)
                 })
                 .clone()
             }
@@ -365,6 +479,10 @@ impl CubeStore {
             *dst += src;
         }
         self.total_records += total_records;
+        // Folding other counts in means the cubes no longer describe the
+        // indexed row set; a stale index answering conditioned queries
+        // would silently drop the folded records.
+        self.index = None;
     }
 }
 
@@ -385,15 +503,19 @@ impl Clone for CubeStore {
             pairs: match &self.pairs {
                 PairCubes::Eager(map) => PairCubes::Eager(map.clone()),
                 PairCubes::Lazy {
-                    dataset,
+                    source,
                     cache,
                     builds,
                 } => PairCubes::Lazy {
-                    dataset: Arc::clone(dataset),
+                    source: match source {
+                        PairSource::Dataset(ds) => PairSource::Dataset(Arc::clone(ds)),
+                        PairSource::Selector(sel) => PairSource::Selector(sel.clone()),
+                    },
                     cache: RwLock::new(cache.read().clone()),
                     builds: AtomicU64::new(builds.load(Ordering::Relaxed)),
                 },
             },
+            index: self.index.clone(),
         }
     }
 }
@@ -549,6 +671,7 @@ mod tests {
             &StoreBuildOptions {
                 attrs: Some(vec![1, 3, 5]),
                 n_threads: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -572,6 +695,7 @@ mod tests {
             &StoreBuildOptions {
                 attrs: Some(vec![0, class_idx]),
                 n_threads: 1,
+                ..Default::default()
             },
         );
         assert!(r.is_err());

@@ -7,6 +7,7 @@
 use om_data::ValueId;
 
 use crate::cube::{CubeError, RuleCube};
+use crate::store::CubeStore;
 
 /// A materialized `value × class` table of one attribute's rule cube.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +50,25 @@ impl CubeView {
             value_totals,
             total: cube.total(),
         })
+    }
+
+    /// The view of `attr` restricted to rows where `cond_attr =
+    /// cond_value` — a conditioned Fig. 5 column, answered through
+    /// [`crate::query::conditioned_one_dim`] (pair-cube slice or masked
+    /// kernel scan, whichever is already paid for).
+    ///
+    /// # Errors
+    /// Fails if either attribute is outside the store or the condition
+    /// value is out of domain.
+    pub fn conditioned(
+        store: &CubeStore,
+        cond_attr: usize,
+        cond_value: ValueId,
+        attr: usize,
+    ) -> Result<Self, CubeError> {
+        Self::from_cube(&crate::query::conditioned_one_dim(
+            store, cond_attr, cond_value, attr,
+        )?)
     }
 
     pub fn attr_name(&self) -> &str {

@@ -1,14 +1,16 @@
 //! The engine façade.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use om_compare::{
-    compare_groups, drill_down_budgeted, drill_down_with, CompareConfig, CompareError, Comparator,
-    ComparisonResult, ComparisonSpec, DrillConfig, DrillLevel, GroupSpec,
+    compare_groups, drill_down_via, CompareConfig, CompareError, Comparator, ComparisonResult,
+    ComparisonSpec, DrillConfig, DrillLevel, GroupSpec, SelectorPopulation,
 };
 use om_car::{mine, mine_restricted, CarRule, Condition, MinerConfig};
-use om_cube::{CubeError, CubeStore, CubeView, SharedStore, StoreBuildOptions, StoreSnapshot};
+use om_cube::{
+    ColumnIndex, CubeError, CubeStore, CubeView, SharedStore, StoreBuildOptions, StoreSnapshot,
+};
 use om_data::{DataError, Dataset};
 use om_discretize::{discretize_all, CutPoints, Method};
 use om_exec::{rank_parallel, BatchItem, BatchOutcome, ExecConfig, Executor};
@@ -215,6 +217,12 @@ pub struct OpportunityMap {
     /// Persistent worker pool for parallel execution, sized by
     /// [`EngineConfig::exec`]. Width 1 spawns no threads at all.
     executor: Executor,
+    /// The counting kernel over the *base* dataset (the one drill-downs
+    /// and batches condition on — ingested rows exist only in the cube
+    /// store, exactly as with the old record walks). Seeded from the
+    /// generation-0 store's index when available, built on first use
+    /// otherwise.
+    kernel: OnceLock<Arc<ColumnIndex>>,
 }
 
 impl OpportunityMap {
@@ -230,13 +238,33 @@ impl OpportunityMap {
         let cuts = discretize_all(&mut dataset, &config.discretization)?;
         let store = CubeStore::build(&dataset, &config.store)?;
         let executor = Executor::new(&config.exec);
+        let kernel = OnceLock::new();
+        if let Some(index) = store.index() {
+            let _ = kernel.set(Arc::clone(index));
+        }
         Ok(Self {
             dataset,
             shared: SharedStore::new(store),
             config,
             cuts,
             executor,
+            kernel,
         })
+    }
+
+    /// The counting kernel ([`ColumnIndex`]) over the base dataset —
+    /// what drill-downs and batches condition sub-populations with.
+    /// Built at most once for the engine's lifetime.
+    ///
+    /// # Errors
+    /// Propagates index construction failures (first call only, and only
+    /// when the store was built without one).
+    pub fn kernel(&self) -> Result<&Arc<ColumnIndex>, EngineError> {
+        if let Some(k) = self.kernel.get() {
+            return Ok(k);
+        }
+        let built = Arc::new(ColumnIndex::build(&self.dataset)?);
+        Ok(self.kernel.get_or_init(|| built))
     }
 
     /// The context a caller should run queries under: the engine's
@@ -480,59 +508,6 @@ impl OpportunityMap {
         self.run_compare(&spec, ctx)
     }
 
-    /// Deprecated shim for [`run_compare`](Self::run_compare).
-    ///
-    /// # Errors
-    /// As [`run_compare`](Self::run_compare).
-    #[deprecated(note = "use run_compare with an ExecCtx")]
-    pub fn compare(&self, spec: &ComparisonSpec) -> Result<ComparisonResult, EngineError> {
-        self.run_compare(spec, ExecCtx::serial())
-    }
-
-    /// Deprecated shim for [`run_compare`](Self::run_compare).
-    ///
-    /// # Errors
-    /// As [`run_compare`](Self::run_compare).
-    #[deprecated(note = "use run_compare with an ExecCtx")]
-    pub fn compare_budgeted(
-        &self,
-        spec: &ComparisonSpec,
-        budget: &Budget,
-    ) -> Result<ComparisonResult, EngineError> {
-        self.run_compare(spec, ExecCtx::budgeted(budget))
-    }
-
-    /// Deprecated shim for [`run_compare_by_name`](Self::run_compare_by_name).
-    ///
-    /// # Errors
-    /// As [`run_compare_by_name`](Self::run_compare_by_name).
-    #[deprecated(note = "use run_compare_by_name with an ExecCtx")]
-    pub fn compare_by_name(
-        &self,
-        attr_name: &str,
-        value_1: &str,
-        value_2: &str,
-        class: &str,
-    ) -> Result<ComparisonResult, EngineError> {
-        self.run_compare_by_name(attr_name, value_1, value_2, class, ExecCtx::serial())
-    }
-
-    /// Deprecated shim for [`run_compare_by_name`](Self::run_compare_by_name).
-    ///
-    /// # Errors
-    /// As [`run_compare_by_name`](Self::run_compare_by_name).
-    #[deprecated(note = "use run_compare_by_name with an ExecCtx")]
-    pub fn compare_by_name_budgeted(
-        &self,
-        attr_name: &str,
-        value_1: &str,
-        value_2: &str,
-        class: &str,
-        budget: &Budget,
-    ) -> Result<ComparisonResult, EngineError> {
-        self.run_compare_by_name(attr_name, value_1, value_2, class, ExecCtx::budgeted(budget))
-    }
-
     /// Text rendering of a comparison's top attribute (Fig. 7).
     pub fn comparison_view(&self, result: &ComparisonResult) -> String {
         render_top_attribute(result, &CompareViewOptions::default())
@@ -590,11 +565,21 @@ impl OpportunityMap {
         let spec = self.spec_by_name(attr_name, value_1, value_2, class)?;
         let unlimited = Budget::unlimited();
         let budget = ctx.budget.unwrap_or(&unlimited);
+        let mut pop = SelectorPopulation::new(self.kernel()?.selector(), spec.attr);
         if ctx.exec.is_serial() {
-            Ok(drill_down_budgeted(&self.dataset, &spec, config, budget)?)
+            Ok(drill_down_via(
+                &mut pop,
+                &spec,
+                config,
+                budget,
+                |store, spec, budget| {
+                    Comparator::with_config(&store, config.compare.clone())
+                        .compare_budgeted(spec, budget)
+                },
+            )?)
         } else {
-            Ok(drill_down_with(
-                &self.dataset,
+            Ok(drill_down_via(
+                &mut pop,
                 &spec,
                 config,
                 budget,
@@ -603,48 +588,6 @@ impl OpportunityMap {
                 },
             )?)
         }
-    }
-
-    /// Deprecated shim for
-    /// [`run_drill_down_by_name`](Self::run_drill_down_by_name).
-    ///
-    /// # Errors
-    /// As [`run_drill_down_by_name`](Self::run_drill_down_by_name).
-    #[deprecated(note = "use run_drill_down_by_name with an ExecCtx")]
-    pub fn drill_down_by_name(
-        &self,
-        attr_name: &str,
-        value_1: &str,
-        value_2: &str,
-        class: &str,
-        config: &DrillConfig,
-    ) -> Result<Vec<DrillLevel>, EngineError> {
-        self.run_drill_down_by_name(attr_name, value_1, value_2, class, config, ExecCtx::serial())
-    }
-
-    /// Deprecated shim for
-    /// [`run_drill_down_by_name`](Self::run_drill_down_by_name).
-    ///
-    /// # Errors
-    /// As [`run_drill_down_by_name`](Self::run_drill_down_by_name).
-    #[deprecated(note = "use run_drill_down_by_name with an ExecCtx")]
-    pub fn drill_down_by_name_budgeted(
-        &self,
-        attr_name: &str,
-        value_1: &str,
-        value_2: &str,
-        class: &str,
-        config: &DrillConfig,
-        budget: &Budget,
-    ) -> Result<Vec<DrillLevel>, EngineError> {
-        self.run_drill_down_by_name(
-            attr_name,
-            value_1,
-            value_2,
-            class,
-            config,
-            ExecCtx::budgeted(budget),
-        )
     }
 
     /// Execute a comparison batch (see [`om_exec::run_batch`]): compare
@@ -671,7 +614,7 @@ impl OpportunityMap {
         Ok(om_exec::run_batch(
             &self.executor,
             &snapshot,
-            &self.dataset,
+            self.kernel()?,
             &self.config.compare,
             drill_config,
             items,
@@ -734,24 +677,6 @@ impl OpportunityMap {
             }
         }
         Ok(report)
-    }
-
-    /// Deprecated shim for
-    /// [`run_general_impressions`](Self::run_general_impressions).
-    #[deprecated(note = "use run_general_impressions with an ExecCtx")]
-    pub fn general_impressions(&self) -> GiReport {
-        self.run_general_impressions(ExecCtx::serial())
-            .expect("unlimited budget never trips")
-    }
-
-    /// Deprecated shim for
-    /// [`run_general_impressions`](Self::run_general_impressions).
-    ///
-    /// # Errors
-    /// As [`run_general_impressions`](Self::run_general_impressions).
-    #[deprecated(note = "use run_general_impressions with an ExecCtx")]
-    pub fn general_impressions_budgeted(&self, budget: &Budget) -> Result<GiReport, EngineError> {
-        self.run_general_impressions(ExecCtx::budgeted(budget))
     }
 
     /// Render the general-impressions report as text (top `n` entries per
@@ -943,31 +868,6 @@ mod tests {
             )
             .unwrap();
         assert!(matches!(&outcomes[2], BatchOutcome::Drill(levels) if *levels == walked));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_answer() {
-        let (om, truth) = engine();
-        let via_shim = om
-            .compare_by_name(
-                &truth.compare_attr,
-                &truth.baseline_value,
-                &truth.target_value,
-                &truth.target_class,
-            )
-            .unwrap();
-        let via_ctx = om
-            .run_compare_by_name(
-                &truth.compare_attr,
-                &truth.baseline_value,
-                &truth.target_value,
-                &truth.target_class,
-                ExecCtx::serial(),
-            )
-            .unwrap();
-        assert_eq!(via_shim, via_ctx);
-        assert_eq!(om.general_impressions().trends, om.run_general_impressions(ExecCtx::serial()).unwrap().trends);
     }
 
     #[test]

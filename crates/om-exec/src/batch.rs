@@ -23,11 +23,12 @@ use std::time::Duration;
 
 use om_car::Condition;
 use om_compare::{
-    assemble, attr_name, candidate_attrs, counts_for_class, drill_down_with, level_store,
-    normalize, score_attribute, subpop_slices, AttrScore, CompareConfig, CompareError,
-    ComparisonResult, ComparisonSpec, DrillConfig, DrillLevel, NormalizedSpec,
+    assemble, attr_name, candidate_attrs_in, counts_for_class, drill_down_via, normalize,
+    score_attribute, subpop_slices, AttrScore, CompareConfig, CompareError, ComparisonResult,
+    ComparisonSpec, DrillConfig, DrillLevel, NormalizedSpec, SelectorPopulation,
 };
-use om_data::{Dataset, ValueId};
+use om_cube::{ColumnIndex, PopulationSelector};
+use om_data::ValueId;
 use om_fault::{fail, Budget};
 
 use crate::pool::Executor;
@@ -121,7 +122,7 @@ fn item_budget(batch: &Budget, budget_ms: Option<u64>) -> Budget {
 pub fn run_batch<S: StoreRef>(
     exec: &Executor,
     store: &S,
-    ds: &Dataset,
+    kernel: &Arc<ColumnIndex>,
     compare_config: &CompareConfig,
     drill_config: &DrillConfig,
     items: &[BatchItem],
@@ -172,7 +173,7 @@ pub fn run_batch<S: StoreRef>(
             let item_budget = item_budget(budget, *budget_ms);
             let outcome = run_drill_item(
                 exec,
-                ds,
+                kernel,
                 compare_config,
                 drill_config,
                 spec,
@@ -293,18 +294,20 @@ fn run_compare_group(
     out
 }
 
-/// Comparisons and conditioned populations shared across a batch's
-/// drill items, keyed by the exact condition-path prefix.
+/// Comparisons and conditioned selectors shared across a batch's
+/// drill items, keyed by the exact condition-path prefix. Selectors are
+/// bitmap masks over the shared kernel index — memoizing one costs a
+/// compressed mask, not a copied record set.
 #[derive(Default)]
 struct DrillMemo {
-    pops: HashMap<Vec<Condition>, Arc<Dataset>>,
+    pops: HashMap<Vec<Condition>, PopulationSelector>,
     results: HashMap<(Vec<Condition>, ComparisonSpec), ComparisonResult>,
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_drill_item(
     exec: &Executor,
-    ds: &Dataset,
+    kernel: &Arc<ColumnIndex>,
     compare_config: &CompareConfig,
     drill_config: &DrillConfig,
     spec: &ComparisonSpec,
@@ -320,7 +323,8 @@ fn run_drill_item(
         // findings); it is exactly the runner's first invocation.
         let results = &mut memo.results;
         let mut at_root = true;
-        let walked = drill_down_with(ds, spec, drill_config, budget, |store, spec, budget| {
+        let mut pop = SelectorPopulation::new(kernel.selector(), spec.attr);
+        let walked = drill_down_via(&mut pop, spec, drill_config, budget, |store, spec, budget| {
             let is_root = std::mem::take(&mut at_root);
             let root_key = (Vec::new(), *spec);
             if is_root {
@@ -351,13 +355,13 @@ fn run_drill_item(
         let Some(prefix) = path.get(..depth) else {
             break; // depth <= path.len() by the loop bound
         };
-        let current = match conditioned_population(ds, prefix, memo) {
+        let current = match conditioned_selector(kernel, prefix, memo) {
             Ok(pop) => pop,
             Err(msg) => return BatchOutcome::Failed { message: msg },
         };
         let mut excluded: Vec<usize> = vec![spec.attr];
         excluded.extend(prefix.iter().map(|c| c.attr));
-        let attrs = candidate_attrs(&current, spec.attr, &excluded);
+        let attrs = candidate_attrs_in(kernel.schema(), spec.attr, &excluded);
         if attrs.len() < 2 {
             break; // nothing left to rank under these conditions
         }
@@ -365,9 +369,11 @@ fn run_drill_item(
         let result = if let Some(hit) = memo.results.get(&key) {
             hit.clone()
         } else {
-            let computed = level_store(&current, attrs).map(Arc::new).and_then(|store| {
-                rank_parallel(exec, &store, compare_config, spec, budget)
-            });
+            let computed = current
+                .build_store_anchored(Some(attrs), spec.attr)
+                .map(Arc::new)
+                .map_err(CompareError::Cube)
+                .and_then(|store| rank_parallel(exec, &store, compare_config, spec, budget));
             match computed {
                 Ok(r) => {
                     memo.results.insert(key, r.clone());
@@ -380,41 +386,43 @@ fn run_drill_item(
         };
         levels.push(DrillLevel {
             conditions: prefix.to_vec(),
-            condition_labels: prefix.iter().map(|c| c.display(ds.schema())).collect(),
+            condition_labels: prefix.iter().map(|c| c.display(kernel.schema())).collect(),
             result,
         });
     }
     BatchOutcome::Drill(levels)
 }
 
-/// The records satisfying `prefix`, built incrementally and shared
-/// across every item whose path starts the same way.
-fn conditioned_population(
-    ds: &Dataset,
+/// The selector satisfying `prefix` — each step a bitmap AND — built
+/// incrementally and shared across every item whose path starts the same
+/// way. Error messages match the retired record-walk path exactly (the
+/// kernel raises the same `DataError`s), so batch outcomes stay
+/// byte-identical.
+fn conditioned_selector(
+    kernel: &Arc<ColumnIndex>,
     prefix: &[Condition],
     memo: &mut DrillMemo,
-) -> Result<Arc<Dataset>, String> {
+) -> Result<PopulationSelector, String> {
     let Some((&cond, parent_prefix)) = prefix.split_last() else {
         return Ok(memo
             .pops
             .entry(Vec::new())
-            .or_insert_with(|| Arc::new(ds.clone()))
+            .or_insert_with(|| kernel.selector())
             .clone());
     };
     if let Some(hit) = memo.pops.get(prefix) {
         return Ok(hit.clone());
     }
-    let parent = conditioned_population(ds, parent_prefix, memo)?;
+    let parent = conditioned_selector(kernel, parent_prefix, memo)?;
     let sub = parent
-        .sub_population(cond.attr, cond.value)
-        .map_err(|e| format!("condition {} is invalid: {e}", cond.display(ds.schema())))?;
-    if sub.is_empty() {
+        .narrow(cond.attr, cond.value)
+        .map_err(|e| format!("condition {} is invalid: {e}", cond.display(kernel.schema())))?;
+    if sub.count() == 0 {
         return Err(format!(
             "condition {} selects no records",
-            cond.display(ds.schema())
+            cond.display(kernel.schema())
         ));
     }
-    let sub = Arc::new(sub);
     memo.pops.insert(prefix.to_vec(), sub.clone());
     Ok(sub)
 }

@@ -95,28 +95,17 @@ pub(crate) fn overlap_upper(
     Ok(best)
 }
 
-/// The one-dimensional cube over `b` restricted to rows matching `s`:
-/// the `(s.attr, b)` pair cube sliced at `s.value`. This is the same
-/// conditioned-population read the comparator's `subpop_slices` does —
-/// the pair cube is fetched (and lazily built) once and serves every
-/// slice of it.
+/// The one-dimensional cube over `b` restricted to rows matching `s` —
+/// answered through [`om_cube::conditioned_one_dim`]: an already-built
+/// `(s.attr, b)` pair cube is sliced, otherwise the store's counting
+/// kernel does one masked column scan instead of materializing the full
+/// pair. Counts are identical either way.
 pub(crate) fn conditioned(
     store: &CubeStore,
     s: Cond,
     b: usize,
 ) -> Result<RuleCube, ExploreError> {
-    let pair = store.pair(s.attr, b)?;
-    let sel_dim = pair
-        .dims()
-        .iter()
-        .position(|d| d.attr_index == s.attr)
-        .ok_or_else(|| {
-            ExploreError::Invalid(format!(
-                "pair cube ({}, {b}) lacks the slicing dimension",
-                s.attr
-            ))
-        })?;
-    Ok(om_cube::olap::slice(&pair, sel_dim, s.value)?)
+    Ok(om_cube::conditioned_one_dim(store, s.attr, s.value, b)?)
 }
 
 /// Append one candidate per non-empty value of `cube`'s first (and

@@ -93,7 +93,9 @@ struct Metrics {
 }
 
 enum Msg {
-    Delta(CubeStore),
+    // Boxed: a CubeStore now carries its column index, and the variant
+    // would otherwise dwarf Barrier (clippy::large_enum_variant).
+    Delta(Box<CubeStore>),
     Barrier(Sender<()>),
 }
 
@@ -142,12 +144,14 @@ fn build_delta(
         columns.into_iter().map(Column::Categorical).collect(),
     )?;
     // Deltas are small (≤ seal_rows); a single-threaded build avoids
-    // spawning a worker pool on every seal.
+    // spawning a worker pool on every seal. No index either — a delta
+    // exists only to be folded into the master store, never queried.
     Ok(CubeStore::build(
         &ds,
         &StoreBuildOptions {
             attrs: Some(attrs.to_vec()),
             n_threads: 1,
+            index: false,
         },
     )?)
 }
@@ -406,7 +410,7 @@ impl IngestHandle {
             .metrics
             .wal_bytes
             .store(state.wal.bytes(), Ordering::Relaxed);
-        self.send(Msg::Delta(delta))
+        self.send(Msg::Delta(Box::new(delta)))
     }
 
     fn send(&self, msg: Msg) -> Result<(), IngestError> {

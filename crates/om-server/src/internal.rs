@@ -32,10 +32,10 @@ use om_api::{
     b64_encode, InternalCountRequest, InternalCountResponse, InternalGenerationResponse,
     InternalLevelRequest, InternalLevelResponse, InternalSchemaResponse, InternalStoreResponse,
 };
-use om_compare::level_store;
+use om_compare::CompareError;
 use om_cube::persist::encode_store;
+use om_cube::PopulationSelector;
 use om_data::persist::encode_dataset;
-use om_data::Dataset;
 use om_engine::{IngestHandle, OpportunityMap};
 
 use crate::http::{Request, Response};
@@ -156,16 +156,27 @@ fn store(req: &Request, om: &OpportunityMap, wire: &StoreWireCache) -> Response 
     Response::json((*body).clone())
 }
 
-/// Narrow the shard's base partition by resolved conditions, in order.
-fn conditioned(om: &OpportunityMap, conditions: &[om_api::ConditionWire]) -> Result<Dataset, Response> {
-    let mut current = om.dataset().clone();
+/// Narrow the shard's base partition by resolved conditions, in order —
+/// one bitmap AND per condition over the engine's counting kernel, no
+/// record copies. The kernel indexes the same base dataset the old
+/// record walk read, and [`PopulationSelector::narrow`] raises the same
+/// errors `Dataset::sub_population` did, so wire responses (status and
+/// message) are unchanged.
+fn conditioned(
+    om: &OpportunityMap,
+    conditions: &[om_api::ConditionWire],
+) -> Result<PopulationSelector, Response> {
+    let kernel = om
+        .kernel()
+        .map_err(|e| Response::error(500, &format!("kernel unavailable: {e}")))?;
+    let mut current = kernel.selector();
     for c in conditions {
         let attr = usize::try_from(c.attr)
             .map_err(|_| Response::error(400, "condition attr out of range"))?;
         let value = u32::try_from(c.value)
             .map_err(|_| Response::error(400, "condition value out of range"))?;
         current = current
-            .sub_population(attr, value)
+            .narrow(attr, value)
             .map_err(|e| Response::error(422, &format!("condition failed: {e}")))?;
     }
     Ok(current)
@@ -189,7 +200,13 @@ fn level(req: &Request, om: &OpportunityMap) -> Response {
         Ok(attrs) => attrs,
         Err(_) => return Response::error(400, "level attr out of range"),
     };
-    let store = match level_store(&current, attrs) {
+    // Eager pairs: the codec writes only materialized pair cubes, and
+    // the coordinator's merged level store must answer every pair query
+    // a resident store would.
+    let store = match current
+        .build_store_eager(Some(attrs))
+        .map_err(CompareError::Cube)
+    {
         Ok(store) => store,
         Err(e) => return Response::error(422, &format!("level store failed: {e}")),
     };
@@ -212,7 +229,7 @@ fn count(req: &Request, om: &OpportunityMap) -> Response {
     match conditioned(om, &body.conditions) {
         Ok(current) => Response::json(
             InternalCountResponse {
-                count: current.n_rows() as u64,
+                count: current.count(),
             }
             .encode(),
         ),

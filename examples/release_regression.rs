@@ -71,6 +71,7 @@ fn main() {
     let opts = StoreBuildOptions {
         attrs: Some(attrs),
         n_threads: 0,
+        ..Default::default()
     };
     let may_store = CubeStore::build(&may, &opts).expect("may cubes");
     let june_store = CubeStore::build(&june, &opts).expect("june cubes");

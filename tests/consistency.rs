@@ -68,6 +68,7 @@ fn store_cubes_agree_with_sub_population_counting() {
         &StoreBuildOptions {
             attrs: Some(vec![phone, time]),
             n_threads: 1,
+            ..Default::default()
         },
     )
     .unwrap();

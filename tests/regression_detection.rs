@@ -80,6 +80,7 @@ fn merged_monthly_stores_equal_monolithic_build() {
     let opts = StoreBuildOptions {
         attrs: Some(attrs),
         n_threads: 0,
+        ..Default::default()
     };
     let merged = CubeStore::build(&may, &opts)
         .unwrap()

@@ -699,6 +699,12 @@ impl Coordinator {
             }
             let mut attempt = 0u32;
             loop {
+                // Per-attempt seam: bounds the retry ladder under chaos
+                // and gives tests a hook between attempts.
+                if let Err(e) = fail::inject("cluster.replica-retry") {
+                    failures.push((g, format!("failpoint: {e}")));
+                    break;
+                }
                 match f(g, shard) {
                     Ok(v) => {
                         self.health.record_success(g);
@@ -992,7 +998,6 @@ impl Coordinator {
                 }
             }
             if gens.iter().all(Option::is_none) {
-                // om-lint: allow(panic-path) — all-None over a non-empty list implies a stashed failure
                 let down = first_down.unwrap_or(PartitionDown {
                     partition: 0,
                     failures: Vec::new(),
@@ -1184,6 +1189,13 @@ impl Coordinator {
             let Some(shard) = self.shards.get(g) else {
                 continue;
             };
+            // Per-replica seam: a skipped replica is a miss, queued for
+            // catch-up replay like any other write failure.
+            if let Err(e) = fail::inject("cluster.ingest-replica") {
+                failures.push((g, format!("failpoint: {e}")));
+                missed.push(g);
+                continue;
+            }
             match self.health.admit(g) {
                 Admission::Deny => {
                     failures.push((g, "circuit breaker open (recent failures); skipped".to_owned()));
@@ -1363,6 +1375,13 @@ impl Coordinator {
     fn validate_prefix(&self, prefix: &[Condition], schema: &Schema) -> Result<(), PrefixError> {
         for j in 0..prefix.len() {
             let Some(&cond) = prefix.get(j) else { break };
+            // Each condition costs a cluster-wide count; the seam bounds
+            // the walk the same way compare.drill-level bounds levels.
+            if let Err(e) = fail::inject("cluster.validate-prefix") {
+                return Err(PrefixError::FanOut(
+                    self.overloaded(format!("prefix validation aborted: {e}")),
+                ));
+            }
             // The zero-row twin runs the same validity checks as a
             // shard's sub_population (they depend only on the schema).
             if let Err(e) = self.om.dataset().sub_population(cond.attr, cond.value) {

@@ -37,6 +37,7 @@ impl Executor {
                 thread::Builder::new()
                     .name(format!("om-exec-{i}"))
                     .spawn(move || {
+                        // om-lint: allow(budget-coverage) — pool workers live for the engine's lifetime; each queued job polls its own request budget
                         while let Ok(job) = rx.recv() {
                             job();
                         }
@@ -112,6 +113,7 @@ impl Executor {
             Ok(v) => slots[0] = Some(v),
             Err(p) => panic_payload = Some(p),
         }
+        // om-lint: allow(budget-coverage) — gathers exactly n-1 completions from jobs that poll their own budgets; panics are re-raised below
         for _ in 1..n {
             // Workers never exit while `self.tx` holds the channel, and
             // job panics are caught before the send — a recv error here
@@ -131,7 +133,6 @@ impl Executor {
         if let Some(p) = panic_payload {
             panic::resume_unwind(p);
         }
-        // om-lint: allow(panic-path) — every non-panicking job filled its slot; panics re-raised above
         slots.into_iter().flatten().collect()
     }
 }

@@ -49,6 +49,9 @@ pub const SEAMS: &[&str] = &[
     "exec.rank",           // om-exec: sharded rank worker body
     "exec.batch-group",    // om-exec: batch group dispatch
     "cluster.fetch",       // om-cluster: per-replica pinned store fetch
+    "cluster.replica-retry", // om-cluster: per-attempt replica call in the retry ladder
+    "cluster.ingest-replica", // om-cluster: per-replica ingest write fan-out
+    "cluster.validate-prefix", // om-cluster: per-condition cluster count in prefix validation
     "server.internal-store", // om-server: shard-side /internal/store handler
     "explore.scan",        // om-explore: per-attribute candidate pool scan
     "explore.step",        // om-explore: end of one greedy selection step

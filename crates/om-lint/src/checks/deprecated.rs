@@ -105,6 +105,7 @@ mod tests {
             manifests: vec![],
             docs: vec![],
             config: CheckConfig::default(),
+            analysis: std::sync::OnceLock::new(),
         }
     }
 

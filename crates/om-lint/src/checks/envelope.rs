@@ -209,6 +209,7 @@ impl ErrorCode {
                 text: doc.into(),
             }],
             config: CheckConfig::default(),
+            analysis: std::sync::OnceLock::new(),
         }
     }
 

@@ -211,6 +211,7 @@ fn seams_used() { inject("engine.compare"); inject("cube.decode"); }
             manifests: vec![],
             docs: vec![],
             config: CheckConfig::default(),
+            analysis: std::sync::OnceLock::new(),
         }
     }
 
@@ -262,6 +263,7 @@ fn seams_used() { inject("engine.compare"); inject("cube.decode"); }
             manifests: vec![],
             docs: vec![],
             config: CheckConfig::default(),
+            analysis: std::sync::OnceLock::new(),
         };
         let f = FailpointNames.run(&w);
         assert_eq!(f.len(), 1);

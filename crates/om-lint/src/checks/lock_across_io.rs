@@ -1,0 +1,57 @@
+//! `lock-across-io`: no guard may be live across blocking I/O or an
+//! unbounded channel wait — directly or through any call chain.
+//!
+//! This is the PR 7 `flush_catchup` bug class: a queue lock held across
+//! a network round trip serializes every writer behind one slow peer
+//! and turns a remote stall into a local pileup. The effect analysis
+//! ([`crate::effects`]) gives each acquisition a live token range and
+//! each function a may-block summary; any blocking intrinsic or
+//! blocking call inside a live range is a finding, anchored at the
+//! acquisition so the fix site (narrow the guard, snapshot under the
+//! lock, do I/O outside) is what gets flagged.
+
+use super::Check;
+use crate::{Finding, Workspace};
+
+pub struct LockAcrossIo;
+
+impl Check for LockAcrossIo {
+    fn name(&self) -> &'static str {
+        "lock-across-io"
+    }
+
+    fn description(&self) -> &'static str {
+        "no lock guard live across blocking I/O, channel waits, sleeps or thread joins, \
+         through any call chain"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Finding> {
+        let a = ws.analysis();
+        let mut out = Vec::new();
+        for (n, fx) in a.locals.iter().enumerate() {
+            let node = &a.graph.nodes[n];
+            let src = &ws.sources[node.file];
+            for acq in &fx.acqs {
+                // The acquisition token itself is not "held across" —
+                // scan strictly after it.
+                let range = (acq.tok + 1, acq.live.1);
+                if let Some((_, witness)) = a.first_blocking_in(n, range) {
+                    let guard = match &acq.lock {
+                        Some(l) => format!("lock `{l}`"),
+                        None => format!("guard of `{}.lock()`", acq.recv),
+                    };
+                    out.push(Finding::new(
+                        self.name(),
+                        &src.rel,
+                        acq.line,
+                        format!(
+                            "{guard} held across a blocking operation ({witness}); \
+                             snapshot under the lock and do I/O after release"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

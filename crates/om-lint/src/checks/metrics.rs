@@ -109,6 +109,7 @@ mod tests {
                 text: doc.into(),
             }],
             config: CheckConfig::default(),
+            analysis: std::sync::OnceLock::new(),
         }
     }
 

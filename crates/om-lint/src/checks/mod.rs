@@ -1,17 +1,20 @@
-//! The check framework and the eight repo-specific checks.
+//! The check framework and the ten repo-specific checks.
 //!
 //! A check is a pure function of the loaded [`Workspace`]; per-file
 //! checks iterate `ws.sources`, workspace-wide checks correlate across
 //! files, manifests and docs. Findings carry the check's kebab-case
 //! name, which is also the suppression key.
 
+mod budget_coverage;
 mod deprecated;
 mod envelope;
 mod failpoints;
-mod lock_order;
+mod lock_across_io;
+mod lock_order_interproc;
 mod metrics;
 mod panic_path;
 mod unsafe_comment;
+pub(crate) mod unused_suppression;
 mod vendor;
 
 use crate::{Finding, Workspace};
@@ -37,7 +40,25 @@ pub fn all() -> Vec<Box<dyn Check>> {
         Box::new(failpoints::FailpointNames),
         Box::new(vendor::VendorOnly),
         Box::new(unsafe_comment::UnsafeSafetyComment),
-        Box::new(lock_order::LockOrder),
+        Box::new(lock_across_io::LockAcrossIo),
+        Box::new(lock_order_interproc::LockOrderInterproc),
+        Box::new(budget_coverage::BudgetCoverage),
+    ]
+}
+
+/// Driver-level passes that are not [`Check`] impls but still produce
+/// suppressible findings: suppression hygiene and the stale-suppression
+/// scan (which needs the raw findings of every other check, so it runs
+/// in `Workspace::run_checks`). `(name, description)` pairs, for the
+/// `checks` listing and the known-name validation.
+#[must_use]
+pub fn driver_passes() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "suppression",
+            "every om-lint allow() carries a reason and names a known check",
+        ),
+        (unused_suppression::NAME, unused_suppression::DESCRIPTION),
     ]
 }
 
@@ -105,10 +126,11 @@ mod tests {
     #[test]
     fn catalog_names_are_unique() {
         let mut names: Vec<&str> = all().iter().map(|c| c.name()).collect();
+        names.extend(driver_passes().iter().map(|(n, _)| *n));
         let before = names.len();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), before);
-        assert_eq!(before, 8);
+        assert_eq!(before, 12, "10 catalog checks + 2 driver passes");
     }
 }

@@ -144,6 +144,7 @@ mod tests {
             manifests: vec![],
             docs: vec![],
             config: CheckConfig::default(),
+            analysis: std::sync::OnceLock::new(),
         };
         PanicPath.run(&ws)
     }

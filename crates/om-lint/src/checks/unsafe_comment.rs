@@ -76,6 +76,7 @@ mod tests {
             manifests: vec![],
             docs: vec![],
             config: CheckConfig::default(),
+            analysis: std::sync::OnceLock::new(),
         };
         UnsafeSafetyComment.run(&ws)
     }

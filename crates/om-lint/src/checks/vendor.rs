@@ -139,6 +139,7 @@ mod tests {
             }],
             docs: vec![],
             config: CheckConfig::default(),
+            analysis: std::sync::OnceLock::new(),
         };
         VendorOnly.run(&ws)
     }

@@ -5,10 +5,11 @@
 //! envelope, vendored-only dependencies, WAL frame discipline — but
 //! none of them were machine-checked. This crate mines those rules out
 //! of the source tree and enforces them: a hand-rolled Rust lexer
-//! ([`lexer`]), a lightweight item scanner ([`scan`]), and eight
-//! repo-specific checks ([`checks`]) that run per-file and
-//! workspace-wide, report `file:line` findings (optionally as JSON),
-//! and honor inline suppressions:
+//! ([`lexer`]), a lightweight item scanner ([`scan`]), a workspace
+//! call graph with per-function effect summaries ([`callgraph`],
+//! [`effects`]), and ten repo-specific checks ([`checks`]) that run
+//! per-file, workspace-wide and interprocedurally, report `file:line`
+//! findings (optionally as JSON), and honor inline suppressions:
 //!
 //! ```text
 //! // om-lint: allow(panic-path) — pool invariant: workers outlive jobs
@@ -17,7 +18,9 @@
 //! Run as `cargo run -p om-lint -- check [--json] [paths…]`, or
 //! `cargo run -p om-lint -- fixtures` for the self-test corpus.
 
+pub mod callgraph;
 pub mod checks;
+pub mod effects;
 pub mod fixtures;
 pub mod jsonout;
 pub mod lexer;
@@ -26,6 +29,7 @@ pub mod scan;
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 use scan::ScanInfo;
 
@@ -91,6 +95,11 @@ pub struct CheckConfig {
     pub envelope_doc: String,
     /// The file declaring `SEAMS`, the failpoint name registry.
     pub failpoint_registry: String,
+    /// Path prefixes where `budget-coverage` requires request-path
+    /// loops to poll a Budget/failpoint seam.
+    pub budget_scopes: Vec<String>,
+    /// Files whose fns are `/v1` handler roots for reachability.
+    pub handler_files: Vec<String>,
 }
 
 impl Default for CheckConfig {
@@ -116,6 +125,20 @@ impl Default for CheckConfig {
             envelope_source: "crates/om-api/src/error.rs".into(),
             envelope_doc: "docs/api.md".into(),
             failpoint_registry: "crates/om-fault/src/fail.rs".into(),
+            budget_scopes: vec![
+                "crates/om-server/src/".into(),
+                "crates/om-cluster/src/".into(),
+                "crates/om-exec/src/".into(),
+                "crates/om-explore/src/".into(),
+                "crates/om-compare/src/".into(),
+                "crates/om-gi/src/".into(),
+                "crates/om-engine/src/".into(),
+                "crates/om-cube/src/".into(),
+                "crates/om-ingest/src/".into(),
+                // om-api is deliberately out of scope: its parsers are
+                // pure, size-capped codecs with no I/O to get stuck on.
+            ],
+            handler_files: vec!["crates/om-server/src/v1.rs".into()],
         }
     }
 }
@@ -128,6 +151,9 @@ pub struct Workspace {
     pub manifests: Vec<TextFile>,
     pub docs: Vec<TextFile>,
     pub config: CheckConfig,
+    /// Lazily built interprocedural analysis, shared by every check
+    /// that needs the call graph (built once per run, not per check).
+    pub analysis: OnceLock<effects::Analysis>,
 }
 
 /// Directories scanned for sources/manifests, relative to the root.
@@ -179,7 +205,15 @@ impl Workspace {
             manifests,
             docs,
             config,
+            analysis: OnceLock::new(),
         })
+    }
+
+    /// The interprocedural analysis (call graph + effect summaries),
+    /// built on first use and cached for the rest of the run.
+    #[must_use]
+    pub fn analysis(&self) -> &effects::Analysis {
+        self.analysis.get_or_init(|| effects::analyze(self))
     }
 
     /// Run every check plus suppression hygiene; returns findings sorted
@@ -190,6 +224,9 @@ impl Workspace {
         for check in checks::all() {
             findings.extend(check.run(self));
         }
+        // Stale-suppression detection needs the raw findings *before*
+        // suppressions erase them.
+        findings.extend(checks::unused_suppression::run(self, &findings));
         findings.extend(self.suppression_hygiene());
         // Apply .rs suppressions (manifest suppressions are handled by
         // the vendor check itself, which reads `#` comments).
@@ -210,7 +247,8 @@ impl Workspace {
 
     /// Every `allow` must carry a reason and name a known check.
     fn suppression_hygiene(&self) -> Vec<Finding> {
-        let known: Vec<&str> = checks::all().iter().map(|c| c.name()).collect();
+        let mut known: Vec<&str> = checks::all().iter().map(|c| c.name()).collect();
+        known.extend(checks::driver_passes().iter().map(|(n, _)| *n));
         let mut out = Vec::new();
         for src in &self.sources {
             for sup in &src.info.suppressions {

@@ -21,6 +21,9 @@ fn main() -> ExitCode {
             for c in checks::all() {
                 println!("{:24} {}", c.name(), c.description());
             }
+            for (name, desc) in checks::driver_passes() {
+                println!("{name:24} {desc}");
+            }
             ExitCode::SUCCESS
         }
         Some("--help" | "-h" | "help") | None => {

@@ -14,6 +14,37 @@ pub struct FnSpan {
     /// Token indices (into the *code* token vec) of the body, braces included.
     pub body: (usize, usize),
     pub start_line: u32,
+    /// Self type of the enclosing `impl`/`trait` block, if any: the last
+    /// path segment (`EngineBackend` for `impl EngineOps for
+    /// EngineBackend<'_>`). `None` for free functions.
+    pub owner: Option<String>,
+    /// Trait being implemented (or declared) by the enclosing block:
+    /// `Some("EngineOps")` inside `impl EngineOps for X` and inside
+    /// `trait EngineOps { ... }`; `None` for inherent impls and free fns.
+    pub trait_impl: Option<String>,
+}
+
+/// What kind of loop a [`LoopSpan`] is — budget-coverage treats `for`
+/// heads (evaluated once) differently from `while`/`loop` heads
+/// (re-evaluated every iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    For,
+    While,
+    Loop,
+}
+
+/// One loop in a function body: the keyword token, the head range, and
+/// the braced body.
+#[derive(Debug, Clone)]
+pub struct LoopSpan {
+    pub kind: LoopKind,
+    /// Line of the loop keyword.
+    pub line: u32,
+    /// Code-token index of the `for`/`while`/`loop` keyword.
+    pub kw: usize,
+    /// Token indices of the body, braces included.
+    pub body: (usize, usize),
 }
 
 /// One suppression comment: `// om-lint: allow(check[, check]) — reason`.
@@ -36,6 +67,8 @@ pub struct ScanInfo {
     pub test_regions: Vec<(u32, u32)>,
     /// All function items, outermost first.
     pub fns: Vec<FnSpan>,
+    /// Every `for`/`while`/`loop` in the file, in token order.
+    pub loops: Vec<LoopSpan>,
     /// Function names defined in this file carrying `#[deprecated]`.
     pub deprecated_fns: Vec<(String, u32)>,
     /// Function names defined in this file *without* `#[deprecated]`.
@@ -77,14 +110,182 @@ pub fn scan(all_toks: &[Tok]) -> ScanInfo {
         ..ScanInfo::default()
     };
     find_test_regions(&mut info);
-    find_fns(&mut info);
+    let owners = find_owner_regions(&info.code);
+    find_fns(&mut info, &owners);
+    find_loops(&mut info);
     find_suppressions(all_toks, &mut info);
     info
 }
 
+/// An `impl`/`trait` block: body token range plus the names that fns
+/// inside it inherit.
+struct OwnerRegion {
+    body: (usize, usize),
+    owner: String,
+    trait_impl: Option<String>,
+}
+
+/// Skip a balanced `<...>` generic-argument group starting at `i`
+/// (which must point at `<`); returns the index just past the matching
+/// `>`. `->` inside the group is tolerated by clamping depth at zero.
+fn skip_generics(code: &[Tok], i: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < code.len() {
+        if code[j].is_punct('<') {
+            depth += 1;
+        } else if code[j].is_punct('>') {
+            depth -= 1;
+            if depth <= 0 {
+                return j + 1;
+            }
+        } else if code[j].is_punct('{') || code[j].is_punct(';') {
+            return j; // malformed header: bail before item structure
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parse a type path starting at `i`, returning the last path-segment
+/// ident and the index just past the path (generics skipped). Leading
+/// `&`, lifetimes, `dyn` and `mut` are skipped.
+fn parse_type_path(code: &[Tok], mut i: usize) -> (Option<String>, usize) {
+    while i < code.len()
+        && (code[i].is_punct('&')
+            || code[i].kind == TokKind::Lifetime
+            || code[i].is_ident("dyn")
+            || code[i].is_ident("mut"))
+    {
+        i += 1;
+    }
+    let mut last = None;
+    while i < code.len() {
+        if code[i].kind == TokKind::Ident && !code[i].is_ident("for") && !code[i].is_ident("where")
+        {
+            last = Some(code[i].text.clone());
+            i += 1;
+            if i < code.len() && code[i].is_punct('<') {
+                i = skip_generics(code, i);
+            }
+            // `::` continues the path; anything else ends it.
+            if i + 1 < code.len() && code[i].is_punct(':') && code[i + 1].is_punct(':') {
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (last, i)
+}
+
+/// Find every `impl`/`trait` block and the owner names it confers.
+fn find_owner_regions(code: &[Tok]) -> Vec<OwnerRegion> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let t = &code[i];
+        if t.is_ident("impl") {
+            let mut j = i + 1;
+            if j < code.len() && code[j].is_punct('<') {
+                j = skip_generics(code, j);
+            }
+            let (first, after) = parse_type_path(code, j);
+            let (owner, trait_impl) = if code.get(after).is_some_and(|t| t.is_ident("for")) {
+                let (second, _) = parse_type_path(code, after + 1);
+                (second, first)
+            } else {
+                (first, None)
+            };
+            if let Some(owner) = owner {
+                if let Some((open, true)) = find_body_open(code, i + 1) {
+                    let close = match_braces(code, open);
+                    regions.push(OwnerRegion {
+                        body: (open, close),
+                        owner,
+                        trait_impl,
+                    });
+                    i += 1;
+                    continue;
+                }
+            }
+        } else if t.is_ident("trait") && code.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            let name = code[i + 1].text.clone();
+            if let Some((open, true)) = find_body_open(code, i + 2) {
+                let close = match_braces(code, open);
+                regions.push(OwnerRegion {
+                    body: (open, close),
+                    owner: name.clone(),
+                    trait_impl: Some(name),
+                });
+                i += 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Record every `for`/`while`/`loop` with a braced body. `for` is only
+/// a loop when an `in` appears between the keyword and the body at
+/// paren/bracket depth zero — `impl X for Y` and `for<'a>` bounds have
+/// none.
+fn find_loops(info: &mut ScanInfo) {
+    let code = &info.code;
+    let mut loops = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        let kind = if t.is_ident("for") {
+            LoopKind::For
+        } else if t.is_ident("while") {
+            LoopKind::While
+        } else if t.is_ident("loop") {
+            LoopKind::Loop
+        } else {
+            continue;
+        };
+        // Find the body `{` at paren/bracket depth 0. Angle brackets are
+        // ignored (comparison operators make them unmatchable).
+        let mut depth = 0i64;
+        let mut open = None;
+        let mut saw_in = false;
+        for (j, u) in code.iter().enumerate().skip(i + 1) {
+            if u.is_punct('(') || u.is_punct('[') {
+                depth += 1;
+            } else if u.is_punct(')') || u.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 {
+                if u.is_punct('{') {
+                    open = Some(j);
+                    break;
+                }
+                if u.is_punct(';') || u.is_punct('}') {
+                    break; // not a loop head after all
+                }
+                if u.is_ident("in") {
+                    saw_in = true;
+                }
+            }
+        }
+        let Some(open) = open else { continue };
+        if kind == LoopKind::For && !saw_in {
+            continue;
+        }
+        let close = match_braces(code, open);
+        loops.push(LoopSpan {
+            kind,
+            line: t.line,
+            kw: i,
+            body: (open, close),
+        });
+    }
+    info.loops = loops;
+}
+
 /// Walk forward from `start` (an index into `code` pointing at `{`) to
 /// its matching close brace; returns the index of the closing token.
-fn match_braces(code: &[Tok], start: usize) -> usize {
+pub(crate) fn match_braces(code: &[Tok], start: usize) -> usize {
     let mut depth = 0i64;
     for (i, t) in code.iter().enumerate().skip(start) {
         if t.is_punct('{') {
@@ -183,7 +384,7 @@ fn find_test_regions(info: &mut ScanInfo) {
     info.test_regions = regions;
 }
 
-fn find_fns(info: &mut ScanInfo) {
+fn find_fns(info: &mut ScanInfo, owners: &[OwnerRegion]) {
     let code = &info.code;
     let mut fns = Vec::new();
     let mut deprecated = Vec::new();
@@ -227,10 +428,17 @@ fn find_fns(info: &mut ScanInfo) {
                         }
                         if let Some((open, true)) = find_body_open(code, i + 2) {
                             let close = match_braces(code, open);
+                            // Innermost enclosing impl/trait block, if any.
+                            let region = owners
+                                .iter()
+                                .filter(|r| r.body.0 < open && close <= r.body.1)
+                                .max_by_key(|r| r.body.0);
                             fns.push(FnSpan {
                                 name,
                                 body: (open, close),
                                 start_line: t.line,
+                                owner: region.map(|r| r.owner.clone()),
+                                trait_impl: region.and_then(|r| r.trait_impl.clone()),
                             });
                         }
                     }

@@ -1,0 +1,20 @@
+//! Fixture: a handler-file fan-out loop that reaches blocking network
+//! work through a callee with no Budget or failpoint poll per round.
+
+use std::io::Read;
+use std::net::TcpStream;
+
+pub fn handle_count(addrs: &[String]) -> std::io::Result<u64> {
+    let mut total = 0u64;
+    for a in addrs {
+        total = total.wrapping_add(fetch_count(a)?);
+    }
+    Ok(total)
+}
+
+fn fetch_count(addr: &str) -> std::io::Result<u64> {
+    let mut s = TcpStream::connect(addr)?;
+    let mut buf = [0u8; 8];
+    s.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}

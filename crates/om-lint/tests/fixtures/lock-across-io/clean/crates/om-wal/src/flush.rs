@@ -1,0 +1,28 @@
+//! Fixture: the fixed shape — snapshot the queue under the lock, drop
+//! the guard, then do the network sends outside it.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub struct Replayer {
+    queue: Mutex<Vec<Vec<u8>>>,
+}
+
+impl Replayer {
+    pub fn flush(&self, addr: &str) -> std::io::Result<()> {
+        let rows: Vec<Vec<u8>> = {
+            let mut q = self.queue.lock().unwrap();
+            q.drain(..).collect()
+        };
+        for row in &rows {
+            self.send_row(addr, row)?;
+        }
+        Ok(())
+    }
+
+    fn send_row(&self, addr: &str, row: &[u8]) -> std::io::Result<()> {
+        let mut s = TcpStream::connect(addr)?;
+        s.write_all(row)
+    }
+}

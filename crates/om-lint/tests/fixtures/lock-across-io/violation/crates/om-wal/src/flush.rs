@@ -1,0 +1,26 @@
+//! Fixture: the catch-up replay bug shape — a queue guard stays live
+//! while each row is sent over the network *through a callee*, so every
+//! producer blocks behind the slowest replica write.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub struct Replayer {
+    queue: Mutex<Vec<Vec<u8>>>,
+}
+
+impl Replayer {
+    pub fn flush(&self, addr: &str) -> std::io::Result<()> {
+        let mut q = self.queue.lock().unwrap();
+        while let Some(row) = q.pop() {
+            self.send_row(addr, &row)?;
+        }
+        Ok(())
+    }
+
+    fn send_row(&self, addr: &str, row: &[u8]) -> std::io::Result<()> {
+        let mut s = TcpStream::connect(addr)?;
+        s.write_all(row)
+    }
+}

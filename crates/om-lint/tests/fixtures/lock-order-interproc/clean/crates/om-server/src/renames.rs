@@ -1,0 +1,13 @@
+//! Fixture: a callee-acquired lock that honors the workspace-wide
+//! accounts-before-audit order.
+
+pub fn rename_all(s: &State) {
+    let a = s.accounts.lock();
+    refresh_audit(s);
+    drop(a);
+}
+
+fn refresh_audit(s: &State) {
+    let b = s.audit.lock();
+    drop(b);
+}

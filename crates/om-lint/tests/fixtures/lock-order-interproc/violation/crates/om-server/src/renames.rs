@@ -1,0 +1,31 @@
+//! Fixture: an inversion visible only interprocedurally — no single
+//! function takes both locks, but `reindex` holds `index` while a
+//! callee takes `cache`, and `invalidate` holds `cache` while a callee
+//! takes `index`.
+
+pub struct Caches {
+    index: Mutex<Vec<u64>>,
+    cache: Mutex<Vec<u64>>,
+}
+
+pub fn reindex(s: &Caches) {
+    let i = s.index.lock();
+    refresh_cache(s);
+    drop(i);
+}
+
+pub fn invalidate(s: &Caches) {
+    let c = s.cache.lock();
+    rebuild_index(s);
+    drop(c);
+}
+
+fn refresh_cache(s: &Caches) {
+    let c = s.cache.lock();
+    drop(c);
+}
+
+fn rebuild_index(s: &Caches) {
+    let i = s.index.lock();
+    drop(i);
+}

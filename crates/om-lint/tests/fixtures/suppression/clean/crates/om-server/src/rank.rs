@@ -1,0 +1,7 @@
+//! Fixture: a well-formed allow — known check, with a reason, and the
+//! next line really does trigger the named check.
+
+pub fn pick(xs: &[u32]) -> u32 {
+    // om-lint: allow(panic-path) — fixture demonstrates the happy path
+    xs[0]
+}

@@ -1,4 +1,6 @@
 //! Fixture: suppression hygiene — reason-less and unknown-check allows.
+//! The reason-less allow still suppresses a real panic-path finding, so
+//! only the hygiene pass fires (no stale-suppression stray).
 
 pub fn pick(xs: &[u32]) -> u32 {
     // om-lint: allow(panic-path)
@@ -7,5 +9,5 @@ pub fn pick(xs: &[u32]) -> u32 {
 
 pub fn other(xs: &[u32]) -> u32 {
     // om-lint: allow(made-up-check) — the check name does not exist
-    xs[0]
+    xs.first().copied().unwrap_or(0)
 }

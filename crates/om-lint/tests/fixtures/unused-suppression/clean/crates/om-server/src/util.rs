@@ -1,0 +1,7 @@
+//! Fixture: a live suppression — the next line still triggers the
+//! check it names, so the allow is doing its job.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // om-lint: allow(panic-path) — bounds asserted by the caller contract
+    xs[0]
+}

@@ -1,0 +1,7 @@
+//! Fixture: a suppression that outlived its finding — the indexing it
+//! silenced was refactored away, but the allow stayed behind.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // om-lint: allow(panic-path) — head element checked by the caller
+    xs.first().copied().unwrap_or(0)
+}

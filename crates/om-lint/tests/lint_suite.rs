@@ -16,7 +16,7 @@ fn workspace_root() -> PathBuf {
 fn fixture_corpus_is_green() {
     let outcomes = run_all(&fixtures_dir(&workspace_root())).expect("corpus loads");
     // Every check ships both kinds; a missing dir shows up as a failure.
-    assert!(outcomes.len() >= 16, "corpus too small: {}", outcomes.len());
+    assert!(outcomes.len() >= 24, "corpus too small: {}", outcomes.len());
     let failures: Vec<_> = outcomes.iter().filter(|o| !o.pass).collect();
     assert!(failures.is_empty(), "fixture failures: {failures:?}");
 }

@@ -29,14 +29,25 @@ cargo test -p om-exec --test determinism -q
 echo "==> cargo test -p om-cluster --features failpoints -q (fault-tolerance suite incl. hedging + deadline)"
 cargo test -p om-cluster --features failpoints -q
 
-echo "==> om-lint fixtures (check self-test corpus)"
+echo "==> om-lint fixtures (check self-test corpus; debug + release)"
+# Both build configs: the interprocedural fixpoint must behave the same
+# with and without debug assertions/overflow checks.
 cargo run -q -p om-lint -- fixtures
+cargo run -q --release -p om-lint -- fixtures
 
-echo "==> om-lint check (workspace invariants; JSON artifact in target/)"
+echo "==> om-lint check (workspace invariants; JSON artifact in target/; 30s budget)"
 # The JSON dump always lands (artifact even on failure); the plain run
-# gates the script with readable findings.
+# gates the script with readable findings. The wall-clock budget keeps
+# the call-graph + effect-summary pass from quietly becoming the slow
+# part of CI as the workspace grows.
+lint_start=$(date +%s)
 cargo run -q -p om-lint -- check --json > target/om-lint.json || true
 cargo run -q -p om-lint -- check
+lint_elapsed=$(( $(date +%s) - lint_start ))
+if [ "$lint_elapsed" -gt 30 ]; then
+    echo "om-lint check exceeded its 30s wall-clock budget (took ${lint_elapsed}s)" >&2
+    exit 1
+fi
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
